@@ -1,0 +1,133 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//! solution cache, partitioning, atom ordering (the LIMIT-1 stand-in),
+//! serializability mode and grounding policy.
+//!
+//! Each ablation runs the same small Random-order workload with one knob
+//! flipped; coordination percentages are asserted where the knob has a
+//! correctness-visible effect.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qdb_core::{GroundingPolicy, QuantumDbConfig, Serializability};
+use qdb_solver::AtomOrder;
+use qdb_workload::{run_quantum, ArrivalOrder, FlightsConfig, RunConfig};
+
+fn base_cfg() -> RunConfig {
+    RunConfig::resource_only(
+        FlightsConfig {
+            flights: 2,
+            rows_per_flight: 10,
+        },
+        15,
+        ArrivalOrder::Random { seed: 0xC1DE },
+        61,
+    )
+}
+
+fn bench_ablation_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_solution_cache");
+    group.sample_size(10);
+    group.bench_function("cache_on", |b| {
+        let cfg = base_cfg();
+        b.iter(|| run_quantum(&cfg).total);
+    });
+    group.bench_function("cache_off", |b| {
+        let mut cfg = base_cfg();
+        cfg.engine.use_solution_cache = false;
+        b.iter(|| run_quantum(&cfg).total);
+    });
+    group.finish();
+}
+
+fn bench_ablation_partitioning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_partitioning");
+    group.sample_size(10);
+    group.bench_function("partitioning_on", |b| {
+        let cfg = base_cfg();
+        b.iter(|| run_quantum(&cfg).total);
+    });
+    group.bench_function("partitioning_off", |b| {
+        let mut cfg = base_cfg();
+        cfg.engine.partitioning = false;
+        b.iter(|| run_quantum(&cfg).total);
+    });
+    group.finish();
+}
+
+fn bench_ablation_atom_order(c: &mut Criterion) {
+    // Static order is the stand-in for the paper's monolithic LIMIT-1
+    // joins with a fixed join order (their optimizer_search_depth woes).
+    let mut group = c.benchmark_group("ablation_atom_order");
+    group.sample_size(10);
+    group.bench_function("most_constrained", |b| {
+        let cfg = base_cfg();
+        b.iter(|| run_quantum(&cfg).total);
+    });
+    group.bench_function("static_order", |b| {
+        let mut cfg = base_cfg();
+        cfg.engine.solver_order = AtomOrder::Static;
+        b.iter(|| run_quantum(&cfg).total);
+    });
+    group.finish();
+}
+
+fn bench_ablation_serializability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_serializability");
+    group.sample_size(10);
+    let mixed = |ser: Serializability| {
+        let mut cfg = base_cfg();
+        cfg.engine.serializability = ser;
+        cfg.n_reads = 20; // reads are where the modes diverge
+        cfg
+    };
+    group.bench_function("semantic", |b| {
+        let cfg = mixed(Serializability::Semantic);
+        b.iter(|| run_quantum(&cfg).total);
+    });
+    group.bench_function("strict", |b| {
+        let cfg = mixed(Serializability::Strict);
+        b.iter(|| run_quantum(&cfg).total);
+    });
+    group.finish();
+}
+
+fn bench_ablation_policy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_grounding_policy");
+    group.sample_size(10);
+    for (name, policy) in [
+        ("first_fit", GroundingPolicy::FirstFit),
+        (
+            "max_flexibility",
+            GroundingPolicy::MaxFlexibility { sample: 8 },
+        ),
+        (
+            "random",
+            GroundingPolicy::Random {
+                seed: 7,
+                sample: 8,
+            },
+        ),
+    ] {
+        group.bench_function(name, |b| {
+            let mut cfg = base_cfg();
+            cfg.engine.policy = policy;
+            cfg.engine.k = 8; // force k-groundings so the policy matters
+            cfg.engine = QuantumDbConfig {
+                k: 8,
+                policy,
+                ..cfg.engine
+            };
+            b.iter(|| run_quantum(&cfg).total);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ablation_cache,
+    bench_ablation_partitioning,
+    bench_ablation_atom_order,
+    bench_ablation_serializability,
+    bench_ablation_policy
+);
+criterion_main!(benches);

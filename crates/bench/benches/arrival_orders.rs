@@ -1,0 +1,49 @@
+//! Criterion bench for the order-of-arrival experiment (Figures 5 & 6).
+//!
+//! Measures one full 102-transaction run per arrival order (the paper's
+//! Figure 5 x-axis compressed into a single wall-clock sample) plus the IS
+//! baseline. Run `reproduce fig5` for the full cumulative series.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qdb_workload::{
+    run_is, run_quantum, ArrivalOrder, FlightsConfig, RunConfig,
+};
+
+fn bench_orders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_order_of_arrival");
+    group.sample_size(10);
+    let flights = FlightsConfig::order_of_arrival();
+    let orders = [
+        ArrivalOrder::Alternate,
+        ArrivalOrder::Random { seed: 0xC1DE },
+        ArrivalOrder::InOrder,
+        ArrivalOrder::ReverseOrder,
+    ];
+    for order in orders {
+        group.bench_with_input(
+            BenchmarkId::new("quantum", order.label().replace(' ', "_")),
+            &order,
+            |b, &order| {
+                let cfg = RunConfig::resource_only(flights, 51, order, 61);
+                b.iter(|| {
+                    let res = run_quantum(&cfg);
+                    assert_eq!(res.aborted, 0);
+                    res.total
+                });
+            },
+        );
+    }
+    group.bench_function("is_random", |b| {
+        let cfg = RunConfig::resource_only(
+            flights,
+            51,
+            ArrivalOrder::Random { seed: 0xC1DE },
+            61,
+        );
+        b.iter(|| run_is(&cfg).total);
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_orders);
+criterion_main!(benches);

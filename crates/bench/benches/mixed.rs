@@ -1,0 +1,40 @@
+//! Criterion bench for the mixed workload (Figures 8 & 9): read-heavy vs
+//! update-heavy mixes at a reduced scale (480 ops over 4 flights). The
+//! paper-scale sweep is produced by `reproduce fig8`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qdb_core::QuantumDbConfig;
+use qdb_workload::{run_quantum, ArrivalOrder, FlightsConfig, RunConfig};
+
+fn bench_mixed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_mixed_workload");
+    group.sample_size(10);
+    let flights = FlightsConfig {
+        flights: 4,
+        rows_per_flight: 40, // 120 seats per flight: capacity for the 0%-reads mix
+    };
+    let total_ops = 480usize;
+    for read_pct in [0usize, 30, 60, 90] {
+        group.bench_with_input(
+            BenchmarkId::new("reads_pct", read_pct),
+            &read_pct,
+            |b, &pct| {
+                let n_reads = total_ops * pct / 100;
+                let pairs_per_flight = ((total_ops - n_reads) / 2) / flights.flights;
+                let cfg = RunConfig {
+                    flights,
+                    pairs_per_flight,
+                    order: ArrivalOrder::Random { seed: 0xC1DE },
+                    n_reads,
+                    seed: 0xC1DE,
+                    engine: QuantumDbConfig::with_k(30),
+                };
+                b.iter(|| run_quantum(&cfg).total);
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mixed);
+criterion_main!(benches);

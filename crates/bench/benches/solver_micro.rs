@@ -1,0 +1,147 @@
+//! Microbenchmarks for the substrate layers: unification, composition,
+//! conjunctive evaluation, solver admission/grounding — the pieces whose
+//! costs drive the macro figures.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qdb_logic::{compose, mgu, parse_transaction, ResourceTransaction};
+use qdb_solver::{CachedSolution, Solver, TxnSpec};
+use qdb_storage::{tuple, ConjunctiveQuery, Database, PatTerm, Pattern, Schema, ValueType};
+
+fn seats_db(rows: usize) -> Database {
+    let mut db = Database::new();
+    db.create_table(Schema::new(
+        "Available",
+        vec![("flight", ValueType::Int), ("seat", ValueType::Str)],
+    ))
+    .unwrap();
+    db.create_table(Schema::new(
+        "Bookings",
+        vec![
+            ("name", ValueType::Str),
+            ("flight", ValueType::Int),
+            ("seat", ValueType::Str),
+        ],
+    ))
+    .unwrap();
+    db.table_mut("Available").unwrap().create_index(0).unwrap();
+    for r in 1..=rows {
+        for c in ["A", "B", "C"] {
+            db.insert("Available", tuple![1, format!("{r}{c}").as_str()])
+                .unwrap();
+        }
+    }
+    db
+}
+
+fn booking(name: &str) -> ResourceTransaction {
+    parse_transaction(&format!(
+        "-Available(f, s), +Bookings('{name}', f, s) :-1 Available(f, s)"
+    ))
+    .unwrap()
+}
+
+fn bench_unification(c: &mut Criterion) {
+    let t = parse_transaction(
+        "-A(f1, s1), +B(M, f1, s1) :-1 A(f1, s1), B(G, f1, s2)?, Adj(s1, s2)?",
+    )
+    .unwrap();
+    let a = &t.body[0].atom;
+    let b = &t.updates[0].atom;
+    c.bench_function("mgu_flat_atoms", |bench| {
+        bench.iter(|| mgu(std::hint::black_box(a), std::hint::black_box(b)));
+    });
+}
+
+fn bench_composition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compose_sequence");
+    for n in [4usize, 16, 61] {
+        let txns: Vec<ResourceTransaction> = (0..n).map(|i| booking(&format!("U{i}"))).collect();
+        let refs: Vec<&ResourceTransaction> = txns.iter().collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &refs, |bench, refs| {
+            bench.iter(|| compose(std::hint::black_box(refs)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_query_eval(c: &mut Criterion) {
+    let db = seats_db(50);
+    let q = ConjunctiveQuery::new(vec![Pattern::new(
+        "Available",
+        vec![PatTerm::val(1), PatTerm::Var(0)],
+    )])
+    .with_limit(1);
+    c.bench_function("limit1_indexed_scan", |bench| {
+        bench.iter(|| q.eval(std::hint::black_box(&db)).unwrap());
+    });
+}
+
+fn bench_solver_admission(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver_admission");
+    for pending in [1usize, 16, 40] {
+        let db = seats_db(50);
+        let txns: Vec<ResourceTransaction> =
+            (0..pending).map(|i| booking(&format!("U{i}"))).collect();
+        let refs: Vec<&ResourceTransaction> = txns.iter().collect();
+        let mut solver = Solver::default();
+        let cache = CachedSolution::resolve(&mut solver, &db, &refs)
+            .unwrap()
+            .unwrap();
+        let newcomer = booking("NEW");
+        group.bench_with_input(
+            BenchmarkId::new("cache_extend", pending),
+            &pending,
+            |bench, _| {
+                bench.iter(|| {
+                    let mut c2 = cache.clone();
+                    let ok = c2
+                        .try_extend(&mut solver, &db, &refs, &newcomer)
+                        .unwrap();
+                    assert!(ok);
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("full_resolve", pending),
+            &pending,
+            |bench, _| {
+                let mut all: Vec<&ResourceTransaction> = refs.clone();
+                all.push(&newcomer);
+                bench.iter(|| {
+                    CachedSolution::resolve(&mut solver, &db, &all)
+                        .unwrap()
+                        .unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_verify(c: &mut Criterion) {
+    let db = seats_db(50);
+    let txns: Vec<ResourceTransaction> = (0..40).map(|i| booking(&format!("U{i}"))).collect();
+    let refs: Vec<&ResourceTransaction> = txns.iter().collect();
+    let mut solver = Solver::default();
+    let cache = CachedSolution::resolve(&mut solver, &db, &refs)
+        .unwrap()
+        .unwrap();
+    let specs: Vec<TxnSpec> = refs.iter().map(|t| TxnSpec::required_only(t)).collect();
+    c.bench_function("verify_cached_solution_40", |bench| {
+        bench.iter(|| {
+            solver
+                .verify(&db, &[], &specs, &cache.valuations)
+                .unwrap()
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_unification,
+    bench_composition,
+    bench_query_eval,
+    bench_solver_admission,
+    bench_verify
+);
+criterion_main!(benches);

@@ -1,0 +1,245 @@
+//! Regenerate every table and figure of the paper's evaluation (§5).
+//!
+//! ```text
+//! reproduce [table1|fig5|fig6|fig7|table2|fig8|fig9|all] [--scale full|smoke]
+//! ```
+//!
+//! `full` runs the paper's parameters (slow: Fig. 7 alone executes up to
+//! 15 000 transactions per k); `smoke` is a quick shape-check. Output is
+//! plain text: tables match the paper's tables, figures are printed as
+//! tab-separated series.
+
+use qdb_bench::experiments::*;
+use qdb_bench::report::{downsample, format_series, format_table};
+use qdb_workload::FlightsConfig;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Scale {
+    Full,
+    Smoke,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which = "all".to_string();
+    let mut scale = Scale::Full;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = match args.get(i).map(String::as_str) {
+                    Some("smoke") => Scale::Smoke,
+                    _ => Scale::Full,
+                };
+            }
+            other => which = other.to_string(),
+        }
+        i += 1;
+    }
+    let seed = 0xC1DE;
+    let run_all = which == "all";
+    if run_all || which == "table1" {
+        table1(seed);
+    }
+    if run_all || which == "fig5" || which == "fig6" {
+        fig5_fig6(scale, seed);
+    }
+    if run_all || which == "fig7" || which == "table2" {
+        fig7_table2(scale, seed);
+    }
+    if run_all || which == "fig8" || which == "fig9" {
+        fig8_fig9(scale, seed);
+    }
+    if run_all || which == "phase" {
+        phase();
+    }
+}
+
+fn phase() {
+    println!("== §6 extra: satisfiability phase transition ==");
+    println!("(adjacent-pair bookings on a 4-row flight; the boundary unsat");
+    println!(" proof is where solver effort spikes)\n");
+    let rows = phase_transition(4, 6);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            vec![
+                (i + 1).to_string(),
+                format!("{:.2}", r.ratio),
+                r.nodes.to_string(),
+                if r.committed { "commit" } else { "ABORT" }.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(&["attempt", "fill ratio", "solver nodes", "outcome"], &table)
+    );
+}
+
+fn table1(seed: u64) {
+    println!("== Table 1: arrival orders and maximum pending transactions ==");
+    println!("(paper: Alternate 1; Random/In Order/Reverse Order ceil(N/2))\n");
+    let rows = table1_max_pending(51, seed);
+    let table: Vec<Vec<String>> = rows
+        .into_iter()
+        .map(|(label, bound, measured)| {
+            vec![label, bound.to_string(), measured.to_string()]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(&["Order of Arrival", "Paper bound", "Measured"], &table)
+    );
+}
+
+fn fig5_fig6(scale: Scale, seed: u64) {
+    let (flights, pairs, k) = match scale {
+        // §5.3: 1 flight, 34 rows (102 seats), 102 transactions, k = 61.
+        Scale::Full => (FlightsConfig::order_of_arrival(), 51, 61),
+        Scale::Smoke => (
+            FlightsConfig {
+                flights: 1,
+                rows_per_flight: 6,
+            },
+            9,
+            61,
+        ),
+    };
+    println!("== Figure 5: cumulative execution time by arrival order ==");
+    println!(
+        "(1 flight x {} seats, {} transactions, k={k})\n",
+        flights.seats_per_flight(),
+        pairs * 2
+    );
+    let rows = fig5_fig6_order_of_arrival(flights, pairs, k, seed);
+    for row in &rows {
+        let pts: Vec<Vec<f64>> = downsample(&row.cumulative_micros, 17)
+            .into_iter()
+            .map(|(i, us)| vec![i as f64, us as f64 / 1000.0])
+            .collect();
+        println!(
+            "{}",
+            format_series(
+                &format!("Fig5 series: {}", row.label),
+                &["txn", "cumulative_ms"],
+                &pts
+            )
+        );
+    }
+    println!("== Figure 6: percentage of coordination by arrival order ==\n");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.label.clone(),
+                format!("{:.1}", r.coordination_percent),
+                r.max_pending.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(&["Series", "Coordination %", "Max pending"], &table)
+    );
+}
+
+fn fig7_table2(scale: Scale, seed: u64) {
+    let (flight_counts, rows_per_flight, ks): (Vec<usize>, usize, Vec<usize>) = match scale {
+        // §5.3: 10→100 flights of 150 seats, k in {20, 30, 40}.
+        Scale::Full => ((1..=10).map(|i| i * 10).collect(), 50, vec![20, 30, 40]),
+        Scale::Smoke => (vec![1, 2, 4], 10, vec![4, 10, 20]),
+    };
+    println!("== Figure 7: scalability (total time vs number of transactions) ==\n");
+    let rows = fig7_table2_scalability(&flight_counts, rows_per_flight, &ks, seed);
+    let mut labels: Vec<String> = ks.iter().map(|k| format!("k={k}")).collect();
+    labels.push("IS".to_string());
+    for label in &labels {
+        let pts: Vec<Vec<f64>> = rows
+            .iter()
+            .filter(|r| &r.label == label)
+            .map(|r| vec![r.transactions as f64, r.seconds])
+            .collect();
+        println!(
+            "{}",
+            format_series(
+                &format!("Fig7 series: {label}"),
+                &["transactions", "seconds"],
+                &pts
+            )
+        );
+    }
+    println!("== Table 2: average percentage of successful coordinations ==");
+    println!("(paper: k=20: 45.6, k=30: 86.9, k=40: 99.9, IS: 20.2)\n");
+    let table: Vec<Vec<String>> = labels
+        .iter()
+        .map(|label| {
+            let pts: Vec<f64> = rows
+                .iter()
+                .filter(|r| &r.label == label)
+                .map(|r| r.coordination_percent)
+                .collect();
+            let avg = pts.iter().sum::<f64>() / pts.len().max(1) as f64;
+            vec![label.clone(), format!("{avg:.1}")]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(&["System", "Avg coordination %"], &table)
+    );
+}
+
+fn fig8_fig9(scale: Scale, seed: u64) {
+    let (flights, total_ops, read_pcts, ks): (FlightsConfig, usize, Vec<usize>, Vec<usize>) =
+        match scale {
+            // §5.3: 6000 ops over 40 flights x 150 seats, reads 0..90%.
+            Scale::Full => (
+                FlightsConfig::mixed_workload(),
+                6000,
+                (0..=9).map(|i| i * 10).collect(),
+                vec![20, 30, 40],
+            ),
+            Scale::Smoke => (
+                FlightsConfig {
+                    flights: 2,
+                    rows_per_flight: 6,
+                },
+                48,
+                vec![0, 30, 60, 90],
+                vec![4, 10],
+            ),
+        };
+    println!("== Figures 8 & 9: mixed workload ==");
+    println!(
+        "({} ops over {} flights x {} seats)\n",
+        total_ops,
+        flights.flights,
+        flights.seats_per_flight()
+    );
+    let rows = fig8_fig9_mixed(flights, total_ops, &read_pcts, &ks, seed);
+    for k in &ks {
+        let label = format!("k={k}");
+        let pts: Vec<Vec<f64>> = rows
+            .iter()
+            .filter(|r| r.label == label)
+            .map(|r| {
+                vec![
+                    r.read_percent as f64,
+                    r.update_seconds,
+                    r.read_seconds,
+                    r.coordination_percent,
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            format_series(
+                &format!("Fig8/Fig9 series: {label}"),
+                &["read_pct", "update_s", "read_s", "coordination_pct"],
+                &pts
+            )
+        );
+    }
+}

@@ -1,0 +1,15 @@
+//! # qdb-bench
+//!
+//! The experiment harness: regenerates every table and figure of the
+//! paper's evaluation (§5) as text series. See `src/bin/reproduce.rs` for
+//! the command-line entry point and `benches/` for the Criterion
+//! microbenchmarks.
+
+pub mod experiments;
+pub mod report;
+
+pub use experiments::{
+    fig5_fig6_order_of_arrival, fig7_table2_scalability, fig8_fig9_mixed, paper_orders,
+    phase_transition, table1_max_pending, Fig5Row, MixedRow, PhaseRow, ScalabilityRow,
+};
+pub use report::{downsample, format_series, format_table};

@@ -1,0 +1,107 @@
+//! Plain-text rendering of experiment results (the "figures" are printed
+//! as aligned data series suitable for EXPERIMENTS.md and for plotting).
+
+/// Render a table with a header row; columns are aligned on width.
+pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{:>width$}", cell, width = widths[i]));
+        }
+        line
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render an (x, y…) series block with a title line, one sample per line.
+pub fn format_series(title: &str, header: &[&str], points: &[Vec<f64>]) -> String {
+    let mut out = format!("# {title}\n");
+    out.push_str(&header.join("\t"));
+    out.push('\n');
+    for p in points {
+        let cells: Vec<String> = p.iter().map(|v| format!("{v:.3}")).collect();
+        out.push_str(&cells.join("\t"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Downsample a cumulative series to at most `n` evenly spaced points
+/// (keeps figures readable at paper scale).
+pub fn downsample(series: &[u64], n: usize) -> Vec<(usize, u64)> {
+    if series.is_empty() || n == 0 {
+        return Vec::new();
+    }
+    let step = (series.len().max(n) / n).max(1);
+    let mut out: Vec<(usize, u64)> = series
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % step == 0)
+        .map(|(i, &v)| (i + 1, v))
+        .collect();
+    let last = series.len() - 1;
+    if out.last().map(|&(i, _)| i != last + 1).unwrap_or(true) {
+        out.push((last + 1, series[last]));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = format_table(
+            &["order", "max"],
+            &[
+                vec!["Alternate".into(), "1".into()],
+                vec!["Random".into(), "51".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("order"));
+        assert!(lines[2].ends_with('1'));
+    }
+
+    #[test]
+    fn series_rendering() {
+        let s = format_series("fig", &["x", "y"], &[vec![1.0, 2.0], vec![2.0, 4.5]]);
+        assert!(s.starts_with("# fig\n"));
+        assert!(s.contains("2.000\t4.500"));
+    }
+
+    #[test]
+    fn downsample_keeps_endpoints() {
+        let series: Vec<u64> = (0..100).collect();
+        let d = downsample(&series, 10);
+        assert!(d.len() <= 12);
+        assert_eq!(d.first().unwrap().0, 1);
+        assert_eq!(d.last().unwrap(), &(100, 99));
+        let empty: Vec<u64> = vec![];
+        assert!(downsample(&empty, 5).is_empty());
+    }
+}

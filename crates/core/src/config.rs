@@ -1,0 +1,135 @@
+//! Engine configuration.
+
+use qdb_solver::{AtomOrder, SearchLimits};
+
+/// Which serializability guarantee grounding provides (§2, §3.2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Serializability {
+    /// Classical ACID-style: grounding transaction `Ti` first grounds
+    /// `T0..Ti-1` in arrival order (the "naïve approach" of §3.2.3 — safe
+    /// but over-constraining).
+    Strict,
+    /// Semantic serializability (the default, and the paper's
+    /// recommendation): the transaction under consideration is moved to
+    /// the *front* of the pending order if the remaining formula stays
+    /// satisfiable; its intent is preserved even though it is no longer
+    /// serialized in commit order. Falls back to `Strict` when the
+    /// front-move check fails.
+    #[default]
+    Semantic,
+}
+
+/// How the engine picks among multiple satisfying assignments when a value
+/// must be fixed (§3.2.2: "it is desirable to fix values in such a way as
+/// to maximize the remaining number of possible worlds; more sophisticated
+/// application-specific heuristics may also be appropriate").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GroundingPolicy {
+    /// Take the first satisfying assignment found (deterministic,
+    /// cheapest; what the paper's prototype does).
+    #[default]
+    FirstFit,
+    /// Enumerate up to `sample` assignments and keep the one that leaves
+    /// the most candidate tuples for the remaining pending transactions —
+    /// a generic proxy for "maximize the remaining possible worlds".
+    MaxFlexibility {
+        /// How many alternative assignments to score.
+        sample: usize,
+    },
+    /// Pick uniformly at random among up to `sample` assignments
+    /// (seeded; used to de-bias measurements in ablations).
+    Random {
+        /// RNG seed.
+        seed: u64,
+        /// How many alternative assignments to draw from.
+        sample: usize,
+    },
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct QuantumDbConfig {
+    /// Maximum pending transactions per partition before the oldest are
+    /// forcibly grounded (§4; the prototype's bound came from MySQL's
+    /// 61-join limit). The figures sweep k ∈ {20, 30, 40}.
+    pub k: usize,
+    /// Grounding order guarantee.
+    pub serializability: Serializability,
+    /// Assignment-choice heuristic.
+    pub policy: GroundingPolicy,
+    /// Partition independent transactions (§4 "Quantum State"); disabling
+    /// this keeps one global composed body (ablation knob).
+    pub partitioning: bool,
+    /// Maintain per-partition solution caches (§4 "Solution Cache");
+    /// disabling re-solves from scratch on every admission (ablation
+    /// knob).
+    pub use_solution_cache: bool,
+    /// Number of alternative solutions kept per partition (≥ 1). The §4
+    /// discussion suggests computing extra solutions "by a background
+    /// process in order to keep the per-transaction latency low"; here the
+    /// extras are computed opportunistically at admission time: when one
+    /// cached solution cannot be extended, the next is tried before
+    /// falling back to a from-scratch re-solve.
+    pub cache_solutions: usize,
+    /// Ground coordination partners jointly as soon as both are in the
+    /// system (§5.1 entangled resource transactions).
+    pub ground_on_partner_arrival: bool,
+    /// Solver atom-ordering strategy.
+    pub solver_order: AtomOrder,
+    /// Solver resource bounds.
+    pub search_limits: SearchLimits,
+    /// Record an event trace (commit/abort/ground events) for tests and
+    /// diagnostics.
+    pub record_events: bool,
+}
+
+impl Default for QuantumDbConfig {
+    fn default() -> Self {
+        QuantumDbConfig {
+            k: 61,
+            serializability: Serializability::default(),
+            policy: GroundingPolicy::default(),
+            partitioning: true,
+            use_solution_cache: true,
+            cache_solutions: 1,
+            ground_on_partner_arrival: true,
+            solver_order: AtomOrder::default(),
+            search_limits: SearchLimits::default(),
+            record_events: false,
+        }
+    }
+}
+
+impl QuantumDbConfig {
+    /// Config with a specific `k` (the common knob in the experiments).
+    pub fn with_k(k: usize) -> Self {
+        QuantumDbConfig {
+            k,
+            ..QuantumDbConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_prototype() {
+        let c = QuantumDbConfig::default();
+        assert_eq!(c.k, 61); // MySQL's max joins, §4
+        assert_eq!(c.serializability, Serializability::Semantic);
+        assert_eq!(c.policy, GroundingPolicy::FirstFit);
+        assert!(c.partitioning);
+        assert!(c.use_solution_cache);
+        assert_eq!(c.cache_solutions, 1);
+        assert!(c.ground_on_partner_arrival);
+    }
+
+    #[test]
+    fn with_k_overrides_only_k() {
+        let c = QuantumDbConfig::with_k(20);
+        assert_eq!(c.k, 20);
+        assert!(c.partitioning);
+    }
+}

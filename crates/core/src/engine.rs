@@ -1,0 +1,809 @@
+//! The quantum database engine (`QuantumDb`).
+//!
+//! State = extensional [`Database`] + partitions of pending resource
+//! transactions + per-partition solution caches + a WAL. See the crate
+//! docs for the operation semantics and the paper mapping.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use qdb_logic::codec::encode_transaction;
+use qdb_logic::{Atom, Formula, ParsedQuery, ResourceTransaction, Valuation, Var, VarGen};
+use qdb_solver::{CachedSolution, Solver, SolverStats, TxnSpec};
+use qdb_storage::{
+    ConjunctiveQuery, Database, LogRecord, Schema, Tuple, Wal, WriteOp,
+};
+
+use crate::config::QuantumDbConfig;
+use crate::entangle::coordination_partners;
+use crate::error::EngineError;
+use crate::ground::GroundReason;
+use crate::metrics::{Event, Metrics};
+use crate::partition::Partition;
+use crate::txn::{PendingTxn, TxnId};
+use crate::Result;
+
+/// Result of submitting a resource transaction.
+///
+/// `Committed` carries the §2 guarantee: *"the transaction will never need
+/// to be rolled back"* — a suitable resource exists now and the engine will
+/// keep it existing until the value assignment is fixed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// Admitted: at least one possible world satisfies all pending
+    /// transactions including this one.
+    Committed {
+        /// Engine-assigned transaction id.
+        id: TxnId,
+    },
+    /// Refused: admission would empty the set of possible worlds
+    /// (Definition 3.1's ∅ state, which normal execution must avoid).
+    Aborted,
+}
+
+impl SubmitOutcome {
+    /// The id, when committed.
+    pub fn id(&self) -> Option<TxnId> {
+        match self {
+            SubmitOutcome::Committed { id } => Some(*id),
+            SubmitOutcome::Aborted => None,
+        }
+    }
+
+    /// Did the transaction commit?
+    pub fn is_committed(&self) -> bool {
+        matches!(self, SubmitOutcome::Committed { .. })
+    }
+}
+
+/// The quantum database engine. Single-threaded core; see
+/// [`SharedQuantumDb`] for a thread-safe handle.
+pub struct QuantumDb {
+    pub(crate) db: Database,
+    pub(crate) partitions: std::collections::BTreeMap<u64, Partition>,
+    pub(crate) next_partition_id: u64,
+    pub(crate) next_txn_id: TxnId,
+    pub(crate) vargen: VarGen,
+    pub(crate) solver: Solver,
+    pub(crate) wal: Wal,
+    pub(crate) config: QuantumDbConfig,
+    pub(crate) metrics: Metrics,
+}
+
+impl std::fmt::Debug for QuantumDb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QuantumDb")
+            .field("tables", &self.db.tables().count())
+            .field("rows", &self.db.total_rows())
+            .field("partitions", &self.partitions.len())
+            .field("pending", &self.pending_count())
+            .field("next_txn_id", &self.next_txn_id)
+            .finish_non_exhaustive()
+    }
+}
+
+impl QuantumDb {
+    /// New engine over an in-memory WAL.
+    pub fn new(config: QuantumDbConfig) -> Result<Self> {
+        Ok(Self::with_wal(config, Wal::in_memory()))
+    }
+
+    /// New engine over a caller-provided WAL (e.g. file-backed).
+    pub fn with_wal(config: QuantumDbConfig, wal: Wal) -> Self {
+        let mut solver = Solver::new(config.solver_order);
+        solver.limits = config.search_limits;
+        QuantumDb {
+            db: Database::new(),
+            partitions: std::collections::BTreeMap::new(),
+            next_partition_id: 0,
+            next_txn_id: 0,
+            vargen: VarGen::new(),
+            solver,
+            wal,
+            config,
+            metrics: Metrics::default(),
+        }
+    }
+
+    // -- DDL & loading ------------------------------------------------------
+
+    /// Create a table (logged).
+    pub fn create_table(&mut self, schema: Schema) -> Result<()> {
+        self.db.create_table(schema.clone())?;
+        self.wal.append(&LogRecord::CreateTable(schema))?;
+        Ok(())
+    }
+
+    /// Create a secondary index (logged).
+    pub fn create_index(&mut self, relation: &str, column: usize) -> Result<()> {
+        self.db.table_mut(relation)?.create_index(column)?;
+        self.wal.append(&LogRecord::CreateIndex {
+            relation: relation.to_string(),
+            column: column as u32,
+        })?;
+        Ok(())
+    }
+
+    /// Insert a batch of rows. With no pending transactions this is a fast
+    /// path (plain inserts); otherwise each row goes through the
+    /// write-admission check.
+    pub fn bulk_insert(&mut self, relation: &str, tuples: Vec<Tuple>) -> Result<usize> {
+        let mut applied = 0;
+        if self.pending_count() == 0 {
+            for t in tuples {
+                if self.db.insert(relation, t.clone())? {
+                    self.wal.append(&LogRecord::Write(WriteOp::insert(relation, t)))?;
+                    applied += 1;
+                }
+            }
+        } else {
+            for t in tuples {
+                if self.write(WriteOp::insert(relation, t))? {
+                    applied += 1;
+                }
+            }
+        }
+        Ok(applied)
+    }
+
+    // -- Resource transactions ---------------------------------------------
+
+    /// Submit a resource transaction (§3.2.1).
+    ///
+    /// The body is checked for a consistent grounding given all pending
+    /// transactions it may interact with; on success the transaction
+    /// commits *without* assigning values (it becomes pending), the WAL
+    /// records it for durability, coordination partners are grounded if
+    /// configured (§5.1), and the `k` bound is enforced (§4).
+    pub fn submit(&mut self, txn: &ResourceTransaction) -> Result<SubmitOutcome> {
+        self.metrics.submitted += 1;
+        txn.validate()?;
+        self.validate_schema(txn)?;
+        let freshened = txn.freshen(&mut self.vargen);
+        let id = self.next_txn_id;
+
+        let Some(pid) = self.admit(id, freshened)? else {
+            self.metrics.aborted += 1;
+            if self.config.record_events {
+                self.metrics.events.push(Event::Aborted);
+            }
+            return Ok(SubmitOutcome::Aborted);
+        };
+        self.next_txn_id += 1;
+        self.metrics.committed += 1;
+        if self.config.record_events {
+            self.metrics.events.push(Event::Committed(id));
+        }
+
+        // §5.1: entangled resource transactions are grounded as soon as
+        // both coordination partners are in the system.
+        if self.config.ground_on_partner_arrival {
+            let partition = self
+                .partitions
+                .get(&pid)
+                .expect("admit returned live partition");
+            let new_txn = &partition
+                .txns
+                .iter()
+                .find(|p| p.id == id)
+                .expect("just admitted")
+                .txn;
+            let others: Vec<PendingTxn> = partition
+                .txns
+                .iter()
+                .filter(|p| p.id != id)
+                .cloned()
+                .collect();
+            let mut partners = coordination_partners(new_txn, &others);
+            if !partners.is_empty() {
+                partners.push(id);
+                self.ground_set(pid, &partners, GroundReason::Partner)?;
+            }
+        }
+
+        // §4: bound the composed body size.
+        self.enforce_k(pid)?;
+        // Table 1 counts a transaction as pending until its partner
+        // arrives, so the high-water mark is sampled after partner
+        // grounding and k-enforcement settle.
+        let total_pending = self.pending_count() as u64;
+        self.metrics.max_pending = self.metrics.max_pending.max(total_pending);
+        Ok(SubmitOutcome::Committed { id })
+    }
+
+    /// Admission: find the partitions the transaction may interact with,
+    /// check the invariant over their union + the newcomer, and (only on
+    /// success) merge and install. Returns the hosting partition id.
+    pub(crate) fn admit(&mut self, id: TxnId, txn: ResourceTransaction) -> Result<Option<u64>> {
+        self.admit_inner(id, txn, true)
+    }
+
+    /// Re-admit a transaction during recovery: same checks and placement,
+    /// but no WAL record (its `PendingAdd` is already in the log).
+    pub(crate) fn admit_recovered(&mut self, id: TxnId, txn: ResourceTransaction) -> Result<bool> {
+        Ok(self.admit_inner(id, txn, false)?.is_some())
+    }
+
+    fn admit_inner(
+        &mut self,
+        id: TxnId,
+        txn: ResourceTransaction,
+        log: bool,
+    ) -> Result<Option<u64>> {
+        let targets: Vec<u64> = if self.config.partitioning {
+            self.partitions
+                .iter()
+                .filter(|(_, p)| p.overlaps(&txn))
+                .map(|(&k, _)| k)
+                .collect()
+        } else {
+            self.partitions.keys().copied().collect()
+        };
+
+        // Merged view in arrival order, without touching the partitions.
+        let mut merged: Vec<(&PendingTxn, &Valuation)> = Vec::new();
+        for t in &targets {
+            let p = &self.partitions[t];
+            debug_assert_eq!(p.txns.len(), p.cache.len());
+            merged.extend(p.txns.iter().zip(p.cache.valuations.iter()));
+        }
+        merged.sort_by_key(|(p, _)| p.id);
+        let txn_refs: Vec<&ResourceTransaction> = merged.iter().map(|(p, _)| &p.txn).collect();
+
+        let mut admitted: Option<Vec<Valuation>> = None;
+        let mut admitted_pre_ops: Option<Vec<WriteOp>> = None;
+        if self.config.use_solution_cache {
+            // Extend the (merged) cached solution with the newcomer only.
+            let mut pre_ops = Vec::with_capacity(merged.len() * 2);
+            for (p, v) in &merged {
+                pre_ops.extend(p.txn.write_ops(v)?);
+            }
+            if let Some(sol) =
+                self.solver
+                    .solve(&self.db, &pre_ops, &[TxnSpec::required_only(&txn)])?
+            {
+                let mut vals: Vec<Valuation> =
+                    merged.iter().map(|(_, v)| (*v).clone()).collect();
+                vals.extend(sol.valuations);
+                admitted = Some(vals);
+                admitted_pre_ops = Some(pre_ops);
+                self.metrics.cache_extensions += 1;
+            } else if targets.len() == 1 {
+                // Multi-solution cache (§4 discussion): before a full
+                // re-solve, try each alternative cached solution of the
+                // single target partition.
+                let extras = self.partitions[&targets[0]].extras.clone();
+                for extra in extras {
+                    if extra.len() != merged.len() {
+                        continue; // stale shape
+                    }
+                    let mut alt_ops = Vec::with_capacity(merged.len() * 2);
+                    let mut ok = true;
+                    for ((p, _), v) in merged.iter().zip(&extra.valuations) {
+                        match p.txn.write_ops(v) {
+                            Ok(ops) => alt_ops.extend(ops),
+                            Err(_) => {
+                                ok = false;
+                                break;
+                            }
+                        }
+                    }
+                    if !ok {
+                        continue;
+                    }
+                    if let Some(sol) = self.solver.solve(
+                        &self.db,
+                        &alt_ops,
+                        &[TxnSpec::required_only(&txn)],
+                    )? {
+                        let mut vals = extra.valuations.clone();
+                        vals.extend(sol.valuations);
+                        admitted = Some(vals);
+                        admitted_pre_ops = Some(alt_ops);
+                        self.metrics.cache_extra_hits += 1;
+                        break;
+                    }
+                }
+            }
+        }
+        if admitted.is_none() {
+            // Full re-solve of the whole (merged + newcomer) sequence.
+            let mut specs: Vec<TxnSpec> =
+                txn_refs.iter().map(|t| TxnSpec::required_only(t)).collect();
+            specs.push(TxnSpec::required_only(&txn));
+            if let Some(sol) = self.solver.solve(&self.db, &[], &specs)? {
+                admitted = Some(sol.valuations);
+                self.metrics.cache_full_resolves += 1;
+            }
+        }
+        let Some(valuations) = admitted else {
+            return Ok(None);
+        };
+
+        // Install: destructively merge target partitions, append newcomer.
+        if targets.len() > 1 {
+            self.metrics.partition_merges += 1;
+            if self.config.record_events {
+                self.metrics.events.push(Event::PartitionsMerged {
+                    before: self.partitions.len(),
+                });
+            }
+        }
+        let mut host = Partition::new();
+        for t in &targets {
+            let p = self
+                .partitions
+                .remove(t)
+                .expect("target partition present");
+            host.merge(p);
+        }
+        // Durability: log the pending transaction *after* the
+        // satisfiability check, *before* acknowledging commit (§4).
+        if log {
+            self.wal.append(&LogRecord::PendingAdd {
+                id,
+                payload: encode_transaction(&txn),
+            })?;
+        }
+        host.txns.push(PendingTxn::new(id, txn));
+        host.cache = CachedSolution { valuations };
+        host.extras.clear();
+        // Opportunistically stock alternative solutions: same prefix,
+        // different groundings of the newcomer (cheap diversity where it
+        // matters most — the §4 "background process" idea folded into the
+        // admission path).
+        if self.config.cache_solutions > 1 {
+            if let Some(pre_ops) = admitted_pre_ops {
+                let newcomer = &host.txns.last().expect("just pushed").txn;
+                let alts = self.solver.enumerate_one(
+                    &self.db,
+                    &pre_ops,
+                    &TxnSpec::required_only(newcomer),
+                    self.config.cache_solutions,
+                )?;
+                let chosen = host.cache.valuations.last().expect("just pushed");
+                for alt in alts {
+                    if &alt == chosen || host.extras.len() + 1 >= self.config.cache_solutions {
+                        continue;
+                    }
+                    let mut vals = host.cache.valuations.clone();
+                    *vals.last_mut().expect("non-empty") = alt;
+                    host.extras.push(CachedSolution { valuations: vals });
+                }
+            }
+        }
+        debug_assert_eq!(host.txns.len(), host.cache.len());
+        let pid = self.next_partition_id;
+        self.next_partition_id += 1;
+        self.partitions.insert(pid, host);
+        Ok(Some(pid))
+    }
+
+    /// Ground the oldest pending transactions of `pid` until the partition
+    /// is within the `k` bound.
+    pub(crate) fn enforce_k(&mut self, pid: u64) -> Result<()> {
+        loop {
+            let Some(p) = self.partitions.get(&pid) else {
+                return Ok(()); // fully grounded and removed
+            };
+            if p.len() <= self.config.k {
+                return Ok(());
+            }
+            let oldest = p.txns[0].id;
+            self.ground_set(pid, &[oldest], GroundReason::KBound)?;
+        }
+    }
+
+    // -- Reads ---------------------------------------------------------------
+
+    /// Read with full collapse semantics (§3.2.2, option 3 — the paper's
+    /// default): pending transactions whose updates unify with the query
+    /// are grounded first; then the query is answered from the
+    /// extensional state, giving ordinary read-repeatability guarantees.
+    pub fn read(&mut self, atoms: &[Atom], limit: Option<usize>) -> Result<Vec<Valuation>> {
+        self.metrics.reads += 1;
+        // Conservative unification-based read check (grounding may expose
+        // further overlaps, so loop to a fixed point).
+        while let Some((pid, id)) = self.read_check_target(atoms) {
+            let partition = &self.partitions[&pid];
+            let target = partition
+                .txns
+                .iter()
+                .find(|p| p.id == id)
+                .expect("read check returned live txn");
+            // Pull in coordination partners so a read does not needlessly
+            // split a pair that could still coordinate.
+            let others: Vec<PendingTxn> = partition
+                .txns
+                .iter()
+                .filter(|p| p.id != id)
+                .cloned()
+                .collect();
+            let mut ids = coordination_partners(&target.txn, &others);
+            ids.push(id);
+            self.ground_set(pid, &ids, GroundReason::Read)?;
+        }
+        self.eval_query(atoms, limit)
+    }
+
+    /// Parse-and-read convenience over [`QuantumDb::read`].
+    pub fn query(&mut self, text: &str) -> Result<Vec<Valuation>> {
+        let parsed = qdb_logic::parse_query(text)?;
+        self.read(&parsed.atoms, None)
+    }
+
+    /// Read the query against a parsed representation (gives access to the
+    /// query's variables for interpreting results).
+    pub fn read_parsed(
+        &mut self,
+        parsed: &ParsedQuery,
+        limit: Option<usize>,
+    ) -> Result<Vec<Valuation>> {
+        self.read(&parsed.atoms, limit)
+    }
+
+    /// Peek semantics (§3.2.2, option 2): answer the query against *one*
+    /// possible world — the cached solution — without fixing anything.
+    /// The returned values carry no stability guarantee.
+    pub fn read_peek(&mut self, atoms: &[Atom], limit: Option<usize>) -> Result<Vec<Valuation>> {
+        let mut world = self.db.clone();
+        for p in self.partitions.values() {
+            let refs = p.txn_refs();
+            for op in p.cache.pending_ops(&refs)? {
+                world.apply(&op)?;
+            }
+        }
+        eval_on(&world, atoms, limit)
+    }
+
+    /// All-possible-values semantics (§3.2.2, option 1): enumerate possible
+    /// worlds (bounded) and return the distinct answer sets across them.
+    /// Exposes the uncertainty to the caller.
+    pub fn read_possible(
+        &mut self,
+        atoms: &[Atom],
+        world_bound: usize,
+    ) -> Result<Vec<Vec<Valuation>>> {
+        let mut pending: Vec<&PendingTxn> = self
+            .partitions
+            .values()
+            .flat_map(|p| p.txns.iter())
+            .collect();
+        pending.sort_by_key(|p| p.id);
+        let txns: Vec<&ResourceTransaction> = pending.iter().map(|p| &p.txn).collect();
+        let worlds = crate::worlds::enumerate_worlds(&self.db, &txns, world_bound)?;
+        let mut distinct: BTreeSet<Vec<Valuation>> = BTreeSet::new();
+        for w in &worlds.worlds {
+            distinct.insert(eval_on(w, atoms, None)?);
+        }
+        Ok(distinct.into_iter().collect())
+    }
+
+    fn read_check_target(&self, atoms: &[Atom]) -> Option<(u64, TxnId)> {
+        for (&pid, p) in &self.partitions {
+            for pt in &p.txns {
+                if pt
+                    .txn
+                    .updates
+                    .iter()
+                    .any(|u| atoms.iter().any(|qa| qa.may_overlap(&u.atom)))
+                {
+                    return Some((pid, pt.id));
+                }
+            }
+        }
+        None
+    }
+
+    fn eval_query(&self, atoms: &[Atom], limit: Option<usize>) -> Result<Vec<Valuation>> {
+        eval_on(&self.db, atoms, limit)
+    }
+
+    // -- Writes ---------------------------------------------------------------
+
+    /// A blind non-resource write (§3.2.2 "Writes"). Returns `Ok(true)`
+    /// when applied; `Ok(false)` when rejected because it would leave some
+    /// pending transaction without a consistent grounding.
+    pub fn write(&mut self, op: WriteOp) -> Result<bool> {
+        let as_atom = Atom::new(
+            op.relation(),
+            op.tuple().iter().map(|v| qdb_logic::Term::Const(v.clone())).collect(),
+        );
+        // Partitions whose pending state the write could interact with.
+        let affected: Vec<u64> = self
+            .partitions
+            .iter()
+            .filter(|(_, p)| {
+                p.txns.iter().any(|pt| {
+                    pt.txn
+                        .body
+                        .iter()
+                        .map(|b| &b.atom)
+                        .chain(pt.txn.updates.iter().map(|u| &u.atom))
+                        .any(|a| a.may_overlap(&as_atom))
+                })
+            })
+            .map(|(&k, _)| k)
+            .collect();
+
+        let changed = self.db.apply(&op)?;
+        if affected.is_empty() {
+            if changed {
+                self.wal.append(&LogRecord::Write(op))?;
+                self.metrics.writes_applied += 1;
+            }
+            return Ok(true);
+        }
+
+        // Re-validate every affected partition against the new base.
+        let mut new_caches: Vec<(u64, Option<CachedSolution>)> = Vec::new();
+        let mut ok = true;
+        for pid in &affected {
+            let p = &self.partitions[pid];
+            let refs = p.txn_refs();
+            if p.cache.verify(&mut self.solver, &self.db, &refs)? {
+                new_caches.push((*pid, None)); // cache still good
+                continue;
+            }
+            match CachedSolution::resolve(&mut self.solver, &self.db, &refs)? {
+                Some(cache) => new_caches.push((*pid, Some(cache))),
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if !ok {
+            // Undo and reject.
+            if changed {
+                self.db.apply(&op.inverse())?;
+            }
+            self.metrics.writes_rejected += 1;
+            if self.config.record_events {
+                self.metrics.events.push(Event::WriteRejected);
+            }
+            return Ok(false);
+        }
+        for (pid, cache) in new_caches {
+            let p = self
+                .partitions
+                .get_mut(&pid)
+                .expect("affected partition present");
+            // The base changed under this partition: alternatives are no
+            // longer known-good.
+            p.extras.clear();
+            if let Some(c) = cache {
+                p.cache = c;
+            }
+        }
+        if changed {
+            self.wal.append(&LogRecord::Write(op))?;
+            self.metrics.writes_applied += 1;
+        }
+        Ok(true)
+    }
+
+    // -- Grounding ------------------------------------------------------------
+
+    /// Explicitly ground one pending transaction (application-directed
+    /// collapse). Returns `false` when the id is not pending.
+    pub fn ground(&mut self, id: TxnId) -> Result<bool> {
+        let Some((pid, _)) = self.find_txn(id) else {
+            return Ok(false);
+        };
+        self.ground_set(pid, &[id], GroundReason::Explicit)?;
+        Ok(true)
+    }
+
+    /// Ground everything — collapse the quantum state entirely.
+    #[allow(clippy::while_let_loop)] // two fallible bindings per iteration
+    pub fn ground_all(&mut self) -> Result<()> {
+        let pids: Vec<u64> = self.partitions.keys().copied().collect();
+        for pid in pids {
+            loop {
+                let Some(p) = self.partitions.get(&pid) else {
+                    break;
+                };
+                let Some(head) = p.txns.first() else {
+                    break;
+                };
+                let head_id = head.id;
+                self.ground_set(pid, &[head_id], GroundReason::Explicit)?;
+            }
+        }
+        Ok(())
+    }
+
+    // -- Introspection ----------------------------------------------------------
+
+    /// The extensional database (tuples fixed so far).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Engine configuration.
+    pub fn config(&self) -> &QuantumDbConfig {
+        &self.config
+    }
+
+    /// Engine metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Reset metrics (between experiment phases).
+    pub fn reset_metrics(&mut self) {
+        self.metrics.reset();
+        self.solver.reset_stats();
+    }
+
+    /// Solver statistics.
+    pub fn solver_stats(&self) -> &SolverStats {
+        self.solver.stats()
+    }
+
+    /// Number of pending (committed, unground) transactions.
+    pub fn pending_count(&self) -> usize {
+        self.partitions.values().map(Partition::len).sum()
+    }
+
+    /// Ids of pending transactions in arrival order.
+    pub fn pending_ids(&self) -> Vec<TxnId> {
+        let mut ids: Vec<TxnId> = self
+            .partitions
+            .values()
+            .flat_map(|p| p.txns.iter().map(|t| t.id))
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Number of independent partitions.
+    pub fn partition_count(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// The composed body formula (Theorem 3.5) of the partition hosting
+    /// transaction `id` — diagnostics for "what does the quantum state
+    /// look like".
+    pub fn composed_body(&self, id: TxnId) -> Option<Formula> {
+        let (pid, _) = self.find_txn(id)?;
+        let refs = self.partitions[&pid].txn_refs();
+        Some(qdb_logic::compose_renamed(&refs))
+    }
+
+    /// Size of the WAL in bytes.
+    pub fn wal_size(&self) -> u64 {
+        self.wal.size_bytes()
+    }
+
+    /// Raw WAL image (crash-recovery tests snapshot this to simulate a
+    /// machine failure at an arbitrary point).
+    pub fn wal_image(&mut self) -> Vec<u8> {
+        self.wal
+            .sink_mut()
+            .read_all()
+            .expect("in-memory sinks cannot fail; file sinks report I/O errors on read")
+    }
+
+    /// Append a checkpoint marker to the WAL.
+    pub fn checkpoint(&mut self) -> Result<()> {
+        self.wal.append(&LogRecord::Checkpoint)?;
+        Ok(())
+    }
+
+    /// Wrap into a thread-safe shared handle.
+    pub fn into_shared(self) -> SharedQuantumDb {
+        SharedQuantumDb {
+            inner: Arc::new(parking_lot::Mutex::new(self)),
+        }
+    }
+
+    pub(crate) fn find_txn(&self, id: TxnId) -> Option<(u64, usize)> {
+        for (&pid, p) in &self.partitions {
+            if let Some(pos) = p.position(id) {
+                return Some((pid, pos));
+            }
+        }
+        None
+    }
+
+    fn validate_schema(&self, txn: &ResourceTransaction) -> Result<()> {
+        let atoms = txn
+            .body
+            .iter()
+            .map(|b| &b.atom)
+            .chain(txn.updates.iter().map(|u| &u.atom));
+        for atom in atoms {
+            let table = self.db.table(&atom.relation)?;
+            if table.schema().arity() != atom.arity() {
+                return Err(EngineError::Storage(
+                    qdb_storage::StorageError::ArityMismatch {
+                        relation: atom.relation.to_string(),
+                        expected: table.schema().arity(),
+                        got: atom.arity(),
+                    },
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Evaluate a conjunctive query (logic atoms) against a concrete database.
+pub(crate) fn eval_on(
+    db: &Database,
+    atoms: &[Atom],
+    limit: Option<usize>,
+) -> Result<Vec<Valuation>> {
+    let empty = Valuation::new();
+    let patterns = atoms.iter().map(|a| a.to_pattern(&empty)).collect();
+    let mut q = ConjunctiveQuery::new(patterns);
+    if let Some(l) = limit {
+        q = q.with_limit(l);
+    }
+    let out = q.eval(db)?;
+    // Map numeric binding ids back to logic variables.
+    let mut by_id: std::collections::BTreeMap<u32, Var> = std::collections::BTreeMap::new();
+    for a in atoms {
+        for v in a.vars() {
+            by_id.entry(v.id()).or_insert_with(|| v.clone());
+        }
+    }
+    Ok(out
+        .bindings
+        .into_iter()
+        .map(|b| {
+            b.into_iter()
+                .map(|(id, value)| (by_id[&id].clone(), value))
+                .collect()
+        })
+        .collect())
+}
+
+/// A cloneable, thread-safe handle around [`QuantumDb`].
+///
+/// The paper's prototype is a single middle-tier service; concurrent
+/// clients serialize on this lock exactly as they would on the prototype's
+/// single composed-body state.
+#[derive(Clone)]
+pub struct SharedQuantumDb {
+    inner: Arc<parking_lot::Mutex<QuantumDb>>,
+}
+
+impl SharedQuantumDb {
+    /// Submit a resource transaction.
+    pub fn submit(&self, txn: &ResourceTransaction) -> Result<SubmitOutcome> {
+        self.inner.lock().submit(txn)
+    }
+
+    /// Collapse-read.
+    pub fn read(&self, atoms: &[Atom], limit: Option<usize>) -> Result<Vec<Valuation>> {
+        self.inner.lock().read(atoms, limit)
+    }
+
+    /// Blind write.
+    pub fn write(&self, op: WriteOp) -> Result<bool> {
+        self.inner.lock().write(op)
+    }
+
+    /// Ground everything.
+    pub fn ground_all(&self) -> Result<()> {
+        self.inner.lock().ground_all()
+    }
+
+    /// Pending count snapshot.
+    pub fn pending_count(&self) -> usize {
+        self.inner.lock().pending_count()
+    }
+
+    /// Metrics snapshot.
+    pub fn metrics(&self) -> Metrics {
+        self.inner.lock().metrics().clone()
+    }
+
+    /// Run a closure with exclusive access to the engine.
+    pub fn with<R>(&self, f: impl FnOnce(&mut QuantumDb) -> R) -> R {
+        f(&mut self.inner.lock())
+    }
+}

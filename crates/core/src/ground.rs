@@ -1,0 +1,526 @@
+//! Grounding: fixing value assignments for pending transactions (§3.2.3).
+//!
+//! Grounding a transaction `Ti` means choosing a concrete valuation for its
+//! variables, executing its update portion against the extensional
+//! database, and removing it from the pending list — while keeping the
+//! remaining pending transactions satisfiable.
+//!
+//! Two orders are supported (configured by
+//! [`crate::Serializability`]):
+//!
+//! * **Strict** — ground `T0..Ti` in arrival order (the §3.2.3 "naïve
+//!   approach"; classical serializability, over-constrains early).
+//! * **Semantic** — move `Ti` to the *front* of the pending order,
+//!   checking that the remaining formula stays satisfiable (the practical
+//!   strategy of §3.2.3). When the front-move fails, fall back to strict.
+//!
+//! Optional atoms are maximized at grounding time (§2: "if there is an
+//! assignment that satisfies optional as well as non-optional atoms, that
+//! assignment is chosen"): promotion subsets are tried largest-first.
+
+use qdb_logic::Valuation;
+use qdb_solver::{Overlay, TxnSpec};
+
+use crate::engine::QuantumDb;
+use crate::txn::TxnId;
+use crate::Result;
+
+/// Why a grounding happened (drives metrics and the event trace).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroundReason {
+    /// A read's unification check hit this transaction (§3.2.2).
+    Read,
+    /// The partition exceeded the `k` bound (§4).
+    KBound,
+    /// A coordination partner arrived (§5.1).
+    Partner,
+    /// The application asked explicitly.
+    Explicit,
+}
+
+impl std::fmt::Display for GroundReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GroundReason::Read => write!(f, "read"),
+            GroundReason::KBound => write!(f, "k-bound"),
+            GroundReason::Partner => write!(f, "partner"),
+            GroundReason::Explicit => write!(f, "explicit"),
+        }
+    }
+}
+
+/// Enumerate promotion sets for a group of transactions, best (most
+/// optionals) first. Each element is one `Vec<usize>` of promoted body
+/// indexes per transaction in group order.
+///
+/// For a single transaction, all subsets of its optional atoms are tried
+/// in decreasing size (capped); for groups, promotion is all-or-none per
+/// transaction (the combinatorics stay tiny and the workloads' optional
+/// atoms come in all-or-nothing bundles anyway).
+pub(crate) fn promotion_sets(optionals: &[Vec<usize>]) -> Vec<Vec<Vec<usize>>> {
+    const MAX_SINGLE_SUBSETS: usize = 64;
+    if optionals.len() == 1 {
+        let opts = &optionals[0];
+        let n = opts.len().min(6); // 2^6 = 64 subsets max
+        let mut subsets: Vec<Vec<usize>> = (0..(1usize << n))
+            .map(|mask| {
+                opts.iter()
+                    .enumerate()
+                    .filter(|(i, _)| mask >> i & 1 == 1)
+                    .map(|(_, &idx)| idx)
+                    .collect()
+            })
+            .collect();
+        subsets.sort_by_key(|s| std::cmp::Reverse(s.len()));
+        subsets.truncate(MAX_SINGLE_SUBSETS);
+        subsets.into_iter().map(|s| vec![s]).collect()
+    } else {
+        let m = optionals.len().min(6);
+        let mut masks: Vec<usize> = (0..(1usize << m)).collect();
+        // Most promoted atoms first; ties prefer promoting *later*
+        // transactions (higher mask bits) — later transactions can ground
+        // their optional atoms on earlier pending inserts, the common
+        // coordination shape.
+        masks.sort_by_key(|&mask| {
+            let total: usize = optionals
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i < m && mask >> i & 1 == 1)
+                .map(|(_, o)| o.len())
+                .sum();
+            (std::cmp::Reverse(total), std::cmp::Reverse(mask))
+        });
+        let mut combos: Vec<Vec<Vec<usize>>> = masks
+            .into_iter()
+            .map(|mask| {
+                optionals
+                    .iter()
+                    .enumerate()
+                    .map(|(i, opts)| {
+                        if i < m && mask >> i & 1 == 1 {
+                            opts.clone()
+                        } else {
+                            Vec::new()
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        // Transactions without optional atoms make distinct masks produce
+        // identical combos — drop the duplicates.
+        let mut seen: std::collections::BTreeSet<Vec<Vec<usize>>> = std::collections::BTreeSet::new();
+        combos.retain(|c| seen.insert(c.clone()));
+        combos
+    }
+}
+
+/// Score a candidate grounding for flexibility: after applying `ops`, sum
+/// over the remaining pending transactions of the bottleneck candidate
+/// count of their required atoms. Higher = more room left = closer to
+/// "maximize the remaining number of possible worlds".
+pub(crate) fn flexibility_score(
+    base: &qdb_storage::Database,
+    ops: &[qdb_storage::WriteOp],
+    rest: &[TxnSpec<'_>],
+) -> Result<usize> {
+    let mut overlay = Overlay::new();
+    for op in ops {
+        if !overlay.try_apply(base, op) {
+            return Ok(0); // conflicting candidate: worthless
+        }
+    }
+    let mut score = 0usize;
+    for spec in rest {
+        let mut bottleneck = usize::MAX;
+        for atom in spec.atoms() {
+            let bound: Vec<Option<qdb_storage::Value>> = atom
+                .terms
+                .iter()
+                .map(|t| t.as_const().cloned())
+                .collect();
+            let n = overlay
+                .count(base, &atom.relation, &bound)
+                .map_err(crate::EngineError::from)?;
+            bottleneck = bottleneck.min(n);
+        }
+        if bottleneck != usize::MAX {
+            score += bottleneck;
+        }
+    }
+    Ok(score)
+}
+
+/// A tiny deterministic xorshift generator for
+/// [`crate::GroundingPolicy::Random`] (keeps `qdb-core` free of the `rand`
+/// dependency).
+#[derive(Debug, Clone)]
+pub(crate) struct XorShift(pub u64);
+
+impl XorShift {
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        let mut x = self.0.max(1);
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    /// Fisher–Yates shuffle.
+    pub(crate) fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = (self.next_u64() % (i as u64 + 1)) as usize;
+            items.swap(i, j);
+        }
+    }
+}
+
+/// Outcome of grounding a group: valuations chosen for the group (in group
+/// order) and the refreshed cache valuations for the remaining pending
+/// transactions.
+#[derive(Debug)]
+pub(crate) struct GroupGrounding {
+    pub group_vals: Vec<Valuation>,
+    pub rest_vals: Vec<Valuation>,
+    pub promoted_counts: Vec<usize>,
+}
+
+impl QuantumDb {
+    /// Ground the pending transactions `ids` (must all live in partition
+    /// `pid`), honoring the configured serializability and grounding
+    /// policy. See module docs.
+    pub(crate) fn ground_set(
+        &mut self,
+        pid: u64,
+        ids: &[TxnId],
+        reason: GroundReason,
+    ) -> Result<()> {
+        // §5.1: fixing a transaction fixes its coordination partners with
+        // it — whoever is "in the system" when values are assigned gets to
+        // coordinate. Expand the group by one level of partnership.
+        let ids: Vec<TxnId> = {
+            let Some(p) = self.partitions.get(&pid) else {
+                return Ok(());
+            };
+            let mut out: std::collections::BTreeSet<TxnId> = ids.iter().copied().collect();
+            let seeds: Vec<&crate::PendingTxn> = p
+                .txns
+                .iter()
+                .filter(|t| out.contains(&t.id))
+                .collect();
+            for seed in seeds {
+                for other in &p.txns {
+                    if !out.contains(&other.id)
+                        && (crate::entangle::coordinates_with(&seed.txn, &other.txn)
+                            || crate::entangle::coordinates_with(&other.txn, &seed.txn))
+                    {
+                        out.insert(other.id);
+                    }
+                }
+            }
+            out.into_iter().collect()
+        };
+        match self.config.serializability {
+            crate::Serializability::Semantic => {
+                if self.ground_group_front(pid, &ids, reason)? {
+                    return Ok(());
+                }
+                // Front-move unsatisfiable in this order: fall back.
+                self.ground_strict_through(pid, &ids, reason)
+            }
+            crate::Serializability::Strict => self.ground_strict_through(pid, &ids, reason),
+        }
+    }
+
+    /// Strict serializability: repeatedly ground the partition *head* (in
+    /// arrival order) until every requested id has been grounded — the
+    /// §3.2.3 "naïve approach".
+    pub(crate) fn ground_strict_through(
+        &mut self,
+        pid: u64,
+        ids: &[TxnId],
+        reason: GroundReason,
+    ) -> Result<()> {
+        loop {
+            let Some(p) = self.partitions.get(&pid) else {
+                return Ok(()); // partition fully grounded and removed
+            };
+            let outstanding = ids.iter().any(|id| p.position(*id).is_some());
+            if !outstanding {
+                return Ok(());
+            }
+            let head = p.txns.first().expect("non-empty partition").id;
+            if !self.ground_group_front(pid, &[head], reason)? {
+                return Err(crate::EngineError::Invariant(
+                    "head grounding failed although the invariant guarantees a \
+                     sequence-order grounding"
+                        .into(),
+                ));
+            }
+        }
+    }
+
+    /// Move the group `ids` (in arrival order) to the front of the pending
+    /// order and ground it jointly, maximizing satisfied optional atoms,
+    /// subject to the remaining pending transactions staying satisfiable.
+    /// Returns `false` if no promotion set admits a front-move grounding.
+    pub(crate) fn ground_group_front(
+        &mut self,
+        pid: u64,
+        ids: &[TxnId],
+        reason: GroundReason,
+    ) -> Result<bool> {
+        let idset: std::collections::BTreeSet<TxnId> = ids.iter().copied().collect();
+        let (group, rest, rest_cached): (
+            Vec<crate::PendingTxn>,
+            Vec<crate::PendingTxn>,
+            Vec<Valuation>,
+        ) = {
+            let Some(p) = self.partitions.get(&pid) else {
+                return Ok(true); // nothing left to ground
+            };
+            let mut group = Vec::new();
+            let mut rest = Vec::new();
+            let mut rest_cached = Vec::new();
+            for (t, v) in p.txns.iter().zip(&p.cache.valuations) {
+                if idset.contains(&t.id) {
+                    group.push(t.clone());
+                } else {
+                    rest.push(t.clone());
+                    rest_cached.push(v.clone());
+                }
+            }
+            (group, rest, rest_cached)
+        };
+        if group.is_empty() {
+            return Ok(true); // all already grounded in an earlier cascade
+        }
+        let optionals: Vec<Vec<usize>> = group
+            .iter()
+            .map(|p| {
+                p.txn
+                    .body
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, b)| b.optional)
+                    .map(|(i, _)| i)
+                    .collect()
+            })
+            .collect();
+        for promo in promotion_sets(&optionals) {
+            if let Some(gg) = self.solve_group(&group, &rest, &rest_cached, &promo)? {
+                self.apply_grounding(pid, &group, gg, reason)?;
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Find a grounding for `group` executed before `rest`, with the given
+    /// per-transaction promotions. Applies the configured
+    /// [`crate::GroundingPolicy`] when the group is a single transaction.
+    fn solve_group(
+        &mut self,
+        group: &[crate::PendingTxn],
+        rest: &[crate::PendingTxn],
+        rest_cached: &[Valuation],
+        promo: &[Vec<usize>],
+    ) -> Result<Option<GroupGrounding>> {
+        let group_specs: Vec<TxnSpec> = group
+            .iter()
+            .zip(promo)
+            .map(|(p, pr)| TxnSpec::with_promoted(&p.txn, pr.clone()))
+            .collect();
+        let rest_specs: Vec<TxnSpec> = rest
+            .iter()
+            .map(|p| TxnSpec::required_only(&p.txn))
+            .collect();
+        let promoted_counts: Vec<usize> = promo.iter().map(Vec::len).collect();
+
+        let sample = match self.config.policy {
+            crate::GroundingPolicy::FirstFit => 0,
+            crate::GroundingPolicy::MaxFlexibility { sample } => sample,
+            crate::GroundingPolicy::Random { sample, .. } => sample,
+        };
+        if group.len() == 1 && sample > 1 {
+            // Enumerate alternatives for the single target, order them per
+            // policy, and take the first whose residue stays satisfiable.
+            let mut cands =
+                self.solver
+                    .enumerate_one(&self.db, &[], &group_specs[0], sample)?;
+            match self.config.policy {
+                crate::GroundingPolicy::MaxFlexibility { .. } => {
+                    let mut scored: Vec<(usize, Valuation)> = Vec::with_capacity(cands.len());
+                    for cand in cands {
+                        let ops = group[0].txn.write_ops(&cand)?;
+                        let score = flexibility_score(&self.db, &ops, &rest_specs)?;
+                        scored.push((score, cand));
+                    }
+                    scored.sort_by_key(|(score, _)| std::cmp::Reverse(*score));
+                    cands = scored.into_iter().map(|(_, c)| c).collect();
+                }
+                crate::GroundingPolicy::Random { seed, .. } => {
+                    let mut rng = XorShift(seed ^ (group[0].id.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+                    rng.shuffle(&mut cands);
+                }
+                crate::GroundingPolicy::FirstFit => unreachable!("sample > 1"),
+            }
+            for cand in cands {
+                let ops = group[0].txn.write_ops(&cand)?;
+                if let Some(sol) = self.solver.solve(&self.db, &ops, &rest_specs)? {
+                    return Ok(Some(GroupGrounding {
+                        group_vals: vec![cand],
+                        rest_vals: sol.valuations,
+                        promoted_counts,
+                    }));
+                }
+            }
+            return Ok(None);
+        }
+
+        // Fast path: solve the group alone, then check whether the
+        // *cached* residue groundings survive the group's updates — the §4
+        // solution-cache amortization applied to grounding. Falls through
+        // to a joint re-solve when the cached residue breaks.
+        if let Some(gsol) = self.solver.solve(&self.db, &[], &group_specs)? {
+            let mut pre_ops = Vec::new();
+            for (p, v) in group.iter().zip(&gsol.valuations) {
+                pre_ops.extend(p.txn.write_ops(v)?);
+            }
+            if self
+                .solver
+                .verify(&self.db, &pre_ops, &rest_specs, rest_cached)?
+            {
+                return Ok(Some(GroupGrounding {
+                    group_vals: gsol.valuations,
+                    rest_vals: rest_cached.to_vec(),
+                    promoted_counts,
+                }));
+            }
+        } else {
+            // The group alone (with these promotions) is unsatisfiable —
+            // the joint solve below cannot succeed either.
+            return Ok(None);
+        }
+
+        // FirstFit (or joint group): one solve over group ++ rest.
+        let mut all = group_specs;
+        all.extend(rest_specs);
+        match self.solver.solve(&self.db, &[], &all)? {
+            Some(sol) => {
+                let mut vals = sol.valuations;
+                let rest_vals = vals.split_off(group.len());
+                Ok(Some(GroupGrounding {
+                    group_vals: vals,
+                    rest_vals,
+                    promoted_counts,
+                }))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Execute a found grounding: apply and log the group's updates,
+    /// remove the group from the partition, refresh the cache with the
+    /// residue valuations.
+    fn apply_grounding(
+        &mut self,
+        pid: u64,
+        group: &[crate::PendingTxn],
+        gg: GroupGrounding,
+        reason: GroundReason,
+    ) -> Result<()> {
+        debug_assert_eq!(group.len(), gg.group_vals.len());
+        for ((pt, val), promoted) in group
+            .iter()
+            .zip(&gg.group_vals)
+            .zip(&gg.promoted_counts)
+        {
+            let ops = pt.txn.write_ops(val)?;
+            for op in &ops {
+                self.db.apply(op)?;
+            }
+            // One atomic frame per transaction: concrete writes + removal
+            // from the pending table cannot be torn apart by a crash.
+            self.wal.append(&qdb_storage::LogRecord::Ground {
+                id: pt.id,
+                ops: ops.clone(),
+            })?;
+            self.metrics.record_ground(reason);
+            let total = pt.txn.optional_body().count();
+            self.metrics.optionals_satisfied += *promoted as u64;
+            self.metrics.optionals_total += total as u64;
+            if self.config.record_events {
+                self.metrics.events.push(crate::Event::Grounded {
+                    id: pt.id,
+                    reason,
+                    optionals_satisfied: *promoted,
+                    optionals_total: total,
+                });
+            }
+        }
+        let idset: std::collections::BTreeSet<TxnId> =
+            group.iter().map(|p| p.id).collect();
+        let p = self
+            .partitions
+            .get_mut(&pid)
+            .expect("partition existed at solve time");
+        p.txns.retain(|t| !idset.contains(&t.id));
+        p.cache = qdb_solver::CachedSolution {
+            valuations: gg.rest_vals,
+        };
+        p.extras.clear(); // positional alternatives are stale now
+        debug_assert_eq!(p.txns.len(), p.cache.len());
+        if p.is_empty() {
+            self.partitions.remove(&pid);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_txn_promotions_are_subsets_desc() {
+        let sets = promotion_sets(&[vec![2, 4]]);
+        assert_eq!(sets.len(), 4);
+        assert_eq!(sets[0], vec![vec![2, 4]]);
+        assert_eq!(sets[3], vec![Vec::<usize>::new()]);
+        // Sizes never increase.
+        let sizes: Vec<usize> = sets.iter().map(|c| c[0].len()).collect();
+        assert!(sizes.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn group_promotions_all_or_none_per_txn() {
+        let sets = promotion_sets(&[vec![1], vec![3, 4]]);
+        assert_eq!(sets.len(), 4);
+        // Best first: both fully promoted.
+        assert_eq!(sets[0], vec![vec![1], vec![3, 4]]);
+        // Worst last: nothing promoted.
+        assert_eq!(sets[3], vec![Vec::<usize>::new(), Vec::<usize>::new()]);
+    }
+
+    #[test]
+    fn promotion_sets_cap_explosion() {
+        let many: Vec<usize> = (0..20).collect();
+        let sets = promotion_sets(&[many]);
+        assert!(sets.len() <= 64);
+    }
+
+    #[test]
+    fn xorshift_is_deterministic_and_shuffles() {
+        let mut a = XorShift(42);
+        let mut b = XorShift(42);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut items: Vec<u32> = (0..10).collect();
+        let mut rng = XorShift(7);
+        rng.shuffle(&mut items);
+        let mut sorted = items.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..10).collect::<Vec<u32>>());
+        assert_ne!(items, (0..10).collect::<Vec<u32>>()); // overwhelmingly likely
+    }
+}

@@ -1,0 +1,149 @@
+//! Engine metrics and event trace.
+//!
+//! The evaluation section measures commits, coordination successes,
+//! grounding causes and time split between reads and updates — these
+//! counters are what `qdb-workload`'s experiment runner reads out.
+
+use crate::ground::GroundReason;
+use crate::txn::TxnId;
+
+/// A notable engine event (recorded when
+/// [`crate::QuantumDbConfig::record_events`] is on).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A resource transaction committed (the §2 guarantee: it will achieve
+    /// its goal; it will never be rolled back).
+    Committed(TxnId),
+    /// A resource transaction was refused admission (its addition would
+    /// empty the set of possible worlds).
+    Aborted,
+    /// A pending transaction was grounded.
+    Grounded {
+        /// Which transaction.
+        id: TxnId,
+        /// Why it was grounded.
+        reason: GroundReason,
+        /// How many of its optional atoms the chosen assignment satisfied.
+        optionals_satisfied: usize,
+        /// How many optional atoms it had.
+        optionals_total: usize,
+    },
+    /// A blind write was rejected (it would invalidate pending state).
+    WriteRejected,
+    /// Two or more partitions merged on transaction arrival.
+    PartitionsMerged {
+        /// Partition count before the merge.
+        before: usize,
+    },
+}
+
+/// Cumulative counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Resource transactions submitted.
+    pub submitted: u64,
+    /// Resource transactions committed.
+    pub committed: u64,
+    /// Resource transactions aborted at admission.
+    pub aborted: u64,
+    /// Reads served.
+    pub reads: u64,
+    /// Blind writes applied.
+    pub writes_applied: u64,
+    /// Blind writes rejected.
+    pub writes_rejected: u64,
+    /// Groundings by reason.
+    pub grounded_by_read: u64,
+    /// Groundings forced by the `k` bound.
+    pub grounded_by_k: u64,
+    /// Groundings triggered by coordination-partner arrival (§5.1).
+    pub grounded_by_partner: u64,
+    /// Explicit groundings requested by the application.
+    pub grounded_explicit: u64,
+    /// Admissions resolved by extending the cached solution.
+    pub cache_extensions: u64,
+    /// Admissions rescued by an *alternative* cached solution after the
+    /// primary failed to extend (multi-solution cache, §4 discussion).
+    pub cache_extra_hits: u64,
+    /// Admissions that needed a full re-solve.
+    pub cache_full_resolves: u64,
+    /// Partition merges.
+    pub partition_merges: u64,
+    /// Pending transactions high-water mark (Table 1's measure).
+    pub max_pending: u64,
+    /// Optional atoms satisfied at grounding time, summed.
+    pub optionals_satisfied: u64,
+    /// Optional atoms present on grounded transactions, summed.
+    pub optionals_total: u64,
+    /// Event trace (empty unless `record_events`).
+    pub events: Vec<Event>,
+}
+
+impl Metrics {
+    /// Record a grounding.
+    pub(crate) fn record_ground(&mut self, reason: GroundReason) {
+        match reason {
+            GroundReason::Read => self.grounded_by_read += 1,
+            GroundReason::KBound => self.grounded_by_k += 1,
+            GroundReason::Partner => self.grounded_by_partner += 1,
+            GroundReason::Explicit => self.grounded_explicit += 1,
+        }
+    }
+
+    /// Total groundings.
+    pub fn grounded_total(&self) -> u64 {
+        self.grounded_by_read + self.grounded_by_k + self.grounded_by_partner + self.grounded_explicit
+    }
+
+    /// Reset all counters and the trace.
+    pub fn reset(&mut self) {
+        *self = Metrics::default();
+    }
+}
+
+impl std::fmt::Display for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "submitted={} committed={} aborted={} reads={} grounded(read/k/partner/explicit)={}/{}/{}/{} cache(ext/full)={}/{} max_pending={}",
+            self.submitted,
+            self.committed,
+            self.aborted,
+            self.reads,
+            self.grounded_by_read,
+            self.grounded_by_k,
+            self.grounded_by_partner,
+            self.grounded_explicit,
+            self.cache_extensions,
+            self.cache_full_resolves,
+            self.max_pending,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ground_reasons_routed_to_counters() {
+        let mut m = Metrics::default();
+        m.record_ground(GroundReason::Read);
+        m.record_ground(GroundReason::KBound);
+        m.record_ground(GroundReason::KBound);
+        m.record_ground(GroundReason::Partner);
+        m.record_ground(GroundReason::Explicit);
+        assert_eq!(m.grounded_by_read, 1);
+        assert_eq!(m.grounded_by_k, 2);
+        assert_eq!(m.grounded_by_partner, 1);
+        assert_eq!(m.grounded_explicit, 1);
+        assert_eq!(m.grounded_total(), 5);
+        m.reset();
+        assert_eq!(m.grounded_total(), 0);
+    }
+
+    #[test]
+    fn display_is_single_line() {
+        assert!(!Metrics::default().to_string().contains('\n'));
+    }
+}

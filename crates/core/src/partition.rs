@@ -1,0 +1,204 @@
+//! Independence partitioning (§4 "Quantum State").
+//!
+//! *"Some resource transactions are totally independent of each other,
+//! i.e., there is no unification possible between them … The system
+//! partitions the resource transactions accordingly into independent sets
+//! and maintains a separate composed transaction body for each set."*
+//!
+//! Two transactions are dependent when any atom of one may denote the same
+//! tuple as any atom of the other (same relation, no clashing constants —
+//! the conservative `may_overlap` test). A new transaction that overlaps
+//! several partitions forces them to merge (the paper's window-seat /
+//! aisle-seat example).
+
+use qdb_logic::{Atom, ResourceTransaction};
+use qdb_solver::CachedSolution;
+
+use crate::txn::PendingTxn;
+
+/// One independent set of pending transactions plus its cached solution.
+#[derive(Debug, Clone, Default)]
+pub struct Partition {
+    /// Pending transactions in arrival order.
+    pub txns: Vec<PendingTxn>,
+    /// One known-consistent grounding, parallel to `txns`.
+    pub cache: CachedSolution,
+    /// Alternative cached groundings (§4's multi-solution strategy; see
+    /// [`crate::QuantumDbConfig::cache_solutions`]). Invalidated whenever
+    /// the partition or the base database changes shape.
+    pub extras: Vec<CachedSolution>,
+}
+
+impl Partition {
+    /// Empty partition.
+    pub fn new() -> Self {
+        Partition::default()
+    }
+
+    /// Number of pending transactions.
+    pub fn len(&self) -> usize {
+        self.txns.len()
+    }
+
+    /// True when no transactions are pending.
+    pub fn is_empty(&self) -> bool {
+        self.txns.is_empty()
+    }
+
+    /// Transaction references in arrival order (the shape the solver
+    /// APIs take).
+    pub fn txn_refs(&self) -> Vec<&ResourceTransaction> {
+        self.txns.iter().map(|p| &p.txn).collect()
+    }
+
+    /// Could `txn` interact with this partition? Conservative unifiability
+    /// check across all atoms (body and updates) of both sides.
+    pub fn overlaps(&self, txn: &ResourceTransaction) -> bool {
+        self.txns.iter().any(|p| transactions_overlap(&p.txn, txn))
+    }
+
+    /// Merge `other` into `self`, keeping global arrival order. Because
+    /// partitions are independent (no unifiable atoms), the union of their
+    /// cached groundings remains consistent; entries are interleaved to
+    /// stay parallel with the transaction order.
+    pub fn merge(&mut self, other: Partition) {
+        let mut txns = Vec::with_capacity(self.len() + other.len());
+        let mut cache = Vec::with_capacity(self.len() + other.len());
+        let mut a = std::mem::take(&mut self.txns)
+            .into_iter()
+            .zip(std::mem::take(&mut self.cache.valuations))
+            .peekable();
+        let mut b = other
+            .txns
+            .into_iter()
+            .zip(other.cache.valuations)
+            .peekable();
+        loop {
+            let take_a = match (a.peek(), b.peek()) {
+                (Some((ta, _)), Some((tb, _))) => ta.id < tb.id,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            let (t, v) = if take_a {
+                a.next().expect("peeked")
+            } else {
+                b.next().expect("peeked")
+            };
+            txns.push(t);
+            cache.push(v);
+        }
+        self.txns = txns;
+        self.cache = CachedSolution { valuations: cache };
+        // Alternative solutions are positional; a merge invalidates them.
+        self.extras.clear();
+    }
+
+    /// Position of a transaction by id.
+    pub fn position(&self, id: u64) -> Option<usize> {
+        self.txns.iter().position(|p| p.id == id)
+    }
+
+    /// Remove the transaction at `index`, returning it and its cached
+    /// grounding.
+    pub fn remove(&mut self, index: usize) -> (PendingTxn, qdb_logic::Valuation) {
+        let txn = self.txns.remove(index);
+        let val = self.cache.remove(index);
+        (txn, val)
+    }
+}
+
+/// Conservative dependence test between two transactions.
+///
+/// Dependence requires a potential **write/read or write/write** conflict:
+/// an *update* atom of one side may-overlapping any atom of the other.
+/// Body atoms over relations neither transaction writes (e.g. the shared
+/// read-only `Adjacent` table) unify freely without creating dependence —
+/// this is what lets the system "correctly identify the independence of
+/// queries between different flights" (§5.3) even though every booking
+/// reads the same adjacency relation.
+pub fn transactions_overlap(a: &ResourceTransaction, b: &ResourceTransaction) -> bool {
+    let updates_vs_atoms = |x: &ResourceTransaction, y: &ResourceTransaction| {
+        x.updates
+            .iter()
+            .any(|u| all_atoms(y).any(|ya| u.atom.may_overlap(ya)))
+    };
+    updates_vs_atoms(a, b) || updates_vs_atoms(b, a)
+}
+
+fn all_atoms(t: &ResourceTransaction) -> impl Iterator<Item = &Atom> + '_ {
+    t.body
+        .iter()
+        .map(|b| &b.atom)
+        .chain(t.updates.iter().map(|u| &u.atom))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdb_logic::parse_transaction;
+    use qdb_logic::Valuation;
+
+    fn book_flight(f: i64, name: &str) -> ResourceTransaction {
+        parse_transaction(&format!(
+            "-Available({f}, s), +Bookings('{name}', {f}, s) :-1 Available({f}, s)"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn different_flights_are_independent() {
+        let t1 = book_flight(1, "M");
+        let t2 = book_flight(2, "D");
+        assert!(!transactions_overlap(&t1, &t2));
+        // Unconstrained flight overlaps both.
+        let t3 = parse_transaction(
+            "-Available(f, s), +Bookings('G', f, s) :-1 Available(f, s)",
+        )
+        .unwrap();
+        assert!(transactions_overlap(&t1, &t3));
+        assert!(transactions_overlap(&t2, &t3));
+    }
+
+    #[test]
+    fn partition_overlap_and_position() {
+        let mut p = Partition::new();
+        p.txns.push(PendingTxn::new(4, book_flight(1, "M")));
+        p.cache.valuations.push(Valuation::new());
+        assert!(p.overlaps(&book_flight(1, "D")));
+        assert!(!p.overlaps(&book_flight(2, "D")));
+        assert_eq!(p.position(4), Some(0));
+        assert_eq!(p.position(9), None);
+    }
+
+    #[test]
+    fn merge_preserves_arrival_order() {
+        let mut p1 = Partition::new();
+        let mut p2 = Partition::new();
+        for id in [1u64, 5, 7] {
+            p1.txns.push(PendingTxn::new(id, book_flight(1, "A")));
+            p1.cache.valuations.push(Valuation::new());
+        }
+        for id in [2u64, 3, 9] {
+            p2.txns.push(PendingTxn::new(id, book_flight(2, "B")));
+            p2.cache.valuations.push(Valuation::new());
+        }
+        p1.merge(p2);
+        let ids: Vec<u64> = p1.txns.iter().map(|t| t.id).collect();
+        assert_eq!(ids, vec![1, 2, 3, 5, 7, 9]);
+        assert_eq!(p1.cache.len(), 6);
+    }
+
+    #[test]
+    fn remove_keeps_cache_parallel() {
+        let mut p = Partition::new();
+        for id in [1u64, 2] {
+            p.txns.push(PendingTxn::new(id, book_flight(1, "A")));
+            p.cache.valuations.push(Valuation::new());
+        }
+        let (t, _v) = p.remove(0);
+        assert_eq!(t.id, 1);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.cache.len(), 1);
+    }
+}

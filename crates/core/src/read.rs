@@ -1,0 +1,69 @@
+//! Read checks (§3.2.2 "Reads").
+//!
+//! *"A simple practical solution is to use a conservative criterion based
+//! on unifiability. If a relational atom in our incoming read query
+//! unifies with a pending update `Ui` from a transaction `Ti`, the values
+//! involved in that transaction are fixed."*
+//!
+//! The engine loops this check to a fixed point, since grounding one
+//! transaction changes the extensional state the rest are measured
+//! against. The check is deliberately conservative — precise information
+//! disclosure through views is Πᵖ₂-complete (§3.2.2).
+
+use qdb_logic::{Atom, ResourceTransaction};
+
+/// Would answering a query over `atoms` require fixing `txn`'s values?
+/// True when any pending update atom may denote a tuple the query could
+/// touch.
+pub fn read_affects(txn: &ResourceTransaction, atoms: &[Atom]) -> bool {
+    txn.updates
+        .iter()
+        .any(|u| atoms.iter().any(|qa| qa.may_overlap(&u.atom)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdb_logic::{parse_query, parse_transaction};
+
+    fn mickey() -> ResourceTransaction {
+        parse_transaction(
+            "-Available(f, s), +Bookings('Mickey', f, s) :-1 Available(f, s)",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn own_booking_read_hits_the_txn() {
+        let q = parse_query("Bookings('Mickey', f, s)").unwrap();
+        assert!(read_affects(&mickey(), &q.atoms));
+    }
+
+    #[test]
+    fn other_users_booking_read_does_not() {
+        // Constants clash on the name column: Donald's read cannot be
+        // affected by Mickey's pending insert…
+        let q = parse_query("Bookings('Donald', f, s)").unwrap();
+        assert!(!read_affects(&mickey(), &q.atoms));
+    }
+
+    #[test]
+    fn table_wide_read_hits_everything() {
+        // …but a read of the full Bookings table fixes it (§3.2.2 warns
+        // that such general reads cause many groundings).
+        let q = parse_query("Bookings(n, f, s)").unwrap();
+        assert!(read_affects(&mickey(), &q.atoms));
+    }
+
+    #[test]
+    fn availability_reads_hit_the_delete_side() {
+        let q = parse_query("Available(123, s)").unwrap();
+        assert!(read_affects(&mickey(), &q.atoms));
+    }
+
+    #[test]
+    fn unrelated_relation_is_untouched() {
+        let q = parse_query("Hotels(h)").unwrap();
+        assert!(!read_affects(&mickey(), &q.atoms));
+    }
+}

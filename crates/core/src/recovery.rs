@@ -1,0 +1,192 @@
+//! Quantum-state recovery (§4 "Recovery").
+//!
+//! *"During recovery, a quantum database module restores the in-memory
+//! quantum state to what it was before the crash based on the pending
+//! transactions table."* Storage replays the WAL into the extensional
+//! database and yields the still-pending serialized transactions; this
+//! module re-parses them, re-partitions them and re-solves the solution
+//! caches. A pending transaction that can no longer be grounded means the
+//! log is not a valid engine history — recovery fails loudly rather than
+//! silently dropping a committed transaction (commits must never roll
+//! back, §2).
+
+use qdb_logic::codec::decode_transaction;
+use qdb_storage::Wal;
+
+use crate::config::QuantumDbConfig;
+use crate::engine::QuantumDb;
+use crate::error::EngineError;
+use crate::Result;
+
+impl QuantumDb {
+    /// Rebuild an engine from a WAL (typically after a crash). The torn
+    /// tail, if any, is truncated so the recovered engine can keep
+    /// appending.
+    pub fn recover(wal: Wal, config: QuantumDbConfig) -> Result<QuantumDb> {
+        let state = qdb_storage::recover(&wal)?;
+        let mut qdb = QuantumDb::with_wal(config, wal);
+        if qdb.wal.size_bytes() > state.consumed_bytes {
+            qdb.wal.truncate_to(state.consumed_bytes)?;
+        }
+        qdb.db = state.db;
+        for (id, payload) in state.pending {
+            let txn =
+                decode_transaction(&payload).map_err(EngineError::Logic)?;
+            // Keep the global variable space ahead of every recovered id.
+            for v in txn.vars() {
+                qdb.vargen.reserve_through(v.id());
+            }
+            // Re-admit without re-logging (the PendingAdd record is
+            // already in the WAL) and without side effects (partner
+            // grounding / k-enforcement happened, if at all, pre-crash and
+            // left their own records).
+            let admitted = qdb.admit_recovered(id, txn)?;
+            if !admitted {
+                return Err(EngineError::RecoveryUnsatisfiable { txn: id });
+            }
+            qdb.next_txn_id = qdb.next_txn_id.max(id + 1);
+        }
+        Ok(qdb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SubmitOutcome;
+    use qdb_logic::parse_transaction;
+    use qdb_storage::wal::MemorySink;
+    use qdb_storage::{tuple, Schema, ValueType};
+
+    fn build_engine() -> QuantumDb {
+        let mut qdb = QuantumDb::new(QuantumDbConfig::default()).unwrap();
+        qdb.create_table(Schema::new(
+            "Available",
+            vec![("flight", ValueType::Int), ("seat", ValueType::Str)],
+        ))
+        .unwrap();
+        qdb.create_table(Schema::new(
+            "Bookings",
+            vec![
+                ("name", ValueType::Str),
+                ("flight", ValueType::Int),
+                ("seat", ValueType::Str),
+            ],
+        ))
+        .unwrap();
+        qdb.create_index("Available", 0).unwrap();
+        qdb.bulk_insert(
+            "Available",
+            vec![tuple![1, "1A"], tuple![1, "1B"], tuple![2, "1A"]],
+        )
+        .unwrap();
+        qdb
+    }
+
+    fn book(name: &str, flight: i64) -> qdb_logic::ResourceTransaction {
+        parse_transaction(&format!(
+            "-Available({flight}, s), +Bookings('{name}', {flight}, s) :-1 Available({flight}, s)"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn recovery_restores_pending_state() {
+        let mut qdb = build_engine();
+        let id1 = qdb.submit(&book("Mickey", 1)).unwrap().id().unwrap();
+        let _id2 = qdb.submit(&book("Donald", 2)).unwrap().id().unwrap();
+        assert_eq!(qdb.pending_count(), 2);
+        assert_eq!(qdb.partition_count(), 2); // flights 1 and 2 independent
+
+        // "Crash": rebuild from the WAL image.
+        let image = qdb.wal.sink_mut().read_all().unwrap();
+        let wal = Wal::with_sink(Box::new(MemorySink::from_bytes(image)));
+        let mut recovered = QuantumDb::recover(wal, QuantumDbConfig::default()).unwrap();
+
+        assert_eq!(recovered.pending_count(), 2);
+        assert_eq!(recovered.partition_count(), 2);
+        assert_eq!(
+            crate::worlds::world_fingerprint(recovered.database()),
+            crate::worlds::world_fingerprint(qdb.database()),
+        );
+        // The recovered engine keeps functioning: ground Mickey and read
+        // his seat.
+        assert!(recovered.ground(id1).unwrap());
+        let rows = recovered.query("Bookings('Mickey', f, s)").unwrap();
+        assert_eq!(rows.len(), 1);
+        // And admits new transactions with fresh ids.
+        let out = recovered.submit(&book("Pluto", 1)).unwrap();
+        assert!(matches!(out, SubmitOutcome::Committed { .. }));
+        assert!(out.id().unwrap() >= 2);
+    }
+
+    #[test]
+    fn recovery_after_grounding_has_no_pending() {
+        let mut qdb = build_engine();
+        qdb.submit(&book("Mickey", 1)).unwrap();
+        qdb.ground_all().unwrap();
+        let image = qdb.wal.sink_mut().read_all().unwrap();
+        let wal = Wal::with_sink(Box::new(MemorySink::from_bytes(image)));
+        let recovered = QuantumDb::recover(wal, QuantumDbConfig::default()).unwrap();
+        assert_eq!(recovered.pending_count(), 0);
+        assert_eq!(
+            recovered.database().table("Bookings").unwrap().len(),
+            1,
+            "grounded booking must survive the crash"
+        );
+    }
+
+    #[test]
+    fn torn_tail_recovers_to_prefix_and_truncates() {
+        let mut qdb = build_engine();
+        qdb.submit(&book("Mickey", 1)).unwrap();
+        let good = qdb.wal.size_bytes();
+        qdb.submit(&book("Donald", 1)).unwrap();
+        let image = qdb.wal.sink_mut().read_all().unwrap();
+        // Crash mid-record of Donald's PendingAdd.
+        let torn = &image[..(good as usize + 3)];
+        let wal = Wal::with_sink(Box::new(MemorySink::from_bytes(torn.to_vec())));
+        let mut recovered = QuantumDb::recover(wal, QuantumDbConfig::default()).unwrap();
+        assert_eq!(recovered.pending_count(), 1, "only Mickey survived");
+        assert_eq!(recovered.wal.size_bytes(), good, "tail truncated");
+        // Appending after truncation yields a clean log.
+        recovered.checkpoint().unwrap();
+        let (records, consumed) =
+            qdb_storage::wal::replay_bytes(&recovered.wal.sink_mut().read_all().unwrap())
+                .unwrap();
+        assert_eq!(consumed, recovered.wal.size_bytes());
+        assert!(matches!(
+            records.last(),
+            Some(qdb_storage::LogRecord::Checkpoint)
+        ));
+    }
+
+    #[test]
+    fn recovery_rejects_inconsistent_history() {
+        // Hand-craft a log whose pending transaction cannot ground: a
+        // booking on a flight with no seats.
+        let mut wal = Wal::in_memory();
+        wal.append(&qdb_storage::LogRecord::CreateTable(Schema::new(
+            "Available",
+            vec![("flight", ValueType::Int), ("seat", ValueType::Str)],
+        )))
+        .unwrap();
+        wal.append(&qdb_storage::LogRecord::CreateTable(Schema::new(
+            "Bookings",
+            vec![
+                ("name", ValueType::Str),
+                ("flight", ValueType::Int),
+                ("seat", ValueType::Str),
+            ],
+        )))
+        .unwrap();
+        let txn = book("Ghost", 9);
+        wal.append(&qdb_storage::LogRecord::PendingAdd {
+            id: 0,
+            payload: qdb_logic::codec::encode_transaction(&txn),
+        })
+        .unwrap();
+        let err = QuantumDb::recover(wal, QuantumDbConfig::default()).unwrap_err();
+        assert!(matches!(err, EngineError::RecoveryUnsatisfiable { txn: 0 }));
+    }
+}

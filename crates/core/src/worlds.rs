@@ -1,0 +1,251 @@
+//! Explicit possible-worlds semantics (§3.1, Figure 2).
+//!
+//! The quantum database represents its possible worlds *intensionally*;
+//! this module materializes them *extensionally* by explicit forking —
+//! exactly the thought experiment of §3.1 ("suppose the system finds all
+//! possible values that could be assigned … and forks the database state
+//! into several possible worlds"). Exponential, therefore only for small
+//! instances: it powers [`crate::QuantumDb::read_possible`], the Figure 2
+//! example, and the property tests that cross-validate the solver against
+//! the possible-worlds semantics (intensional SAT ⟺ non-empty world set).
+
+use std::collections::BTreeSet;
+
+use qdb_logic::ResourceTransaction;
+use qdb_solver::{Solver, TxnSpec};
+use qdb_storage::Database;
+
+use crate::Result;
+
+/// A materialized set of possible worlds.
+#[derive(Debug)]
+pub struct WorldSet {
+    /// The distinct worlds (deduplicated by content).
+    pub worlds: Vec<Database>,
+    /// True when enumeration stopped at the bound — `worlds` is then a
+    /// subset of the true world set.
+    pub truncated: bool,
+}
+
+impl WorldSet {
+    /// Number of (distinct) worlds.
+    pub fn len(&self) -> usize {
+        self.worlds.len()
+    }
+
+    /// True when the set of possible worlds is empty — the ∅ quantum state
+    /// that normal execution must avoid (Definition 3.1).
+    pub fn is_empty(&self) -> bool {
+        self.worlds.is_empty()
+    }
+}
+
+/// A canonical content fingerprint of a database (tables in name order,
+/// rows in key order) — used to deduplicate and compare worlds.
+pub fn world_fingerprint(db: &Database) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    for table in db.tables() {
+        let _ = write!(out, "{}[", table.schema().relation());
+        for row in table.iter() {
+            let _ = write!(out, "{row}");
+        }
+        out.push(']');
+    }
+    out
+}
+
+/// Enumerate the possible worlds of `base` under the pending sequence
+/// `txns` (arrival order), by explicit forking. Stops (with
+/// `truncated = true`) once more than `bound` worlds are live.
+///
+/// Only non-optional body atoms constrain the forking, matching the
+/// engine invariant; optional-atom preferences affect which world the
+/// engine *picks*, not which worlds are possible.
+pub fn enumerate_worlds(
+    base: &Database,
+    txns: &[&ResourceTransaction],
+    bound: usize,
+) -> Result<WorldSet> {
+    let mut solver = Solver::default();
+    let mut worlds: Vec<Database> = vec![base.clone()];
+    for txn in txns {
+        let mut next: Vec<Database> = Vec::new();
+        for w in &worlds {
+            let groundings =
+                solver.enumerate_one(w, &[], &TxnSpec::required_only(txn), bound + 1)?;
+            for val in groundings {
+                let mut forked = w.clone();
+                for op in txn.write_ops(&val)? {
+                    forked.apply(&op)?;
+                }
+                next.push(forked);
+                if next.len() > bound {
+                    return Ok(WorldSet {
+                        worlds: dedup(next),
+                        truncated: true,
+                    });
+                }
+            }
+        }
+        worlds = next;
+        if worlds.is_empty() {
+            break; // no world survives: the sequence is unsatisfiable
+        }
+    }
+    Ok(WorldSet {
+        worlds: dedup(worlds),
+        truncated: false,
+    })
+}
+
+fn dedup(worlds: Vec<Database>) -> Vec<Database> {
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    worlds
+        .into_iter()
+        .filter(|w| seen.insert(world_fingerprint(w)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdb_logic::parse_transaction;
+    use qdb_storage::{tuple, Schema, ValueType};
+
+    /// Figure 2's setup: one flight (123) with three seats 1A, 1B, 1C.
+    fn figure2_db() -> Database {
+        let mut db = Database::new();
+        db.create_table(Schema::new(
+            "Available",
+            vec![("flight", ValueType::Int), ("seat", ValueType::Str)],
+        ))
+        .unwrap();
+        db.create_table(Schema::new(
+            "Bookings",
+            vec![
+                ("name", ValueType::Str),
+                ("flight", ValueType::Int),
+                ("seat", ValueType::Str),
+            ],
+        ))
+        .unwrap();
+        db.create_table(Schema::new(
+            "Adjacent",
+            vec![("s1", ValueType::Str), ("s2", ValueType::Str)],
+        ))
+        .unwrap();
+        for s in ["1A", "1B", "1C"] {
+            db.insert("Available", tuple![123, s]).unwrap();
+        }
+        for (a, b) in [("1A", "1B"), ("1B", "1A"), ("1B", "1C"), ("1C", "1B")] {
+            db.insert("Adjacent", tuple![a, b]).unwrap();
+        }
+        db
+    }
+
+    fn book(name: &str) -> ResourceTransaction {
+        parse_transaction(&format!(
+            "-Available(f, s), +Bookings('{name}', f, s) :-1 Available(f, s)"
+        ))
+        .unwrap()
+    }
+
+    /// Minnie requires (hard constraint, for the world-counting of Fig. 2's
+    /// final panel) a seat adjacent to Mickey's.
+    fn book_next_to(name: &str, partner: &str) -> ResourceTransaction {
+        parse_transaction(&format!(
+            "-Available(f, s), +Bookings('{name}', f, s) :-1 \
+             Available(f, s), Bookings('{partner}', f, s2), Adjacent(s, s2)"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn figure2_world_evolution() {
+        let db = figure2_db();
+        let mickey = book("Mickey");
+        let donald = book("Donald");
+        let minnie = book_next_to("Minnie", "Mickey");
+
+        // After Mickey: 3 possible worlds (one per seat).
+        let w1 = enumerate_worlds(&db, &[&mickey], 100).unwrap();
+        assert_eq!(w1.len(), 3);
+        // After Donald: 3 × 2 = 6 worlds.
+        let w2 = enumerate_worlds(&db, &[&mickey, &donald], 100).unwrap();
+        assert_eq!(w2.len(), 6);
+        // Minnie must sit next to Mickey: eliminates worlds where no seat
+        // adjacent to Mickey's is free. Mickey 1A → Donald must not hold
+        // 1B... enumerate: only groundings where the remaining seat is
+        // adjacent to Mickey's survive. By symmetry: Mickey seat X, Donald
+        // and Minnie split the rest with Minnie adjacent to X.
+        let w3 = enumerate_worlds(&db, &[&mickey, &donald, &minnie], 100).unwrap();
+        assert!(!w3.is_empty());
+        // Check every surviving world seats Minnie adjacent to Mickey.
+        for w in &w3.worlds {
+            let bookings = w.table("Bookings").unwrap();
+            let seat_of = |n: &str| {
+                bookings
+                    .iter()
+                    .find(|t| t[0].as_str() == Some(n))
+                    .map(|t| t[2].as_str().unwrap().to_string())
+                    .unwrap()
+            };
+            let m = seat_of("Mickey");
+            let mi = seat_of("Minnie");
+            assert!(w.contains(
+                "Adjacent",
+                &tuple![mi.as_str(), m.as_str()]
+            ));
+        }
+        // Mickey on 1A or 1C forces Minnie onto 1B; Mickey on 1B lets
+        // Minnie take 1A or 1C: 4 worlds total.
+        assert_eq!(w3.len(), 4);
+        assert!(!w3.truncated);
+    }
+
+    #[test]
+    fn overbooking_empties_the_world_set() {
+        let db = figure2_db();
+        let txns: Vec<ResourceTransaction> = (0..4).map(|i| book(&format!("U{i}"))).collect();
+        let refs: Vec<&ResourceTransaction> = txns.iter().collect();
+        let ws = enumerate_worlds(&db, &refs, 1000).unwrap();
+        assert!(ws.is_empty());
+    }
+
+    #[test]
+    fn bound_truncates_safely() {
+        let db = figure2_db();
+        let mickey = book("Mickey");
+        let donald = book("Donald");
+        let ws = enumerate_worlds(&db, &[&mickey, &donald], 2).unwrap();
+        assert!(ws.truncated);
+        assert!(ws.len() <= 3);
+    }
+
+    #[test]
+    fn fingerprints_detect_equal_content() {
+        let db = figure2_db();
+        let mut db2 = figure2_db();
+        assert_eq!(world_fingerprint(&db), world_fingerprint(&db2));
+        db2.delete("Available", &tuple![123, "1A"]).unwrap();
+        assert_ne!(world_fingerprint(&db), world_fingerprint(&db2));
+    }
+
+    /// The key semantic cross-check: the solver's satisfiability answer
+    /// agrees with non-emptiness of the explicit world set.
+    #[test]
+    fn solver_agrees_with_world_semantics() {
+        let db = figure2_db();
+        for n in 1..=4 {
+            let txns: Vec<ResourceTransaction> =
+                (0..n).map(|i| book(&format!("U{i}"))).collect();
+            let refs: Vec<&ResourceTransaction> = txns.iter().collect();
+            let ws = enumerate_worlds(&db, &refs, 10_000).unwrap();
+            let mut solver = Solver::default();
+            let specs: Vec<TxnSpec> = refs.iter().map(|t| TxnSpec::required_only(t)).collect();
+            let sat = solver.solve(&db, &[], &specs).unwrap().is_some();
+            assert_eq!(sat, !ws.is_empty(), "disagreement at n={n}");
+        }
+    }
+}

@@ -1,0 +1,191 @@
+#![allow(clippy::field_reassign_with_default)]
+//! Property tests for the engine: the intensional representation must
+//! agree with explicit possible-worlds semantics, commits must never be
+//! rolled back, and crash recovery must land on a valid state.
+
+use proptest::prelude::*;
+use qdb_core::{enumerate_worlds, QuantumDb, QuantumDbConfig};
+use qdb_logic::{parse_transaction, ResourceTransaction};
+use qdb_storage::wal::MemorySink;
+use qdb_storage::{tuple, Schema, ValueType, Wal};
+
+fn schema_engine(seats: &[(i64, &str)], config: QuantumDbConfig) -> QuantumDb {
+    let mut qdb = QuantumDb::new(config).unwrap();
+    qdb.create_table(Schema::new(
+        "Available",
+        vec![("flight", ValueType::Int), ("seat", ValueType::Str)],
+    ))
+    .unwrap();
+    qdb.create_table(Schema::new(
+        "Bookings",
+        vec![
+            ("name", ValueType::Str),
+            ("flight", ValueType::Int),
+            ("seat", ValueType::Str),
+        ],
+    ))
+    .unwrap();
+    qdb.bulk_insert(
+        "Available",
+        seats.iter().map(|(f, s)| tuple![*f, *s]).collect(),
+    )
+    .unwrap();
+    qdb
+}
+
+/// A random booking: user i, flight either fixed or free.
+fn arb_booking() -> impl Strategy<Value = (String, Option<i64>)> {
+    ("[A-Z]{1}[0-9]{2}", prop::option::of(1i64..3))
+}
+
+fn booking_txn(name: &str, flight: Option<i64>) -> ResourceTransaction {
+    match flight {
+        Some(f) => parse_transaction(&format!(
+            "-Available({f}, s), +Bookings('{name}', {f}, s) :-1 Available({f}, s)"
+        ))
+        .unwrap(),
+        None => parse_transaction(&format!(
+            "-Available(f, s), +Bookings('{name}', f, s) :-1 Available(f, s)"
+        ))
+        .unwrap(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Admission agrees with possible-worlds semantics: a transaction
+    /// commits iff adding it leaves the (explicitly enumerated) world set
+    /// non-empty.
+    #[test]
+    fn admission_matches_world_semantics(
+        bookings in prop::collection::vec(arb_booking(), 1..7),
+    ) {
+        let seats = [(1i64, "1A"), (1, "1B"), (2, "2A"), (2, "2B")];
+        let mut cfg = QuantumDbConfig::default();
+        cfg.ground_on_partner_arrival = false;
+        let mut qdb = schema_engine(&seats, cfg);
+        let base = qdb.database().clone();
+        let mut accepted: Vec<ResourceTransaction> = Vec::new();
+        for (i, (name, flight)) in bookings.iter().enumerate() {
+            let txn = booking_txn(&format!("{name}{i}"), *flight);
+            // Oracle: worlds for accepted-so-far + candidate.
+            let mut seq: Vec<&ResourceTransaction> = accepted.iter().collect();
+            seq.push(&txn);
+            let worlds = enumerate_worlds(&base, &seq, 10_000).unwrap();
+            let outcome = qdb.submit(&txn).unwrap();
+            prop_assert_eq!(
+                outcome.is_committed(),
+                !worlds.is_empty(),
+                "engine and world semantics disagree at step {}", i
+            );
+            if outcome.is_committed() {
+                accepted.push(txn);
+            }
+        }
+    }
+
+    /// The §2 guarantee: every committed transaction eventually grounds —
+    /// ground_all always succeeds and produces exactly one booking per
+    /// committed transaction, drawn from the available pool.
+    #[test]
+    fn commits_always_ground(
+        bookings in prop::collection::vec(arb_booking(), 1..10),
+        k in 1usize..5,
+    ) {
+        let seats = [(1i64, "1A"), (1, "1B"), (1, "1C"), (2, "2A"), (2, "2B")];
+        let mut qdb = schema_engine(&seats, QuantumDbConfig::with_k(k));
+        let mut committed = 0usize;
+        for (i, (name, flight)) in bookings.iter().enumerate() {
+            if qdb
+                .submit(&booking_txn(&format!("{name}{i}"), *flight))
+                .unwrap()
+                .is_committed()
+            {
+                committed += 1;
+            }
+        }
+        qdb.ground_all().unwrap();
+        prop_assert_eq!(qdb.pending_count(), 0);
+        let booked = qdb.database().table("Bookings").unwrap().len();
+        prop_assert_eq!(booked, committed);
+        // Conservation: every grounded booking consumed one seat.
+        let left = qdb.database().table("Available").unwrap().len();
+        prop_assert_eq!(left, seats.len() - committed);
+    }
+
+    /// Interleaved reads never lose a committed booking, and repeated
+    /// reads are stable (read repeatability of §3.2.2 option 3).
+    #[test]
+    fn reads_are_repeatable_and_lossless(
+        ops in prop::collection::vec((arb_booking(), any::<bool>()), 1..10),
+    ) {
+        let seats = [(1i64, "1A"), (1, "1B"), (1, "1C"), (2, "2A"), (2, "2B")];
+        let mut qdb = schema_engine(&seats, QuantumDbConfig::default());
+        let mut committed_names: Vec<String> = Vec::new();
+        for (i, ((name, flight), read_back)) in ops.iter().enumerate() {
+            let user = format!("{name}{i}");
+            let outcome = qdb.submit(&booking_txn(&user, *flight)).unwrap();
+            if outcome.is_committed() {
+                committed_names.push(user.clone());
+            }
+            if *read_back && outcome.is_committed() {
+                let q = qdb_logic::parse_query(
+                    &format!("Bookings('{user}', f, s)")).unwrap();
+                let first = qdb.read_parsed(&q, None).unwrap();
+                prop_assert_eq!(first.len(), 1);
+                let second = qdb.read_parsed(&q, None).unwrap();
+                prop_assert_eq!(first, second);
+            }
+        }
+        qdb.ground_all().unwrap();
+        for user in &committed_names {
+            let q = qdb_logic::parse_query(
+                &format!("Bookings('{user}', f, s)")).unwrap();
+            prop_assert_eq!(qdb.read_parsed(&q, None).unwrap().len(), 1);
+        }
+    }
+
+    /// Crash anywhere: recovery from any byte-prefix of the WAL either
+    /// succeeds with a consistent engine (all recovered pending
+    /// transactions groundable) or the prefix cuts mid-frame and recovery
+    /// just sees fewer records. It must never produce an unsatisfiable
+    /// state from a log the engine actually wrote.
+    #[test]
+    fn crash_recovery_any_prefix(
+        bookings in prop::collection::vec(arb_booking(), 1..8),
+        cut_frac in 0.0f64..1.0,
+        k in 1usize..4,
+    ) {
+        let seats = [(1i64, "1A"), (1, "1B"), (2, "2A"), (2, "2B")];
+        let mut qdb = schema_engine(&seats, QuantumDbConfig::with_k(k));
+        for (i, (name, flight)) in bookings.iter().enumerate() {
+            let _ = qdb.submit(&booking_txn(&format!("{name}{i}"), *flight)).unwrap();
+        }
+        let image = qdb.with_wal_image();
+        let cut = ((image.len() as f64) * cut_frac) as usize;
+        // Frame-aligned state only: recovery handles torn tails itself.
+        let wal = Wal::with_sink(Box::new(MemorySink::from_bytes(image[..cut].to_vec())));
+        let mut rec = QuantumDb::recover(wal, QuantumDbConfig::with_k(k)).unwrap();
+        // The recovered engine is operational and all pending ground.
+        rec.ground_all().unwrap();
+        prop_assert_eq!(rec.pending_count(), 0);
+    }
+}
+
+/// Helper: expose the WAL image for the crash test.
+trait WalImage {
+    fn with_wal_image(&mut self) -> Vec<u8>;
+}
+
+impl WalImage for QuantumDb {
+    fn with_wal_image(&mut self) -> Vec<u8> {
+        // Recover → rebuild: the engine exposes its WAL via recovery
+        // plumbing; easiest correct way is a checkpoint then reading the
+        // in-memory sink through the public recover path. For tests we
+        // simply re-derive the bytes by serializing through storage
+        // replay: QuantumDb keeps the WAL internally, so we add a small
+        // crate-public accessor below.
+        self.wal_image()
+    }
+}

@@ -1,0 +1,191 @@
+//! Binary serialization of resource transactions.
+//!
+//! Used for the WAL's pending-transactions records (§4 "Recovery": pending
+//! resource transactions are serialized into a special table before commit)
+//! — variable ids are preserved exactly so that the recovered in-memory
+//! quantum state matches the pre-crash state.
+
+use bytes::{Buf, BufMut, BytesMut};
+
+use qdb_storage::codec as scodec;
+
+use crate::atom::Atom;
+use crate::term::{Term, Var};
+use crate::transaction::{BodyAtom, ResourceTransaction, UpdateAtom, UpdateKind};
+use crate::{LogicError, Result};
+
+const T_VAR: u8 = 0;
+const T_CONST: u8 = 1;
+
+fn put_term(buf: &mut BytesMut, t: &Term) {
+    match t {
+        Term::Var(v) => {
+            buf.put_u8(T_VAR);
+            buf.put_u32_le(v.id());
+            scodec::put_string(buf, v.name());
+        }
+        Term::Const(v) => {
+            buf.put_u8(T_CONST);
+            scodec::put_value(buf, v);
+        }
+    }
+}
+
+fn get_term(buf: &mut impl Buf) -> Result<Term> {
+    if buf.remaining() < 1 {
+        return Err(LogicError::Codec("truncated term".into()));
+    }
+    match buf.get_u8() {
+        T_VAR => {
+            if buf.remaining() < 4 {
+                return Err(LogicError::Codec("truncated var".into()));
+            }
+            let id = buf.get_u32_le();
+            let name = scodec::get_string(buf).map_err(|e| LogicError::Codec(e.to_string()))?;
+            Ok(Term::Var(Var::new(id, name)))
+        }
+        T_CONST => Ok(Term::Const(
+            scodec::get_value(buf).map_err(|e| LogicError::Codec(e.to_string()))?,
+        )),
+        t => Err(LogicError::Codec(format!("unknown term tag {t}"))),
+    }
+}
+
+/// Write an atom.
+pub fn put_atom(buf: &mut BytesMut, a: &Atom) {
+    scodec::put_string(buf, &a.relation);
+    buf.put_u32_le(a.terms.len() as u32);
+    for t in &a.terms {
+        put_term(buf, t);
+    }
+}
+
+/// Read an atom.
+pub fn get_atom(buf: &mut impl Buf) -> Result<Atom> {
+    let relation = scodec::get_string(buf).map_err(|e| LogicError::Codec(e.to_string()))?;
+    if buf.remaining() < 4 {
+        return Err(LogicError::Codec("truncated atom arity".into()));
+    }
+    let n = buf.get_u32_le() as usize;
+    if n > 1 << 16 {
+        return Err(LogicError::Codec(format!("implausible arity {n}")));
+    }
+    let mut terms = Vec::with_capacity(n);
+    for _ in 0..n {
+        terms.push(get_term(buf)?);
+    }
+    Ok(Atom::new(relation, terms))
+}
+
+/// Serialize a transaction to bytes.
+pub fn encode_transaction(t: &ResourceTransaction) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(128);
+    buf.put_u32_le(t.updates.len() as u32);
+    for u in &t.updates {
+        buf.put_u8(match u.kind {
+            UpdateKind::Insert => 0,
+            UpdateKind::Delete => 1,
+        });
+        put_atom(&mut buf, &u.atom);
+    }
+    buf.put_u32_le(t.body.len() as u32);
+    for b in &t.body {
+        buf.put_u8(u8::from(b.optional));
+        put_atom(&mut buf, &b.atom);
+    }
+    buf.to_vec()
+}
+
+/// Deserialize a transaction from bytes.
+pub fn decode_transaction(mut bytes: &[u8]) -> Result<ResourceTransaction> {
+    let buf = &mut bytes;
+    if buf.remaining() < 4 {
+        return Err(LogicError::Codec("truncated update count".into()));
+    }
+    let nu = buf.get_u32_le() as usize;
+    if nu > 1 << 16 {
+        return Err(LogicError::Codec(format!("implausible update count {nu}")));
+    }
+    let mut updates = Vec::with_capacity(nu);
+    for _ in 0..nu {
+        if buf.remaining() < 1 {
+            return Err(LogicError::Codec("truncated update kind".into()));
+        }
+        let kind = match buf.get_u8() {
+            0 => UpdateKind::Insert,
+            1 => UpdateKind::Delete,
+            t => return Err(LogicError::Codec(format!("unknown update kind {t}"))),
+        };
+        updates.push(UpdateAtom {
+            kind,
+            atom: get_atom(buf)?,
+        });
+    }
+    if buf.remaining() < 4 {
+        return Err(LogicError::Codec("truncated body count".into()));
+    }
+    let nb = buf.get_u32_le() as usize;
+    if nb > 1 << 16 {
+        return Err(LogicError::Codec(format!("implausible body count {nb}")));
+    }
+    let mut body = Vec::with_capacity(nb);
+    for _ in 0..nb {
+        if buf.remaining() < 1 {
+            return Err(LogicError::Codec("truncated optional flag".into()));
+        }
+        let optional = buf.get_u8() != 0;
+        body.push(BodyAtom {
+            atom: get_atom(buf)?,
+            optional,
+        });
+    }
+    if buf.remaining() != 0 {
+        return Err(LogicError::Codec("trailing bytes".into()));
+    }
+    ResourceTransaction::new(updates, body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_transaction;
+
+    #[test]
+    fn transaction_roundtrip_preserves_everything() {
+        let t = parse_transaction(
+            "-Available(f, s), +Bookings('Mickey', f, s) :-1 \
+             Available(f, s), Bookings('Goofy', f, s2)?, Adjacent(s, s2)?",
+        )
+        .unwrap();
+        let bytes = encode_transaction(&t);
+        let back = decode_transaction(&bytes).unwrap();
+        assert_eq!(t, back);
+        // Variable ids — not just names — must survive.
+        let ids_a: Vec<u32> = t.vars().iter().map(Var::id).collect();
+        let ids_b: Vec<u32> = back.vars().iter().map(Var::id).collect();
+        assert_eq!(ids_a, ids_b);
+    }
+
+    #[test]
+    fn truncation_yields_errors_not_panics() {
+        let t = parse_transaction("+B(M, x) :-1 A(x)").unwrap();
+        let bytes = encode_transaction(&t);
+        for cut in 0..bytes.len() {
+            assert!(decode_transaction(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let t = parse_transaction("+B(M, x) :-1 A(x)").unwrap();
+        let mut bytes = encode_transaction(&t);
+        bytes.push(0);
+        assert!(decode_transaction(&bytes).is_err());
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(decode_transaction(&[0xFF; 16]).is_err());
+        assert!(decode_transaction(&[]).is_err());
+    }
+}

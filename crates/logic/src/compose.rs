@@ -1,0 +1,210 @@
+//! Composition of resource transactions (Lemma 3.4 / Theorem 3.5).
+//!
+//! A sequence of resource transactions is equivalent to a single
+//! transaction whose body is built as follows: for each body atom `b` of a
+//! later transaction and each earlier update,
+//!
+//! * an **insert** `i` contributes a disjunct — `b` may ground on the
+//!   inserted tuple: `(b ∨ ϕ(b, i))`;
+//! * a **delete** `d` contributes a negated unification predicate — `b`
+//!   must not ground on the deleted tuple: `b ∧ ¬ϕ(b, d)`.
+//!
+//! We emit one disjunction per atom covering *all* earlier inserts
+//! (`b ∨ ϕ(b,i₁) ∨ ϕ(b,i₂) ∨ …`), the semantically correct reading of the
+//! paper's `∧ᵢⱼ (bᵢ ∨ ϕ(bᵢ, iⱼ))` when several inserts could supply the
+//! same atom.
+//!
+//! Note a known conservatism inherited from the paper's formula: a delete
+//! followed by a *re-insert of the same tuple* is rejected by the formula
+//! (`¬ϕ` ranges over all earlier deletes) even though sequential execution
+//! would allow a later body atom to ground on the re-inserted tuple. The
+//! operational solver (`qdb-solver`) handles that corner exactly; the
+//! formula view here is used for satisfiability checks over the common
+//! cases, for diagnostics, and for paper-faithful rendering (Figure 3).
+
+use crate::formula::Formula;
+use crate::predicate::UnifPredicate;
+use crate::term::VarGen;
+use crate::transaction::ResourceTransaction;
+
+/// Compose a sequence of transactions into a single body formula,
+/// **assuming the transactions' variables are already renamed apart**
+/// (the engine freshens every admitted transaction, so its pending lists
+/// satisfy this by construction).
+///
+/// Only non-optional body atoms participate — the quantum database
+/// invariant concerns hard constraints only (§2). Use
+/// [`compose_with_optionals`] to include optional atoms (for display or
+/// for grounding-time checks).
+pub fn compose_renamed(txns: &[&ResourceTransaction]) -> Formula {
+    compose_inner(txns, false)
+}
+
+/// Like [`compose_renamed`] but treats optional atoms as required.
+pub fn compose_with_optionals(txns: &[&ResourceTransaction]) -> Formula {
+    compose_inner(txns, true)
+}
+
+/// Compose transactions that may share variable ids: each is freshened
+/// through a common generator first. Returns the renamed transactions
+/// alongside the formula so callers can interpret its variables.
+pub fn compose(txns: &[&ResourceTransaction]) -> (Vec<ResourceTransaction>, Formula) {
+    let mut gen = VarGen::new();
+    let renamed: Vec<ResourceTransaction> = txns.iter().map(|t| t.freshen(&mut gen)).collect();
+    let refs: Vec<&ResourceTransaction> = renamed.iter().collect();
+    let formula = compose_renamed(&refs);
+    (renamed, formula)
+}
+
+fn compose_inner(txns: &[&ResourceTransaction], include_optionals: bool) -> Formula {
+    debug_assert!(vars_disjoint(txns), "transactions must be renamed apart");
+    let mut conjuncts: Vec<Formula> = Vec::new();
+    for (n, txn) in txns.iter().enumerate() {
+        for body in &txn.body {
+            if body.optional && !include_optionals {
+                continue;
+            }
+            let b = &body.atom;
+            // Disjunction: ground extensionally, or on any earlier insert.
+            let mut alternatives = vec![Formula::Atom(b.clone())];
+            for earlier in &txns[..n] {
+                for ins in earlier.inserts() {
+                    alternatives.push(Formula::pred(UnifPredicate::of(b, &ins.atom)));
+                }
+            }
+            conjuncts.push(Formula::or(alternatives));
+            // Guards: must not ground on any earlier delete.
+            for earlier in &txns[..n] {
+                for del in earlier.deletes() {
+                    conjuncts.push(Formula::not_pred(UnifPredicate::of(b, &del.atom)));
+                }
+            }
+        }
+    }
+    Formula::and(conjuncts)
+}
+
+fn vars_disjoint(txns: &[&ResourceTransaction]) -> bool {
+    let mut seen = std::collections::BTreeSet::new();
+    for t in txns {
+        let vars = t.vars();
+        for v in &vars {
+            if !seen.insert(v.id()) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_transaction;
+
+    /// The three transactions of Figure 3(a):
+    ///   (T1) -B(M, 1, s1), +A(1, s1)  :-1  B(M, 1, s1)
+    ///   (T2) -A(f2, s2), +B(D, f2, s2) :-1  A(f2, s2)
+    ///   (T3) -A(2, s3), +B(G, 2, s3)  :-1  A(2, s3)
+    fn figure3() -> Vec<ResourceTransaction> {
+        vec![
+            parse_transaction("-B(M, 1, s1), +A(1, s1) :-1 B(M, 1, s1)").unwrap(),
+            parse_transaction("-A(f2, s2), +B(D, f2, s2) :-1 A(f2, s2)").unwrap(),
+            parse_transaction("-A(2, s3), +B(G, 2, s3) :-1 A(2, s3)").unwrap(),
+        ]
+    }
+
+    #[test]
+    fn figure3_composition_of_first_two() {
+        let txns = figure3();
+        let (_, t12) = compose(&[&txns[0], &txns[1]]);
+        // Figure 3(b), first row (the paper writes (s1 = s2); equality is
+        // symmetric and our canonical orientation binds T2's variable):
+        assert_eq!(
+            t12.to_string(),
+            "B('M', 1, s1) ∧ {A(f2, s2) ∨ {(f2 = 1) ∧ (s2 = s1)}}"
+        );
+    }
+
+    #[test]
+    fn figure3_composition_of_all_three() {
+        let txns = figure3();
+        let (_, t123) = compose(&[&txns[0], &txns[1], &txns[2]]);
+        // Figure 3(b), second row.
+        assert_eq!(
+            t123.to_string(),
+            "B('M', 1, s1) ∧ {A(f2, s2) ∨ {(f2 = 1) ∧ (s2 = s1)}} \
+             ∧ A(2, s3) ∧ ¬{(f2 = 2) ∧ (s3 = s2)}"
+        );
+    }
+
+    #[test]
+    fn composition_of_single_txn_is_its_body() {
+        let txns = figure3();
+        let (_, f) = compose(&[&txns[0]]);
+        assert_eq!(f.to_string(), "B('M', 1, s1)");
+    }
+
+    #[test]
+    fn unrelated_relations_add_no_guards() {
+        let t1 = parse_transaction("-X(a) :-1 X(a)").unwrap();
+        let t2 = parse_transaction("+Z(b) :-1 Y(b)").unwrap();
+        let (_, f) = compose(&[&t1, &t2]);
+        // X's delete can never unify with Y's body atom: formula stays a
+        // bare conjunction of the two bodies.
+        assert_eq!(f.to_string(), "X(a) ∧ Y(b)");
+    }
+
+    #[test]
+    fn constant_clash_suppresses_insert_alternative() {
+        // T1 inserts A(1, s1); T3-style atom A(2, s3) can never use it.
+        let t1 = parse_transaction("+A(1, s1) :-1 B(s1)").unwrap();
+        let t2 = parse_transaction("+C(s3) :-1 A(2, s3)").unwrap();
+        let (_, f) = compose(&[&t1, &t2]);
+        assert_eq!(f.to_string(), "B(s1) ∧ A(2, s3)");
+    }
+
+    #[test]
+    fn optional_atoms_excluded_by_default() {
+        let t = parse_transaction("+B(x) :-1 A(x), C(x)?").unwrap();
+        let (_, f) = compose(&[&t]);
+        assert_eq!(f.to_string(), "A(x)");
+        let mut gen = VarGen::new();
+        let renamed = t.freshen(&mut gen);
+        let with_opt = compose_with_optionals(&[&renamed]);
+        assert_eq!(with_opt.to_string(), "A(x) ∧ C(x)");
+    }
+
+    #[test]
+    fn composition_is_associative_in_rendering() {
+        // compose(T1,T2,T3) equals compose over the same renamed sequence
+        // regardless of how we batch the rendering (structural property of
+        // the flattening smart constructors).
+        let txns = figure3();
+        let mut gen = VarGen::new();
+        let renamed: Vec<ResourceTransaction> =
+            txns.iter().map(|t| t.freshen(&mut gen)).collect();
+        let refs: Vec<&ResourceTransaction> = renamed.iter().collect();
+        let all = compose_renamed(&refs);
+        let again = compose_renamed(&refs);
+        assert_eq!(all, again);
+    }
+
+    #[test]
+    #[should_panic(expected = "renamed apart")]
+    #[cfg(debug_assertions)]
+    fn shared_variables_are_rejected_in_debug() {
+        let t1 = parse_transaction("-A(x) :-1 A(x)").unwrap();
+        let t2 = parse_transaction("-B(x) :-1 B(x)").unwrap(); // same local ids
+        let _ = compose_renamed(&[&t1, &t2]);
+    }
+
+    #[test]
+    fn atom_count_tracks_composed_size() {
+        // The paper bounds composed bodies by MySQL's 61-join limit; our
+        // measure of "size" is the atom count of the composed formula.
+        let txns = figure3();
+        let (_, f) = compose(&[&txns[0], &txns[1], &txns[2]]);
+        assert_eq!(f.atom_count(), 3);
+    }
+}

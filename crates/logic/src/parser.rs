@@ -1,0 +1,476 @@
+//! Text syntax for the Datalog-like intermediate representation (§2, §4).
+//!
+//! The paper's prototype "does not accept and parse resource transactions in
+//! their SQL format, but only in the intermediate Datalog-like
+//! representation" — this module is that representation's parser.
+//!
+//! Syntax:
+//!
+//! ```text
+//! transaction := update ("," update)* ":-1" bodyatom ("," bodyatom)*
+//! update      := ("+" | "-") atom
+//! bodyatom    := atom "?"?              -- "?" marks an OPTIONAL atom
+//! atom        := Relation "(" term ("," term)* ")"
+//! term        := variable | constant
+//! variable    := lowercase ident, or "_" for a fresh anonymous variable
+//! constant    := integer | 'string' | "string" | true | false
+//!                | Uppercase ident (shorthand for the string of that name)
+//! ```
+//!
+//! Relation names start with an uppercase letter. In term position an
+//! uppercase ident is a *string constant* — this mirrors the paper's
+//! abbreviations (`B(M, f1, s1)` where `M` stands for `'Mickey'`).
+
+use std::collections::HashMap;
+
+use qdb_storage::Value;
+
+use crate::atom::Atom;
+use crate::term::{Term, Var, VarGen};
+use crate::transaction::{BodyAtom, ResourceTransaction, UpdateAtom};
+use crate::{LogicError, Result};
+
+/// A parsed conjunctive query: atoms plus the name→variable mapping needed
+/// to interpret results.
+#[derive(Debug, Clone)]
+pub struct ParsedQuery {
+    /// The query atoms (all non-optional).
+    pub atoms: Vec<Atom>,
+    vars: Vec<Var>,
+}
+
+impl ParsedQuery {
+    /// The variable parsed under `name`, if any.
+    pub fn var(&self, name: &str) -> Option<&Var> {
+        self.vars.iter().find(|v| v.name() == name)
+    }
+
+    /// All named variables in first-occurrence order.
+    pub fn vars(&self) -> &[Var] {
+        &self.vars
+    }
+}
+
+/// Parse a resource transaction from text.
+pub fn parse_transaction(input: &str) -> Result<ResourceTransaction> {
+    Parser::new(input)?.transaction()
+}
+
+/// Parse a conjunctive query (comma-separated atoms).
+pub fn parse_query(input: &str) -> Result<ParsedQuery> {
+    Parser::new(input)?.query()
+}
+
+/// Parse a single atom.
+pub fn parse_atom(input: &str) -> Result<Atom> {
+    let mut p = Parser::new(input)?;
+    let atom = p.atom()?;
+    p.expect_eof()?;
+    Ok(atom)
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Plus,
+    Minus,
+    Comma,
+    LParen,
+    RParen,
+    Question,
+    Turnstile, // ":-1"
+    Ident(String),
+    Int(i64),
+    Str(String),
+    Eof,
+}
+
+struct Parser {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+    vargen: VarGen,
+    vars: HashMap<String, Var>,
+    var_order: Vec<Var>,
+}
+
+impl Parser {
+    fn new(input: &str) -> Result<Self> {
+        Ok(Parser {
+            toks: lex(input)?,
+            pos: 0,
+            vargen: VarGen::new(),
+            vars: HashMap::new(),
+            var_order: Vec::new(),
+        })
+    }
+
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].0
+    }
+
+    fn at(&self) -> usize {
+        self.toks[self.pos].1
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].0.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, reason: impl Into<String>) -> LogicError {
+        LogicError::Parse {
+            at: self.at(),
+            reason: reason.into(),
+        }
+    }
+
+    fn expect(&mut self, tok: Tok, what: &str) -> Result<()> {
+        if *self.peek() == tok {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {what}, found {:?}", self.peek())))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<()> {
+        if *self.peek() == Tok::Eof {
+            Ok(())
+        } else {
+            Err(self.error(format!("trailing input: {:?}", self.peek())))
+        }
+    }
+
+    fn transaction(&mut self) -> Result<ResourceTransaction> {
+        let mut updates = Vec::new();
+        loop {
+            let kind = match self.peek() {
+                Tok::Plus => {
+                    self.bump();
+                    UpdateAtom::insert
+                }
+                Tok::Minus => {
+                    self.bump();
+                    UpdateAtom::delete
+                }
+                _ => return Err(self.error("expected '+' or '-' starting an update atom")),
+            };
+            updates.push(kind(self.atom()?));
+            match self.peek() {
+                Tok::Comma => {
+                    self.bump();
+                }
+                Tok::Turnstile => break,
+                _ => return Err(self.error("expected ',' or ':-1' after update atom")),
+            }
+        }
+        self.expect(Tok::Turnstile, "':-1'")?;
+        let mut body = Vec::new();
+        loop {
+            let atom = self.atom()?;
+            let optional = if *self.peek() == Tok::Question {
+                self.bump();
+                true
+            } else {
+                false
+            };
+            body.push(BodyAtom { atom, optional });
+            if *self.peek() == Tok::Comma {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.expect_eof()?;
+        ResourceTransaction::new(updates, body)
+    }
+
+    fn query(&mut self) -> Result<ParsedQuery> {
+        let mut atoms = vec![self.atom()?];
+        while *self.peek() == Tok::Comma {
+            self.bump();
+            atoms.push(self.atom()?);
+        }
+        self.expect_eof()?;
+        Ok(ParsedQuery {
+            atoms,
+            vars: self.var_order.clone(),
+        })
+    }
+
+    fn atom(&mut self) -> Result<Atom> {
+        let name = match self.bump() {
+            Tok::Ident(s) => s,
+            other => return Err(self.error(format!("expected relation name, found {other:?}"))),
+        };
+        if !name.starts_with(|c: char| c.is_ascii_uppercase()) {
+            return Err(self.error(format!(
+                "relation name '{name}' must start with an uppercase letter"
+            )));
+        }
+        self.expect(Tok::LParen, "'('")?;
+        let mut terms = Vec::new();
+        if *self.peek() != Tok::RParen {
+            loop {
+                terms.push(self.term()?);
+                if *self.peek() == Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::RParen, "')'")?;
+        Ok(Atom::new(name, terms))
+    }
+
+    fn term(&mut self) -> Result<Term> {
+        match self.bump() {
+            Tok::Int(i) => Ok(Term::val(i)),
+            Tok::Str(s) => Ok(Term::Const(Value::from(s))),
+            Tok::Minus => match self.bump() {
+                Tok::Int(i) => Ok(Term::val(-i)),
+                other => Err(self.error(format!("expected integer after '-', found {other:?}"))),
+            },
+            Tok::Ident(s) => {
+                if s == "true" {
+                    Ok(Term::Const(Value::Bool(true)))
+                } else if s == "false" {
+                    Ok(Term::Const(Value::Bool(false)))
+                } else if s == "_" {
+                    let n = self.var_order.len();
+                    let v = self.vargen.fresh(format!("_{n}"));
+                    self.var_order.push(v.clone());
+                    Ok(Term::Var(v))
+                } else if s.starts_with(|c: char| c.is_ascii_uppercase()) {
+                    // Uppercase ident in term position: string constant
+                    // shorthand, as in the paper's `B(M, f1, s1)`.
+                    Ok(Term::Const(Value::from(s)))
+                } else {
+                    let var = match self.vars.get(&s) {
+                        Some(v) => v.clone(),
+                        None => {
+                            let v = self.vargen.fresh(&s);
+                            self.vars.insert(s, v.clone());
+                            self.var_order.push(v.clone());
+                            v
+                        }
+                    };
+                    Ok(Term::Var(var))
+                }
+            }
+            other => Err(self.error(format!("expected term, found {other:?}"))),
+        }
+    }
+}
+
+fn lex(input: &str) -> Result<Vec<(Tok, usize)>> {
+    let bytes = input.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '+' => {
+                toks.push((Tok::Plus, i));
+                i += 1;
+            }
+            '-' => {
+                toks.push((Tok::Minus, i));
+                i += 1;
+            }
+            ',' => {
+                toks.push((Tok::Comma, i));
+                i += 1;
+            }
+            '(' => {
+                toks.push((Tok::LParen, i));
+                i += 1;
+            }
+            ')' => {
+                toks.push((Tok::RParen, i));
+                i += 1;
+            }
+            '?' => {
+                toks.push((Tok::Question, i));
+                i += 1;
+            }
+            ':' => {
+                if input[i..].starts_with(":-1") {
+                    toks.push((Tok::Turnstile, i));
+                    i += 3;
+                } else {
+                    return Err(LogicError::Parse {
+                        at: i,
+                        reason: "expected ':-1'".into(),
+                    });
+                }
+            }
+            '\'' | '"' => {
+                let quote = c;
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(LogicError::Parse {
+                            at: start,
+                            reason: "unterminated string literal".into(),
+                        });
+                    }
+                    let d = bytes[i] as char;
+                    if d == quote {
+                        i += 1;
+                        break;
+                    }
+                    s.push(d);
+                    i += 1;
+                }
+                toks.push((Tok::Str(s), start));
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let n: i64 = input[start..i].parse().map_err(|e| LogicError::Parse {
+                    at: start,
+                    reason: format!("bad integer: {e}"),
+                })?;
+                toks.push((Tok::Int(n), start));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                toks.push((Tok::Ident(input[start..i].to_string()), start));
+            }
+            other => {
+                return Err(LogicError::Parse {
+                    at: i,
+                    reason: format!("unexpected character '{other}'"),
+                })
+            }
+        }
+    }
+    toks.push((Tok::Eof, input.len()));
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transaction::UpdateKind;
+
+    #[test]
+    fn parses_the_running_example() {
+        let t = parse_transaction(
+            "-A(f1, s1), +B(M, f1, s1) :-1 A(f1, s1), B(G, f1, s2)?, Adj(s1, s2)?",
+        )
+        .unwrap();
+        assert_eq!(t.updates.len(), 2);
+        assert_eq!(t.updates[0].kind, UpdateKind::Delete);
+        assert_eq!(t.updates[1].kind, UpdateKind::Insert);
+        assert_eq!(t.body.len(), 3);
+        assert!(!t.body[0].optional);
+        assert!(t.body[1].optional && t.body[2].optional);
+        // Display round-trips (uppercase shorthand becomes quoted strings).
+        assert_eq!(
+            t.to_string(),
+            "-A(f1, s1), +B('M', f1, s1) :-1 A(f1, s1), B('G', f1, s2)?, Adj(s1, s2)?"
+        );
+        // Shared variables really are shared.
+        let f1_body = t.body[0].atom.terms[0].as_var().unwrap();
+        let f1_update = t.updates[0].atom.terms[0].as_var().unwrap();
+        assert_eq!(f1_body, f1_update);
+    }
+
+    #[test]
+    fn parse_then_display_then_parse_is_identity() {
+        let src = "-Available(f, s), +Bookings('Mickey', f, s) :-1 Available(f, s), Bookings('Goofy', f, s2)?, Adjacent(s, s2)?";
+        let t1 = parse_transaction(src).unwrap();
+        let t2 = parse_transaction(&t1.to_string()).unwrap();
+        assert_eq!(t1.to_string(), t2.to_string());
+    }
+
+    #[test]
+    fn parses_constants_of_all_types() {
+        let a = parse_atom("R(1, 'two', \"three\", true, false, Four)").unwrap();
+        assert_eq!(a.terms[0], Term::val(1));
+        assert_eq!(a.terms[1], Term::val("two"));
+        assert_eq!(a.terms[2], Term::val("three"));
+        assert_eq!(a.terms[3], Term::Const(Value::Bool(true)));
+        assert_eq!(a.terms[4], Term::Const(Value::Bool(false)));
+        assert_eq!(a.terms[5], Term::val("Four"));
+    }
+
+    #[test]
+    fn negative_integers() {
+        let a = parse_atom("R(-5)").unwrap();
+        assert_eq!(a.terms[0], Term::val(-5));
+    }
+
+    #[test]
+    fn anonymous_variables_are_fresh() {
+        let q = parse_query("A(_, _), B(_)").unwrap();
+        let vars: Vec<_> = q.vars().to_vec();
+        assert_eq!(vars.len(), 3);
+        let ids: std::collections::BTreeSet<u32> = vars.iter().map(Var::id).collect();
+        assert_eq!(ids.len(), 3);
+    }
+
+    #[test]
+    fn query_variable_lookup() {
+        let q = parse_query("Bookings('Mickey', f, s)").unwrap();
+        assert!(q.var("f").is_some());
+        assert!(q.var("s").is_some());
+        assert!(q.var("zzz").is_none());
+        assert_eq!(q.atoms.len(), 1);
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let err = parse_transaction("+A(x) :- A(x)").unwrap_err();
+        assert!(matches!(err, LogicError::Parse { .. }));
+        let err = parse_atom("R(x").unwrap_err();
+        assert!(matches!(err, LogicError::Parse { .. }));
+        let err = parse_atom("r(x)").unwrap_err();
+        assert!(err.to_string().contains("uppercase"));
+        let err = parse_atom("R('unterminated").unwrap_err();
+        assert!(err.to_string().contains("unterminated"));
+        let err = parse_atom("R(@)").unwrap_err();
+        assert!(err.to_string().contains("unexpected character"));
+    }
+
+    #[test]
+    fn range_restriction_checked_by_parser_output() {
+        // `y` only in the update: invalid.
+        let err = parse_transaction("+B(y) :-1 A(x)").unwrap_err();
+        assert!(matches!(err, LogicError::RangeRestriction { .. }));
+        // `y` only in an optional atom: also invalid.
+        let err = parse_transaction("+B(y) :-1 A(x), C(y)?").unwrap_err();
+        assert!(matches!(err, LogicError::RangeRestriction { .. }));
+    }
+
+    #[test]
+    fn zero_arity_atoms_allowed() {
+        let a = parse_atom("Flag()").unwrap();
+        assert_eq!(a.arity(), 0);
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse_query("A(x) B(y)").is_err());
+        assert!(parse_atom("A(x))").is_err());
+    }
+}

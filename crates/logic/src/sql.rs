@@ -1,0 +1,553 @@
+//! SQL-style surface syntax for resource transactions (Figure 1).
+//!
+//! The paper introduces resource transactions as a SQL extension with
+//! three new keywords — `OPTIONAL`, `CHOOSE 1` and `FOLLOWED BY` — but its
+//! prototype "does not accept and parse resource transactions in their SQL
+//! format, only in the intermediate Datalog-like representation" (§4).
+//! This module implements the SQL front end as an extension, over a
+//! positional-atom dialect that matches the storage layer:
+//!
+//! ```text
+//! SELECT @f, @s
+//! FROM Available(@f, @s),
+//!      OPTIONAL Bookings('Goofy', @f, @s2),
+//!      OPTIONAL Adjacent(@s, @s2)
+//! WHERE @f = 123
+//! CHOOSE 1
+//! FOLLOWED BY (
+//!     DELETE (@f, @s) FROM Available;
+//!     INSERT ('Mickey', @f, @s) INTO Bookings;
+//! )
+//! ```
+//!
+//! * `FROM` items are relational atoms; `OPTIONAL` marks soft preferences
+//!   (the paper's `OPTIONAL` join items / `WHERE` conjuncts).
+//! * `WHERE` supports equality conjuncts `@v = literal` and `@v = @w`,
+//!   folded into the atoms by substitution before the transaction is
+//!   built (so the Datalog core stays pure).
+//! * `CHOOSE 1` is mandatory — resource transactions request exactly one
+//!   grounding (§2).
+//! * `FOLLOWED BY` contains only blind writes, as required by §2: "no
+//!   reads are permitted within the FOLLOWED BY block".
+//!
+//! Keywords are case-insensitive; variables are `@name`; literals are
+//! integers, `'strings'` and `true`/`false`.
+
+use std::collections::HashMap;
+
+use qdb_storage::Value;
+
+use crate::atom::Atom;
+use crate::substitution::Substitution;
+use crate::term::{Term, Var, VarGen};
+use crate::transaction::{BodyAtom, ResourceTransaction, UpdateAtom};
+use crate::{LogicError, Result};
+
+/// Parse a SQL-style resource transaction into the Datalog-like core form.
+pub fn parse_sql_transaction(input: &str) -> Result<ResourceTransaction> {
+    SqlParser::new(input)?.transaction()
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Kw(&'static str), // canonical uppercase keyword
+    Ident(String),
+    Var(String),
+    Int(i64),
+    Str(String),
+    Comma,
+    LParen,
+    RParen,
+    Semi,
+    Eq,
+    Eof,
+}
+
+const KEYWORDS: &[&str] = &[
+    "SELECT", "FROM", "OPTIONAL", "WHERE", "AND", "CHOOSE", "FOLLOWED", "BY", "DELETE", "INSERT",
+    "INTO", "TRUE", "FALSE",
+];
+
+fn lex(input: &str) -> Result<Vec<(Tok, usize)>> {
+    let bytes = input.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_whitespace() => i += 1,
+            ',' => {
+                toks.push((Tok::Comma, i));
+                i += 1;
+            }
+            '(' => {
+                toks.push((Tok::LParen, i));
+                i += 1;
+            }
+            ')' => {
+                toks.push((Tok::RParen, i));
+                i += 1;
+            }
+            ';' => {
+                toks.push((Tok::Semi, i));
+                i += 1;
+            }
+            '=' => {
+                toks.push((Tok::Eq, i));
+                i += 1;
+            }
+            '@' => {
+                let start = i;
+                i += 1;
+                let name_start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                if i == name_start {
+                    return Err(LogicError::Parse {
+                        at: start,
+                        reason: "expected variable name after '@'".into(),
+                    });
+                }
+                toks.push((Tok::Var(input[name_start..i].to_string()), start));
+            }
+            '\'' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(LogicError::Parse {
+                            at: start,
+                            reason: "unterminated string literal".into(),
+                        });
+                    }
+                    let d = bytes[i] as char;
+                    i += 1;
+                    if d == '\'' {
+                        break;
+                    }
+                    s.push(d);
+                }
+                toks.push((Tok::Str(s), start));
+            }
+            '-' | '0'..='9' => {
+                let start = i;
+                if c == '-' {
+                    i += 1;
+                }
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let n: i64 = input[start..i].parse().map_err(|e| LogicError::Parse {
+                    at: start,
+                    reason: format!("bad integer: {e}"),
+                })?;
+                toks.push((Tok::Int(n), start));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &input[start..i];
+                let upper = word.to_ascii_uppercase();
+                if let Some(kw) = KEYWORDS.iter().find(|k| **k == upper) {
+                    toks.push((Tok::Kw(kw), start));
+                } else {
+                    toks.push((Tok::Ident(word.to_string()), start));
+                }
+            }
+            other => {
+                return Err(LogicError::Parse {
+                    at: i,
+                    reason: format!("unexpected character '{other}'"),
+                })
+            }
+        }
+    }
+    toks.push((Tok::Eof, input.len()));
+    Ok(toks)
+}
+
+struct SqlParser {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+    vargen: VarGen,
+    vars: HashMap<String, Var>,
+}
+
+impl SqlParser {
+    fn new(input: &str) -> Result<Self> {
+        Ok(SqlParser {
+            toks: lex(input)?,
+            pos: 0,
+            vargen: VarGen::new(),
+            vars: HashMap::new(),
+        })
+    }
+
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].0
+    }
+
+    fn at(&self) -> usize {
+        self.toks[self.pos].1
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].0.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, reason: impl Into<String>) -> LogicError {
+        LogicError::Parse {
+            at: self.at(),
+            reason: reason.into(),
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &'static str) -> Result<()> {
+        match self.bump() {
+            Tok::Kw(k) if k == kw => Ok(()),
+            other => Err(self.error(format!("expected {kw}, found {other:?}"))),
+        }
+    }
+
+    fn expect(&mut self, t: Tok, what: &str) -> Result<()> {
+        let got = self.bump();
+        if got == t {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {what}, found {got:?}")))
+        }
+    }
+
+    fn var(&mut self, name: String) -> Var {
+        match self.vars.get(&name) {
+            Some(v) => v.clone(),
+            None => {
+                let v = self.vargen.fresh(&name);
+                self.vars.insert(name, v.clone());
+                v
+            }
+        }
+    }
+
+    fn term(&mut self) -> Result<Term> {
+        match self.bump() {
+            Tok::Var(name) => Ok(Term::Var(self.var(name))),
+            Tok::Int(i) => Ok(Term::val(i)),
+            Tok::Str(s) => Ok(Term::Const(Value::from(s))),
+            Tok::Kw("TRUE") => Ok(Term::Const(Value::Bool(true))),
+            Tok::Kw("FALSE") => Ok(Term::Const(Value::Bool(false))),
+            other => Err(self.error(format!("expected term, found {other:?}"))),
+        }
+    }
+
+    fn term_list(&mut self) -> Result<Vec<Term>> {
+        self.expect(Tok::LParen, "'('")?;
+        let mut terms = Vec::new();
+        if *self.peek() != Tok::RParen {
+            loop {
+                terms.push(self.term()?);
+                if *self.peek() == Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::RParen, "')'")?;
+        Ok(terms)
+    }
+
+    fn relation_name(&mut self) -> Result<String> {
+        match self.bump() {
+            Tok::Ident(name) => Ok(name),
+            other => Err(self.error(format!("expected relation name, found {other:?}"))),
+        }
+    }
+
+    fn atom(&mut self) -> Result<Atom> {
+        let rel = self.relation_name()?;
+        let terms = self.term_list()?;
+        Ok(Atom::new(rel, terms))
+    }
+
+    fn transaction(&mut self) -> Result<ResourceTransaction> {
+        // SELECT <term list> — the projection is informational (the
+        // grounding binds every variable anyway); parsed and discarded.
+        self.expect_kw("SELECT")?;
+        loop {
+            let _ = self.term()?;
+            if *self.peek() == Tok::Comma {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+
+        // FROM item (, item)* where item := [OPTIONAL] Atom
+        self.expect_kw("FROM")?;
+        let mut body: Vec<BodyAtom> = Vec::new();
+        loop {
+            let optional = if *self.peek() == Tok::Kw("OPTIONAL") {
+                self.bump();
+                true
+            } else {
+                false
+            };
+            body.push(BodyAtom {
+                atom: self.atom()?,
+                optional,
+            });
+            if *self.peek() == Tok::Comma {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+
+        // WHERE eq (AND eq)* — optional clause.
+        let mut subst = Substitution::new();
+        if *self.peek() == Tok::Kw("WHERE") {
+            self.bump();
+            loop {
+                let lhs = self.term()?;
+                self.expect(Tok::Eq, "'='")?;
+                let rhs = self.term()?;
+                let at = self.at();
+                let lv = subst.resolve(&lhs);
+                let rv = subst.resolve(&rhs);
+                let bound = match (&lv, &rv) {
+                    (Term::Var(v), t) | (t, Term::Var(v)) => subst.bind(v, t),
+                    (Term::Const(a), Term::Const(b)) => a == b,
+                };
+                if !bound {
+                    return Err(LogicError::Parse {
+                        at,
+                        reason: "contradictory WHERE equalities".into(),
+                    });
+                }
+                if *self.peek() == Tok::Kw("AND") {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+
+        // CHOOSE 1
+        self.expect_kw("CHOOSE")?;
+        match self.bump() {
+            Tok::Int(1) => {}
+            other => {
+                return Err(self.error(format!(
+                    "resource transactions require CHOOSE 1, found {other:?}"
+                )))
+            }
+        }
+
+        // FOLLOWED BY ( stmt; stmt; ... )
+        self.expect_kw("FOLLOWED")?;
+        self.expect_kw("BY")?;
+        self.expect(Tok::LParen, "'('")?;
+        let mut updates: Vec<UpdateAtom> = Vec::new();
+        loop {
+            match self.peek() {
+                Tok::RParen => {
+                    self.bump();
+                    break;
+                }
+                Tok::Kw("DELETE") => {
+                    self.bump();
+                    let terms = self.term_list()?;
+                    self.expect_kw("FROM")?;
+                    let rel = self.relation_name()?;
+                    updates.push(UpdateAtom::delete(Atom::new(rel, terms)));
+                }
+                Tok::Kw("INSERT") => {
+                    self.bump();
+                    let terms = self.term_list()?;
+                    self.expect_kw("INTO")?;
+                    let rel = self.relation_name()?;
+                    updates.push(UpdateAtom::insert(Atom::new(rel, terms)));
+                }
+                other => {
+                    return Err(self.error(format!(
+                        "expected DELETE, INSERT or ')' in FOLLOWED BY block \
+                         (reads are not permitted, §2), found {other:?}"
+                    )))
+                }
+            }
+            if *self.peek() == Tok::Semi {
+                self.bump();
+            }
+        }
+        match self.bump() {
+            Tok::Eof => {}
+            other => return Err(self.error(format!("trailing input: {other:?}"))),
+        }
+        if updates.is_empty() {
+            return Err(LogicError::Parse {
+                at: self.at(),
+                reason: "FOLLOWED BY block must contain at least one write".into(),
+            });
+        }
+
+        // Fold WHERE equalities into the atoms and build the core form.
+        let body = body
+            .into_iter()
+            .map(|b| BodyAtom {
+                atom: b.atom.apply(&subst),
+                optional: b.optional,
+            })
+            .collect();
+        let updates = updates
+            .into_iter()
+            .map(|u| UpdateAtom {
+                kind: u.kind,
+                atom: u.atom.apply(&subst),
+            })
+            .collect();
+        ResourceTransaction::new(updates, body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_transaction;
+
+    const MICKEY_SQL: &str = "\
+        SELECT @f, @s \
+        FROM Available(@f, @s), \
+             OPTIONAL Bookings('Goofy', @f, @s2), \
+             OPTIONAL Adjacent(@s, @s2) \
+        CHOOSE 1 \
+        FOLLOWED BY ( \
+            DELETE (@f, @s) FROM Available; \
+            INSERT ('Mickey', @f, @s) INTO Bookings; \
+        )";
+
+    #[test]
+    fn figure1_style_transaction_parses() {
+        let t = parse_sql_transaction(MICKEY_SQL).unwrap();
+        assert_eq!(t.updates.len(), 2);
+        assert_eq!(t.body.len(), 3);
+        assert_eq!(t.optional_body().count(), 2);
+        // The SQL form and the Datalog form produce the same transaction.
+        let datalog = parse_transaction(
+            "-Available(f, s), +Bookings('Mickey', f, s) :-1 \
+             Available(f, s), Bookings('Goofy', f, s2)?, Adjacent(s, s2)?",
+        )
+        .unwrap();
+        assert_eq!(t.to_string(), datalog.to_string());
+    }
+
+    #[test]
+    fn where_equalities_fold_into_atoms() {
+        let t = parse_sql_transaction(
+            "SELECT @s FROM Available(@f, @s) WHERE @f = 123 \
+             CHOOSE 1 FOLLOWED BY (DELETE (@f, @s) FROM Available)",
+        )
+        .unwrap();
+        assert_eq!(
+            t.to_string(),
+            "-Available(123, s) :-1 Available(123, s)"
+        );
+        // Var-var equality aliases the two.
+        let t = parse_sql_transaction(
+            "SELECT @a FROM R(@a, @b) WHERE @a = @b \
+             CHOOSE 1 FOLLOWED BY (INSERT (@a) INTO S)",
+        )
+        .unwrap();
+        let atom = &t.body[0].atom;
+        assert_eq!(atom.terms[0], atom.terms[1]);
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let t = parse_sql_transaction(
+            "select @s from Available(1, @s) choose 1 \
+             followed by (delete (1, @s) from Available)",
+        )
+        .unwrap();
+        assert_eq!(t.updates.len(), 1);
+    }
+
+    #[test]
+    fn choose_must_be_one() {
+        let err = parse_sql_transaction(
+            "SELECT @s FROM A(@s) CHOOSE 2 FOLLOWED BY (DELETE (@s) FROM A)",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("CHOOSE 1"));
+    }
+
+    #[test]
+    fn reads_in_followed_by_are_rejected() {
+        let err = parse_sql_transaction(
+            "SELECT @s FROM A(@s) CHOOSE 1 FOLLOWED BY (SELECT @s)",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("not permitted"));
+    }
+
+    #[test]
+    fn empty_followed_by_rejected() {
+        let err = parse_sql_transaction("SELECT @s FROM A(@s) CHOOSE 1 FOLLOWED BY ()")
+            .unwrap_err();
+        assert!(err.to_string().contains("at least one write"));
+    }
+
+    #[test]
+    fn contradictory_where_rejected() {
+        let err = parse_sql_transaction(
+            "SELECT @s FROM A(@s) WHERE @s = 1 AND @s = 2 \
+             CHOOSE 1 FOLLOWED BY (DELETE (@s) FROM A)",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("contradictory"));
+    }
+
+    #[test]
+    fn range_restriction_still_enforced() {
+        // @z appears only in the update: invalid per §2.
+        let err = parse_sql_transaction(
+            "SELECT @s FROM A(@s) CHOOSE 1 FOLLOWED BY (INSERT (@z) INTO B)",
+        )
+        .unwrap_err();
+        assert!(matches!(err, LogicError::RangeRestriction { .. }));
+    }
+
+    #[test]
+    fn parse_errors_carry_position() {
+        let err = parse_sql_transaction("SELECT").unwrap_err();
+        assert!(matches!(err, LogicError::Parse { .. }));
+        let err = parse_sql_transaction("SELECT @s FROM A(@s").unwrap_err();
+        assert!(matches!(err, LogicError::Parse { .. }));
+        let err = parse_sql_transaction("SELECT @s FROM A(@s) CHOOSE 1").unwrap_err();
+        assert!(matches!(err, LogicError::Parse { .. }));
+    }
+
+    #[test]
+    fn sql_transaction_runs_through_a_live_engine() {
+        // End-to-end: the SQL front end drives the quantum engine exactly
+        // like the Datalog form does. (Uses only logic-level checks here;
+        // full engine round-trip lives in the facade integration tests.)
+        let t = parse_sql_transaction(MICKEY_SQL).unwrap();
+        t.validate().unwrap();
+        let mut gen = VarGen::starting_at(100);
+        let fresh = t.freshen(&mut gen);
+        assert_eq!(fresh.to_string(), t.to_string());
+    }
+}

@@ -1,0 +1,158 @@
+//! Valuations: maps from variables to data values.
+//!
+//! A *grounding* (§2 uses "grounding" and "value assignment"
+//! interchangeably) is a valuation applied to a transaction body.
+
+use std::collections::BTreeMap;
+
+use qdb_storage::Value;
+
+use crate::term::{Term, Var};
+
+/// A (partial) assignment of data values to variables.
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Valuation {
+    map: BTreeMap<Var, Value>,
+}
+
+impl Valuation {
+    /// Empty valuation.
+    pub fn new() -> Self {
+        Valuation::default()
+    }
+
+    /// Value of `v`, if bound.
+    pub fn get(&self, v: &Var) -> Option<&Value> {
+        self.map.get(v)
+    }
+
+    /// Bind `v` to `value`, returning the previous binding if any.
+    pub fn bind(&mut self, v: Var, value: Value) -> Option<Value> {
+        self.map.insert(v, value)
+    }
+
+    /// Remove the binding of `v`.
+    pub fn unbind(&mut self, v: &Var) -> Option<Value> {
+        self.map.remove(v)
+    }
+
+    /// Is `v` bound?
+    pub fn contains(&self, v: &Var) -> bool {
+        self.map.contains_key(v)
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is bound.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterate over bindings in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Var, &Value)> + '_ {
+        self.map.iter()
+    }
+
+    /// Resolve a term to a value, if possible.
+    pub fn resolve(&self, t: &Term) -> Option<Value> {
+        match t {
+            Term::Const(c) => Some(c.clone()),
+            Term::Var(v) => self.get(v).cloned(),
+        }
+    }
+
+    /// Merge another valuation in; returns `false` (and leaves `self`
+    /// unspecified only in already-agreed bindings) if the two disagree on
+    /// a shared variable.
+    pub fn merge(&mut self, other: &Valuation) -> bool {
+        for (v, val) in other.iter() {
+            match self.map.get(v) {
+                Some(existing) if existing != val => return false,
+                Some(_) => {}
+                None => {
+                    self.map.insert(v.clone(), val.clone());
+                }
+            }
+        }
+        true
+    }
+}
+
+impl FromIterator<(Var, Value)> for Valuation {
+    fn from_iter<I: IntoIterator<Item = (Var, Value)>>(iter: I) -> Self {
+        Valuation {
+            map: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl std::fmt::Display for Valuation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        for (i, (v, val)) in self.map.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v} -> {val}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::VarGen;
+
+    #[test]
+    fn bind_get_unbind() {
+        let mut g = VarGen::new();
+        let v = g.fresh("s");
+        let mut val = Valuation::new();
+        assert!(val.is_empty());
+        assert_eq!(val.bind(v.clone(), Value::from("1A")), None);
+        assert_eq!(val.get(&v), Some(&Value::from("1A")));
+        assert_eq!(
+            val.bind(v.clone(), Value::from("1B")),
+            Some(Value::from("1A"))
+        );
+        assert_eq!(val.unbind(&v), Some(Value::from("1B")));
+        assert!(!val.contains(&v));
+    }
+
+    #[test]
+    fn resolve_terms() {
+        let mut g = VarGen::new();
+        let v = g.fresh("s");
+        let mut val = Valuation::new();
+        assert_eq!(val.resolve(&Term::val(3)), Some(Value::from(3)));
+        assert_eq!(val.resolve(&Term::Var(v.clone())), None);
+        val.bind(v.clone(), Value::from(9));
+        assert_eq!(val.resolve(&Term::Var(v)), Some(Value::from(9)));
+    }
+
+    #[test]
+    fn merge_detects_conflicts() {
+        let mut g = VarGen::new();
+        let (a, b) = (g.fresh("a"), g.fresh("b"));
+        let mut v1: Valuation = [(a.clone(), Value::from(1))].into_iter().collect();
+        let v2: Valuation = [(a.clone(), Value::from(1)), (b.clone(), Value::from(2))]
+            .into_iter()
+            .collect();
+        assert!(v1.merge(&v2));
+        assert_eq!(v1.len(), 2);
+        let v3: Valuation = [(a, Value::from(9))].into_iter().collect();
+        assert!(!v1.merge(&v3));
+    }
+
+    #[test]
+    fn display_lists_bindings() {
+        let mut g = VarGen::new();
+        let v = g.fresh("f");
+        let val: Valuation = [(v, Value::from(1))].into_iter().collect();
+        assert_eq!(val.to_string(), "{f -> 1}");
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based tests for the logic substrate: unification laws, parser
+//! round-trips, codec round-trips.
+
+use proptest::prelude::*;
+use qdb_logic::codec::{decode_transaction, encode_transaction};
+use qdb_logic::{
+    mgu, parse_transaction, Atom, BodyAtom, ResourceTransaction, Term, UnifPredicate, UpdateAtom,
+    Valuation, Var, VarGen,
+};
+use qdb_storage::Value;
+
+/// A small pool of variables (ids 0..4, names x0..x3) and constants.
+fn arb_term() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        (0u32..4).prop_map(|id| Term::Var(Var::new(id, format!("x{id}")))),
+        (0i64..4).prop_map(Term::val),
+        prop_oneof![Just("a"), Just("b")].prop_map(Term::val),
+    ]
+}
+
+fn arb_atom() -> impl Strategy<Value = Atom> {
+    (
+        prop_oneof![Just("A"), Just("B")],
+        prop::collection::vec(arb_term(), 1..4),
+    )
+        .prop_map(|(rel, terms)| Atom::new(rel, terms))
+}
+
+/// A random total valuation for ids 0..4 over a small value domain.
+fn arb_valuation() -> impl Strategy<Value = Valuation> {
+    prop::collection::vec(0i64..4, 4).prop_map(|vals| {
+        vals.into_iter()
+            .enumerate()
+            .map(|(id, v)| (Var::new(id as u32, format!("x{id}")), Value::from(v)))
+            .collect()
+    })
+}
+
+fn apply_valuation(a: &Atom, val: &Valuation) -> Option<Vec<Value>> {
+    a.terms.iter().map(|t| val.resolve(t)).collect()
+}
+
+proptest! {
+    /// mgu soundness: θ(a) == θ(b) whenever θ exists.
+    #[test]
+    fn mgu_is_a_unifier(a in arb_atom(), b in arb_atom()) {
+        if let Some(theta) = mgu(&a, &b) {
+            prop_assert_eq!(a.apply(&theta), b.apply(&theta));
+        }
+    }
+
+    /// mgu is symmetric in satisfiability: mgu(a,b) exists iff mgu(b,a) does.
+    #[test]
+    fn mgu_symmetry(a in arb_atom(), b in arb_atom()) {
+        prop_assert_eq!(mgu(&a, &b).is_some(), mgu(&b, &a).is_some());
+    }
+
+    /// mgu idempotence: applying θ twice equals applying it once.
+    #[test]
+    fn mgu_idempotent(a in arb_atom(), b in arb_atom()) {
+        if let Some(theta) = mgu(&a, &b) {
+            let once = a.apply(&theta);
+            prop_assert_eq!(once.apply(&theta), once);
+        }
+    }
+
+    /// Most-generality via Definition 3.3: a total valuation makes the two
+    /// atoms equal iff it satisfies the unification predicate.
+    #[test]
+    fn unification_predicate_characterizes_unifiers(
+        (a, b) in (1usize..4).prop_flat_map(|arity| (
+            prop::collection::vec(arb_term(), arity..=arity),
+            prop::collection::vec(arb_term(), arity..=arity),
+        )).prop_map(|(ta, tb)| (Atom::new("R", ta), Atom::new("R", tb))),
+        val in arb_valuation(),
+    ) {
+        let phi = UnifPredicate::of(&a, &b);
+        let ga = apply_valuation(&a, &val).unwrap();
+        let gb = apply_valuation(&b, &val).unwrap();
+        let equal = ga == gb;
+        let satisfied = phi.eval(&val).unwrap();
+        prop_assert_eq!(equal, satisfied, "phi = {}", phi);
+    }
+
+    /// Display → parse is the identity on rendered transactions.
+    #[test]
+    fn display_parse_roundtrip(
+        n_upd in 1usize..3,
+        n_body in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        // Build a guaranteed-valid transaction: updates reuse body vars.
+        let mut g = VarGen::new();
+        let vars: Vec<Var> = (0..3).map(|i| g.fresh(format!("v{i}"))).collect();
+        let body: Vec<BodyAtom> = (0..n_body)
+            .map(|i| {
+                let t1 = Term::Var(vars[i % 3].clone());
+                let t2 = Term::Var(vars[(i + 1) % 3].clone());
+                BodyAtom {
+                    atom: Atom::new(if i % 2 == 0 { "A" } else { "B" }, vec![t1, t2]),
+                    // Keep at least one required atom so updates range-check.
+                    optional: i > 0 && (seed >> i) & 1 == 1,
+                }
+            })
+            .collect();
+        let first = &body[0].atom;
+        let updates: Vec<UpdateAtom> = (0..n_upd)
+            .map(|i| {
+                if i % 2 == 0 {
+                    UpdateAtom::delete(first.clone())
+                } else {
+                    UpdateAtom::insert(Atom::new("C", first.terms.clone()))
+                }
+            })
+            .collect();
+        let t = ResourceTransaction::new(updates, body).unwrap();
+        let reparsed = parse_transaction(&t.to_string()).unwrap();
+        prop_assert_eq!(t.to_string(), reparsed.to_string());
+    }
+
+    /// Codec round-trip preserves transactions bit-exactly.
+    #[test]
+    fn codec_roundtrip(n_body in 1usize..4) {
+        let mut g = VarGen::new();
+        let v: Vec<Var> = (0..3).map(|i| g.fresh(format!("y{i}"))).collect();
+        let body: Vec<BodyAtom> = (0..n_body)
+            .map(|i| BodyAtom::required(Atom::new(
+                "A",
+                vec![Term::Var(v[i % 3].clone()), Term::val(i as i64)],
+            )))
+            .collect();
+        let updates = vec![UpdateAtom::insert(body[0].atom.clone())];
+        let t = ResourceTransaction::new(updates, body).unwrap();
+        let back = decode_transaction(&encode_transaction(&t)).unwrap();
+        prop_assert_eq!(t, back);
+    }
+
+    /// Freshening yields disjoint variable ids and identical rendering.
+    #[test]
+    fn freshen_properties(offset in 0u32..1000) {
+        let t = parse_transaction(
+            "-A(f, s), +B(M, f, s) :-1 A(f, s), B(G, f, s2)?, Adj(s, s2)?",
+        ).unwrap();
+        let mut g = VarGen::starting_at(offset + 10);
+        let fresh = t.freshen(&mut g);
+        prop_assert_eq!(fresh.to_string(), t.to_string());
+        let old: std::collections::BTreeSet<u32> = t.vars().iter().map(Var::id).collect();
+        let new: std::collections::BTreeSet<u32> = fresh.vars().iter().map(Var::id).collect();
+        prop_assert!(old.is_disjoint(&new));
+    }
+}

@@ -1,0 +1,236 @@
+//! The solution cache (§4).
+//!
+//! *"The prototype maintains an in-memory cache of possible solutions (i.e.,
+//! value assignments) to the composed transaction bodies. … When a new
+//! resource transaction arrives in the system, we check whether an existing
+//! solution in the cache can be extended to accommodate the new
+//! transaction"* — only if extension fails does the system fall back to a
+//! full satisfiability check, and only if *that* fails is the transaction
+//! aborted.
+//!
+//! A [`CachedSolution`] holds one valuation per pending transaction of a
+//! partition, in sequence order. The engine may keep several (the paper
+//! suggests computing extra solutions in the background to avoid
+//! from-scratch re-solves).
+
+use qdb_logic::{ResourceTransaction, Valuation};
+use qdb_storage::{Database, WriteOp};
+
+use crate::search::Solver;
+use crate::spec::TxnSpec;
+use crate::Result;
+
+/// One known-consistent set of groundings for a partition's pending
+/// transactions.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CachedSolution {
+    /// One valuation per pending transaction, parallel to the partition's
+    /// pending list.
+    pub valuations: Vec<Valuation>,
+}
+
+impl CachedSolution {
+    /// Cache entry for an empty partition.
+    pub fn empty() -> Self {
+        CachedSolution::default()
+    }
+
+    /// Number of cached groundings.
+    pub fn len(&self) -> usize {
+        self.valuations.len()
+    }
+
+    /// True when no groundings are cached.
+    pub fn is_empty(&self) -> bool {
+        self.valuations.is_empty()
+    }
+
+    /// All write ops of the cached groundings, in sequence order — the
+    /// "virtual state" the next transaction would see.
+    pub fn pending_ops(&self, txns: &[&ResourceTransaction]) -> Result<Vec<WriteOp>> {
+        debug_assert_eq!(txns.len(), self.valuations.len());
+        let mut out = Vec::with_capacity(txns.len() * 2);
+        for (txn, val) in txns.iter().zip(&self.valuations) {
+            out.extend(txn.write_ops(val)?);
+        }
+        Ok(out)
+    }
+
+    /// Try to extend this cached solution with `new_txn` appended to the
+    /// sequence: solve only the newcomer against the cached virtual state.
+    /// On success the new valuation is appended and `Ok(true)` returned; on
+    /// failure the cache is untouched (`Ok(false)`) and the caller should
+    /// fall back to [`CachedSolution::resolve`].
+    pub fn try_extend(
+        &mut self,
+        solver: &mut Solver,
+        base: &Database,
+        txns: &[&ResourceTransaction],
+        new_txn: &ResourceTransaction,
+    ) -> Result<bool> {
+        let pre_ops = self.pending_ops(txns)?;
+        match solver.solve(base, &pre_ops, &[TxnSpec::required_only(new_txn)])? {
+            Some(sol) => {
+                self.valuations
+                    .push(sol.valuations.into_iter().next().expect("one spec"));
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Solve the whole sequence from scratch.
+    pub fn resolve(
+        solver: &mut Solver,
+        base: &Database,
+        txns: &[&ResourceTransaction],
+    ) -> Result<Option<CachedSolution>> {
+        let specs: Vec<TxnSpec> = txns.iter().map(|t| TxnSpec::required_only(t)).collect();
+        Ok(solver
+            .solve(base, &[], &specs)?
+            .map(|sol| CachedSolution {
+                valuations: sol.valuations,
+            }))
+    }
+
+    /// Is this cached solution still consistent with `base`?
+    pub fn verify(
+        &self,
+        solver: &mut Solver,
+        base: &Database,
+        txns: &[&ResourceTransaction],
+    ) -> Result<bool> {
+        let specs: Vec<TxnSpec> = txns.iter().map(|t| TxnSpec::required_only(t)).collect();
+        solver.verify(base, &[], &specs, &self.valuations)
+    }
+
+    /// Drop the grounding at `index` (its transaction left the pending
+    /// list). The remaining cached solution stays consistent when the
+    /// removed transaction's updates were applied to the base exactly as
+    /// cached *and* it was the sequence head; any other removal pattern
+    /// must be followed by `verify`/`resolve`.
+    pub fn remove(&mut self, index: usize) -> Valuation {
+        self.valuations.remove(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdb_logic::parse_transaction;
+    use qdb_storage::{tuple, Schema, ValueType};
+
+    fn tiny_db(seats: &[&str]) -> Database {
+        let mut db = Database::new();
+        db.create_table(Schema::new(
+            "Available",
+            vec![("flight", ValueType::Int), ("seat", ValueType::Str)],
+        ))
+        .unwrap();
+        db.create_table(Schema::new(
+            "Bookings",
+            vec![
+                ("name", ValueType::Str),
+                ("flight", ValueType::Int),
+                ("seat", ValueType::Str),
+            ],
+        ))
+        .unwrap();
+        for s in seats {
+            db.insert("Available", tuple![1, *s]).unwrap();
+        }
+        db
+    }
+
+    fn book(name: &str) -> ResourceTransaction {
+        parse_transaction(&format!(
+            "-Available(f, s), +Bookings('{name}', f, s) :-1 Available(f, s)"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn extend_until_capacity_then_fail() {
+        let db = tiny_db(&["1A", "1B"]);
+        let mut solver = Solver::default();
+        let mut cache = CachedSolution::empty();
+        let t1 = book("U1");
+        let t2 = book("U2");
+        let t3 = book("U3");
+        let mut admitted: Vec<&ResourceTransaction> = Vec::new();
+        assert!(cache.try_extend(&mut solver, &db, &admitted, &t1).unwrap());
+        admitted.push(&t1);
+        assert!(cache.try_extend(&mut solver, &db, &admitted, &t2).unwrap());
+        admitted.push(&t2);
+        // Two seats, two bookings: a third cannot extend.
+        assert!(!cache.try_extend(&mut solver, &db, &admitted, &t3).unwrap());
+        assert_eq!(cache.len(), 2);
+        assert!(cache.verify(&mut solver, &db, &admitted).unwrap());
+    }
+
+    #[test]
+    fn resolve_finds_solution_extension_misses() {
+        // Extension can fail while a full re-solve succeeds: the cached
+        // grounding for T1 takes the seat T2 needs.
+        let mut db = tiny_db(&["1A", "1B"]);
+        db.create_table(Schema::new(
+            "Pin",
+            vec![("flight", ValueType::Int), ("seat", ValueType::Str)],
+        ))
+        .unwrap();
+        db.insert("Pin", tuple![1, "1A"]).unwrap();
+        let t1 = book("U1"); // free to take any seat
+        let t2 = parse_transaction(
+            "-Available(f, s), +Bookings('U2', f, s) :-1 Available(f, s), Pin(f, s)",
+        )
+        .unwrap(); // must take 1A
+        let mut solver = Solver::default();
+        let mut cache = CachedSolution::empty();
+        let mut admitted: Vec<&ResourceTransaction> = Vec::new();
+        assert!(cache.try_extend(&mut solver, &db, &admitted, &t1).unwrap());
+        admitted.push(&t1);
+        // The solver deterministically gave U1 seat 1A (first candidate).
+        // Extension for U2 fails…
+        let extended = cache.try_extend(&mut solver, &db, &admitted, &t2).unwrap();
+        assert!(!extended);
+        // …but the full re-solve reassigns U1 to 1B and fits both.
+        admitted.push(&t2);
+        let resolved = CachedSolution::resolve(&mut solver, &db, &admitted)
+            .unwrap()
+            .expect("jointly satisfiable");
+        assert_eq!(resolved.len(), 2);
+        assert!(resolved.verify(&mut solver, &db, &admitted).unwrap());
+    }
+
+    #[test]
+    fn verify_fails_after_base_change() {
+        let mut db = tiny_db(&["1A"]);
+        let t1 = book("U1");
+        let mut solver = Solver::default();
+        let admitted = [&t1];
+        let cache = CachedSolution::resolve(&mut solver, &db, &admitted)
+            .unwrap()
+            .unwrap();
+        assert!(cache.verify(&mut solver, &db, &admitted).unwrap());
+        // Someone blind-deletes the seat out from under the cache.
+        db.delete("Available", &tuple![1, "1A"]).unwrap();
+        assert!(!cache.verify(&mut solver, &db, &admitted).unwrap());
+    }
+
+    #[test]
+    fn remove_head_keeps_rest_valid() {
+        let mut db = tiny_db(&["1A", "1B"]);
+        let t1 = book("U1");
+        let t2 = book("U2");
+        let mut solver = Solver::default();
+        let admitted = [&t1, &t2];
+        let mut cache = CachedSolution::resolve(&mut solver, &db, &admitted)
+            .unwrap()
+            .unwrap();
+        // Ground T1 exactly as cached: apply its ops to base, drop entry 0.
+        let ops = t1.write_ops(&cache.valuations[0]).unwrap();
+        db.apply_all(&ops).unwrap();
+        cache.remove(0);
+        assert!(cache.verify(&mut solver, &db, &[&t2]).unwrap());
+    }
+}

@@ -1,0 +1,63 @@
+//! Solver error type.
+
+use std::fmt;
+
+/// Errors surfaced by the grounding engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolverError {
+    /// Underlying storage failure (missing table, arity mismatch, …).
+    Storage(qdb_storage::StorageError),
+    /// Underlying logic failure (unbound variable at grounding time, …).
+    Logic(qdb_logic::LogicError),
+    /// The search exceeded its node budget. Callers treat this
+    /// conservatively (e.g. reject the transaction) — the invariant is
+    /// never assumed without a witness.
+    LimitExceeded {
+        /// Nodes explored before giving up.
+        nodes: u64,
+    },
+    /// A cached solution failed to apply cleanly (internal invariant
+    /// violation; indicates engine/cache state divergence).
+    CacheInconsistent(String),
+}
+
+impl fmt::Display for SolverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolverError::Storage(e) => write!(f, "storage: {e}"),
+            SolverError::Logic(e) => write!(f, "logic: {e}"),
+            SolverError::LimitExceeded { nodes } => {
+                write!(f, "search limit exceeded after {nodes} nodes")
+            }
+            SolverError::CacheInconsistent(msg) => write!(f, "cache inconsistent: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}
+
+impl From<qdb_storage::StorageError> for SolverError {
+    fn from(e: qdb_storage::StorageError) -> Self {
+        SolverError::Storage(e)
+    }
+}
+
+impl From<qdb_logic::LogicError> for SolverError {
+    fn from(e: qdb_logic::LogicError) -> Self {
+        SolverError::Logic(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: SolverError = qdb_storage::StorageError::NoSuchTable("X".into()).into();
+        assert!(e.to_string().contains('X'));
+        let e: SolverError = qdb_logic::LogicError::UnboundVariable { var: "v".into() }.into();
+        assert!(e.to_string().contains('v'));
+        assert!(SolverError::LimitExceeded { nodes: 9 }.to_string().contains('9'));
+    }
+}

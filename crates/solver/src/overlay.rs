@@ -1,0 +1,394 @@
+//! Virtual database states: base database + pending updates.
+//!
+//! When checking whether transaction `Ti` can ground, its body atoms must be
+//! evaluated against the database **as modified by the updates of
+//! `T0..Ti-1`** under their chosen groundings (Definition 3.1). `Overlay`
+//! provides that view without copying the base: per-relation insert/delete
+//! deltas with a journal for cheap backtracking.
+
+use std::collections::{BTreeSet, HashMap};
+
+use qdb_storage::{Database, Tuple, Value, WriteOp};
+
+use crate::error::SolverError;
+use crate::Result;
+
+/// One journal entry (how to undo an applied op).
+#[derive(Debug, Clone)]
+enum Undo {
+    /// Remove `tuple` from the insert set of `relation`.
+    UnInsert { relation: String, tuple: Tuple },
+    /// Remove `tuple` from the delete set of `relation`.
+    UnDelete { relation: String, tuple: Tuple },
+    /// Re-add `tuple` to the delete set (an insert cancelled the delete).
+    ReDelete { relation: String, tuple: Tuple },
+    /// Re-add `tuple` to the insert set (a delete cancelled the insert).
+    ReInsert { relation: String, tuple: Tuple },
+    /// The op was a no-op (delete of an absent tuple).
+    Noop,
+}
+
+/// A rollback point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverlayMark(usize);
+
+/// Insert/delete deltas on top of a base [`Database`].
+#[derive(Debug, Default, Clone)]
+pub struct Overlay {
+    inserts: HashMap<String, BTreeSet<Tuple>>,
+    deletes: HashMap<String, BTreeSet<Tuple>>,
+    journal: Vec<Undo>,
+}
+
+impl Overlay {
+    /// Empty overlay (view = base).
+    pub fn new() -> Self {
+        Overlay::default()
+    }
+
+    /// Is `tuple` visible in `base + self`?
+    pub fn visible(&self, base: &Database, relation: &str, tuple: &Tuple) -> bool {
+        if self
+            .inserts
+            .get(relation)
+            .is_some_and(|s| s.contains(tuple))
+        {
+            return true;
+        }
+        if self
+            .deletes
+            .get(relation)
+            .is_some_and(|s| s.contains(tuple))
+        {
+            return false;
+        }
+        base.contains(relation, tuple)
+    }
+
+    /// All visible tuples of `relation` matching the column constraints
+    /// `bound` (`Some(v)` pins a column). Base rows come first (in key
+    /// order), then overlay inserts (in tuple order) — deterministic.
+    pub fn candidates(
+        &self,
+        base: &Database,
+        relation: &str,
+        bound: &[Option<Value>],
+    ) -> Result<Vec<Tuple>> {
+        let table = base.table(relation)?;
+        if bound.len() != table.schema().arity() {
+            return Err(SolverError::Storage(
+                qdb_storage::StorageError::ArityMismatch {
+                    relation: relation.to_string(),
+                    expected: table.schema().arity(),
+                    got: bound.len(),
+                },
+            ));
+        }
+        let empty = BTreeSet::new();
+        let deleted = self.deletes.get(relation).unwrap_or(&empty);
+        let mut out: Vec<Tuple> = table
+            .select(bound)
+            .filter(|t| !deleted.contains(*t))
+            .cloned()
+            .collect();
+        if let Some(ins) = self.inserts.get(relation) {
+            out.extend(
+                ins.iter()
+                    .filter(|t| {
+                        bound
+                            .iter()
+                            .enumerate()
+                            .all(|(i, b)| b.as_ref().is_none_or(|v| &t[i] == v))
+                    })
+                    .cloned(),
+            );
+        }
+        Ok(out)
+    }
+
+    /// Count of visible tuples matching `bound`, saturating at `cap`
+    /// (used by the dynamic atom ordering to pick the most constrained
+    /// atom first; beyond the cap relative order no longer matters).
+    pub fn count_up_to(
+        &self,
+        base: &Database,
+        relation: &str,
+        bound: &[Option<Value>],
+        cap: usize,
+    ) -> Result<usize> {
+        let table = base.table(relation)?;
+        if bound.len() != table.schema().arity() {
+            return Err(SolverError::Storage(
+                qdb_storage::StorageError::ArityMismatch {
+                    relation: relation.to_string(),
+                    expected: table.schema().arity(),
+                    got: bound.len(),
+                },
+            ));
+        }
+        let empty = BTreeSet::new();
+        let deleted = self.deletes.get(relation).unwrap_or(&empty);
+        let mut n = table
+            .select(bound)
+            .filter(|t| !deleted.contains(*t))
+            .take(cap)
+            .count();
+        if n < cap {
+            if let Some(ins) = self.inserts.get(relation) {
+                n += ins
+                    .iter()
+                    .filter(|t| {
+                        bound
+                            .iter()
+                            .enumerate()
+                            .all(|(i, b)| b.as_ref().is_none_or(|v| &t[i] == v))
+                    })
+                    .take(cap - n)
+                    .count();
+            }
+        }
+        Ok(n)
+    }
+
+    /// Exact count of visible tuples matching `bound`.
+    pub fn count(&self, base: &Database, relation: &str, bound: &[Option<Value>]) -> Result<usize> {
+        self.count_up_to(base, relation, bound, usize::MAX)
+    }
+
+    /// Apply a write op on the virtual state.
+    ///
+    /// * insert of a visible tuple → `Err` — set semantics make the
+    ///   grounding that produced this op inconsistent, the caller
+    ///   backtracks;
+    /// * insert that re-creates a deleted tuple → cancels the delete;
+    /// * delete of an overlay-inserted tuple → cancels the insert;
+    /// * delete of an absent tuple → journaled no-op (blind deletes are
+    ///   silent no-ops in SQL, and the Lemma 3.4 proof never relies on a
+    ///   deleted tuple having existed).
+    pub fn apply(&mut self, base: &Database, op: &WriteOp) -> Result<bool> {
+        match op {
+            WriteOp::Insert { relation, tuple } => {
+                if self.visible(base, relation, tuple) {
+                    return Err(SolverError::CacheInconsistent(format!(
+                        "insert of visible tuple {relation}{tuple}"
+                    )));
+                }
+                if self
+                    .deletes
+                    .get_mut(relation.as_str())
+                    .is_some_and(|s| s.remove(tuple))
+                {
+                    self.journal.push(Undo::ReDelete {
+                        relation: relation.clone(),
+                        tuple: tuple.clone(),
+                    });
+                } else {
+                    self.inserts
+                        .entry(relation.clone())
+                        .or_default()
+                        .insert(tuple.clone());
+                    self.journal.push(Undo::UnInsert {
+                        relation: relation.clone(),
+                        tuple: tuple.clone(),
+                    });
+                }
+                Ok(true)
+            }
+            WriteOp::Delete { relation, tuple } => {
+                if self
+                    .inserts
+                    .get_mut(relation.as_str())
+                    .is_some_and(|s| s.remove(tuple))
+                {
+                    self.journal.push(Undo::ReInsert {
+                        relation: relation.clone(),
+                        tuple: tuple.clone(),
+                    });
+                    Ok(true)
+                } else if base.contains(relation, tuple)
+                    && !self
+                        .deletes
+                        .get(relation.as_str())
+                        .is_some_and(|s| s.contains(tuple))
+                {
+                    self.deletes
+                        .entry(relation.clone())
+                        .or_default()
+                        .insert(tuple.clone());
+                    self.journal.push(Undo::UnDelete {
+                        relation: relation.clone(),
+                        tuple: tuple.clone(),
+                    });
+                    Ok(true)
+                } else {
+                    self.journal.push(Undo::Noop);
+                    Ok(false)
+                }
+            }
+        }
+    }
+
+    /// Apply an op, treating an insert-conflict as a soft failure (`false`)
+    /// rather than an error, and rolling nothing back. Used by the search,
+    /// which backtracks on `false`.
+    pub fn try_apply(&mut self, base: &Database, op: &WriteOp) -> bool {
+        match op {
+            WriteOp::Insert { relation, tuple } if self.visible(base, relation, tuple) => false,
+            _ => {
+                // Cannot fail for deletes or non-conflicting inserts.
+                self.apply(base, op).expect("conflict pre-checked");
+                true
+            }
+        }
+    }
+
+    /// Current rollback point.
+    pub fn mark(&self) -> OverlayMark {
+        OverlayMark(self.journal.len())
+    }
+
+    /// Undo every op applied since `mark`.
+    pub fn rollback(&mut self, mark: OverlayMark) {
+        while self.journal.len() > mark.0 {
+            match self.journal.pop().expect("journal non-empty") {
+                Undo::UnInsert { relation, tuple } => {
+                    self.inserts.get_mut(&relation).map(|s| s.remove(&tuple));
+                }
+                Undo::UnDelete { relation, tuple } => {
+                    self.deletes.get_mut(&relation).map(|s| s.remove(&tuple));
+                }
+                Undo::ReDelete { relation, tuple } => {
+                    self.deletes.entry(relation).or_default().insert(tuple);
+                }
+                Undo::ReInsert { relation, tuple } => {
+                    self.inserts.entry(relation).or_default().insert(tuple);
+                }
+                Undo::Noop => {}
+            }
+        }
+    }
+
+    /// Number of journaled operations.
+    pub fn journal_len(&self) -> usize {
+        self.journal.len()
+    }
+
+    /// Materialize the overlay into the base database (used when grounding
+    /// is final rather than speculative). Consumes the overlay.
+    pub fn commit_into(self, base: &mut Database) -> Result<()> {
+        for (relation, tuples) in &self.deletes {
+            for t in tuples {
+                base.delete(relation, t)?;
+            }
+        }
+        for (relation, tuples) in &self.inserts {
+            for t in tuples {
+                base.insert(relation, t.clone())?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdb_storage::{tuple, Schema, ValueType};
+
+    fn base() -> Database {
+        let mut db = Database::new();
+        db.create_table(Schema::new(
+            "A",
+            vec![("flight", ValueType::Int), ("seat", ValueType::Str)],
+        ))
+        .unwrap();
+        db.insert("A", tuple![1, "1A"]).unwrap();
+        db.insert("A", tuple![1, "1B"]).unwrap();
+        db
+    }
+
+    #[test]
+    fn visibility_tracks_deltas() {
+        let db = base();
+        let mut ov = Overlay::new();
+        assert!(ov.visible(&db, "A", &tuple![1, "1A"]));
+        ov.apply(&db, &WriteOp::delete("A", tuple![1, "1A"])).unwrap();
+        assert!(!ov.visible(&db, "A", &tuple![1, "1A"]));
+        ov.apply(&db, &WriteOp::insert("A", tuple![2, "9Z"])).unwrap();
+        assert!(ov.visible(&db, "A", &tuple![2, "9Z"]));
+        assert!(!db.contains("A", &tuple![2, "9Z"])); // base untouched
+    }
+
+    #[test]
+    fn insert_conflict_detected() {
+        let db = base();
+        let mut ov = Overlay::new();
+        assert!(ov.apply(&db, &WriteOp::insert("A", tuple![1, "1A"])).is_err());
+        assert!(!ov.try_apply(&db, &WriteOp::insert("A", tuple![1, "1A"])));
+        // Deleting first clears the way.
+        ov.apply(&db, &WriteOp::delete("A", tuple![1, "1A"])).unwrap();
+        assert!(ov.try_apply(&db, &WriteOp::insert("A", tuple![1, "1A"])));
+        assert!(ov.visible(&db, "A", &tuple![1, "1A"]));
+    }
+
+    #[test]
+    fn delete_of_absent_is_noop() {
+        let db = base();
+        let mut ov = Overlay::new();
+        assert!(!ov.apply(&db, &WriteOp::delete("A", tuple![9, "XX"])).unwrap());
+    }
+
+    #[test]
+    fn candidates_merge_base_and_overlay() {
+        let db = base();
+        let mut ov = Overlay::new();
+        ov.apply(&db, &WriteOp::delete("A", tuple![1, "1A"])).unwrap();
+        ov.apply(&db, &WriteOp::insert("A", tuple![1, "1C"])).unwrap();
+        let bound = vec![Some(Value::from(1)), None];
+        let cands = ov.candidates(&db, "A", &bound).unwrap();
+        let seats: Vec<&str> = cands.iter().map(|t| t[1].as_str().unwrap()).collect();
+        assert_eq!(seats, vec!["1B", "1C"]);
+        assert_eq!(ov.count(&db, "A", &bound).unwrap(), 2);
+    }
+
+    #[test]
+    fn rollback_restores_exact_state() {
+        let db = base();
+        let mut ov = Overlay::new();
+        ov.apply(&db, &WriteOp::delete("A", tuple![1, "1A"])).unwrap();
+        let mark = ov.mark();
+        ov.apply(&db, &WriteOp::insert("A", tuple![1, "1A"])).unwrap(); // cancels delete
+        ov.apply(&db, &WriteOp::insert("A", tuple![3, "3C"])).unwrap();
+        ov.apply(&db, &WriteOp::delete("A", tuple![1, "1B"])).unwrap();
+        ov.apply(&db, &WriteOp::delete("A", tuple![3, "3C"])).unwrap(); // cancels insert
+        assert!(ov.visible(&db, "A", &tuple![1, "1A"]));
+        ov.rollback(mark);
+        assert!(!ov.visible(&db, "A", &tuple![1, "1A"]));
+        assert!(ov.visible(&db, "A", &tuple![1, "1B"]));
+        assert!(!ov.visible(&db, "A", &tuple![3, "3C"]));
+        assert_eq!(ov.journal_len(), 1);
+    }
+
+    #[test]
+    fn commit_into_materializes() {
+        let mut db = base();
+        let mut ov = Overlay::new();
+        ov.apply(&db, &WriteOp::delete("A", tuple![1, "1A"])).unwrap();
+        ov.apply(&db, &WriteOp::insert("A", tuple![7, "7A"])).unwrap();
+        ov.commit_into(&mut db).unwrap();
+        assert!(!db.contains("A", &tuple![1, "1A"]));
+        assert!(db.contains("A", &tuple![7, "7A"]));
+    }
+
+    #[test]
+    fn insert_after_delete_then_commit() {
+        // Regression shape: delete + re-insert of the same tuple must net
+        // out to "present" after commit.
+        let mut db = base();
+        let mut ov = Overlay::new();
+        ov.apply(&db, &WriteOp::delete("A", tuple![1, "1A"])).unwrap();
+        ov.apply(&db, &WriteOp::insert("A", tuple![1, "1A"])).unwrap();
+        ov.commit_into(&mut db).unwrap();
+        assert!(db.contains("A", &tuple![1, "1A"]));
+    }
+}

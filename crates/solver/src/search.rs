@@ -1,0 +1,615 @@
+//! The consistent-grounding search.
+//!
+//! Given a base database and an ordered sequence of transaction specs, find
+//! one valuation per transaction such that, executing the sequence in
+//! order, every spec'd body atom grounds on the then-current virtual state
+//! and every update applies without violating set semantics. This is the
+//! operational reading of Definition 3.1, and (by Theorem 3.5) equivalent
+//! to satisfiability of the composed body formula — the equivalence is
+//! cross-checked by property tests against a brute-force formula oracle.
+
+use qdb_logic::{Atom, Term, Valuation, Var};
+use qdb_storage::{Database, Tuple, Value, WriteOp};
+
+use crate::error::SolverError;
+use crate::overlay::Overlay;
+use crate::spec::{Solution, TxnSpec};
+use crate::stats::SolverStats;
+use crate::Result;
+
+/// Which body atom the search branches on next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AtomOrder {
+    /// Dynamically pick the unmatched atom with the fewest candidates —
+    /// the default, analogous to a decent join order.
+    #[default]
+    MostConstrained,
+    /// Left-to-right in body order — mimics the fixed join order of the
+    /// paper's monolithic LIMIT-1 queries (kept for the ablation bench;
+    /// MySQL's `optimizer_search_depth` troubles in §5.3 are exactly the
+    /// cost of getting this ordering wrong).
+    Static,
+}
+
+/// Search resource bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchLimits {
+    /// Maximum candidate tuples tried across one `solve` call.
+    pub max_nodes: u64,
+}
+
+impl Default for SearchLimits {
+    fn default() -> Self {
+        SearchLimits {
+            max_nodes: 10_000_000,
+        }
+    }
+}
+
+/// The grounding solver. Holds configuration and cumulative statistics;
+/// all search state lives on the stack of each call.
+#[derive(Debug, Default, Clone)]
+pub struct Solver {
+    /// Atom ordering strategy.
+    pub order: AtomOrder,
+    /// Resource bounds.
+    pub limits: SearchLimits,
+    stats: SolverStats,
+}
+
+impl Solver {
+    /// Solver with the given strategy and default limits.
+    pub fn new(order: AtomOrder) -> Self {
+        Solver {
+            order,
+            ..Solver::default()
+        }
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> &SolverStats {
+        &self.stats
+    }
+
+    /// Reset statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// Find a consistent grounding for `specs` executed in order on
+    /// `base + pre_ops`. `pre_ops` (the already-fixed updates of a cached
+    /// solution) must apply cleanly — a conflict there is an internal
+    /// error, not a search failure.
+    pub fn solve(
+        &mut self,
+        base: &Database,
+        pre_ops: &[WriteOp],
+        specs: &[TxnSpec<'_>],
+    ) -> Result<Option<Solution>> {
+        let mut overlay = Overlay::new();
+        for op in pre_ops {
+            overlay.apply(base, op)?;
+        }
+        let mut ctx = Ctx {
+            base,
+            specs,
+            order: self.order,
+            max_nodes: self.limits.max_nodes,
+            nodes: 0,
+            collect_first: None,
+        };
+        let mut valuations = Vec::with_capacity(specs.len());
+        let found = ctx.solve_txn(0, &mut overlay, &mut valuations)?;
+        self.stats.nodes += ctx.nodes;
+        self.stats.solves += 1;
+        if found {
+            Ok(Some(Solution { valuations }))
+        } else {
+            self.stats.unsat += 1;
+            Ok(None)
+        }
+    }
+
+    /// Check that `valuations` is (still) a consistent grounding for
+    /// `specs` on `base + pre_ops`. Much cheaper than solving; used to
+    /// revalidate cached solutions after reads, writes and reorderings.
+    pub fn verify(
+        &mut self,
+        base: &Database,
+        pre_ops: &[WriteOp],
+        specs: &[TxnSpec<'_>],
+        valuations: &[Valuation],
+    ) -> Result<bool> {
+        self.stats.verifies += 1;
+        if specs.len() != valuations.len() {
+            self.stats.verify_failures += 1;
+            return Ok(false);
+        }
+        let mut overlay = Overlay::new();
+        for op in pre_ops {
+            overlay.apply(base, op)?;
+        }
+        for (spec, val) in specs.iter().zip(valuations) {
+            for atom in spec.atoms() {
+                let tuple = match atom.ground(val) {
+                    Ok(t) => t,
+                    Err(_) => {
+                        self.stats.verify_failures += 1;
+                        return Ok(false); // valuation doesn't even cover the atom
+                    }
+                };
+                if !overlay.visible(base, &atom.relation, &tuple) {
+                    self.stats.verify_failures += 1;
+                    return Ok(false);
+                }
+            }
+            for op in spec.txn.write_ops(val)? {
+                if !overlay.try_apply(base, &op) {
+                    self.stats.verify_failures += 1;
+                    return Ok(false);
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    /// Enumerate up to `max` distinct groundings of a *single* spec on
+    /// `base + pre_ops` (each one's updates must apply cleanly). Used by
+    /// grounding heuristics that score alternatives before fixing one.
+    pub fn enumerate_one(
+        &mut self,
+        base: &Database,
+        pre_ops: &[WriteOp],
+        spec: &TxnSpec<'_>,
+        max: usize,
+    ) -> Result<Vec<Valuation>> {
+        let mut overlay = Overlay::new();
+        for op in pre_ops {
+            overlay.apply(base, op)?;
+        }
+        let mut collected = Vec::new();
+        let mut ctx = Ctx {
+            base,
+            specs: std::slice::from_ref(spec),
+            order: self.order,
+            max_nodes: self.limits.max_nodes,
+            nodes: 0,
+            collect_first: Some((max, &mut collected)),
+        };
+        let mut valuations = Vec::with_capacity(1);
+        // In collect mode solve_txn never reports success; it fills the
+        // collector until exhaustion or `max`.
+        let _ = ctx.solve_txn(0, &mut overlay, &mut valuations)?;
+        self.stats.nodes += ctx.nodes;
+        self.stats.enumerated += collected.len() as u64;
+        // Deduplicate while preserving discovery order.
+        let mut seen = std::collections::BTreeSet::new();
+        collected.retain(|v| seen.insert(v.clone()));
+        Ok(collected)
+    }
+}
+
+struct Ctx<'a, 'c> {
+    base: &'a Database,
+    specs: &'a [TxnSpec<'a>],
+    order: AtomOrder,
+    max_nodes: u64,
+    nodes: u64,
+    /// When set, collect up to N valuations of spec 0 instead of solving
+    /// the whole sequence.
+    collect_first: Option<(usize, &'c mut Vec<Valuation>)>,
+}
+
+impl<'a, 'c> Ctx<'a, 'c> {
+    fn solve_txn(
+        &mut self,
+        i: usize,
+        overlay: &mut Overlay,
+        out: &mut Vec<Valuation>,
+    ) -> Result<bool> {
+        if i == self.specs.len() {
+            return Ok(self.collect_first.is_none());
+        }
+        let atoms = self.specs[i].atoms();
+        let mut used = vec![false; atoms.len()];
+        let mut val = Valuation::new();
+        self.solve_atoms(i, &atoms, &mut used, &mut val, overlay, out)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn solve_atoms(
+        &mut self,
+        i: usize,
+        atoms: &[&Atom],
+        used: &mut [bool],
+        val: &mut Valuation,
+        overlay: &mut Overlay,
+        out: &mut Vec<Valuation>,
+    ) -> Result<bool> {
+        if used.iter().all(|&u| u) {
+            return self.complete_txn(i, val, overlay, out);
+        }
+        let idx = self.pick_atom(atoms, used, val, overlay)?;
+        let atom = atoms[idx];
+        let bound = bound_columns(atom, val);
+        let candidates = overlay.candidates(self.base, &atom.relation, &bound)?;
+        used[idx] = true;
+        for tuple in candidates {
+            self.nodes += 1;
+            if self.nodes > self.max_nodes {
+                return Err(SolverError::LimitExceeded { nodes: self.nodes });
+            }
+            if let Some(newly) = match_atom(atom, &tuple, val) {
+                let done = self.solve_atoms(i, atoms, used, val, overlay, out)?;
+                for v in &newly {
+                    val.unbind(v);
+                }
+                if done {
+                    used[idx] = false;
+                    return Ok(true);
+                }
+            }
+        }
+        used[idx] = false;
+        Ok(false)
+    }
+
+    /// All atoms of txn `i` are matched: apply its updates and move on.
+    fn complete_txn(
+        &mut self,
+        i: usize,
+        val: &mut Valuation,
+        overlay: &mut Overlay,
+        out: &mut Vec<Valuation>,
+    ) -> Result<bool> {
+        let mark = overlay.mark();
+        let ops = self.specs[i].txn.write_ops(val)?;
+        for op in &ops {
+            if !overlay.try_apply(self.base, op) {
+                overlay.rollback(mark);
+                return Ok(false); // set-semantics conflict: backtrack
+            }
+        }
+        if let Some((max, collected)) = &mut self.collect_first {
+            collected.push(val.clone());
+            let full = collected.len() >= *max;
+            overlay.rollback(mark);
+            // `true` stops the search; in collect mode that means "quota
+            // reached".
+            return Ok(full);
+        }
+        out.push(val.clone());
+        if self.solve_txn(i + 1, overlay, out)? {
+            return Ok(true);
+        }
+        out.pop();
+        overlay.rollback(mark);
+        Ok(false)
+    }
+
+    fn pick_atom(
+        &self,
+        atoms: &[&Atom],
+        used: &[bool],
+        val: &Valuation,
+        overlay: &Overlay,
+    ) -> Result<usize> {
+        match self.order {
+            AtomOrder::Static => Ok(used
+                .iter()
+                .position(|&u| !u)
+                .expect("at least one unused atom")),
+            AtomOrder::MostConstrained => {
+                // Saturating count: beyond 32 candidates the relative
+                // order of atoms no longer changes the search usefully.
+                const ORDER_CAP: usize = 32;
+                let mut best: Option<(usize, usize)> = None;
+                for (idx, atom) in atoms.iter().enumerate() {
+                    if used[idx] {
+                        continue;
+                    }
+                    let bound = bound_columns(atom, val);
+                    let n =
+                        overlay.count_up_to(self.base, &atom.relation, &bound, ORDER_CAP)?;
+                    if best.is_none_or(|(_, bn)| n < bn) {
+                        best = Some((idx, n));
+                    }
+                    if n == 0 {
+                        break; // dead branch — pick it and fail fast
+                    }
+                }
+                Ok(best.expect("at least one unused atom").0)
+            }
+        }
+    }
+}
+
+/// Column constraints of `atom` under a partial valuation.
+fn bound_columns(atom: &Atom, val: &Valuation) -> Vec<Option<Value>> {
+    atom.terms
+        .iter()
+        .map(|t| match t {
+            Term::Const(c) => Some(c.clone()),
+            Term::Var(v) => val.get(v).cloned(),
+        })
+        .collect()
+}
+
+/// Try to extend `val` so `atom` matches `tuple`; returns newly bound vars
+/// (for undo) or `None` on mismatch.
+fn match_atom(atom: &Atom, tuple: &Tuple, val: &mut Valuation) -> Option<Vec<Var>> {
+    debug_assert_eq!(atom.arity(), tuple.arity());
+    let mut newly: Vec<Var> = Vec::new();
+    for (term, value) in atom.terms.iter().zip(tuple.iter()) {
+        let ok = match term {
+            Term::Const(c) => c == value,
+            Term::Var(v) => match val.get(v) {
+                Some(existing) => existing == value,
+                None => {
+                    val.bind(v.clone(), value.clone());
+                    newly.push(v.clone());
+                    true
+                }
+            },
+        };
+        if !ok {
+            for v in &newly {
+                val.unbind(v);
+            }
+            return None;
+        }
+    }
+    Some(newly)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdb_logic::parse_transaction;
+    use qdb_storage::{tuple, Schema, ValueType};
+
+    /// One flight (1) with seats 1A..1C available; Goofy already booked 1B
+    /// on flight 1. Adjacency 1A-1B, 1B-1C (both directions).
+    fn travel_db() -> Database {
+        let mut db = Database::new();
+        db.create_table(Schema::new(
+            "Available",
+            vec![("flight", ValueType::Int), ("seat", ValueType::Str)],
+        ))
+        .unwrap();
+        db.create_table(Schema::new(
+            "Bookings",
+            vec![
+                ("name", ValueType::Str),
+                ("flight", ValueType::Int),
+                ("seat", ValueType::Str),
+            ],
+        ))
+        .unwrap();
+        db.create_table(Schema::new(
+            "Adjacent",
+            vec![("s1", ValueType::Str), ("s2", ValueType::Str)],
+        ))
+        .unwrap();
+        for s in ["1A", "1B", "1C"] {
+            db.insert("Available", tuple![1, s]).unwrap();
+        }
+        db.insert("Bookings", tuple!["Goofy", 1, "1B"]).unwrap();
+        for (a, b) in [("1A", "1B"), ("1B", "1A"), ("1B", "1C"), ("1C", "1B")] {
+            db.insert("Adjacent", tuple![a, b]).unwrap();
+        }
+        db
+    }
+
+    fn book(name: &str) -> qdb_logic::ResourceTransaction {
+        parse_transaction(&format!(
+            "-Available(f, s), +Bookings('{name}', f, s) :-1 Available(f, s)"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn single_txn_solves() {
+        let db = travel_db();
+        let t = book("Mickey");
+        let mut solver = Solver::default();
+        let sol = solver
+            .solve(&db, &[], &[TxnSpec::required_only(&t)])
+            .unwrap()
+            .unwrap();
+        assert_eq!(sol.valuations.len(), 1);
+        // The solution grounds the update into valid ops.
+        let ops = sol.write_ops(&[&t]).unwrap();
+        assert_eq!(ops.len(), 2);
+        assert_eq!(solver.stats().solves, 1);
+        assert_eq!(solver.stats().unsat, 0);
+    }
+
+    #[test]
+    fn sequence_respects_earlier_deletes() {
+        // Three bookings fit (three seats); a fourth cannot.
+        let db = travel_db();
+        let txns: Vec<_> = ["M", "D", "P", "Q"].iter().map(|n| book(n)).collect();
+        let mut solver = Solver::default();
+        let specs3: Vec<TxnSpec> = txns[..3].iter().map(TxnSpec::required_only).collect();
+        assert!(solver.solve(&db, &[], &specs3).unwrap().is_some());
+        let specs4: Vec<TxnSpec> = txns.iter().map(TxnSpec::required_only).collect();
+        assert!(solver.solve(&db, &[], &specs4).unwrap().is_none());
+        assert_eq!(solver.stats().unsat, 1);
+    }
+
+    #[test]
+    fn body_can_ground_on_earlier_insert() {
+        // T1 books Mickey; T2's body requires a Bookings tuple for Mickey —
+        // only satisfiable via T1's pending insert (Lemma 3.4, insert case).
+        let db = travel_db();
+        let t1 = book("Mickey");
+        let t2 = parse_transaction(
+            "+Confirmed(s) :-1 Bookings('Mickey', f, s)",
+        )
+        .unwrap();
+        let mut db = db;
+        db.create_table(Schema::new("Confirmed", vec![("seat", ValueType::Str)]))
+            .unwrap();
+        let mut solver = Solver::default();
+        let specs = [TxnSpec::required_only(&t1), TxnSpec::required_only(&t2)];
+        let sol = solver.solve(&db, &[], &specs).unwrap().unwrap();
+        // T2's seat must equal T1's chosen seat.
+        let s1 = t1.vars()[1].clone();
+        let s2 = t2.vars()[1].clone();
+        assert_eq!(sol.valuations[0].get(&s1), sol.valuations[1].get(&s2));
+    }
+
+    #[test]
+    fn body_cannot_ground_on_earlier_delete() {
+        // T1 deletes the ONLY seat (flight fixed, seat fixed); T2 needs it.
+        let db = travel_db();
+        let t1 = parse_transaction("-Available(f, s), +Bookings('M', f, s) :-1 Available(f, s), Pin(f, s)").unwrap();
+        let mut db = db;
+        db.create_table(Schema::new(
+            "Pin",
+            vec![("flight", ValueType::Int), ("seat", ValueType::Str)],
+        ))
+        .unwrap();
+        db.insert("Pin", tuple![1, "1A"]).unwrap(); // forces T1 onto 1A
+        let t2 = parse_transaction(
+            "+X(f, s) :-1 Available(f, s), Pin(f, s)",
+        )
+        .unwrap();
+        db.create_table(Schema::new(
+            "X",
+            vec![("flight", ValueType::Int), ("seat", ValueType::Str)],
+        ))
+        .unwrap();
+        let mut solver = Solver::default();
+        let specs = [TxnSpec::required_only(&t1), TxnSpec::required_only(&t2)];
+        assert!(solver.solve(&db, &[], &specs).unwrap().is_none());
+        // Reversed order: T2 reads 1A before T1 deletes it — satisfiable.
+        let specs = [TxnSpec::required_only(&t2), TxnSpec::required_only(&t1)];
+        assert!(solver.solve(&db, &[], &specs).unwrap().is_some());
+    }
+
+    #[test]
+    fn duplicate_inserts_conflict() {
+        // Both transactions want to insert Flag(1) — set semantics forbids.
+        let mut db = Database::new();
+        db.create_table(Schema::new("A", vec![("x", ValueType::Int)]))
+            .unwrap();
+        db.create_table(Schema::new("Flag", vec![("x", ValueType::Int)]))
+            .unwrap();
+        db.insert("A", tuple![1]).unwrap();
+        let t = parse_transaction("+Flag(x) :-1 A(x)").unwrap();
+        let t2 = t.clone();
+        let mut solver = Solver::default();
+        let specs = [TxnSpec::required_only(&t), TxnSpec::required_only(&t2)];
+        assert!(solver.solve(&db, &[], &specs).unwrap().is_none());
+        // With a second A-tuple there is room for both.
+        db.insert("A", tuple![2]).unwrap();
+        assert!(solver.solve(&db, &[], &specs).unwrap().is_some());
+    }
+
+    #[test]
+    fn promoted_optionals_constrain() {
+        let db = travel_db();
+        // Mickey wants a seat adjacent to Goofy's (optional atoms).
+        let t = parse_transaction(
+            "-Available(f, s), +Bookings('Mickey', f, s) :-1 \
+             Available(f, s), Bookings('Goofy', f, s2)?, Adjacent(s, s2)?",
+        )
+        .unwrap();
+        let mut solver = Solver::default();
+        let sol = solver
+            .solve(&db, &[], &[TxnSpec::with_promoted(&t, vec![1, 2])])
+            .unwrap()
+            .unwrap();
+        let s = t.vars()[1].clone();
+        let seat = sol.valuations[0].get(&s).unwrap().as_str().unwrap().to_string();
+        assert!(seat == "1A" || seat == "1C", "must sit next to 1B, got {seat}");
+    }
+
+    #[test]
+    fn pre_ops_shift_the_base_state() {
+        let db = travel_db();
+        let t = book("Mickey");
+        let pre = vec![
+            WriteOp::delete("Available", tuple![1, "1A"]),
+            WriteOp::delete("Available", tuple![1, "1B"]),
+            WriteOp::delete("Available", tuple![1, "1C"]),
+        ];
+        let mut solver = Solver::default();
+        assert!(solver
+            .solve(&db, &pre, &[TxnSpec::required_only(&t)])
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn verify_accepts_solver_output_and_rejects_tampering() {
+        let db = travel_db();
+        let t1 = book("Mickey");
+        let t2 = book("Donald");
+        let specs = [TxnSpec::required_only(&t1), TxnSpec::required_only(&t2)];
+        let mut solver = Solver::default();
+        let sol = solver.solve(&db, &[], &specs).unwrap().unwrap();
+        assert!(solver.verify(&db, &[], &specs, &sol.valuations).unwrap());
+        // Tamper: point both transactions at the same seat.
+        let mut bad = sol.valuations.clone();
+        bad[1] = bad[0].clone();
+        // (var ids differ across txns, so translate: rebind t2's vars to
+        // t1's values)
+        let v1 = &sol.valuations[0];
+        let mut forged = Valuation::new();
+        for (var, _) in sol.valuations[1].iter() {
+            // find same-named var in t1's valuation
+            let same = v1.iter().find(|(w, _)| w.name() == var.name()).unwrap();
+            forged.bind(var.clone(), same.1.clone());
+        }
+        bad[1] = forged;
+        assert!(!solver.verify(&db, &[], &specs, &bad).unwrap());
+        assert_eq!(solver.stats().verify_failures, 1);
+        // Wrong length also fails fast.
+        assert!(!solver.verify(&db, &[], &specs, &sol.valuations[..1]).unwrap());
+    }
+
+    #[test]
+    fn enumerate_lists_all_groundings() {
+        let db = travel_db();
+        let t = book("Mickey");
+        let mut solver = Solver::default();
+        let all = solver
+            .enumerate_one(&db, &[], &TxnSpec::required_only(&t), 100)
+            .unwrap();
+        assert_eq!(all.len(), 3, "three available seats");
+        let capped = solver
+            .enumerate_one(&db, &[], &TxnSpec::required_only(&t), 2)
+            .unwrap();
+        assert_eq!(capped.len(), 2);
+    }
+
+    #[test]
+    fn node_limit_is_enforced() {
+        let db = travel_db();
+        let t = book("Mickey");
+        let mut solver = Solver::default();
+        solver.limits.max_nodes = 1;
+        let t2 = book("Donald");
+        let specs = [TxnSpec::required_only(&t), TxnSpec::required_only(&t2)];
+        assert!(matches!(
+            solver.solve(&db, &[], &specs),
+            Err(SolverError::LimitExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn static_and_dynamic_order_agree_on_satisfiability() {
+        let db = travel_db();
+        let txns: Vec<_> = (0..3).map(|i| book(&format!("U{i}"))).collect();
+        let specs: Vec<TxnSpec> = txns.iter().map(TxnSpec::required_only).collect();
+        let mut dynamic = Solver::new(AtomOrder::MostConstrained);
+        let mut fixed = Solver::new(AtomOrder::Static);
+        assert_eq!(
+            dynamic.solve(&db, &[], &specs).unwrap().is_some(),
+            fixed.solve(&db, &[], &specs).unwrap().is_some()
+        );
+    }
+}

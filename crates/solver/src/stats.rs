@@ -1,0 +1,77 @@
+//! Solver instrumentation.
+//!
+//! The evaluation section of the paper is all about *where time goes* as
+//! composed bodies grow; these counters are what the bench harness reads.
+
+/// Cumulative counters for one [`crate::Solver`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Search nodes expanded (candidate tuples tried).
+    pub nodes: u64,
+    /// Completed `solve` calls.
+    pub solves: u64,
+    /// `solve` calls that found no solution.
+    pub unsat: u64,
+    /// Completed `verify` calls.
+    pub verifies: u64,
+    /// `verify` calls that failed.
+    pub verify_failures: u64,
+    /// Valuations produced by `enumerate` calls.
+    pub enumerated: u64,
+}
+
+impl SolverStats {
+    /// Reset all counters.
+    pub fn reset(&mut self) {
+        *self = SolverStats::default();
+    }
+
+    /// Merge counters from another stats block.
+    pub fn absorb(&mut self, other: &SolverStats) {
+        self.nodes += other.nodes;
+        self.solves += other.solves;
+        self.unsat += other.unsat;
+        self.verifies += other.verifies;
+        self.verify_failures += other.verify_failures;
+        self.enumerated += other.enumerated;
+    }
+}
+
+impl std::fmt::Display for SolverStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "nodes={} solves={} unsat={} verifies={} verify_failures={} enumerated={}",
+            self.nodes, self.solves, self.unsat, self.verifies, self.verify_failures, self.enumerated
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_sums_fields() {
+        let mut a = SolverStats {
+            nodes: 1,
+            solves: 2,
+            unsat: 3,
+            verifies: 4,
+            verify_failures: 5,
+            enumerated: 6,
+        };
+        a.absorb(&a.clone());
+        assert_eq!(a.nodes, 2);
+        assert_eq!(a.enumerated, 12);
+        a.reset();
+        assert_eq!(a, SolverStats::default());
+    }
+
+    #[test]
+    fn display_is_one_line() {
+        let s = SolverStats::default().to_string();
+        assert!(s.contains("nodes=0"));
+        assert!(!s.contains('\n'));
+    }
+}

@@ -1,0 +1,165 @@
+//! Property tests for the grounding solver: soundness (returned solutions
+//! verify), sequential-semantics correctness (solutions replay cleanly on
+//! the real database), and agreement between atom orderings.
+
+use proptest::prelude::*;
+use qdb_logic::{parse_transaction, ResourceTransaction};
+use qdb_solver::{AtomOrder, CachedSolution, Solver, TxnSpec};
+use qdb_storage::{tuple, Database, Schema, ValueType};
+
+fn seats_db(flights: i64, rows: usize) -> Database {
+    let mut db = Database::new();
+    db.create_table(Schema::new(
+        "Available",
+        vec![("flight", ValueType::Int), ("seat", ValueType::Str)],
+    ))
+    .unwrap();
+    db.create_table(Schema::new(
+        "Bookings",
+        vec![
+            ("name", ValueType::Str),
+            ("flight", ValueType::Int),
+            ("seat", ValueType::Str),
+        ],
+    ))
+    .unwrap();
+    db.table_mut("Available").unwrap().create_index(0).unwrap();
+    for f in 1..=flights {
+        for r in 1..=rows {
+            for c in ["A", "B"] {
+                db.insert("Available", tuple![f, format!("{r}{c}").as_str()])
+                    .unwrap();
+            }
+        }
+    }
+    db
+}
+
+/// A booking with optionally fixed flight, possibly reading another
+/// user's (pending) booking.
+fn txn_for(spec: &(u8, Option<i64>, bool), i: usize) -> ResourceTransaction {
+    let (_, flight, depends) = spec;
+    let name = format!("u{i}");
+    let f = flight.map_or("f".to_string(), |x| x.to_string());
+    if *depends && i > 0 {
+        let prev = format!("u{}", i - 1);
+        parse_transaction(&format!(
+            "-Available({f}, s), +Bookings('{name}', {f}, s) :-1 \
+             Available({f}, s), Bookings('{prev}', f2, s2)"
+        ))
+        .unwrap()
+    } else {
+        parse_transaction(&format!(
+            "-Available({f}, s), +Bookings('{name}', {f}, s) :-1 Available({f}, s)"
+        ))
+        .unwrap()
+    }
+}
+
+fn arb_txn_spec() -> impl Strategy<Value = (u8, Option<i64>, bool)> {
+    (any::<u8>(), prop::option::of(1i64..3), any::<bool>())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Soundness: whatever `solve` returns passes `verify`, and the write
+    /// ops replay onto the real database without key violations.
+    #[test]
+    fn solutions_verify_and_replay(
+        specs in prop::collection::vec(arb_txn_spec(), 1..6),
+        rows in 1usize..4,
+    ) {
+        let db = seats_db(2, rows);
+        let txns: Vec<ResourceTransaction> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| txn_for(s, i))
+            .collect();
+        let mut gen = qdb_logic::VarGen::new();
+        let fresh: Vec<ResourceTransaction> = txns.iter().map(|t| t.freshen(&mut gen)).collect();
+        let spec_list: Vec<TxnSpec> = fresh.iter().map(TxnSpec::required_only).collect();
+        let mut solver = Solver::default();
+        if let Some(sol) = solver.solve(&db, &[], &spec_list).unwrap() {
+            prop_assert!(solver.verify(&db, &[], &spec_list, &sol.valuations).unwrap());
+            // Replay sequentially on a real database copy.
+            let mut world = db.clone();
+            for (txn, val) in fresh.iter().zip(&sol.valuations) {
+                for op in txn.write_ops(val).unwrap() {
+                    world.apply(&op).unwrap();
+                }
+            }
+            // Bookings count equals transactions; seats conserved.
+            let booked = world.table("Bookings").unwrap().len();
+            prop_assert_eq!(booked, fresh.len());
+        }
+    }
+
+    /// Static and most-constrained orderings agree on satisfiability
+    /// (they may find different witnesses).
+    #[test]
+    fn orderings_agree(
+        specs in prop::collection::vec(arb_txn_spec(), 1..5),
+        rows in 1usize..3,
+    ) {
+        let db = seats_db(2, rows);
+        let mut gen = qdb_logic::VarGen::new();
+        let fresh: Vec<ResourceTransaction> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| txn_for(s, i).freshen(&mut gen))
+            .collect();
+        let spec_list: Vec<TxnSpec> = fresh.iter().map(TxnSpec::required_only).collect();
+        let mut dynamic = Solver::new(AtomOrder::MostConstrained);
+        let mut fixed = Solver::new(AtomOrder::Static);
+        let a = dynamic.solve(&db, &[], &spec_list).unwrap().is_some();
+        let b = fixed.solve(&db, &[], &spec_list).unwrap().is_some();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Cache-extension monotonicity: a sequence admitted step-by-step via
+    /// try_extend is also satisfiable from scratch, and the cache verifies
+    /// at every step.
+    #[test]
+    fn cache_extension_is_sound(
+        specs in prop::collection::vec(arb_txn_spec(), 1..6),
+    ) {
+        let db = seats_db(2, 2);
+        let mut solver = Solver::default();
+        let mut cache = CachedSolution::empty();
+        let mut admitted: Vec<ResourceTransaction> = Vec::new();
+        let mut gen = qdb_logic::VarGen::new();
+        for (i, s) in specs.iter().enumerate() {
+            let txn = txn_for(s, i).freshen(&mut gen);
+            let refs: Vec<&ResourceTransaction> = admitted.iter().collect();
+            if cache.try_extend(&mut solver, &db, &refs, &txn).unwrap() {
+                admitted.push(txn);
+                let refs: Vec<&ResourceTransaction> = admitted.iter().collect();
+                prop_assert!(cache.verify(&mut solver, &db, &refs).unwrap());
+                // From-scratch solve agrees the sequence is satisfiable.
+                prop_assert!(
+                    CachedSolution::resolve(&mut solver, &db, &refs).unwrap().is_some()
+                );
+            }
+        }
+    }
+
+    /// enumerate_one returns distinct, individually valid groundings.
+    #[test]
+    fn enumeration_distinct_and_valid(rows in 1usize..4, max in 1usize..10) {
+        let db = seats_db(1, rows);
+        let txn = parse_transaction(
+            "-Available(f, s), +Bookings('x', f, s) :-1 Available(f, s)",
+        ).unwrap();
+        let mut solver = Solver::default();
+        let spec = TxnSpec::required_only(&txn);
+        let vals = solver.enumerate_one(&db, &[], &spec, max).unwrap();
+        prop_assert!(vals.len() <= max);
+        prop_assert!(vals.len() <= rows * 2);
+        let set: std::collections::BTreeSet<_> = vals.iter().cloned().collect();
+        prop_assert_eq!(set.len(), vals.len(), "no duplicates");
+        for v in &vals {
+            prop_assert!(solver.verify(&db, &[], std::slice::from_ref(&spec), std::slice::from_ref(v)).unwrap());
+        }
+    }
+}

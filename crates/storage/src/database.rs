@@ -1,0 +1,267 @@
+//! The database: a catalog of tables plus a uniform write-op interface.
+
+use std::collections::BTreeMap;
+
+use crate::error::StorageError;
+use crate::schema::Schema;
+use crate::table::Table;
+use crate::tuple::Tuple;
+use crate::Result;
+
+/// A single blind write — the building block of a resource transaction's
+/// update portion (`FOLLOWED BY` block) and of ordinary non-resource writes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WriteOp {
+    /// Insert `tuple` into `relation`.
+    Insert {
+        /// Target relation.
+        relation: String,
+        /// Row to insert.
+        tuple: Tuple,
+    },
+    /// Delete `tuple` from `relation`.
+    Delete {
+        /// Target relation.
+        relation: String,
+        /// Row to delete.
+        tuple: Tuple,
+    },
+}
+
+impl WriteOp {
+    /// Build an insert op.
+    pub fn insert(relation: impl Into<String>, tuple: Tuple) -> Self {
+        WriteOp::Insert {
+            relation: relation.into(),
+            tuple,
+        }
+    }
+
+    /// Build a delete op.
+    pub fn delete(relation: impl Into<String>, tuple: Tuple) -> Self {
+        WriteOp::Delete {
+            relation: relation.into(),
+            tuple,
+        }
+    }
+
+    /// Target relation name.
+    pub fn relation(&self) -> &str {
+        match self {
+            WriteOp::Insert { relation, .. } | WriteOp::Delete { relation, .. } => relation,
+        }
+    }
+
+    /// The affected tuple.
+    pub fn tuple(&self) -> &Tuple {
+        match self {
+            WriteOp::Insert { tuple, .. } | WriteOp::Delete { tuple, .. } => tuple,
+        }
+    }
+
+    /// True for inserts.
+    pub fn is_insert(&self) -> bool {
+        matches!(self, WriteOp::Insert { .. })
+    }
+
+    /// The inverse operation (used by tests to undo effects).
+    pub fn inverse(&self) -> WriteOp {
+        match self {
+            WriteOp::Insert { relation, tuple } => WriteOp::Delete {
+                relation: relation.clone(),
+                tuple: tuple.clone(),
+            },
+            WriteOp::Delete { relation, tuple } => WriteOp::Insert {
+                relation: relation.clone(),
+                tuple: tuple.clone(),
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for WriteOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WriteOp::Insert { relation, tuple } => write!(f, "+{relation}{tuple}"),
+            WriteOp::Delete { relation, tuple } => write!(f, "-{relation}{tuple}"),
+        }
+    }
+}
+
+/// An in-memory relational database: named tables with schemas.
+///
+/// `Database` is `Clone`; a clone is a consistent snapshot (used by the
+/// possible-worlds enumerator and by write-admission checks that must try a
+/// write tentatively).
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Database {
+    /// Create an empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Register a new table.
+    pub fn create_table(&mut self, schema: Schema) -> Result<()> {
+        let name = schema.relation().to_string();
+        if self.tables.contains_key(&name) {
+            return Err(StorageError::TableExists(name));
+        }
+        self.tables.insert(name, Table::new(schema));
+        Ok(())
+    }
+
+    /// Look up a table.
+    pub fn table(&self, relation: &str) -> Result<&Table> {
+        self.tables
+            .get(relation)
+            .ok_or_else(|| StorageError::NoSuchTable(relation.to_string()))
+    }
+
+    /// Look up a table mutably.
+    pub fn table_mut(&mut self, relation: &str) -> Result<&mut Table> {
+        self.tables
+            .get_mut(relation)
+            .ok_or_else(|| StorageError::NoSuchTable(relation.to_string()))
+    }
+
+    /// Does a table with this name exist?
+    pub fn has_table(&self, relation: &str) -> bool {
+        self.tables.contains_key(relation)
+    }
+
+    /// Iterate over all tables in name order.
+    pub fn tables(&self) -> impl Iterator<Item = &Table> + '_ {
+        self.tables.values()
+    }
+
+    /// Insert a row. Returns whether the row was newly inserted.
+    pub fn insert(&mut self, relation: &str, tuple: Tuple) -> Result<bool> {
+        self.table_mut(relation)?.insert(tuple)
+    }
+
+    /// Delete a row. Returns whether a row was removed.
+    pub fn delete(&mut self, relation: &str, tuple: &Tuple) -> Result<bool> {
+        self.table_mut(relation)?.delete(tuple)
+    }
+
+    /// Is this exact row present?
+    pub fn contains(&self, relation: &str, tuple: &Tuple) -> bool {
+        self.tables.get(relation).is_some_and(|t| t.contains(tuple))
+    }
+
+    /// Apply a write op. Inserts of already-present rows and deletes of
+    /// absent rows are no-ops (`Ok(false)`), key violations are errors.
+    pub fn apply(&mut self, op: &WriteOp) -> Result<bool> {
+        match op {
+            WriteOp::Insert { relation, tuple } => self.insert(relation, tuple.clone()),
+            WriteOp::Delete { relation, tuple } => self.delete(relation, tuple),
+        }
+    }
+
+    /// Apply a sequence of write ops, stopping at the first error.
+    pub fn apply_all(&mut self, ops: &[WriteOp]) -> Result<()> {
+        for op in ops {
+            self.apply(op)?;
+        }
+        Ok(())
+    }
+
+    /// Total row count across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.tables.values().map(Table::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ValueType;
+    use crate::tuple;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table(Schema::new(
+            "Available",
+            vec![("flight", ValueType::Int), ("seat", ValueType::Str)],
+        ))
+        .unwrap();
+        db.create_table(Schema::new(
+            "Bookings",
+            vec![
+                ("name", ValueType::Str),
+                ("flight", ValueType::Int),
+                ("seat", ValueType::Str),
+            ],
+        ))
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn create_and_lookup_tables() {
+        let db = db();
+        assert!(db.has_table("Available"));
+        assert!(db.table("Bookings").is_ok());
+        assert!(matches!(
+            db.table("Nope"),
+            Err(StorageError::NoSuchTable(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut db = db();
+        let err = db
+            .create_table(Schema::new("Available", vec![("x", ValueType::Int)]))
+            .unwrap_err();
+        assert!(matches!(err, StorageError::TableExists(_)));
+    }
+
+    #[test]
+    fn apply_write_ops() {
+        let mut db = db();
+        let ins = WriteOp::insert("Available", tuple![1, "1A"]);
+        assert!(db.apply(&ins).unwrap());
+        assert!(!db.apply(&ins).unwrap()); // duplicate
+        assert!(db.contains("Available", &tuple![1, "1A"]));
+        let del = ins.inverse();
+        assert!(db.apply(&del).unwrap());
+        assert!(!db.apply(&del).unwrap()); // absent
+        assert_eq!(db.total_rows(), 0);
+    }
+
+    #[test]
+    fn apply_all_stops_on_error() {
+        let mut db = db();
+        let ops = vec![
+            WriteOp::insert("Available", tuple![1, "1A"]),
+            WriteOp::insert("Missing", tuple![1, "1A"]),
+        ];
+        assert!(db.apply_all(&ops).is_err());
+        // First op applied before failure (caller decides on atomicity).
+        assert!(db.contains("Available", &tuple![1, "1A"]));
+    }
+
+    #[test]
+    fn snapshot_clone_is_independent() {
+        let mut db = db();
+        db.insert("Available", tuple![1, "1A"]).unwrap();
+        let snap = db.clone();
+        db.delete("Available", &tuple![1, "1A"]).unwrap();
+        assert!(snap.contains("Available", &tuple![1, "1A"]));
+        assert!(!db.contains("Available", &tuple![1, "1A"]));
+    }
+
+    #[test]
+    fn writeop_display_matches_datalog_convention() {
+        assert_eq!(
+            WriteOp::insert("B", tuple!["M", 1]).to_string(),
+            "+B('M', 1)"
+        );
+        assert_eq!(WriteOp::delete("A", tuple![1]).to_string(), "-A(1)");
+    }
+}

@@ -1,0 +1,192 @@
+//! Crash recovery: rebuild a [`Database`] and the pending-transaction table
+//! from a WAL image.
+//!
+//! §4 "Recovery": *"During recovery, a quantum database module restores the
+//! in-memory quantum state to what it was before the crash based on the
+//! pending transactions table."* Storage-level recovery reconstructs the
+//! extensional database and hands the (still serialized) pending
+//! transactions to the quantum layer, which re-parses and re-solves them.
+
+use std::collections::BTreeMap;
+
+use crate::database::Database;
+use crate::wal::{LogRecord, Wal};
+use crate::Result;
+
+/// Output of storage-level recovery.
+#[derive(Debug)]
+pub struct RecoveredState {
+    /// The reconstructed extensional database.
+    pub db: Database,
+    /// Still-pending resource transactions in id (= arrival) order:
+    /// `(id, serialized payload)`.
+    pub pending: Vec<(u64, Vec<u8>)>,
+    /// Number of log records applied.
+    pub records_applied: usize,
+    /// Byte offset where replay stopped (end of intact log prefix).
+    pub consumed_bytes: u64,
+}
+
+/// Replay `wal` into a fresh database.
+///
+/// Inserts of already-present rows and deletes of absent rows replay as
+/// no-ops (they were no-ops when first applied too); any other failure —
+/// e.g. a write against a table whose `CreateTable` record is missing —
+/// aborts recovery with an error, because it means the log is not a prefix
+/// of any valid history.
+pub fn recover(wal: &Wal) -> Result<RecoveredState> {
+    let (records, consumed_bytes) = wal.replay()?;
+    recover_records(&records, consumed_bytes)
+}
+
+/// Replay already-decoded records (used by tests and by the engine when it
+/// holds a raw log image).
+pub fn recover_records(records: &[LogRecord], consumed_bytes: u64) -> Result<RecoveredState> {
+    let mut db = Database::new();
+    let mut pending: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+    for record in records {
+        match record {
+            LogRecord::CreateTable(schema) => db.create_table(schema.clone())?,
+            LogRecord::CreateIndex { relation, column } => {
+                db.table_mut(relation)?.create_index(*column as usize)?;
+            }
+            LogRecord::Write(op) => {
+                db.apply(op)?;
+            }
+            LogRecord::PendingAdd { id, payload } => {
+                pending.insert(*id, payload.clone());
+            }
+            LogRecord::PendingRemove { id } => {
+                pending.remove(id);
+            }
+            LogRecord::Ground { id, ops } => {
+                for op in ops {
+                    db.apply(op)?;
+                }
+                pending.remove(id);
+            }
+            LogRecord::Checkpoint => {}
+        }
+    }
+    Ok(RecoveredState {
+        db,
+        pending: pending.into_iter().collect(),
+        records_applied: records.len(),
+        consumed_bytes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::WriteOp;
+    use crate::schema::{Schema, ValueType};
+    use crate::tuple;
+    use crate::wal::MemorySink;
+
+    fn schema() -> Schema {
+        Schema::new(
+            "Available",
+            vec![("flight", ValueType::Int), ("seat", ValueType::Str)],
+        )
+    }
+
+    #[test]
+    fn full_recovery_rebuilds_state() {
+        let mut wal = Wal::in_memory();
+        wal.append(&LogRecord::CreateTable(schema())).unwrap();
+        wal.append(&LogRecord::CreateIndex {
+            relation: "Available".into(),
+            column: 0,
+        })
+        .unwrap();
+        wal.append(&LogRecord::Write(WriteOp::insert(
+            "Available",
+            tuple![1, "1A"],
+        )))
+        .unwrap();
+        wal.append(&LogRecord::Write(WriteOp::insert(
+            "Available",
+            tuple![1, "1B"],
+        )))
+        .unwrap();
+        wal.append(&LogRecord::PendingAdd {
+            id: 3,
+            payload: vec![9],
+        })
+        .unwrap();
+        wal.append(&LogRecord::PendingAdd {
+            id: 5,
+            payload: vec![8],
+        })
+        .unwrap();
+        wal.append(&LogRecord::Write(WriteOp::delete(
+            "Available",
+            tuple![1, "1A"],
+        )))
+        .unwrap();
+        wal.append(&LogRecord::PendingRemove { id: 3 }).unwrap();
+
+        let state = recover(&wal).unwrap();
+        assert_eq!(state.records_applied, 8);
+        assert!(state.db.contains("Available", &tuple![1, "1B"]));
+        assert!(!state.db.contains("Available", &tuple![1, "1A"]));
+        assert_eq!(state.pending, vec![(5, vec![8])]);
+    }
+
+    #[test]
+    fn recovery_of_torn_log_yields_prefix_state() {
+        let mut wal = Wal::in_memory();
+        wal.append(&LogRecord::CreateTable(schema())).unwrap();
+        wal.append(&LogRecord::Write(WriteOp::insert(
+            "Available",
+            tuple![1, "1A"],
+        )))
+        .unwrap();
+        let good = wal.size_bytes() as usize;
+        wal.append(&LogRecord::Write(WriteOp::insert(
+            "Available",
+            tuple![1, "1B"],
+        )))
+        .unwrap();
+        // Simulate crash mid-frame on the last record.
+        let bytes = wal.sink_mut().read_all().unwrap();
+        let torn = &bytes[..good + 5];
+        let mut torn_wal = Wal::with_sink(Box::new(MemorySink::from_bytes(torn.to_vec())));
+        // Wal::with_sink tracks appended records only; replay reads the sink.
+        let state = recover(&torn_wal).unwrap();
+        assert_eq!(state.records_applied, 2);
+        assert!(state.db.contains("Available", &tuple![1, "1A"]));
+        assert!(!state.db.contains("Available", &tuple![1, "1B"]));
+        assert_eq!(state.consumed_bytes as usize, good);
+        // And the torn WAL can keep being appended to after recovery
+        // (engine truncates to consumed_bytes first in real use).
+        torn_wal.append(&LogRecord::Checkpoint).unwrap();
+    }
+
+    #[test]
+    fn write_against_missing_table_fails_recovery() {
+        let mut wal = Wal::in_memory();
+        wal.append(&LogRecord::Write(WriteOp::insert(
+            "Ghost",
+            tuple![1, "1A"],
+        )))
+        .unwrap();
+        assert!(recover(&wal).is_err());
+    }
+
+    #[test]
+    fn pending_order_is_id_order() {
+        let mut wal = Wal::in_memory();
+        for id in [9u64, 2, 5] {
+            wal.append(&LogRecord::PendingAdd {
+                id,
+                payload: vec![id as u8],
+            })
+            .unwrap();
+        }
+        let state = recover(&wal).unwrap();
+        let ids: Vec<u64> = state.pending.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, vec![2, 5, 9]);
+    }
+}

@@ -1,0 +1,205 @@
+//! Table schemas: column names, types and key descriptors.
+//!
+//! §3.2.1 of the paper assumes *"any relation R that appears in the
+//! FOLLOWED BY clause of a resource transaction has a key, i.e., satisfies
+//! set semantics"*. We make that a first-class property: every table has a
+//! key — by default the whole tuple (pure set semantics), optionally a
+//! column subset.
+
+use crate::error::StorageError;
+use crate::tuple::Tuple;
+use crate::Result;
+
+/// Runtime type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValueType {
+    /// 64-bit integers.
+    Int,
+    /// UTF-8 strings.
+    Str,
+    /// Booleans.
+    Bool,
+}
+
+impl std::fmt::Display for ValueType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValueType::Int => write!(f, "int"),
+            ValueType::Str => write!(f, "str"),
+            ValueType::Bool => write!(f, "bool"),
+        }
+    }
+}
+
+/// A single column definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// Column name (unique within the schema).
+    pub name: String,
+    /// Column type.
+    pub ty: ValueType,
+}
+
+/// A table schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    relation: String,
+    columns: Vec<ColumnDef>,
+    /// Indexes of key columns. Empty means "all columns" (set semantics).
+    key: Vec<usize>,
+}
+
+impl Schema {
+    /// Build a schema with pure set semantics (key = all columns).
+    pub fn new(relation: impl Into<String>, columns: Vec<(&str, ValueType)>) -> Self {
+        Schema {
+            relation: relation.into(),
+            columns: columns
+                .into_iter()
+                .map(|(name, ty)| ColumnDef {
+                    name: name.to_string(),
+                    ty,
+                })
+                .collect(),
+            key: Vec::new(),
+        }
+    }
+
+    /// Restrict the key to a subset of columns (by index).
+    pub fn with_key(mut self, key: Vec<usize>) -> Result<Self> {
+        for &k in &key {
+            if k >= self.columns.len() {
+                return Err(StorageError::InvalidSchema(format!(
+                    "key column {k} out of range for '{}' (arity {})",
+                    self.relation,
+                    self.columns.len()
+                )));
+            }
+        }
+        let mut seen = vec![false; self.columns.len()];
+        for &k in &key {
+            if seen[k] {
+                return Err(StorageError::InvalidSchema(format!(
+                    "duplicate key column {k} for '{}'",
+                    self.relation
+                )));
+            }
+            seen[k] = true;
+        }
+        self.key = key;
+        Ok(self)
+    }
+
+    /// Relation name.
+    pub fn relation(&self) -> &str {
+        &self.relation
+    }
+
+    /// Column definitions.
+    pub fn columns(&self) -> &[ColumnDef] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Key column indexes; empty slice means the whole tuple is the key.
+    pub fn key_columns(&self) -> &[usize] {
+        &self.key
+    }
+
+    /// Extract the key of a (schema-valid) tuple.
+    pub fn key_of(&self, tuple: &Tuple) -> Tuple {
+        if self.key.is_empty() {
+            tuple.clone()
+        } else {
+            tuple.project(&self.key)
+        }
+    }
+
+    /// Position of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Validate a tuple against this schema.
+    pub fn check(&self, tuple: &Tuple) -> Result<()> {
+        if tuple.arity() != self.arity() {
+            return Err(StorageError::ArityMismatch {
+                relation: self.relation.clone(),
+                expected: self.arity(),
+                got: tuple.arity(),
+            });
+        }
+        for (i, (v, c)) in tuple.iter().zip(&self.columns).enumerate() {
+            if v.value_type() != c.ty {
+                return Err(StorageError::TypeMismatch {
+                    relation: self.relation.clone(),
+                    column: i,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    fn bookings() -> Schema {
+        Schema::new(
+            "Bookings",
+            vec![
+                ("name", ValueType::Str),
+                ("flight", ValueType::Int),
+                ("seat", ValueType::Str),
+            ],
+        )
+    }
+
+    #[test]
+    fn whole_tuple_key_by_default() {
+        let s = bookings();
+        let t = tuple!["Mickey", 123, "5A"];
+        assert_eq!(s.key_of(&t), t);
+        assert!(s.key_columns().is_empty());
+    }
+
+    #[test]
+    fn key_subset_projects() {
+        let s = bookings().with_key(vec![0, 1]).unwrap();
+        let t = tuple!["Mickey", 123, "5A"];
+        assert_eq!(s.key_of(&t), tuple!["Mickey", 123]);
+    }
+
+    #[test]
+    fn key_validation_rejects_bad_columns() {
+        assert!(bookings().with_key(vec![3]).is_err());
+        assert!(bookings().with_key(vec![0, 0]).is_err());
+    }
+
+    #[test]
+    fn check_catches_arity_and_type_errors() {
+        let s = bookings();
+        assert!(s.check(&tuple!["Mickey", 123, "5A"]).is_ok());
+        assert!(matches!(
+            s.check(&tuple!["Mickey", 123]),
+            Err(StorageError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            s.check(&tuple!["Mickey", "x", "5A"]),
+            Err(StorageError::TypeMismatch { column: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn column_index_lookup() {
+        let s = bookings();
+        assert_eq!(s.column_index("flight"), Some(1));
+        assert_eq!(s.column_index("nope"), None);
+    }
+}

@@ -1,0 +1,275 @@
+//! Keyed tables with set semantics.
+
+use std::collections::BTreeMap;
+
+use crate::error::StorageError;
+use crate::index::SecondaryIndex;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use crate::Result;
+
+/// A table: schema + rows keyed by the schema's key projection + secondary
+/// indexes.
+///
+/// Inserting a row whose key is already present with *different* non-key
+/// columns is a [`StorageError::KeyViolation`]; re-inserting an identical
+/// row is a no-op (`Ok(false)`), which is exactly set semantics.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: Schema,
+    rows: BTreeMap<Tuple, Tuple>,
+    indexes: Vec<SecondaryIndex>,
+}
+
+impl Table {
+    /// Create an empty table for `schema`.
+    pub fn new(schema: Schema) -> Self {
+        Table {
+            schema,
+            rows: BTreeMap::new(),
+            indexes: Vec::new(),
+        }
+    }
+
+    /// The table schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Add a secondary index over `column`, back-filling existing rows.
+    pub fn create_index(&mut self, column: usize) -> Result<()> {
+        if column >= self.schema.arity() {
+            return Err(StorageError::InvalidSchema(format!(
+                "index column {column} out of range for '{}'",
+                self.schema.relation()
+            )));
+        }
+        if self.indexes.iter().any(|ix| ix.column() == column) {
+            return Ok(()); // idempotent
+        }
+        let mut ix = SecondaryIndex::new(column);
+        for (key, row) in &self.rows {
+            ix.insert(key, row);
+        }
+        self.indexes.push(ix);
+        Ok(())
+    }
+
+    /// Insert a row. Returns `Ok(true)` if newly inserted, `Ok(false)` if an
+    /// identical row was already present, and `KeyViolation` if a different
+    /// row shares the key.
+    pub fn insert(&mut self, row: Tuple) -> Result<bool> {
+        self.schema.check(&row)?;
+        let key = self.schema.key_of(&row);
+        if let Some(existing) = self.rows.get(&key) {
+            if *existing == row {
+                return Ok(false);
+            }
+            return Err(StorageError::KeyViolation {
+                relation: self.schema.relation().to_string(),
+                key: key.to_string(),
+            });
+        }
+        for ix in &mut self.indexes {
+            ix.insert(&key, &row);
+        }
+        self.rows.insert(key, row);
+        Ok(true)
+    }
+
+    /// Delete a row (by full tuple). Returns `Ok(true)` when a row was
+    /// removed, `Ok(false)` when no identical row was present.
+    pub fn delete(&mut self, row: &Tuple) -> Result<bool> {
+        self.schema.check(row)?;
+        let key = self.schema.key_of(row);
+        match self.rows.get(&key) {
+            Some(existing) if existing == row => {
+                for ix in &mut self.indexes {
+                    ix.remove(&key, row);
+                }
+                self.rows.remove(&key);
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
+    }
+
+    /// Is this exact row present?
+    pub fn contains(&self, row: &Tuple) -> bool {
+        let key = self.schema.key_of(row);
+        self.rows.get(&key).is_some_and(|r| r == row)
+    }
+
+    /// Row with the given key, if any.
+    pub fn get_by_key(&self, key: &Tuple) -> Option<&Tuple> {
+        self.rows.get(key)
+    }
+
+    /// Iterate over all rows in key order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> + '_ {
+        self.rows.values()
+    }
+
+    /// Rows matching a partial binding: `bound[i] = Some(v)` constrains
+    /// column `i` to equal `v`. Uses the most selective available index.
+    pub fn select<'a>(&'a self, bound: &'a [Option<Value>]) -> Box<dyn Iterator<Item = &'a Tuple> + 'a> {
+        debug_assert_eq!(bound.len(), self.schema.arity());
+        // Pick the most selective index among bound columns.
+        let best = self
+            .indexes
+            .iter()
+            .filter_map(|ix| {
+                bound
+                    .get(ix.column())
+                    .and_then(|b| b.as_ref())
+                    .map(|v| (ix, v, ix.selectivity(v)))
+            })
+            .min_by_key(|&(_, _, sel)| sel);
+        match best {
+            Some((ix, v, _)) => {
+                let keys = ix.lookup(v);
+                let iter = keys
+                    .into_iter()
+                    .flat_map(|set| set.iter())
+                    .filter_map(move |k| self.rows.get(k))
+                    .filter(move |row| Self::matches(row, bound));
+                Box::new(iter)
+            }
+            None => Box::new(self.rows.values().filter(move |row| Self::matches(row, bound))),
+        }
+    }
+
+    /// Count rows matching a partial binding.
+    pub fn count(&self, bound: &[Option<Value>]) -> usize {
+        self.select(bound).count()
+    }
+
+    fn matches(row: &Tuple, bound: &[Option<Value>]) -> bool {
+        bound
+            .iter()
+            .enumerate()
+            .all(|(i, b)| b.as_ref().is_none_or(|v| &row[i] == v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ValueType;
+    use crate::tuple;
+
+    fn available() -> Table {
+        Table::new(Schema::new(
+            "Available",
+            vec![("flight", ValueType::Int), ("seat", ValueType::Str)],
+        ))
+    }
+
+    #[test]
+    fn insert_is_set_semantics() {
+        let mut t = available();
+        assert!(t.insert(tuple![1, "1A"]).unwrap());
+        assert!(!t.insert(tuple![1, "1A"]).unwrap()); // duplicate: no-op
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn key_violation_on_subset_key() {
+        let schema = Schema::new(
+            "Bookings",
+            vec![("name", ValueType::Str), ("seat", ValueType::Str)],
+        )
+        .with_key(vec![0])
+        .unwrap();
+        let mut t = Table::new(schema);
+        t.insert(tuple!["Mickey", "5A"]).unwrap();
+        let err = t.insert(tuple!["Mickey", "5B"]).unwrap_err();
+        assert!(matches!(err, StorageError::KeyViolation { .. }));
+    }
+
+    #[test]
+    fn delete_exact_row_only() {
+        let mut t = available();
+        t.insert(tuple![1, "1A"]).unwrap();
+        assert!(!t.delete(&tuple![1, "1B"]).unwrap());
+        assert!(t.delete(&tuple![1, "1A"]).unwrap());
+        assert!(t.is_empty());
+        assert!(!t.delete(&tuple![1, "1A"]).unwrap());
+    }
+
+    #[test]
+    fn schema_violations_rejected() {
+        let mut t = available();
+        assert!(t.insert(tuple![1]).is_err());
+        assert!(t.insert(tuple!["x", "1A"]).is_err());
+    }
+
+    #[test]
+    fn select_with_and_without_index() {
+        let mut t = available();
+        for f in 1..=3i64 {
+            for s in ["1A", "1B", "1C"] {
+                t.insert(tuple![f, s]).unwrap();
+            }
+        }
+        // Unindexed scan.
+        let bound = vec![Some(Value::from(2)), None];
+        assert_eq!(t.select(&bound).count(), 3);
+        // Indexed scan returns the same rows.
+        t.create_index(0).unwrap();
+        let via_index: Vec<_> = t.select(&bound).cloned().collect();
+        assert_eq!(via_index.len(), 3);
+        assert!(via_index.iter().all(|r| r[0] == Value::from(2)));
+        // Fully bound.
+        let bound = vec![Some(Value::from(2)), Some(Value::from("1B"))];
+        assert_eq!(t.select(&bound).count(), 1);
+        // No match.
+        let bound = vec![Some(Value::from(9)), None];
+        assert_eq!(t.select(&bound).count(), 0);
+    }
+
+    #[test]
+    fn index_stays_consistent_under_mutation() {
+        let mut t = available();
+        t.create_index(1).unwrap();
+        t.insert(tuple![1, "1A"]).unwrap();
+        t.insert(tuple![2, "1A"]).unwrap();
+        let bound = vec![None, Some(Value::from("1A"))];
+        assert_eq!(t.select(&bound).count(), 2);
+        t.delete(&tuple![1, "1A"]).unwrap();
+        assert_eq!(t.select(&bound).count(), 1);
+    }
+
+    #[test]
+    fn create_index_is_idempotent_and_validated() {
+        let mut t = available();
+        t.create_index(0).unwrap();
+        t.create_index(0).unwrap();
+        assert!(t.create_index(5).is_err());
+    }
+
+    #[test]
+    fn get_by_key_uses_key_projection() {
+        let schema = Schema::new(
+            "Bookings",
+            vec![("name", ValueType::Str), ("seat", ValueType::Str)],
+        )
+        .with_key(vec![0])
+        .unwrap();
+        let mut t = Table::new(schema);
+        t.insert(tuple!["Mickey", "5A"]).unwrap();
+        assert_eq!(t.get_by_key(&tuple!["Mickey"]), Some(&tuple!["Mickey", "5A"]));
+        assert_eq!(t.get_by_key(&tuple!["Goofy"]), None);
+    }
+}

@@ -1,0 +1,164 @@
+//! Typed data values stored in tuples.
+//!
+//! The paper's domains are flight numbers, seat labels, dates and user names
+//! — integers, strings and booleans cover all of them. `Value` is the single
+//! constant type shared by the storage layer, the logic layer (as the range
+//! of groundings/valuations) and the solver.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A single column value.
+///
+/// Strings are reference-counted so that tuples (and therefore solver
+/// overlays and cached solutions, which clone tuples freely) are cheap to
+/// copy.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// 64-bit signed integer (flight numbers, dates-as-ordinals, slot ids).
+    Int(i64),
+    /// Interned UTF-8 string (seat labels, user names).
+    Str(Arc<str>),
+    /// Boolean flag (e.g. "window seat" attributes).
+    Bool(bool),
+}
+
+impl Value {
+    /// Build a string value.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Build an integer value.
+    pub const fn int(i: i64) -> Self {
+        Value::Int(i)
+    }
+
+    /// The runtime type of this value.
+    pub fn value_type(&self) -> super::ValueType {
+        match self {
+            Value::Int(_) => super::ValueType::Int,
+            Value::Str(_) => super::ValueType::Str,
+            Value::Bool(_) => super::ValueType::Bool,
+        }
+    }
+
+    /// Integer payload, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// String payload, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean payload, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<usize> for Value {
+    fn from(i: usize) -> Self {
+        Value::Int(i as i64)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(Arc::from(s.as_str()))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::from(42).to_string(), "42");
+        assert_eq!(Value::from("5A").to_string(), "'5A'");
+        assert_eq!(Value::from(true).to_string(), "true");
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        assert_eq!(Value::from(7i64).as_int(), Some(7));
+        assert_eq!(Value::from("x").as_str(), Some("x"));
+        assert_eq!(Value::from(false).as_bool(), Some(false));
+        assert_eq!(Value::from(3i32), Value::Int(3));
+        assert_eq!(Value::from(5usize), Value::Int(5));
+        assert_eq!(Value::from(String::from("s")), Value::str("s"));
+    }
+
+    #[test]
+    fn mismatched_accessors_return_none() {
+        assert_eq!(Value::from("x").as_int(), None);
+        assert_eq!(Value::from(1).as_str(), None);
+        assert_eq!(Value::from(1).as_bool(), None);
+    }
+
+    #[test]
+    fn ordering_is_total_within_and_across_types() {
+        // Enum variant order: Int < Str < Bool. Stability of this total
+        // order matters because tables key their BTreeMaps on tuples.
+        assert!(Value::from(9) < Value::from("a"));
+        assert!(Value::from("a") < Value::from(false));
+        assert!(Value::from(1) < Value::from(2));
+        assert!(Value::from("1A") < Value::from("1B"));
+    }
+
+    #[test]
+    fn string_values_are_cheaply_cloneable() {
+        let v = Value::str("shared");
+        let w = v.clone();
+        match (&v, &w) {
+            (Value::Str(a), Value::Str(b)) => assert!(Arc::ptr_eq(a, b)),
+            _ => unreachable!(),
+        }
+    }
+}

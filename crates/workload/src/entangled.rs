@@ -1,0 +1,108 @@
+//! Entangled resource transactions for the travel workload (§5.1–5.2).
+
+use qdb_logic::{parse_transaction, ResourceTransaction};
+
+use crate::flights::FlightsConfig;
+
+/// A coordination pair: two users who want adjacent seats on `flight`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pair {
+    /// First user (submits transaction `a`).
+    pub a: String,
+    /// Second user.
+    pub b: String,
+    /// The flight both request.
+    pub flight: i64,
+}
+
+/// Build the entangled booking transaction for `user` on `flight`, with a
+/// soft preference for sitting next to `partner`:
+///
+/// ```text
+/// -Available(F, s), +Bookings(user, F, s) :-1
+///     Available(F, s), Bookings(partner, F, s2)?, Adjacent(s, s2)?
+/// ```
+pub fn entangled_booking(user: &str, partner: &str, flight: i64) -> ResourceTransaction {
+    parse_transaction(&format!(
+        "-Available({flight}, s), +Bookings('{user}', {flight}, s) :-1 \
+         Available({flight}, s), Bookings('{partner}', {flight}, s2)?, Adjacent(s, s2)?"
+    ))
+    .expect("workload transaction is well-formed")
+}
+
+/// A plain (non-entangled) booking on `flight`.
+pub fn solo_booking(user: &str, flight: i64) -> ResourceTransaction {
+    parse_transaction(&format!(
+        "-Available({flight}, s), +Bookings('{user}', {flight}, s) :-1 Available({flight}, s)"
+    ))
+    .expect("workload transaction is well-formed")
+}
+
+/// Generate `pairs_per_flight` coordination pairs for every flight of
+/// `cfg`, capacity permitting. User names encode flight and pair index so
+/// results are self-describing.
+pub fn make_pairs(cfg: &FlightsConfig, pairs_per_flight: usize) -> Vec<Pair> {
+    assert!(
+        2 * pairs_per_flight <= cfg.seats_per_flight(),
+        "pairs exceed flight capacity"
+    );
+    let mut out = Vec::with_capacity(cfg.flights * pairs_per_flight);
+    for f in cfg.flight_numbers() {
+        for i in 0..pairs_per_flight {
+            out.push(Pair {
+                a: format!("f{f}p{i}a"),
+                b: format!("f{f}p{i}b"),
+                flight: f,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transaction_shape() {
+        let t = entangled_booking("Mickey", "Goofy", 123);
+        assert_eq!(t.updates.len(), 2);
+        assert_eq!(t.body.len(), 3);
+        assert_eq!(t.optional_body().count(), 2);
+        assert!(qdb_core::entangle::has_coordination_constraint(&t));
+        let s = solo_booking("Pluto", 5);
+        assert_eq!(s.optional_body().count(), 0);
+    }
+
+    #[test]
+    fn partners_are_mutual() {
+        let a = entangled_booking("A", "B", 1);
+        let b = entangled_booking("B", "A", 1);
+        assert!(qdb_core::entangle::coordinates_with(&a, &b));
+        assert!(qdb_core::entangle::coordinates_with(&b, &a));
+        // Different flights never coordinate.
+        let c = entangled_booking("B", "A", 2);
+        assert!(!qdb_core::entangle::coordinates_with(&a, &c));
+    }
+
+    #[test]
+    fn pair_generation_respects_capacity() {
+        let cfg = FlightsConfig {
+            flights: 2,
+            rows_per_flight: 2,
+        };
+        let pairs = make_pairs(&cfg, 3); // 6 users ≤ 6 seats
+        assert_eq!(pairs.len(), 6);
+        assert!(pairs.iter().any(|p| p.flight == 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn overfull_pairs_panic() {
+        let cfg = FlightsConfig {
+            flights: 1,
+            rows_per_flight: 1,
+        };
+        let _ = make_pairs(&cfg, 2); // 4 users > 3 seats
+    }
+}

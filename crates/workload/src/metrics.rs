@@ -1,0 +1,156 @@
+//! Coordination measurement (§5.2).
+//!
+//! *"A key metric for measuring the benefit of quantum databases is the
+//! percentage of maximum possible coordination which is actually
+//! achieved."* For one flight with `r` rows, at most `2r` users can sit in
+//! adjacent pairs (one pair per 3-seat row).
+
+use std::collections::HashMap;
+
+use qdb_storage::{tuple, Database};
+
+use crate::entangled::Pair;
+
+/// Coordination outcome of a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoordStats {
+    /// Users seated adjacent to their partner.
+    pub coordinated_users: usize,
+    /// The maximum achievable number of coordinated users for this
+    /// workload (per flight: `min(2·pairs, 2·rows)`).
+    pub max_possible: usize,
+    /// Users who got any seat at all.
+    pub seated_users: usize,
+    /// Total users in the workload.
+    pub total_users: usize,
+}
+
+impl CoordStats {
+    /// Percentage of the maximum possible coordination achieved (Fig. 6,
+    /// Fig. 9, Table 2).
+    pub fn percent(&self) -> f64 {
+        if self.max_possible == 0 {
+            100.0
+        } else {
+            100.0 * self.coordinated_users as f64 / self.max_possible as f64
+        }
+    }
+}
+
+/// Measure coordination on the final bookings table.
+pub fn coordination_stats(db: &Database, pairs: &[Pair], rows_per_flight: usize) -> CoordStats {
+    let bookings = db.table("Bookings").expect("schema installed");
+    let seat_of = |name: &str, flight: i64| -> Option<String> {
+        let bound = vec![
+            Some(qdb_storage::Value::str(name)),
+            Some(qdb_storage::Value::Int(flight)),
+            None,
+        ];
+        let row = bookings.select(&bound).next().cloned();
+        row.map(|t| t[2].as_str().expect("seat").to_string())
+    };
+    let mut coordinated_users = 0usize;
+    let mut seated_users = 0usize;
+    let mut pairs_per_flight: HashMap<i64, usize> = HashMap::new();
+    for p in pairs {
+        *pairs_per_flight.entry(p.flight).or_default() += 1;
+        let sa = seat_of(&p.a, p.flight);
+        let sb = seat_of(&p.b, p.flight);
+        seated_users += usize::from(sa.is_some()) + usize::from(sb.is_some());
+        if let (Some(sa), Some(sb)) = (sa, sb) {
+            if db.contains("Adjacent", &tuple![sa.as_str(), sb.as_str()]) {
+                coordinated_users += 2;
+            }
+        }
+    }
+    let max_possible: usize = pairs_per_flight
+        .values()
+        .map(|&n| (2 * n).min(2 * rows_per_flight))
+        .sum();
+    CoordStats {
+        coordinated_users,
+        max_possible,
+        seated_users,
+        total_users: pairs.len() * 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flights::{build_database, FlightsConfig};
+
+    fn pair(a: &str, b: &str, flight: i64) -> Pair {
+        Pair {
+            a: a.into(),
+            b: b.into(),
+            flight,
+        }
+    }
+
+    #[test]
+    fn adjacent_pairs_count() {
+        let cfg = FlightsConfig {
+            flights: 1,
+            rows_per_flight: 2,
+        };
+        let mut db = build_database(&cfg);
+        // Pair 1 adjacent on row 1; pair 2 split across rows.
+        for (n, s) in [("a1", "1A"), ("b1", "1B"), ("a2", "1C"), ("b2", "2A")] {
+            db.insert("Bookings", tuple![n, 1, s]).unwrap();
+        }
+        let pairs = vec![pair("a1", "b1", 1), pair("a2", "b2", 1)];
+        let stats = coordination_stats(&db, &pairs, cfg.rows_per_flight);
+        assert_eq!(stats.coordinated_users, 2);
+        assert_eq!(stats.max_possible, 4); // min(2·2 pairs, 2·2 rows)
+        assert_eq!(stats.seated_users, 4);
+        assert_eq!(stats.total_users, 4);
+        assert!((stats.percent() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_possible_respects_row_bound() {
+        // 3 pairs on a 2-row flight: only 2 pairs can be adjacent.
+        let cfg = FlightsConfig {
+            flights: 1,
+            rows_per_flight: 2,
+        };
+        let db = build_database(&cfg);
+        let pairs = vec![
+            pair("a1", "b1", 1),
+            pair("a2", "b2", 1),
+            pair("a3", "b3", 1),
+        ];
+        let stats = coordination_stats(&db, &pairs, cfg.rows_per_flight);
+        assert_eq!(stats.max_possible, 4);
+        assert_eq!(stats.coordinated_users, 0);
+    }
+
+    #[test]
+    fn unbooked_users_are_unseated() {
+        let cfg = FlightsConfig {
+            flights: 1,
+            rows_per_flight: 1,
+        };
+        let db = build_database(&cfg);
+        let pairs = vec![pair("x", "y", 1)];
+        let stats = coordination_stats(&db, &pairs, 1);
+        assert_eq!(stats.seated_users, 0);
+        assert_eq!(stats.percent(), 0.0);
+    }
+
+    #[test]
+    fn paper_capacity_example() {
+        // "for a single flight with ten rows (10×3 seats), a maximum of
+        // twenty coordination requests for adjacent seats can be
+        // accommodated"
+        let cfg = FlightsConfig {
+            flights: 1,
+            rows_per_flight: 10,
+        };
+        let db = build_database(&cfg);
+        let pairs: Vec<Pair> = (0..15).map(|i| pair(&format!("a{i}"), &format!("b{i}"), 1)).collect();
+        let stats = coordination_stats(&db, &pairs, cfg.rows_per_flight);
+        assert_eq!(stats.max_possible, 20);
+    }
+}

@@ -1,0 +1,194 @@
+//! Transaction arrival orders (Table 1).
+//!
+//! | Order | Characteristic | Max pending |
+//! |-------|----------------|-------------|
+//! | Alternate | `Ti` entangles with `Ti+1` | 1 |
+//! | Random | `Ti` entangles with some `Tj` | ⌈N/2⌉ |
+//! | In Order | `Ti` entangles with `Ti+N/2` | ⌈N/2⌉ |
+//! | Reverse Order | `Ti` entangles with `TN−i` | ⌈N/2⌉ |
+//!
+//! (Max-pending figures assume a transaction remains pending exactly until
+//! its partner arrives — the §5.1 execution policy.)
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::entangled::Pair;
+
+/// One booking request of the workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The submitting user.
+    pub user: String,
+    /// The coordination partner named in the optional atoms.
+    pub partner: String,
+    /// Requested flight.
+    pub flight: i64,
+}
+
+/// The four §5.2 arrival orders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalOrder {
+    /// Each user is immediately followed by their partner.
+    Alternate,
+    /// Uniformly random interleaving (seeded — "expected to be by far the
+    /// most realistic").
+    Random {
+        /// Shuffle seed.
+        seed: u64,
+    },
+    /// All first partners, then all second partners in the same order.
+    InOrder,
+    /// All first partners, then the second partners in reverse.
+    ReverseOrder,
+}
+
+impl ArrivalOrder {
+    /// Short display name matching the paper's legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ArrivalOrder::Alternate => "Alternate",
+            ArrivalOrder::Random { .. } => "Random",
+            ArrivalOrder::InOrder => "In Order",
+            ArrivalOrder::ReverseOrder => "Reverse Order",
+        }
+    }
+
+    /// Table 1's analytic bound on the maximum number of simultaneously
+    /// pending transactions for `n` total transactions.
+    pub fn max_pending_bound(&self, n: usize) -> usize {
+        match self {
+            ArrivalOrder::Alternate => 1,
+            _ => n.div_ceil(2),
+        }
+    }
+}
+
+/// Arrange the two requests of every pair according to `order`.
+pub fn arrange(pairs: &[Pair], order: ArrivalOrder) -> Vec<Request> {
+    let firsts: Vec<Request> = pairs
+        .iter()
+        .map(|p| Request {
+            user: p.a.clone(),
+            partner: p.b.clone(),
+            flight: p.flight,
+        })
+        .collect();
+    let seconds: Vec<Request> = pairs
+        .iter()
+        .map(|p| Request {
+            user: p.b.clone(),
+            partner: p.a.clone(),
+            flight: p.flight,
+        })
+        .collect();
+    match order {
+        ArrivalOrder::Alternate => firsts
+            .into_iter()
+            .zip(seconds)
+            .flat_map(|(a, b)| [a, b])
+            .collect(),
+        ArrivalOrder::InOrder => firsts.into_iter().chain(seconds).collect(),
+        ArrivalOrder::ReverseOrder => {
+            firsts.into_iter().chain(seconds.into_iter().rev()).collect()
+        }
+        ArrivalOrder::Random { seed } => {
+            let mut all: Vec<Request> = firsts.into_iter().chain(seconds).collect();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            all.shuffle(&mut rng);
+            all
+        }
+    }
+}
+
+/// Measure, for an arrival sequence, the maximum number of transactions
+/// simultaneously waiting for their partner (the Table 1 column) —
+/// assuming the §5.1 policy that a transaction stays pending exactly until
+/// its partner arrives.
+pub fn measured_max_pending(requests: &[Request]) -> usize {
+    use std::collections::HashSet;
+    let mut waiting: HashSet<&str> = HashSet::new();
+    let mut max = 0usize;
+    for r in requests {
+        if waiting.remove(r.partner.as_str()) {
+            // Partner was waiting: both leave the pending set.
+        } else {
+            waiting.insert(r.user.as_str());
+        }
+        max = max.max(waiting.len());
+    }
+    max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entangled::make_pairs;
+    use crate::flights::FlightsConfig;
+
+    fn pairs(n: usize) -> Vec<Pair> {
+        let cfg = FlightsConfig {
+            flights: 1,
+            rows_per_flight: n, // plenty of capacity
+        };
+        make_pairs(&cfg, n)
+    }
+
+    #[test]
+    fn alternate_keeps_one_pending() {
+        let p = pairs(10);
+        let reqs = arrange(&p, ArrivalOrder::Alternate);
+        assert_eq!(reqs.len(), 20);
+        assert_eq!(measured_max_pending(&reqs), 1);
+        assert_eq!(ArrivalOrder::Alternate.max_pending_bound(20), 1);
+    }
+
+    #[test]
+    fn in_order_peaks_at_half() {
+        let p = pairs(10);
+        let reqs = arrange(&p, ArrivalOrder::InOrder);
+        assert_eq!(measured_max_pending(&reqs), 10);
+        assert_eq!(ArrivalOrder::InOrder.max_pending_bound(20), 10);
+    }
+
+    #[test]
+    fn reverse_order_peaks_at_half_with_varying_wait() {
+        let p = pairs(10);
+        let reqs = arrange(&p, ArrivalOrder::ReverseOrder);
+        assert_eq!(measured_max_pending(&reqs), 10);
+        // First user's partner arrives last: the first request is the
+        // pair of the final request.
+        assert_eq!(reqs[0].partner, reqs[19].user);
+        assert_eq!(reqs[10].partner, reqs[9].user);
+    }
+
+    #[test]
+    fn random_is_seed_deterministic_and_below_bound() {
+        let p = pairs(10);
+        let a = arrange(&p, ArrivalOrder::Random { seed: 1 });
+        let b = arrange(&p, ArrivalOrder::Random { seed: 1 });
+        let c = arrange(&p, ArrivalOrder::Random { seed: 2 });
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(measured_max_pending(&a) <= 10);
+        // All 20 requests survive the shuffle.
+        assert_eq!(a.len(), 20);
+    }
+
+    #[test]
+    fn every_order_contains_each_user_once() {
+        let p = pairs(5);
+        for order in [
+            ArrivalOrder::Alternate,
+            ArrivalOrder::InOrder,
+            ArrivalOrder::ReverseOrder,
+            ArrivalOrder::Random { seed: 9 },
+        ] {
+            let reqs = arrange(&p, order);
+            let mut users: Vec<&str> = reqs.iter().map(|r| r.user.as_str()).collect();
+            users.sort_unstable();
+            users.dedup();
+            assert_eq!(users.len(), 10, "order {order:?}");
+        }
+    }
+}

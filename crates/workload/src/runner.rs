@@ -1,0 +1,263 @@
+//! The experiment runner: executes a workload against the quantum
+//! database or the IS baseline and collects the measurements the paper
+//! reports (cumulative per-transaction time, total time, read/update time
+//! split, coordination percentage, maximum pending transactions).
+
+use std::time::{Duration, Instant};
+
+use qdb_core::{QuantumDb, QuantumDbConfig};
+use qdb_logic::parse_query;
+
+use crate::entangled::{entangled_booking, make_pairs, Pair};
+use crate::flights::{build_database, install, FlightsConfig};
+use crate::is_baseline::IsClient;
+use crate::metrics::{coordination_stats, CoordStats};
+use crate::mixed::{build_mixed_workload, Op};
+use crate::orders::{arrange, ArrivalOrder};
+
+/// One experiment configuration.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Database shape.
+    pub flights: FlightsConfig,
+    /// Coordination pairs per flight.
+    pub pairs_per_flight: usize,
+    /// Arrival order of the resource transactions.
+    pub order: ArrivalOrder,
+    /// Read operations (mixed workload); `0` = pure resource workload.
+    pub n_reads: usize,
+    /// Workload seed (shuffles, read placement).
+    pub seed: u64,
+    /// Engine configuration (contains `k`).
+    pub engine: QuantumDbConfig,
+}
+
+impl RunConfig {
+    /// Pure resource workload over `flights` with the given order and `k`.
+    pub fn resource_only(
+        flights: FlightsConfig,
+        pairs_per_flight: usize,
+        order: ArrivalOrder,
+        k: usize,
+    ) -> Self {
+        RunConfig {
+            flights,
+            pairs_per_flight,
+            order,
+            n_reads: 0,
+            seed: 0xC1DE,
+            engine: QuantumDbConfig::with_k(k),
+        }
+    }
+
+    /// Number of resource transactions.
+    pub fn n_transactions(&self) -> usize {
+        self.flights.flights * self.pairs_per_flight * 2
+    }
+}
+
+/// Measurements from one run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// System label ("QuantumDB k=40", "IS", …).
+    pub label: String,
+    /// Cumulative elapsed microseconds after each operation (Fig. 5's
+    /// y-axis against operation index).
+    pub cumulative_micros: Vec<u64>,
+    /// Total wall-clock time.
+    pub total: Duration,
+    /// Time spent executing read operations (Fig. 8).
+    pub read_time: Duration,
+    /// Time spent executing resource transactions / updates (Fig. 8).
+    pub update_time: Duration,
+    /// Coordination outcome (Figs. 6, 9; Table 2).
+    pub coord: CoordStats,
+    /// Highest number of simultaneously pending transactions (Table 1).
+    pub max_pending: u64,
+    /// Aborted resource transactions.
+    pub aborted: u64,
+}
+
+impl RunResult {
+    /// Coordination percentage.
+    pub fn coordination_percent(&self) -> f64 {
+        self.coord.percent()
+    }
+}
+
+/// Run a workload against the quantum database.
+pub fn run_quantum(cfg: &RunConfig) -> RunResult {
+    let pairs = make_pairs(&cfg.flights, cfg.pairs_per_flight);
+    let ops = ops_for(cfg, &pairs);
+    let mut qdb = QuantumDb::new(cfg.engine.clone()).expect("engine construction");
+    install(&mut qdb, &cfg.flights).expect("schema install");
+
+    let mut cumulative = Vec::with_capacity(ops.len());
+    let mut read_time = Duration::ZERO;
+    let mut update_time = Duration::ZERO;
+    let start = Instant::now();
+    for op in &ops {
+        let t0 = Instant::now();
+        match op {
+            Op::Book(r) => {
+                let txn = entangled_booking(&r.user, &r.partner, r.flight);
+                let _ = qdb.submit(&txn).expect("engine healthy");
+                update_time += t0.elapsed();
+            }
+            Op::Read { user } => {
+                let q = parse_query(&format!("Bookings('{user}', f, s)"))
+                    .expect("query parses");
+                let _ = qdb.read_parsed(&q, None).expect("engine healthy");
+                read_time += t0.elapsed();
+            }
+        }
+        cumulative.push(start.elapsed().as_micros() as u64);
+    }
+    // Fix any transactions still pending (partners all arrived, so under
+    // partner-arrival grounding this is usually a no-op; with it disabled
+    // this is where coordination happens).
+    let t0 = Instant::now();
+    qdb.ground_all().expect("invariant");
+    update_time += t0.elapsed();
+    let total = start.elapsed();
+
+    let coord = coordination_stats(qdb.database(), &pairs, cfg.flights.rows_per_flight);
+    RunResult {
+        label: format!("QuantumDB k={}", cfg.engine.k),
+        cumulative_micros: cumulative,
+        total,
+        read_time,
+        update_time,
+        coord,
+        max_pending: qdb.metrics().max_pending,
+        aborted: qdb.metrics().aborted,
+    }
+}
+
+/// Run the same workload against the intelligent-social baseline.
+pub fn run_is(cfg: &RunConfig) -> RunResult {
+    let pairs = make_pairs(&cfg.flights, cfg.pairs_per_flight);
+    let ops = ops_for(cfg, &pairs);
+    let mut client = IsClient::new(build_database(&cfg.flights));
+
+    let mut cumulative = Vec::with_capacity(ops.len());
+    let mut read_time = Duration::ZERO;
+    let mut update_time = Duration::ZERO;
+    let mut failures = 0u64;
+    let start = Instant::now();
+    for op in &ops {
+        let t0 = Instant::now();
+        match op {
+            Op::Book(r) => {
+                let out = client.book(&r.user, &r.partner, r.flight);
+                if out.seat.is_none() {
+                    failures += 1;
+                }
+                update_time += t0.elapsed();
+            }
+            Op::Read { user } => {
+                let _ = client.read_booking(user);
+                read_time += t0.elapsed();
+            }
+        }
+        cumulative.push(start.elapsed().as_micros() as u64);
+    }
+    let total = start.elapsed();
+    let coord = coordination_stats(client.database(), &pairs, cfg.flights.rows_per_flight);
+    RunResult {
+        label: "Intelligent Social (IS)".to_string(),
+        cumulative_micros: cumulative,
+        total,
+        read_time,
+        update_time,
+        coord,
+        max_pending: 0, // IS never defers
+        aborted: failures,
+    }
+}
+
+fn ops_for(cfg: &RunConfig, pairs: &[Pair]) -> Vec<Op> {
+    if cfg.n_reads == 0 {
+        arrange(pairs, cfg.order).into_iter().map(Op::Book).collect()
+    } else {
+        build_mixed_workload(pairs, cfg.n_reads, cfg.seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small smoke configuration: 1 flight × 4 rows (12 seats), 6 pairs.
+    fn small(order: ArrivalOrder, k: usize) -> RunConfig {
+        RunConfig::resource_only(
+            FlightsConfig {
+                flights: 1,
+                rows_per_flight: 4,
+            },
+            6,
+            order,
+            k,
+        )
+    }
+
+    #[test]
+    fn quantum_achieves_full_coordination_on_small_alternate() {
+        let res = run_quantum(&small(ArrivalOrder::Alternate, 61));
+        assert_eq!(res.aborted, 0);
+        // Max coordination: min(2·6, 2·4) = 8 users.
+        assert_eq!(res.coord.max_possible, 8);
+        assert_eq!(res.coord.coordinated_users, 8);
+        assert!((res.coordination_percent() - 100.0).abs() < 1e-9);
+        assert_eq!(res.cumulative_micros.len(), 12);
+    }
+
+    #[test]
+    fn quantum_beats_is_on_random_order() {
+        let q = run_quantum(&small(ArrivalOrder::Random { seed: 11 }, 61));
+        let is = run_is(&small(ArrivalOrder::Random { seed: 11 }, 61));
+        assert!(
+            q.coordination_percent() >= is.coordination_percent(),
+            "quantum {:.1}% < IS {:.1}%",
+            q.coordination_percent(),
+            is.coordination_percent()
+        );
+        assert!((q.coordination_percent() - 100.0).abs() < 1e-9);
+        // Everyone is seated in both systems (capacity suffices).
+        assert_eq!(q.coord.seated_users, 12);
+        assert_eq!(is.coord.seated_users, 12);
+    }
+
+    #[test]
+    fn max_pending_tracks_table1_shape() {
+        let alt = run_quantum(&small(ArrivalOrder::Alternate, 61));
+        let ord = run_quantum(&small(ArrivalOrder::InOrder, 61));
+        // Alternate keeps at most 1 pending; InOrder peaks near N/2 = 6.
+        assert!(alt.max_pending <= 1, "alternate max_pending = {}", alt.max_pending);
+        assert!(ord.max_pending >= 5, "in-order max_pending = {}", ord.max_pending);
+    }
+
+    #[test]
+    fn mixed_reads_reduce_coordination() {
+        let mut pure = small(ArrivalOrder::Random { seed: 5 }, 61);
+        pure.seed = 5;
+        let mut mixed = pure.clone();
+        mixed.n_reads = 10;
+        let p = run_quantum(&pure);
+        let m = run_quantum(&mixed);
+        assert!(
+            m.coordination_percent() <= p.coordination_percent(),
+            "reads must not increase coordination"
+        );
+        assert!(m.read_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn small_k_forces_grounding() {
+        let res = run_quantum(&small(ArrivalOrder::InOrder, 2));
+        // k = 2 on an in-order workload forces early grounding, so the
+        // pending high-water mark stays at k... +0 tolerance.
+        assert!(res.max_pending <= 3, "max_pending = {}", res.max_pending);
+        assert_eq!(res.aborted, 0, "k-grounding must not cause aborts");
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests for the workload layer: conservation laws of the
+//! runner, arrival-order invariants, and quantum-vs-IS dominance.
+
+use proptest::prelude::*;
+use qdb_workload::{
+    make_pairs, orders::measured_max_pending, run_is, run_quantum, arrange,
+    ArrivalOrder, FlightsConfig, RunConfig,
+};
+
+fn arb_order() -> impl Strategy<Value = ArrivalOrder> {
+    prop_oneof![
+        Just(ArrivalOrder::Alternate),
+        Just(ArrivalOrder::InOrder),
+        Just(ArrivalOrder::ReverseOrder),
+        any::<u64>().prop_map(|seed| ArrivalOrder::Random { seed }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Conservation: with capacity for everyone, a quantum run seats every
+    /// user exactly once, never aborts, and coordination never exceeds the
+    /// theoretical maximum.
+    #[test]
+    fn quantum_run_conserves_seats(
+        order in arb_order(),
+        rows in 2usize..5,
+        k in 2usize..62,
+    ) {
+        let flights = FlightsConfig { flights: 2, rows_per_flight: rows };
+        // Fill to capacity: 3·rows users per flight.
+        let pairs_per_flight = rows * 3 / 2;
+        let cfg = RunConfig::resource_only(flights, pairs_per_flight, order, k);
+        let res = run_quantum(&cfg);
+        prop_assert_eq!(res.aborted, 0);
+        prop_assert_eq!(res.coord.seated_users, res.coord.total_users);
+        prop_assert!(res.coord.coordinated_users <= res.coord.max_possible);
+        prop_assert!(res.coordination_percent() <= 100.0 + 1e-9);
+        // Cumulative series is monotone and one entry per operation.
+        prop_assert_eq!(res.cumulative_micros.len(), cfg.n_transactions());
+        prop_assert!(res.cumulative_micros.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    /// The quantum database never coordinates worse than IS on the same
+    /// workload (the paper's headline claim), and with a full-size k it
+    /// achieves the maximum.
+    #[test]
+    fn quantum_dominates_is(order in arb_order(), rows in 2usize..5) {
+        let flights = FlightsConfig { flights: 1, rows_per_flight: rows };
+        let pairs = rows * 3 / 2;
+        let cfg = RunConfig::resource_only(flights, pairs, order, 61);
+        let q = run_quantum(&cfg);
+        let is = run_is(&cfg);
+        prop_assert!(
+            q.coordination_percent() + 1e-9 >= is.coordination_percent(),
+            "quantum {:.1} < IS {:.1} under {:?}",
+            q.coordination_percent(), is.coordination_percent(), order
+        );
+        prop_assert!((q.coordination_percent() - 100.0).abs() < 1e-9);
+    }
+
+    /// Table 1 invariants for every order and size: the measured maximum
+    /// pending never exceeds the analytic bound, and Alternate is exactly 1.
+    #[test]
+    fn arrival_order_bounds(order in arb_order(), n_pairs in 1usize..40) {
+        let flights = FlightsConfig { flights: 1, rows_per_flight: n_pairs };
+        let pairs = make_pairs(&flights, n_pairs);
+        let reqs = arrange(&pairs, order);
+        let measured = measured_max_pending(&reqs);
+        prop_assert!(measured <= order.max_pending_bound(reqs.len()));
+        if order == ArrivalOrder::Alternate {
+            prop_assert_eq!(measured, 1);
+        }
+        // Every user appears exactly once.
+        let mut users: Vec<&str> = reqs.iter().map(|r| r.user.as_str()).collect();
+        users.sort_unstable();
+        users.dedup();
+        prop_assert_eq!(users.len(), 2 * n_pairs);
+    }
+
+    /// Coordination statistics are consistent: counts are even (pairs),
+    /// bounded by seated users, and the denominator respects row capacity.
+    #[test]
+    fn coordination_stats_invariants(
+        rows in 1usize..6,
+        pairs_per_flight in 1usize..8,
+    ) {
+        prop_assume!(2 * pairs_per_flight <= rows * 3);
+        let flights = FlightsConfig { flights: 2, rows_per_flight: rows };
+        let cfg = RunConfig::resource_only(
+            flights,
+            pairs_per_flight,
+            ArrivalOrder::Random { seed: 99 },
+            61,
+        );
+        let res = run_quantum(&cfg);
+        let pairs = make_pairs(&flights, pairs_per_flight);
+        prop_assert_eq!(res.coord.coordinated_users % 2, 0);
+        prop_assert!(res.coord.coordinated_users <= res.coord.seated_users);
+        let expected_max: usize = (2 * pairs_per_flight).min(2 * rows) * 2;
+        prop_assert_eq!(res.coord.max_possible, expected_max);
+        let _ = pairs;
+    }
+}

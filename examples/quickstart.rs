@@ -1,0 +1,65 @@
+//! Quickstart: commit a booking without choosing a seat; observe the
+//! collapse on read.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use quantum_db::core::{QuantumDb, QuantumDbConfig};
+use quantum_db::logic::{parse_query, parse_transaction};
+use quantum_db::storage::{tuple, Schema, ValueType};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Set up a tiny travel database: flight 123 with three seats.
+    let mut qdb = QuantumDb::new(QuantumDbConfig::default())?;
+    qdb.create_table(Schema::new(
+        "Available",
+        vec![("flight", ValueType::Int), ("seat", ValueType::Str)],
+    ))?;
+    qdb.create_table(Schema::new(
+        "Bookings",
+        vec![
+            ("name", ValueType::Str),
+            ("flight", ValueType::Int),
+            ("seat", ValueType::Str),
+        ],
+    ))?;
+    qdb.bulk_insert(
+        "Available",
+        vec![tuple![123, "5A"], tuple![123, "5B"], tuple![123, "5C"]],
+    )?;
+
+    // 2. Mickey books *a* seat — the resource transaction commits without
+    //    fixing which one. The database is now in a quantum state.
+    let txn = parse_transaction(
+        "-Available(f, s), +Bookings('Mickey', f, s) :-1 Available(f, s)",
+    )?;
+    let outcome = qdb.submit(&txn)?;
+    println!("submit: {outcome:?}");
+    println!(
+        "pending: {}, extensional bookings: {}",
+        qdb.pending_count(),
+        qdb.database().table("Bookings")?.len()
+    );
+
+    // 3. Peek (option 2 of §3.2.2): see one possible world, fix nothing.
+    let q = parse_query("Bookings('Mickey', f, s)")?;
+    let peek = qdb.read_peek(&q.atoms, None)?;
+    println!("peek sees {} possible booking (not fixed)", peek.len());
+
+    // 4. Enumerate all possible worlds (option 1).
+    let possible = qdb.read_possible(&q.atoms, 100)?;
+    println!("{} distinct answers across possible worlds", possible.len());
+
+    // 5. Check-in time: the read *collapses* the quantum state (option 3,
+    //    the default) — Mickey's seat is now fixed, and repeatable.
+    let rows = qdb.read_parsed(&q, None)?;
+    let seat = rows[0].get(q.var("s").unwrap()).unwrap();
+    println!("Mickey's seat after collapse: {seat}");
+    assert_eq!(qdb.pending_count(), 0);
+
+    let again = qdb.read_parsed(&q, None)?;
+    assert_eq!(rows, again, "reads are repeatable after collapse");
+    println!("metrics: {}", qdb.metrics());
+    Ok(())
+}

@@ -1,0 +1,133 @@
+//! The paper's running example, end to end: Mickey, Goofy, Donald, Minnie
+//! and Pluto book seats on flight 123 — with entangled coordination,
+//! possible-worlds inspection (Figure 2) and a hard-constraint conflict
+//! (§2's Pluto scenario).
+//!
+//! ```text
+//! cargo run --example travel_booking
+//! ```
+
+use quantum_db::core::{enumerate_worlds, QuantumDb, QuantumDbConfig};
+use quantum_db::logic::{parse_query, parse_transaction, ResourceTransaction};
+use quantum_db::storage::{tuple, Schema, ValueType};
+
+fn booking(user: &str) -> ResourceTransaction {
+    parse_transaction(&format!(
+        "-Available(f, s), +Bookings('{user}', f, s) :-1 Available(f, s)"
+    ))
+    .expect("well-formed")
+}
+
+fn booking_next_to(user: &str, partner: &str) -> ResourceTransaction {
+    parse_transaction(&format!(
+        "-Available(f, s), +Bookings('{user}', f, s) :-1 \
+         Available(f, s), Bookings('{partner}', f, s2)?, Adjacent(s, s2)?"
+    ))
+    .expect("well-formed")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut qdb = QuantumDb::new(QuantumDbConfig::default())?;
+    qdb.create_table(Schema::new(
+        "Available",
+        vec![("flight", ValueType::Int), ("seat", ValueType::Str)],
+    ))?;
+    qdb.create_table(Schema::new(
+        "Bookings",
+        vec![
+            ("name", ValueType::Str),
+            ("flight", ValueType::Int),
+            ("seat", ValueType::Str),
+        ],
+    ))?;
+    qdb.create_table(Schema::new(
+        "Adjacent",
+        vec![("s1", ValueType::Str), ("s2", ValueType::Str)],
+    ))?;
+    // Flight 123, one row of three seats (Figure 2's setup).
+    qdb.bulk_insert(
+        "Available",
+        vec![tuple![123, "1A"], tuple![123, "1B"], tuple![123, "1C"]],
+    )?;
+    qdb.bulk_insert(
+        "Adjacent",
+        vec![
+            tuple!["1A", "1B"],
+            tuple!["1B", "1A"],
+            tuple!["1B", "1C"],
+            tuple!["1C", "1B"],
+        ],
+    )?;
+
+    // --- Figure 2: possible-world evolution -----------------------------
+    println!("--- Figure 2: explicit possible worlds ---");
+    let mickey = booking("Mickey");
+    let donald = booking("Donald");
+    let base = qdb.database().clone();
+    let w1 = enumerate_worlds(&base, &[&mickey], 100)?;
+    println!("after Mickey's transaction: {} possible worlds", w1.len());
+    let w2 = enumerate_worlds(&base, &[&mickey, &donald], 100)?;
+    println!("after Donald's transaction: {} possible worlds", w2.len());
+    // Minnie wants to sit next to Mickey (hard, for the world count).
+    let minnie = parse_transaction(
+        "-Available(f, s), +Bookings('Minnie', f, s) :-1 \
+         Available(f, s), Bookings('Mickey', f, s2), Adjacent(s, s2)",
+    )?;
+    let w3 = enumerate_worlds(&base, &[&mickey, &donald, &minnie], 100)?;
+    println!(
+        "after Minnie's transaction: {} possible worlds (worlds where \
+         Minnie cannot sit next to Mickey are eliminated)",
+        w3.len()
+    );
+
+    // --- Entangled coordination (§5.1) -----------------------------------
+    println!("\n--- Entangled resource transactions ---");
+    // Mickey books first, wanting to sit next to Goofy — who is not in the
+    // system yet. The request commits; the coordination constraint stays
+    // open as a forward constraint.
+    qdb.submit(&booking_next_to("Mickey", "Goofy"))?;
+    println!(
+        "Mickey committed; pending = {} (seat not fixed, waiting for Goofy)",
+        qdb.pending_count()
+    );
+    // Goofy arrives: the pair is grounded immediately, adjacent.
+    qdb.submit(&booking_next_to("Goofy", "Mickey"))?;
+    let q = parse_query("Bookings(n, f, s)")?;
+    let rows = qdb.read_parsed(&q, None)?;
+    println!("bookings after Goofy's arrival:");
+    for r in &rows {
+        let n = r.get(q.var("n").unwrap()).unwrap();
+        let s = r.get(q.var("s").unwrap()).unwrap();
+        println!("  {n} -> {s}");
+    }
+    let seat = |rows: &Vec<quantum_db::logic::Valuation>, who: &str| -> String {
+        rows.iter()
+            .find(|r| r.get(q.var("n").unwrap()).unwrap().as_str() == Some(who))
+            .and_then(|r| r.get(q.var("s").unwrap()).unwrap().as_str().map(String::from))
+            .expect("booked")
+    };
+    let (m, g) = (seat(&rows, "Mickey"), seat(&rows, "Goofy"));
+    assert!(qdb
+        .database()
+        .contains("Adjacent", &tuple![m.as_str(), g.as_str()]));
+    println!("Mickey ({m}) and Goofy ({g}) sit together.");
+
+    // --- §2: Pluto's hard constraint vs a soft preference ---------------
+    println!("\n--- Hard constraints win over soft preferences ---");
+    let last = qdb.query("Available(f, s)")?;
+    println!("seats left: {}", last.len());
+    // Pluto demands the exact remaining seat — a hard constraint. It
+    // commits: nobody pending holds a hard claim on it.
+    let pluto = parse_transaction(
+        "-Available(123, '1C'), +Bookings('Pluto', 123, '1C') :-1 Available(123, '1C')",
+    );
+    let pluto = pluto?;
+    let out = qdb.submit(&pluto)?;
+    println!("Pluto requests 1C: {out:?}");
+    qdb.ground_all()?;
+    println!(
+        "final bookings: {} of 3 seats taken",
+        qdb.database().table("Bookings")?.len()
+    );
+    Ok(())
+}

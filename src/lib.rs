@@ -1,0 +1,29 @@
+//! # quantum-db
+//!
+//! Facade crate for the quantum database workspace — a from-scratch Rust
+//! reproduction of *Quantum Databases* (Roy, Kot, Koch — CIDR 2013).
+//!
+//! A quantum database defers the binding of values read from the database:
+//! a *resource transaction* ("book me any available seat, preferably next to
+//! Goofy") commits immediately, but the concrete seat is chosen only when an
+//! observation — a read — forces the choice. Until then the database is in a
+//! superposition of possible worlds, represented intensionally as an
+//! extensional store plus a list of committed-but-pending transactions.
+//!
+//! See the individual crates for details:
+//! * [`storage`] — the relational substrate (tables, indexes, WAL).
+//! * [`logic`] — terms, unification, composed-body formulas.
+//! * [`solver`] — the consistent-grounding search and solution cache.
+//! * [`core`] — the quantum database engine itself.
+//! * [`workload`] — experiment workloads and the intelligent-social baseline.
+
+pub use qdb_core as core;
+pub use qdb_logic as logic;
+pub use qdb_solver as solver;
+pub use qdb_storage as storage;
+pub use qdb_workload as workload;
+
+// The most commonly used items, re-exported flat for examples and quick use.
+pub use qdb_core::{GroundingPolicy, QuantumDb, QuantumDbConfig, Serializability, SubmitOutcome};
+pub use qdb_logic::{parse_query, parse_transaction};
+pub use qdb_storage::{Database, Schema, Tuple, Value, ValueType};

@@ -1,0 +1,116 @@
+//! The SQL surface syntax (Figure 1) driving a live quantum database —
+//! end-to-end through the facade.
+
+use quantum_db::core::{QuantumDb, QuantumDbConfig};
+use quantum_db::logic::{parse_query, parse_sql_transaction};
+use quantum_db::storage::{tuple, Schema, ValueType};
+
+fn engine() -> QuantumDb {
+    let mut qdb = QuantumDb::new(QuantumDbConfig::default()).unwrap();
+    qdb.create_table(Schema::new(
+        "Available",
+        vec![("flight", ValueType::Int), ("seat", ValueType::Str)],
+    ))
+    .unwrap();
+    qdb.create_table(Schema::new(
+        "Bookings",
+        vec![
+            ("name", ValueType::Str),
+            ("flight", ValueType::Int),
+            ("seat", ValueType::Str),
+        ],
+    ))
+    .unwrap();
+    qdb.create_table(Schema::new(
+        "Adjacent",
+        vec![("s1", ValueType::Str), ("s2", ValueType::Str)],
+    ))
+    .unwrap();
+    qdb.bulk_insert(
+        "Available",
+        vec![tuple![123, "1A"], tuple![123, "1B"], tuple![123, "1C"]],
+    )
+    .unwrap();
+    qdb.bulk_insert(
+        "Adjacent",
+        vec![
+            tuple!["1A", "1B"],
+            tuple!["1B", "1A"],
+            tuple!["1B", "1C"],
+            tuple!["1C", "1B"],
+        ],
+    )
+    .unwrap();
+    qdb
+}
+
+#[test]
+fn figure1_sql_transaction_books_and_coordinates() {
+    let mut qdb = engine();
+    // Goofy books a concrete seat first.
+    let goofy = parse_sql_transaction(
+        "SELECT @s \
+         FROM Available(123, @s) \
+         WHERE @s = '1B' \
+         CHOOSE 1 \
+         FOLLOWED BY ( \
+            DELETE (123, @s) FROM Available; \
+            INSERT ('Goofy', 123, @s) INTO Bookings; \
+         )",
+    )
+    .unwrap();
+    assert!(qdb.submit(&goofy).unwrap().is_committed());
+    qdb.ground_all().unwrap();
+
+    // Mickey's Figure-1 request: any seat, preferably next to Goofy.
+    let mickey = parse_sql_transaction(
+        "SELECT @f, @s \
+         FROM Available(@f, @s), \
+              OPTIONAL Bookings('Goofy', @f, @s2), \
+              OPTIONAL Adjacent(@s, @s2) \
+         CHOOSE 1 \
+         FOLLOWED BY ( \
+            DELETE (@f, @s) FROM Available; \
+            INSERT ('Mickey', @f, @s) INTO Bookings; \
+         )",
+    )
+    .unwrap();
+    assert!(qdb.submit(&mickey).unwrap().is_committed());
+
+    // Collapse and check adjacency was honored (1A or 1C, next to 1B).
+    let q = parse_query("Bookings('Mickey', f, s)").unwrap();
+    let rows = qdb.read_parsed(&q, None).unwrap();
+    let seat = rows[0]
+        .get(q.var("s").unwrap())
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_string();
+    assert!(
+        qdb.database()
+            .contains("Adjacent", &tuple![seat.as_str(), "1B"]),
+        "Mickey got {seat}, not adjacent to Goofy's 1B"
+    );
+}
+
+#[test]
+fn sql_and_datalog_forms_are_interchangeable() {
+    let sql = parse_sql_transaction(
+        "SELECT @s FROM Available(123, @s) CHOOSE 1 \
+         FOLLOWED BY (DELETE (123, @s) FROM Available; \
+                      INSERT ('Pluto', 123, @s) INTO Bookings)",
+    )
+    .unwrap();
+    let datalog = quantum_db::logic::parse_transaction(
+        "-Available(123, s), +Bookings('Pluto', 123, s) :-1 Available(123, s)",
+    )
+    .unwrap();
+    assert_eq!(sql.to_string(), datalog.to_string());
+    // Both run identically against a fresh engine.
+    for txn in [&sql, &datalog] {
+        let mut qdb = engine();
+        assert!(qdb.submit(txn).unwrap().is_committed());
+        qdb.ground_all().unwrap();
+        assert_eq!(qdb.database().table("Bookings").unwrap().len(), 1);
+    }
+}
