@@ -99,13 +99,7 @@ fn bench_ablation_policy(c: &mut Criterion) {
             "max_flexibility",
             GroundingPolicy::MaxFlexibility { sample: 8 },
         ),
-        (
-            "random",
-            GroundingPolicy::Random {
-                seed: 7,
-                sample: 8,
-            },
-        ),
+        ("random", GroundingPolicy::Random { seed: 7, sample: 8 }),
     ] {
         group.bench_function(name, |b| {
             let mut cfg = base_cfg();

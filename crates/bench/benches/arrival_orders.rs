@@ -5,9 +5,7 @@
 //! baseline. Run `reproduce fig5` for the full cumulative series.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use qdb_workload::{
-    run_is, run_quantum, ArrivalOrder, FlightsConfig, RunConfig,
-};
+use qdb_workload::{run_is, run_quantum, ArrivalOrder, FlightsConfig, RunConfig};
 
 fn bench_orders(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5_order_of_arrival");
@@ -34,12 +32,7 @@ fn bench_orders(c: &mut Criterion) {
         );
     }
     group.bench_function("is_random", |b| {
-        let cfg = RunConfig::resource_only(
-            flights,
-            51,
-            ArrivalOrder::Random { seed: 0xC1DE },
-            61,
-        );
+        let cfg = RunConfig::resource_only(flights, 51, ArrivalOrder::Random { seed: 0xC1DE }, 61);
         b.iter(|| run_is(&cfg).total);
     });
     group.finish();

@@ -5,9 +5,7 @@
 //! flight sweep is produced by `reproduce fig7`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use qdb_workload::{
-    run_is, run_quantum, ArrivalOrder, FlightsConfig, RunConfig,
-};
+use qdb_workload::{run_is, run_quantum, ArrivalOrder, FlightsConfig, RunConfig};
 
 fn bench_scalability(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig7_scalability_10_flights");
@@ -15,22 +13,13 @@ fn bench_scalability(c: &mut Criterion) {
     let flights = FlightsConfig::scalability(10);
     for k in [20usize, 30, 40] {
         group.bench_with_input(BenchmarkId::new("quantum_k", k), &k, |b, &k| {
-            let cfg = RunConfig::resource_only(
-                flights,
-                75,
-                ArrivalOrder::Random { seed: 0xC1DE },
-                k,
-            );
+            let cfg =
+                RunConfig::resource_only(flights, 75, ArrivalOrder::Random { seed: 0xC1DE }, k);
             b.iter(|| run_quantum(&cfg).total);
         });
     }
     group.bench_function("is", |b| {
-        let cfg = RunConfig::resource_only(
-            flights,
-            75,
-            ArrivalOrder::Random { seed: 0xC1DE },
-            61,
-        );
+        let cfg = RunConfig::resource_only(flights, 75, ArrivalOrder::Random { seed: 0xC1DE }, 61);
         b.iter(|| run_is(&cfg).total);
     });
     group.finish();

@@ -41,10 +41,9 @@ fn booking(name: &str) -> ResourceTransaction {
 }
 
 fn bench_unification(c: &mut Criterion) {
-    let t = parse_transaction(
-        "-A(f1, s1), +B(M, f1, s1) :-1 A(f1, s1), B(G, f1, s2)?, Adj(s1, s2)?",
-    )
-    .unwrap();
+    let t =
+        parse_transaction("-A(f1, s1), +B(M, f1, s1) :-1 A(f1, s1), B(G, f1, s2)?, Adj(s1, s2)?")
+            .unwrap();
     let a = &t.body[0].atom;
     let b = &t.updates[0].atom;
     c.bench_function("mgu_flat_atoms", |bench| {
@@ -94,9 +93,7 @@ fn bench_solver_admission(c: &mut Criterion) {
             |bench, _| {
                 bench.iter(|| {
                     let mut c2 = cache.clone();
-                    let ok = c2
-                        .try_extend(&mut solver, &db, &refs, &newcomer)
-                        .unwrap();
+                    let ok = c2.try_extend(&mut solver, &db, &refs, &newcomer).unwrap();
                     assert!(ok);
                 });
             },
@@ -128,11 +125,7 @@ fn bench_verify(c: &mut Criterion) {
         .unwrap();
     let specs: Vec<TxnSpec> = refs.iter().map(|t| TxnSpec::required_only(t)).collect();
     c.bench_function("verify_cached_solution_40", |bench| {
-        bench.iter(|| {
-            solver
-                .verify(&db, &[], &specs, &cache.valuations)
-                .unwrap()
-        });
+        bench.iter(|| solver.verify(&db, &[], &specs, &cache.valuations).unwrap());
     });
 }
 

@@ -75,7 +75,10 @@ fn phase() {
         .collect();
     println!(
         "{}",
-        format_table(&["attempt", "fill ratio", "solver nodes", "outcome"], &table)
+        format_table(
+            &["attempt", "fill ratio", "solver nodes", "outcome"],
+            &table
+        )
     );
 }
 
@@ -85,9 +88,7 @@ fn table1(seed: u64) {
     let rows = table1_max_pending(51, seed);
     let table: Vec<Vec<String>> = rows
         .into_iter()
-        .map(|(label, bound, measured)| {
-            vec![label, bound.to_string(), measured.to_string()]
-        })
+        .map(|(label, bound, measured)| vec![label, bound.to_string(), measured.to_string()])
         .collect();
     println!(
         "{}",

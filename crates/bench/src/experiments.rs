@@ -1,9 +1,7 @@
 //! The §5 experiments, parameterized so the `reproduce` binary can run
 //! them at paper scale and the tests/benches at smoke scale.
 
-use qdb_workload::{
-    run_is, run_quantum, ArrivalOrder, FlightsConfig, RunConfig, RunResult,
-};
+use qdb_workload::{run_is, run_quantum, ArrivalOrder, FlightsConfig, RunConfig, RunResult};
 
 /// The four arrival orders of Table 1, with the paper's Random seed.
 pub fn paper_orders(seed: u64) -> Vec<ArrivalOrder> {
@@ -70,12 +68,7 @@ pub fn fig5_fig6_order_of_arrival(
     }
     // IS on Random order ("the performance of the system on the
     // intelligent social workload does not depend on arrival order").
-    let cfg = RunConfig::resource_only(
-        flights,
-        pairs_per_flight,
-        ArrivalOrder::Random { seed },
-        k,
-    );
+    let cfg = RunConfig::resource_only(flights, pairs_per_flight, ArrivalOrder::Random { seed }, k);
     let res = run_is(&cfg);
     rows.push(Fig5Row {
         label: "Random IS".to_string(),
@@ -135,12 +128,8 @@ pub fn fig7_table2_scalability(
                 coordination_percent: res.coordination_percent(),
             });
         }
-        let cfg = RunConfig::resource_only(
-            flights,
-            pairs_per_flight,
-            ArrivalOrder::Random { seed },
-            61,
-        );
+        let cfg =
+            RunConfig::resource_only(flights, pairs_per_flight, ArrivalOrder::Random { seed }, 61);
         let res = run_is(&cfg);
         out.push(ScalabilityRow {
             label: "IS".to_string(),
@@ -307,7 +296,7 @@ mod tests {
             },
             6,
             61,
-            7,
+            3,
         );
         assert_eq!(rows.len(), 5);
         // QuantumDB achieves 100% on every order (Fig. 6).

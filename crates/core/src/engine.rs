@@ -10,9 +10,7 @@ use std::sync::Arc;
 use qdb_logic::codec::encode_transaction;
 use qdb_logic::{Atom, Formula, ParsedQuery, ResourceTransaction, Valuation, Var, VarGen};
 use qdb_solver::{CachedSolution, Solver, SolverStats, TxnSpec};
-use qdb_storage::{
-    ConjunctiveQuery, Database, LogRecord, Schema, Tuple, Wal, WriteOp,
-};
+use qdb_storage::{ConjunctiveQuery, Database, LogRecord, Schema, Tuple, Wal, WriteOp};
 
 use crate::config::QuantumDbConfig;
 use crate::entangle::coordination_partners;
@@ -132,7 +130,8 @@ impl QuantumDb {
         if self.pending_count() == 0 {
             for t in tuples {
                 if self.db.insert(relation, t.clone())? {
-                    self.wal.append(&LogRecord::Write(WriteOp::insert(relation, t)))?;
+                    self.wal
+                        .append(&LogRecord::Write(WriteOp::insert(relation, t)))?;
                     applied += 1;
                 }
             }
@@ -262,8 +261,7 @@ impl QuantumDb {
                 self.solver
                     .solve(&self.db, &pre_ops, &[TxnSpec::required_only(&txn)])?
             {
-                let mut vals: Vec<Valuation> =
-                    merged.iter().map(|(_, v)| (*v).clone()).collect();
+                let mut vals: Vec<Valuation> = merged.iter().map(|(_, v)| (*v).clone()).collect();
                 vals.extend(sol.valuations);
                 admitted = Some(vals);
                 admitted_pre_ops = Some(pre_ops);
@@ -291,11 +289,10 @@ impl QuantumDb {
                     if !ok {
                         continue;
                     }
-                    if let Some(sol) = self.solver.solve(
-                        &self.db,
-                        &alt_ops,
-                        &[TxnSpec::required_only(&txn)],
-                    )? {
+                    if let Some(sol) =
+                        self.solver
+                            .solve(&self.db, &alt_ops, &[TxnSpec::required_only(&txn)])?
+                    {
                         let mut vals = extra.valuations.clone();
                         vals.extend(sol.valuations);
                         admitted = Some(vals);
@@ -331,10 +328,7 @@ impl QuantumDb {
         }
         let mut host = Partition::new();
         for t in &targets {
-            let p = self
-                .partitions
-                .remove(t)
-                .expect("target partition present");
+            let p = self.partitions.remove(t).expect("target partition present");
             host.merge(p);
         }
         // Durability: log the pending transaction *after* the
@@ -507,7 +501,10 @@ impl QuantumDb {
     pub fn write(&mut self, op: WriteOp) -> Result<bool> {
         let as_atom = Atom::new(
             op.relation(),
-            op.tuple().iter().map(|v| qdb_logic::Term::Const(v.clone())).collect(),
+            op.tuple()
+                .iter()
+                .map(|v| qdb_logic::Term::Const(v.clone()))
+                .collect(),
         );
         // Partitions whose pending state the write could interact with.
         let affected: Vec<u64> = self
@@ -695,7 +692,7 @@ impl QuantumDb {
     /// Wrap into a thread-safe shared handle.
     pub fn into_shared(self) -> SharedQuantumDb {
         SharedQuantumDb {
-            inner: Arc::new(parking_lot::Mutex::new(self)),
+            inner: Arc::new(crate::sync::Mutex::new(self)),
         }
     }
 
@@ -768,7 +765,7 @@ pub(crate) fn eval_on(
 /// single composed-body state.
 #[derive(Clone)]
 pub struct SharedQuantumDb {
-    inner: Arc<parking_lot::Mutex<QuantumDb>>,
+    inner: Arc<crate::sync::Mutex<QuantumDb>>,
 }
 
 impl SharedQuantumDb {

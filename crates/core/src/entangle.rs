@@ -61,8 +61,7 @@ mod tests {
     }
 
     fn pluto() -> ResourceTransaction {
-        parse_transaction("-Available(f, s), +Bookings('Pluto', f, s) :-1 Available(f, s)")
-            .unwrap()
+        parse_transaction("-Available(f, s), +Bookings('Pluto', f, s) :-1 Available(f, s)").unwrap()
     }
 
     #[test]

@@ -35,7 +35,10 @@ impl fmt::Display for EngineError {
             EngineError::Solver(e) => write!(f, "solver: {e}"),
             EngineError::Invariant(msg) => write!(f, "engine invariant violated: {msg}"),
             EngineError::RecoveryUnsatisfiable { txn } => {
-                write!(f, "recovery: pending transaction {txn} is no longer satisfiable")
+                write!(
+                    f,
+                    "recovery: pending transaction {txn} is no longer satisfiable"
+                )
             }
         }
     }

@@ -1,0 +1,417 @@
+//! The unified statement API: `execute()`, typed [`Response`]s, and
+//! [`Session`]s with prepared statements.
+//!
+//! Every engine operation — DDL, blind writes, the three read semantics of
+//! §3.2.2, resource transactions and control — is reachable through one
+//! entry point:
+//!
+//! ```
+//! use qdb_core::{QuantumDb, QuantumDbConfig, Response};
+//!
+//! let mut qdb = QuantumDb::new(QuantumDbConfig::default()).unwrap();
+//! qdb.execute("CREATE TABLE Available (flight INT, seat TEXT)").unwrap();
+//! qdb.execute("INSERT INTO Available VALUES (123, '5A'), (123, '5B')").unwrap();
+//! let r = qdb.execute(
+//!     "SELECT @s FROM Available(123, @s) CHOOSE 1 \
+//!      FOLLOWED BY (DELETE (123, @s) FROM Available; \
+//!                   INSERT ('Mickey', 123, @s) INTO Bookings)",
+//! );
+//! // Bookings does not exist yet: typed error, not a silent failure.
+//! assert!(r.is_err());
+//! qdb.execute("CREATE TABLE Bookings (name TEXT, flight INT, seat TEXT)").unwrap();
+//! let r = qdb.execute(
+//!     "SELECT @s FROM Available(123, @s) CHOOSE 1 \
+//!      FOLLOWED BY (DELETE (123, @s) FROM Available; \
+//!                   INSERT ('Mickey', 123, @s) INTO Bookings)",
+//! ).unwrap();
+//! assert!(matches!(r, Response::Committed(_)));
+//! // The read collapses the pending choice.
+//! let rows = qdb.execute("SELECT @s FROM Bookings('Mickey', 123, @s)").unwrap();
+//! assert_eq!(rows.rows().unwrap().len(), 1);
+//! ```
+//!
+//! [`Session`] layers prepared statements over the thread-safe
+//! [`SharedQuantumDb`] handle: [`Session::prepare`] parses once,
+//! [`Prepared::bind`] substitutes positional `?` parameters, and the bound
+//! statement re-executes without touching the parser (observable through
+//! [`Metrics::parses`]).
+
+use qdb_logic::stmt::{ColumnRef, ReadMode, SelectStmt, Statement};
+use qdb_logic::{ParsedStatement, Valuation, Var};
+use qdb_storage::{Tuple, Value, WriteOp};
+
+use crate::engine::{QuantumDb, SharedQuantumDb, SubmitOutcome};
+use crate::error::EngineError;
+use crate::metrics::Metrics;
+use crate::txn::TxnId;
+use crate::Result;
+
+/// Typed result of executing one [`Statement`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Rows of a `SELECT` (collapse or peek semantics), projected onto the
+    /// statement's `SELECT` list.
+    Rows(Vec<Valuation>),
+    /// Distinct answer sets of a `SELECT POSSIBLE` — one entry per
+    /// distinct possible-world answer.
+    Worlds(Vec<Vec<Valuation>>),
+    /// A resource transaction committed (it will never be rolled back, §2)
+    /// with this engine-assigned id.
+    Committed(TxnId),
+    /// A resource transaction was refused admission: accepting it would
+    /// empty the set of possible worlds.
+    Aborted,
+    /// Blind write outcome: `true` iff every row of the statement was
+    /// admitted (a rejected row would invalidate pending state, §3.2.2).
+    Written(bool),
+    /// How many pending transactions a `GROUND` statement collapsed.
+    Grounded(usize),
+    /// Metrics snapshot (`SHOW METRICS`).
+    Metrics(Box<Metrics>),
+    /// Ids of pending transactions (`SHOW PENDING`).
+    Pending(Vec<TxnId>),
+    /// Statement acknowledged with nothing to report (DDL, `CHECKPOINT`).
+    Ack,
+}
+
+impl Response {
+    /// Rows, when this is a [`Response::Rows`].
+    pub fn rows(&self) -> Option<&[Valuation]> {
+        match self {
+            Response::Rows(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Possible-world answer sets, when this is a [`Response::Worlds`].
+    pub fn worlds(&self) -> Option<&[Vec<Valuation>]> {
+        match self {
+            Response::Worlds(w) => Some(w),
+            _ => None,
+        }
+    }
+
+    /// Transaction id, when this is a [`Response::Committed`].
+    pub fn committed_id(&self) -> Option<TxnId> {
+        match self {
+            Response::Committed(id) => Some(*id),
+            _ => None,
+        }
+    }
+
+    /// Write outcome, when this is a [`Response::Written`].
+    pub fn written(&self) -> Option<bool> {
+        match self {
+            Response::Written(ok) => Some(*ok),
+            _ => None,
+        }
+    }
+
+    /// Grounded count, when this is a [`Response::Grounded`].
+    pub fn grounded(&self) -> Option<usize> {
+        match self {
+            Response::Grounded(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Metrics snapshot, when this is a [`Response::Metrics`].
+    pub fn metrics(&self) -> Option<&Metrics> {
+        match self {
+            Response::Metrics(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Response {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Response::Rows(rows) => write!(f, "{} row(s)", rows.len()),
+            Response::Worlds(w) => write!(f, "{} possible answer set(s)", w.len()),
+            Response::Committed(id) => write!(f, "committed as txn {id}"),
+            Response::Aborted => write!(f, "aborted"),
+            Response::Written(true) => write!(f, "written"),
+            Response::Written(false) => write!(f, "write rejected"),
+            Response::Grounded(n) => write!(f, "grounded {n} transaction(s)"),
+            Response::Metrics(m) => write!(f, "{m}"),
+            Response::Pending(ids) => write!(f, "{} pending transaction(s)", ids.len()),
+            Response::Ack => write!(f, "ok"),
+        }
+    }
+}
+
+/// Project rows onto the `SELECT` list (`None` = `*`, keep everything).
+fn project(rows: Vec<Valuation>, projection: &Option<Vec<Var>>) -> Vec<Valuation> {
+    match projection {
+        None => rows,
+        Some(vars) => rows
+            .into_iter()
+            .map(|val| {
+                vars.iter()
+                    .filter_map(|v| val.get(v).map(|value| (v.clone(), value.clone())))
+                    .collect()
+            })
+            .collect(),
+    }
+}
+
+fn row_to_tuple(relation: &str, row: &[qdb_logic::Term]) -> Result<Tuple> {
+    let mut values: Vec<Value> = Vec::with_capacity(row.len());
+    for term in row {
+        match term {
+            qdb_logic::Term::Const(v) => values.push(v.clone()),
+            qdb_logic::Term::Var(v) => {
+                return Err(EngineError::Logic(qdb_logic::LogicError::UnboundVariable {
+                    var: format!("{v} (in a {relation} write)"),
+                }))
+            }
+        }
+    }
+    Ok(Tuple::from(values))
+}
+
+impl QuantumDb {
+    /// Parse one statement of the unified dialect, counting the parse in
+    /// [`Metrics::parses`]. This is the only text→[`Statement`] path the
+    /// engine itself takes; prepared statements go through it exactly once.
+    pub fn prepare_statement(&mut self, sql: &str) -> Result<ParsedStatement> {
+        self.metrics.parses += 1;
+        Ok(qdb_logic::parse_statement(sql)?)
+    }
+
+    /// Parse and execute one statement. Statements with `?` placeholders
+    /// are rejected here — prepare them through a [`Session`] instead.
+    pub fn execute(&mut self, sql: &str) -> Result<Response> {
+        let parsed = self.prepare_statement(sql)?;
+        let stmt = parsed.statement()?.clone();
+        self.execute_stmt(stmt)
+    }
+
+    /// Execute an already-parsed statement (no parser involvement).
+    pub fn execute_stmt(&mut self, stmt: Statement) -> Result<Response> {
+        match stmt {
+            Statement::CreateTable(schema) => {
+                self.create_table(schema)?;
+                Ok(Response::Ack)
+            }
+            Statement::CreateIndex { relation, column } => {
+                let column = self.resolve_column(&relation, &column)?;
+                self.create_index(&relation, column)?;
+                Ok(Response::Ack)
+            }
+            Statement::Insert { relation, rows } => {
+                self.blind_writes(&relation, &rows, |r, t| WriteOp::insert(r, t))
+            }
+            Statement::Delete { relation, rows } => {
+                self.blind_writes(&relation, &rows, |r, t| WriteOp::delete(r, t))
+            }
+            Statement::Select(sel) => self.execute_select(sel),
+            Statement::Transaction(txn) => {
+                let txn = txn.to_transaction()?;
+                Ok(match self.submit(&txn)? {
+                    SubmitOutcome::Committed { id } => Response::Committed(id),
+                    SubmitOutcome::Aborted => Response::Aborted,
+                })
+            }
+            Statement::Ground(id) => {
+                // Grounding one id can cascade (coordination partners,
+                // strict-mode prefixes): report the actual collapse count.
+                let before = self.pending_count();
+                self.ground(id)?;
+                Ok(Response::Grounded(before - self.pending_count()))
+            }
+            Statement::GroundAll => {
+                let pending = self.pending_count();
+                self.ground_all()?;
+                Ok(Response::Grounded(pending))
+            }
+            Statement::Checkpoint => {
+                self.checkpoint()?;
+                Ok(Response::Ack)
+            }
+            Statement::ShowMetrics => Ok(Response::Metrics(Box::new(self.metrics().clone()))),
+            Statement::ShowPending => Ok(Response::Pending(self.pending_ids())),
+        }
+    }
+
+    fn execute_select(&mut self, sel: SelectStmt) -> Result<Response> {
+        match sel.mode {
+            ReadMode::Collapse => {
+                let rows = self.read(&sel.atoms, sel.limit)?;
+                Ok(Response::Rows(project(rows, &sel.projection)))
+            }
+            ReadMode::Peek => {
+                let rows = self.read_peek(&sel.atoms, sel.limit)?;
+                Ok(Response::Rows(project(rows, &sel.projection)))
+            }
+            ReadMode::Possible => {
+                let bound = sel.limit.unwrap_or(SelectStmt::DEFAULT_WORLD_BOUND);
+                let worlds = self.read_possible(&sel.atoms, bound)?;
+                Ok(Response::Worlds(
+                    worlds
+                        .into_iter()
+                        .map(|rows| project(rows, &sel.projection))
+                        .collect(),
+                ))
+            }
+        }
+    }
+
+    fn blind_writes(
+        &mut self,
+        relation: &str,
+        rows: &[Vec<qdb_logic::Term>],
+        op: impl Fn(&str, Tuple) -> WriteOp,
+    ) -> Result<Response> {
+        let mut all = true;
+        for row in rows {
+            let tuple = row_to_tuple(relation, row)?;
+            all &= self.write(op(relation, tuple))?;
+        }
+        Ok(Response::Written(all))
+    }
+
+    fn resolve_column(&self, relation: &str, column: &ColumnRef) -> Result<usize> {
+        match column {
+            ColumnRef::Position(p) => Ok(*p),
+            ColumnRef::Name(name) => {
+                let schema = self.db.table(relation)?.schema().clone();
+                schema
+                    .columns()
+                    .iter()
+                    .position(|c| &c.name == name)
+                    .ok_or_else(|| {
+                        EngineError::Storage(qdb_storage::StorageError::InvalidSchema(format!(
+                            "no column '{name}' on '{relation}'"
+                        )))
+                    })
+            }
+        }
+    }
+}
+
+impl SharedQuantumDb {
+    /// Parse and execute one statement under the engine lock.
+    pub fn execute(&self, sql: &str) -> Result<Response> {
+        self.with(|db| db.execute(sql))
+    }
+
+    /// Execute an already-parsed statement under the engine lock.
+    pub fn execute_stmt(&self, stmt: Statement) -> Result<Response> {
+        self.with(|db| db.execute_stmt(stmt))
+    }
+
+    /// Open a [`Session`] on this handle.
+    pub fn session(&self) -> Session {
+        Session { db: self.clone() }
+    }
+}
+
+/// A client session over a [`SharedQuantumDb`]: direct execution plus
+/// prepared statements. Sessions are cheap to create and clone — they are
+/// the intended per-client handle for servers and workload drivers.
+#[derive(Clone)]
+pub struct Session {
+    db: SharedQuantumDb,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session").finish_non_exhaustive()
+    }
+}
+
+impl Session {
+    /// Open a session on a shared engine handle.
+    pub fn new(db: SharedQuantumDb) -> Self {
+        Session { db }
+    }
+
+    /// Parse and execute one statement.
+    pub fn execute(&self, sql: &str) -> Result<Response> {
+        self.db.execute(sql)
+    }
+
+    /// Parse once into a reusable [`Prepared`] statement. The hot path
+    /// then re-executes via [`Prepared::bind`] + [`Bound::run`] without
+    /// re-parsing ([`Metrics::parses`] counts parser entries).
+    pub fn prepare(&self, sql: &str) -> Result<Prepared> {
+        let parsed = self.db.with(|db| db.prepare_statement(sql))?;
+        Ok(Prepared {
+            db: self.db.clone(),
+            parsed,
+        })
+    }
+
+    /// The underlying shared handle.
+    pub fn shared(&self) -> &SharedQuantumDb {
+        &self.db
+    }
+}
+
+/// A statement parsed once, executable many times.
+#[derive(Clone)]
+pub struct Prepared {
+    db: SharedQuantumDb,
+    parsed: ParsedStatement,
+}
+
+impl std::fmt::Debug for Prepared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Prepared")
+            .field("statement", &self.parsed.template().kind())
+            .field("params", &self.parsed.param_count())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Prepared {
+    /// Number of positional `?` placeholders.
+    pub fn param_count(&self) -> usize {
+        self.parsed.param_count()
+    }
+
+    /// Bind positional parameter values, yielding a runnable statement.
+    pub fn bind(&self, params: &[Value]) -> Result<Bound> {
+        Ok(Bound {
+            db: self.db.clone(),
+            stmt: self.parsed.bind(params)?,
+        })
+    }
+
+    /// Run a parameterless prepared statement directly.
+    pub fn run(&self) -> Result<Response> {
+        let stmt = self.parsed.statement()?.clone();
+        self.db.execute_stmt(stmt)
+    }
+}
+
+/// A prepared statement with all parameters bound.
+#[derive(Clone)]
+pub struct Bound {
+    db: SharedQuantumDb,
+    stmt: Statement,
+}
+
+impl std::fmt::Debug for Bound {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Bound")
+            .field("statement", &self.stmt.kind())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Bound {
+    /// Execute the bound statement, consuming it ([`Prepared::bind`]
+    /// builds a fresh one per execution, so the hot loop pays exactly one
+    /// statement materialization per run).
+    pub fn run(self) -> Result<Response> {
+        self.db.execute_stmt(self.stmt)
+    }
+
+    /// The statement about to run.
+    pub fn statement(&self) -> &Statement {
+        &self.stmt
+    }
+}

@@ -108,7 +108,8 @@ pub(crate) fn promotion_sets(optionals: &[Vec<usize>]) -> Vec<Vec<Vec<usize>>> {
             .collect();
         // Transactions without optional atoms make distinct masks produce
         // identical combos — drop the duplicates.
-        let mut seen: std::collections::BTreeSet<Vec<Vec<usize>>> = std::collections::BTreeSet::new();
+        let mut seen: std::collections::BTreeSet<Vec<Vec<usize>>> =
+            std::collections::BTreeSet::new();
         combos.retain(|c| seen.insert(c.clone()));
         combos
     }
@@ -133,11 +134,8 @@ pub(crate) fn flexibility_score(
     for spec in rest {
         let mut bottleneck = usize::MAX;
         for atom in spec.atoms() {
-            let bound: Vec<Option<qdb_storage::Value>> = atom
-                .terms
-                .iter()
-                .map(|t| t.as_const().cloned())
-                .collect();
+            let bound: Vec<Option<qdb_storage::Value>> =
+                atom.terms.iter().map(|t| t.as_const().cloned()).collect();
             let n = overlay
                 .count(base, &atom.relation, &bound)
                 .map_err(crate::EngineError::from)?;
@@ -203,11 +201,8 @@ impl QuantumDb {
                 return Ok(());
             };
             let mut out: std::collections::BTreeSet<TxnId> = ids.iter().copied().collect();
-            let seeds: Vec<&crate::PendingTxn> = p
-                .txns
-                .iter()
-                .filter(|t| out.contains(&t.id))
-                .collect();
+            let seeds: Vec<&crate::PendingTxn> =
+                p.txns.iter().filter(|t| out.contains(&t.id)).collect();
             for seed in seeds {
                 for other in &p.txns {
                     if !out.contains(&other.id)
@@ -345,9 +340,9 @@ impl QuantumDb {
         if group.len() == 1 && sample > 1 {
             // Enumerate alternatives for the single target, order them per
             // policy, and take the first whose residue stays satisfiable.
-            let mut cands =
-                self.solver
-                    .enumerate_one(&self.db, &[], &group_specs[0], sample)?;
+            let mut cands = self
+                .solver
+                .enumerate_one(&self.db, &[], &group_specs[0], sample)?;
             match self.config.policy {
                 crate::GroundingPolicy::MaxFlexibility { .. } => {
                     let mut scored: Vec<(usize, Valuation)> = Vec::with_capacity(cands.len());
@@ -360,7 +355,8 @@ impl QuantumDb {
                     cands = scored.into_iter().map(|(_, c)| c).collect();
                 }
                 crate::GroundingPolicy::Random { seed, .. } => {
-                    let mut rng = XorShift(seed ^ (group[0].id.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+                    let mut rng =
+                        XorShift(seed ^ (group[0].id.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
                     rng.shuffle(&mut cands);
                 }
                 crate::GroundingPolicy::FirstFit => unreachable!("sample > 1"),
@@ -431,11 +427,7 @@ impl QuantumDb {
         reason: GroundReason,
     ) -> Result<()> {
         debug_assert_eq!(group.len(), gg.group_vals.len());
-        for ((pt, val), promoted) in group
-            .iter()
-            .zip(&gg.group_vals)
-            .zip(&gg.promoted_counts)
-        {
+        for ((pt, val), promoted) in group.iter().zip(&gg.group_vals).zip(&gg.promoted_counts) {
             let ops = pt.txn.write_ops(val)?;
             for op in &ops {
                 self.db.apply(op)?;
@@ -459,8 +451,7 @@ impl QuantumDb {
                 });
             }
         }
-        let idset: std::collections::BTreeSet<TxnId> =
-            group.iter().map(|p| p.id).collect();
+        let idset: std::collections::BTreeSet<TxnId> = group.iter().map(|p| p.id).collect();
         let p = self
             .partitions
             .get_mut(&pid)

@@ -52,17 +52,20 @@ pub mod config;
 pub mod engine;
 pub mod entangle;
 pub mod error;
+pub mod exec;
 pub mod ground;
 pub mod metrics;
 pub mod partition;
 pub mod read;
 pub mod recovery;
+pub mod sync;
 pub mod txn;
 pub mod worlds;
 
 pub use config::{GroundingPolicy, QuantumDbConfig, Serializability};
 pub use engine::{QuantumDb, SharedQuantumDb, SubmitOutcome};
 pub use error::EngineError;
+pub use exec::{Bound, Prepared, Response, Session};
 pub use ground::GroundReason;
 pub use metrics::{Event, Metrics};
 pub use partition::Partition;

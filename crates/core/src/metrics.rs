@@ -69,6 +69,10 @@ pub struct Metrics {
     pub cache_full_resolves: u64,
     /// Partition merges.
     pub partition_merges: u64,
+    /// SQL parser entries: `execute()` on text and `Session::prepare`.
+    /// Prepared statements re-executed via `bind(…).run()` do not parse,
+    /// so a hot loop over a prepared statement holds this constant.
+    pub parses: u64,
     /// Pending transactions high-water mark (Table 1's measure).
     pub max_pending: u64,
     /// Optional atoms satisfied at grounding time, summed.
@@ -92,7 +96,10 @@ impl Metrics {
 
     /// Total groundings.
     pub fn grounded_total(&self) -> u64 {
-        self.grounded_by_read + self.grounded_by_k + self.grounded_by_partner + self.grounded_explicit
+        self.grounded_by_read
+            + self.grounded_by_k
+            + self.grounded_by_partner
+            + self.grounded_explicit
     }
 
     /// Reset all counters and the trace.
@@ -105,7 +112,7 @@ impl std::fmt::Display for Metrics {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "submitted={} committed={} aborted={} reads={} grounded(read/k/partner/explicit)={}/{}/{}/{} cache(ext/full)={}/{} max_pending={}",
+            "submitted={} committed={} aborted={} reads={} grounded(read/k/partner/explicit)={}/{}/{}/{} cache(ext/full)={}/{} max_pending={} parses={}",
             self.submitted,
             self.committed,
             self.aborted,
@@ -117,6 +124,7 @@ impl std::fmt::Display for Metrics {
             self.cache_extensions,
             self.cache_full_resolves,
             self.max_pending,
+            self.parses,
         )
     }
 }

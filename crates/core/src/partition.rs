@@ -152,10 +152,8 @@ mod tests {
         let t2 = book_flight(2, "D");
         assert!(!transactions_overlap(&t1, &t2));
         // Unconstrained flight overlaps both.
-        let t3 = parse_transaction(
-            "-Available(f, s), +Bookings('G', f, s) :-1 Available(f, s)",
-        )
-        .unwrap();
+        let t3 = parse_transaction("-Available(f, s), +Bookings('G', f, s) :-1 Available(f, s)")
+            .unwrap();
         assert!(transactions_overlap(&t1, &t3));
         assert!(transactions_overlap(&t2, &t3));
     }

@@ -27,10 +27,8 @@ mod tests {
     use qdb_logic::{parse_query, parse_transaction};
 
     fn mickey() -> ResourceTransaction {
-        parse_transaction(
-            "-Available(f, s), +Bookings('Mickey', f, s) :-1 Available(f, s)",
-        )
-        .unwrap()
+        parse_transaction("-Available(f, s), +Bookings('Mickey', f, s) :-1 Available(f, s)")
+            .unwrap()
     }
 
     #[test]

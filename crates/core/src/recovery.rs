@@ -30,8 +30,7 @@ impl QuantumDb {
         }
         qdb.db = state.db;
         for (id, payload) in state.pending {
-            let txn =
-                decode_transaction(&payload).map_err(EngineError::Logic)?;
+            let txn = decode_transaction(&payload).map_err(EngineError::Logic)?;
             // Keep the global variable space ahead of every recovered id.
             for v in txn.vars() {
                 qdb.vargen.reserve_through(v.id());
@@ -152,8 +151,7 @@ mod tests {
         // Appending after truncation yields a clean log.
         recovered.checkpoint().unwrap();
         let (records, consumed) =
-            qdb_storage::wal::replay_bytes(&recovered.wal.sink_mut().read_all().unwrap())
-                .unwrap();
+            qdb_storage::wal::replay_bytes(&recovered.wal.sink_mut().read_all().unwrap()).unwrap();
         assert_eq!(consumed, recovered.wal.size_bytes());
         assert!(matches!(
             records.last(),

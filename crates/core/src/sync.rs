@@ -1,0 +1,46 @@
+//! Minimal `parking_lot`-shaped mutex over `std::sync`.
+//!
+//! The shared engine handle wants `parking_lot::Mutex` ergonomics —
+//! `lock()` returning a guard directly, no poisoning to thread through
+//! every call site. That crate is not vendored in this offline build, so
+//! this module provides the two-method subset the engine uses. Poisoning
+//! is deliberately ignored: the engine's state transitions are all-or-
+//! nothing (admission installs a partition only after the solve succeeds),
+//! so a panicking holder leaves the state no more inconsistent than
+//! `parking_lot` itself would.
+
+use std::sync::PoisonError;
+
+/// A mutex whose `lock` returns the guard directly.
+#[derive(Debug, Default)]
+pub struct Mutex<T>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Wrap a value.
+    pub fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Acquire the lock, recovering from poisoning.
+    pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_survives_a_panicking_holder() {
+        let m = Arc::new(Mutex::new(7));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock();
+            panic!("poison the lock");
+        })
+        .join();
+        assert_eq!(*m.lock(), 7);
+    }
+}

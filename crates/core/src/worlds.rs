@@ -193,10 +193,7 @@ mod tests {
             };
             let m = seat_of("Mickey");
             let mi = seat_of("Minnie");
-            assert!(w.contains(
-                "Adjacent",
-                &tuple![mi.as_str(), m.as_str()]
-            ));
+            assert!(w.contains("Adjacent", &tuple![mi.as_str(), m.as_str()]));
         }
         // Mickey on 1A or 1C forces Minnie onto 1B; Mickey on 1B lets
         // Minnie take 1A or 1C: 4 worlds total.
@@ -238,8 +235,7 @@ mod tests {
     fn solver_agrees_with_world_semantics() {
         let db = figure2_db();
         for n in 1..=4 {
-            let txns: Vec<ResourceTransaction> =
-                (0..n).map(|i| book(&format!("U{i}"))).collect();
+            let txns: Vec<ResourceTransaction> = (0..n).map(|i| book(&format!("U{i}"))).collect();
             let refs: Vec<&ResourceTransaction> = txns.iter().collect();
             let ws = enumerate_worlds(&db, &refs, 10_000).unwrap();
             let mut solver = Solver::default();

@@ -2,9 +2,7 @@
 //! Behavioural tests for the quantum database engine: the §1–§3 narratives
 //! of the paper, operation by operation.
 
-use qdb_core::{
-    GroundingPolicy, QuantumDb, QuantumDbConfig, Serializability, SubmitOutcome,
-};
+use qdb_core::{GroundingPolicy, QuantumDb, QuantumDbConfig, Serializability, SubmitOutcome};
 use qdb_logic::{parse_query, parse_transaction, ResourceTransaction};
 use qdb_storage::{tuple, Schema, Tuple, ValueType, WriteOp};
 
@@ -134,7 +132,10 @@ fn pluto_hard_constraint_wins_over_mickeys_optional() {
     qdb.bulk_insert("Pin", vec![tuple!["1A"]]).unwrap();
     assert!(qdb.submit(&mickey).unwrap().is_committed());
     // Pluto hard-requests 1A — must commit even though Mickey "wanted" it.
-    assert!(qdb.submit(&book_seat("Pluto", "1A")).unwrap().is_committed());
+    assert!(qdb
+        .submit(&book_seat("Pluto", "1A"))
+        .unwrap()
+        .is_committed());
     qdb.ground_all().unwrap();
     assert_eq!(seat_of(&mut qdb, "Pluto"), Some("1A".to_string()));
     let mickey_seat = seat_of(&mut qdb, "Mickey").unwrap();
@@ -311,7 +312,10 @@ fn semantic_serializability_can_use_later_state_for_earlier_commits() {
         .unwrap();
     // Donald hard-requests 1A — admissible *only* because Mickey can be
     // reassigned to 1B (deferred assignment paying off).
-    assert!(qdb.submit(&book_seat("Donald", "1A")).unwrap().is_committed());
+    assert!(qdb
+        .submit(&book_seat("Donald", "1A"))
+        .unwrap()
+        .is_committed());
     qdb.ground_all().unwrap();
     assert_eq!(seat_of(&mut qdb, "Donald"), Some("1A".to_string()));
     assert_eq!(seat_of(&mut qdb, "Mickey"), Some("1B".to_string()));
@@ -346,14 +350,12 @@ fn partitions_split_by_flight_and_merge_on_bridging_txn() {
     let mut qdb = travel_engine(QuantumDbConfig::default());
     qdb.bulk_insert("Available", vec![tuple![777, "9A"], tuple![777, "9B"]])
         .unwrap();
-    let f123 = parse_transaction(
-        "-Available(123, s), +Bookings('A', 123, s) :-1 Available(123, s)",
-    )
-    .unwrap();
-    let f777 = parse_transaction(
-        "-Available(777, s), +Bookings('B', 777, s) :-1 Available(777, s)",
-    )
-    .unwrap();
+    let f123 =
+        parse_transaction("-Available(123, s), +Bookings('A', 123, s) :-1 Available(123, s)")
+            .unwrap();
+    let f777 =
+        parse_transaction("-Available(777, s), +Bookings('B', 777, s) :-1 Available(777, s)")
+            .unwrap();
     qdb.submit(&f123).unwrap();
     qdb.submit(&f777).unwrap();
     assert_eq!(qdb.partition_count(), 2);
@@ -449,15 +451,14 @@ fn shared_handle_serializes_concurrent_clients() {
     let qdb = travel_engine(QuantumDbConfig::default());
     let shared = qdb.into_shared();
     let names: Vec<String> = (0..3).map(|i| format!("U{i}")).collect();
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for name in &names {
             let h = shared.clone();
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let _ = h.submit(&book(name)).unwrap();
             });
         }
-    })
-    .unwrap();
+    });
     let m = shared.metrics();
     assert_eq!(m.submitted, 3);
     assert_eq!(m.committed, 3);
@@ -480,7 +481,9 @@ fn event_trace_records_lifecycle() {
     qdb.submit(&book("Y")).unwrap(); // aborts: no seats left
     let events = &qdb.metrics().events;
     use qdb_core::Event;
-    assert!(events.iter().any(|e| matches!(e, Event::Committed(i) if *i == id)));
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, Event::Committed(i) if *i == id)));
     assert!(events
         .iter()
         .any(|e| matches!(e, Event::Grounded { id: i, .. } if *i == id)));
@@ -528,5 +531,6 @@ fn soak_mixed_operations_keep_invariants() {
     qdb.ground_all().unwrap();
     assert_eq!(qdb.pending_count(), 0);
     let booked = qdb.database().table("Bookings").unwrap().len();
-    assert_eq!(booked, 20 + qdb.metrics().grounded_by_read as usize * 0);
+    assert_eq!(booked, 20);
+    assert!(qdb.metrics().grounded_by_read > 0);
 }

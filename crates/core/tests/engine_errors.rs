@@ -32,10 +32,8 @@ fn unknown_relation_in_transaction_is_rejected_cleanly() {
     let err = qdb.submit(&t).unwrap_err();
     assert!(matches!(err, EngineError::Storage(_)));
     // State untouched: next valid submit works.
-    let ok = parse_transaction(
-        "-Available(f, s), +Bookings('a', f, s) :-1 Available(f, s)",
-    )
-    .unwrap();
+    let ok =
+        parse_transaction("-Available(f, s), +Bookings('a', f, s) :-1 Available(f, s)").unwrap();
     assert!(qdb.submit(&ok).unwrap().is_committed());
     assert_eq!(qdb.metrics().submitted, 2);
 }
@@ -76,10 +74,8 @@ fn zero_seat_database_aborts_but_stays_healthy() {
     let mut qdb = engine();
     qdb.write(WriteOp::delete("Available", tuple![1, "1A"]))
         .unwrap();
-    let t = parse_transaction(
-        "-Available(f, s), +Bookings('a', f, s) :-1 Available(f, s)",
-    )
-    .unwrap();
+    let t =
+        parse_transaction("-Available(f, s), +Bookings('a', f, s) :-1 Available(f, s)").unwrap();
     assert!(!qdb.submit(&t).unwrap().is_committed());
     // Seat returns; booking succeeds.
     qdb.write(WriteOp::insert("Available", tuple![1, "1A"]))
@@ -90,10 +86,14 @@ fn zero_seat_database_aborts_but_stays_healthy() {
 #[test]
 fn duplicate_blind_insert_is_an_accepted_noop() {
     let mut qdb = engine();
-    assert!(qdb.write(WriteOp::insert("Available", tuple![1, "1A"])).unwrap());
+    assert!(qdb
+        .write(WriteOp::insert("Available", tuple![1, "1A"]))
+        .unwrap());
     let before = qdb.wal_size();
     // Second identical insert: accepted, changes nothing, logs nothing.
-    assert!(qdb.write(WriteOp::insert("Available", tuple![1, "1A"])).unwrap());
+    assert!(qdb
+        .write(WriteOp::insert("Available", tuple![1, "1A"]))
+        .unwrap());
     assert_eq!(qdb.wal_size(), before);
     assert_eq!(qdb.database().table("Available").unwrap().len(), 1);
 }

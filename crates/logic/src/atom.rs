@@ -128,10 +128,7 @@ mod tests {
         let mut g = VarGen::new();
         let f = g.fresh("f");
         let s = g.fresh("s");
-        let atom = Atom::new(
-            "Available",
-            vec![Term::Var(f), Term::Var(s)],
-        );
+        let atom = Atom::new("Available", vec![Term::Var(f), Term::Var(s)]);
         (g, atom)
     }
 

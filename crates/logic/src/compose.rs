@@ -182,8 +182,7 @@ mod tests {
         // the flattening smart constructors).
         let txns = figure3();
         let mut gen = VarGen::new();
-        let renamed: Vec<ResourceTransaction> =
-            txns.iter().map(|t| t.freshen(&mut gen)).collect();
+        let renamed: Vec<ResourceTransaction> = txns.iter().map(|t| t.freshen(&mut gen)).collect();
         let refs: Vec<&ResourceTransaction> = renamed.iter().collect();
         let all = compose_renamed(&refs);
         let again = compose_renamed(&refs);

@@ -25,6 +25,14 @@ pub enum LogicError {
         /// The offending variable's display name.
         var: String,
     },
+    /// A prepared statement was bound with the wrong number of parameters
+    /// (or executed with placeholders still unbound).
+    Params {
+        /// Placeholders in the statement.
+        expected: usize,
+        /// Values supplied.
+        got: usize,
+    },
     /// Malformed bytes handed to the transaction codec.
     Codec(String),
 }
@@ -40,6 +48,10 @@ impl fmt::Display for LogicError {
             LogicError::UnboundVariable { var } => {
                 write!(f, "variable '{var}' is unbound at evaluation time")
             }
+            LogicError::Params { expected, got } => write!(
+                f,
+                "statement takes {expected} parameter(s), {got} bound"
+            ),
             LogicError::Codec(msg) => write!(f, "transaction codec error: {msg}"),
         }
     }

@@ -205,11 +205,8 @@ mod tests {
             vec![("flight", ValueType::Int), ("seat", ValueType::Str)],
         ))
         .unwrap();
-        db.insert(
-            "Available",
-            qdb_storage::tuple![1, "1A"],
-        )
-        .unwrap();
+        db.insert("Available", qdb_storage::tuple![1, "1A"])
+            .unwrap();
         db
     }
 
@@ -226,10 +223,7 @@ mod tests {
         assert_eq!(Formula::or(vec![Formula::True, a.clone()]), Formula::True);
         assert_eq!(Formula::or(vec![Formula::False, a.clone()]), a);
         // Nested flattening.
-        let nested = Formula::and(vec![
-            Formula::And(vec![a.clone(), a.clone()]),
-            a.clone(),
-        ]);
+        let nested = Formula::and(vec![Formula::And(vec![a.clone(), a.clone()]), a.clone()]);
         assert_eq!(nested.atom_count(), 3);
     }
 
@@ -262,9 +256,15 @@ mod tests {
         let val = Valuation::new();
         let t = Formula::True;
         let f = Formula::False;
-        assert!(Formula::And(vec![t.clone(), t.clone()]).eval(&val, &db).unwrap());
-        assert!(!Formula::And(vec![t.clone(), f.clone()]).eval(&val, &db).unwrap());
-        assert!(Formula::Or(vec![f.clone(), t.clone()]).eval(&val, &db).unwrap());
+        assert!(Formula::And(vec![t.clone(), t.clone()])
+            .eval(&val, &db)
+            .unwrap());
+        assert!(!Formula::And(vec![t.clone(), f.clone()])
+            .eval(&val, &db)
+            .unwrap());
+        assert!(Formula::Or(vec![f.clone(), t.clone()])
+            .eval(&val, &db)
+            .unwrap());
         assert!(!Formula::Or(vec![f.clone(), f]).eval(&val, &db).unwrap());
     }
 
@@ -282,10 +282,7 @@ mod tests {
             &Atom::new("A", vec![Term::val(1), Term::val("1A")]),
         );
         let or = Formula::or(vec![a, Formula::pred(phi)]);
-        assert_eq!(
-            or.to_string(),
-            "{A(f2, s2) ∨ {(f2 = 1) ∧ (s2 = '1A')}}"
-        );
+        assert_eq!(or.to_string(), "{A(f2, s2) ∨ {(f2 = 1) ∧ (s2 = '1A')}}");
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub mod formula;
 pub mod parser;
 pub mod predicate;
 pub mod sql;
+pub mod stmt;
 pub mod substitution;
 pub mod term;
 pub mod transaction;
@@ -47,7 +48,8 @@ pub use error::LogicError;
 pub use formula::Formula;
 pub use parser::{parse_atom, parse_query, parse_transaction, ParsedQuery};
 pub use predicate::{EqConstraint, UnifPredicate};
-pub use sql::parse_sql_transaction;
+pub use sql::{parse_sql_transaction, parse_statement};
+pub use stmt::{ColumnRef, ParsedStatement, ReadMode, SelectStmt, Statement, TxnStmt};
 pub use substitution::Substitution;
 pub use term::{Term, Var, VarGen};
 pub use transaction::{BodyAtom, ResourceTransaction, UpdateAtom, UpdateKind};

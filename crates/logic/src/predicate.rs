@@ -31,12 +31,8 @@ impl EqConstraint {
 
     /// Evaluate under a (total, for the involved variables) valuation.
     pub fn eval(&self, val: &Valuation) -> Result<bool> {
-        let l = val
-            .resolve(&self.lhs)
-            .ok_or_else(|| unbound(&self.lhs))?;
-        let r = val
-            .resolve(&self.rhs)
-            .ok_or_else(|| unbound(&self.rhs))?;
+        let l = val.resolve(&self.lhs).ok_or_else(|| unbound(&self.lhs))?;
+        let r = val.resolve(&self.rhs).ok_or_else(|| unbound(&self.rhs))?;
         Ok(l == r)
     }
 
@@ -197,10 +193,7 @@ mod tests {
             vec![Term::Var(v3.clone()), Term::val(2), Term::Var(v4.clone())],
         );
         let phi = UnifPredicate::of(&a, &b);
-        assert_eq!(
-            phi.to_string(),
-            "{(v1 = 2) ∧ (v2 = v4) ∧ (v3 = 1)}"
-        );
+        assert_eq!(phi.to_string(), "{(v1 = 2) ∧ (v2 = v4) ∧ (v3 = 1)}");
         // Satisfied by v1=2, v2=v4=anything-equal, v3=1.
         let val: Valuation = [
             (v1, Value::from(2)),
@@ -251,10 +244,7 @@ mod tests {
         let mut g = VarGen::new();
         let x = g.fresh("x");
         let y = g.fresh("y");
-        let a = Atom::new(
-            "A",
-            vec![Term::Var(x.clone()), Term::Var(y.clone())],
-        );
+        let a = Atom::new("A", vec![Term::Var(x.clone()), Term::Var(y.clone())]);
         let b = Atom::new("A", vec![Term::val(1), Term::val(2)]);
         let phi = UnifPredicate::of(&a, &b);
         // x bound wrongly decides the whole predicate even though y unbound.

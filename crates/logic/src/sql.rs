@@ -1,11 +1,14 @@
-//! SQL-style surface syntax for resource transactions (Figure 1).
+//! SQL-style surface syntax: the full statement grammar of the unified
+//! `execute()` API.
 //!
 //! The paper introduces resource transactions as a SQL extension with
 //! three new keywords — `OPTIONAL`, `CHOOSE 1` and `FOLLOWED BY` — but its
 //! prototype "does not accept and parse resource transactions in their SQL
 //! format, only in the intermediate Datalog-like representation" (§4).
-//! This module implements the SQL front end as an extension, over a
-//! positional-atom dialect that matches the storage layer:
+//! This module implements the SQL front end as an extension over a
+//! positional-atom dialect that matches the storage layer, and grows it
+//! into a complete statement grammar (see [`crate::stmt`] for the
+//! statement classes):
 //!
 //! ```text
 //! SELECT @f, @s
@@ -25,27 +28,59 @@
 //! * `WHERE` supports equality conjuncts `@v = literal` and `@v = @w`,
 //!   folded into the atoms by substitution before the transaction is
 //!   built (so the Datalog core stays pure).
-//! * `CHOOSE 1` is mandatory — resource transactions request exactly one
-//!   grounding (§2).
+//! * `CHOOSE 1` makes a `SELECT` a resource transaction — one requesting
+//!   exactly one grounding (§2). Without it, `SELECT` is a read, with
+//!   `PEEK` / `POSSIBLE` modifiers selecting the §3.2.2 semantics and an
+//!   optional `LIMIT`.
 //! * `FOLLOWED BY` contains only blind writes, as required by §2: "no
 //!   reads are permitted within the FOLLOWED BY block".
+//! * `INSERT INTO R VALUES (…)` / `DELETE FROM R VALUES (…)` are blind
+//!   non-resource writes; `CREATE TABLE` / `CREATE INDEX` are DDL;
+//!   `GROUND <id>` / `GROUND ALL` / `CHECKPOINT` / `SHOW METRICS` /
+//!   `SHOW PENDING` are control statements.
+//! * `?` is a positional parameter placeholder (prepared statements).
 //!
 //! Keywords are case-insensitive; variables are `@name`; literals are
-//! integers, `'strings'` and `true`/`false`.
+//! integers, `'strings'` and `true`/`false`. `CREATE`, `TABLE`, `INDEX`,
+//! `ON`, `VALUES` and `LIMIT` are reserved and cannot name relations or
+//! columns; `GROUND`, `SHOW`, `CHECKPOINT`, `PEEK`, `POSSIBLE`, `ALL`,
+//! `METRICS` and `PENDING` are contextual (only special where the grammar
+//! expects them).
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
-use qdb_storage::Value;
+use qdb_storage::{Schema, Value, ValueType};
 
 use crate::atom::Atom;
+use crate::stmt::{
+    validate_template, ColumnRef, ParsedStatement, ReadMode, SelectStmt, Statement, TxnStmt,
+};
 use crate::substitution::Substitution;
 use crate::term::{Term, Var, VarGen};
 use crate::transaction::{BodyAtom, ResourceTransaction, UpdateAtom};
 use crate::{LogicError, Result};
 
+/// Parse one statement of the unified dialect (with `?` placeholders).
+pub fn parse_statement(input: &str) -> Result<ParsedStatement> {
+    SqlParser::new(input)?.statement()
+}
+
 /// Parse a SQL-style resource transaction into the Datalog-like core form.
+///
+/// Compatibility entry point over [`parse_statement`]: accepts exactly the
+/// `SELECT … CHOOSE 1 FOLLOWED BY (…)` class, without placeholders.
 pub fn parse_sql_transaction(input: &str) -> Result<ResourceTransaction> {
-    SqlParser::new(input)?.transaction()
+    let parsed = parse_statement(input)?;
+    match parsed.statement()? {
+        Statement::Transaction(t) => t.to_transaction(),
+        other => Err(LogicError::Parse {
+            at: 0,
+            reason: format!(
+                "expected a resource transaction, found a {} statement",
+                other.kind()
+            ),
+        }),
+    }
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -60,12 +95,14 @@ enum Tok {
     RParen,
     Semi,
     Eq,
+    Star,
+    Param,
     Eof,
 }
 
 const KEYWORDS: &[&str] = &[
     "SELECT", "FROM", "OPTIONAL", "WHERE", "AND", "CHOOSE", "FOLLOWED", "BY", "DELETE", "INSERT",
-    "INTO", "TRUE", "FALSE",
+    "INTO", "TRUE", "FALSE", "CREATE", "TABLE", "INDEX", "ON", "VALUES", "LIMIT",
 ];
 
 fn lex(input: &str) -> Result<Vec<(Tok, usize)>> {
@@ -94,6 +131,14 @@ fn lex(input: &str) -> Result<Vec<(Tok, usize)>> {
             }
             '=' => {
                 toks.push((Tok::Eq, i));
+                i += 1;
+            }
+            '*' => {
+                toks.push((Tok::Star, i));
+                i += 1;
+            }
+            '?' => {
+                toks.push((Tok::Param, i));
                 i += 1;
             }
             '@' => {
@@ -179,6 +224,10 @@ struct SqlParser {
     pos: usize,
     vargen: VarGen,
     vars: HashMap<String, Var>,
+    /// Placeholder variables in positional order.
+    params: Vec<Var>,
+    /// Ids of placeholder variables, for fast "is a param" checks.
+    param_ids: BTreeSet<u32>,
 }
 
 impl SqlParser {
@@ -188,6 +237,8 @@ impl SqlParser {
             pos: 0,
             vargen: VarGen::new(),
             vars: HashMap::new(),
+            params: Vec::new(),
+            param_ids: BTreeSet::new(),
         })
     }
 
@@ -214,6 +265,13 @@ impl SqlParser {
         }
     }
 
+    fn error_at(&self, at: usize, reason: impl Into<String>) -> LogicError {
+        LogicError::Parse {
+            at,
+            reason: reason.into(),
+        }
+    }
+
     fn expect_kw(&mut self, kw: &'static str) -> Result<()> {
         match self.bump() {
             Tok::Kw(k) if k == kw => Ok(()),
@@ -230,6 +288,12 @@ impl SqlParser {
         }
     }
 
+    /// Is the current token an identifier equal (case-insensitively) to
+    /// the given contextual keyword?
+    fn at_ident(&self, word: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(w) if w.eq_ignore_ascii_case(word))
+    }
+
     fn var(&mut self, name: String) -> Var {
         match self.vars.get(&name) {
             Some(v) => v.clone(),
@@ -241,9 +305,22 @@ impl SqlParser {
         }
     }
 
+    /// Allocate the next positional parameter placeholder.
+    fn param(&mut self) -> Var {
+        let v = self.vargen.fresh(format!("?{}", self.params.len() + 1));
+        self.params.push(v.clone());
+        self.param_ids.insert(v.id());
+        v
+    }
+
+    fn is_param(&self, t: &Term) -> bool {
+        matches!(t, Term::Var(v) if self.param_ids.contains(&v.id()))
+    }
+
     fn term(&mut self) -> Result<Term> {
         match self.bump() {
             Tok::Var(name) => Ok(Term::Var(self.var(name))),
+            Tok::Param => Ok(Term::Var(self.param())),
             Tok::Int(i) => Ok(Term::val(i)),
             Tok::Str(s) => Ok(Term::Const(Value::from(s))),
             Tok::Kw("TRUE") => Ok(Term::Const(Value::Bool(true))),
@@ -272,6 +349,9 @@ impl SqlParser {
     fn relation_name(&mut self) -> Result<String> {
         match self.bump() {
             Tok::Ident(name) => Ok(name),
+            Tok::Kw(kw) => {
+                Err(self.error(format!("'{kw}' is reserved and cannot name a relation")))
+            }
             other => Err(self.error(format!("expected relation name, found {other:?}"))),
         }
     }
@@ -282,24 +362,81 @@ impl SqlParser {
         Ok(Atom::new(rel, terms))
     }
 
-    fn transaction(&mut self) -> Result<ResourceTransaction> {
-        // SELECT <term list> — the projection is informational (the
-        // grounding binds every variable anyway); parsed and discarded.
-        self.expect_kw("SELECT")?;
-        loop {
-            let _ = self.term()?;
-            if *self.peek() == Tok::Comma {
+    // -- Statement dispatch --------------------------------------------------
+
+    fn statement(&mut self) -> Result<ParsedStatement> {
+        let stmt = match self.peek() {
+            Tok::Kw("SELECT") => self.select_like()?,
+            Tok::Kw("INSERT") => self.insert_stmt()?,
+            Tok::Kw("DELETE") => self.delete_stmt()?,
+            Tok::Kw("CREATE") => self.create_stmt()?,
+            Tok::Ident(_) if self.at_ident("GROUND") => self.ground_stmt()?,
+            Tok::Ident(_) if self.at_ident("SHOW") => self.show_stmt()?,
+            Tok::Ident(_) if self.at_ident("CHECKPOINT") => {
                 self.bump();
-            } else {
-                break;
+                Statement::Checkpoint
             }
+            other => {
+                return Err(self.error(format!(
+                    "expected a statement (SELECT, INSERT, DELETE, CREATE, GROUND, SHOW or \
+                     CHECKPOINT), found {other:?}"
+                )))
+            }
+        };
+        if *self.peek() == Tok::Semi {
+            self.bump();
         }
+        match self.bump() {
+            Tok::Eof => {}
+            other => return Err(self.error(format!("trailing input: {other:?}"))),
+        }
+        Ok(ParsedStatement {
+            stmt,
+            params: std::mem::take(&mut self.params),
+        })
+    }
+
+    // -- SELECT: read or resource transaction --------------------------------
+
+    fn select_like(&mut self) -> Result<Statement> {
+        self.expect_kw("SELECT")?;
+        let mode = if self.at_ident("PEEK") {
+            self.bump();
+            ReadMode::Peek
+        } else if self.at_ident("POSSIBLE") {
+            self.bump();
+            ReadMode::Possible
+        } else {
+            ReadMode::Collapse
+        };
+
+        // Projection: `*` or a term list. For a resource transaction the
+        // projection is informational (the grounding binds every variable
+        // anyway); for a read it selects the output variables.
+        let mut proj_at = self.at();
+        let projection: Option<Vec<Term>> = if *self.peek() == Tok::Star {
+            self.bump();
+            None
+        } else {
+            proj_at = self.at();
+            let mut terms = vec![self.term()?];
+            while *self.peek() == Tok::Comma {
+                self.bump();
+                terms.push(self.term()?);
+            }
+            if terms.iter().any(|t| self.is_param(t)) {
+                return Err(self.error_at(proj_at, "parameters cannot be projected"));
+            }
+            Some(terms)
+        };
 
         // FROM item (, item)* where item := [OPTIONAL] Atom
         self.expect_kw("FROM")?;
         let mut body: Vec<BodyAtom> = Vec::new();
+        let mut first_optional_at: Option<usize> = None;
         loop {
             let optional = if *self.peek() == Tok::Kw("OPTIONAL") {
+                first_optional_at.get_or_insert(self.at());
                 self.bump();
                 true
             } else {
@@ -316,36 +453,127 @@ impl SqlParser {
             }
         }
 
-        // WHERE eq (AND eq)* — optional clause.
-        let mut subst = Substitution::new();
-        if *self.peek() == Tok::Kw("WHERE") {
-            self.bump();
-            loop {
-                let lhs = self.term()?;
-                self.expect(Tok::Eq, "'='")?;
-                let rhs = self.term()?;
-                let at = self.at();
-                let lv = subst.resolve(&lhs);
-                let rv = subst.resolve(&rhs);
-                let bound = match (&lv, &rv) {
-                    (Term::Var(v), t) | (t, Term::Var(v)) => subst.bind(v, t),
-                    (Term::Const(a), Term::Const(b)) => a == b,
-                };
-                if !bound {
-                    return Err(LogicError::Parse {
-                        at,
-                        reason: "contradictory WHERE equalities".into(),
-                    });
-                }
-                if *self.peek() == Tok::Kw("AND") {
-                    self.bump();
-                } else {
-                    break;
-                }
+        let subst = self.where_clause()?;
+
+        if *self.peek() == Tok::Kw("CHOOSE") {
+            if mode != ReadMode::Collapse {
+                return Err(self.error(
+                    "PEEK/POSSIBLE are read modifiers; a resource transaction (CHOOSE 1) \
+                     always defers its grounding",
+                ));
             }
+            return self.transaction_tail(body, &subst);
         }
 
-        // CHOOSE 1
+        // A plain read.
+        if let Some(at) = first_optional_at {
+            return Err(self.error_at(
+                at,
+                "OPTIONAL atoms are only valid in resource transactions (CHOOSE 1 …)",
+            ));
+        }
+        let limit = if *self.peek() == Tok::Kw("LIMIT") {
+            self.bump();
+            match self.bump() {
+                Tok::Int(n) if n >= 0 => Some(n as usize),
+                other => {
+                    return Err(self.error(format!(
+                        "LIMIT takes a non-negative integer, found {other:?}"
+                    )))
+                }
+            }
+        } else {
+            None
+        };
+        let atoms = body.into_iter().map(|b| b.atom.apply(&subst)).collect();
+        let projection = match projection {
+            None => None,
+            Some(terms) => {
+                let mut vars: Vec<Var> = Vec::new();
+                for t in &terms {
+                    let resolved = subst.resolve(t);
+                    // A projected variable aliased to a parameter through
+                    // WHERE would vanish from the result rows once bound:
+                    // reject it like a directly-projected `?`.
+                    if self.is_param(&resolved) {
+                        return Err(self.error_at(
+                            proj_at,
+                            "parameters cannot be projected (a WHERE equality binds \
+                             this variable to '?')",
+                        ));
+                    }
+                    if let Term::Var(v) = resolved {
+                        if !vars.contains(&v) {
+                            vars.push(v);
+                        }
+                    }
+                }
+                Some(vars)
+            }
+        };
+        Ok(Statement::Select(SelectStmt {
+            atoms,
+            projection,
+            mode,
+            limit,
+        }))
+    }
+
+    /// `WHERE eq (AND eq)*` — optional clause, folded into a substitution.
+    fn where_clause(&mut self) -> Result<Substitution> {
+        let mut subst = Substitution::new();
+        if *self.peek() != Tok::Kw("WHERE") {
+            return Ok(subst);
+        }
+        self.bump();
+        loop {
+            let lhs = self.term()?;
+            self.expect(Tok::Eq, "'='")?;
+            let rhs = self.term()?;
+            let at = self.at();
+            let lv = subst.resolve(&lhs);
+            let rv = subst.resolve(&rhs);
+            let bound = match (self.is_param(&lv), self.is_param(&rv)) {
+                (true, true) => {
+                    return Err(self.error_at(at, "parameters cannot be equated with each other"))
+                }
+                // Bind the non-param side to the parameter so the
+                // placeholder survives into the statement template.
+                (true, false) | (false, true) => {
+                    let (param, other) = if self.is_param(&lv) {
+                        (lv, rv)
+                    } else {
+                        (rv, lv)
+                    };
+                    match other {
+                        Term::Var(ref v) => subst.bind(v, &param),
+                        Term::Const(_) => {
+                            return Err(self.error_at(
+                                at,
+                                "a parameter must be compared to a variable, not a literal",
+                            ))
+                        }
+                    }
+                }
+                (false, false) => match (&lv, &rv) {
+                    (Term::Var(v), t) | (t, Term::Var(v)) => subst.bind(v, t),
+                    (Term::Const(a), Term::Const(b)) => a == b,
+                },
+            };
+            if !bound {
+                return Err(self.error_at(at, "contradictory WHERE equalities"));
+            }
+            if *self.peek() == Tok::Kw("AND") {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Ok(subst)
+    }
+
+    /// `CHOOSE 1 FOLLOWED BY ( write; … )` after a SELECT prefix.
+    fn transaction_tail(&mut self, body: Vec<BodyAtom>, subst: &Substitution) -> Result<Statement> {
         self.expect_kw("CHOOSE")?;
         match self.bump() {
             Tok::Int(1) => {}
@@ -356,7 +584,6 @@ impl SqlParser {
             }
         }
 
-        // FOLLOWED BY ( stmt; stmt; ... )
         self.expect_kw("FOLLOWED")?;
         self.expect_kw("BY")?;
         self.expect(Tok::LParen, "'('")?;
@@ -392,10 +619,6 @@ impl SqlParser {
                 self.bump();
             }
         }
-        match self.bump() {
-            Tok::Eof => {}
-            other => return Err(self.error(format!("trailing input: {other:?}"))),
-        }
         if updates.is_empty() {
             return Err(LogicError::Parse {
                 at: self.at(),
@@ -403,22 +626,181 @@ impl SqlParser {
             });
         }
 
-        // Fold WHERE equalities into the atoms and build the core form.
-        let body = body
-            .into_iter()
-            .map(|b| BodyAtom {
-                atom: b.atom.apply(&subst),
-                optional: b.optional,
-            })
-            .collect();
-        let updates = updates
-            .into_iter()
-            .map(|u| UpdateAtom {
-                kind: u.kind,
-                atom: u.atom.apply(&subst),
-            })
-            .collect();
-        ResourceTransaction::new(updates, body)
+        // Fold WHERE equalities into the atoms and build the template.
+        let txn = TxnStmt {
+            updates: updates
+                .into_iter()
+                .map(|u| UpdateAtom {
+                    kind: u.kind,
+                    atom: u.atom.apply(subst),
+                })
+                .collect(),
+            body: body
+                .into_iter()
+                .map(|b| BodyAtom {
+                    atom: b.atom.apply(subst),
+                    optional: b.optional,
+                })
+                .collect(),
+        };
+        validate_template(&txn, &self.params)?;
+        Ok(Statement::Transaction(txn))
+    }
+
+    // -- Blind writes --------------------------------------------------------
+
+    fn insert_stmt(&mut self) -> Result<Statement> {
+        self.expect_kw("INSERT")?;
+        if *self.peek() == Tok::LParen {
+            return Err(self.error(
+                "top-level inserts are INSERT INTO <relation> VALUES (…); \
+                 INSERT (…) INTO <relation> is only valid inside FOLLOWED BY",
+            ));
+        }
+        self.expect_kw("INTO")?;
+        let relation = self.relation_name()?;
+        self.expect_kw("VALUES")?;
+        let rows = self.value_rows()?;
+        Ok(Statement::Insert { relation, rows })
+    }
+
+    fn delete_stmt(&mut self) -> Result<Statement> {
+        self.expect_kw("DELETE")?;
+        if *self.peek() == Tok::LParen {
+            return Err(self.error(
+                "top-level deletes are DELETE FROM <relation> VALUES (…); \
+                 DELETE (…) FROM <relation> is only valid inside FOLLOWED BY",
+            ));
+        }
+        self.expect_kw("FROM")?;
+        let relation = self.relation_name()?;
+        self.expect_kw("VALUES")?;
+        let rows = self.value_rows()?;
+        Ok(Statement::Delete { relation, rows })
+    }
+
+    /// `( term, … ) (, ( term, … ))*` where terms are literals or `?`.
+    fn value_rows(&mut self) -> Result<Vec<Vec<Term>>> {
+        let mut rows = Vec::new();
+        loop {
+            let row_at = self.at();
+            let row = self.term_list()?;
+            if let Some(bad) = row.iter().find(|t| t.is_var() && !self.is_param(t)) {
+                return Err(self.error_at(
+                    row_at,
+                    format!("VALUES rows take literals or '?' parameters, found variable '{bad}'"),
+                ));
+            }
+            rows.push(row);
+            if *self.peek() == Tok::Comma {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Ok(rows)
+    }
+
+    // -- DDL -----------------------------------------------------------------
+
+    fn create_stmt(&mut self) -> Result<Statement> {
+        self.expect_kw("CREATE")?;
+        match self.bump() {
+            Tok::Kw("TABLE") => {
+                let relation = self.relation_name()?;
+                self.expect(Tok::LParen, "'('")?;
+                let mut columns: Vec<(String, ValueType)> = Vec::new();
+                loop {
+                    let name = match self.bump() {
+                        Tok::Ident(n) => n,
+                        Tok::Kw(kw) => {
+                            return Err(
+                                self.error(format!("'{kw}' is reserved and cannot name a column"))
+                            )
+                        }
+                        other => {
+                            return Err(self.error(format!("expected column name, found {other:?}")))
+                        }
+                    };
+                    let ty = self.column_type()?;
+                    columns.push((name, ty));
+                    if *self.peek() == Tok::Comma {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.expect(Tok::RParen, "')'")?;
+                let schema = Schema::new(
+                    relation,
+                    columns.iter().map(|(n, t)| (n.as_str(), *t)).collect(),
+                );
+                Ok(Statement::CreateTable(schema))
+            }
+            Tok::Kw("INDEX") => {
+                self.expect_kw("ON")?;
+                let relation = self.relation_name()?;
+                self.expect(Tok::LParen, "'('")?;
+                let column = match self.bump() {
+                    Tok::Ident(name) => ColumnRef::Name(name),
+                    Tok::Int(i) if i >= 0 => ColumnRef::Position(i as usize),
+                    other => {
+                        return Err(self.error(format!(
+                            "expected a column name or position, found {other:?}"
+                        )))
+                    }
+                };
+                self.expect(Tok::RParen, "')'")?;
+                Ok(Statement::CreateIndex { relation, column })
+            }
+            other => Err(self.error(format!("expected TABLE or INDEX, found {other:?}"))),
+        }
+    }
+
+    fn column_type(&mut self) -> Result<ValueType> {
+        match self.bump() {
+            Tok::Ident(w) => match w.to_ascii_uppercase().as_str() {
+                "INT" | "INTEGER" | "BIGINT" => Ok(ValueType::Int),
+                "TEXT" | "STR" | "STRING" | "VARCHAR" => Ok(ValueType::Str),
+                "BOOL" | "BOOLEAN" => Ok(ValueType::Bool),
+                other => Err(self.error(format!(
+                    "unknown column type '{other}' (supported: INT, TEXT, BOOL)"
+                ))),
+            },
+            other => Err(self.error(format!("expected a column type, found {other:?}"))),
+        }
+    }
+
+    // -- Control -------------------------------------------------------------
+
+    fn ground_stmt(&mut self) -> Result<Statement> {
+        self.bump(); // GROUND
+        if self.at_ident("ALL") {
+            self.bump();
+            return Ok(Statement::GroundAll);
+        }
+        match self.bump() {
+            Tok::Int(i) if i >= 0 => Ok(Statement::Ground(i as u64)),
+            other => Err(self.error(format!(
+                "GROUND takes a transaction id or ALL, found {other:?}"
+            ))),
+        }
+    }
+
+    fn show_stmt(&mut self) -> Result<Statement> {
+        self.bump(); // SHOW
+        if self.at_ident("METRICS") {
+            self.bump();
+            Ok(Statement::ShowMetrics)
+        } else if self.at_ident("PENDING") {
+            self.bump();
+            Ok(Statement::ShowPending)
+        } else {
+            Err(self.error(format!(
+                "SHOW supports METRICS and PENDING, found {:?}",
+                self.peek()
+            )))
+        }
     }
 }
 
@@ -460,10 +842,7 @@ mod tests {
              CHOOSE 1 FOLLOWED BY (DELETE (@f, @s) FROM Available)",
         )
         .unwrap();
-        assert_eq!(
-            t.to_string(),
-            "-Available(123, s) :-1 Available(123, s)"
-        );
+        assert_eq!(t.to_string(), "-Available(123, s) :-1 Available(123, s)");
         // Var-var equality aliases the two.
         let t = parse_sql_transaction(
             "SELECT @a FROM R(@a, @b) WHERE @a = @b \
@@ -486,26 +865,23 @@ mod tests {
 
     #[test]
     fn choose_must_be_one() {
-        let err = parse_sql_transaction(
-            "SELECT @s FROM A(@s) CHOOSE 2 FOLLOWED BY (DELETE (@s) FROM A)",
-        )
-        .unwrap_err();
+        let err =
+            parse_sql_transaction("SELECT @s FROM A(@s) CHOOSE 2 FOLLOWED BY (DELETE (@s) FROM A)")
+                .unwrap_err();
         assert!(err.to_string().contains("CHOOSE 1"));
     }
 
     #[test]
     fn reads_in_followed_by_are_rejected() {
-        let err = parse_sql_transaction(
-            "SELECT @s FROM A(@s) CHOOSE 1 FOLLOWED BY (SELECT @s)",
-        )
-        .unwrap_err();
+        let err = parse_sql_transaction("SELECT @s FROM A(@s) CHOOSE 1 FOLLOWED BY (SELECT @s)")
+            .unwrap_err();
         assert!(err.to_string().contains("not permitted"));
     }
 
     #[test]
     fn empty_followed_by_rejected() {
-        let err = parse_sql_transaction("SELECT @s FROM A(@s) CHOOSE 1 FOLLOWED BY ()")
-            .unwrap_err();
+        let err =
+            parse_sql_transaction("SELECT @s FROM A(@s) CHOOSE 1 FOLLOWED BY ()").unwrap_err();
         assert!(err.to_string().contains("at least one write"));
     }
 
@@ -522,10 +898,9 @@ mod tests {
     #[test]
     fn range_restriction_still_enforced() {
         // @z appears only in the update: invalid per §2.
-        let err = parse_sql_transaction(
-            "SELECT @s FROM A(@s) CHOOSE 1 FOLLOWED BY (INSERT (@z) INTO B)",
-        )
-        .unwrap_err();
+        let err =
+            parse_sql_transaction("SELECT @s FROM A(@s) CHOOSE 1 FOLLOWED BY (INSERT (@z) INTO B)")
+                .unwrap_err();
         assert!(matches!(err, LogicError::RangeRestriction { .. }));
     }
 
@@ -549,5 +924,199 @@ mod tests {
         let mut gen = VarGen::starting_at(100);
         let fresh = t.freshen(&mut gen);
         assert_eq!(fresh.to_string(), t.to_string());
+    }
+
+    // -- Statement grammar ---------------------------------------------------
+
+    fn stmt(input: &str) -> Statement {
+        let parsed = parse_statement(input).unwrap();
+        assert_eq!(parsed.param_count(), 0, "unexpected params in {input:?}");
+        parsed.statement().unwrap().clone()
+    }
+
+    #[test]
+    fn create_table_parses_types_and_keeps_column_order() {
+        let s = stmt("CREATE TABLE Bookings (name TEXT, flight INT, window BOOL)");
+        let Statement::CreateTable(schema) = s else {
+            panic!("not a CREATE TABLE: {s:?}");
+        };
+        assert_eq!(schema.relation(), "Bookings");
+        assert_eq!(schema.arity(), 3);
+        assert_eq!(
+            schema.columns().iter().map(|c| c.ty).collect::<Vec<_>>(),
+            vec![ValueType::Str, ValueType::Int, ValueType::Bool]
+        );
+    }
+
+    #[test]
+    fn create_index_by_name_and_position() {
+        assert_eq!(
+            stmt("CREATE INDEX ON Available (flight)"),
+            Statement::CreateIndex {
+                relation: "Available".into(),
+                column: ColumnRef::Name("flight".into()),
+            }
+        );
+        assert_eq!(
+            stmt("CREATE INDEX ON Available (0)"),
+            Statement::CreateIndex {
+                relation: "Available".into(),
+                column: ColumnRef::Position(0),
+            }
+        );
+    }
+
+    #[test]
+    fn insert_and_delete_rows() {
+        let s = stmt("INSERT INTO Available VALUES (123, '5A'), (123, '5B')");
+        let Statement::Insert { relation, rows } = s else {
+            panic!("not an INSERT");
+        };
+        assert_eq!(relation, "Available");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], vec![Term::val(123), Term::val("5A")]);
+        let s = stmt("DELETE FROM Available VALUES (123, '5A')");
+        assert!(matches!(s, Statement::Delete { ref rows, .. } if rows.len() == 1));
+    }
+
+    #[test]
+    fn select_reads_with_modes_and_limit() {
+        let Statement::Select(sel) = stmt("SELECT @f, @s FROM Bookings('Mickey', @f, @s)") else {
+            panic!("not a SELECT");
+        };
+        assert_eq!(sel.mode, ReadMode::Collapse);
+        assert_eq!(sel.limit, None);
+        assert_eq!(sel.projection.as_ref().unwrap().len(), 2);
+
+        let Statement::Select(sel) = stmt("SELECT PEEK * FROM Bookings(@n, @f, @s) LIMIT 10")
+        else {
+            panic!("not a SELECT");
+        };
+        assert_eq!(sel.mode, ReadMode::Peek);
+        assert_eq!(sel.limit, Some(10));
+        assert!(sel.projection.is_none());
+
+        let Statement::Select(sel) = stmt("SELECT POSSIBLE @s FROM Available(1, @s)") else {
+            panic!("not a SELECT");
+        };
+        assert_eq!(sel.mode, ReadMode::Possible);
+    }
+
+    #[test]
+    fn select_where_folds_constants_for_reads() {
+        let Statement::Select(sel) = stmt("SELECT @s FROM Available(@f, @s) WHERE @f = 123") else {
+            panic!("not a SELECT");
+        };
+        assert_eq!(sel.atoms[0].terms[0], Term::val(123));
+        // The bound variable drops out of the projection if folded away.
+        let Statement::Select(sel) = stmt("SELECT @f, @s FROM Available(@f, @s) WHERE @f = 123")
+        else {
+            panic!("not a SELECT");
+        };
+        assert_eq!(sel.projection.as_ref().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn control_statements_parse() {
+        assert_eq!(stmt("GROUND 7"), Statement::Ground(7));
+        assert_eq!(stmt("ground all"), Statement::GroundAll);
+        assert_eq!(stmt("CHECKPOINT"), Statement::Checkpoint);
+        assert_eq!(stmt("SHOW METRICS"), Statement::ShowMetrics);
+        assert_eq!(stmt("SHOW PENDING;"), Statement::ShowPending);
+    }
+
+    #[test]
+    fn params_are_positional_and_bind_in_order() {
+        let parsed = parse_statement(
+            "SELECT @s FROM Available(?, @s) \
+             CHOOSE 1 FOLLOWED BY (DELETE (?, @s) FROM Available; \
+                                   INSERT (?, ?, @s) INTO Bookings)",
+        )
+        .unwrap();
+        assert_eq!(parsed.param_count(), 4);
+        // Unbound templates refuse to execute.
+        assert!(parsed.statement().is_err());
+        let bound = parsed
+            .bind(&[
+                Value::from(123),
+                Value::from(123),
+                Value::from("Mickey"),
+                Value::from(123),
+            ])
+            .unwrap();
+        let Statement::Transaction(t) = bound else {
+            panic!("not a transaction");
+        };
+        let txn = t.to_transaction().unwrap();
+        assert_eq!(
+            txn.to_string(),
+            "-Available(123, s), +Bookings('Mickey', 123, s) :-1 Available(123, s)"
+        );
+    }
+
+    #[test]
+    fn params_in_where_and_values() {
+        let parsed =
+            parse_statement("SELECT @f, @s FROM Bookings(@n, @f, @s) WHERE @n = ?").unwrap();
+        assert_eq!(parsed.param_count(), 1);
+        let Statement::Select(sel) = parsed.bind(&[Value::from("Mickey")]).unwrap() else {
+            panic!("not a SELECT");
+        };
+        assert_eq!(sel.atoms[0].terms[0], Term::val("Mickey"));
+
+        let parsed = parse_statement("INSERT INTO Available VALUES (?, ?)").unwrap();
+        let Statement::Insert { rows, .. } =
+            parsed.bind(&[Value::from(1), Value::from("1A")]).unwrap()
+        else {
+            panic!("not an INSERT");
+        };
+        assert_eq!(rows[0], vec![Term::val(1), Term::val("1A")]);
+
+        // Wrong arity is an error, not a silent truncation.
+        assert!(matches!(
+            parsed.bind(&[Value::from(1)]),
+            Err(LogicError::Params {
+                expected: 2,
+                got: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn statement_error_paths_carry_positions() {
+        for bad in [
+            "CREATE TABLE",                  // missing name
+            "CREATE TABLE T (x FLOAT)",      // unknown type
+            "CREATE TABLE SELECT (x INT)",   // reserved relation
+            "CREATE INDEX Available (0)",    // missing ON
+            "INSERT INTO T",                 // missing VALUES
+            "INSERT (1) INTO T",             // FOLLOWED BY form at top level
+            "DELETE (1) FROM T",             // FOLLOWED BY form at top level
+            "INSERT INTO T VALUES (@x)",     // variable in VALUES
+            "SELECT @s FROM OPTIONAL A(@s)", // OPTIONAL outside a txn
+            "SELECT PEEK @s FROM A(@s) CHOOSE 1 FOLLOWED BY (DELETE (@s) FROM A)",
+            "SELECT ? FROM A(@s)",              // projected param
+            "SELECT @s FROM A(@s) WHERE ? = ?", // param = param
+            "SELECT @s FROM A(@s) WHERE ? = 1", // param = literal
+            "GROUND",                           // missing id
+            "GROUND -3",                        // negative id
+            "SHOW TABLES",                      // unsupported
+            "EXPLAIN SELECT",                   // unknown statement
+            "SELECT @s FROM A(@s) LIMIT -1",    // bad limit
+            "SELECT @s FROM A(@s) extra",       // trailing input
+        ] {
+            let err = parse_statement(bad).unwrap_err();
+            assert!(matches!(err, LogicError::Parse { .. }), "{bad:?} → {err:?}");
+        }
+    }
+
+    #[test]
+    fn optional_read_is_rejected_with_position() {
+        let err = parse_statement("SELECT @s FROM A(@s), OPTIONAL B(@s)").unwrap_err();
+        let LogicError::Parse { at, reason } = err else {
+            panic!("not a parse error");
+        };
+        assert!(reason.contains("OPTIONAL"));
+        assert!(at > 0);
     }
 }

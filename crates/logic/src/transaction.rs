@@ -228,16 +228,12 @@ impl ResourceTransaction {
 
     /// Inserts of the update portion.
     pub fn inserts(&self) -> impl Iterator<Item = &UpdateAtom> + '_ {
-        self.updates
-            .iter()
-            .filter(|u| u.kind == UpdateKind::Insert)
+        self.updates.iter().filter(|u| u.kind == UpdateKind::Insert)
     }
 
     /// Deletes of the update portion.
     pub fn deletes(&self) -> impl Iterator<Item = &UpdateAtom> + '_ {
-        self.updates
-            .iter()
-            .filter(|u| u.kind == UpdateKind::Delete)
+        self.updates.iter().filter(|u| u.kind == UpdateKind::Delete)
     }
 }
 
@@ -277,10 +273,7 @@ mod tests {
             vec![Term::val("G"), Term::Var(f1.clone()), Term::Var(s2.clone())],
         );
         let adj = Atom::new("Adj", vec![Term::Var(s1.clone()), Term::Var(s2)]);
-        let b_m = Atom::new(
-            "B",
-            vec![Term::val("M"), Term::Var(f1), Term::Var(s1)],
-        );
+        let b_m = Atom::new("B", vec![Term::val("M"), Term::Var(f1), Term::Var(s1)]);
         ResourceTransaction::new(
             vec![UpdateAtom::delete(a.clone()), UpdateAtom::insert(b_m)],
             vec![
@@ -309,13 +302,22 @@ mod tests {
         let y = g.fresh("y");
         // +B(y) with body A(x): y unbound.
         let bad = ResourceTransaction::new(
-            vec![UpdateAtom::insert(Atom::new("B", vec![Term::Var(y.clone())]))],
-            vec![BodyAtom::required(Atom::new("A", vec![Term::Var(x.clone())]))],
+            vec![UpdateAtom::insert(Atom::new(
+                "B",
+                vec![Term::Var(y.clone())],
+            ))],
+            vec![BodyAtom::required(Atom::new(
+                "A",
+                vec![Term::Var(x.clone())],
+            ))],
         );
         assert!(matches!(bad, Err(LogicError::RangeRestriction { .. })));
         // Update var appearing only in an *optional* atom is also rejected.
         let bad2 = ResourceTransaction::new(
-            vec![UpdateAtom::insert(Atom::new("B", vec![Term::Var(y.clone())]))],
+            vec![UpdateAtom::insert(Atom::new(
+                "B",
+                vec![Term::Var(y.clone())],
+            ))],
             vec![
                 BodyAtom::required(Atom::new("A", vec![Term::Var(x)])),
                 BodyAtom::optional(Atom::new("A", vec![Term::Var(y)])),

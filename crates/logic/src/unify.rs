@@ -68,16 +68,8 @@ mod tests {
         let theta = mgu(&a, &b).unwrap();
         assert_eq!(theta.len(), 3);
         assert_eq!(a.apply(&theta), b.apply(&theta));
-        assert_eq!(
-            theta.resolve(&a.terms[1]),
-            Term::val(2),
-            "v1 must map to 2"
-        );
-        assert_eq!(
-            theta.resolve(&b.terms[0]),
-            Term::val(1),
-            "v3 must map to 1"
-        );
+        assert_eq!(theta.resolve(&a.terms[1]), Term::val(2), "v1 must map to 2");
+        assert_eq!(theta.resolve(&b.terms[0]), Term::val(1), "v3 must map to 1");
         assert_eq!(theta.resolve(&a.terms[2]), theta.resolve(&b.terms[2]));
     }
 

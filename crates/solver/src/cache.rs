@@ -86,11 +86,9 @@ impl CachedSolution {
         txns: &[&ResourceTransaction],
     ) -> Result<Option<CachedSolution>> {
         let specs: Vec<TxnSpec> = txns.iter().map(|t| TxnSpec::required_only(t)).collect();
-        Ok(solver
-            .solve(base, &[], &specs)?
-            .map(|sol| CachedSolution {
-                valuations: sol.valuations,
-            }))
+        Ok(solver.solve(base, &[], &specs)?.map(|sol| CachedSolution {
+            valuations: sol.valuations,
+        }))
     }
 
     /// Is this cached solution still consistent with `base`?

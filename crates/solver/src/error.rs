@@ -58,6 +58,8 @@ mod tests {
         assert!(e.to_string().contains('X'));
         let e: SolverError = qdb_logic::LogicError::UnboundVariable { var: "v".into() }.into();
         assert!(e.to_string().contains('v'));
-        assert!(SolverError::LimitExceeded { nodes: 9 }.to_string().contains('9'));
+        assert!(SolverError::LimitExceeded { nodes: 9 }
+            .to_string()
+            .contains('9'));
     }
 }

@@ -312,9 +312,11 @@ mod tests {
         let db = base();
         let mut ov = Overlay::new();
         assert!(ov.visible(&db, "A", &tuple![1, "1A"]));
-        ov.apply(&db, &WriteOp::delete("A", tuple![1, "1A"])).unwrap();
+        ov.apply(&db, &WriteOp::delete("A", tuple![1, "1A"]))
+            .unwrap();
         assert!(!ov.visible(&db, "A", &tuple![1, "1A"]));
-        ov.apply(&db, &WriteOp::insert("A", tuple![2, "9Z"])).unwrap();
+        ov.apply(&db, &WriteOp::insert("A", tuple![2, "9Z"]))
+            .unwrap();
         assert!(ov.visible(&db, "A", &tuple![2, "9Z"]));
         assert!(!db.contains("A", &tuple![2, "9Z"])); // base untouched
     }
@@ -323,10 +325,13 @@ mod tests {
     fn insert_conflict_detected() {
         let db = base();
         let mut ov = Overlay::new();
-        assert!(ov.apply(&db, &WriteOp::insert("A", tuple![1, "1A"])).is_err());
+        assert!(ov
+            .apply(&db, &WriteOp::insert("A", tuple![1, "1A"]))
+            .is_err());
         assert!(!ov.try_apply(&db, &WriteOp::insert("A", tuple![1, "1A"])));
         // Deleting first clears the way.
-        ov.apply(&db, &WriteOp::delete("A", tuple![1, "1A"])).unwrap();
+        ov.apply(&db, &WriteOp::delete("A", tuple![1, "1A"]))
+            .unwrap();
         assert!(ov.try_apply(&db, &WriteOp::insert("A", tuple![1, "1A"])));
         assert!(ov.visible(&db, "A", &tuple![1, "1A"]));
     }
@@ -335,15 +340,19 @@ mod tests {
     fn delete_of_absent_is_noop() {
         let db = base();
         let mut ov = Overlay::new();
-        assert!(!ov.apply(&db, &WriteOp::delete("A", tuple![9, "XX"])).unwrap());
+        assert!(!ov
+            .apply(&db, &WriteOp::delete("A", tuple![9, "XX"]))
+            .unwrap());
     }
 
     #[test]
     fn candidates_merge_base_and_overlay() {
         let db = base();
         let mut ov = Overlay::new();
-        ov.apply(&db, &WriteOp::delete("A", tuple![1, "1A"])).unwrap();
-        ov.apply(&db, &WriteOp::insert("A", tuple![1, "1C"])).unwrap();
+        ov.apply(&db, &WriteOp::delete("A", tuple![1, "1A"]))
+            .unwrap();
+        ov.apply(&db, &WriteOp::insert("A", tuple![1, "1C"]))
+            .unwrap();
         let bound = vec![Some(Value::from(1)), None];
         let cands = ov.candidates(&db, "A", &bound).unwrap();
         let seats: Vec<&str> = cands.iter().map(|t| t[1].as_str().unwrap()).collect();
@@ -355,12 +364,17 @@ mod tests {
     fn rollback_restores_exact_state() {
         let db = base();
         let mut ov = Overlay::new();
-        ov.apply(&db, &WriteOp::delete("A", tuple![1, "1A"])).unwrap();
+        ov.apply(&db, &WriteOp::delete("A", tuple![1, "1A"]))
+            .unwrap();
         let mark = ov.mark();
-        ov.apply(&db, &WriteOp::insert("A", tuple![1, "1A"])).unwrap(); // cancels delete
-        ov.apply(&db, &WriteOp::insert("A", tuple![3, "3C"])).unwrap();
-        ov.apply(&db, &WriteOp::delete("A", tuple![1, "1B"])).unwrap();
-        ov.apply(&db, &WriteOp::delete("A", tuple![3, "3C"])).unwrap(); // cancels insert
+        ov.apply(&db, &WriteOp::insert("A", tuple![1, "1A"]))
+            .unwrap(); // cancels delete
+        ov.apply(&db, &WriteOp::insert("A", tuple![3, "3C"]))
+            .unwrap();
+        ov.apply(&db, &WriteOp::delete("A", tuple![1, "1B"]))
+            .unwrap();
+        ov.apply(&db, &WriteOp::delete("A", tuple![3, "3C"]))
+            .unwrap(); // cancels insert
         assert!(ov.visible(&db, "A", &tuple![1, "1A"]));
         ov.rollback(mark);
         assert!(!ov.visible(&db, "A", &tuple![1, "1A"]));
@@ -373,8 +387,10 @@ mod tests {
     fn commit_into_materializes() {
         let mut db = base();
         let mut ov = Overlay::new();
-        ov.apply(&db, &WriteOp::delete("A", tuple![1, "1A"])).unwrap();
-        ov.apply(&db, &WriteOp::insert("A", tuple![7, "7A"])).unwrap();
+        ov.apply(&db, &WriteOp::delete("A", tuple![1, "1A"]))
+            .unwrap();
+        ov.apply(&db, &WriteOp::insert("A", tuple![7, "7A"]))
+            .unwrap();
         ov.commit_into(&mut db).unwrap();
         assert!(!db.contains("A", &tuple![1, "1A"]));
         assert!(db.contains("A", &tuple![7, "7A"]));
@@ -386,8 +402,10 @@ mod tests {
         // out to "present" after commit.
         let mut db = base();
         let mut ov = Overlay::new();
-        ov.apply(&db, &WriteOp::delete("A", tuple![1, "1A"])).unwrap();
-        ov.apply(&db, &WriteOp::insert("A", tuple![1, "1A"])).unwrap();
+        ov.apply(&db, &WriteOp::delete("A", tuple![1, "1A"]))
+            .unwrap();
+        ov.apply(&db, &WriteOp::insert("A", tuple![1, "1A"]))
+            .unwrap();
         ov.commit_into(&mut db).unwrap();
         assert!(db.contains("A", &tuple![1, "1A"]));
     }

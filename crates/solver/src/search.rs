@@ -309,8 +309,7 @@ impl<'a, 'c> Ctx<'a, 'c> {
                         continue;
                     }
                     let bound = bound_columns(atom, val);
-                    let n =
-                        overlay.count_up_to(self.base, &atom.relation, &bound, ORDER_CAP)?;
+                    let n = overlay.count_up_to(self.base, &atom.relation, &bound, ORDER_CAP)?;
                     if best.is_none_or(|(_, bn)| n < bn) {
                         best = Some((idx, n));
                     }
@@ -444,10 +443,7 @@ mod tests {
         // only satisfiable via T1's pending insert (Lemma 3.4, insert case).
         let db = travel_db();
         let t1 = book("Mickey");
-        let t2 = parse_transaction(
-            "+Confirmed(s) :-1 Bookings('Mickey', f, s)",
-        )
-        .unwrap();
+        let t2 = parse_transaction("+Confirmed(s) :-1 Bookings('Mickey', f, s)").unwrap();
         let mut db = db;
         db.create_table(Schema::new("Confirmed", vec![("seat", ValueType::Str)]))
             .unwrap();
@@ -464,7 +460,10 @@ mod tests {
     fn body_cannot_ground_on_earlier_delete() {
         // T1 deletes the ONLY seat (flight fixed, seat fixed); T2 needs it.
         let db = travel_db();
-        let t1 = parse_transaction("-Available(f, s), +Bookings('M', f, s) :-1 Available(f, s), Pin(f, s)").unwrap();
+        let t1 = parse_transaction(
+            "-Available(f, s), +Bookings('M', f, s) :-1 Available(f, s), Pin(f, s)",
+        )
+        .unwrap();
         let mut db = db;
         db.create_table(Schema::new(
             "Pin",
@@ -472,10 +471,7 @@ mod tests {
         ))
         .unwrap();
         db.insert("Pin", tuple![1, "1A"]).unwrap(); // forces T1 onto 1A
-        let t2 = parse_transaction(
-            "+X(f, s) :-1 Available(f, s), Pin(f, s)",
-        )
-        .unwrap();
+        let t2 = parse_transaction("+X(f, s) :-1 Available(f, s), Pin(f, s)").unwrap();
         db.create_table(Schema::new(
             "X",
             vec![("flight", ValueType::Int), ("seat", ValueType::Str)],
@@ -523,8 +519,16 @@ mod tests {
             .unwrap()
             .unwrap();
         let s = t.vars()[1].clone();
-        let seat = sol.valuations[0].get(&s).unwrap().as_str().unwrap().to_string();
-        assert!(seat == "1A" || seat == "1C", "must sit next to 1B, got {seat}");
+        let seat = sol.valuations[0]
+            .get(&s)
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string();
+        assert!(
+            seat == "1A" || seat == "1C",
+            "must sit next to 1B, got {seat}"
+        );
     }
 
     #[test]
@@ -568,7 +572,9 @@ mod tests {
         assert!(!solver.verify(&db, &[], &specs, &bad).unwrap());
         assert_eq!(solver.stats().verify_failures, 1);
         // Wrong length also fails fast.
-        assert!(!solver.verify(&db, &[], &specs, &sol.valuations[..1]).unwrap());
+        assert!(!solver
+            .verify(&db, &[], &specs, &sol.valuations[..1])
+            .unwrap());
     }
 
     #[test]

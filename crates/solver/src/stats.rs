@@ -42,7 +42,12 @@ impl std::fmt::Display for SolverStats {
         write!(
             f,
             "nodes={} solves={} unsat={} verifies={} verify_failures={} enumerated={}",
-            self.nodes, self.solves, self.unsat, self.verifies, self.verify_failures, self.enumerated
+            self.nodes,
+            self.solves,
+            self.unsat,
+            self.verifies,
+            self.verify_failures,
+            self.enumerated
         )
     }
 }

@@ -24,7 +24,11 @@ const fn crc32_table() -> [u32; 256] {
         let mut c = i as u32;
         let mut k = 0;
         while k < 8 {
-            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
             k += 1;
         }
         table[i] = c;
@@ -191,8 +195,7 @@ pub fn get_schema(buf: &mut impl Buf) -> Result<Schema> {
         need(buf, 4, "key column")?;
         key.push(buf.get_u32_le() as usize);
     }
-    let borrowed: Vec<(&str, ValueType)> =
-        columns.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+    let borrowed: Vec<(&str, ValueType)> = columns.iter().map(|(n, t)| (n.as_str(), *t)).collect();
     let schema = Schema::new(relation, borrowed);
     if key.is_empty() {
         Ok(schema)

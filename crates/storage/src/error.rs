@@ -69,7 +69,10 @@ impl fmt::Display for StorageError {
                 write!(f, "type mismatch on '{relation}' column {column}")
             }
             StorageError::KeyViolation { relation, key } => {
-                write!(f, "key violation on '{relation}': key {key} already present")
+                write!(
+                    f,
+                    "key violation on '{relation}': key {key} already present"
+                )
             }
             StorageError::NoSuchRow { relation } => {
                 write!(f, "row not present in '{relation}'")

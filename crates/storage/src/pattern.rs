@@ -204,9 +204,7 @@ impl ConjunctiveQuery {
         // All patterns matched: emit the binding.
         if used.iter().all(|&u| u) {
             out.bindings.push(binding.clone());
-            return Ok(self
-                .limit
-                .is_some_and(|l| out.bindings.len() >= l));
+            return Ok(self.limit.is_some_and(|l| out.bindings.len() >= l));
         }
         // Most-constrained-first: pick the unused pattern with the fewest
         // candidate rows under the current binding.

@@ -167,11 +167,8 @@ mod tests {
     #[test]
     fn write_against_missing_table_fails_recovery() {
         let mut wal = Wal::in_memory();
-        wal.append(&LogRecord::Write(WriteOp::insert(
-            "Ghost",
-            tuple![1, "1A"],
-        )))
-        .unwrap();
+        wal.append(&LogRecord::Write(WriteOp::insert("Ghost", tuple![1, "1A"])))
+            .unwrap();
         assert!(recover(&wal).is_err());
     }
 

@@ -123,7 +123,10 @@ impl Table {
 
     /// Rows matching a partial binding: `bound[i] = Some(v)` constrains
     /// column `i` to equal `v`. Uses the most selective available index.
-    pub fn select<'a>(&'a self, bound: &'a [Option<Value>]) -> Box<dyn Iterator<Item = &'a Tuple> + 'a> {
+    pub fn select<'a>(
+        &'a self,
+        bound: &'a [Option<Value>],
+    ) -> Box<dyn Iterator<Item = &'a Tuple> + 'a> {
         debug_assert_eq!(bound.len(), self.schema.arity());
         // Pick the most selective index among bound columns.
         let best = self
@@ -146,7 +149,11 @@ impl Table {
                     .filter(move |row| Self::matches(row, bound));
                 Box::new(iter)
             }
-            None => Box::new(self.rows.values().filter(move |row| Self::matches(row, bound))),
+            None => Box::new(
+                self.rows
+                    .values()
+                    .filter(move |row| Self::matches(row, bound)),
+            ),
         }
     }
 
@@ -269,7 +276,10 @@ mod tests {
         .unwrap();
         let mut t = Table::new(schema);
         t.insert(tuple!["Mickey", "5A"]).unwrap();
-        assert_eq!(t.get_by_key(&tuple!["Mickey"]), Some(&tuple!["Mickey", "5A"]));
+        assert_eq!(
+            t.get_by_key(&tuple!["Mickey"]),
+            Some(&tuple!["Mickey", "5A"])
+        );
         assert_eq!(t.get_by_key(&tuple!["Goofy"]), None);
     }
 }

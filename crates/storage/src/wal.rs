@@ -196,11 +196,7 @@ impl LogRecord {
                     ops.push(match tag {
                         T_INSERT => WriteOp::Insert { relation, tuple },
                         T_DELETE => WriteOp::Delete { relation, tuple },
-                        t => {
-                            return Err(StorageError::Codec(format!(
-                                "unknown ground op tag {t}"
-                            )))
-                        }
+                        t => return Err(StorageError::Codec(format!("unknown ground op tag {t}"))),
                     });
                 }
                 Ok(LogRecord::Ground { id, ops })

@@ -93,17 +93,20 @@ mod tests {
         // would naively have taken — with deferral, no rescheduling
         // cascade happens.
         let mut qdb = QuantumDb::new(QuantumDbConfig::default()).unwrap();
-        install_calendar(
-            &mut qdb,
-            &CalendarConfig { rooms: 1, slots: 2 },
-        )
-        .unwrap();
+        install_calendar(&mut qdb, &CalendarConfig { rooms: 1, slots: 2 }).unwrap();
         // Offsite prefers slot 1 (Friday afternoon).
-        qdb.bulk_insert("Prefers", vec![tuple!["offsite", 1]]).unwrap();
-        assert!(qdb.submit(&schedule_meeting("offsite")).unwrap().is_committed());
+        qdb.bulk_insert("Prefers", vec![tuple!["offsite", 1]])
+            .unwrap();
+        assert!(qdb
+            .submit(&schedule_meeting("offsite"))
+            .unwrap()
+            .is_committed());
         // CEO meeting pins slot 1 — with only 1 room this forces the
         // offsite out of its preferred slot, NO rescheduling needed.
-        assert!(qdb.submit(&schedule_pinned("ceo", 1)).unwrap().is_committed());
+        assert!(qdb
+            .submit(&schedule_pinned("ceo", 1))
+            .unwrap()
+            .is_committed());
         qdb.ground_all().unwrap();
         let rows = qdb.query("Meetings('ceo', r, t)").unwrap();
         assert_eq!(rows.len(), 1);
@@ -116,12 +119,9 @@ mod tests {
     #[test]
     fn preference_honored_when_uncontended() {
         let mut qdb = QuantumDb::new(QuantumDbConfig::default()).unwrap();
-        install_calendar(
-            &mut qdb,
-            &CalendarConfig { rooms: 2, slots: 3 },
-        )
-        .unwrap();
-        qdb.bulk_insert("Prefers", vec![tuple!["standup", 2]]).unwrap();
+        install_calendar(&mut qdb, &CalendarConfig { rooms: 2, slots: 3 }).unwrap();
+        qdb.bulk_insert("Prefers", vec![tuple!["standup", 2]])
+            .unwrap();
         qdb.submit(&schedule_meeting("standup")).unwrap();
         qdb.ground_all().unwrap();
         let q = qdb_logic::parse_query("Meetings('standup', r, t)").unwrap();
@@ -134,11 +134,7 @@ mod tests {
     #[test]
     fn full_calendar_rejects_new_meetings() {
         let mut qdb = QuantumDb::new(QuantumDbConfig::default()).unwrap();
-        install_calendar(
-            &mut qdb,
-            &CalendarConfig { rooms: 1, slots: 1 },
-        )
-        .unwrap();
+        install_calendar(&mut qdb, &CalendarConfig { rooms: 1, slots: 1 }).unwrap();
         assert!(qdb.submit(&schedule_meeting("a")).unwrap().is_committed());
         assert!(!qdb.submit(&schedule_meeting("b")).unwrap().is_committed());
     }

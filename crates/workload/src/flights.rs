@@ -200,14 +200,8 @@ mod tests {
         assert_eq!(db.table("Adjacent").unwrap().len(), 12);
         assert_eq!(db.table("Bookings").unwrap().len(), 0);
         // Adjacency is intra-row only.
-        assert!(db.contains(
-            "Adjacent",
-            &qdb_storage::tuple!["1A", "1B"]
-        ));
-        assert!(!db.contains(
-            "Adjacent",
-            &qdb_storage::tuple!["1C", "2A"]
-        ));
+        assert!(db.contains("Adjacent", &qdb_storage::tuple!["1A", "1B"]));
+        assert!(!db.contains("Adjacent", &qdb_storage::tuple!["1C", "2A"]));
     }
 
     #[test]

@@ -94,7 +94,11 @@ impl IsClient {
         let q = ConjunctiveQuery::new(vec![
             Pattern::new(
                 "Bookings",
-                vec![PatTerm::val(partner), PatTerm::val(flight), PatTerm::Var(s2)],
+                vec![
+                    PatTerm::val(partner),
+                    PatTerm::val(flight),
+                    PatTerm::Var(s2),
+                ],
             ),
             Pattern::new("Adjacent", vec![PatTerm::Var(s), PatTerm::Var(s2)]),
             Pattern::new("Available", vec![PatTerm::val(flight), PatTerm::Var(s)]),

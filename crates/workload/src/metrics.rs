@@ -149,7 +149,9 @@ mod tests {
             rows_per_flight: 10,
         };
         let db = build_database(&cfg);
-        let pairs: Vec<Pair> = (0..15).map(|i| pair(&format!("a{i}"), &format!("b{i}"), 1)).collect();
+        let pairs: Vec<Pair> = (0..15)
+            .map(|i| pair(&format!("a{i}"), &format!("b{i}"), 1))
+            .collect();
         let stats = coordination_stats(&db, &pairs, cfg.rows_per_flight);
         assert_eq!(stats.max_possible, 20);
     }

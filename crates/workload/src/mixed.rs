@@ -6,12 +6,9 @@
 //! interleaved into a Random-order stream of resource transactions; each
 //! read targets a user drawn uniformly from those who already booked.
 
-use rand::seq::SliceRandom;
-use rand::Rng;
-use rand::SeedableRng;
-
 use crate::entangled::Pair;
 use crate::orders::{arrange, ArrivalOrder, Request};
+use crate::rng::{SliceRandom, StdRng};
 
 /// One operation of a mixed workload.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -38,8 +35,13 @@ impl Op {
 /// at uniform positions (never before the first booking) and each targets
 /// a uniformly random earlier booker.
 pub fn build_mixed_workload(pairs: &[Pair], n_reads: usize, seed: u64) -> Vec<Op> {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let bookings = arrange(pairs, ArrivalOrder::Random { seed: seed ^ 0xB00C });
+    let mut rng = StdRng::seed_from_u64(seed);
+    let bookings = arrange(
+        pairs,
+        ArrivalOrder::Random {
+            seed: seed ^ 0xB00C,
+        },
+    );
     let total = bookings.len() + n_reads;
     // Choose which slots are reads: a shuffled boolean mask whose first
     // slot is always a booking.

@@ -10,10 +10,8 @@
 //! (Max-pending figures assume a transaction remains pending exactly until
 //! its partner arrives — the §5.1 execution policy.)
 
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-
 use crate::entangled::Pair;
+use crate::rng::{SliceRandom, StdRng};
 
 /// One booking request of the workload.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -89,12 +87,13 @@ pub fn arrange(pairs: &[Pair], order: ArrivalOrder) -> Vec<Request> {
             .flat_map(|(a, b)| [a, b])
             .collect(),
         ArrivalOrder::InOrder => firsts.into_iter().chain(seconds).collect(),
-        ArrivalOrder::ReverseOrder => {
-            firsts.into_iter().chain(seconds.into_iter().rev()).collect()
-        }
+        ArrivalOrder::ReverseOrder => firsts
+            .into_iter()
+            .chain(seconds.into_iter().rev())
+            .collect(),
         ArrivalOrder::Random { seed } => {
             let mut all: Vec<Request> = firsts.into_iter().chain(seconds).collect();
-            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut rng = StdRng::seed_from_u64(seed);
             all.shuffle(&mut rng);
             all
         }

@@ -2,18 +2,42 @@
 //! database or the IS baseline and collects the measurements the paper
 //! reports (cumulative per-transaction time, total time, read/update time
 //! split, coordination percentage, maximum pending transactions).
+//!
+//! The quantum runner drives the engine exclusively through the unified
+//! statement API: a [`Session`] is opened on the shared handle, the two
+//! hot statements (the entangled booking and the per-user read) are
+//! prepared **once**, and the workload loop only binds parameters and
+//! runs. [`RunResult::parses`] exposes the engine's parse counter so that
+//! benchmarks can verify the hot loop never re-enters the parser.
 
 use std::time::{Duration, Instant};
 
-use qdb_core::{QuantumDb, QuantumDbConfig};
-use qdb_logic::parse_query;
+use qdb_core::{QuantumDb, QuantumDbConfig, Session};
+use qdb_storage::Value;
 
-use crate::entangled::{entangled_booking, make_pairs, Pair};
+use crate::entangled::{make_pairs, Pair};
 use crate::flights::{build_database, install, FlightsConfig};
 use crate::is_baseline::IsClient;
 use crate::metrics::{coordination_stats, CoordStats};
 use crate::mixed::{build_mixed_workload, Op};
 use crate::orders::{arrange, ArrivalOrder};
+
+/// The §5.1 entangled booking as a prepared statement. Positional
+/// parameters, in order: flight (body), partner, flight (partner's
+/// booking), flight (delete), user, flight (insert).
+pub const BOOKING_SQL: &str = "\
+    SELECT @s \
+    FROM Available(?, @s), \
+         OPTIONAL Bookings(?, ?, @s2), \
+         OPTIONAL Adjacent(@s, @s2) \
+    CHOOSE 1 \
+    FOLLOWED BY ( \
+        DELETE (?, @s) FROM Available; \
+        INSERT (?, ?, @s) INTO Bookings; \
+    )";
+
+/// The mixed-workload read (one parameter: the reading user).
+pub const READ_SQL: &str = "SELECT @f, @s FROM Bookings(?, @f, @s)";
 
 /// One experiment configuration.
 #[derive(Debug, Clone)]
@@ -76,6 +100,9 @@ pub struct RunResult {
     pub max_pending: u64,
     /// Aborted resource transactions.
     pub aborted: u64,
+    /// SQL parser entries over the whole run (prepared statements keep
+    /// this at 2 — one per hot statement — regardless of workload size).
+    pub parses: u64,
 }
 
 impl RunResult {
@@ -85,12 +112,18 @@ impl RunResult {
     }
 }
 
-/// Run a workload against the quantum database.
+/// Run a workload against the quantum database through the statement API.
 pub fn run_quantum(cfg: &RunConfig) -> RunResult {
     let pairs = make_pairs(&cfg.flights, cfg.pairs_per_flight);
     let ops = ops_for(cfg, &pairs);
     let mut qdb = QuantumDb::new(cfg.engine.clone()).expect("engine construction");
     install(&mut qdb, &cfg.flights).expect("schema install");
+    let shared = qdb.into_shared();
+    let session: Session = shared.session();
+
+    // Parse the two hot statements once; the loop only binds and runs.
+    let book = session.prepare(BOOKING_SQL).expect("booking SQL parses");
+    let read = session.prepare(READ_SQL).expect("read SQL parses");
 
     let mut cumulative = Vec::with_capacity(ops.len());
     let mut read_time = Duration::ZERO;
@@ -100,14 +133,27 @@ pub fn run_quantum(cfg: &RunConfig) -> RunResult {
         let t0 = Instant::now();
         match op {
             Op::Book(r) => {
-                let txn = entangled_booking(&r.user, &r.partner, r.flight);
-                let _ = qdb.submit(&txn).expect("engine healthy");
+                let flight = Value::from(r.flight);
+                let _ = book
+                    .bind(&[
+                        flight.clone(),
+                        Value::from(r.partner.as_str()),
+                        flight.clone(),
+                        flight.clone(),
+                        Value::from(r.user.as_str()),
+                        flight,
+                    ])
+                    .expect("booking params bind")
+                    .run()
+                    .expect("engine healthy");
                 update_time += t0.elapsed();
             }
             Op::Read { user } => {
-                let q = parse_query(&format!("Bookings('{user}', f, s)"))
-                    .expect("query parses");
-                let _ = qdb.read_parsed(&q, None).expect("engine healthy");
+                let _ = read
+                    .bind(&[Value::from(user.as_str())])
+                    .expect("read param binds")
+                    .run()
+                    .expect("engine healthy");
                 read_time += t0.elapsed();
             }
         }
@@ -117,11 +163,13 @@ pub fn run_quantum(cfg: &RunConfig) -> RunResult {
     // partner-arrival grounding this is usually a no-op; with it disabled
     // this is where coordination happens).
     let t0 = Instant::now();
-    qdb.ground_all().expect("invariant");
+    shared.ground_all().expect("invariant");
     update_time += t0.elapsed();
     let total = start.elapsed();
 
-    let coord = coordination_stats(qdb.database(), &pairs, cfg.flights.rows_per_flight);
+    let metrics = shared.metrics();
+    let coord =
+        shared.with(|q| coordination_stats(q.database(), &pairs, cfg.flights.rows_per_flight));
     RunResult {
         label: format!("QuantumDB k={}", cfg.engine.k),
         cumulative_micros: cumulative,
@@ -129,8 +177,9 @@ pub fn run_quantum(cfg: &RunConfig) -> RunResult {
         read_time,
         update_time,
         coord,
-        max_pending: qdb.metrics().max_pending,
-        aborted: qdb.metrics().aborted,
+        max_pending: metrics.max_pending,
+        aborted: metrics.aborted,
+        parses: metrics.parses,
     }
 }
 
@@ -173,12 +222,16 @@ pub fn run_is(cfg: &RunConfig) -> RunResult {
         coord,
         max_pending: 0, // IS never defers
         aborted: failures,
+        parses: 0, // IS bypasses the SQL front end entirely
     }
 }
 
 fn ops_for(cfg: &RunConfig, pairs: &[Pair]) -> Vec<Op> {
     if cfg.n_reads == 0 {
-        arrange(pairs, cfg.order).into_iter().map(Op::Book).collect()
+        arrange(pairs, cfg.order)
+            .into_iter()
+            .map(Op::Book)
+            .collect()
     } else {
         build_mixed_workload(pairs, cfg.n_reads, cfg.seed)
     }
@@ -233,8 +286,16 @@ mod tests {
         let alt = run_quantum(&small(ArrivalOrder::Alternate, 61));
         let ord = run_quantum(&small(ArrivalOrder::InOrder, 61));
         // Alternate keeps at most 1 pending; InOrder peaks near N/2 = 6.
-        assert!(alt.max_pending <= 1, "alternate max_pending = {}", alt.max_pending);
-        assert!(ord.max_pending >= 5, "in-order max_pending = {}", ord.max_pending);
+        assert!(
+            alt.max_pending <= 1,
+            "alternate max_pending = {}",
+            alt.max_pending
+        );
+        assert!(
+            ord.max_pending >= 5,
+            "in-order max_pending = {}",
+            ord.max_pending
+        );
     }
 
     #[test]
@@ -259,5 +320,41 @@ mod tests {
         // pending high-water mark stays at k... +0 tolerance.
         assert!(res.max_pending <= 3, "max_pending = {}", res.max_pending);
         assert_eq!(res.aborted, 0, "k-grounding must not cause aborts");
+    }
+
+    #[test]
+    fn hot_loop_parses_exactly_twice_regardless_of_size() {
+        // 12 bookings: two prepares, zero per-operation parses.
+        let small_run = run_quantum(&small(ArrivalOrder::Alternate, 61));
+        assert_eq!(small_run.parses, 2, "prepare-once violated");
+        // 10× the reads, same parse count.
+        let mut mixed = small(ArrivalOrder::Random { seed: 5 }, 61);
+        mixed.n_reads = 40;
+        let big_run = run_quantum(&mixed);
+        assert_eq!(big_run.parses, 2, "hot loop re-entered the parser");
+    }
+
+    #[test]
+    fn prepared_booking_matches_the_programmatic_transaction() {
+        // The BOOKING_SQL template, once bound, is exactly the §5.1
+        // entangled booking the workload used to build programmatically.
+        let parsed = qdb_logic::parse_statement(BOOKING_SQL).unwrap();
+        let bound = parsed
+            .bind(&[
+                Value::from(7),
+                Value::from("goofy"),
+                Value::from(7),
+                Value::from(7),
+                Value::from("mickey"),
+                Value::from(7),
+            ])
+            .unwrap();
+        let qdb_logic::Statement::Transaction(t) = bound else {
+            panic!("booking SQL is not a transaction");
+        };
+        assert_eq!(
+            t.to_transaction().unwrap().to_string(),
+            crate::entangled::entangled_booking("mickey", "goofy", 7).to_string()
+        );
     }
 }

@@ -3,8 +3,8 @@
 
 use proptest::prelude::*;
 use qdb_workload::{
-    make_pairs, orders::measured_max_pending, run_is, run_quantum, arrange,
-    ArrivalOrder, FlightsConfig, RunConfig,
+    arrange, make_pairs, orders::measured_max_pending, run_is, run_quantum, ArrivalOrder,
+    FlightsConfig, RunConfig,
 };
 
 fn arb_order() -> impl Strategy<Value = ArrivalOrder> {

@@ -12,10 +12,10 @@
 
 use quantum_db::core::{QuantumDb, QuantumDbConfig};
 use quantum_db::logic::parse_query;
+use quantum_db::storage::tuple;
 use quantum_db::workload::calendar::{
     install_calendar, schedule_meeting, schedule_pinned, CalendarConfig,
 };
-use quantum_db::storage::tuple;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut qdb = QuantumDb::new(QuantumDbConfig::default())?;
@@ -27,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Two months out: the offsite is committed — but no slot is fixed.
     let out = qdb.submit(&schedule_meeting("offsite"))?;
-    println!("offsite scheduled: {out:?}; pending = {}", qdb.pending_count());
+    println!(
+        "offsite scheduled: {out:?}; pending = {}",
+        qdb.pending_count()
+    );
 
     // Team members book other meetings through the weeks.
     for (i, name) in ["standup", "review", "retro"].iter().enumerate() {

@@ -70,9 +70,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(rows.len(), 1);
 
     // And keeps serving new transactions.
-    let t = parse_transaction(
-        "-Available(f, s), +Bookings('Daisy', f, s) :-1 Available(f, s)",
-    )?;
+    let t = parse_transaction("-Available(f, s), +Bookings('Daisy', f, s) :-1 Available(f, s)")?;
     let out = recovered.submit(&t)?;
     println!("new booking after recovery: {out:?}");
     Ok(())

@@ -1,66 +1,49 @@
 //! The paper's running example, end to end: Mickey, Goofy, Donald, Minnie
 //! and Pluto book seats on flight 123 — with entangled coordination,
 //! possible-worlds inspection (Figure 2) and a hard-constraint conflict
-//! (§2's Pluto scenario).
+//! (§2's Pluto scenario). Driven through the unified statement API.
 //!
 //! ```text
 //! cargo run --example travel_booking
 //! ```
 
-use quantum_db::core::{enumerate_worlds, QuantumDb, QuantumDbConfig};
-use quantum_db::logic::{parse_query, parse_transaction, ResourceTransaction};
-use quantum_db::storage::{tuple, Schema, ValueType};
+use quantum_db::core::enumerate_worlds;
+use quantum_db::logic::parse_transaction;
+use quantum_db::storage::tuple;
+use quantum_db::{QuantumDb, QuantumDbConfig, Session, Value};
 
-fn booking(user: &str) -> ResourceTransaction {
-    parse_transaction(&format!(
-        "-Available(f, s), +Bookings('{user}', f, s) :-1 Available(f, s)"
-    ))
-    .expect("well-formed")
-}
-
-fn booking_next_to(user: &str, partner: &str) -> ResourceTransaction {
-    parse_transaction(&format!(
-        "-Available(f, s), +Bookings('{user}', f, s) :-1 \
-         Available(f, s), Bookings('{partner}', f, s2)?, Adjacent(s, s2)?"
-    ))
-    .expect("well-formed")
-}
+/// Figure 1's entangled booking as a prepared-statement template:
+/// `?1` = the booking user, `?2` = the partner they want to sit next to.
+const BOOKING_NEXT_TO: &str = "\
+    SELECT @f, @s \
+    FROM Available(@f, @s), \
+         OPTIONAL Bookings(?, @f, @s2), \
+         OPTIONAL Adjacent(@s, @s2) \
+    CHOOSE 1 \
+    FOLLOWED BY ( \
+        DELETE (@f, @s) FROM Available; \
+        INSERT (?, @f, @s) INTO Bookings; \
+    )";
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut qdb = QuantumDb::new(QuantumDbConfig::default())?;
-    qdb.create_table(Schema::new(
-        "Available",
-        vec![("flight", ValueType::Int), ("seat", ValueType::Str)],
-    ))?;
-    qdb.create_table(Schema::new(
-        "Bookings",
-        vec![
-            ("name", ValueType::Str),
-            ("flight", ValueType::Int),
-            ("seat", ValueType::Str),
-        ],
-    ))?;
-    qdb.create_table(Schema::new(
-        "Adjacent",
-        vec![("s1", ValueType::Str), ("s2", ValueType::Str)],
-    ))?;
+    qdb.execute("CREATE TABLE Available (flight INT, seat TEXT)")?;
+    qdb.execute("CREATE TABLE Bookings (name TEXT, flight INT, seat TEXT)")?;
+    qdb.execute("CREATE TABLE Adjacent (s1 TEXT, s2 TEXT)")?;
     // Flight 123, one row of three seats (Figure 2's setup).
-    qdb.bulk_insert(
-        "Available",
-        vec![tuple![123, "1A"], tuple![123, "1B"], tuple![123, "1C"]],
-    )?;
-    qdb.bulk_insert(
-        "Adjacent",
-        vec![
-            tuple!["1A", "1B"],
-            tuple!["1B", "1A"],
-            tuple!["1B", "1C"],
-            tuple!["1C", "1B"],
-        ],
+    qdb.execute("INSERT INTO Available VALUES (123, '1A'), (123, '1B'), (123, '1C')")?;
+    qdb.execute(
+        "INSERT INTO Adjacent VALUES ('1A', '1B'), ('1B', '1A'), ('1B', '1C'), ('1C', '1B')",
     )?;
 
     // --- Figure 2: possible-world evolution -----------------------------
     println!("--- Figure 2: explicit possible worlds ---");
+    let booking = |user: &str| {
+        parse_transaction(&format!(
+            "-Available(f, s), +Bookings('{user}', f, s) :-1 Available(f, s)"
+        ))
+        .expect("well-formed")
+    };
     let mickey = booking("Mickey");
     let donald = booking("Donald");
     let base = qdb.database().clone();
@@ -82,52 +65,66 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Entangled coordination (§5.1) -----------------------------------
     println!("\n--- Entangled resource transactions ---");
+    let session: Session = qdb.into_shared().session();
+    let book = session.prepare(BOOKING_NEXT_TO)?;
     // Mickey books first, wanting to sit next to Goofy — who is not in the
     // system yet. The request commits; the coordination constraint stays
     // open as a forward constraint.
-    qdb.submit(&booking_next_to("Mickey", "Goofy"))?;
-    println!(
-        "Mickey committed; pending = {} (seat not fixed, waiting for Goofy)",
-        qdb.pending_count()
-    );
+    book.bind(&[Value::from("Goofy"), Value::from("Mickey")])?
+        .run()?;
+    let pending = session.shared().pending_count();
+    println!("Mickey committed; pending = {pending} (seat not fixed, waiting for Goofy)");
     // Goofy arrives: the pair is grounded immediately, adjacent.
-    qdb.submit(&booking_next_to("Goofy", "Mickey"))?;
-    let q = parse_query("Bookings(n, f, s)")?;
-    let rows = qdb.read_parsed(&q, None)?;
+    book.bind(&[Value::from("Mickey"), Value::from("Goofy")])?
+        .run()?;
+    let rows = session.execute("SELECT * FROM Bookings(@n, @f, @s)")?;
     println!("bookings after Goofy's arrival:");
-    for r in &rows {
-        let n = r.get(q.var("n").unwrap()).unwrap();
-        let s = r.get(q.var("s").unwrap()).unwrap();
-        println!("  {n} -> {s}");
-    }
-    let seat = |rows: &Vec<quantum_db::logic::Valuation>, who: &str| -> String {
-        rows.iter()
-            .find(|r| r.get(q.var("n").unwrap()).unwrap().as_str() == Some(who))
-            .and_then(|r| r.get(q.var("s").unwrap()).unwrap().as_str().map(String::from))
+    let seat_of = |who: &str| -> String {
+        rows.rows()
+            .unwrap()
+            .iter()
+            .find_map(|r| {
+                let mut name = None;
+                let mut seat = None;
+                for (var, val) in r.iter() {
+                    match var.name() {
+                        "n" => name = val.as_str(),
+                        "s" => seat = val.as_str(),
+                        _ => {}
+                    }
+                }
+                (name == Some(who)).then(|| seat.unwrap().to_string())
+            })
             .expect("booked")
     };
-    let (m, g) = (seat(&rows, "Mickey"), seat(&rows, "Goofy"));
-    assert!(qdb
-        .database()
-        .contains("Adjacent", &tuple![m.as_str(), g.as_str()]));
+    for who in ["Mickey", "Goofy"] {
+        println!("  {who} -> {}", seat_of(who));
+    }
+    let (m, g) = (seat_of("Mickey"), seat_of("Goofy"));
+    session.shared().with(|q| {
+        assert!(q
+            .database()
+            .contains("Adjacent", &tuple![m.as_str(), g.as_str()]));
+    });
     println!("Mickey ({m}) and Goofy ({g}) sit together.");
 
     // --- §2: Pluto's hard constraint vs a soft preference ---------------
     println!("\n--- Hard constraints win over soft preferences ---");
-    let last = qdb.query("Available(f, s)")?;
-    println!("seats left: {}", last.len());
+    let last = session.execute("SELECT @f, @s FROM Available(@f, @s)")?;
+    println!("seats left: {}", last.rows().unwrap().len());
     // Pluto demands the exact remaining seat — a hard constraint. It
     // commits: nobody pending holds a hard claim on it.
-    let pluto = parse_transaction(
-        "-Available(123, '1C'), +Bookings('Pluto', 123, '1C') :-1 Available(123, '1C')",
-    );
-    let pluto = pluto?;
-    let out = qdb.submit(&pluto)?;
-    println!("Pluto requests 1C: {out:?}");
-    qdb.ground_all()?;
+    let out = session.execute(
+        "SELECT @s FROM Available(123, @s) WHERE @s = '1C' CHOOSE 1 \
+         FOLLOWED BY (DELETE (123, @s) FROM Available; \
+                      INSERT ('Pluto', 123, @s) INTO Bookings)",
+    )?;
+    println!("Pluto requests 1C: {out}");
+    session.execute("GROUND ALL")?;
+    let taken = session.execute("SELECT * FROM Bookings(@n, @f, @s)")?;
     println!(
         "final bookings: {} of 3 seats taken",
-        qdb.database().table("Bookings")?.len()
+        taken.rows().unwrap().len()
     );
     Ok(())
 }

@@ -60,12 +60,7 @@ fn disabling_partitioning_changes_cost_not_outcomes() {
         flights: 3,
         rows_per_flight: 4,
     };
-    let mut with = RunConfig::resource_only(
-        flights,
-        6,
-        ArrivalOrder::Random { seed: 5 },
-        61,
-    );
+    let mut with = RunConfig::resource_only(flights, 6, ArrivalOrder::Random { seed: 5 }, 61);
     let mut without = with.clone();
     without.engine.partitioning = false;
     let a = run_quantum(&with);

@@ -87,10 +87,8 @@ fn possible_worlds_agree_with_engine_on_facade_types() {
     };
     let mut qdb = travel_qdb(QuantumDbConfig::default(), flights);
     let base = qdb.database().clone();
-    let t1 = parse_transaction(
-        "-Available(1, s), +Bookings('a', 1, s) :-1 Available(1, s)",
-    )
-    .unwrap();
+    let t1 =
+        parse_transaction("-Available(1, s), +Bookings('a', 1, s) :-1 Available(1, s)").unwrap();
     let worlds = enumerate_worlds(&base, &[&t1], 10).unwrap();
     assert_eq!(worlds.len(), 3);
     assert!(qdb.submit(&t1).unwrap().is_committed());
@@ -141,7 +139,10 @@ fn coordination_measured_consistently_across_crates() {
     let stats = coordination_stats(qdb.database(), &pairs, flights.rows_per_flight);
     // 7 pairs want coordination; only 5 rows exist: max 10 users.
     assert_eq!(stats.max_possible, 10);
-    assert_eq!(stats.coordinated_users, 10, "alternate order coordinates fully");
+    assert_eq!(
+        stats.coordinated_users, 10,
+        "alternate order coordinates fully"
+    );
     assert_eq!(stats.seated_users, 14);
 }
 
@@ -228,5 +229,8 @@ fn the_mickey_cancellation_narrative() {
     let q = parse_query("Bookings('Mickey', f, s)").unwrap();
     let rows = qdb.read_parsed(&q, None).unwrap();
     let flight = rows[0].get(q.var("f").unwrap()).unwrap().as_int().unwrap();
-    assert_eq!(flight, 1, "Mickey flies Delta thanks to deferred assignment");
+    assert_eq!(
+        flight, 1,
+        "Mickey flies Delta thanks to deferred assignment"
+    );
 }
