@@ -1,15 +1,20 @@
 //! Regenerate every table and figure of the paper's evaluation (§5).
 //!
 //! ```text
-//! reproduce [table1|fig5|fig6|fig7|table2|fig8|fig9|all] [--scale full|smoke]
+//! reproduce [table1|fig5|fig6|fig7|table2|fig8|fig9|phase|all]
+//!           [--scale full|smoke] [--json]
 //! ```
 //!
 //! `full` runs the paper's parameters (slow: Fig. 7 alone executes up to
 //! 15 000 transactions per k); `smoke` is a quick shape-check. Output is
 //! plain text: tables match the paper's tables, figures are printed as
-//! tab-separated series.
+//! tab-separated series. With `--json`, the same measurements (plus
+//! derived throughput/latency) are additionally written to
+//! `BENCH_results.json`, so the performance trajectory of the repo can be
+//! tracked run over run.
 
 use qdb_bench::experiments::*;
+use qdb_bench::json::{num, str as jstr, Json};
 use qdb_bench::report::{downsample, format_series, format_table};
 use qdb_workload::FlightsConfig;
 
@@ -19,10 +24,20 @@ enum Scale {
     Smoke,
 }
 
+impl Scale {
+    fn label(self) -> &'static str {
+        match self {
+            Scale::Full => "full",
+            Scale::Smoke => "smoke",
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut which = "all".to_string();
     let mut scale = Scale::Full;
+    let mut json = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -33,30 +48,58 @@ fn main() {
                     _ => Scale::Full,
                 };
             }
+            "--json" => json = true,
             other => which = other.to_string(),
         }
         i += 1;
     }
+    const KNOWN: [&str; 9] = [
+        "all", "table1", "fig5", "fig6", "fig7", "table2", "fig8", "fig9", "phase",
+    ];
+    if !KNOWN.contains(&which.as_str()) {
+        eprintln!(
+            "unknown experiment '{which}'; expected one of: {}",
+            KNOWN.join("|")
+        );
+        std::process::exit(2);
+    }
     let seed = 0xC1DE;
     let run_all = which == "all";
+    let mut records: Vec<Json> = Vec::new();
     if run_all || which == "table1" {
-        table1(seed);
+        records.push(table1(seed));
     }
     if run_all || which == "fig5" || which == "fig6" {
-        fig5_fig6(scale, seed);
+        records.push(fig5_fig6(scale, seed));
     }
     if run_all || which == "fig7" || which == "table2" {
-        fig7_table2(scale, seed);
+        records.push(fig7_table2(scale, seed));
     }
     if run_all || which == "fig8" || which == "fig9" {
-        fig8_fig9(scale, seed);
+        records.push(fig8_fig9(scale, seed));
     }
     if run_all || which == "phase" {
-        phase();
+        records.push(phase());
+    }
+    if json {
+        let doc = Json::obj([
+            ("suite", jstr("quantum-db reproduce")),
+            ("scale", jstr(scale.label())),
+            ("seed", num(seed as u32)),
+            ("experiments", Json::Arr(records)),
+        ]);
+        let path = "BENCH_results.json";
+        match std::fs::write(path, doc.pretty()) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }
 
-fn phase() {
+fn phase() -> Json {
     println!("== §6 extra: satisfiability phase transition ==");
     println!("(adjacent-pair bookings on a 4-row flight; the boundary unsat");
     println!(" proof is where solver effort spikes)\n");
@@ -80,23 +123,51 @@ fn phase() {
             &table
         )
     );
+    Json::obj([
+        ("experiment", jstr("phase")),
+        (
+            "points",
+            Json::arr(rows.iter().map(|r| {
+                Json::obj([
+                    ("ratio", num(r.ratio)),
+                    ("solver_nodes", num(r.nodes as f64)),
+                    ("committed", Json::Bool(r.committed)),
+                ])
+            })),
+        ),
+    ])
 }
 
-fn table1(seed: u64) {
+fn table1(seed: u64) -> Json {
     println!("== Table 1: arrival orders and maximum pending transactions ==");
     println!("(paper: Alternate 1; Random/In Order/Reverse Order ceil(N/2))\n");
     let rows = table1_max_pending(51, seed);
     let table: Vec<Vec<String>> = rows
-        .into_iter()
-        .map(|(label, bound, measured)| vec![label, bound.to_string(), measured.to_string()])
+        .iter()
+        .map(|(label, bound, measured)| {
+            vec![label.clone(), bound.to_string(), measured.to_string()]
+        })
         .collect();
     println!(
         "{}",
         format_table(&["Order of Arrival", "Paper bound", "Measured"], &table)
     );
+    Json::obj([
+        ("experiment", jstr("table1")),
+        (
+            "orders",
+            Json::arr(rows.iter().map(|(label, bound, measured)| {
+                Json::obj([
+                    ("order", jstr(label.clone())),
+                    ("paper_bound", num(*bound as f64)),
+                    ("measured_max_pending", num(*measured as f64)),
+                ])
+            })),
+        ),
+    ])
 }
 
-fn fig5_fig6(scale: Scale, seed: u64) {
+fn fig5_fig6(scale: Scale, seed: u64) -> Json {
     let (flights, pairs, k) = match scale {
         // §5.3: 1 flight, 34 rows (102 seats), 102 transactions, k = 61.
         Scale::Full => (FlightsConfig::order_of_arrival(), 51, 61),
@@ -145,9 +216,43 @@ fn fig5_fig6(scale: Scale, seed: u64) {
         "{}",
         format_table(&["Series", "Coordination %", "Max pending"], &table)
     );
+    Json::obj([
+        ("experiment", jstr("fig5_fig6")),
+        (
+            "series",
+            Json::arr(rows.iter().map(|r| {
+                let ops = r.cumulative_micros.len();
+                let total_us = r.cumulative_micros.last().copied().unwrap_or(0);
+                let total_s = total_us as f64 / 1e6;
+                Json::obj([
+                    ("label", jstr(r.label.clone())),
+                    ("transactions", num(ops as f64)),
+                    ("total_seconds", num(total_s)),
+                    (
+                        "throughput_tps",
+                        num(if total_s > 0.0 {
+                            ops as f64 / total_s
+                        } else {
+                            0.0
+                        }),
+                    ),
+                    (
+                        "mean_latency_us",
+                        num(if ops > 0 {
+                            total_us as f64 / ops as f64
+                        } else {
+                            0.0
+                        }),
+                    ),
+                    ("coordination_percent", num(r.coordination_percent)),
+                    ("max_pending", num(r.max_pending as f64)),
+                ])
+            })),
+        ),
+    ])
 }
 
-fn fig7_table2(scale: Scale, seed: u64) {
+fn fig7_table2(scale: Scale, seed: u64) -> Json {
     let (flight_counts, rows_per_flight, ks): (Vec<usize>, usize, Vec<usize>) = match scale {
         // §5.3: 10→100 flights of 150 seats, k in {20, 30, 40}.
         Scale::Full => ((1..=10).map(|i| i * 10).collect(), 50, vec![20, 30, 40]),
@@ -190,9 +295,32 @@ fn fig7_table2(scale: Scale, seed: u64) {
         "{}",
         format_table(&["System", "Avg coordination %"], &table)
     );
+    Json::obj([
+        ("experiment", jstr("fig7_table2")),
+        (
+            "points",
+            Json::arr(rows.iter().map(|r| {
+                Json::obj([
+                    ("label", jstr(r.label.clone())),
+                    ("flights", num(r.flights as f64)),
+                    ("transactions", num(r.transactions as f64)),
+                    ("total_seconds", num(r.seconds)),
+                    (
+                        "throughput_tps",
+                        num(if r.seconds > 0.0 {
+                            r.transactions as f64 / r.seconds
+                        } else {
+                            0.0
+                        }),
+                    ),
+                    ("coordination_percent", num(r.coordination_percent)),
+                ])
+            })),
+        ),
+    ])
 }
 
-fn fig8_fig9(scale: Scale, seed: u64) {
+fn fig8_fig9(scale: Scale, seed: u64) -> Json {
     let (flights, total_ops, read_pcts, ks): (FlightsConfig, usize, Vec<usize>, Vec<usize>) =
         match scale {
             // §5.3: 6000 ops over 40 flights x 150 seats, reads 0..90%.
@@ -202,10 +330,12 @@ fn fig8_fig9(scale: Scale, seed: u64) {
                 (0..=9).map(|i| i * 10).collect(),
                 vec![20, 30, 40],
             ),
+            // 8 rows = 24 seats per flight: the 0%-reads point books 12
+            // pairs per flight, which must fit (24 users ≤ 24 seats).
             Scale::Smoke => (
                 FlightsConfig {
                     flights: 2,
-                    rows_per_flight: 6,
+                    rows_per_flight: 8,
                 },
                 48,
                 vec![0, 30, 60, 90],
@@ -243,4 +373,20 @@ fn fig8_fig9(scale: Scale, seed: u64) {
             )
         );
     }
+    Json::obj([
+        ("experiment", jstr("fig8_fig9")),
+        ("total_ops", num(total_ops as f64)),
+        (
+            "points",
+            Json::arr(rows.iter().map(|r| {
+                Json::obj([
+                    ("label", jstr(r.label.clone())),
+                    ("read_percent", num(r.read_percent as f64)),
+                    ("read_seconds", num(r.read_seconds)),
+                    ("update_seconds", num(r.update_seconds)),
+                    ("coordination_percent", num(r.coordination_percent)),
+                ])
+            })),
+        ),
+    ])
 }

@@ -1,0 +1,164 @@
+//! A minimal JSON writer for machine-readable bench output.
+//!
+//! The workspace builds offline (no `serde`/`serde_json`), and the bench
+//! harness only ever *emits* JSON — so a tiny value tree with a correct
+//! serializer is all that is needed. Numbers are emitted via Rust's
+//! shortest-roundtrip float formatting; non-finite floats become `null`
+//! (JSON has no representation for them).
+
+use std::fmt;
+
+/// A JSON value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (integers round-trip exactly up to 2^53).
+    Num(f64),
+    /// A string (escaped on output).
+    Str(String),
+    /// An ordered array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object from `(key, value)` pairs.
+    pub fn obj<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Array from values.
+    pub fn arr(values: impl IntoIterator<Item = Json>) -> Json {
+        Json::Arr(values.into_iter().collect())
+    }
+
+    /// Pretty-print with two-space indentation and a trailing newline —
+    /// the shape diff tools and `jq` both like.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if n.is_finite() {
+                    if n.fract() == 0.0 && n.abs() < 9e15 {
+                        out.push_str(&format!("{}", *n as i64));
+                    } else {
+                        out.push_str(&format!("{n}"));
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => write_seq(out, indent, '[', ']', items.len(), |out, i| {
+                items[i].write(out, indent + 1);
+            }),
+            Json::Obj(pairs) => write_seq(out, indent, '{', '}', pairs.len(), |out, i| {
+                write_escaped(out, &pairs[i].0);
+                out.push_str(": ");
+                pairs[i].1.write(out, indent + 1);
+            }),
+        }
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    if len == 0 {
+        out.push(open);
+        out.push(close);
+        return;
+    }
+    out.push(open);
+    for i in 0..len {
+        out.push('\n');
+        out.push_str(&"  ".repeat(indent + 1));
+        item(out, i);
+        if i + 1 < len {
+            out.push(',');
+        }
+    }
+    out.push('\n');
+    out.push_str(&"  ".repeat(indent));
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use fmt::Write;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Shorthand: number from anything convertible to `f64`.
+pub fn num(n: impl Into<f64>) -> Json {
+    Json::Num(n.into())
+}
+
+/// Shorthand: string value.
+pub fn str(s: impl Into<String>) -> Json {
+    Json::Str(s.into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serializes_nested_structures() {
+        let j = Json::obj([
+            ("name", str("fig5")),
+            ("ok", Json::Bool(true)),
+            ("none", Json::Null),
+            ("xs", Json::arr([num(1), num(2.5)])),
+            ("empty", Json::arr([])),
+        ]);
+        let text = j.pretty();
+        assert!(text.starts_with("{\n"));
+        assert!(text.contains("\"name\": \"fig5\""));
+        assert!(text.contains("\"xs\": [\n"));
+        assert!(text.contains("\"empty\": []"));
+        assert!(text.contains("2.5"));
+        assert!(text.ends_with("}\n"));
+    }
+
+    #[test]
+    fn integers_print_without_fraction_and_escapes_are_valid() {
+        assert_eq!(num(1e6).pretty(), "1000000\n");
+        assert_eq!(num(0.125).pretty(), "0.125\n");
+        assert_eq!(Json::Num(f64::NAN).pretty(), "null\n");
+        assert_eq!(
+            str("a\"b\\c\nd\u{1}").pretty(),
+            "\"a\\\"b\\\\c\\nd\\u0001\"\n"
+        );
+    }
+}

@@ -6,6 +6,7 @@
 //! microbenchmarks.
 
 pub mod experiments;
+pub mod json;
 pub mod report;
 
 pub use experiments::{

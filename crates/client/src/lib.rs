@@ -1,0 +1,551 @@
+//! # qdb-client
+//!
+//! Blocking TCP client for `qdb-server`, mirroring the embedded
+//! [`qdb_core::Session`] surface: [`Connection::execute`] for one-shot
+//! statements, [`Connection::prepare`] → [`Connection::bind`] →
+//! [`Connection::run`] for the parse-once hot path, and
+//! [`Connection::pipeline`] for many statements per network round trip.
+//! A small [`Pool`] hands out connections to multi-threaded callers.
+//!
+//! ```no_run
+//! use qdb_client::Connection;
+//! use qdb_storage::Value;
+//!
+//! let mut conn = Connection::connect("127.0.0.1:5433")?;
+//! conn.execute("CREATE TABLE Available (flight INT, seat TEXT)")?;
+//! let insert = conn.prepare("INSERT INTO Available VALUES (?, ?)")?;
+//! for seat in ["5A", "5B"] {
+//!     conn.bind_run(&insert, &[Value::from(123), Value::from(seat)])?;
+//! }
+//! let rows = conn.execute("SELECT * FROM Available(123, @s)")?;
+//! assert_eq!(rows.rows().unwrap().len(), 2);
+//! # Ok::<(), qdb_client::ClientError>(())
+//! ```
+
+use std::io::{BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::{Mutex, PoisonError};
+
+use qdb_core::wire::{self, Reply, Request, ServerStats};
+use qdb_core::Metrics;
+pub use qdb_core::Response;
+use qdb_storage::Value;
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read, write).
+    Io(std::io::Error),
+    /// The peer sent bytes that do not decode as a valid reply, or a
+    /// reply that does not match the request stream.
+    Protocol(String),
+    /// The server processed the request and reported an error.
+    Server {
+        /// Stable [`qdb_core::wire::code`] value.
+        code: u8,
+        /// Human-readable message (the engine error's display form).
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol: {msg}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error (code {code}): {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<wire::WireError> for ClientError {
+    fn from(e: wire::WireError) -> Self {
+        ClientError::Protocol(e.to_string())
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, ClientError>;
+
+/// A statement prepared on the server, addressed by a client-assigned id.
+/// Valid for the connection that prepared it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RemotePrepared {
+    id: u32,
+    params: u32,
+}
+
+impl RemotePrepared {
+    /// Number of positional `?` placeholders.
+    pub fn param_count(&self) -> usize {
+        self.params as usize
+    }
+}
+
+/// A blocking connection to a `qdb-server`.
+///
+/// All methods issue one or more frames and read the matching replies;
+/// the server guarantees in-order responses per connection, which is what
+/// [`Connection::pipeline`] and [`Connection::bind_run`] exploit to put
+/// several frames on the wire before the first reply arrives.
+pub struct Connection {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_request: u32,
+    next_id: u32,
+    last_server_stats: Option<ServerStats>,
+    /// Cleared on any transport/protocol failure: the stream may hold
+    /// stale replies, so the connection must not be reused (a [`Pool`]
+    /// discards unhealthy connections instead of parking them).
+    healthy: bool,
+}
+
+impl Connection {
+    /// Connect and disable Nagle (frames are small and latency-bound).
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Connection> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Connection {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+            next_request: 0,
+            next_id: 0,
+            last_server_stats: None,
+            healthy: true,
+        })
+    }
+
+    // -- plumbing ---------------------------------------------------------
+
+    fn send(&mut self, request: &Request) -> Result<u32> {
+        let id = self.next_request;
+        self.next_request = self.next_request.wrapping_add(1);
+        if let Err(e) = self.writer.write_all(&wire::encode_request(id, request)) {
+            self.healthy = false;
+            return Err(e.into());
+        }
+        Ok(id)
+    }
+
+    fn recv(&mut self, expect: u32) -> Result<Reply> {
+        // Any transport or framing failure leaves the stream desynced:
+        // mark the connection so it is not returned to a pool.
+        self.recv_inner(expect)
+            .inspect_err(|_| self.healthy = false)
+    }
+
+    fn recv_inner(&mut self, expect: u32) -> Result<Reply> {
+        let frame = wire::read_frame(&mut self.reader)?.ok_or_else(|| {
+            ClientError::Protocol("server closed the connection mid-conversation".into())
+        })?;
+        if frame.request_id != expect {
+            return Err(ClientError::Protocol(format!(
+                "response for request {} arrived while awaiting {expect} (ordering violated)",
+                frame.request_id
+            )));
+        }
+        Ok(wire::decode_reply(&frame)?)
+    }
+
+    /// `false` once any transport/protocol failure has been observed
+    /// (server errors are clean request outcomes and do not count).
+    pub fn is_healthy(&self) -> bool {
+        self.healthy
+    }
+
+    /// Fold a reply into the `execute`-shaped result, stashing server
+    /// stats attached to `SHOW METRICS` responses.
+    fn settle(&mut self, reply: Reply) -> Result<Response> {
+        match reply {
+            Reply::Engine(r) => Ok(r),
+            Reply::Stats { engine, server } => {
+                self.last_server_stats = Some(server);
+                Ok(Response::Metrics(engine))
+            }
+            Reply::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected reply to an execute-class request: {other:?}"
+            ))),
+        }
+    }
+
+    fn fresh_id(&mut self) -> u32 {
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1);
+        id
+    }
+
+    // -- the Session-shaped surface ---------------------------------------
+
+    /// Parse and execute one statement server-side.
+    pub fn execute(&mut self, sql: &str) -> Result<Response> {
+        let id = self.send(&Request::Execute {
+            sql: sql.to_string(),
+        })?;
+        let reply = self.recv(id)?;
+        self.settle(reply)
+    }
+
+    /// Parse once server-side; the returned handle re-executes via
+    /// [`Connection::bind`] / [`Connection::run`] without re-parsing.
+    pub fn prepare(&mut self, sql: &str) -> Result<RemotePrepared> {
+        let stmt = self.fresh_id();
+        let id = self.send(&Request::Prepare {
+            stmt,
+            sql: sql.to_string(),
+        })?;
+        match self.recv(id)? {
+            Reply::Prepared { stmt: echo, params } if echo == stmt => {
+                Ok(RemotePrepared { id: stmt, params })
+            }
+            Reply::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected reply to PREPARE: {other:?}"
+            ))),
+        }
+    }
+
+    /// Bind positional parameters, yielding a one-shot bound id.
+    pub fn bind(&mut self, prepared: &RemotePrepared, params: &[Value]) -> Result<RemoteBound> {
+        let bound = self.fresh_id();
+        let id = self.send(&Request::Bind {
+            stmt: prepared.id,
+            bound,
+            params: params.to_vec(),
+        })?;
+        match self.recv(id)? {
+            Reply::Bound { bound: echo } if echo == bound => Ok(RemoteBound { id: bound }),
+            Reply::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected reply to BIND: {other:?}"
+            ))),
+        }
+    }
+
+    /// Run (and consume) a bound statement.
+    pub fn run(&mut self, bound: RemoteBound) -> Result<Response> {
+        let id = self.send(&Request::Run { bound: bound.id })?;
+        let reply = self.recv(id)?;
+        self.settle(reply)
+    }
+
+    /// Bind + run in one network flush (two pipelined frames, one
+    /// round-trip latency) — the remote hot loop.
+    pub fn bind_run(&mut self, prepared: &RemotePrepared, params: &[Value]) -> Result<Response> {
+        let bound = self.fresh_id();
+        let bind_id = self.send(&Request::Bind {
+            stmt: prepared.id,
+            bound,
+            params: params.to_vec(),
+        })?;
+        let run_id = self.send(&Request::Run { bound })?;
+        let bind_reply = self.recv(bind_id)?;
+        match bind_reply {
+            Reply::Bound { .. } => {
+                let reply = self.recv(run_id)?;
+                self.settle(reply)
+            }
+            Reply::Error { code, message } => {
+                // The pipelined RUN then failed on the missing bound id;
+                // drain its reply so the stream stays aligned.
+                let _ = self.recv(run_id)?;
+                Err(ClientError::Server { code, message })
+            }
+            other => Err(ClientError::Protocol(format!(
+                "unexpected reply to BIND: {other:?}"
+            ))),
+        }
+    }
+
+    /// Execute a batch of statements pipelined: all frames go out before
+    /// the first reply is read, and replies come back in statement order.
+    /// Per-statement failures land in the inner results; transport
+    /// failures abort the batch.
+    pub fn pipeline(&mut self, sqls: &[&str]) -> Result<Vec<Result<Response>>> {
+        let mut ids = Vec::with_capacity(sqls.len());
+        for sql in sqls {
+            ids.push(self.send(&Request::Execute {
+                sql: (*sql).to_string(),
+            })?);
+        }
+        let mut out = Vec::with_capacity(ids.len());
+        for id in ids {
+            let reply = self.recv(id)?;
+            out.push(self.settle(reply));
+        }
+        Ok(out)
+    }
+
+    /// `SHOW METRICS`, returning both the engine's metrics and the
+    /// server's traffic counters that ride on the same response.
+    pub fn server_stats(&mut self) -> Result<(Box<Metrics>, ServerStats)> {
+        let response = self.execute("SHOW METRICS")?;
+        let Response::Metrics(engine) = response else {
+            return Err(ClientError::Protocol(format!(
+                "SHOW METRICS answered {response:?}"
+            )));
+        };
+        let server = self
+            .last_server_stats
+            .clone()
+            .ok_or_else(|| ClientError::Protocol("metrics reply carried no server stats".into()))?;
+        Ok((engine, server))
+    }
+
+    /// Server stats attached to the most recent `SHOW METRICS` response
+    /// seen on this connection, if any.
+    pub fn last_server_stats(&self) -> Option<&ServerStats> {
+        self.last_server_stats.as_ref()
+    }
+}
+
+impl std::fmt::Debug for Connection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Connection")
+            .field("peer", &self.writer.peer_addr().ok())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A bound statement id awaiting its `RUN` (consumed by
+/// [`Connection::run`]).
+#[derive(Debug, PartialEq, Eq)]
+pub struct RemoteBound {
+    id: u32,
+}
+
+/// A small blocking connection pool: threads check connections out and
+/// drop the guard to return them. Connections are created lazily up to no
+/// particular limit; at most `max_idle` are retained.
+pub struct Pool {
+    addr: String,
+    max_idle: usize,
+    idle: Mutex<Vec<Connection>>,
+}
+
+impl Pool {
+    /// Pool over `addr`, retaining up to `max_idle` parked connections.
+    pub fn new(addr: impl Into<String>, max_idle: usize) -> Pool {
+        Pool {
+            addr: addr.into(),
+            max_idle,
+            idle: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Check a connection out (reusing a parked one when available).
+    pub fn get(&self) -> Result<PooledConnection<'_>> {
+        let parked = {
+            let mut idle = self.idle.lock().unwrap_or_else(PoisonError::into_inner);
+            idle.pop()
+        };
+        let conn = match parked {
+            Some(c) => c,
+            None => Connection::connect(self.addr.as_str())?,
+        };
+        Ok(PooledConnection {
+            pool: self,
+            conn: Some(conn),
+        })
+    }
+
+    /// Parked connections right now.
+    pub fn idle_count(&self) -> usize {
+        self.idle
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    fn put_back(&self, conn: Connection) {
+        if !conn.is_healthy() {
+            return; // a desynced stream must not serve the next checkout
+        }
+        let mut idle = self.idle.lock().unwrap_or_else(PoisonError::into_inner);
+        if idle.len() < self.max_idle {
+            idle.push(conn);
+        }
+    }
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("addr", &self.addr)
+            .field("max_idle", &self.max_idle)
+            .field("idle", &self.idle_count())
+            .finish()
+    }
+}
+
+/// A checked-out pool connection; derefs to [`Connection`] and returns to
+/// the pool on drop.
+pub struct PooledConnection<'p> {
+    pool: &'p Pool,
+    conn: Option<Connection>,
+}
+
+impl std::ops::Deref for PooledConnection<'_> {
+    type Target = Connection;
+
+    fn deref(&self) -> &Connection {
+        self.conn.as_ref().expect("present until drop")
+    }
+}
+
+impl std::ops::DerefMut for PooledConnection<'_> {
+    fn deref_mut(&mut self) -> &mut Connection {
+        self.conn.as_mut().expect("present until drop")
+    }
+}
+
+impl Drop for PooledConnection<'_> {
+    fn drop(&mut self) {
+        if let Some(conn) = self.conn.take() {
+            self.pool.put_back(conn);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdb_server::{Server, ServerConfig};
+
+    fn spawn() -> qdb_server::ServerHandle {
+        Server::spawn(&ServerConfig::default()).expect("loopback server")
+    }
+
+    #[test]
+    fn execute_prepare_bind_run_roundtrip() {
+        let server = spawn();
+        let mut conn = Connection::connect(server.addr()).unwrap();
+        assert!(matches!(
+            conn.execute("CREATE TABLE R (a INT, b TEXT)").unwrap(),
+            Response::Ack
+        ));
+        let insert = conn.prepare("INSERT INTO R VALUES (?, ?)").unwrap();
+        assert_eq!(insert.param_count(), 2);
+        for i in 0..3 {
+            let r = conn
+                .bind_run(&insert, &[Value::from(i), Value::from("x")])
+                .unwrap();
+            assert_eq!(r, Response::Written(true));
+        }
+        // Explicit two-step bind → run as well.
+        let bound = conn
+            .bind(&insert, &[Value::from(9), Value::from("y")])
+            .unwrap();
+        assert_eq!(conn.run(bound).unwrap(), Response::Written(true));
+        let rows = conn.execute("SELECT * FROM R(@a, @b)").unwrap();
+        assert_eq!(rows.rows().unwrap().len(), 4);
+        server.shutdown();
+    }
+
+    #[test]
+    fn server_errors_surface_with_codes_and_the_connection_survives() {
+        let server = spawn();
+        let mut conn = Connection::connect(server.addr()).unwrap();
+        let err = conn.execute("SELECT * FROM Missing(@x)").unwrap_err();
+        assert!(matches!(
+            err,
+            ClientError::Server {
+                code: wire::code::STORAGE,
+                ..
+            }
+        ));
+        let err = conn.execute("INSERT INTO R VALUES (?)").unwrap_err();
+        assert!(matches!(
+            err,
+            ClientError::Server {
+                code: wire::code::PARAMS,
+                ..
+            }
+        ));
+        assert!(matches!(
+            conn.execute("SHOW PENDING").unwrap(),
+            Response::Pending(_)
+        ));
+        server.shutdown();
+    }
+
+    #[test]
+    fn pipeline_preserves_statement_order() {
+        let server = spawn();
+        let mut conn = Connection::connect(server.addr()).unwrap();
+        let results = conn
+            .pipeline(&[
+                "CREATE TABLE P (v INT)",
+                "INSERT INTO P VALUES (1)",
+                "NOT SQL AT ALL",
+                "SELECT * FROM P(@v)",
+                "SHOW METRICS",
+            ])
+            .unwrap();
+        assert_eq!(results.len(), 5);
+        assert!(matches!(results[0], Ok(Response::Ack)));
+        assert!(matches!(results[1], Ok(Response::Written(true))));
+        assert!(matches!(
+            results[2],
+            Err(ClientError::Server {
+                code: wire::code::LOGIC,
+                ..
+            })
+        ));
+        assert_eq!(results[3].as_ref().unwrap().rows().unwrap().len(), 1);
+        assert!(matches!(results[4], Ok(Response::Metrics(_))));
+        let stats = conn.last_server_stats().expect("stats attached");
+        assert!(stats.frames_decoded >= 5);
+        server.shutdown();
+    }
+
+    #[test]
+    fn pool_discards_connections_broken_mid_conversation() {
+        let server = spawn();
+        let pool = Pool::new(server.addr().to_string(), 2);
+        {
+            let mut c = pool.get().unwrap();
+            c.execute("SHOW PENDING").unwrap();
+            assert!(c.is_healthy());
+            // The server goes away under the checked-out connection; the
+            // next call fails at the transport and taints it.
+            server.shutdown();
+            let err = c.execute("SHOW PENDING").unwrap_err();
+            assert!(matches!(err, ClientError::Io(_) | ClientError::Protocol(_)));
+            assert!(!c.is_healthy());
+        }
+        assert_eq!(pool.idle_count(), 0, "a desynced stream must not be parked");
+    }
+
+    #[test]
+    fn pool_reuses_connections() {
+        let server = spawn();
+        let pool = Pool::new(server.addr().to_string(), 2);
+        {
+            let mut a = pool.get().unwrap();
+            a.execute("CREATE TABLE Q (v INT)").unwrap();
+            let mut b = pool.get().unwrap();
+            b.execute("INSERT INTO Q VALUES (1)").unwrap();
+        }
+        assert_eq!(pool.idle_count(), 2);
+        {
+            let mut c = pool.get().unwrap();
+            let rows = c.execute("SELECT * FROM Q(@v)").unwrap();
+            assert_eq!(rows.rows().unwrap().len(), 1);
+        }
+        assert_eq!(pool.idle_count(), 2);
+        let stats = server.stats();
+        assert_eq!(stats.connections, 2, "third checkout must reuse");
+        server.shutdown();
+    }
+}

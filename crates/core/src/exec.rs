@@ -304,16 +304,61 @@ impl SharedQuantumDb {
 
     /// Open a [`Session`] on this handle.
     pub fn session(&self) -> Session {
-        Session { db: self.clone() }
+        Session::new(self.clone())
+    }
+}
+
+/// A bounded LRU of parsed statements, keyed by exact statement text.
+///
+/// Sized for statement *templates*, not statement instances: callers that
+/// interpolate values into their SQL get cache misses (as they should —
+/// that is what `?` parameters are for). Capacity is small enough that the
+/// linear scan beats a hash map on realistic working sets.
+struct StmtCache {
+    capacity: usize,
+    /// Most recently used last.
+    entries: Vec<(String, ParsedStatement)>,
+}
+
+impl StmtCache {
+    fn new(capacity: usize) -> Self {
+        StmtCache {
+            capacity,
+            entries: Vec::new(),
+        }
+    }
+
+    fn get(&mut self, sql: &str) -> Option<ParsedStatement> {
+        let pos = self.entries.iter().position(|(text, _)| text == sql)?;
+        let entry = self.entries.remove(pos);
+        let parsed = entry.1.clone();
+        self.entries.push(entry);
+        Some(parsed)
+    }
+
+    fn insert(&mut self, sql: &str, parsed: ParsedStatement) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.remove(0); // least recently used
+        }
+        self.entries.push((sql.to_string(), parsed));
     }
 }
 
 /// A client session over a [`SharedQuantumDb`]: direct execution plus
 /// prepared statements. Sessions are cheap to create and clone — they are
 /// the intended per-client handle for servers and workload drivers.
+///
+/// Every text→statement lookup goes through a per-session LRU cache
+/// (shared by clones), so repeated [`Session::execute`] of identical text
+/// parses once — observable through [`Metrics::parses`]. `qdb-server`'s
+/// one-shot EXECUTE path rides on this cache automatically.
 #[derive(Clone)]
 pub struct Session {
     db: SharedQuantumDb,
+    cache: std::sync::Arc<crate::sync::Mutex<StmtCache>>,
 }
 
 impl std::fmt::Debug for Session {
@@ -323,25 +368,54 @@ impl std::fmt::Debug for Session {
 }
 
 impl Session {
-    /// Open a session on a shared engine handle.
+    /// Statement-cache capacity of [`Session::new`].
+    pub const DEFAULT_STMT_CACHE: usize = 128;
+
+    /// Open a session on a shared engine handle with the default
+    /// statement-cache capacity.
     pub fn new(db: SharedQuantumDb) -> Self {
-        Session { db }
+        Session::with_stmt_cache(db, Session::DEFAULT_STMT_CACHE)
     }
 
-    /// Parse and execute one statement.
+    /// Open a session with an explicit statement-cache capacity
+    /// (`0` disables caching — every execute parses).
+    pub fn with_stmt_cache(db: SharedQuantumDb, capacity: usize) -> Self {
+        Session {
+            db,
+            cache: std::sync::Arc::new(crate::sync::Mutex::new(StmtCache::new(capacity))),
+        }
+    }
+
+    /// Parse (or fetch from the statement cache) and execute one
+    /// statement.
     pub fn execute(&self, sql: &str) -> Result<Response> {
-        self.db.execute(sql)
+        let parsed = self.cached_parse(sql)?;
+        let stmt = parsed.statement()?.clone();
+        self.db.execute_stmt(stmt)
     }
 
     /// Parse once into a reusable [`Prepared`] statement. The hot path
     /// then re-executes via [`Prepared::bind`] + [`Bound::run`] without
-    /// re-parsing ([`Metrics::parses`] counts parser entries).
+    /// re-parsing ([`Metrics::parses`] counts parser entries). Served
+    /// from the statement cache when the same text was seen before.
     pub fn prepare(&self, sql: &str) -> Result<Prepared> {
-        let parsed = self.db.with(|db| db.prepare_statement(sql))?;
+        let parsed = self.cached_parse(sql)?;
         Ok(Prepared {
             db: self.db.clone(),
             parsed,
         })
+    }
+
+    fn cached_parse(&self, sql: &str) -> Result<ParsedStatement> {
+        if let Some(parsed) = self.cache.lock().get(sql) {
+            return Ok(parsed);
+        }
+        let parsed = self.db.with(|db| db.prepare_statement(sql))?;
+        // A racing clone may have inserted the same text meanwhile; the
+        // duplicate entry is harmless (both resolve identically, and the
+        // LRU evicts the stale copy).
+        self.cache.lock().insert(sql, parsed.clone());
+        Ok(parsed)
     }
 
     /// The underlying shared handle.
@@ -370,6 +444,12 @@ impl Prepared {
     /// Number of positional `?` placeholders.
     pub fn param_count(&self) -> usize {
         self.parsed.param_count()
+    }
+
+    /// Statement class of the template ([`Statement::kind`]) — servers
+    /// use this for per-class accounting without re-parsing.
+    pub fn kind(&self) -> &'static str {
+        self.parsed.template().kind()
     }
 
     /// Bind positional parameter values, yielding a runnable statement.
@@ -413,5 +493,83 @@ impl Bound {
     /// The statement about to run.
     pub fn statement(&self) -> &Statement {
         &self.stmt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::QuantumDbConfig;
+
+    fn session() -> Session {
+        let mut qdb = QuantumDb::new(QuantumDbConfig::default()).unwrap();
+        qdb.execute("CREATE TABLE R (a INT)").unwrap();
+        qdb.into_shared().session()
+    }
+
+    fn parses(s: &Session) -> u64 {
+        s.shared().metrics().parses
+    }
+
+    #[test]
+    fn repeated_execute_of_identical_text_parses_once() {
+        let s = session();
+        let before = parses(&s);
+        for _ in 0..10 {
+            s.execute("INSERT INTO R VALUES (1)").unwrap();
+        }
+        assert_eq!(parses(&s) - before, 1, "statement cache missed");
+    }
+
+    #[test]
+    fn prepare_shares_the_statement_cache_with_execute() {
+        let s = session();
+        let before = parses(&s);
+        s.execute("SELECT * FROM R(@a)").unwrap();
+        let p = s.prepare("SELECT * FROM R(@a)").unwrap();
+        p.run().unwrap();
+        assert_eq!(parses(&s) - before, 1);
+        assert_eq!(p.kind(), "SELECT");
+    }
+
+    #[test]
+    fn clones_share_one_cache_and_distinct_texts_still_parse() {
+        let s = session();
+        let clone = s.clone();
+        let before = parses(&s);
+        s.execute("INSERT INTO R VALUES (2)").unwrap();
+        clone.execute("INSERT INTO R VALUES (2)").unwrap();
+        clone.execute("INSERT INTO R VALUES (3)").unwrap();
+        assert_eq!(parses(&s) - before, 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let s = session();
+        let uncached = Session::with_stmt_cache(s.shared().clone(), 0);
+        let before = parses(&uncached);
+        uncached.execute("INSERT INTO R VALUES (4)").unwrap();
+        uncached.execute("INSERT INTO R VALUES (4)").unwrap();
+        assert_eq!(parses(&uncached) - before, 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_text() {
+        let mut cache = StmtCache::new(2);
+        let parsed = qdb_logic::parse_statement("SHOW METRICS").unwrap();
+        cache.insert("a", parsed.clone());
+        cache.insert("b", parsed.clone());
+        assert!(cache.get("a").is_some()); // touch: order is now [b, a]
+        cache.insert("c", parsed); // evicts b
+        assert!(cache.get("b").is_none());
+        assert!(cache.get("a").is_some());
+        assert!(cache.get("c").is_some());
+    }
+
+    #[test]
+    fn parse_errors_are_not_cached_as_successes() {
+        let s = session();
+        assert!(s.execute("SELECT FROM nothing").is_err());
+        assert!(s.execute("SELECT FROM nothing").is_err());
     }
 }

@@ -60,6 +60,7 @@ pub mod read;
 pub mod recovery;
 pub mod sync;
 pub mod txn;
+pub mod wire;
 pub mod worlds;
 
 pub use config::{GroundingPolicy, QuantumDbConfig, Serializability};

@@ -1,0 +1,966 @@
+//! The qdb wire protocol: length-prefixed binary frames over TCP.
+//!
+//! This module is the single source of truth for the bytes exchanged
+//! between `qdb-server` and `qdb-client`. Both sides depend only on this
+//! crate, so the protocol cannot drift between them. The encoding reuses
+//! the workspace codec idioms: little-endian integers via the local
+//! [`bytes`] crate and length-prefixed strings / tagged values via
+//! [`qdb_storage::codec`] — the same building blocks as the WAL and the
+//! transaction codec.
+//!
+//! ## Frame layout
+//!
+//! ```text
+//! ┌────────────┬─────────┬────────────────┬──────────────┐
+//! │ u32 length │ u8 kind │ u32 request id │ body (bytes) │
+//! └────────────┴─────────┴────────────────┴──────────────┘
+//! ```
+//!
+//! `length` counts everything after itself (kind + request id + body) and
+//! is capped at [`MAX_FRAME`]. The request id is chosen by the client and
+//! echoed verbatim in the response, which is what makes pipelining safe:
+//! a client may have many frames in flight and match responses to
+//! requests purely by arrival order (the server preserves per-connection
+//! order) or by id.
+//!
+//! ## Request kinds
+//!
+//! | kind | name    | body                                              |
+//! |------|---------|---------------------------------------------------|
+//! | 0x01 | EXECUTE | sql string                                        |
+//! | 0x02 | PREPARE | client-chosen stmt id (u32), sql string           |
+//! | 0x03 | BIND    | stmt id (u32), client-chosen bound id (u32), u32 param count, values |
+//! | 0x04 | RUN     | bound id (u32)                                    |
+//!
+//! Statement and bound ids are **client-assigned** so that
+//! `PREPARE`/`BIND`/`RUN` can be pipelined in a single flush without
+//! waiting for the server to hand ids back.
+//!
+//! ## Response kinds
+//!
+//! One per [`Response`] variant plus `PREPARED`, `BOUND` and `ERROR`; see
+//! [`Reply`]. Every engine error crosses the wire as an `ERROR` frame
+//! carrying a stable [error code](code) and the display message — the
+//! server never panics a connection over a bad statement.
+
+use bytes::{Buf, BufMut, BytesMut};
+use qdb_logic::{Valuation, Var};
+use qdb_storage::codec as scodec;
+use qdb_storage::Value;
+
+use crate::error::EngineError;
+use crate::exec::Response;
+use crate::metrics::Metrics;
+use crate::txn::TxnId;
+
+/// Hard cap on a frame's payload (defensive: a corrupt or hostile length
+/// prefix must not drive an allocation).
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// Sanity cap on encoded/decoded element counts (rows, worlds, params).
+pub const MAX_COUNT: usize = 1 << 20;
+
+// -- Frame kinds -------------------------------------------------------------
+
+/// Request frame kinds.
+pub mod req {
+    /// One-shot parse-and-execute of a sql string.
+    pub const EXECUTE: u8 = 0x01;
+    /// Parse once server-side under a client-chosen statement id.
+    pub const PREPARE: u8 = 0x02;
+    /// Bind positional parameters to a prepared statement.
+    pub const BIND: u8 = 0x03;
+    /// Run (and consume) a bound statement.
+    pub const RUN: u8 = 0x04;
+}
+
+/// Response frame kinds.
+pub mod resp {
+    /// `Response::Rows`.
+    pub const ROWS: u8 = 0x10;
+    /// `Response::Worlds`.
+    pub const WORLDS: u8 = 0x11;
+    /// `Response::Committed`.
+    pub const COMMITTED: u8 = 0x12;
+    /// `Response::Aborted`.
+    pub const ABORTED: u8 = 0x13;
+    /// `Response::Written`.
+    pub const WRITTEN: u8 = 0x14;
+    /// `Response::Grounded`.
+    pub const GROUNDED: u8 = 0x15;
+    /// `Response::Metrics` + the serving process's [`super::ServerStats`].
+    pub const METRICS: u8 = 0x16;
+    /// `Response::Pending`.
+    pub const PENDING: u8 = 0x17;
+    /// `Response::Ack`.
+    pub const ACK: u8 = 0x18;
+    /// Acknowledges a PREPARE.
+    pub const PREPARED: u8 = 0x20;
+    /// Acknowledges a BIND.
+    pub const BOUND: u8 = 0x21;
+    /// Any failure: error code + message.
+    pub const ERROR: u8 = 0x2F;
+}
+
+/// Stable error codes carried by `ERROR` frames.
+pub mod code {
+    /// [`crate::EngineError::Storage`].
+    pub const STORAGE: u8 = 1;
+    /// [`crate::EngineError::Logic`] (parse errors, range restriction,
+    /// parameter-count mismatches, …).
+    pub const LOGIC: u8 = 2;
+    /// [`crate::EngineError::Solver`].
+    pub const SOLVER: u8 = 3;
+    /// [`crate::EngineError::Invariant`].
+    pub const INVARIANT: u8 = 4;
+    /// [`crate::EngineError::RecoveryUnsatisfiable`].
+    pub const RECOVERY: u8 = 5;
+    /// Malformed frame or unknown frame kind.
+    pub const PROTOCOL: u8 = 6;
+    /// `BIND`/`RUN` referenced a statement or bound id the connection
+    /// never created (or already consumed).
+    pub const UNKNOWN_ID: u8 = 7;
+    /// `EXECUTE` of a statement that still has `?` placeholders.
+    pub const PARAMS: u8 = 8;
+}
+
+/// The error code an [`EngineError`] maps to on the wire.
+pub fn code_for(e: &EngineError) -> u8 {
+    match e {
+        EngineError::Storage(_) => code::STORAGE,
+        EngineError::Logic(_) => code::LOGIC,
+        EngineError::Solver(_) => code::SOLVER,
+        EngineError::Invariant(_) => code::INVARIANT,
+        EngineError::RecoveryUnsatisfiable { .. } => code::RECOVERY,
+    }
+}
+
+// -- Error type --------------------------------------------------------------
+
+/// A frame that could not be encoded or decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError(pub String);
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wire: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<qdb_storage::StorageError> for WireError {
+    fn from(e: qdb_storage::StorageError) -> Self {
+        WireError(e.to_string())
+    }
+}
+
+type Result<T> = std::result::Result<T, WireError>;
+
+fn need(buf: &impl Buf, n: usize, what: &str) -> Result<()> {
+    if buf.remaining() < n {
+        return Err(WireError(format!(
+            "truncated {what}: need {n} bytes, have {}",
+            buf.remaining()
+        )));
+    }
+    Ok(())
+}
+
+fn get_count(buf: &mut impl Buf, what: &str) -> Result<usize> {
+    need(buf, 4, what)?;
+    let n = buf.get_u32_le() as usize;
+    if n > MAX_COUNT {
+        return Err(WireError(format!("implausible {what} {n}")));
+    }
+    Ok(n)
+}
+
+// -- Requests ----------------------------------------------------------------
+
+/// A decoded request frame body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Parse and execute `sql` in one round trip.
+    Execute {
+        /// Statement text.
+        sql: String,
+    },
+    /// Parse `sql` once and remember it under `stmt`.
+    Prepare {
+        /// Client-chosen statement id.
+        stmt: u32,
+        /// Statement text.
+        sql: String,
+    },
+    /// Bind positional parameters to `stmt`, remembering the result under
+    /// `bound`.
+    Bind {
+        /// Statement id from a previous `Prepare`.
+        stmt: u32,
+        /// Client-chosen bound id.
+        bound: u32,
+        /// Positional parameter values.
+        params: Vec<Value>,
+    },
+    /// Run (and consume) `bound`.
+    Run {
+        /// Bound id from a previous `Bind`.
+        bound: u32,
+    },
+}
+
+/// Encode a complete request frame (including the length prefix).
+pub fn encode_request(request_id: u32, request: &Request) -> Vec<u8> {
+    let mut body = BytesMut::with_capacity(64);
+    let kind = match request {
+        Request::Execute { sql } => {
+            scodec::put_string(&mut body, sql);
+            req::EXECUTE
+        }
+        Request::Prepare { stmt, sql } => {
+            body.put_u32_le(*stmt);
+            scodec::put_string(&mut body, sql);
+            req::PREPARE
+        }
+        Request::Bind {
+            stmt,
+            bound,
+            params,
+        } => {
+            body.put_u32_le(*stmt);
+            body.put_u32_le(*bound);
+            body.put_u32_le(params.len() as u32);
+            for v in params {
+                scodec::put_value(&mut body, v);
+            }
+            req::BIND
+        }
+        Request::Run { bound } => {
+            body.put_u32_le(*bound);
+            req::RUN
+        }
+    };
+    finish_frame(kind, request_id, &body)
+}
+
+/// Decode a request frame body.
+pub fn decode_request(frame: &Frame) -> Result<Request> {
+    let buf = &mut frame.body.as_slice();
+    let request = match frame.kind {
+        req::EXECUTE => Request::Execute {
+            sql: scodec::get_string(buf)?,
+        },
+        req::PREPARE => {
+            need(buf, 4, "stmt id")?;
+            Request::Prepare {
+                stmt: buf.get_u32_le(),
+                sql: scodec::get_string(buf)?,
+            }
+        }
+        req::BIND => {
+            need(buf, 8, "bind ids")?;
+            let stmt = buf.get_u32_le();
+            let bound = buf.get_u32_le();
+            let n = get_count(buf, "param count")?;
+            let mut params = Vec::with_capacity(n);
+            for _ in 0..n {
+                params.push(scodec::get_value(buf)?);
+            }
+            Request::Bind {
+                stmt,
+                bound,
+                params,
+            }
+        }
+        req::RUN => {
+            need(buf, 4, "bound id")?;
+            Request::Run {
+                bound: buf.get_u32_le(),
+            }
+        }
+        k => return Err(WireError(format!("unknown request kind 0x{k:02x}"))),
+    };
+    expect_drained(buf)?;
+    Ok(request)
+}
+
+// -- Replies -----------------------------------------------------------------
+
+/// Serving-process counters attached to every `SHOW METRICS` response (the
+/// engine's own [`Metrics`] travel alongside). Maintained by `qdb-server`;
+/// defined here so both ends agree on the encoding.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted since the server started.
+    pub connections: u64,
+    /// Request frames successfully decoded.
+    pub frames_decoded: u64,
+    /// Payload bytes read off the network.
+    pub bytes_in: u64,
+    /// Payload bytes written to the network.
+    pub bytes_out: u64,
+    /// Statements executed, counted per statement class
+    /// ([`qdb_logic::Statement::kind`]), sorted by class name.
+    pub statement_classes: Vec<(String, u64)>,
+}
+
+impl ServerStats {
+    /// Count for one statement class, if any executed.
+    pub fn class(&self, kind: &str) -> Option<u64> {
+        self.statement_classes
+            .iter()
+            .find(|(k, _)| k == kind)
+            .map(|(_, n)| *n)
+    }
+
+    /// Total statements executed across all classes.
+    pub fn statements_total(&self) -> u64 {
+        self.statement_classes.iter().map(|(_, n)| n).sum()
+    }
+}
+
+impl std::fmt::Display for ServerStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "connections={} frames={} bytes(in/out)={}/{} statements={}",
+            self.connections,
+            self.frames_decoded,
+            self.bytes_in,
+            self.bytes_out,
+            self.statements_total(),
+        )
+    }
+}
+
+/// A decoded response frame body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// Any [`Response`] except `Metrics` (which travels as [`Reply::Stats`]).
+    Engine(Response),
+    /// `SHOW METRICS`: engine metrics plus the serving process's counters.
+    Stats {
+        /// Engine metrics snapshot (the event trace is not wired).
+        engine: Box<Metrics>,
+        /// Server-side counters.
+        server: ServerStats,
+    },
+    /// PREPARE succeeded.
+    Prepared {
+        /// Echo of the client-chosen statement id.
+        stmt: u32,
+        /// Number of positional `?` placeholders.
+        params: u32,
+    },
+    /// BIND succeeded.
+    Bound {
+        /// Echo of the client-chosen bound id.
+        bound: u32,
+    },
+    /// The request failed.
+    Error {
+        /// Stable [error code](code).
+        code: u8,
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+/// Encode a complete response frame (including the length prefix).
+///
+/// [`Response::Metrics`] passed through [`Reply::Engine`] is encoded with
+/// default (all-zero) server stats; servers should use [`Reply::Stats`].
+pub fn encode_reply(request_id: u32, reply: &Reply) -> Vec<u8> {
+    let mut body = BytesMut::with_capacity(64);
+    let kind = match reply {
+        Reply::Engine(Response::Metrics(m)) => {
+            put_metrics(&mut body, m);
+            put_server_stats(&mut body, &ServerStats::default());
+            resp::METRICS
+        }
+        Reply::Engine(r) => put_response(&mut body, r),
+        Reply::Stats { engine, server } => {
+            put_metrics(&mut body, engine);
+            put_server_stats(&mut body, server);
+            resp::METRICS
+        }
+        Reply::Prepared { stmt, params } => {
+            body.put_u32_le(*stmt);
+            body.put_u32_le(*params);
+            resp::PREPARED
+        }
+        Reply::Bound { bound } => {
+            body.put_u32_le(*bound);
+            resp::BOUND
+        }
+        Reply::Error { code, message } => {
+            body.put_u8(*code);
+            scodec::put_string(&mut body, message);
+            resp::ERROR
+        }
+    };
+    finish_frame(kind, request_id, &body)
+}
+
+fn put_response(body: &mut BytesMut, r: &Response) -> u8 {
+    match r {
+        Response::Rows(rows) => {
+            put_valuations(body, rows);
+            resp::ROWS
+        }
+        Response::Worlds(worlds) => {
+            body.put_u32_le(worlds.len() as u32);
+            for rows in worlds {
+                put_valuations(body, rows);
+            }
+            resp::WORLDS
+        }
+        Response::Committed(id) => {
+            body.put_u64_le(*id);
+            resp::COMMITTED
+        }
+        Response::Aborted => resp::ABORTED,
+        Response::Written(ok) => {
+            body.put_u8(u8::from(*ok));
+            resp::WRITTEN
+        }
+        Response::Grounded(n) => {
+            body.put_u64_le(*n as u64);
+            resp::GROUNDED
+        }
+        Response::Pending(ids) => {
+            body.put_u32_le(ids.len() as u32);
+            for id in ids {
+                body.put_u64_le(*id);
+            }
+            resp::PENDING
+        }
+        Response::Ack => resp::ACK,
+        Response::Metrics(_) => unreachable!("handled by encode_reply"),
+    }
+}
+
+/// Encode a response frame, enforcing the limits the decoder will apply:
+/// a reply whose frame would exceed [`MAX_FRAME`] (or whose element
+/// counts exceed [`MAX_COUNT`]) is replaced by a protocol `ERROR` frame,
+/// so an oversized result degrades into a typed error instead of a
+/// transport failure that kills the connection. Servers should use this
+/// over [`encode_reply`].
+pub fn encode_reply_bounded(request_id: u32, reply: &Reply) -> Vec<u8> {
+    if let Some(what) = reply_exceeds_counts(reply) {
+        return encode_reply(
+            request_id,
+            &Reply::Error {
+                code: code::PROTOCOL,
+                message: format!(
+                    "response {what} exceeds the per-frame element limit ({MAX_COUNT}); \
+                     narrow the query with LIMIT"
+                ),
+            },
+        );
+    }
+    let frame = encode_reply(request_id, reply);
+    if frame.len() - 4 <= MAX_FRAME {
+        return frame;
+    }
+    encode_reply(
+        request_id,
+        &Reply::Error {
+            code: code::PROTOCOL,
+            message: format!(
+                "response too large for one frame ({} bytes > {MAX_FRAME}); \
+                 narrow the query with LIMIT",
+                frame.len() - 4
+            ),
+        },
+    )
+}
+
+fn reply_exceeds_counts(reply: &Reply) -> Option<&'static str> {
+    match reply {
+        Reply::Engine(Response::Rows(rows)) if rows.len() > MAX_COUNT => Some("row count"),
+        Reply::Engine(Response::Worlds(worlds))
+            if worlds.len() > MAX_COUNT || worlds.iter().any(|w| w.len() > MAX_COUNT) =>
+        {
+            Some("world count")
+        }
+        Reply::Engine(Response::Pending(ids)) if ids.len() > MAX_COUNT => Some("pending count"),
+        _ => None,
+    }
+}
+
+/// Decode a response frame body.
+pub fn decode_reply(frame: &Frame) -> Result<Reply> {
+    let buf = &mut frame.body.as_slice();
+    let reply = match frame.kind {
+        resp::ROWS => Reply::Engine(Response::Rows(get_valuations(buf)?)),
+        resp::WORLDS => {
+            let n = get_count(buf, "world count")?;
+            let mut worlds = Vec::with_capacity(n);
+            for _ in 0..n {
+                worlds.push(get_valuations(buf)?);
+            }
+            Reply::Engine(Response::Worlds(worlds))
+        }
+        resp::COMMITTED => {
+            need(buf, 8, "txn id")?;
+            Reply::Engine(Response::Committed(buf.get_u64_le() as TxnId))
+        }
+        resp::ABORTED => Reply::Engine(Response::Aborted),
+        resp::WRITTEN => {
+            need(buf, 1, "write flag")?;
+            Reply::Engine(Response::Written(buf.get_u8() != 0))
+        }
+        resp::GROUNDED => {
+            need(buf, 8, "ground count")?;
+            Reply::Engine(Response::Grounded(buf.get_u64_le() as usize))
+        }
+        resp::METRICS => {
+            let engine = Box::new(get_metrics(buf)?);
+            let server = get_server_stats(buf)?;
+            Reply::Stats { engine, server }
+        }
+        resp::PENDING => {
+            let n = get_count(buf, "pending count")?;
+            let mut ids = Vec::with_capacity(n);
+            for _ in 0..n {
+                need(buf, 8, "pending id")?;
+                ids.push(buf.get_u64_le() as TxnId);
+            }
+            Reply::Engine(Response::Pending(ids))
+        }
+        resp::ACK => Reply::Engine(Response::Ack),
+        resp::PREPARED => {
+            need(buf, 8, "prepared ids")?;
+            Reply::Prepared {
+                stmt: buf.get_u32_le(),
+                params: buf.get_u32_le(),
+            }
+        }
+        resp::BOUND => {
+            need(buf, 4, "bound id")?;
+            Reply::Bound {
+                bound: buf.get_u32_le(),
+            }
+        }
+        resp::ERROR => {
+            need(buf, 1, "error code")?;
+            Reply::Error {
+                code: buf.get_u8(),
+                message: scodec::get_string(buf)?,
+            }
+        }
+        k => return Err(WireError(format!("unknown response kind 0x{k:02x}"))),
+    };
+    expect_drained(buf)?;
+    Ok(reply)
+}
+
+// -- Valuations and metrics --------------------------------------------------
+
+fn put_valuations(body: &mut BytesMut, rows: &[Valuation]) {
+    body.put_u32_le(rows.len() as u32);
+    for row in rows {
+        body.put_u32_le(row.len() as u32);
+        for (var, value) in row.iter() {
+            body.put_u32_le(var.id());
+            scodec::put_string(body, var.name());
+            scodec::put_value(body, value);
+        }
+    }
+}
+
+fn get_valuations(buf: &mut impl Buf) -> Result<Vec<Valuation>> {
+    let n = get_count(buf, "row count")?;
+    let mut rows = Vec::with_capacity(n);
+    for _ in 0..n {
+        let bindings = get_count(buf, "binding count")?;
+        let mut row = Valuation::new();
+        for _ in 0..bindings {
+            need(buf, 4, "var id")?;
+            let id = buf.get_u32_le();
+            let name = scodec::get_string(buf)?;
+            let value = scodec::get_value(buf)?;
+            row.bind(Var::new(id, name), value);
+        }
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+/// The metrics counters, in wire order. The event trace is deliberately
+/// not wired (it is unbounded and debug-only).
+fn metrics_fields(m: &Metrics) -> [u64; 18] {
+    [
+        m.submitted,
+        m.committed,
+        m.aborted,
+        m.reads,
+        m.writes_applied,
+        m.writes_rejected,
+        m.grounded_by_read,
+        m.grounded_by_k,
+        m.grounded_by_partner,
+        m.grounded_explicit,
+        m.cache_extensions,
+        m.cache_extra_hits,
+        m.cache_full_resolves,
+        m.partition_merges,
+        m.parses,
+        m.max_pending,
+        m.optionals_satisfied,
+        m.optionals_total,
+    ]
+}
+
+fn put_metrics(body: &mut BytesMut, m: &Metrics) {
+    for field in metrics_fields(m) {
+        body.put_u64_le(field);
+    }
+}
+
+fn get_metrics(buf: &mut impl Buf) -> Result<Metrics> {
+    let mut m = Metrics::default();
+    let fields: &mut [&mut u64; 18] = &mut [
+        &mut m.submitted,
+        &mut m.committed,
+        &mut m.aborted,
+        &mut m.reads,
+        &mut m.writes_applied,
+        &mut m.writes_rejected,
+        &mut m.grounded_by_read,
+        &mut m.grounded_by_k,
+        &mut m.grounded_by_partner,
+        &mut m.grounded_explicit,
+        &mut m.cache_extensions,
+        &mut m.cache_extra_hits,
+        &mut m.cache_full_resolves,
+        &mut m.partition_merges,
+        &mut m.parses,
+        &mut m.max_pending,
+        &mut m.optionals_satisfied,
+        &mut m.optionals_total,
+    ];
+    for field in fields.iter_mut() {
+        need(buf, 8, "metrics field")?;
+        **field = buf.get_u64_le();
+    }
+    Ok(m)
+}
+
+fn put_server_stats(body: &mut BytesMut, s: &ServerStats) {
+    body.put_u64_le(s.connections);
+    body.put_u64_le(s.frames_decoded);
+    body.put_u64_le(s.bytes_in);
+    body.put_u64_le(s.bytes_out);
+    body.put_u32_le(s.statement_classes.len() as u32);
+    for (class, count) in &s.statement_classes {
+        scodec::put_string(body, class);
+        body.put_u64_le(*count);
+    }
+}
+
+fn get_server_stats(buf: &mut impl Buf) -> Result<ServerStats> {
+    need(buf, 32, "server stats")?;
+    let mut s = ServerStats {
+        connections: buf.get_u64_le(),
+        frames_decoded: buf.get_u64_le(),
+        bytes_in: buf.get_u64_le(),
+        bytes_out: buf.get_u64_le(),
+        statement_classes: Vec::new(),
+    };
+    let n = get_count(buf, "class count")?;
+    for _ in 0..n {
+        let class = scodec::get_string(buf)?;
+        need(buf, 8, "class count value")?;
+        s.statement_classes.push((class, buf.get_u64_le()));
+    }
+    Ok(s)
+}
+
+// -- Framing -----------------------------------------------------------------
+
+/// One raw frame off the wire: kind, correlation id, and undecoded body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Frame kind byte (a [`req`] or [`resp`] constant).
+    pub kind: u8,
+    /// Client-chosen correlation id, echoed by the server.
+    pub request_id: u32,
+    /// Undecoded frame body.
+    pub body: Vec<u8>,
+}
+
+impl Frame {
+    /// Total bytes this frame occupies on the wire (length prefix
+    /// included) — what the traffic counters account.
+    pub fn wire_len(&self) -> u64 {
+        4 + 1 + 4 + self.body.len() as u64
+    }
+}
+
+fn finish_frame(kind: u8, request_id: u32, body: &BytesMut) -> Vec<u8> {
+    let mut out = BytesMut::with_capacity(body.len() + 9);
+    out.put_u32_le((body.len() + 5) as u32);
+    out.put_u8(kind);
+    out.put_u32_le(request_id);
+    out.put_slice(body);
+    out.to_vec()
+}
+
+fn expect_drained(buf: &impl Buf) -> Result<()> {
+    if buf.remaining() != 0 {
+        return Err(WireError(format!(
+            "{} trailing bytes after frame body",
+            buf.remaining()
+        )));
+    }
+    Ok(())
+}
+
+/// Read one frame off a stream. Returns `Ok(None)` on a clean end of
+/// stream (the peer closed between frames); a close mid-frame is an error.
+pub fn read_frame(r: &mut impl std::io::Read) -> std::io::Result<Option<Frame>> {
+    use std::io::{Error, ErrorKind};
+
+    let mut len_bytes = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_bytes[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => {
+                return Err(Error::new(
+                    ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                ))
+            }
+            n => filled += n,
+        }
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if !(5..=MAX_FRAME).contains(&len) {
+        return Err(Error::new(
+            ErrorKind::InvalidData,
+            format!("invalid frame length {len}"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    let kind = payload[0];
+    let request_id = u32::from_le_bytes([payload[1], payload[2], payload[3], payload[4]]);
+    payload.drain(..5);
+    Ok(Some(Frame {
+        kind,
+        request_id,
+        body: payload,
+    }))
+}
+
+/// Parse an encoded frame back out of a byte buffer (test and loopback
+/// helper; network paths use [`read_frame`]).
+pub fn parse_frame(bytes: &[u8]) -> Result<Frame> {
+    let mut cursor = bytes;
+    match read_frame(&mut cursor) {
+        Ok(Some(f)) if cursor.is_empty() => Ok(f),
+        Ok(Some(_)) => Err(WireError("trailing bytes after frame".into())),
+        Ok(None) => Err(WireError("empty buffer".into())),
+        Err(e) => Err(WireError(e.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(request: &Request) {
+        let bytes = encode_request(7, request);
+        let frame = parse_frame(&bytes).unwrap();
+        assert_eq!(frame.request_id, 7);
+        assert_eq!(frame.wire_len(), bytes.len() as u64);
+        assert_eq!(&decode_request(&frame).unwrap(), request);
+    }
+
+    fn roundtrip_reply(reply: &Reply) {
+        let bytes = encode_reply(41, reply);
+        let frame = parse_frame(&bytes).unwrap();
+        assert_eq!(frame.request_id, 41);
+        assert_eq!(&decode_reply(&frame).unwrap(), reply);
+    }
+
+    fn sample_valuation() -> Valuation {
+        let mut v = Valuation::new();
+        v.bind(Var::new(3, "s"), Value::from("5A"));
+        v.bind(Var::new(9, "f"), Value::from(123));
+        v.bind(Var::new(11, "ok"), Value::from(true));
+        v
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_request(&Request::Execute {
+            sql: "SHOW METRICS".into(),
+        });
+        roundtrip_request(&Request::Prepare {
+            stmt: 5,
+            sql: "SELECT * FROM R(?, @x)".into(),
+        });
+        roundtrip_request(&Request::Bind {
+            stmt: 5,
+            bound: 8,
+            params: vec![Value::from(1), Value::from("a"), Value::from(false)],
+        });
+        roundtrip_request(&Request::Run { bound: 8 });
+    }
+
+    #[test]
+    fn every_reply_variant_roundtrips() {
+        roundtrip_reply(&Reply::Engine(Response::Rows(vec![
+            sample_valuation(),
+            Valuation::new(),
+        ])));
+        roundtrip_reply(&Reply::Engine(Response::Worlds(vec![
+            vec![sample_valuation()],
+            vec![],
+        ])));
+        roundtrip_reply(&Reply::Engine(Response::Committed(99)));
+        roundtrip_reply(&Reply::Engine(Response::Aborted));
+        roundtrip_reply(&Reply::Engine(Response::Written(true)));
+        roundtrip_reply(&Reply::Engine(Response::Written(false)));
+        roundtrip_reply(&Reply::Engine(Response::Grounded(17)));
+        roundtrip_reply(&Reply::Engine(Response::Pending(vec![1, 2, 30])));
+        roundtrip_reply(&Reply::Engine(Response::Ack));
+        let engine = Metrics {
+            submitted: 12,
+            parses: 4,
+            max_pending: 6,
+            ..Metrics::default()
+        };
+        roundtrip_reply(&Reply::Stats {
+            engine: Box::new(engine),
+            server: ServerStats {
+                connections: 3,
+                frames_decoded: 120,
+                bytes_in: 4096,
+                bytes_out: 8192,
+                statement_classes: vec![("INSERT".into(), 10), ("SELECT".into(), 7)],
+            },
+        });
+        roundtrip_reply(&Reply::Prepared { stmt: 2, params: 6 });
+        roundtrip_reply(&Reply::Bound { bound: 4 });
+        roundtrip_reply(&Reply::Error {
+            code: code::LOGIC,
+            message: "parse error at byte 0: nope".into(),
+        });
+    }
+
+    #[test]
+    fn engine_metrics_reply_defaults_server_stats() {
+        let bytes = encode_reply(0, &Reply::Engine(Response::Metrics(Box::default())));
+        let frame = parse_frame(&bytes).unwrap();
+        let Reply::Stats { server, .. } = decode_reply(&frame).unwrap() else {
+            panic!("metrics must decode as Stats");
+        };
+        assert_eq!(server, ServerStats::default());
+    }
+
+    #[test]
+    fn bounded_encoder_degrades_oversized_replies_into_typed_errors() {
+        // Element-count breach: decoding the raw encode would fail with
+        // "implausible pending count"; the bounded encoder turns it into
+        // an ERROR frame the client can surface.
+        let huge = Reply::Engine(Response::Pending(vec![0; MAX_COUNT + 1]));
+        let frame = parse_frame(&encode_reply_bounded(3, &huge)).unwrap();
+        let Reply::Error { code, message } = decode_reply(&frame).unwrap() else {
+            panic!("oversized reply must degrade into an error");
+        };
+        assert_eq!(code, code::PROTOCOL);
+        assert!(message.contains("LIMIT"), "{message}");
+        // Byte-size breach: a single row holding a string that alone
+        // exceeds the frame cap.
+        let mut fat = Valuation::new();
+        fat.bind(Var::new(0, "x"), Value::from("y".repeat(MAX_FRAME)));
+        let frame = parse_frame(&encode_reply_bounded(
+            4,
+            &Reply::Engine(Response::Rows(vec![fat])),
+        ))
+        .unwrap();
+        assert!(matches!(
+            decode_reply(&frame).unwrap(),
+            Reply::Error {
+                code: code::PROTOCOL,
+                ..
+            }
+        ));
+        // In-bounds replies pass through unchanged.
+        let ok = Reply::Engine(Response::Ack);
+        assert_eq!(encode_reply_bounded(5, &ok), encode_reply(5, &ok));
+    }
+
+    #[test]
+    fn truncation_yields_errors_not_panics() {
+        let bytes = encode_reply(1, &Reply::Engine(Response::Rows(vec![sample_valuation()])));
+        // Cut the *body* at every length while keeping the header sane.
+        let frame = parse_frame(&bytes).unwrap();
+        for cut in 0..frame.body.len() {
+            let hurt = Frame {
+                body: frame.body[..cut].to_vec(),
+                ..frame.clone()
+            };
+            assert!(decode_reply(&hurt).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let bytes = encode_request(1, &Request::Run { bound: 2 });
+        let mut frame = parse_frame(&bytes).unwrap();
+        frame.body.push(0);
+        assert!(decode_request(&frame).is_err());
+    }
+
+    #[test]
+    fn unknown_kinds_rejected() {
+        let frame = Frame {
+            kind: 0x77,
+            request_id: 0,
+            body: vec![],
+        };
+        assert!(decode_request(&frame).is_err());
+        assert!(decode_reply(&frame).is_err());
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected() {
+        let mut bytes = ((MAX_FRAME + 1) as u32).to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[0; 16]);
+        assert!(parse_frame(&bytes).is_err());
+        // Zero / impossible lengths too.
+        assert!(parse_frame(&[0, 0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn mid_frame_eof_is_an_error_but_clean_eof_is_none() {
+        let bytes = encode_request(1, &Request::Execute { sql: "X".into() });
+        let mut cursor: &[u8] = &bytes[..bytes.len() - 1];
+        assert!(read_frame(&mut cursor).is_err());
+        let mut empty: &[u8] = &[];
+        assert!(matches!(read_frame(&mut empty), Ok(None)));
+    }
+
+    #[test]
+    fn error_codes_cover_engine_errors() {
+        let e = EngineError::Logic(qdb_logic::LogicError::Codec("x".into()));
+        assert_eq!(code_for(&e), code::LOGIC);
+        let e = EngineError::Storage(qdb_storage::StorageError::NoSuchTable("T".into()));
+        assert_eq!(code_for(&e), code::STORAGE);
+        assert_eq!(
+            code_for(&EngineError::Invariant("x".into())),
+            code::INVARIANT
+        );
+        assert_eq!(
+            code_for(&EngineError::RecoveryUnsatisfiable { txn: 0 }),
+            code::RECOVERY
+        );
+    }
+}

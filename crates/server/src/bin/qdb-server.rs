@@ -1,0 +1,69 @@
+//! The `qdb-server` binary: serve a quantum database over TCP.
+//!
+//! ```text
+//! qdb-server [--addr HOST:PORT] [--workers N] [--k N] [--no-partitioning]
+//! ```
+//!
+//! Defaults: `--addr 127.0.0.1:5433`, `--workers 4`, engine defaults
+//! (k = 61, partitioning and solution cache on). The process serves until
+//! killed; state is in-memory (a WAL-backed mode rides on the embedding
+//! API — see `Server::spawn_with_db`).
+
+use qdb_core::QuantumDbConfig;
+use qdb_server::{Server, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!("usage: qdb-server [--addr HOST:PORT] [--workers N] [--k N] [--no-partitioning]");
+    std::process::exit(2);
+}
+
+fn parse_args() -> ServerConfig {
+    let mut cfg = ServerConfig {
+        addr: "127.0.0.1:5433".to_string(),
+        workers: 4,
+        engine: QuantumDbConfig::default(),
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| args.get(i + 1).cloned().unwrap_or_else(|| usage());
+        match args[i].as_str() {
+            "--addr" => {
+                cfg.addr = value(i);
+                i += 1;
+            }
+            "--workers" => {
+                cfg.workers = value(i).parse().unwrap_or_else(|_| usage());
+                i += 1;
+            }
+            "--k" => {
+                cfg.engine.k = value(i).parse().unwrap_or_else(|_| usage());
+                i += 1;
+            }
+            "--no-partitioning" => cfg.engine.partitioning = false,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    cfg
+}
+
+fn main() {
+    let cfg = parse_args();
+    let workers = cfg.workers;
+    let handle = match Server::spawn(&cfg) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("qdb-server: cannot serve on {}: {e}", cfg.addr);
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "qdb-server listening on {} ({} workers, k={})",
+        handle.addr(),
+        workers,
+        cfg.engine.k
+    );
+    handle.wait();
+}

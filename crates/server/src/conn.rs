@@ -1,0 +1,221 @@
+//! Per-connection state and request handling.
+//!
+//! Each accepted socket gets one [`Conn`]: a server-side
+//! [`Session`] (with its prepared-statement LRU), the connection's
+//! prepared/bound id maps, a frame queue, and a write half. A dedicated
+//! reader thread decodes frames into the queue; execution happens on the
+//! shared worker pool. Per-connection ordering is preserved by the
+//! `scheduled` flag: a connection is enqueued on the pool at most once at
+//! a time, and the worker that picks it up drains its queue sequentially.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+use qdb_core::wire::{self, Frame, Reply, Request};
+use qdb_core::{Bound, Response, Session};
+
+use crate::metrics::ServerMetrics;
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Frames waiting to be executed, plus the scheduling flag that keeps one
+/// worker at a time draining them (per-connection order).
+#[derive(Default)]
+struct FrameQueue {
+    frames: VecDeque<Frame>,
+    scheduled: bool,
+}
+
+/// Statement state of one connection: the session plus the client-id maps.
+struct StmtState {
+    session: Session,
+    prepared: BTreeMap<u32, qdb_core::Prepared>,
+    bound: BTreeMap<u32, Bound>,
+}
+
+/// One client connection.
+pub(crate) struct Conn {
+    stream: TcpStream,
+    write: Mutex<TcpStream>,
+    queue: Mutex<FrameQueue>,
+    stmts: Mutex<StmtState>,
+    metrics: Arc<ServerMetrics>,
+}
+
+impl Conn {
+    /// Wrap an accepted stream. `write` is a `try_clone` of the socket so
+    /// the reader thread keeps the original for its blocking reads.
+    pub(crate) fn new(
+        stream: TcpStream,
+        write: TcpStream,
+        session: Session,
+        metrics: Arc<ServerMetrics>,
+    ) -> Self {
+        Conn {
+            stream,
+            write: Mutex::new(write),
+            queue: Mutex::new(FrameQueue::default()),
+            stmts: Mutex::new(StmtState {
+                session,
+                prepared: BTreeMap::new(),
+                bound: BTreeMap::new(),
+            }),
+            metrics,
+        }
+    }
+
+    /// Tear the socket down (unblocks the reader thread's pending read).
+    pub(crate) fn close(&self) {
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+    }
+
+    /// Enqueue a decoded frame; returns `true` when the connection was
+    /// idle and must now be handed to the worker pool.
+    pub(crate) fn enqueue(&self, frame: Frame) -> bool {
+        let mut q = lock(&self.queue);
+        q.frames.push_back(frame);
+        if q.scheduled {
+            false
+        } else {
+            q.scheduled = true;
+            true
+        }
+    }
+
+    /// Frames waiting to execute (the reader throttles on this so a fast
+    /// pipelining client cannot grow server memory without bound).
+    pub(crate) fn queued(&self) -> usize {
+        lock(&self.queue).frames.len()
+    }
+
+    /// Drain the frame queue, executing each request in arrival order.
+    /// Runs on a worker thread; returns when the queue is empty (the
+    /// reader will reschedule on the next frame).
+    pub(crate) fn drain(self: &Arc<Self>) {
+        loop {
+            let frame = {
+                let mut q = lock(&self.queue);
+                match q.frames.pop_front() {
+                    Some(f) => f,
+                    None => {
+                        q.scheduled = false;
+                        return;
+                    }
+                }
+            };
+            let reply = self.handle_frame(&frame);
+            // Bounded: an oversized result degrades into a typed error
+            // frame instead of a transport failure at the client.
+            let bytes = wire::encode_reply_bounded(frame.request_id, &reply);
+            let ok = {
+                let mut w = lock(&self.write);
+                w.write_all(&bytes).and_then(|_| w.flush()).is_ok()
+            };
+            if ok {
+                self.metrics.bytes_out(bytes.len() as u64);
+            }
+            // A failed write means the client is gone; keep draining so
+            // the queue empties and the connection can be collected.
+        }
+    }
+
+    fn handle_frame(&self, frame: &Frame) -> Reply {
+        match wire::decode_request(frame) {
+            Ok(request) => self.handle_request(request),
+            Err(e) => Reply::Error {
+                code: wire::code::PROTOCOL,
+                message: e.to_string(),
+            },
+        }
+    }
+
+    fn handle_request(&self, request: Request) -> Reply {
+        let mut stmts = lock(&self.stmts);
+        match request {
+            Request::Execute { sql } => {
+                // The session's statement cache makes repeated EXECUTE of
+                // identical text parse once, and hands us the statement
+                // class for per-class accounting.
+                let prepared = match stmts.session.prepare(&sql) {
+                    Ok(p) => p,
+                    Err(e) => return engine_error(e),
+                };
+                if prepared.param_count() > 0 {
+                    return Reply::Error {
+                        code: wire::code::PARAMS,
+                        message: format!(
+                            "EXECUTE carries no parameters but the statement has {} placeholder(s); use PREPARE/BIND/RUN",
+                            prepared.param_count()
+                        ),
+                    };
+                }
+                self.metrics.statement(prepared.kind());
+                self.respond(prepared.run())
+            }
+            Request::Prepare { stmt, sql } => match stmts.session.prepare(&sql) {
+                Ok(p) => {
+                    let params = p.param_count() as u32;
+                    // Client-assigned ids: re-preparing under the same id
+                    // replaces the old statement (like SQL `PREPARE`).
+                    stmts.prepared.insert(stmt, p);
+                    Reply::Prepared { stmt, params }
+                }
+                Err(e) => engine_error(e),
+            },
+            Request::Bind {
+                stmt,
+                bound,
+                params,
+            } => {
+                let Some(prepared) = stmts.prepared.get(&stmt) else {
+                    return unknown_id("statement", stmt);
+                };
+                match prepared.bind(&params) {
+                    Ok(b) => {
+                        stmts.bound.insert(bound, b);
+                        Reply::Bound { bound }
+                    }
+                    Err(e) => engine_error(e),
+                }
+            }
+            Request::Run { bound } => {
+                let Some(b) = stmts.bound.remove(&bound) else {
+                    return unknown_id("bound statement", bound);
+                };
+                self.metrics.statement(b.statement().kind());
+                self.respond(b.run())
+            }
+        }
+    }
+
+    /// Map an execution outcome onto the wire, attaching server stats to
+    /// `SHOW METRICS` responses.
+    fn respond(&self, result: qdb_core::Result<Response>) -> Reply {
+        match result {
+            Ok(Response::Metrics(engine)) => Reply::Stats {
+                engine,
+                server: self.metrics.snapshot(),
+            },
+            Ok(r) => Reply::Engine(r),
+            Err(e) => engine_error(e),
+        }
+    }
+}
+
+fn engine_error(e: qdb_core::EngineError) -> Reply {
+    Reply::Error {
+        code: wire::code_for(&e),
+        message: e.to_string(),
+    }
+}
+
+fn unknown_id(what: &str, id: u32) -> Reply {
+    Reply::Error {
+        code: wire::code::UNKNOWN_ID,
+        message: format!("no {what} with id {id} on this connection"),
+    }
+}

@@ -1,0 +1,406 @@
+//! # qdb-server
+//!
+//! The network service layer of the quantum database: a TCP server
+//! speaking the [`qdb_core::wire`] protocol over plain `std::net`, putting
+//! the paper's middle-tier service (§2's booking scenarios assume many
+//! concurrent users against contested resources) in front of the engine.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!            ┌───────────────┐   accept    ┌─ reader thread (1/conn) ─┐
+//! clients ──▶│ listener thrd │────────────▶│ read_frame → conn queue  │
+//!            └───────────────┘             └─────────────┬────────────┘
+//!                                                        │ schedule
+//!                                          ┌─────────────▼────────────┐
+//!                                          │  fixed worker pool (N)   │
+//!                                          │  drain queue in order,   │
+//!                                          │  execute via Session,    │
+//!                                          │  write replies           │
+//!                                          └─────────────┬────────────┘
+//!                                                        ▼
+//!                                               SharedQuantumDb
+//! ```
+//!
+//! Each connection owns a server-side [`qdb_core::Session`] (prepared
+//! statements, LRU statement cache) and may pipeline many frames; the
+//! scheduling discipline guarantees responses come back in request order
+//! per connection while different connections execute on different
+//! workers. Every engine error is encoded as an `ERROR` frame — a bad
+//! statement can never take the server down.
+//!
+//! ```no_run
+//! use qdb_core::{QuantumDb, QuantumDbConfig};
+//! use qdb_server::{Server, ServerConfig};
+//!
+//! let handle = Server::spawn(&ServerConfig::default()).unwrap();
+//! println!("serving on {}", handle.addr());
+//! handle.shutdown();
+//! ```
+
+mod conn;
+pub mod metrics;
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, Mutex, PoisonError, Weak};
+use std::thread::JoinHandle;
+
+use qdb_core::wire::ServerStats;
+use qdb_core::{QuantumDb, QuantumDbConfig, SharedQuantumDb};
+
+use conn::Conn;
+pub use metrics::ServerMetrics;
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port `0` picks a free port (loopback tests).
+    pub addr: String,
+    /// Worker threads executing statements (≥ 1).
+    pub workers: usize,
+    /// Engine configuration for the owned database.
+    pub engine: QuantumDbConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            engine: QuantumDbConfig::default(),
+        }
+    }
+}
+
+enum Job {
+    Conn(Arc<Conn>),
+    Shutdown,
+}
+
+/// The server entry points.
+pub struct Server;
+
+impl Server {
+    /// Build a fresh engine from `cfg.engine` and serve it.
+    pub fn spawn(cfg: &ServerConfig) -> io::Result<ServerHandle> {
+        let db = QuantumDb::new(cfg.engine.clone())
+            .map_err(|e| io::Error::other(format!("engine construction: {e}")))?
+            .into_shared();
+        Server::spawn_with_db(&cfg.addr, cfg.workers, db)
+    }
+
+    /// Serve an existing shared engine (embedding: pre-install schemas and
+    /// data, keep a local handle next to the network endpoint).
+    pub fn spawn_with_db(
+        addr: &str,
+        workers: usize,
+        db: SharedQuantumDb,
+    ) -> io::Result<ServerHandle> {
+        let workers = workers.max(1);
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let metrics = Arc::new(ServerMetrics::default());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (job_tx, job_rx) = mpsc::channel::<Job>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+
+        let worker_handles: Vec<JoinHandle<()>> = (0..workers)
+            .map(|i| {
+                let rx = Arc::clone(&job_rx);
+                std::thread::Builder::new()
+                    .name(format!("qdb-worker-{i}"))
+                    .spawn(move || worker_loop(&rx))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+
+        let conns: Arc<Mutex<Vec<Weak<Conn>>>> = Arc::new(Mutex::new(Vec::new()));
+        let readers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let listener_handle = {
+            let db = db.clone();
+            let metrics = Arc::clone(&metrics);
+            let shutdown = Arc::clone(&shutdown);
+            let conns = Arc::clone(&conns);
+            let readers = Arc::clone(&readers);
+            let job_tx = job_tx.clone();
+            std::thread::Builder::new()
+                .name("qdb-listener".to_string())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        if let Ok(reader) =
+                            accept(stream, &db, &metrics, &conns, &job_tx, &shutdown)
+                        {
+                            let mut list = lock(&readers);
+                            // Reap readers whose connections already
+                            // ended, so handles do not accumulate over a
+                            // long-lived server's lifetime.
+                            list.retain(|h: &JoinHandle<()>| !h.is_finished());
+                            list.push(reader);
+                        }
+                    }
+                })
+                .expect("spawn listener thread")
+        };
+
+        Ok(ServerHandle {
+            addr: local_addr,
+            db,
+            metrics,
+            shutdown,
+            job_tx,
+            listener: Some(listener_handle),
+            workers: worker_handles,
+            conns,
+            readers,
+        })
+    }
+}
+
+/// Set up one accepted connection: register it and start its reader
+/// thread. Returns the reader's join handle.
+fn accept(
+    stream: TcpStream,
+    db: &SharedQuantumDb,
+    metrics: &Arc<ServerMetrics>,
+    conns: &Arc<Mutex<Vec<Weak<Conn>>>>,
+    job_tx: &Sender<Job>,
+    shutdown: &Arc<AtomicBool>,
+) -> io::Result<JoinHandle<()>> {
+    let _ = stream.set_nodelay(true);
+    let write = stream.try_clone()?;
+    metrics.connection();
+    let conn = Arc::new(Conn::new(
+        stream.try_clone()?,
+        write,
+        db.session(),
+        Arc::clone(metrics),
+    ));
+    {
+        let mut list = lock(conns);
+        list.retain(|w| w.strong_count() > 0); // collect dead entries
+        list.push(Arc::downgrade(&conn));
+    }
+    let metrics = Arc::clone(metrics);
+    let job_tx = job_tx.clone();
+    let shutdown = Arc::clone(shutdown);
+    std::thread::Builder::new()
+        .name("qdb-reader".to_string())
+        .spawn(move || reader_loop(stream, conn, &metrics, &job_tx, &shutdown))
+}
+
+/// A reader stops pulling frames off its socket while this many are
+/// already queued for execution — backpressure propagates to the client
+/// through the TCP window instead of growing server memory.
+const MAX_QUEUED_FRAMES: usize = 256;
+
+/// Decode frames off one socket until EOF/error, handing them to the pool.
+fn reader_loop(
+    mut stream: TcpStream,
+    conn: Arc<Conn>,
+    metrics: &ServerMetrics,
+    job_tx: &Sender<Job>,
+    shutdown: &AtomicBool,
+) {
+    // A clean EOF or any transport error ends the connection.
+    while let Ok(Some(frame)) = qdb_core::wire::read_frame(&mut stream) {
+        metrics.frame_in(frame.wire_len());
+        if conn.enqueue(frame) {
+            // The connection was idle: schedule it. A send error means
+            // the pool is gone (shutdown) — stop reading.
+            if job_tx.send(Job::Conn(Arc::clone(&conn))).is_err() {
+                break;
+            }
+        }
+        // Backpressure: a pipelining client that outruns the workers is
+        // left sitting in its socket buffer until the queue drains.
+        while conn.queued() >= MAX_QUEUED_FRAMES && !shutdown.load(Ordering::SeqCst) {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    }
+}
+
+/// Wait for the next job. The receiver guard is scoped to this call so
+/// workers hold the lock only while waiting, never while executing.
+fn next_job(rx: &Mutex<Receiver<Job>>) -> Option<Job> {
+    lock(rx).recv().ok()
+}
+
+fn worker_loop(rx: &Arc<Mutex<Receiver<Job>>>) {
+    while let Some(job) = next_job(rx) {
+        match job {
+            Job::Conn(conn) => conn.drain(),
+            Job::Shutdown => break,
+        }
+    }
+}
+
+/// A running server. Dropping the handle shuts the server down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    db: SharedQuantumDb,
+    metrics: Arc<ServerMetrics>,
+    shutdown: Arc<AtomicBool>,
+    job_tx: Sender<Job>,
+    listener: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<Weak<Conn>>>>,
+    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the actual port when `:0` was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The served engine — embedders can install schemas or inspect state
+    /// directly while the server is live.
+    pub fn db(&self) -> &SharedQuantumDb {
+        &self.db
+    }
+
+    /// Snapshot of the server-side traffic counters.
+    pub fn stats(&self) -> ServerStats {
+        self.metrics.snapshot()
+    }
+
+    /// Block until the listener thread exits (i.e. serve forever; used by
+    /// the `qdb-server` binary).
+    pub fn wait(mut self) {
+        if let Some(h) = self.listener.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Stop accepting, close live connections, drain queued work, and
+    /// join every thread.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock `accept` so the listener observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.listener.take() {
+            let _ = h.join();
+        }
+        // Close sockets → readers unblock and exit.
+        for conn in lock(&self.conns).iter().filter_map(Weak::upgrade) {
+            conn.close();
+        }
+        for reader in lock(&self.readers).drain(..) {
+            let _ = reader.join();
+        }
+        // Sentinels queue *behind* any remaining work, so workers finish
+        // in-flight statements before exiting.
+        for _ in 0..self.workers.len() {
+            let _ = self.job_tx.send(Job::Shutdown);
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("addr", &self.addr)
+            .field("workers", &self.workers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdb_core::wire::{self, Reply, Request};
+    use qdb_core::Response;
+    use std::io::Write;
+
+    fn roundtrip(stream: &mut TcpStream, req: &Request) -> Reply {
+        stream.write_all(&wire::encode_request(1, req)).unwrap();
+        let frame = wire::read_frame(stream).unwrap().expect("reply frame");
+        assert_eq!(frame.request_id, 1);
+        wire::decode_reply(&frame).unwrap()
+    }
+
+    #[test]
+    fn spawn_execute_shutdown() {
+        let handle = Server::spawn(&ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        let reply = roundtrip(
+            &mut stream,
+            &Request::Execute {
+                sql: "CREATE TABLE T (a INT)".into(),
+            },
+        );
+        assert_eq!(reply, Reply::Engine(Response::Ack));
+        let reply = roundtrip(
+            &mut stream,
+            &Request::Execute {
+                sql: "CREATE TABLE T (a INT)".into(),
+            },
+        );
+        assert!(matches!(
+            reply,
+            Reply::Error {
+                code: wire::code::STORAGE,
+                ..
+            }
+        ));
+        drop(stream);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn garbage_frame_kind_gets_protocol_error_not_a_crash() {
+        let handle = Server::spawn(&ServerConfig::default()).unwrap();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        // Hand-build a frame with an unknown kind byte.
+        stream.write_all(&[5, 0, 0, 0, 0x77, 9, 0, 0, 0]).unwrap();
+        let frame = wire::read_frame(&mut stream).unwrap().unwrap();
+        assert_eq!(frame.request_id, 9);
+        let reply = wire::decode_reply(&frame).unwrap();
+        assert!(matches!(
+            reply,
+            Reply::Error {
+                code: wire::code::PROTOCOL,
+                ..
+            }
+        ));
+        // The connection survives for well-formed follow-ups.
+        let reply = roundtrip(
+            &mut stream,
+            &Request::Execute {
+                sql: "SHOW PENDING".into(),
+            },
+        );
+        assert_eq!(reply, Reply::Engine(Response::Pending(vec![])));
+        handle.shutdown();
+    }
+}

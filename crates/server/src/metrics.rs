@@ -1,0 +1,97 @@
+//! Server-side traffic counters.
+//!
+//! These complement the engine's own [`qdb_core::Metrics`]: the engine
+//! counts semantic events (commits, groundings, parses), the server counts
+//! wire traffic (connections, frames, bytes) and statements per class.
+//! A snapshot of both travels back on every `SHOW METRICS` response, so a
+//! remote client observes the full picture without a side channel.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use qdb_core::wire::ServerStats;
+
+/// Lock-free counters for the hot paths, a small mutex-guarded map for
+/// per-statement-class accounting (the class set is tiny and bounded by
+/// the grammar).
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    connections: AtomicU64,
+    frames_decoded: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    classes: Mutex<BTreeMap<&'static str, u64>>,
+}
+
+impl ServerMetrics {
+    /// Record an accepted connection.
+    pub fn connection(&self) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a request frame of `wire_len` total bytes read and decoded.
+    pub fn frame_in(&self, wire_len: u64) {
+        self.frames_decoded.fetch_add(1, Ordering::Relaxed);
+        self.bytes_in.fetch_add(wire_len, Ordering::Relaxed);
+    }
+
+    /// Record `n` bytes written to a client.
+    pub fn bytes_out(&self, n: u64) {
+        self.bytes_out.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record one executed statement of the given class
+    /// ([`qdb_logic::Statement::kind`]).
+    pub fn statement(&self, class: &'static str) {
+        *self
+            .classes
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .entry(class)
+            .or_insert(0) += 1;
+    }
+
+    /// Snapshot for the wire.
+    pub fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            connections: self.connections.load(Ordering::Relaxed),
+            frames_decoded: self.frames_decoded.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            statement_classes: self
+                .classes
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .iter()
+                .map(|(&k, &v)| (k.to_string(), v))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_all_counters() {
+        let m = ServerMetrics::default();
+        m.connection();
+        m.frame_in(100);
+        m.frame_in(28);
+        m.bytes_out(64);
+        m.statement("SELECT");
+        m.statement("SELECT");
+        m.statement("INSERT");
+        let s = m.snapshot();
+        assert_eq!(s.connections, 1);
+        assert_eq!(s.frames_decoded, 2);
+        assert_eq!(s.bytes_in, 128);
+        assert_eq!(s.bytes_out, 64);
+        assert_eq!(s.class("SELECT"), Some(2));
+        assert_eq!(s.class("INSERT"), Some(1));
+        assert_eq!(s.class("GROUND"), None);
+        assert_eq!(s.statements_total(), 3);
+    }
+}

@@ -26,6 +26,7 @@ pub mod is_baseline;
 pub mod metrics;
 pub mod mixed;
 pub mod orders;
+pub mod remote;
 pub mod rng;
 pub mod runner;
 
@@ -35,4 +36,5 @@ pub use is_baseline::IsClient;
 pub use metrics::{coordination_stats, CoordStats};
 pub use mixed::{build_mixed_workload, Op};
 pub use orders::{arrange, ArrivalOrder, Request};
+pub use remote::{run_remote, RemoteConfig, RemoteRunResult};
 pub use runner::{run_is, run_quantum, RunConfig, RunResult};

@@ -1,0 +1,69 @@
+//! The §2 entangled booking scenario over the network: a `qdb-server`
+//! owning the engine, Mickey and Goofy as two remote clients.
+//!
+//! ```text
+//! cargo run --example remote_booking
+//! ```
+
+use quantum_db::client::Connection;
+use quantum_db::server::{Server, ServerConfig};
+use quantum_db::{Response, Value};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A server on a free loopback port, owning a fresh engine.
+    let server = Server::spawn(&ServerConfig::default())?;
+    println!("server on {}", server.addr());
+
+    // An operator connection installs the schema and seats.
+    let mut admin = Connection::connect(server.addr())?;
+    for result in admin.pipeline(&[
+        "CREATE TABLE Available (flight INT, seat TEXT)",
+        "CREATE TABLE Bookings (name TEXT, flight INT, seat TEXT)",
+        "CREATE TABLE Adjacent (a TEXT, b TEXT)",
+        "INSERT INTO Available VALUES (123, '5A'), (123, '5B'), (123, '5C')",
+        "INSERT INTO Adjacent VALUES ('5A', '5B'), ('5B', '5C')",
+    ])? {
+        result?;
+    }
+
+    // Mickey and Goofy each hold their own connection and book "a seat,
+    // preferably next to my friend" — without choosing which.
+    let booking = "SELECT @s FROM Available(123, @s), \
+                   OPTIONAL Bookings(?, 123, @s2), OPTIONAL Adjacent(@s, @s2) \
+                   CHOOSE 1 \
+                   FOLLOWED BY (DELETE (123, @s) FROM Available; \
+                                INSERT (?, 123, @s) INTO Bookings)";
+    for (user, friend) in [("Mickey", "Goofy"), ("Goofy", "Mickey")] {
+        let mut conn = Connection::connect(server.addr())?;
+        let prepared = conn.prepare(booking)?;
+        let response = conn.bind_run(&prepared, &[Value::from(friend), Value::from(user)])?;
+        println!("{user}: {response}");
+        assert!(matches!(response, Response::Committed(_)));
+        // After Mickey's commit nothing is fixed yet — the database is in
+        // a quantum state. (Goofy's arrival completes the coordination
+        // pair, which grounds both under the default §5.1 policy.)
+        let pending = admin.execute("SHOW PENDING")?;
+        println!("  after {user}'s booking: {pending}");
+    }
+
+    // Both friends hold committed bookings; the reads observe the
+    // coordinated outcome — adjacent seats.
+    let mut mickey = Connection::connect(server.addr())?;
+    let rows = mickey.execute("SELECT @s FROM Bookings('Mickey', 123, @s)")?;
+    let goofy_rows = mickey.execute("SELECT @s FROM Bookings('Goofy', 123, @s)")?;
+    println!(
+        "after the read: Mickey {} seat(s), Goofy {} seat(s)",
+        rows.rows().unwrap().len(),
+        goofy_rows.rows().unwrap().len()
+    );
+    assert_eq!(rows.rows().unwrap().len(), 1);
+    assert_eq!(goofy_rows.rows().unwrap().len(), 1);
+
+    // The SHOW METRICS response carries the server's traffic counters too.
+    let (engine, wire) = admin.server_stats()?;
+    println!("engine: {engine}");
+    println!("server: {wire}");
+
+    server.shutdown();
+    Ok(())
+}

@@ -66,15 +66,28 @@
 //! # Ok::<(), quantum_db::core::EngineError>(())
 //! ```
 //!
+//! ## Client/server
+//!
+//! The same statement surface is reachable over TCP: [`server`] puts a
+//! worker-pool service in front of a [`SharedQuantumDb`] speaking the
+//! [`core::wire`] frame protocol, and [`client`] provides blocking
+//! connections with remote prepared statements, pipelining and a small
+//! pool. See `examples/remote_booking.rs` for the §2 scenario running
+//! across a socket.
+//!
 //! See the individual crates for internals:
 //! * [`storage`] — the relational substrate (tables, indexes, WAL).
 //! * [`logic`] — terms, unification, the statement grammar ([`logic::stmt`]).
 //! * [`solver`] — the consistent-grounding search and solution cache.
 //! * [`core`] — the quantum database engine and the `execute()` layer.
-//! * [`workload`] — experiment workloads and the intelligent-social baseline.
+//! * [`server`] / [`client`] — the network service layer ([`core::wire`]).
+//! * [`workload`] — experiment workloads, the intelligent-social baseline,
+//!   and the networked load driver ([`workload::remote`]).
 
+pub use qdb_client as client;
 pub use qdb_core as core;
 pub use qdb_logic as logic;
+pub use qdb_server as server;
 pub use qdb_solver as solver;
 pub use qdb_storage as storage;
 pub use qdb_workload as workload;

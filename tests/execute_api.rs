@@ -251,9 +251,9 @@ fn sessions_prepare_once_and_rebind() {
         .unwrap()
         .parses;
     // The baseline SHOW already counted itself; since then only the
-    // prepare and the second SHOW parsed — the three bound runs never
-    // touched the parser.
-    assert_eq!(after, baseline + 2);
+    // prepare parsed — the three bound runs never touched the parser,
+    // and the second SHOW was served from the session's statement cache.
+    assert_eq!(after, baseline + 1);
 
     // Unbound or mis-bound parameters are typed errors.
     assert!(book.run().is_err());
