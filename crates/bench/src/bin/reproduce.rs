@@ -1,7 +1,7 @@
 //! Regenerate every table and figure of the paper's evaluation (§5).
 //!
 //! ```text
-//! reproduce [table1|fig5|fig6|fig7|table2|fig8|fig9|phase|all]
+//! reproduce [table1|fig5|fig6|fig7|table2|fig8|fig9|phase|partition_scaling|all]
 //!           [--scale full|smoke] [--json]
 //! ```
 //!
@@ -53,8 +53,17 @@ fn main() {
         }
         i += 1;
     }
-    const KNOWN: [&str; 9] = [
-        "all", "table1", "fig5", "fig6", "fig7", "table2", "fig8", "fig9", "phase",
+    const KNOWN: [&str; 10] = [
+        "all",
+        "table1",
+        "fig5",
+        "fig6",
+        "fig7",
+        "table2",
+        "fig8",
+        "fig9",
+        "phase",
+        "partition_scaling",
     ];
     if !KNOWN.contains(&which.as_str()) {
         eprintln!(
@@ -81,6 +90,9 @@ fn main() {
     if run_all || which == "phase" {
         records.push(phase());
     }
+    if run_all || which == "partition_scaling" {
+        records.push(partition_scaling_report(scale, seed));
+    }
     if json {
         let doc = Json::obj([
             ("suite", jstr("quantum-db reproduce")),
@@ -97,6 +109,83 @@ fn main() {
             }
         }
     }
+}
+
+fn partition_scaling_report(scale: Scale, seed: u64) -> Json {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let (flights_per_worker, rows, pairs, sweep): (usize, usize, usize, Vec<usize>) = match scale {
+        Scale::Full => (4, 8, 6, vec![1, 2, 4]),
+        Scale::Smoke => (1, 4, 3, vec![1, 2]),
+    };
+    println!("== Partition scaling: disjoint workload vs server workers ==");
+    println!(
+        "(sharded engine vs coarse-lock ablation; {cores} CPU core(s) visible —\n\
+         wall-clock speedup is capped by the core count)\n"
+    );
+    let rows_out = partition_scaling(flights_per_worker, rows, pairs, &sweep, seed);
+    let table: Vec<Vec<String>> = rows_out
+        .iter()
+        .map(|r| {
+            vec![
+                r.label.clone(),
+                r.workers.to_string(),
+                r.ops.to_string(),
+                format!("{:.4}", r.seconds),
+                format!("{:.0}", r.throughput),
+                r.solve_peak.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &[
+                "engine",
+                "workers",
+                "ops",
+                "seconds",
+                "bookings/s",
+                "solve-peak"
+            ],
+            &table
+        )
+    );
+    let tp = |label: &str, workers: usize| {
+        rows_out
+            .iter()
+            .find(|r| r.label == label && r.workers == workers)
+            .map(|r| r.throughput)
+            .unwrap_or(0.0)
+    };
+    let max_w = sweep.iter().copied().max().unwrap_or(1);
+    let sharded_speedup = tp("sharded", max_w) / tp("sharded", 1).max(f64::EPSILON);
+    let vs_coarse = tp("sharded", max_w) / tp("coarse-lock", max_w).max(f64::EPSILON);
+    println!(
+        "sharded {max_w}w vs sharded 1w: {sharded_speedup:.2}x; \
+         sharded vs coarse-lock at {max_w}w: {vs_coarse:.2}x\n"
+    );
+    Json::obj([
+        ("experiment", jstr("partition_scaling")),
+        ("cpu_cores", num(cores as f64)),
+        ("contention", jstr("disjoint-flights")),
+        (
+            "points",
+            Json::arr(rows_out.iter().map(|r| {
+                Json::obj([
+                    ("engine", jstr(r.label.clone())),
+                    ("workers", num(r.workers as f64)),
+                    ("ops", num(r.ops as f64)),
+                    ("seconds", num(r.seconds)),
+                    ("throughput_tps", num(r.throughput)),
+                    ("solver_concurrency_peak", num(r.solve_peak as f64)),
+                ])
+            })),
+        ),
+        ("speedup_sharded_maxw_vs_1w", num(sharded_speedup)),
+        ("speedup_sharded_vs_coarse_at_maxw", num(vs_coarse)),
+    ])
 }
 
 fn phase() -> Json {

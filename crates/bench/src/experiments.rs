@@ -1,6 +1,7 @@
 //! The §5 experiments, parameterized so the `reproduce` binary can run
 //! them at paper scale and the tests/benches at smoke scale.
 
+use qdb_workload::remote::{run_remote, ContentionProfile, RemoteConfig};
 use qdb_workload::{run_is, run_quantum, ArrivalOrder, FlightsConfig, RunConfig, RunResult};
 
 /// The four arrival orders of Table 1, with the paper's Random seed.
@@ -182,6 +183,7 @@ pub fn fig8_fig9_mixed(
                 pairs_per_flight,
                 order: ArrivalOrder::Random { seed },
                 n_reads,
+                scan_percent: 0,
                 seed,
                 engine: qdb_core::QuantumDbConfig::with_k(k),
             };
@@ -192,6 +194,72 @@ pub fn fig8_fig9_mixed(
                 read_seconds: res.read_time.as_secs_f64(),
                 update_seconds: res.update_time.as_secs_f64(),
                 coordination_percent: res.coordination_percent(),
+            });
+        }
+    }
+    out
+}
+
+/// One point of the partition-scaling experiment.
+#[derive(Debug, Clone)]
+pub struct PartitionScalingRow {
+    /// Engine variant: `"sharded"` (partition-parallel) or
+    /// `"coarse-lock"` (single-big-lock ablation).
+    pub label: String,
+    /// Server worker threads (== client connections).
+    pub workers: usize,
+    /// Booking operations executed.
+    pub ops: usize,
+    /// Wall-clock seconds for the booking phase.
+    pub seconds: f64,
+    /// Bookings per second.
+    pub throughput: f64,
+    /// High-water mark of simultaneously running solver sections — above
+    /// 1 proves partition-parallel overlap; the coarse-lock ablation can
+    /// never exceed 1.
+    pub solve_peak: u64,
+}
+
+/// Throughput of the networked booking workload on a **disjoint-partition
+/// key range** as the server worker count grows, for the sharded engine
+/// and the `coarse_lock` single-big-lock ablation.
+///
+/// The workload is fixed (`flights_per_worker × max(workers)` flights), so
+/// points are comparable across the sweep: each connection drives its own
+/// flight range ([`ContentionProfile::DisjointFlights`]), meaning no two
+/// connections ever share a §4 partition — the parallelism the sharded
+/// engine is built to exploit. On a multi-core host the sharded series
+/// scales with workers while the coarse-lock series stays flat; on a
+/// single core both are flat (record `cpu_cores` next to the numbers).
+pub fn partition_scaling(
+    flights_per_worker: usize,
+    rows_per_flight: usize,
+    pairs_per_flight: usize,
+    workers_sweep: &[usize],
+    seed: u64,
+) -> Vec<PartitionScalingRow> {
+    let max_workers = workers_sweep.iter().copied().max().unwrap_or(1);
+    let flights = FlightsConfig {
+        flights: flights_per_worker * max_workers,
+        rows_per_flight,
+    };
+    let mut out = Vec::new();
+    for &w in workers_sweep {
+        for coarse in [false, true] {
+            let mut cfg = RemoteConfig::new(flights, pairs_per_flight, w);
+            cfg.workers = w;
+            cfg.seed = seed;
+            cfg.contention = ContentionProfile::DisjointFlights;
+            cfg.engine.coarse_lock = coarse;
+            let res = run_remote(&cfg);
+            assert_eq!(res.aborted, 0, "disjoint workload must not abort");
+            out.push(PartitionScalingRow {
+                label: if coarse { "coarse-lock" } else { "sharded" }.to_string(),
+                workers: w,
+                ops: res.ops,
+                seconds: res.total.as_secs_f64(),
+                throughput: res.throughput,
+                solve_peak: res.solve_concurrency_peak,
             });
         }
     }
@@ -353,6 +421,29 @@ mod tests {
         );
         // Early admissions are easy (under-constrained).
         assert!(rows[0].nodes * 4 <= peak.nodes);
+    }
+
+    #[test]
+    fn partition_scaling_smoke_produces_comparable_points() {
+        let rows = partition_scaling(1, 4, 3, &[1, 2], 0xC1DE);
+        assert_eq!(rows.len(), 4); // {1,2} workers × {sharded, coarse}
+        for r in &rows {
+            assert_eq!(r.ops, 2 * 3 * 2, "fixed workload across sweep");
+            assert!(r.throughput > 0.0, "{}@{}w", r.label, r.workers);
+            if r.label == "coarse-lock" {
+                assert!(
+                    r.solve_peak <= 1,
+                    "coarse lock must serialize solver sections"
+                );
+            }
+        }
+        // Both engine variants exist at every worker count.
+        for w in [1usize, 2] {
+            assert!(rows.iter().any(|r| r.workers == w && r.label == "sharded"));
+            assert!(rows
+                .iter()
+                .any(|r| r.workers == w && r.label == "coarse-lock"));
+        }
     }
 
     #[test]

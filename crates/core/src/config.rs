@@ -81,6 +81,11 @@ pub struct QuantumDbConfig {
     /// Record an event trace (commit/abort/ground events) for tests and
     /// diagnostics.
     pub record_events: bool,
+    /// Serialize every statement of the *shared* handle through one global
+    /// mutex, reproducing the pre-sharding single-big-lock engine. Purely
+    /// an A/B ablation knob for the `partition_scaling` benchmark; leave
+    /// off to get partition-parallel execution.
+    pub coarse_lock: bool,
 }
 
 impl Default for QuantumDbConfig {
@@ -96,6 +101,7 @@ impl Default for QuantumDbConfig {
             solver_order: AtomOrder::default(),
             search_limits: SearchLimits::default(),
             record_events: false,
+            coarse_lock: false,
         }
     }
 }

@@ -5,7 +5,6 @@
 //! docs for the operation semantics and the paper mapping.
 
 use std::collections::BTreeSet;
-use std::sync::Arc;
 
 use qdb_logic::codec::encode_transaction;
 use qdb_logic::{Atom, Formula, ParsedQuery, ResourceTransaction, Valuation, Var, VarGen};
@@ -14,10 +13,11 @@ use qdb_storage::{ConjunctiveQuery, Database, LogRecord, Schema, Tuple, Wal, Wri
 
 use crate::config::QuantumDbConfig;
 use crate::entangle::coordination_partners;
-use crate::error::EngineError;
+
 use crate::ground::GroundReason;
 use crate::metrics::{Event, Metrics};
 use crate::partition::Partition;
+use crate::shard::SharedQuantumDb;
 use crate::txn::{PendingTxn, TxnId};
 use crate::Result;
 
@@ -247,75 +247,30 @@ impl QuantumDb {
             merged.extend(p.txns.iter().zip(p.cache.valuations.iter()));
         }
         merged.sort_by_key(|(p, _)| p.id);
-        let txn_refs: Vec<&ResourceTransaction> = merged.iter().map(|(p, _)| &p.txn).collect();
+        // Multi-solution cache (§4 discussion) alternatives are positional
+        // per partition, so they are only usable for a single target.
+        let extras: &[CachedSolution] = if targets.len() == 1 {
+            &self.partitions[&targets[0]].extras
+        } else {
+            &[]
+        };
 
-        let mut admitted: Option<Vec<Valuation>> = None;
-        let mut admitted_pre_ops: Option<Vec<WriteOp>> = None;
-        if self.config.use_solution_cache {
-            // Extend the (merged) cached solution with the newcomer only.
-            let mut pre_ops = Vec::with_capacity(merged.len() * 2);
-            for (p, v) in &merged {
-                pre_ops.extend(p.txn.write_ops(v)?);
-            }
-            if let Some(sol) =
-                self.solver
-                    .solve(&self.db, &pre_ops, &[TxnSpec::required_only(&txn)])?
-            {
-                let mut vals: Vec<Valuation> = merged.iter().map(|(_, v)| (*v).clone()).collect();
-                vals.extend(sol.valuations);
-                admitted = Some(vals);
-                admitted_pre_ops = Some(pre_ops);
-                self.metrics.cache_extensions += 1;
-            } else if targets.len() == 1 {
-                // Multi-solution cache (§4 discussion): before a full
-                // re-solve, try each alternative cached solution of the
-                // single target partition.
-                let extras = self.partitions[&targets[0]].extras.clone();
-                for extra in extras {
-                    if extra.len() != merged.len() {
-                        continue; // stale shape
-                    }
-                    let mut alt_ops = Vec::with_capacity(merged.len() * 2);
-                    let mut ok = true;
-                    for ((p, _), v) in merged.iter().zip(&extra.valuations) {
-                        match p.txn.write_ops(v) {
-                            Ok(ops) => alt_ops.extend(ops),
-                            Err(_) => {
-                                ok = false;
-                                break;
-                            }
-                        }
-                    }
-                    if !ok {
-                        continue;
-                    }
-                    if let Some(sol) =
-                        self.solver
-                            .solve(&self.db, &alt_ops, &[TxnSpec::required_only(&txn)])?
-                    {
-                        let mut vals = extra.valuations.clone();
-                        vals.extend(sol.valuations);
-                        admitted = Some(vals);
-                        admitted_pre_ops = Some(alt_ops);
-                        self.metrics.cache_extra_hits += 1;
-                        break;
-                    }
-                }
-            }
-        }
-        if admitted.is_none() {
-            // Full re-solve of the whole (merged + newcomer) sequence.
-            let mut specs: Vec<TxnSpec> =
-                txn_refs.iter().map(|t| TxnSpec::required_only(t)).collect();
-            specs.push(TxnSpec::required_only(&txn));
-            if let Some(sol) = self.solver.solve(&self.db, &[], &specs)? {
-                admitted = Some(sol.valuations);
-                self.metrics.cache_full_resolves += 1;
-            }
-        }
-        let Some(valuations) = admitted else {
+        let Some(plan) = plan_admission(
+            &mut self.solver,
+            &self.db,
+            &self.config,
+            &merged,
+            extras,
+            &txn,
+        )?
+        else {
             return Ok(None);
         };
+        match plan.path {
+            AdmitPath::Extension => self.metrics.cache_extensions += 1,
+            AdmitPath::ExtraHit => self.metrics.cache_extra_hits += 1,
+            AdmitPath::FullResolve => self.metrics.cache_full_resolves += 1,
+        }
 
         // Install: destructively merge target partitions, append newcomer.
         if targets.len() > 1 {
@@ -340,32 +295,10 @@ impl QuantumDb {
             })?;
         }
         host.txns.push(PendingTxn::new(id, txn));
-        host.cache = CachedSolution { valuations };
-        host.extras.clear();
-        // Opportunistically stock alternative solutions: same prefix,
-        // different groundings of the newcomer (cheap diversity where it
-        // matters most — the §4 "background process" idea folded into the
-        // admission path).
-        if self.config.cache_solutions > 1 {
-            if let Some(pre_ops) = admitted_pre_ops {
-                let newcomer = &host.txns.last().expect("just pushed").txn;
-                let alts = self.solver.enumerate_one(
-                    &self.db,
-                    &pre_ops,
-                    &TxnSpec::required_only(newcomer),
-                    self.config.cache_solutions,
-                )?;
-                let chosen = host.cache.valuations.last().expect("just pushed");
-                for alt in alts {
-                    if &alt == chosen || host.extras.len() + 1 >= self.config.cache_solutions {
-                        continue;
-                    }
-                    let mut vals = host.cache.valuations.clone();
-                    *vals.last_mut().expect("non-empty") = alt;
-                    host.extras.push(CachedSolution { valuations: vals });
-                }
-            }
-        }
+        host.cache = CachedSolution {
+            valuations: plan.valuations,
+        };
+        host.extras = plan.extras;
         debug_assert_eq!(host.txns.len(), host.cache.len());
         let pid = self.next_partition_id;
         self.next_partition_id += 1;
@@ -689,11 +622,9 @@ impl QuantumDb {
         Ok(())
     }
 
-    /// Wrap into a thread-safe shared handle.
+    /// Promote into the thread-safe, partition-sharded shared handle.
     pub fn into_shared(self) -> SharedQuantumDb {
-        SharedQuantumDb {
-            inner: Arc::new(crate::sync::Mutex::new(self)),
-        }
+        SharedQuantumDb::from_engine(self)
     }
 
     pub(crate) fn find_txn(&self, id: TxnId) -> Option<(u64, usize)> {
@@ -706,24 +637,7 @@ impl QuantumDb {
     }
 
     fn validate_schema(&self, txn: &ResourceTransaction) -> Result<()> {
-        let atoms = txn
-            .body
-            .iter()
-            .map(|b| &b.atom)
-            .chain(txn.updates.iter().map(|u| &u.atom));
-        for atom in atoms {
-            let table = self.db.table(&atom.relation)?;
-            if table.schema().arity() != atom.arity() {
-                return Err(EngineError::Storage(
-                    qdb_storage::StorageError::ArityMismatch {
-                        relation: atom.relation.to_string(),
-                        expected: table.schema().arity(),
-                        got: atom.arity(),
-                    },
-                ));
-            }
-        }
-        Ok(())
+        crate::shard::validate_schema_on(&self.db, txn)
     }
 }
 
@@ -758,49 +672,139 @@ pub(crate) fn eval_on(
         .collect())
 }
 
-/// A cloneable, thread-safe handle around [`QuantumDb`].
-///
-/// The paper's prototype is a single middle-tier service; concurrent
-/// clients serialize on this lock exactly as they would on the prototype's
-/// single composed-body state.
-#[derive(Clone)]
-pub struct SharedQuantumDb {
-    inner: Arc<crate::sync::Mutex<QuantumDb>>,
+/// Admission path taken by [`plan_admission`] (drives the cache metrics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AdmitPath {
+    /// The merged cached solution extended to cover the newcomer.
+    Extension,
+    /// An *alternative* cached solution rescued the admission after the
+    /// primary failed to extend (multi-solution cache, §4 discussion).
+    ExtraHit,
+    /// A full re-solve of the merged sequence was needed.
+    FullResolve,
 }
 
-impl SharedQuantumDb {
-    /// Submit a resource transaction.
-    pub fn submit(&self, txn: &ResourceTransaction) -> Result<SubmitOutcome> {
-        self.inner.lock().submit(txn)
-    }
+/// A successful admission plan: the new cache valuations for the merged
+/// partition (merged arrival order, newcomer last), opportunistic
+/// alternative solutions, and which cache path succeeded.
+///
+/// Planning is **pure** (reads the database and the merged partition view,
+/// mutates nothing), so the sharded engine can run it under a shared
+/// base-state read lock — concurrent admissions into disjoint partitions
+/// solve in parallel.
+#[derive(Debug)]
+pub(crate) struct AdmitPlan {
+    /// Cache valuations, parallel to merged transactions + the newcomer.
+    pub valuations: Vec<Valuation>,
+    /// Alternative cached solutions for the host partition.
+    pub extras: Vec<CachedSolution>,
+    /// Which admission path succeeded.
+    pub path: AdmitPath,
+}
 
-    /// Collapse-read.
-    pub fn read(&self, atoms: &[Atom], limit: Option<usize>) -> Result<Vec<Valuation>> {
-        self.inner.lock().read(atoms, limit)
+/// Plan admitting `txn` against the merged view of its target partitions:
+/// check the invariant over the union + the newcomer (cache extension
+/// first, then alternatives, then a full re-solve) and compute the new
+/// cache state. `merged` must be sorted by transaction id (arrival order);
+/// `extras` are the alternative cached solutions of the *single* target
+/// partition (pass `&[]` for zero or several targets — alternatives are
+/// positional and do not survive merges).
+pub(crate) fn plan_admission(
+    solver: &mut Solver,
+    db: &Database,
+    config: &QuantumDbConfig,
+    merged: &[(&PendingTxn, &Valuation)],
+    extras: &[CachedSolution],
+    txn: &ResourceTransaction,
+) -> Result<Option<AdmitPlan>> {
+    let mut admitted: Option<Vec<Valuation>> = None;
+    let mut admitted_pre_ops: Option<Vec<WriteOp>> = None;
+    let mut path = AdmitPath::FullResolve;
+    if config.use_solution_cache {
+        // Extend the (merged) cached solution with the newcomer only.
+        let mut pre_ops = Vec::with_capacity(merged.len() * 2);
+        for (p, v) in merged {
+            pre_ops.extend(p.txn.write_ops(v)?);
+        }
+        if let Some(sol) = solver.solve(db, &pre_ops, &[TxnSpec::required_only(txn)])? {
+            let mut vals: Vec<Valuation> = merged.iter().map(|(_, v)| (*v).clone()).collect();
+            vals.extend(sol.valuations);
+            admitted = Some(vals);
+            admitted_pre_ops = Some(pre_ops);
+            path = AdmitPath::Extension;
+        } else {
+            // Before a full re-solve, try each alternative cached solution.
+            for extra in extras {
+                if extra.len() != merged.len() {
+                    continue; // stale shape
+                }
+                let mut alt_ops = Vec::with_capacity(merged.len() * 2);
+                let mut ok = true;
+                for ((p, _), v) in merged.iter().zip(&extra.valuations) {
+                    match p.txn.write_ops(v) {
+                        Ok(ops) => alt_ops.extend(ops),
+                        Err(_) => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                if !ok {
+                    continue;
+                }
+                if let Some(sol) = solver.solve(db, &alt_ops, &[TxnSpec::required_only(txn)])? {
+                    let mut vals = extra.valuations.clone();
+                    vals.extend(sol.valuations);
+                    admitted = Some(vals);
+                    admitted_pre_ops = Some(alt_ops);
+                    path = AdmitPath::ExtraHit;
+                    break;
+                }
+            }
+        }
     }
-
-    /// Blind write.
-    pub fn write(&self, op: WriteOp) -> Result<bool> {
-        self.inner.lock().write(op)
+    if admitted.is_none() {
+        // Full re-solve of the whole (merged + newcomer) sequence.
+        let mut specs: Vec<TxnSpec> = merged
+            .iter()
+            .map(|(p, _)| TxnSpec::required_only(&p.txn))
+            .collect();
+        specs.push(TxnSpec::required_only(txn));
+        if let Some(sol) = solver.solve(db, &[], &specs)? {
+            admitted = Some(sol.valuations);
+            path = AdmitPath::FullResolve;
+        }
     }
-
-    /// Ground everything.
-    pub fn ground_all(&self) -> Result<()> {
-        self.inner.lock().ground_all()
+    let Some(valuations) = admitted else {
+        return Ok(None);
+    };
+    // Opportunistically stock alternative solutions: same prefix,
+    // different groundings of the newcomer (cheap diversity where it
+    // matters most — the §4 "background process" idea folded into the
+    // admission path).
+    let mut plan_extras = Vec::new();
+    if config.cache_solutions > 1 {
+        if let Some(pre_ops) = admitted_pre_ops {
+            let alts = solver.enumerate_one(
+                db,
+                &pre_ops,
+                &TxnSpec::required_only(txn),
+                config.cache_solutions,
+            )?;
+            let chosen = valuations.last().expect("newcomer valuation present");
+            for alt in alts {
+                if &alt == chosen || plan_extras.len() + 1 >= config.cache_solutions {
+                    continue;
+                }
+                let mut vals = valuations.clone();
+                *vals.last_mut().expect("non-empty") = alt;
+                plan_extras.push(CachedSolution { valuations: vals });
+            }
+        }
     }
-
-    /// Pending count snapshot.
-    pub fn pending_count(&self) -> usize {
-        self.inner.lock().pending_count()
-    }
-
-    /// Metrics snapshot.
-    pub fn metrics(&self) -> Metrics {
-        self.inner.lock().metrics().clone()
-    }
-
-    /// Run a closure with exclusive access to the engine.
-    pub fn with<R>(&self, f: impl FnOnce(&mut QuantumDb) -> R) -> R {
-        f(&mut self.inner.lock())
-    }
+    Ok(Some(AdmitPlan {
+        valuations,
+        extras: plan_extras,
+        path,
+    }))
 }

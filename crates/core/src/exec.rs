@@ -40,9 +40,10 @@ use qdb_logic::stmt::{ColumnRef, ReadMode, SelectStmt, Statement};
 use qdb_logic::{ParsedStatement, Valuation, Var};
 use qdb_storage::{Tuple, Value, WriteOp};
 
-use crate::engine::{QuantumDb, SharedQuantumDb, SubmitOutcome};
+use crate::engine::{QuantumDb, SubmitOutcome};
 use crate::error::EngineError;
 use crate::metrics::Metrics;
+use crate::shard::SharedQuantumDb;
 use crate::txn::TxnId;
 use crate::Result;
 
@@ -273,33 +274,130 @@ impl QuantumDb {
     }
 
     fn resolve_column(&self, relation: &str, column: &ColumnRef) -> Result<usize> {
-        match column {
-            ColumnRef::Position(p) => Ok(*p),
-            ColumnRef::Name(name) => {
-                let schema = self.db.table(relation)?.schema().clone();
-                schema
-                    .columns()
-                    .iter()
-                    .position(|c| &c.name == name)
-                    .ok_or_else(|| {
-                        EngineError::Storage(qdb_storage::StorageError::InvalidSchema(format!(
-                            "no column '{name}' on '{relation}'"
-                        )))
-                    })
-            }
+        resolve_column_on(&self.db, relation, column)
+    }
+}
+
+/// Resolve a `CREATE INDEX` column reference (name or position) against a
+/// schema.
+fn resolve_column_on(
+    db: &qdb_storage::Database,
+    relation: &str,
+    column: &ColumnRef,
+) -> Result<usize> {
+    match column {
+        ColumnRef::Position(p) => Ok(*p),
+        ColumnRef::Name(name) => {
+            let schema = db.table(relation)?.schema().clone();
+            schema
+                .columns()
+                .iter()
+                .position(|c| &c.name == name)
+                .ok_or_else(|| {
+                    EngineError::Storage(qdb_storage::StorageError::InvalidSchema(format!(
+                        "no column '{name}' on '{relation}'"
+                    )))
+                })
         }
     }
 }
 
 impl SharedQuantumDb {
-    /// Parse and execute one statement under the engine lock.
-    pub fn execute(&self, sql: &str) -> Result<Response> {
-        self.with(|db| db.execute(sql))
+    /// Parse one statement of the unified dialect, counting the parse in
+    /// [`Metrics::parses`]. Prepared statements go through it exactly once.
+    pub fn prepare_statement(&self, sql: &str) -> Result<qdb_logic::ParsedStatement> {
+        self.count_parse();
+        Ok(qdb_logic::parse_statement(sql)?)
     }
 
-    /// Execute an already-parsed statement under the engine lock.
+    /// Parse and execute one statement. Statements with `?` placeholders
+    /// are rejected here — prepare them through a [`Session`] instead.
+    pub fn execute(&self, sql: &str) -> Result<Response> {
+        let parsed = self.prepare_statement(sql)?;
+        let stmt = parsed.statement()?.clone();
+        self.execute_stmt(stmt)
+    }
+
+    /// Execute an already-parsed statement. Each statement class locks
+    /// only the state it touches (see [`SharedQuantumDb`]); statements on
+    /// disjoint partitions execute concurrently.
     pub fn execute_stmt(&self, stmt: Statement) -> Result<Response> {
-        self.with(|db| db.execute_stmt(stmt))
+        match stmt {
+            Statement::CreateTable(schema) => {
+                self.create_table(schema)?;
+                Ok(Response::Ack)
+            }
+            Statement::CreateIndex { relation, column } => {
+                let column = self.with_database(|db| resolve_column_on(db, &relation, &column))?;
+                self.create_index(&relation, column)?;
+                Ok(Response::Ack)
+            }
+            Statement::Insert { relation, rows } => {
+                self.blind_writes(&relation, &rows, |r, t| WriteOp::insert(r, t))
+            }
+            Statement::Delete { relation, rows } => {
+                self.blind_writes(&relation, &rows, |r, t| WriteOp::delete(r, t))
+            }
+            Statement::Select(sel) => match sel.mode {
+                ReadMode::Collapse => {
+                    let rows = self.read(&sel.atoms, sel.limit)?;
+                    Ok(Response::Rows(project(rows, &sel.projection)))
+                }
+                ReadMode::Peek => {
+                    let rows = self.read_peek(&sel.atoms, sel.limit)?;
+                    Ok(Response::Rows(project(rows, &sel.projection)))
+                }
+                ReadMode::Possible => {
+                    let bound = sel.limit.unwrap_or(SelectStmt::DEFAULT_WORLD_BOUND);
+                    let worlds = self.read_possible(&sel.atoms, bound)?;
+                    Ok(Response::Worlds(
+                        worlds
+                            .into_iter()
+                            .map(|rows| project(rows, &sel.projection))
+                            .collect(),
+                    ))
+                }
+            },
+            Statement::Transaction(txn) => {
+                let txn = txn.to_transaction()?;
+                Ok(match self.submit(&txn)? {
+                    SubmitOutcome::Committed { id } => Response::Committed(id),
+                    SubmitOutcome::Aborted => Response::Aborted,
+                })
+            }
+            Statement::Ground(id) => {
+                // Grounding one id can cascade (coordination partners,
+                // strict-mode prefixes): report the actual collapse count,
+                // measured under the hosting partition's lock so a racing
+                // submit cannot skew it.
+                Ok(Response::Grounded(self.ground_counted(id)?.unwrap_or(0)))
+            }
+            Statement::GroundAll => {
+                // Exact count from the grounding's own plans, not a racy
+                // before/after pending read.
+                Ok(Response::Grounded(self.ground_all_counted()?))
+            }
+            Statement::Checkpoint => {
+                self.checkpoint()?;
+                Ok(Response::Ack)
+            }
+            Statement::ShowMetrics => Ok(Response::Metrics(Box::new(self.metrics()))),
+            Statement::ShowPending => Ok(Response::Pending(self.pending_ids())),
+        }
+    }
+
+    fn blind_writes(
+        &self,
+        relation: &str,
+        rows: &[Vec<qdb_logic::Term>],
+        op: impl Fn(&str, Tuple) -> WriteOp,
+    ) -> Result<Response> {
+        let mut all = true;
+        for row in rows {
+            let tuple = row_to_tuple(relation, row)?;
+            all &= self.write(op(relation, tuple))?;
+        }
+        Ok(Response::Written(all))
     }
 
     /// Open a [`Session`] on this handle.
@@ -355,6 +453,33 @@ impl StmtCache {
 /// (shared by clones), so repeated [`Session::execute`] of identical text
 /// parses once — observable through [`Metrics::parses`]. `qdb-server`'s
 /// one-shot EXECUTE path rides on this cache automatically.
+///
+/// ```
+/// use qdb_core::{QuantumDb, QuantumDbConfig, Response};
+/// use qdb_storage::Value;
+///
+/// let mut qdb = QuantumDb::new(QuantumDbConfig::default()).unwrap();
+/// qdb.execute("CREATE TABLE Available (flight INT, seat TEXT)").unwrap();
+/// let session = qdb.into_shared().session();
+///
+/// // Prepare once; the hot loop binds parameters and runs, never
+/// // touching the parser again.
+/// let insert = session.prepare("INSERT INTO Available VALUES (?, ?)").unwrap();
+/// assert_eq!(insert.param_count(), 2);
+/// for seat in ["5A", "5B", "5C"] {
+///     let r = insert
+///         .bind(&[Value::from(123), Value::from(seat)])
+///         .unwrap()
+///         .run()
+///         .unwrap();
+///     assert_eq!(r, Response::Written(true));
+/// }
+/// let rows = session.execute("SELECT @s FROM Available(123, @s)").unwrap();
+/// assert_eq!(rows.rows().unwrap().len(), 3);
+/// // One parse for the prepare, one for the select, one for the CREATE
+/// // TABLE above — the three bound runs never touched the parser.
+/// assert_eq!(session.shared().metrics().parses, 3);
+/// ```
 #[derive(Clone)]
 pub struct Session {
     db: SharedQuantumDb,
@@ -410,7 +535,7 @@ impl Session {
         if let Some(parsed) = self.cache.lock().get(sql) {
             return Ok(parsed);
         }
-        let parsed = self.db.with(|db| db.prepare_statement(sql))?;
+        let parsed = self.db.prepare_statement(sql)?;
         // A racing clone may have inserted the same text meanwhile; the
         // duplicate entry is harmless (both resolve identically, and the
         // LRU evicts the stale copy).

@@ -173,14 +173,320 @@ impl XorShift {
     }
 }
 
-/// Outcome of grounding a group: valuations chosen for the group (in group
-/// order) and the refreshed cache valuations for the remaining pending
-/// transactions.
+/// One grounded transaction as planned: the write ops of its chosen
+/// valuation plus optional-atom accounting (drives metrics and events).
+#[derive(Debug, Clone)]
+pub(crate) struct GroundedTxn {
+    /// The grounded transaction.
+    pub id: TxnId,
+    /// Its concrete updates in execution order.
+    pub ops: Vec<qdb_storage::WriteOp>,
+    /// Optional body atoms the chosen assignment satisfied.
+    pub promoted: usize,
+    /// Optional body atoms the transaction had.
+    pub total_optionals: usize,
+}
+
+/// A complete plan for grounding a group within one partition: which
+/// transactions leave the pending set (with their updates), and the
+/// refreshed cache valuations for the transactions that remain.
+///
+/// Planning is **pure** — it reads the database (plus `pre_ops`, updates
+/// already planned but not yet applied) and the partition, and mutates
+/// neither. The sharded engine plans under a shared base-state read lock
+/// and applies under the write lock; the single-threaded engine plans and
+/// applies back to back.
 #[derive(Debug)]
-pub(crate) struct GroupGrounding {
-    pub group_vals: Vec<Valuation>,
+pub(crate) struct GroundPlan {
+    /// Transactions leaving the pending set, in group order.
+    pub grounded: Vec<GroundedTxn>,
+    /// Cache valuations for the remaining pending transactions (in the
+    /// partition's arrival order, group members skipped).
     pub rest_vals: Vec<Valuation>,
-    pub promoted_counts: Vec<usize>,
+}
+
+/// §5.1: fixing a transaction fixes its coordination partners with it —
+/// whoever is "in the system" when values are assigned gets to coordinate.
+/// Expand the group by one level of partnership.
+pub(crate) fn expand_partners(p: &crate::Partition, ids: &[TxnId]) -> Vec<TxnId> {
+    let mut out: std::collections::BTreeSet<TxnId> = ids.iter().copied().collect();
+    let seeds: Vec<&crate::PendingTxn> = p.txns.iter().filter(|t| out.contains(&t.id)).collect();
+    let mut extra: Vec<TxnId> = Vec::new();
+    for seed in seeds {
+        for other in &p.txns {
+            if !out.contains(&other.id)
+                && !extra.contains(&other.id)
+                && (crate::entangle::coordinates_with(&seed.txn, &other.txn)
+                    || crate::entangle::coordinates_with(&other.txn, &seed.txn))
+            {
+                extra.push(other.id);
+            }
+        }
+    }
+    out.extend(extra);
+    out.into_iter().collect()
+}
+
+/// Strict-order step selection shared by every grounding driver: while
+/// any of `ids` is still pending in `p`, the next transaction to ground
+/// is the partition *head* (arrival order — the §3.2.3 "naïve approach").
+/// `None` means the requested set is fully grounded.
+pub(crate) fn strict_head(p: &crate::Partition, ids: &[TxnId]) -> Option<TxnId> {
+    if !ids.iter().any(|id| p.position(*id).is_some()) {
+        return None;
+    }
+    Some(p.txns.first().expect("outstanding ids imply txns").id)
+}
+
+/// The invariant violation every strict loop reports when a head refuses
+/// to ground: the engine guarantees a sequence-order grounding exists.
+pub(crate) fn strict_order_violation() -> crate::EngineError {
+    crate::EngineError::Invariant(
+        "head grounding failed although the invariant guarantees a \
+         sequence-order grounding"
+            .into(),
+    )
+}
+
+/// Plan moving the group `ids` (in arrival order) to the front of the
+/// pending order and grounding it jointly, maximizing satisfied optional
+/// atoms, subject to the remaining pending transactions staying
+/// satisfiable. Returns `None` if no promotion set admits a front-move
+/// grounding. `pre_ops` are updates already planned against `db` but not
+/// yet applied (the sharded `GROUND ALL` planner threads its own
+/// accumulated updates through; interactive grounding passes `&[]`).
+pub(crate) fn plan_group_front(
+    solver: &mut qdb_solver::Solver,
+    db: &qdb_storage::Database,
+    pre_ops: &[qdb_storage::WriteOp],
+    config: &crate::QuantumDbConfig,
+    p: &crate::Partition,
+    ids: &[TxnId],
+) -> Result<Option<GroundPlan>> {
+    let idset: std::collections::BTreeSet<TxnId> = ids.iter().copied().collect();
+    let mut group = Vec::new();
+    let mut rest = Vec::new();
+    let mut rest_cached = Vec::new();
+    for (t, v) in p.txns.iter().zip(&p.cache.valuations) {
+        if idset.contains(&t.id) {
+            group.push(t.clone());
+        } else {
+            rest.push(t.clone());
+            rest_cached.push(v.clone());
+        }
+    }
+    if group.is_empty() {
+        // All already grounded in an earlier cascade: an empty plan.
+        return Ok(Some(GroundPlan {
+            grounded: Vec::new(),
+            rest_vals: rest_cached,
+        }));
+    }
+    let optionals: Vec<Vec<usize>> = group
+        .iter()
+        .map(|p| {
+            p.txn
+                .body
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| b.optional)
+                .map(|(i, _)| i)
+                .collect()
+        })
+        .collect();
+    for promo in promotion_sets(&optionals) {
+        if let Some(plan) = plan_solve_group(
+            solver,
+            db,
+            pre_ops,
+            config,
+            &group,
+            &rest,
+            &rest_cached,
+            &promo,
+        )? {
+            return Ok(Some(plan));
+        }
+    }
+    Ok(None)
+}
+
+/// Find a grounding for `group` executed before `rest`, with the given
+/// per-transaction promotions. Applies the configured
+/// [`crate::GroundingPolicy`] when the group is a single transaction.
+#[allow(clippy::too_many_arguments)] // internal plumbing, one call site
+fn plan_solve_group(
+    solver: &mut qdb_solver::Solver,
+    db: &qdb_storage::Database,
+    pre_ops: &[qdb_storage::WriteOp],
+    config: &crate::QuantumDbConfig,
+    group: &[crate::PendingTxn],
+    rest: &[crate::PendingTxn],
+    rest_cached: &[Valuation],
+    promo: &[Vec<usize>],
+) -> Result<Option<GroundPlan>> {
+    let group_specs: Vec<TxnSpec> = group
+        .iter()
+        .zip(promo)
+        .map(|(p, pr)| TxnSpec::with_promoted(&p.txn, pr.clone()))
+        .collect();
+    let rest_specs: Vec<TxnSpec> = rest
+        .iter()
+        .map(|p| TxnSpec::required_only(&p.txn))
+        .collect();
+    let finish = |group_vals: Vec<Valuation>, rest_vals: Vec<Valuation>| -> Result<GroundPlan> {
+        let mut grounded = Vec::with_capacity(group.len());
+        for ((pt, val), pr) in group.iter().zip(&group_vals).zip(promo) {
+            grounded.push(GroundedTxn {
+                id: pt.id,
+                ops: pt.txn.write_ops(val)?,
+                promoted: pr.len(),
+                total_optionals: pt.txn.optional_body().count(),
+            });
+        }
+        Ok(GroundPlan {
+            grounded,
+            rest_vals,
+        })
+    };
+    let with_pre = |ops: &[qdb_storage::WriteOp]| -> Vec<qdb_storage::WriteOp> {
+        let mut all = pre_ops.to_vec();
+        all.extend_from_slice(ops);
+        all
+    };
+
+    let sample = match config.policy {
+        crate::GroundingPolicy::FirstFit => 0,
+        crate::GroundingPolicy::MaxFlexibility { sample } => sample,
+        crate::GroundingPolicy::Random { sample, .. } => sample,
+    };
+    if group.len() == 1 && sample > 1 {
+        // Enumerate alternatives for the single target, order them per
+        // policy, and take the first whose residue stays satisfiable.
+        let mut cands = solver.enumerate_one(db, pre_ops, &group_specs[0], sample)?;
+        match config.policy {
+            crate::GroundingPolicy::MaxFlexibility { .. } => {
+                let mut scored: Vec<(usize, Valuation)> = Vec::with_capacity(cands.len());
+                for cand in cands {
+                    let ops = with_pre(&group[0].txn.write_ops(&cand)?);
+                    let score = flexibility_score(db, &ops, &rest_specs)?;
+                    scored.push((score, cand));
+                }
+                scored.sort_by_key(|(score, _)| std::cmp::Reverse(*score));
+                cands = scored.into_iter().map(|(_, c)| c).collect();
+            }
+            crate::GroundingPolicy::Random { seed, .. } => {
+                let mut rng = XorShift(seed ^ (group[0].id.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+                rng.shuffle(&mut cands);
+            }
+            crate::GroundingPolicy::FirstFit => unreachable!("sample > 1"),
+        }
+        for cand in cands {
+            let ops = with_pre(&group[0].txn.write_ops(&cand)?);
+            if let Some(sol) = solver.solve(db, &ops, &rest_specs)? {
+                return finish(vec![cand], sol.valuations).map(Some);
+            }
+        }
+        return Ok(None);
+    }
+
+    // Fast path: solve the group alone, then check whether the *cached*
+    // residue groundings survive the group's updates — the §4
+    // solution-cache amortization applied to grounding. Falls through to a
+    // joint re-solve when the cached residue breaks.
+    if let Some(gsol) = solver.solve(db, pre_ops, &group_specs)? {
+        let mut ops = pre_ops.to_vec();
+        for (p, v) in group.iter().zip(&gsol.valuations) {
+            ops.extend(p.txn.write_ops(v)?);
+        }
+        if solver.verify(db, &ops, &rest_specs, rest_cached)? {
+            return finish(gsol.valuations, rest_cached.to_vec()).map(Some);
+        }
+    } else {
+        // The group alone (with these promotions) is unsatisfiable — the
+        // joint solve below cannot succeed either.
+        return Ok(None);
+    }
+
+    // FirstFit (or joint group): one solve over group ++ rest.
+    let mut all = group_specs;
+    all.extend(rest_specs);
+    match solver.solve(db, pre_ops, &all)? {
+        Some(sol) => {
+            let mut vals = sol.valuations;
+            let rest_vals = vals.split_off(group.len());
+            finish(vals, rest_vals).map(Some)
+        }
+        None => Ok(None),
+    }
+}
+
+/// Apply the partition-side effects of a plan: drop the grounded
+/// transactions from the pending list and refresh the cache with the
+/// residue valuations. Database/WAL/metrics effects are the caller's —
+/// they differ between the single-threaded and the sharded engine.
+pub(crate) fn apply_plan_to_partition(p: &mut crate::Partition, plan: &GroundPlan) {
+    let idset: std::collections::BTreeSet<TxnId> = plan.grounded.iter().map(|g| g.id).collect();
+    p.txns.retain(|t| !idset.contains(&t.id));
+    p.cache = qdb_solver::CachedSolution {
+        valuations: plan.rest_vals.clone(),
+    };
+    p.extras.clear(); // positional alternatives are stale now
+    debug_assert_eq!(p.txns.len(), p.cache.len());
+}
+
+/// Plan the *complete* collapse of one partition without touching the
+/// shared database: repeatedly ground the partition head (plus partners;
+/// semantic front-move with strict fallback, exactly like interactive
+/// `GROUND ALL`), threading each step's updates through `pre_ops` so later
+/// steps solve against the virtual post-state. The sharded engine runs
+/// this in parallel across disjoint partitions — §4 independence
+/// guarantees their write sets cannot interact.
+pub(crate) fn plan_ground_all_partition(
+    solver: &mut qdb_solver::Solver,
+    db: &qdb_storage::Database,
+    config: &crate::QuantumDbConfig,
+    p: &mut crate::Partition,
+) -> Result<Vec<GroundedTxn>> {
+    let mut out: Vec<GroundedTxn> = Vec::new();
+    let mut pre_ops: Vec<qdb_storage::WriteOp> = Vec::new();
+    let commit = |p: &mut crate::Partition,
+                  pre_ops: &mut Vec<qdb_storage::WriteOp>,
+                  out: &mut Vec<GroundedTxn>,
+                  plan: &GroundPlan| {
+        for g in &plan.grounded {
+            pre_ops.extend(g.ops.iter().cloned());
+        }
+        out.extend(plan.grounded.iter().cloned());
+        apply_plan_to_partition(p, plan);
+    };
+    while let Some(head) = p.txns.first().map(|t| t.id) {
+        let ids = expand_partners(p, &[head]);
+        let group_plan = match config.serializability {
+            crate::Serializability::Semantic => {
+                plan_group_front(solver, db, &pre_ops, config, p, &ids)?
+            }
+            crate::Serializability::Strict => None,
+        };
+        if let Some(plan) = group_plan {
+            commit(p, &mut pre_ops, &mut out, &plan);
+        } else {
+            // Strict order (or semantic front-move failed): heads through.
+            while ids.iter().any(|id| p.position(*id).is_some()) {
+                let h = p.txns.first().expect("outstanding ids imply txns").id;
+                let plan =
+                    plan_group_front(solver, db, &pre_ops, config, p, &[h])?.ok_or_else(|| {
+                        crate::EngineError::Invariant(
+                            "head grounding failed although the invariant guarantees a \
+                             sequence-order grounding"
+                                .into(),
+                        )
+                    })?;
+                commit(p, &mut pre_ops, &mut out, &plan);
+            }
+        }
+    }
+    Ok(out)
 }
 
 impl QuantumDb {
@@ -193,31 +499,15 @@ impl QuantumDb {
         ids: &[TxnId],
         reason: GroundReason,
     ) -> Result<()> {
-        // §5.1: fixing a transaction fixes its coordination partners with
-        // it — whoever is "in the system" when values are assigned gets to
-        // coordinate. Expand the group by one level of partnership.
         let ids: Vec<TxnId> = {
             let Some(p) = self.partitions.get(&pid) else {
                 return Ok(());
             };
-            let mut out: std::collections::BTreeSet<TxnId> = ids.iter().copied().collect();
-            let seeds: Vec<&crate::PendingTxn> =
-                p.txns.iter().filter(|t| out.contains(&t.id)).collect();
-            for seed in seeds {
-                for other in &p.txns {
-                    if !out.contains(&other.id)
-                        && (crate::entangle::coordinates_with(&seed.txn, &other.txn)
-                            || crate::entangle::coordinates_with(&other.txn, &seed.txn))
-                    {
-                        out.insert(other.id);
-                    }
-                }
-            }
-            out.into_iter().collect()
+            expand_partners(p, ids)
         };
         match self.config.serializability {
             crate::Serializability::Semantic => {
-                if self.ground_group_front(pid, &ids, reason)? {
+                if self.try_ground_group(pid, &ids, reason)? {
                     return Ok(());
                 }
                 // Front-move unsatisfiable in this order: fall back.
@@ -230,7 +520,7 @@ impl QuantumDb {
     /// Strict serializability: repeatedly ground the partition *head* (in
     /// arrival order) until every requested id has been grounded — the
     /// §3.2.3 "naïve approach".
-    pub(crate) fn ground_strict_through(
+    fn ground_strict_through(
         &mut self,
         pid: u64,
         ids: &[TxnId],
@@ -240,228 +530,64 @@ impl QuantumDb {
             let Some(p) = self.partitions.get(&pid) else {
                 return Ok(()); // partition fully grounded and removed
             };
-            let outstanding = ids.iter().any(|id| p.position(*id).is_some());
-            if !outstanding {
+            let Some(head) = strict_head(p, ids) else {
                 return Ok(());
-            }
-            let head = p.txns.first().expect("non-empty partition").id;
-            if !self.ground_group_front(pid, &[head], reason)? {
-                return Err(crate::EngineError::Invariant(
-                    "head grounding failed although the invariant guarantees a \
-                     sequence-order grounding"
-                        .into(),
-                ));
-            }
-        }
-    }
-
-    /// Move the group `ids` (in arrival order) to the front of the pending
-    /// order and ground it jointly, maximizing satisfied optional atoms,
-    /// subject to the remaining pending transactions staying satisfiable.
-    /// Returns `false` if no promotion set admits a front-move grounding.
-    pub(crate) fn ground_group_front(
-        &mut self,
-        pid: u64,
-        ids: &[TxnId],
-        reason: GroundReason,
-    ) -> Result<bool> {
-        let idset: std::collections::BTreeSet<TxnId> = ids.iter().copied().collect();
-        let (group, rest, rest_cached): (
-            Vec<crate::PendingTxn>,
-            Vec<crate::PendingTxn>,
-            Vec<Valuation>,
-        ) = {
-            let Some(p) = self.partitions.get(&pid) else {
-                return Ok(true); // nothing left to ground
             };
-            let mut group = Vec::new();
-            let mut rest = Vec::new();
-            let mut rest_cached = Vec::new();
-            for (t, v) in p.txns.iter().zip(&p.cache.valuations) {
-                if idset.contains(&t.id) {
-                    group.push(t.clone());
-                } else {
-                    rest.push(t.clone());
-                    rest_cached.push(v.clone());
-                }
+            if !self.try_ground_group(pid, &[head], reason)? {
+                return Err(strict_order_violation());
             }
-            (group, rest, rest_cached)
-        };
-        if group.is_empty() {
-            return Ok(true); // all already grounded in an earlier cascade
-        }
-        let optionals: Vec<Vec<usize>> = group
-            .iter()
-            .map(|p| {
-                p.txn
-                    .body
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, b)| b.optional)
-                    .map(|(i, _)| i)
-                    .collect()
-            })
-            .collect();
-        for promo in promotion_sets(&optionals) {
-            if let Some(gg) = self.solve_group(&group, &rest, &rest_cached, &promo)? {
-                self.apply_grounding(pid, &group, gg, reason)?;
-                return Ok(true);
-            }
-        }
-        Ok(false)
-    }
-
-    /// Find a grounding for `group` executed before `rest`, with the given
-    /// per-transaction promotions. Applies the configured
-    /// [`crate::GroundingPolicy`] when the group is a single transaction.
-    fn solve_group(
-        &mut self,
-        group: &[crate::PendingTxn],
-        rest: &[crate::PendingTxn],
-        rest_cached: &[Valuation],
-        promo: &[Vec<usize>],
-    ) -> Result<Option<GroupGrounding>> {
-        let group_specs: Vec<TxnSpec> = group
-            .iter()
-            .zip(promo)
-            .map(|(p, pr)| TxnSpec::with_promoted(&p.txn, pr.clone()))
-            .collect();
-        let rest_specs: Vec<TxnSpec> = rest
-            .iter()
-            .map(|p| TxnSpec::required_only(&p.txn))
-            .collect();
-        let promoted_counts: Vec<usize> = promo.iter().map(Vec::len).collect();
-
-        let sample = match self.config.policy {
-            crate::GroundingPolicy::FirstFit => 0,
-            crate::GroundingPolicy::MaxFlexibility { sample } => sample,
-            crate::GroundingPolicy::Random { sample, .. } => sample,
-        };
-        if group.len() == 1 && sample > 1 {
-            // Enumerate alternatives for the single target, order them per
-            // policy, and take the first whose residue stays satisfiable.
-            let mut cands = self
-                .solver
-                .enumerate_one(&self.db, &[], &group_specs[0], sample)?;
-            match self.config.policy {
-                crate::GroundingPolicy::MaxFlexibility { .. } => {
-                    let mut scored: Vec<(usize, Valuation)> = Vec::with_capacity(cands.len());
-                    for cand in cands {
-                        let ops = group[0].txn.write_ops(&cand)?;
-                        let score = flexibility_score(&self.db, &ops, &rest_specs)?;
-                        scored.push((score, cand));
-                    }
-                    scored.sort_by_key(|(score, _)| std::cmp::Reverse(*score));
-                    cands = scored.into_iter().map(|(_, c)| c).collect();
-                }
-                crate::GroundingPolicy::Random { seed, .. } => {
-                    let mut rng =
-                        XorShift(seed ^ (group[0].id.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
-                    rng.shuffle(&mut cands);
-                }
-                crate::GroundingPolicy::FirstFit => unreachable!("sample > 1"),
-            }
-            for cand in cands {
-                let ops = group[0].txn.write_ops(&cand)?;
-                if let Some(sol) = self.solver.solve(&self.db, &ops, &rest_specs)? {
-                    return Ok(Some(GroupGrounding {
-                        group_vals: vec![cand],
-                        rest_vals: sol.valuations,
-                        promoted_counts,
-                    }));
-                }
-            }
-            return Ok(None);
-        }
-
-        // Fast path: solve the group alone, then check whether the
-        // *cached* residue groundings survive the group's updates — the §4
-        // solution-cache amortization applied to grounding. Falls through
-        // to a joint re-solve when the cached residue breaks.
-        if let Some(gsol) = self.solver.solve(&self.db, &[], &group_specs)? {
-            let mut pre_ops = Vec::new();
-            for (p, v) in group.iter().zip(&gsol.valuations) {
-                pre_ops.extend(p.txn.write_ops(v)?);
-            }
-            if self
-                .solver
-                .verify(&self.db, &pre_ops, &rest_specs, rest_cached)?
-            {
-                return Ok(Some(GroupGrounding {
-                    group_vals: gsol.valuations,
-                    rest_vals: rest_cached.to_vec(),
-                    promoted_counts,
-                }));
-            }
-        } else {
-            // The group alone (with these promotions) is unsatisfiable —
-            // the joint solve below cannot succeed either.
-            return Ok(None);
-        }
-
-        // FirstFit (or joint group): one solve over group ++ rest.
-        let mut all = group_specs;
-        all.extend(rest_specs);
-        match self.solver.solve(&self.db, &[], &all)? {
-            Some(sol) => {
-                let mut vals = sol.valuations;
-                let rest_vals = vals.split_off(group.len());
-                Ok(Some(GroupGrounding {
-                    group_vals: vals,
-                    rest_vals,
-                    promoted_counts,
-                }))
-            }
-            None => Ok(None),
         }
     }
 
-    /// Execute a found grounding: apply and log the group's updates,
-    /// remove the group from the partition, refresh the cache with the
-    /// residue valuations.
-    fn apply_grounding(
+    /// Plan a front-move grounding of `ids` and, on success, commit it.
+    fn try_ground_group(&mut self, pid: u64, ids: &[TxnId], reason: GroundReason) -> Result<bool> {
+        let Some(p) = self.partitions.get(&pid) else {
+            return Ok(true); // nothing left to ground
+        };
+        let Some(plan) = plan_group_front(&mut self.solver, &self.db, &[], &self.config, p, ids)?
+        else {
+            return Ok(false);
+        };
+        self.commit_ground_plan(pid, &plan, reason)?;
+        Ok(true)
+    }
+
+    /// Execute a found plan: apply and log the group's updates, remove the
+    /// group from the partition, refresh the cache with the residue
+    /// valuations.
+    pub(crate) fn commit_ground_plan(
         &mut self,
         pid: u64,
-        group: &[crate::PendingTxn],
-        gg: GroupGrounding,
+        plan: &GroundPlan,
         reason: GroundReason,
     ) -> Result<()> {
-        debug_assert_eq!(group.len(), gg.group_vals.len());
-        for ((pt, val), promoted) in group.iter().zip(&gg.group_vals).zip(&gg.promoted_counts) {
-            let ops = pt.txn.write_ops(val)?;
-            for op in &ops {
+        for g in &plan.grounded {
+            for op in &g.ops {
                 self.db.apply(op)?;
             }
             // One atomic frame per transaction: concrete writes + removal
             // from the pending table cannot be torn apart by a crash.
             self.wal.append(&qdb_storage::LogRecord::Ground {
-                id: pt.id,
-                ops: ops.clone(),
+                id: g.id,
+                ops: g.ops.clone(),
             })?;
             self.metrics.record_ground(reason);
-            let total = pt.txn.optional_body().count();
-            self.metrics.optionals_satisfied += *promoted as u64;
-            self.metrics.optionals_total += total as u64;
+            self.metrics.optionals_satisfied += g.promoted as u64;
+            self.metrics.optionals_total += g.total_optionals as u64;
             if self.config.record_events {
                 self.metrics.events.push(crate::Event::Grounded {
-                    id: pt.id,
+                    id: g.id,
                     reason,
-                    optionals_satisfied: *promoted,
-                    optionals_total: total,
+                    optionals_satisfied: g.promoted,
+                    optionals_total: g.total_optionals,
                 });
             }
         }
-        let idset: std::collections::BTreeSet<TxnId> = group.iter().map(|p| p.id).collect();
         let p = self
             .partitions
             .get_mut(&pid)
-            .expect("partition existed at solve time");
-        p.txns.retain(|t| !idset.contains(&t.id));
-        p.cache = qdb_solver::CachedSolution {
-            valuations: gg.rest_vals,
-        };
-        p.extras.clear(); // positional alternatives are stale now
-        debug_assert_eq!(p.txns.len(), p.cache.len());
+            .expect("partition existed at plan time");
+        apply_plan_to_partition(p, plan);
         if p.is_empty() {
             self.partitions.remove(&pid);
         }

@@ -58,18 +58,20 @@ pub mod metrics;
 pub mod partition;
 pub mod read;
 pub mod recovery;
+pub mod shard;
 pub mod sync;
 pub mod txn;
 pub mod wire;
 pub mod worlds;
 
 pub use config::{GroundingPolicy, QuantumDbConfig, Serializability};
-pub use engine::{QuantumDb, SharedQuantumDb, SubmitOutcome};
+pub use engine::{QuantumDb, SubmitOutcome};
 pub use error::EngineError;
 pub use exec::{Bound, Prepared, Response, Session};
 pub use ground::GroundReason;
 pub use metrics::{Event, Metrics};
-pub use partition::Partition;
+pub use partition::{Footprint, Partition};
+pub use shard::SharedQuantumDb;
 pub use txn::{PendingTxn, TxnId};
 pub use worlds::{enumerate_worlds, world_fingerprint, WorldSet};
 

@@ -129,6 +129,213 @@ impl std::fmt::Display for Metrics {
     }
 }
 
+/// The one list of mirrored counters: every `u64` field shared between
+/// [`Metrics`] and `AtomicMetrics`. The macro stamps out the atomic
+/// struct, the seed-from-snapshot path, the snapshot read and the reset —
+/// a counter added to [`Metrics`] but missing here fails to compile in
+/// `read_counters` (non-exhaustive struct literal), so the four mirrors
+/// cannot silently drift.
+macro_rules! mirrored_counters {
+    ($($field:ident),* $(,)?) => {
+        /// Lock-free engine counters for the sharded engine
+        /// (`crate::shard`).
+        ///
+        /// Hot-path observation never takes a lock: every counter is an
+        /// [`AtomicU64`], and multi-counter transitions (e.g. *committed*
+        /// and *pending* moving together at admission, *grounded* and
+        /// *pending* at collapse) are made torn-read-proof by a seqlock.
+        /// Writers bump `epoch` to odd, update cells, then publish with
+        /// `epoch + 2`; a snapshot is a single `SeqCst` epoch read, a read
+        /// of all cells, and an epoch re-check — retried until the epoch
+        /// was stable and even, so `SHOW METRICS` taken mid-`GROUND ALL`
+        /// can never observe `committed − grounded ≠ pending`.
+        #[derive(Debug, Default)]
+        pub(crate) struct AtomicMetrics {
+            epoch: AtomicU64,
+            $(pub(crate) $field: AtomicU64,)*
+            /// Pending transactions right now (not part of [`Metrics`],
+            /// but kept under the same seqlock so accounting snapshots
+            /// are consistent).
+            pub(crate) pending: AtomicU64,
+            /// Event trace (only when `record_events`); consistency with
+            /// the counters is not required, so it lives outside the
+            /// seqlock.
+            events: crate::sync::Mutex<Vec<Event>>,
+        }
+
+        impl AtomicMetrics {
+            /// Seed the atomic counters from a plain snapshot (engine
+            /// promotion to a shared handle preserves history).
+            pub(crate) fn from_metrics(m: &Metrics, pending: u64) -> Self {
+                let a = AtomicMetrics::default();
+                {
+                    let t = a.begin();
+                    $(t.add(|c| &c.$field, m.$field);)*
+                    t.add(|c| &c.pending, pending);
+                }
+                *a.events.lock() = m.events.clone();
+                a
+            }
+
+            /// Raw counter reads (callers wrap in the seqlock protocol).
+            fn read_counters(&self) -> Metrics {
+                Metrics {
+                    $($field: self.$field.load(SeqCst),)*
+                    events: Vec::new(),
+                }
+            }
+
+            /// Zero every mirrored counter (callers hold the seqlock).
+            fn zero_counters(&self) {
+                $(self.$field.store(0, SeqCst);)*
+            }
+        }
+    };
+}
+
+mirrored_counters!(
+    submitted,
+    committed,
+    aborted,
+    reads,
+    writes_applied,
+    writes_rejected,
+    grounded_by_read,
+    grounded_by_k,
+    grounded_by_partner,
+    grounded_explicit,
+    cache_extensions,
+    cache_extra_hits,
+    cache_full_resolves,
+    partition_merges,
+    parses,
+    max_pending,
+    optionals_satisfied,
+    optionals_total,
+);
+
+use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+
+/// Write guard over [`AtomicMetrics`]: holds the seqlock (epoch is odd)
+/// for the duration of one multi-counter transition.
+pub(crate) struct MetricsTxn<'a> {
+    m: &'a AtomicMetrics,
+    epoch: u64,
+}
+
+impl AtomicMetrics {
+    /// Open a multi-counter transition (spins while another writer holds
+    /// the seqlock; critical sections are a handful of atomic stores).
+    pub(crate) fn begin(&self) -> MetricsTxn<'_> {
+        loop {
+            let e = self.epoch.load(SeqCst);
+            if e.is_multiple_of(2)
+                && self
+                    .epoch
+                    .compare_exchange(e, e + 1, SeqCst, SeqCst)
+                    .is_ok()
+            {
+                return MetricsTxn { m: self, epoch: e };
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Record one parser entry (single counter, still epoch-guarded so
+    /// snapshots never tear).
+    pub(crate) fn count_parse(&self) {
+        self.begin().add(|c| &c.parses, 1);
+    }
+
+    /// Append an event (when tracing is enabled).
+    pub(crate) fn push_event(&self, event: Event) {
+        self.events.lock().push(event);
+    }
+
+    /// Current pending count (monotonic counters make a raw read safe for
+    /// a single value; use [`AtomicMetrics::snapshot_with_pending`] when
+    /// it must be consistent with other counters).
+    pub(crate) fn pending(&self) -> u64 {
+        self.pending.load(SeqCst)
+    }
+
+    /// Consistent snapshot of all counters.
+    pub(crate) fn snapshot(&self) -> Metrics {
+        self.snapshot_with_pending().0
+    }
+
+    /// Consistent snapshot of all counters plus the pending count, taken
+    /// from one stable seqlock window.
+    pub(crate) fn snapshot_with_pending(&self) -> (Metrics, u64) {
+        loop {
+            let e = self.epoch.load(SeqCst);
+            if !e.is_multiple_of(2) {
+                std::hint::spin_loop();
+                continue;
+            }
+            let m = self.read_counters();
+            let pending = self.pending.load(SeqCst);
+            if self.epoch.load(SeqCst) == e {
+                let mut m = m;
+                m.events = self.events.lock().clone();
+                return (m, pending);
+            }
+        }
+    }
+
+    /// Zero every counter and drop the trace (between experiment phases).
+    pub(crate) fn reset(&self) {
+        {
+            let _t = self.begin();
+            // Pending is live state, not a statistic: it survives resets.
+            self.zero_counters();
+        }
+        self.events.lock().clear();
+    }
+}
+
+impl<'a> MetricsTxn<'a> {
+    /// Add to one counter cell.
+    pub(crate) fn add(&self, cell: impl FnOnce(&'a AtomicMetrics) -> &'a AtomicU64, n: u64) {
+        cell(self.m).fetch_add(n, SeqCst);
+    }
+
+    /// Subtract from one counter cell.
+    pub(crate) fn sub(&self, cell: impl FnOnce(&'a AtomicMetrics) -> &'a AtomicU64, n: u64) {
+        cell(self.m).fetch_sub(n, SeqCst);
+    }
+
+    /// Route a grounding to its reason counter and decrement pending.
+    pub(crate) fn record_ground(&self, reason: GroundReason) {
+        match reason {
+            GroundReason::Read => self.add(|c| &c.grounded_by_read, 1),
+            GroundReason::KBound => self.add(|c| &c.grounded_by_k, 1),
+            GroundReason::Partner => self.add(|c| &c.grounded_by_partner, 1),
+            GroundReason::Explicit => self.add(|c| &c.grounded_explicit, 1),
+        }
+        self.sub(|c| &c.pending, 1);
+    }
+
+    /// Commit one admission: committed and pending move together.
+    pub(crate) fn record_commit(&self) {
+        self.add(|c| &c.committed, 1);
+        self.add(|c| &c.pending, 1);
+    }
+
+    /// Sample the pending high-water mark.
+    pub(crate) fn sample_max_pending(&self) {
+        self.m
+            .max_pending
+            .fetch_max(self.m.pending.load(SeqCst), SeqCst);
+    }
+}
+
+impl Drop for MetricsTxn<'_> {
+    fn drop(&mut self) {
+        self.m.epoch.store(self.epoch + 2, SeqCst);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

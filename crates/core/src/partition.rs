@@ -17,6 +17,31 @@ use qdb_solver::CachedSolution;
 use crate::txn::PendingTxn;
 
 /// One independent set of pending transactions plus its cached solution.
+///
+/// ```
+/// use qdb_core::Partition;
+/// use qdb_core::partition::transactions_overlap;
+/// use qdb_logic::parse_transaction;
+///
+/// let booking = |flight: i64, name: &str| {
+///     parse_transaction(&format!(
+///         "-Available({flight}, s), +Bookings('{name}', {flight}, s) \
+///          :-1 Available({flight}, s)"
+///     ))
+///     .unwrap()
+/// };
+/// // Bookings on different flights never unify: they are independent and
+/// // would live in separate partitions (§4 "Quantum State").
+/// assert!(!transactions_overlap(&booking(1, "Mickey"), &booking(2, "Donald")));
+///
+/// let p = Partition::new();
+/// assert!(p.is_empty());
+/// // An empty partition overlaps nothing.
+/// assert!(!p.overlaps(&booking(1, "Mickey")));
+/// // Its footprint is the overlap summary the sharded engine's registry
+/// // keeps outside the partition lock.
+/// assert!(!p.footprint().overlaps_txn(&booking(1, "Mickey")));
+/// ```
 #[derive(Debug, Clone, Default)]
 pub struct Partition {
     /// Pending transactions in arrival order.
@@ -106,6 +131,92 @@ impl Partition {
         let val = self.cache.remove(index);
         (txn, val)
     }
+
+    /// Overlap summary of this partition's current contents.
+    pub fn footprint(&self) -> Footprint {
+        let mut fp = Footprint::default();
+        for pt in &self.txns {
+            fp.absorb_txn(&pt.txn);
+        }
+        fp
+    }
+}
+
+/// A partition's overlap summary: the atoms of its pending transactions,
+/// split into update atoms and body atoms.
+///
+/// The sharded engine keeps one `Footprint` per partition in its registry,
+/// *outside* the partition's lock, so overlap scans (which partitions
+/// could a new transaction, read or write interact with?) never block on a
+/// partition that is busy solving. The registry maintains the invariant
+/// that a partition's published footprint is a superset of the atoms of
+/// every transaction that will ever enter the partition, so a scan that
+/// sees no overlap can safely skip the partition without locking it.
+#[derive(Debug, Clone, Default)]
+pub struct Footprint {
+    /// Atoms written (inserted or deleted) by the pending transactions.
+    update_atoms: Vec<Atom>,
+    /// Body (read) atoms of the pending transactions.
+    body_atoms: Vec<Atom>,
+}
+
+impl Footprint {
+    /// The footprint of a single transaction.
+    pub fn of_txn(txn: &ResourceTransaction) -> Self {
+        let mut fp = Footprint::default();
+        fp.absorb_txn(txn);
+        fp
+    }
+
+    /// Add one transaction's atoms.
+    pub fn absorb_txn(&mut self, txn: &ResourceTransaction) {
+        self.update_atoms
+            .extend(txn.updates.iter().map(|u| u.atom.clone()));
+        self.body_atoms
+            .extend(txn.body.iter().map(|b| b.atom.clone()));
+    }
+
+    /// Merge another footprint in (partition merge).
+    pub fn absorb(&mut self, other: &Footprint) {
+        self.update_atoms.extend_from_slice(&other.update_atoms);
+        self.body_atoms.extend_from_slice(&other.body_atoms);
+    }
+
+    /// Could `txn` be dependent on the summarized partition? Mirrors
+    /// [`transactions_overlap`]: a write/read or write/write conflict —
+    /// an update atom of one side may-overlapping any atom of the other.
+    pub fn overlaps_txn(&self, txn: &ResourceTransaction) -> bool {
+        self.update_atoms
+            .iter()
+            .any(|ua| all_atoms(txn).any(|ta| ua.may_overlap(ta)))
+            || txn.updates.iter().any(|u| {
+                self.update_atoms
+                    .iter()
+                    .chain(self.body_atoms.iter())
+                    .any(|a| u.atom.may_overlap(a))
+            })
+    }
+
+    /// Could answering a query over `atoms` observe the summarized pending
+    /// updates? Mirrors [`crate::read::read_affects`]: query atoms against
+    /// update atoms only. Also the relevance test for PEEK/POSSIBLE
+    /// overlays — a partition whose updates cannot unify with any query
+    /// atom cannot change the query's answer in any possible world.
+    pub fn touched_by_query(&self, atoms: &[Atom]) -> bool {
+        self.update_atoms
+            .iter()
+            .any(|ua| atoms.iter().any(|qa| qa.may_overlap(ua)))
+    }
+
+    /// Could a blind write of `atom` (a fully-constant tuple) interact
+    /// with the summarized partition? Conservative over *all* atoms, like
+    /// the engine's write-admission check.
+    pub fn touched_by_write(&self, atom: &Atom) -> bool {
+        self.update_atoms
+            .iter()
+            .chain(self.body_atoms.iter())
+            .any(|a| a.may_overlap(atom))
+    }
 }
 
 /// Conservative dependence test between two transactions.
@@ -185,6 +296,37 @@ mod tests {
         let ids: Vec<u64> = p1.txns.iter().map(|t| t.id).collect();
         assert_eq!(ids, vec![1, 2, 3, 5, 7, 9]);
         assert_eq!(p1.cache.len(), 6);
+    }
+
+    #[test]
+    fn footprint_mirrors_partition_overlap() {
+        let mut p = Partition::new();
+        p.txns.push(PendingTxn::new(1, book_flight(1, "M")));
+        p.cache.valuations.push(Valuation::new());
+        let fp = p.footprint();
+        // Same answers as the exact partition-contents tests.
+        assert!(fp.overlaps_txn(&book_flight(1, "D")));
+        assert!(!fp.overlaps_txn(&book_flight(2, "D")));
+        let q = qdb_logic::parse_query("Bookings('M', f, s)").unwrap();
+        assert!(fp.touched_by_query(&q.atoms));
+        let other = qdb_logic::parse_query("Bookings('D', f, s)").unwrap();
+        assert!(!fp.touched_by_query(&other.atoms));
+        // A write onto the read side (Available) touches; an unrelated
+        // constant tuple does not.
+        let avail = Atom::new(
+            "Available",
+            vec![
+                qdb_logic::Term::Const(1i64.into()),
+                qdb_logic::Term::Const("1A".into()),
+            ],
+        );
+        assert!(fp.touched_by_write(&avail));
+        let unrelated = Atom::new("Hotels", vec![qdb_logic::Term::Const(9i64.into())]);
+        assert!(!fp.touched_by_write(&unrelated));
+        // Merged footprints cover both sides.
+        let mut merged = fp.clone();
+        merged.absorb(&Footprint::of_txn(&book_flight(2, "D")));
+        assert!(merged.overlaps_txn(&book_flight(2, "X")));
     }
 
     #[test]

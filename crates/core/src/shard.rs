@@ -1,0 +1,1321 @@
+//! The partition-sharded concurrent engine: [`SharedQuantumDb`].
+//!
+//! The paper's §4 "Quantum State" design partitions pending resource
+//! transactions into independent sets — *"there is no unification possible
+//! between them"* — and this module exploits that independence for real
+//! concurrency. Instead of one big lock around a [`QuantumDb`], the shared
+//! handle shards its state:
+//!
+//! * **base** — the extensional [`Database`], behind an RwLock: admission
+//!   solves, PEEK overlays and query evaluation share it; grounding
+//!   applies, blind writes and DDL take it exclusively.
+//! * **partitions** — each §4 independence [`Partition`] lives in its own
+//!   mutex-guarded *slot* with its own cached-solution state, so solver
+//!   searches for disjoint partitions run genuinely in parallel.
+//! * **registry** — a map `partition id → (footprint, slot)`. The
+//!   [`Footprint`] is an overlap summary kept *outside* the slot lock, so
+//!   scans ("which partitions could this statement touch?") never block on
+//!   a partition that is busy solving.
+//! * **metrics** — atomics with a seqlock for torn-proof snapshots
+//!   (`AtomicMetrics` in `crate::metrics`); hot-path observation never
+//!   takes a lock.
+//! * **WAL** — its own mutex; transaction ids are allocated inside the WAL
+//!   critical section so log order equals id order (recovery replays
+//!   `PendingAdd` records in id order).
+//!
+//! # Lock ordering
+//!
+//! Deadlock freedom rests on a fixed acquisition order:
+//!
+//! 1. **partition slots**, in ascending partition id — with one proven
+//!    exception: a *reservation* (see below) locks its own freshly created
+//!    slot first, which is safe because slot ids are allocated
+//!    monotonically, so every slot a thread can subsequently wait on has a
+//!    smaller id than the slot it holds; the waits-for relation strictly
+//!    decreases and cannot cycle.
+//! 2. **base** (read or write) — only after all needed slots are held.
+//!    A thread holding base never waits on a slot.
+//! 3. **WAL** — only after base (or alone).
+//!
+//! The **registry** mutex is a waits-for leaf: a registry holder never
+//! blocks on any other lock (the only lock taken under it is the freshly
+//! created, uncontended slot of a reservation), so it may be acquired at
+//! any point, including while holding slots, base or the WAL.
+//! `vargen`, `solver_stats` and the metrics seqlock are leaves as well.
+//!
+//! # Reservations
+//!
+//! A submit must atomically decide which partitions its transaction
+//! depends on, or two dependent transactions could land in different
+//! partitions and be admission-checked separately. Under the registry
+//! lock, a reservation (a) collects every overlapping entry, (b) removes
+//! them from the map, and (c) inserts a fresh entry whose footprint is the
+//! union of the removed footprints plus the newcomer's atoms. This
+//! publishes the *future* contents of the merged partition before any
+//! solving happens, maintaining the invariant that a registered footprint
+//! is a superset of the atoms of every transaction that will ever enter
+//! the partition — which is what lets scans trust a negative overlap test
+//! without locking the slot. The fresh host slot is locked *before* the
+//! registry is released (it is undiscoverable until then, so the lock
+//! cannot block), which makes the reservation's claim exclusive: a later
+//! reservation that absorbs the host as one of its targets waits on that
+//! lock and drains whatever the submit installed. The removed target
+//! slots are then *drained* (locked, marked dead, contents moved) one by
+//! one; any operation that locked a slot through a stale `Arc` sees
+//! `dead` and rescans the registry.
+//!
+//! # Why plan-then-apply is sound
+//!
+//! Solver work (admission and grounding planning) runs under a base *read*
+//! lock while holding the affected partition's slot; the resulting write
+//! ops are applied later under the base *write* lock. No re-validation is
+//! needed in between, because every base mutation that could invalidate a
+//! plan must take the affected partition's slot first (blind writes and
+//! read-triggered grounding lock overlapping slots before touching base),
+//! and mutations that do not touch the partition's atoms cannot invalidate
+//! it: other partitions' groundings write tuples that unify with none of
+//! this partition's atoms (that is the §4 independence criterion), DDL
+//! only adds empty tables, and bulk-insert fast paths only *add* tuples —
+//! positive conjunctive bodies stay satisfied and planned deletes stay
+//! executable under insertions.
+//!
+//! ```
+//! use qdb_core::{QuantumDb, QuantumDbConfig, Response};
+//!
+//! let mut qdb = QuantumDb::new(QuantumDbConfig::default()).unwrap();
+//! qdb.execute("CREATE TABLE Available (flight INT, seat TEXT)").unwrap();
+//! qdb.execute("CREATE TABLE Bookings (name TEXT, flight INT, seat TEXT)").unwrap();
+//! qdb.execute("INSERT INTO Available VALUES (1, '1A'), (2, '2A')").unwrap();
+//! let shared = qdb.into_shared();
+//!
+//! // Clones share one engine; each thread books a *different* flight, so
+//! // the two admissions live in independent partitions and their solver
+//! // searches can run concurrently.
+//! std::thread::scope(|s| {
+//!     for flight in [1i64, 2] {
+//!         let h = shared.clone();
+//!         s.spawn(move || {
+//!             let r = h
+//!                 .execute(&format!(
+//!                     "SELECT @s FROM Available({flight}, @s) CHOOSE 1 \
+//!                      FOLLOWED BY (DELETE ({flight}, @s) FROM Available; \
+//!                                   INSERT ('u{flight}', {flight}, @s) INTO Bookings)"
+//!                 ))
+//!                 .unwrap();
+//!             assert!(matches!(r, Response::Committed(_)));
+//!         });
+//!     }
+//! });
+//! assert_eq!(shared.pending_count(), 2);
+//! shared.ground_all().unwrap();
+//! assert_eq!(shared.pending_count(), 0);
+//! ```
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+use std::sync::Arc;
+
+use qdb_logic::codec::encode_transaction;
+use qdb_logic::{Atom, ResourceTransaction, Valuation, VarGen};
+use qdb_solver::{CachedSolution, Solver, SolverStats};
+use qdb_storage::{Database, LogRecord, Schema, Tuple, Wal, WriteOp};
+
+use crate::config::QuantumDbConfig;
+use crate::engine::{eval_on, plan_admission, AdmitPath, QuantumDb, SubmitOutcome};
+use crate::entangle::coordination_partners;
+use crate::error::EngineError;
+use crate::ground::{
+    apply_plan_to_partition, expand_partners, plan_group_front, GroundPlan, GroundReason,
+};
+use crate::metrics::{AtomicMetrics, Event, Metrics};
+use crate::partition::{Footprint, Partition};
+use crate::sync::{Mutex, RwLock};
+use crate::txn::{PendingTxn, TxnId};
+use crate::Result;
+
+/// The base (extensional) state: everything whose consistency is guarded
+/// by the RwLock rather than by partition slots.
+struct Base {
+    db: Database,
+}
+
+/// One partition's lockable home.
+#[derive(Default)]
+struct Slot {
+    state: Mutex<SlotState>,
+}
+
+/// Contents of a slot. `dead` means the partition's contents were drained
+/// into a newer slot (or fully grounded away); holders of a stale `Arc`
+/// must rescan the registry.
+#[derive(Default)]
+struct SlotState {
+    part: Partition,
+    dead: bool,
+}
+
+/// Registry entry: the overlap summary plus the slot it summarizes.
+struct Entry {
+    footprint: Footprint,
+    slot: Arc<Slot>,
+}
+
+/// The partition registry. `next_pid` grows monotonically; slot ids are
+/// never reused, which the lock-ordering proof relies on.
+struct Registry {
+    slots: BTreeMap<u64, Entry>,
+    next_pid: u64,
+}
+
+struct Core {
+    config: QuantumDbConfig,
+    base: RwLock<Base>,
+    vargen: Mutex<VarGen>,
+    wal: Mutex<Wal>,
+    reg: Mutex<Registry>,
+    next_txn_id: AtomicU64,
+    metrics: AtomicMetrics,
+    solver_stats: Mutex<SolverStats>,
+    /// Solver sections currently inside the shared base read lock, and
+    /// the high-water mark — direct evidence of partition-parallel
+    /// overlap (the coarse-lock ablation can never exceed 1).
+    solves_in_flight: AtomicU64,
+    solves_peak: AtomicU64,
+    /// Single-big-lock ablation (see [`QuantumDbConfig::coarse_lock`]):
+    /// when enabled, every statement serializes through this mutex,
+    /// reproducing the pre-sharding engine for A/B benchmarks.
+    coarse: Mutex<()>,
+}
+
+/// A cloneable, thread-safe, **partition-sharded** handle to a quantum
+/// database.
+///
+/// Statements lock only what they touch: a submit locks the partitions its
+/// transaction overlaps (merging them under the ordered-acquisition scheme
+/// described in the [module docs](self)), reads and PEEK/POSSIBLE take a
+/// shared base read plus only the touched partitions, and `GROUND ALL` /
+/// `CHECKPOINT` use a brief stop-the-world writer phase. Metrics are
+/// atomics — observation never blocks statement execution.
+///
+/// ```
+/// use qdb_core::{QuantumDb, QuantumDbConfig, Response};
+///
+/// let mut qdb = QuantumDb::new(QuantumDbConfig::default()).unwrap();
+/// qdb.execute("CREATE TABLE R (a INT)").unwrap();
+/// let shared = qdb.into_shared();
+///
+/// // Handles are cheap clones sharing one engine.
+/// let clone = shared.clone();
+/// clone.execute("INSERT INTO R VALUES (7)").unwrap();
+/// let rows = shared.execute("SELECT * FROM R(@a)").unwrap();
+/// assert_eq!(rows.rows().unwrap().len(), 1);
+///
+/// // Metrics snapshots are consistent even under concurrency.
+/// let (m, pending) = shared.metrics_with_pending();
+/// assert_eq!(m.committed - m.grounded_total(), pending);
+/// ```
+#[derive(Clone)]
+pub struct SharedQuantumDb {
+    core: Arc<Core>,
+}
+
+impl std::fmt::Debug for SharedQuantumDb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedQuantumDb")
+            .field("partitions", &self.partition_count())
+            .field("pending", &self.pending_count())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Guard alias for the coarse-lock ablation (held across a whole
+/// statement when enabled, `None` otherwise).
+type CoarseGuard<'a> = Option<std::sync::MutexGuard<'a, ()>>;
+
+/// What a reservation hands back: the exclusive guard on the freshly
+/// registered host slot, its partition id, and the claimed target slots
+/// to drain (ascending pid order).
+type Reserved<'a> = (
+    std::sync::MutexGuard<'a, SlotState>,
+    u64,
+    Vec<(u64, Arc<Slot>)>,
+);
+
+impl SharedQuantumDb {
+    /// Shard a single-threaded engine into a shared handle, preserving its
+    /// database, pending partitions, WAL, metrics and id spaces.
+    pub(crate) fn from_engine(engine: QuantumDb) -> SharedQuantumDb {
+        let QuantumDb {
+            db,
+            partitions,
+            next_partition_id,
+            next_txn_id,
+            vargen,
+            solver,
+            wal,
+            config,
+            metrics,
+        } = engine;
+        let pending: u64 = partitions.values().map(|p| p.len() as u64).sum();
+        let mut slots = BTreeMap::new();
+        for (pid, part) in partitions {
+            slots.insert(
+                pid,
+                Entry {
+                    footprint: part.footprint(),
+                    slot: Arc::new(Slot {
+                        state: Mutex::new(SlotState { part, dead: false }),
+                    }),
+                },
+            );
+        }
+        SharedQuantumDb {
+            core: Arc::new(Core {
+                base: RwLock::new(Base { db }),
+                vargen: Mutex::new(vargen),
+                wal: Mutex::new(wal),
+                reg: Mutex::new(Registry {
+                    slots,
+                    next_pid: next_partition_id,
+                }),
+                next_txn_id: AtomicU64::new(next_txn_id),
+                metrics: AtomicMetrics::from_metrics(&metrics, pending),
+                solver_stats: Mutex::new(*solver.stats()),
+                solves_in_flight: AtomicU64::new(0),
+                solves_peak: AtomicU64::new(0),
+                coarse: Mutex::new(()),
+                config,
+            }),
+        }
+    }
+
+    fn coarse(&self) -> CoarseGuard<'_> {
+        if self.core.config.coarse_lock {
+            Some(self.core.coarse.lock())
+        } else {
+            None
+        }
+    }
+
+    /// A fresh per-operation solver (the solver is stateless apart from
+    /// cumulative stats, which are absorbed at operation end).
+    fn solver(&self) -> Solver {
+        let mut s = Solver::new(self.core.config.solver_order);
+        s.limits = self.core.config.search_limits;
+        s
+    }
+
+    fn absorb(&self, solver: &Solver) {
+        self.core.solver_stats.lock().absorb(solver.stats());
+    }
+
+    /// Mark a solver section as in flight for its guard's lifetime.
+    fn enter_solve(&self) -> SolveGauge<'_> {
+        let now = self.core.solves_in_flight.fetch_add(1, SeqCst) + 1;
+        self.core.solves_peak.fetch_max(now, SeqCst);
+        SolveGauge { core: &self.core }
+    }
+
+    /// High-water mark of simultaneously running solver sections. A value
+    /// above 1 is direct evidence that admissions/groundings of disjoint
+    /// partitions overlapped in time; under
+    /// [`QuantumDbConfig::coarse_lock`] it can never exceed 1.
+    pub fn solve_concurrency_peak(&self) -> u64 {
+        self.core.solves_peak.load(SeqCst)
+    }
+
+    pub(crate) fn count_parse(&self) {
+        self.core.metrics.count_parse();
+    }
+
+    fn push_event(&self, event: Event) {
+        if self.core.config.record_events {
+            self.core.metrics.push_event(event);
+        }
+    }
+
+    // -- Resource transactions -------------------------------------------
+
+    /// Submit a resource transaction (§3.2.1). Locks only the partitions
+    /// the transaction overlaps; disjoint submits run their admission
+    /// solves concurrently under the shared base read lock.
+    pub fn submit(&self, txn: &ResourceTransaction) -> Result<SubmitOutcome> {
+        let _c = self.coarse();
+        self.do_submit(txn)
+    }
+
+    fn do_submit(&self, txn: &ResourceTransaction) -> Result<SubmitOutcome> {
+        self.core.metrics.begin().add(|c| &c.submitted, 1);
+        txn.validate()?;
+        {
+            let base = self.core.base.read();
+            validate_schema_on(&base.db, txn)?;
+        }
+        let freshened = {
+            let mut vg = self.core.vargen.lock();
+            txn.freshen(&mut vg)
+        };
+        let mut solver = self.solver();
+        let out = self.submit_reserved(&freshened, &mut solver);
+        self.absorb(&solver);
+        out
+    }
+
+    fn submit_reserved(
+        &self,
+        txn: &ResourceTransaction,
+        solver: &mut Solver,
+    ) -> Result<SubmitOutcome> {
+        {
+            // The host slot is locked *inside* the registry critical
+            // section of the reservation, so no concurrent reservation can
+            // claim and drain it before this submit installs — the
+            // reservation's targets stay exclusively ours until then.
+            let host_slot = Arc::new(Slot::default());
+            let (mut st, pid, targets) = self.reserve_locked(&host_slot, txn);
+            let merged_from = targets.len();
+            let mut host = Partition::new();
+            if merged_from == 1 {
+                // Preserve the partition wholesale (keeps its alternative
+                // cached solutions, which a merge would invalidate).
+                host = self.drain(&targets[0].1);
+            } else {
+                for (_, slot) in &targets {
+                    host.merge(self.drain(slot));
+                }
+            }
+
+            // Admission planning under a *shared* base read: this is the
+            // expensive solver search, and disjoint partitions run it in
+            // parallel.
+            let plan = {
+                let base = self.core.base.read();
+                let _gauge = self.enter_solve();
+                let merged: Vec<(&PendingTxn, &Valuation)> =
+                    host.txns.iter().zip(host.cache.valuations.iter()).collect();
+                let extras: &[CachedSolution] = if merged_from == 1 { &host.extras } else { &[] };
+                plan_admission(solver, &base.db, &self.core.config, &merged, extras, txn)?
+            };
+            let Some(plan) = plan else {
+                // Refused: the merged partition stays merged under its new
+                // id (conservative but safe — merging independent
+                // partitions never violates the invariant; the
+                // single-threaded engine merges only on success, but here
+                // the drain already happened, so count what occurred).
+                st.part = host;
+                self.publish(pid, &mut st);
+                {
+                    let t = self.core.metrics.begin();
+                    t.add(|c| &c.aborted, 1);
+                    if merged_from > 1 {
+                        t.add(|c| &c.partition_merges, 1);
+                    }
+                }
+                self.push_event(Event::Aborted);
+                if merged_from > 1 {
+                    let before = self.partition_count() + merged_from - 1;
+                    self.push_event(Event::PartitionsMerged { before });
+                }
+                return Ok(SubmitOutcome::Aborted);
+            };
+
+            // Durability: log after the satisfiability check, before
+            // acknowledging commit (§4). Id allocation inside the WAL
+            // critical section keeps log order == id order.
+            let id = {
+                let mut wal = self.core.wal.lock();
+                let id = self.core.next_txn_id.fetch_add(1, SeqCst);
+                wal.append(&LogRecord::PendingAdd {
+                    id,
+                    payload: encode_transaction(txn),
+                })?;
+                id
+            };
+            host.txns.push(PendingTxn::new(id, txn.clone()));
+            host.cache = CachedSolution {
+                valuations: plan.valuations,
+            };
+            host.extras = plan.extras;
+            debug_assert_eq!(host.txns.len(), host.cache.len());
+            st.part = host;
+
+            {
+                let t = self.core.metrics.begin();
+                t.record_commit();
+                match plan.path {
+                    AdmitPath::Extension => t.add(|c| &c.cache_extensions, 1),
+                    AdmitPath::ExtraHit => t.add(|c| &c.cache_extra_hits, 1),
+                    AdmitPath::FullResolve => t.add(|c| &c.cache_full_resolves, 1),
+                }
+                if merged_from > 1 {
+                    t.add(|c| &c.partition_merges, 1);
+                }
+            }
+            self.push_event(Event::Committed(id));
+            if merged_from > 1 {
+                let before = self.partition_count() + merged_from - 1;
+                self.push_event(Event::PartitionsMerged { before });
+            }
+
+            // §5.1: entangled resource transactions are grounded as soon
+            // as both coordination partners are in the system.
+            if self.core.config.ground_on_partner_arrival {
+                let mut partners = {
+                    let new_txn = &st.part.txns.last().expect("just installed").txn;
+                    let others: Vec<PendingTxn> = st
+                        .part
+                        .txns
+                        .iter()
+                        .filter(|p| p.id != id)
+                        .cloned()
+                        .collect();
+                    coordination_partners(new_txn, &others)
+                };
+                if !partners.is_empty() {
+                    partners.push(id);
+                    self.ground_in_slot(&mut st, &partners, GroundReason::Partner, solver)?;
+                }
+            }
+            // §4: bound the composed body size.
+            while st.part.len() > self.core.config.k {
+                let oldest = st.part.txns[0].id;
+                self.ground_in_slot(&mut st, &[oldest], GroundReason::KBound, solver)?;
+            }
+            // Table 1 counts a transaction as pending until its partner
+            // arrives, so the high-water mark is sampled after partner
+            // grounding and k-enforcement settle.
+            self.core.metrics.begin().sample_max_pending();
+            self.publish(pid, &mut st);
+            Ok(SubmitOutcome::Committed { id })
+        }
+    }
+
+    /// Atomically claim every partition `txn` may depend on and register
+    /// the merged host (see module docs, "Reservations"). The host slot is
+    /// locked before the registry is released — at that point no other
+    /// thread holds (or can discover) a reference to it, so the lock
+    /// cannot block and the returned guard is exclusive from birth:
+    /// concurrent reservations that claim the host as *their* target wait
+    /// on this guard and observe whatever this submit installs.
+    fn reserve_locked<'a>(
+        &self,
+        host_slot: &'a Arc<Slot>,
+        txn: &ResourceTransaction,
+    ) -> Reserved<'a> {
+        let mut reg = self.core.reg.lock();
+        let target_pids: Vec<u64> = if self.core.config.partitioning {
+            reg.slots
+                .iter()
+                .filter(|(_, e)| e.footprint.overlaps_txn(txn))
+                .map(|(&k, _)| k)
+                .collect()
+        } else {
+            reg.slots.keys().copied().collect()
+        };
+        let mut footprint = Footprint::of_txn(txn);
+        let mut targets = Vec::with_capacity(target_pids.len());
+        for pid in &target_pids {
+            let e = reg.slots.remove(pid).expect("scanned above");
+            footprint.absorb(&e.footprint);
+            targets.push((*pid, e.slot));
+        }
+        let pid = reg.next_pid;
+        reg.next_pid += 1;
+        reg.slots.insert(
+            pid,
+            Entry {
+                footprint,
+                slot: Arc::clone(host_slot),
+            },
+        );
+        (host_slot.state.lock(), pid, targets)
+    }
+
+    /// Take a reserved slot's contents (waits for any in-flight operation
+    /// on it to finish) and mark it dead for stale-`Arc` holders.
+    fn drain(&self, slot: &Arc<Slot>) -> Partition {
+        let mut st = slot.state.lock();
+        st.dead = true;
+        std::mem::take(&mut st.part)
+    }
+
+    /// Re-publish a partition's footprint after its contents changed;
+    /// removes (and kills) the registration when it grounded empty. Must
+    /// be called while holding the slot's lock.
+    fn publish(&self, pid: u64, st: &mut SlotState) {
+        let mut reg = self.core.reg.lock();
+        if st.part.is_empty() {
+            if reg.slots.remove(&pid).is_some() {
+                st.dead = true;
+            }
+        } else if let Some(e) = reg.slots.get_mut(&pid) {
+            e.footprint = st.part.footprint();
+        }
+        // Entry absent: a reservation already claimed this slot and will
+        // drain whatever state we leave behind — nothing to publish.
+    }
+
+    // -- Grounding --------------------------------------------------------
+
+    /// Ground `ids` within the held partition, honoring the configured
+    /// serializability: plan under a base read (parallel with other
+    /// partitions' solves), apply under the base write lock.
+    fn ground_in_slot(
+        &self,
+        st: &mut SlotState,
+        ids: &[TxnId],
+        reason: GroundReason,
+        solver: &mut Solver,
+    ) -> Result<()> {
+        if st.part.is_empty() {
+            return Ok(());
+        }
+        let ids = expand_partners(&st.part, ids);
+        match self.core.config.serializability {
+            crate::Serializability::Semantic => {
+                if self.try_ground_group(st, &ids, reason, solver)? {
+                    return Ok(());
+                }
+                self.ground_strict_through(st, &ids, reason, solver)
+            }
+            crate::Serializability::Strict => self.ground_strict_through(st, &ids, reason, solver),
+        }
+    }
+
+    fn ground_strict_through(
+        &self,
+        st: &mut SlotState,
+        ids: &[TxnId],
+        reason: GroundReason,
+        solver: &mut Solver,
+    ) -> Result<()> {
+        while let Some(head) = crate::ground::strict_head(&st.part, ids) {
+            if !self.try_ground_group(st, &[head], reason, solver)? {
+                return Err(crate::ground::strict_order_violation());
+            }
+        }
+        Ok(())
+    }
+
+    fn try_ground_group(
+        &self,
+        st: &mut SlotState,
+        ids: &[TxnId],
+        reason: GroundReason,
+        solver: &mut Solver,
+    ) -> Result<bool> {
+        let plan = {
+            let base = self.core.base.read();
+            let _gauge = self.enter_solve();
+            plan_group_front(solver, &base.db, &[], &self.core.config, &st.part, ids)?
+        };
+        let Some(plan) = plan else {
+            return Ok(false);
+        };
+        self.commit_plan(st, &plan, reason)?;
+        Ok(true)
+    }
+
+    /// Apply a ground plan: base writes + WAL frames, then metrics, then
+    /// the partition-side removal. Sound without re-validation per the
+    /// module docs ("Why plan-then-apply is sound").
+    fn commit_plan(
+        &self,
+        st: &mut SlotState,
+        plan: &GroundPlan,
+        reason: GroundReason,
+    ) -> Result<()> {
+        {
+            let mut base = self.core.base.write();
+            let mut wal = self.core.wal.lock();
+            for g in &plan.grounded {
+                for op in &g.ops {
+                    base.db.apply(op)?;
+                }
+                // One atomic frame per transaction: concrete writes +
+                // removal from the pending table cannot be torn by a crash.
+                wal.append(&LogRecord::Ground {
+                    id: g.id,
+                    ops: g.ops.clone(),
+                })?;
+            }
+        }
+        {
+            let t = self.core.metrics.begin();
+            for g in &plan.grounded {
+                t.record_ground(reason);
+                t.add(|c| &c.optionals_satisfied, g.promoted as u64);
+                t.add(|c| &c.optionals_total, g.total_optionals as u64);
+            }
+        }
+        if self.core.config.record_events {
+            for g in &plan.grounded {
+                self.core.metrics.push_event(Event::Grounded {
+                    id: g.id,
+                    reason,
+                    optionals_satisfied: g.promoted,
+                    optionals_total: g.total_optionals,
+                });
+            }
+        }
+        apply_plan_to_partition(&mut st.part, plan);
+        Ok(())
+    }
+
+    /// Explicitly ground one pending transaction. Returns `false` when the
+    /// id is not pending.
+    pub fn ground(&self, id: TxnId) -> Result<bool> {
+        Ok(self.ground_counted(id)?.is_some())
+    }
+
+    /// [`SharedQuantumDb::ground`] returning how many transactions the
+    /// cascade collapsed (partners, strict-mode prefixes), counted under
+    /// the hosting partition's lock — exact even under concurrency.
+    /// `None` when the id is not pending.
+    pub(crate) fn ground_counted(&self, id: TxnId) -> Result<Option<usize>> {
+        let _c = self.coarse();
+        let mut solver = self.solver();
+        let out = self.do_ground(id, &mut solver);
+        self.absorb(&solver);
+        out
+    }
+
+    fn do_ground(&self, id: TxnId, solver: &mut Solver) -> Result<Option<usize>> {
+        'rescan: loop {
+            let snapshot: Vec<(u64, Arc<Slot>)> = {
+                let reg = self.core.reg.lock();
+                reg.slots
+                    .iter()
+                    .map(|(&pid, e)| (pid, Arc::clone(&e.slot)))
+                    .collect()
+            };
+            for (pid, slot) in snapshot {
+                let mut st = slot.state.lock();
+                if st.dead {
+                    // Contents moved — possibly into a slot we already
+                    // passed over. Start the scan again.
+                    continue 'rescan;
+                }
+                if st.part.position(id).is_some() {
+                    let before = st.part.len();
+                    self.ground_in_slot(&mut st, &[id], GroundReason::Explicit, solver)?;
+                    let collapsed = before - st.part.len();
+                    self.publish(pid, &mut st);
+                    return Ok(Some(collapsed));
+                }
+            }
+            return Ok(None);
+        }
+    }
+
+    /// Ground everything — collapse the quantum state entirely.
+    ///
+    /// A brief stop-the-world writer phase: every partition is reserved
+    /// and drained, then the full collapse of each partition is *planned
+    /// in parallel* across [`std::thread::scope`] workers (§4 independence
+    /// means disjoint partitions solve against the base independently),
+    /// and the planned updates are applied serially under one base write
+    /// lock.
+    pub fn ground_all(&self) -> Result<()> {
+        self.ground_all_counted().map(|_| ())
+    }
+
+    /// [`SharedQuantumDb::ground_all`] returning how many transactions it
+    /// collapsed — the exact count from the grounding's own plans, not a
+    /// racy before/after pending read (`GROUND ALL` responses use this).
+    pub(crate) fn ground_all_counted(&self) -> Result<usize> {
+        let _c = self.coarse();
+        let taken: Vec<(u64, Arc<Slot>)> = {
+            let mut reg = self.core.reg.lock();
+            let slots = std::mem::take(&mut reg.slots);
+            slots.into_iter().map(|(pid, e)| (pid, e.slot)).collect()
+        };
+        let mut parts: Vec<Partition> = taken
+            .iter()
+            .map(|(_, slot)| self.drain(slot))
+            .filter(|p| !p.is_empty())
+            .collect();
+        if parts.is_empty() {
+            return Ok(0);
+        }
+
+        let base = self.core.base.write();
+        let config = &self.core.config;
+        // Intra-statement plan parallelism; forced serial under the
+        // coarse-lock ablation so it faithfully reproduces the
+        // pre-sharding engine (and its gauge stays ≤ 1).
+        let workers = if config.coarse_lock {
+            1
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(parts.len())
+        };
+        // Plan phase (parallel, read-only against the base): one scratch
+        // clone per partition so a failed run leaves the originals intact.
+        type Planned = Result<(Vec<crate::ground::GroundedTxn>, SolverStats)>;
+        let results: Vec<Planned> = {
+            let db = &base.db;
+            let next = AtomicU64::new(0);
+            let out: Vec<Mutex<Option<Planned>>> = parts.iter().map(|_| Mutex::new(None)).collect();
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| {
+                        let mut solver = Solver::new(config.solver_order);
+                        solver.limits = config.search_limits;
+                        loop {
+                            let i = next.fetch_add(1, SeqCst) as usize;
+                            let Some(part) = parts.get(i) else { break };
+                            let mut scratch = part.clone();
+                            let planned = crate::ground::plan_ground_all_partition(
+                                &mut solver,
+                                db,
+                                config,
+                                &mut scratch,
+                            );
+                            *out[i].lock() = Some(planned.map(|g| (g, *solver.stats())));
+                            solver.reset_stats();
+                        }
+                    });
+                }
+            });
+            out.into_iter()
+                .map(|m| m.lock().take().expect("every index was planned"))
+                .collect()
+        };
+        // Collect; on any planning failure, re-register the partitions
+        // untouched so no committed transaction is lost.
+        let mut plans = Vec::with_capacity(results.len());
+        let mut first_err = None;
+        for r in results {
+            match r {
+                Ok((grounded, stats)) => {
+                    self.core.solver_stats.lock().absorb(&stats);
+                    plans.push(grounded);
+                }
+                Err(e) => {
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        if let Some(e) = first_err {
+            drop(base);
+            self.reinstall(parts);
+            return Err(e);
+        }
+
+        // Apply phase (serial, under the one base write lock). Each
+        // transaction's metrics are recorded as soon as its frame is
+        // durable, so an apply error part-way leaves the accounting exact
+        // for everything that did land; untouched partitions go back into
+        // the registry pending.
+        let mut base = base;
+        let mut collapsed = 0usize;
+        let mut apply_err: Option<EngineError> = None;
+        let mut failed_at: usize = plans.len();
+        let mut applied_in_failed: Vec<TxnId> = Vec::new();
+        'apply: for (idx, grounded) in plans.iter().enumerate() {
+            applied_in_failed.clear();
+            for g in grounded {
+                let applied = (|| -> Result<()> {
+                    for op in &g.ops {
+                        base.db.apply(op)?;
+                    }
+                    self.core.wal.lock().append(&LogRecord::Ground {
+                        id: g.id,
+                        ops: g.ops.clone(),
+                    })?;
+                    Ok(())
+                })();
+                if let Err(e) = applied {
+                    apply_err = Some(e);
+                    failed_at = idx;
+                    break 'apply;
+                }
+                applied_in_failed.push(g.id);
+                collapsed += 1;
+                {
+                    let t = self.core.metrics.begin();
+                    t.record_ground(GroundReason::Explicit);
+                    t.add(|c| &c.optionals_satisfied, g.promoted as u64);
+                    t.add(|c| &c.optionals_total, g.total_optionals as u64);
+                }
+                if self.core.config.record_events {
+                    self.core.metrics.push_event(Event::Grounded {
+                        id: g.id,
+                        reason: GroundReason::Explicit,
+                        optionals_satisfied: g.promoted,
+                        optionals_total: g.total_optionals,
+                    });
+                }
+            }
+        }
+        if let Some(e) = apply_err {
+            // Untouched partitions go back pending verbatim. The failed
+            // partition's not-yet-applied suffix is restored with a
+            // freshly solved cache (its planned cache assumed the whole
+            // collapse would land).
+            let mut rest = parts.split_off(failed_at + 1);
+            let mut failed = parts.pop().expect("failed partition present");
+            failed.txns.retain(|t| !applied_in_failed.contains(&t.id));
+            failed.extras.clear();
+            if !failed.txns.is_empty() {
+                let mut solver = self.solver();
+                let refs = failed.txn_refs();
+                // On resolve failure the suffix is unrecoverable (the
+                // failing write tore the base mid-transaction): it is
+                // dropped; the engine is compromised anyway and says so
+                // through `e`. The pending gauge may over-count from here.
+                if let Ok(Some(cache)) = CachedSolution::resolve(&mut solver, &base.db, &refs) {
+                    failed.cache = cache;
+                    rest.push(failed);
+                }
+                self.absorb(&solver);
+            }
+            drop(base);
+            self.reinstall(rest);
+            return Err(e);
+        }
+        drop(base);
+        Ok(collapsed)
+    }
+
+    /// Put drained partitions back into the registry under fresh ids
+    /// (error recovery for `ground_all`).
+    fn reinstall(&self, parts: Vec<Partition>) {
+        let mut reg = self.core.reg.lock();
+        for part in parts {
+            if part.is_empty() {
+                continue;
+            }
+            let pid = reg.next_pid;
+            reg.next_pid += 1;
+            reg.slots.insert(
+                pid,
+                Entry {
+                    footprint: part.footprint(),
+                    slot: Arc::new(Slot {
+                        state: Mutex::new(SlotState { part, dead: false }),
+                    }),
+                },
+            );
+        }
+    }
+
+    // -- Reads ------------------------------------------------------------
+
+    /// Read with full collapse semantics (§3.2.2, option 3): pending
+    /// transactions whose updates unify with the query are grounded first
+    /// (locking only their partitions), then the query is answered from
+    /// the extensional state under a shared base read.
+    pub fn read(&self, atoms: &[Atom], limit: Option<usize>) -> Result<Vec<Valuation>> {
+        let _c = self.coarse();
+        self.do_read(atoms, limit)
+    }
+
+    fn do_read(&self, atoms: &[Atom], limit: Option<usize>) -> Result<Vec<Valuation>> {
+        self.core.metrics.begin().add(|c| &c.reads, 1);
+        let mut solver = self.solver();
+        let out = self.read_collapsing(atoms, limit, &mut solver);
+        self.absorb(&solver);
+        out
+    }
+
+    fn read_collapsing(
+        &self,
+        atoms: &[Atom],
+        limit: Option<usize>,
+        solver: &mut Solver,
+    ) -> Result<Vec<Valuation>> {
+        // Conservative unification-based read check (grounding may expose
+        // further overlaps, so loop to a fixed point).
+        loop {
+            let cand: Option<(u64, Arc<Slot>)> = {
+                let reg = self.core.reg.lock();
+                reg.slots
+                    .iter()
+                    .find(|(_, e)| e.footprint.touched_by_query(atoms))
+                    .map(|(&pid, e)| (pid, Arc::clone(&e.slot)))
+            };
+            let Some((pid, slot)) = cand else { break };
+            let mut st = slot.state.lock();
+            if st.dead {
+                continue;
+            }
+            let target = st
+                .part
+                .txns
+                .iter()
+                .find(|pt| crate::read::read_affects(&pt.txn, atoms))
+                .map(|pt| (pt.id, pt.txn.clone()));
+            let Some((id, target_txn)) = target else {
+                // The footprint over-approximated (stale after earlier
+                // groundings): shrink it so the scan progresses.
+                self.publish(pid, &mut st);
+                continue;
+            };
+            // Pull in coordination partners so a read does not needlessly
+            // split a pair that could still coordinate.
+            let others: Vec<PendingTxn> = st
+                .part
+                .txns
+                .iter()
+                .filter(|p| p.id != id)
+                .cloned()
+                .collect();
+            let mut ids = coordination_partners(&target_txn, &others);
+            ids.push(id);
+            self.ground_in_slot(&mut st, &ids, GroundReason::Read, solver)?;
+            self.publish(pid, &mut st);
+        }
+        let base = self.core.base.read();
+        eval_on(&base.db, atoms, limit)
+    }
+
+    /// Peek semantics (§3.2.2, option 2): answer against *one* possible
+    /// world — base plus the cached solutions of the partitions the query
+    /// touches — without fixing anything. Partitions whose updates cannot
+    /// unify with the query are provably irrelevant to the answer and are
+    /// neither locked nor applied.
+    pub fn read_peek(&self, atoms: &[Atom], limit: Option<usize>) -> Result<Vec<Valuation>> {
+        let _c = self.coarse();
+        self.with_touched_partitions(atoms, |db, parts| {
+            let mut world = db.clone();
+            for p in &parts {
+                let refs = p.txn_refs();
+                for op in p.cache.pending_ops(&refs)? {
+                    world.apply(&op)?;
+                }
+            }
+            eval_on(&world, atoms, limit)
+        })
+    }
+
+    /// All-possible-values semantics (§3.2.2, option 1): enumerate
+    /// possible worlds (bounded) over the touched partitions and return
+    /// the distinct answer sets across them.
+    pub fn read_possible(&self, atoms: &[Atom], world_bound: usize) -> Result<Vec<Vec<Valuation>>> {
+        let _c = self.coarse();
+        self.with_touched_partitions(atoms, |db, parts| {
+            let mut pending: Vec<&PendingTxn> = parts.iter().flat_map(|p| p.txns.iter()).collect();
+            pending.sort_by_key(|p| p.id);
+            let txns: Vec<&ResourceTransaction> = pending.iter().map(|p| &p.txn).collect();
+            let worlds = crate::worlds::enumerate_worlds(db, &txns, world_bound)?;
+            let mut distinct: BTreeSet<Vec<Valuation>> = BTreeSet::new();
+            for w in &worlds.worlds {
+                distinct.insert(eval_on(w, atoms, None)?);
+            }
+            Ok(distinct.into_iter().collect())
+        })
+    }
+
+    /// Lock every partition whose pending updates could affect `atoms`
+    /// (ascending id order), take a base read, and run `f` on a consistent
+    /// snapshot.
+    fn with_touched_partitions<R>(
+        &self,
+        atoms: &[Atom],
+        f: impl FnOnce(&Database, Vec<Partition>) -> Result<R>,
+    ) -> Result<R> {
+        'retry: loop {
+            let cands: Vec<(u64, Arc<Slot>)> = {
+                let reg = self.core.reg.lock();
+                reg.slots
+                    .iter()
+                    .filter(|(_, e)| e.footprint.touched_by_query(atoms))
+                    .map(|(&pid, e)| (pid, Arc::clone(&e.slot)))
+                    .collect()
+            };
+            let mut guards = Vec::with_capacity(cands.len());
+            for (_, slot) in &cands {
+                let st = slot.state.lock();
+                if st.dead {
+                    continue 'retry; // drained mid-scan; rescan
+                }
+                guards.push(st);
+            }
+            let parts: Vec<Partition> = guards.iter().map(|g| g.part.clone()).collect();
+            let base = self.core.base.read();
+            drop(guards);
+            return f(&base.db, parts);
+        }
+    }
+
+    // -- Writes -----------------------------------------------------------
+
+    /// A blind non-resource write (§3.2.2 "Writes"). Locks the partitions
+    /// the write could interact with *before* touching the base, then
+    /// re-validates their caches against the new state; returns `Ok(false)`
+    /// when the write would leave some pending transaction without a
+    /// consistent grounding.
+    pub fn write(&self, op: WriteOp) -> Result<bool> {
+        let _c = self.coarse();
+        let mut solver = self.solver();
+        let out = self.do_write(op, &mut solver);
+        self.absorb(&solver);
+        out
+    }
+
+    fn do_write(&self, op: WriteOp, solver: &mut Solver) -> Result<bool> {
+        let as_atom = Atom::new(
+            op.relation(),
+            op.tuple()
+                .iter()
+                .map(|v| qdb_logic::Term::Const(v.clone()))
+                .collect(),
+        );
+        'retry: loop {
+            let cands: Vec<(u64, Arc<Slot>)> = {
+                let reg = self.core.reg.lock();
+                reg.slots
+                    .iter()
+                    .filter(|(_, e)| e.footprint.touched_by_write(&as_atom))
+                    .map(|(&pid, e)| (pid, Arc::clone(&e.slot)))
+                    .collect()
+            };
+            let mut guards = Vec::with_capacity(cands.len());
+            for (_, slot) in &cands {
+                let st = slot.state.lock();
+                if st.dead {
+                    continue 'retry;
+                }
+                guards.push(st);
+            }
+            // Exact affectedness on actual contents (footprints are
+            // conservative).
+            let affected: Vec<usize> = guards
+                .iter()
+                .enumerate()
+                .filter(|(_, st)| {
+                    st.part.txns.iter().any(|pt| {
+                        pt.txn
+                            .body
+                            .iter()
+                            .map(|b| &b.atom)
+                            .chain(pt.txn.updates.iter().map(|u| &u.atom))
+                            .any(|a| a.may_overlap(&as_atom))
+                    })
+                })
+                .map(|(i, _)| i)
+                .collect();
+
+            let mut base = self.core.base.write();
+            let changed = base.db.apply(&op)?;
+            if affected.is_empty() {
+                if changed {
+                    self.core.wal.lock().append(&LogRecord::Write(op))?;
+                    self.core.metrics.begin().add(|c| &c.writes_applied, 1);
+                }
+                return Ok(true);
+            }
+
+            // Re-validate every affected partition against the new base.
+            let mut new_caches: Vec<(usize, Option<CachedSolution>)> = Vec::new();
+            let mut ok = true;
+            for &i in &affected {
+                let p = &guards[i].part;
+                let refs = p.txn_refs();
+                if p.cache.verify(solver, &base.db, &refs)? {
+                    new_caches.push((i, None)); // cache still good
+                    continue;
+                }
+                match CachedSolution::resolve(solver, &base.db, &refs)? {
+                    Some(cache) => new_caches.push((i, Some(cache))),
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if !ok {
+                // Undo and reject.
+                if changed {
+                    base.db.apply(&op.inverse())?;
+                }
+                self.core.metrics.begin().add(|c| &c.writes_rejected, 1);
+                self.push_event(Event::WriteRejected);
+                return Ok(false);
+            }
+            for (i, cache) in new_caches {
+                // The base changed under this partition: alternatives are
+                // no longer known-good.
+                guards[i].extras_invalidate(cache);
+            }
+            if changed {
+                self.core.wal.lock().append(&LogRecord::Write(op))?;
+                self.core.metrics.begin().add(|c| &c.writes_applied, 1);
+            }
+            return Ok(true);
+        }
+    }
+
+    // -- DDL & loading -----------------------------------------------------
+
+    /// Create a table (logged).
+    pub fn create_table(&self, schema: Schema) -> Result<()> {
+        let _c = self.coarse();
+        let mut base = self.core.base.write();
+        base.db.create_table(schema.clone())?;
+        self.core
+            .wal
+            .lock()
+            .append(&LogRecord::CreateTable(schema))?;
+        Ok(())
+    }
+
+    /// Create a secondary index (logged).
+    pub fn create_index(&self, relation: &str, column: usize) -> Result<()> {
+        let _c = self.coarse();
+        let mut base = self.core.base.write();
+        base.db.table_mut(relation)?.create_index(column)?;
+        self.core.wal.lock().append(&LogRecord::CreateIndex {
+            relation: relation.to_string(),
+            column: column as u32,
+        })?;
+        Ok(())
+    }
+
+    /// Insert a batch of rows. With no pending transactions this is a fast
+    /// path (plain inserts under the base write lock — insertions are
+    /// monotone-safe for pending solutions); otherwise each row goes
+    /// through the write-admission check.
+    pub fn bulk_insert(&self, relation: &str, tuples: Vec<Tuple>) -> Result<usize> {
+        let mut applied = 0;
+        if self.core.metrics.pending() == 0 {
+            let _c = self.coarse();
+            let mut base = self.core.base.write();
+            let mut wal = self.core.wal.lock();
+            for t in tuples {
+                if base.db.insert(relation, t.clone())? {
+                    wal.append(&LogRecord::Write(WriteOp::insert(relation, t)))?;
+                    applied += 1;
+                }
+            }
+        } else {
+            for t in tuples {
+                if self.write(WriteOp::insert(relation, t))? {
+                    applied += 1;
+                }
+            }
+        }
+        Ok(applied)
+    }
+
+    /// Append a checkpoint marker to the WAL, serialized against in-flight
+    /// writers by a brief exclusive base acquisition.
+    pub fn checkpoint(&self) -> Result<()> {
+        let _c = self.coarse();
+        let _base = self.core.base.write();
+        self.core.wal.lock().append(&LogRecord::Checkpoint)?;
+        Ok(())
+    }
+
+    // -- Introspection -----------------------------------------------------
+
+    /// Run `f` against the extensional database under a shared read lock.
+    pub fn with_database<R>(&self, f: impl FnOnce(&Database) -> R) -> R {
+        let base = self.core.base.read();
+        f(&base.db)
+    }
+
+    /// Engine configuration.
+    pub fn config(&self) -> &QuantumDbConfig {
+        &self.core.config
+    }
+
+    /// Number of pending (committed, unground) transactions.
+    pub fn pending_count(&self) -> usize {
+        self.core.metrics.pending() as usize
+    }
+
+    /// Ids of pending transactions in arrival order (best-effort snapshot
+    /// under concurrency; exact when quiescent).
+    pub fn pending_ids(&self) -> Vec<TxnId> {
+        let snapshot: Vec<Arc<Slot>> = {
+            let reg = self.core.reg.lock();
+            reg.slots.values().map(|e| Arc::clone(&e.slot)).collect()
+        };
+        let mut ids: BTreeSet<TxnId> = BTreeSet::new();
+        for slot in snapshot {
+            let st = slot.state.lock();
+            if !st.dead {
+                ids.extend(st.part.txns.iter().map(|t| t.id));
+            }
+        }
+        ids.into_iter().collect()
+    }
+
+    /// Number of independent partitions currently registered.
+    pub fn partition_count(&self) -> usize {
+        self.core.reg.lock().slots.len()
+    }
+
+    /// Metrics snapshot (consistent — see [`SharedQuantumDb::metrics_with_pending`]).
+    pub fn metrics(&self) -> Metrics {
+        self.core.metrics.snapshot()
+    }
+
+    /// Metrics snapshot plus the pending count, both read from one stable
+    /// seqlock window: `committed − grounded_total == pending` holds for
+    /// every snapshot, even taken mid-`GROUND ALL` from another thread.
+    pub fn metrics_with_pending(&self) -> (Metrics, u64) {
+        self.core.metrics.snapshot_with_pending()
+    }
+
+    /// Reset metrics (between experiment phases).
+    pub fn reset_metrics(&self) {
+        self.core.metrics.reset();
+        *self.core.solver_stats.lock() = SolverStats::default();
+    }
+
+    /// Cumulative solver statistics across all operations.
+    pub fn solver_stats(&self) -> SolverStats {
+        *self.core.solver_stats.lock()
+    }
+}
+
+/// Guard for the in-flight solver gauge.
+struct SolveGauge<'a> {
+    core: &'a Core,
+}
+
+impl Drop for SolveGauge<'_> {
+    fn drop(&mut self) {
+        self.core.solves_in_flight.fetch_sub(1, SeqCst);
+    }
+}
+
+impl SlotState {
+    /// Clear stale alternative solutions and optionally install a re-solved
+    /// cache (blind-write revalidation).
+    fn extras_invalidate(&mut self, cache: Option<CachedSolution>) {
+        self.part.extras.clear();
+        if let Some(c) = cache {
+            self.part.cache = c;
+        }
+    }
+}
+
+/// Schema/arity validation for a transaction against a database (shared
+/// between the single-threaded and the sharded engine).
+pub(crate) fn validate_schema_on(db: &Database, txn: &ResourceTransaction) -> Result<()> {
+    let atoms = txn
+        .body
+        .iter()
+        .map(|b| &b.atom)
+        .chain(txn.updates.iter().map(|u| &u.atom));
+    for atom in atoms {
+        let table = db.table(&atom.relation)?;
+        if table.schema().arity() != atom.arity() {
+            return Err(EngineError::Storage(
+                qdb_storage::StorageError::ArityMismatch {
+                    relation: atom.relation.to_string(),
+                    expected: table.schema().arity(),
+                    got: atom.arity(),
+                },
+            ));
+        }
+    }
+    Ok(())
+}

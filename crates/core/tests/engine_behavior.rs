@@ -463,8 +463,8 @@ fn shared_handle_serializes_concurrent_clients() {
     assert_eq!(m.submitted, 3);
     assert_eq!(m.committed, 3);
     shared.ground_all().unwrap();
-    shared.with(|q| {
-        assert_eq!(q.database().table("Bookings").unwrap().len(), 3);
+    shared.with_database(|db| {
+        assert_eq!(db.table("Bookings").unwrap().len(), 3);
     });
 }
 

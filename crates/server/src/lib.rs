@@ -26,8 +26,14 @@
 //! statements, LRU statement cache) and may pipeline many frames; the
 //! scheduling discipline guarantees responses come back in request order
 //! per connection while different connections execute on different
-//! workers. Every engine error is encoded as an `ERROR` frame — a bad
-//! statement can never take the server down.
+//! workers. Since the engine went partition-sharded
+//! ([`qdb_core::shard`]), workers are *genuinely* parallel: statements
+//! touching disjoint §4 partitions run their solver searches
+//! concurrently under a shared base read lock instead of serializing on
+//! one engine mutex, so server throughput on disjoint workloads scales
+//! with the worker count (see the `partition_scaling` experiment in
+//! `qdb-bench`). Every engine error is encoded as an `ERROR` frame — a
+//! bad statement can never take the server down.
 //!
 //! ```no_run
 //! use qdb_core::{QuantumDb, QuantumDbConfig};

@@ -20,12 +20,16 @@ pub enum Op {
         /// The reading user (booked earlier in the stream).
         user: String,
     },
+    /// Scan the whole `Bookings` table — a read whose key range overlaps
+    /// *every* partition, collapsing all pending state (the general read
+    /// §3.2.2 warns causes many groundings).
+    Scan,
 }
 
 impl Op {
-    /// Is this a read?
+    /// Is this a read (point or scan)?
     pub fn is_read(&self) -> bool {
-        matches!(self, Op::Read { .. })
+        matches!(self, Op::Read { .. } | Op::Scan)
     }
 }
 
@@ -35,6 +39,24 @@ impl Op {
 /// at uniform positions (never before the first booking) and each targets
 /// a uniformly random earlier booker.
 pub fn build_mixed_workload(pairs: &[Pair], n_reads: usize, seed: u64) -> Vec<Op> {
+    build_mixed_workload_profiled(pairs, n_reads, seed, 0)
+}
+
+/// [`build_mixed_workload`] with a contention knob: `scan_percent` of the
+/// reads become whole-table [`Op::Scan`]s instead of point reads.
+///
+/// A point read targets one user's booking — its key range overlaps (at
+/// most) that user's partition, so disjoint point reads ground disjoint
+/// partitions and parallelize. A scan's range overlaps every partition:
+/// it serializes against all pending state. Sweeping `scan_percent` from
+/// 0 to 100 moves the workload from disjoint to fully overlapping key
+/// ranges.
+pub fn build_mixed_workload_profiled(
+    pairs: &[Pair],
+    n_reads: usize,
+    seed: u64,
+    scan_percent: usize,
+) -> Vec<Op> {
     let mut rng = StdRng::seed_from_u64(seed);
     let bookings = arrange(
         pairs,
@@ -60,6 +82,13 @@ pub fn build_mixed_workload(pairs: &[Pair], n_reads: usize, seed: u64) -> Vec<Op
             let r = next_booking.next().expect("mask has booking slots");
             booked.push(r.user.as_str());
             ops.push(Op::Book(r.clone()));
+        } else if scan_percent > 0 && rng.gen_range(0..100) < scan_percent {
+            // NOTE: the percent roll consumes an RNG draw, so profiled
+            // workloads with scan_percent > 0 select different read
+            // targets than the unprofiled stream. scan_percent == 0 skips
+            // the roll entirely — build_mixed_workload's seeded sequences
+            // are bit-identical to the pre-profile behavior.
+            ops.push(Op::Scan);
         } else {
             // Safe: slot 0 is always a booking.
             let user = booked[rng.gen_range(0..booked.len())];
@@ -107,6 +136,7 @@ mod tests {
                 Op::Read { user } => {
                     assert!(seen.contains(user.as_str()), "read before booking");
                 }
+                Op::Scan => unreachable!("default profile has no scans"),
             }
         }
     }
@@ -120,6 +150,22 @@ mod tests {
         assert_ne!(
             build_mixed_workload(&pairs(), 5, 1),
             build_mixed_workload(&pairs(), 5, 2)
+        );
+    }
+
+    #[test]
+    fn scan_percent_moves_reads_from_point_to_scan() {
+        let all_point = build_mixed_workload_profiled(&pairs(), 10, 9, 0);
+        assert!(all_point.iter().all(|o| !matches!(o, Op::Scan)));
+        let all_scan = build_mixed_workload_profiled(&pairs(), 10, 9, 100);
+        assert_eq!(
+            all_scan.iter().filter(|o| matches!(o, Op::Scan)).count(),
+            10
+        );
+        // Same seed, same slot placement: only the read flavor changes.
+        assert_eq!(
+            all_point.iter().filter(|o| o.is_read()).count(),
+            all_scan.iter().filter(|o| o.is_read()).count(),
         );
     }
 

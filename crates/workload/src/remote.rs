@@ -22,6 +22,28 @@ use crate::metrics::{coordination_stats, CoordStats};
 use crate::orders::{arrange, ArrivalOrder, Request};
 use crate::runner::BOOKING_SQL;
 
+/// How booking requests map onto client connections — the contention
+/// profile of the run.
+///
+/// The §4 independence partitions are keyed (conservatively) by flight:
+/// bookings on different flights never unify, bookings on the same flight
+/// always may. The profile therefore controls how much partition sharing
+/// the server's worker pool sees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ContentionProfile {
+    /// Round-robin interleave (the default): connection `i` takes requests
+    /// `i, i+C, i+2C, …`, so partners — and every flight's key range —
+    /// spread across connections. Connections *overlap* on partitions,
+    /// exercising the sharded engine's slot handoff and merge paths.
+    #[default]
+    Interleaved,
+    /// Disjoint key ranges: connection `i` drives only flights `≡ i`
+    /// (mod C). No two connections ever touch the same partition — the
+    /// best case for partition-parallel execution and the workload the
+    /// `partition_scaling` benchmark scales across worker counts.
+    DisjointFlights,
+}
+
 /// Configuration of one remote run.
 #[derive(Debug, Clone)]
 pub struct RemoteConfig {
@@ -35,6 +57,8 @@ pub struct RemoteConfig {
     pub workers: usize,
     /// Arrival-order shuffle seed.
     pub seed: u64,
+    /// Request-to-connection assignment (disjoint vs overlapping ranges).
+    pub contention: ContentionProfile,
     /// Engine configuration.
     pub engine: QuantumDbConfig,
 }
@@ -48,7 +72,40 @@ impl RemoteConfig {
             connections,
             workers: 4,
             seed: 0xC1DE,
+            contention: ContentionProfile::default(),
             engine: QuantumDbConfig::default(),
+        }
+    }
+}
+
+/// Assign requests to connections per the contention profile.
+pub fn split_requests(
+    requests: &[Request],
+    connections: usize,
+    profile: ContentionProfile,
+) -> Vec<Vec<Request>> {
+    match profile {
+        // Interleaved round-robin split: connection `i` takes requests
+        // i, i+C, i+2C, … so partners spread across connections and the
+        // entanglement actually crosses the network.
+        ContentionProfile::Interleaved => (0..connections)
+            .map(|i| {
+                requests
+                    .iter()
+                    .skip(i)
+                    .step_by(connections)
+                    .cloned()
+                    .collect()
+            })
+            .collect(),
+        // Flight-keyed split: all requests for one flight (= one §4
+        // partition) land on one connection.
+        ContentionProfile::DisjointFlights => {
+            let mut shards: Vec<Vec<Request>> = vec![Vec::new(); connections];
+            for r in requests {
+                shards[(r.flight as usize) % connections].push(r.clone());
+            }
+            shards
         }
     }
 }
@@ -71,6 +128,9 @@ pub struct RemoteRunResult {
     /// Engine parse counter — stays at O(#connections), not O(#ops),
     /// because every connection prepares the booking statement once.
     pub parses: u64,
+    /// High-water mark of simultaneously running solver sections inside
+    /// the engine — above 1 proves admissions/groundings overlapped.
+    pub solve_concurrency_peak: u64,
     /// Server traffic counters.
     pub server: ServerStats,
 }
@@ -96,19 +156,7 @@ pub fn run_remote(cfg: &RemoteConfig) -> RemoteRunResult {
     let pairs = make_pairs(&cfg.flights, cfg.pairs_per_flight);
     let requests = arrange(&pairs, ArrivalOrder::Random { seed: cfg.seed });
     let connections = cfg.connections.max(1);
-    // Interleaved round-robin split: connection `i` takes requests
-    // i, i+C, i+2C, … so partners spread across connections and the
-    // entanglement actually crosses the network.
-    let shards: Vec<Vec<Request>> = (0..connections)
-        .map(|i| {
-            requests
-                .iter()
-                .skip(i)
-                .step_by(connections)
-                .cloned()
-                .collect()
-        })
-        .collect();
+    let shards: Vec<Vec<Request>> = split_requests(&requests, connections, cfg.contention);
 
     let start = Instant::now();
     let aborted: u64 = std::thread::scope(|scope| {
@@ -131,7 +179,8 @@ pub fn run_remote(cfg: &RemoteConfig) -> RemoteRunResult {
     drop(control);
 
     let coord =
-        shared.with(|q| coordination_stats(q.database(), &pairs, cfg.flights.rows_per_flight));
+        shared.with_database(|db| coordination_stats(db, &pairs, cfg.flights.rows_per_flight));
+    let solve_concurrency_peak = shared.solve_concurrency_peak();
     server.shutdown();
     RemoteRunResult {
         connections,
@@ -141,6 +190,7 @@ pub fn run_remote(cfg: &RemoteConfig) -> RemoteRunResult {
         aborted,
         coord,
         parses: engine_metrics.parses,
+        solve_concurrency_peak,
         server: server_stats,
     }
 }
@@ -195,6 +245,54 @@ mod tests {
         assert_eq!(res.coord.max_possible, 8);
         assert_eq!(res.coord.coordinated_users, 8);
         assert!(res.throughput > 0.0);
+    }
+
+    #[test]
+    fn disjoint_profile_keeps_flights_on_one_connection() {
+        let flights = FlightsConfig {
+            flights: 6,
+            rows_per_flight: 2,
+        };
+        let pairs = make_pairs(&flights, 2);
+        let requests = arrange(&pairs, ArrivalOrder::Random { seed: 7 });
+        let shards = split_requests(&requests, 3, ContentionProfile::DisjointFlights);
+        assert_eq!(shards.iter().map(Vec::len).sum::<usize>(), requests.len());
+        // Every flight appears on exactly one connection.
+        for flight in 1..=6i64 {
+            let on: Vec<usize> = shards
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.iter().any(|r| r.flight == flight))
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(on.len(), 1, "flight {flight} on connections {on:?}");
+        }
+        // Interleaved spreads one flight across several connections.
+        let spread = split_requests(&requests, 3, ContentionProfile::Interleaved);
+        let f1_conns = spread
+            .iter()
+            .filter(|s| s.iter().any(|r| r.flight == 1))
+            .count();
+        assert!(f1_conns > 1, "interleaved must overlap key ranges");
+    }
+
+    #[test]
+    fn remote_run_with_disjoint_profile_still_coordinates() {
+        let mut cfg = RemoteConfig::new(
+            FlightsConfig {
+                flights: 4,
+                rows_per_flight: 4,
+            },
+            3,
+            4,
+        );
+        cfg.contention = ContentionProfile::DisjointFlights;
+        let res = run_remote(&cfg);
+        assert_eq!(res.ops, 24);
+        assert_eq!(res.aborted, 0);
+        // Partner pairs never split across connections here, so full
+        // coordination is reachable and the engine must deliver it.
+        assert_eq!(res.coord.coordinated_users, res.coord.max_possible);
     }
 
     #[test]

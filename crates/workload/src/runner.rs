@@ -19,7 +19,7 @@ use crate::entangled::{make_pairs, Pair};
 use crate::flights::{build_database, install, FlightsConfig};
 use crate::is_baseline::IsClient;
 use crate::metrics::{coordination_stats, CoordStats};
-use crate::mixed::{build_mixed_workload, Op};
+use crate::mixed::Op;
 use crate::orders::{arrange, ArrivalOrder};
 
 /// The §5.1 entangled booking as a prepared statement. Positional
@@ -39,6 +39,9 @@ pub const BOOKING_SQL: &str = "\
 /// The mixed-workload read (one parameter: the reading user).
 pub const READ_SQL: &str = "SELECT @f, @s FROM Bookings(?, @f, @s)";
 
+/// The mixed-workload whole-table scan (overlaps every partition).
+pub const SCAN_SQL: &str = "SELECT @n, @f, @s FROM Bookings(@n, @f, @s)";
+
 /// One experiment configuration.
 #[derive(Debug, Clone)]
 pub struct RunConfig {
@@ -50,6 +53,9 @@ pub struct RunConfig {
     pub order: ArrivalOrder,
     /// Read operations (mixed workload); `0` = pure resource workload.
     pub n_reads: usize,
+    /// Percentage of reads that are whole-table scans (overlapping key
+    /// ranges) instead of per-user point reads (disjoint key ranges).
+    pub scan_percent: usize,
     /// Workload seed (shuffles, read placement).
     pub seed: u64,
     /// Engine configuration (contains `k`).
@@ -69,6 +75,7 @@ impl RunConfig {
             pairs_per_flight,
             order,
             n_reads: 0,
+            scan_percent: 0,
             seed: 0xC1DE,
             engine: QuantumDbConfig::with_k(k),
         }
@@ -121,9 +128,15 @@ pub fn run_quantum(cfg: &RunConfig) -> RunResult {
     let shared = qdb.into_shared();
     let session: Session = shared.session();
 
-    // Parse the two hot statements once; the loop only binds and runs.
+    // Parse the hot statements once; the loop only binds and runs. The
+    // scan statement is only prepared when the workload contains scans,
+    // keeping the parse count at exactly two for the classic workloads.
     let book = session.prepare(BOOKING_SQL).expect("booking SQL parses");
     let read = session.prepare(READ_SQL).expect("read SQL parses");
+    let scan = ops
+        .iter()
+        .any(|o| matches!(o, Op::Scan))
+        .then(|| session.prepare(SCAN_SQL).expect("scan SQL parses"));
 
     let mut cumulative = Vec::with_capacity(ops.len());
     let mut read_time = Duration::ZERO;
@@ -156,6 +169,14 @@ pub fn run_quantum(cfg: &RunConfig) -> RunResult {
                     .expect("engine healthy");
                 read_time += t0.elapsed();
             }
+            Op::Scan => {
+                let _ = scan
+                    .as_ref()
+                    .expect("scan prepared when workload has scans")
+                    .run()
+                    .expect("engine healthy");
+                read_time += t0.elapsed();
+            }
         }
         cumulative.push(start.elapsed().as_micros() as u64);
     }
@@ -169,7 +190,7 @@ pub fn run_quantum(cfg: &RunConfig) -> RunResult {
 
     let metrics = shared.metrics();
     let coord =
-        shared.with(|q| coordination_stats(q.database(), &pairs, cfg.flights.rows_per_flight));
+        shared.with_database(|db| coordination_stats(db, &pairs, cfg.flights.rows_per_flight));
     RunResult {
         label: format!("QuantumDB k={}", cfg.engine.k),
         cumulative_micros: cumulative,
@@ -208,6 +229,10 @@ pub fn run_is(cfg: &RunConfig) -> RunResult {
                 let _ = client.read_booking(user);
                 read_time += t0.elapsed();
             }
+            Op::Scan => {
+                let _ = client.scan_bookings();
+                read_time += t0.elapsed();
+            }
         }
         cumulative.push(start.elapsed().as_micros() as u64);
     }
@@ -233,7 +258,7 @@ fn ops_for(cfg: &RunConfig, pairs: &[Pair]) -> Vec<Op> {
             .map(Op::Book)
             .collect()
     } else {
-        build_mixed_workload(pairs, cfg.n_reads, cfg.seed)
+        crate::mixed::build_mixed_workload_profiled(pairs, cfg.n_reads, cfg.seed, cfg.scan_percent)
     }
 }
 
@@ -320,6 +345,24 @@ mod tests {
         // pending high-water mark stays at k... +0 tolerance.
         assert!(res.max_pending <= 3, "max_pending = {}", res.max_pending);
         assert_eq!(res.aborted, 0, "k-grounding must not cause aborts");
+    }
+
+    #[test]
+    fn scan_profile_runs_and_prepares_the_scan_once() {
+        let mut cfg = small(ArrivalOrder::Random { seed: 5 }, 61);
+        cfg.n_reads = 6;
+        cfg.scan_percent = 100; // every read overlaps every partition
+        let res = run_quantum(&cfg);
+        assert!(res.read_time > Duration::ZERO);
+        // book + point-read + scan statements: three prepares, no
+        // per-operation parses.
+        assert_eq!(res.parses, 3, "scan must be prepared exactly once");
+        // A scan collapses all pending state it meets, so it can only
+        // hurt coordination relative to the point-read profile.
+        let mut point = cfg.clone();
+        point.scan_percent = 0;
+        let p = run_quantum(&point);
+        assert!(res.coordination_percent() <= p.coordination_percent());
     }
 
     #[test]

@@ -101,10 +101,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  {who} -> {}", seat_of(who));
     }
     let (m, g) = (seat_of("Mickey"), seat_of("Goofy"));
-    session.shared().with(|q| {
-        assert!(q
-            .database()
-            .contains("Adjacent", &tuple![m.as_str(), g.as_str()]));
+    session.shared().with_database(|db| {
+        assert!(db.contains("Adjacent", &tuple![m.as_str(), g.as_str()]));
     });
     println!("Mickey ({m}) and Goofy ({g}) sit together.");
 

@@ -1,0 +1,119 @@
+//! Regression test for torn metrics snapshots.
+//!
+//! Once metrics left the engine's big lock and became atomics, a `SHOW
+//! METRICS` taken mid-`GROUND ALL` could observe *some* of a multi-counter
+//! transition — e.g. `grounded_explicit` already incremented while
+//! `pending` still counts the transaction — making `committed −
+//! grounded_total ≠ pending`. The sharded engine closes this with a
+//! seqlock: writers publish whole transitions, and a snapshot is a single
+//! `SeqCst` epoch read, the cell reads, and an epoch re-check. This test
+//! pins the guarantee by hammering snapshots from observer threads while a
+//! writer thread alternates bursts of submits with `GROUND ALL`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use quantum_db::{QuantumDb, QuantumDbConfig, Response, Session};
+
+const LANES: i64 = 6;
+const ROUNDS: usize = 15;
+
+fn build_session() -> Session {
+    let mut qdb = QuantumDb::new(QuantumDbConfig::default()).unwrap();
+    qdb.execute("CREATE TABLE Free (lane INT, slot TEXT)")
+        .unwrap();
+    qdb.execute("CREATE TABLE Taken (who TEXT, lane INT, slot TEXT)")
+        .unwrap();
+    let shared = qdb.into_shared();
+    let session = shared.session();
+    let insert = session.prepare("INSERT INTO Free VALUES (?, ?)").unwrap();
+    for lane in 0..LANES {
+        for slot in 0..ROUNDS as i64 {
+            insert
+                .bind(&[lane.into(), format!("s{slot:02}").into()])
+                .unwrap()
+                .run()
+                .unwrap();
+        }
+    }
+    session
+}
+
+#[test]
+fn show_metrics_mid_ground_all_never_observes_torn_counters() {
+    let session = build_session();
+    let done = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        // Writer: bursts of one pending booking per lane, then a global
+        // collapse — every round moves (committed, pending) and then
+        // (grounded, pending) through multi-counter transitions.
+        let writer_session = session.clone();
+        let done_ref = &done;
+        scope.spawn(move || {
+            let book = writer_session
+                .prepare(
+                    "SELECT @s FROM Free(?, @s) CHOOSE 1 \
+                     FOLLOWED BY (DELETE (?, @s) FROM Free; \
+                                  INSERT (?, ?, @s) INTO Taken)",
+                )
+                .unwrap();
+            for round in 0..ROUNDS {
+                for lane in 0..LANES {
+                    let who = format!("r{round}-l{lane}");
+                    let r = book
+                        .bind(&[lane.into(), lane.into(), who.as_str().into(), lane.into()])
+                        .unwrap()
+                        .run()
+                        .unwrap();
+                    assert!(matches!(r, Response::Committed(_)));
+                }
+                writer_session.execute("GROUND ALL").unwrap();
+            }
+            done_ref.store(true, Ordering::SeqCst);
+        });
+
+        // Observers: consistent snapshots must balance at every instant,
+        // both through the typed API and through `SHOW METRICS`.
+        for _ in 0..2 {
+            let obs = session.clone();
+            let done_ref = &done;
+            scope.spawn(move || {
+                let mut samples = 0u64;
+                while !done_ref.load(Ordering::SeqCst) {
+                    let (m, pending) = obs.shared().metrics_with_pending();
+                    assert!(
+                        m.committed >= m.grounded_total(),
+                        "snapshot tore: grounded {} > committed {}",
+                        m.grounded_total(),
+                        m.committed
+                    );
+                    assert_eq!(
+                        m.committed - m.grounded_total(),
+                        pending,
+                        "snapshot tore: committed {} − grounded {} ≠ pending {}",
+                        m.committed,
+                        m.grounded_total(),
+                        pending
+                    );
+                    let wire = obs.execute("SHOW METRICS").unwrap();
+                    let wm = wire.metrics().expect("typed metrics");
+                    assert!(
+                        wm.committed >= wm.grounded_total(),
+                        "SHOW METRICS tore: grounded {} > committed {}",
+                        wm.grounded_total(),
+                        wm.committed
+                    );
+                    samples += 1;
+                }
+                assert!(samples > 0, "observer never sampled");
+            });
+        }
+    });
+
+    // Quiesced: everything grounded, books balanced.
+    let (m, pending) = session.shared().metrics_with_pending();
+    let expected = (LANES as u64) * (ROUNDS as u64);
+    assert_eq!(m.committed, expected);
+    assert_eq!(m.grounded_total(), expected);
+    assert_eq!(pending, 0);
+}

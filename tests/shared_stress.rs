@@ -94,13 +94,11 @@ fn concurrent_sessions_never_deadlock_and_accounting_stays_consistent() {
                         }
                     }
                     // The core accounting invariant, sampled mid-flight
-                    // under one lock acquisition so the numbers are from
-                    // the same instant: every committed transaction is
-                    // either still pending or has been grounded — never
-                    // lost, never duplicated.
-                    let (m, pending) = session
-                        .shared()
-                        .with(|db| (db.metrics().clone(), db.pending_count() as u64));
+                    // from one seqlock window so the numbers are from the
+                    // same instant: every committed transaction is either
+                    // still pending or has been grounded — never lost,
+                    // never duplicated.
+                    let (m, pending) = session.shared().metrics_with_pending();
                     assert!(
                         m.committed >= m.grounded_total(),
                         "grounded more than committed"
