@@ -561,9 +561,19 @@ impl QuantumDb {
         &self.metrics
     }
 
-    /// Reset metrics (between experiment phases).
+    /// Reset metrics (between experiment phases). Still-pending
+    /// transactions are commits the new epoch inherits, so `committed`
+    /// (and the `max_pending` high-water mark) restart at the pending
+    /// count — keeping `committed − grounded_total` equal to the pending
+    /// count, the invariant the shared handle's
+    /// [`SharedQuantumDb::metrics_with_pending`] preserves (and
+    /// [`QuantumDb::into_shared`] seeds its counters from here).
+    ///
+    /// [`SharedQuantumDb::metrics_with_pending`]: crate::SharedQuantumDb::metrics_with_pending
     pub fn reset_metrics(&mut self) {
         self.metrics.reset();
+        self.metrics.committed = self.pending_count() as u64;
+        self.metrics.max_pending = self.metrics.committed;
         self.solver.reset_stats();
     }
 

@@ -284,11 +284,25 @@ impl AtomicMetrics {
     }
 
     /// Zero every counter and drop the trace (between experiment phases).
+    ///
+    /// Pending is live engine state, not a statistic: it survives the
+    /// reset, and `committed` restarts at the pending count — the
+    /// still-pending transactions are exactly the commits the new epoch
+    /// inherits — so the accounting identity `committed − grounded_total
+    /// == pending` keeps holding for every snapshot even when the reset
+    /// happens while transactions are pending. `max_pending` restarts at
+    /// the same count for the same reason: the inherited transactions are
+    /// pending from the new epoch's first instant. The whole transition
+    /// runs inside one seqlock window, so no snapshot observes it
+    /// half-done. A reset taken at quiescence (zero pending) degenerates
+    /// to zeroing everything.
     pub(crate) fn reset(&self) {
         {
-            let _t = self.begin();
-            // Pending is live state, not a statistic: it survives resets.
+            let t = self.begin();
             self.zero_counters();
+            let pending = self.pending.load(SeqCst);
+            t.add(|c| &c.committed, pending);
+            t.add(|c| &c.max_pending, pending);
         }
         self.events.lock().clear();
     }

@@ -64,6 +64,15 @@
 //! one; any operation that locked a slot through a stale `Arc` sees
 //! `dead` and rescans the registry.
 //!
+//! `GROUND ALL` is a reservation whose target set is the whole registry:
+//! it registers one host entry carrying the union of every claimed
+//! footprint and holds its slot lock from before the drain until the
+//! collapse has been applied (or its error recovery has re-registered the
+//! survivors). A statement that overlaps any claimed partition therefore
+//! blocks on the host slot instead of admission-solving against a base
+//! state whose pending collapse it cannot see; statements disjoint from
+//! the union keep running, which is exactly what §4 independence permits.
+//!
 //! # Why plan-then-apply is sound
 //!
 //! Solver work (admission and grounding planning) runs under a base *read*
@@ -117,7 +126,7 @@ use std::sync::Arc;
 
 use qdb_logic::codec::encode_transaction;
 use qdb_logic::{Atom, ResourceTransaction, Valuation, VarGen};
-use qdb_solver::{CachedSolution, Solver, SolverStats};
+use qdb_solver::{CachedSolution, Solver, SolverStats, TxnSpec};
 use qdb_storage::{Database, LogRecord, Schema, Tuple, Wal, WriteOp};
 
 use crate::config::QuantumDbConfig;
@@ -167,6 +176,26 @@ struct Registry {
     next_pid: u64,
 }
 
+impl Registry {
+    /// Register a non-empty partition in a fresh slot under a fresh id.
+    fn install(&mut self, part: Partition) {
+        if part.is_empty() {
+            return;
+        }
+        let pid = self.next_pid;
+        self.next_pid += 1;
+        self.slots.insert(
+            pid,
+            Entry {
+                footprint: part.footprint(),
+                slot: Arc::new(Slot {
+                    state: Mutex::new(SlotState { part, dead: false }),
+                }),
+            },
+        );
+    }
+}
+
 struct Core {
     config: QuantumDbConfig,
     base: RwLock<Base>,
@@ -193,9 +222,12 @@ struct Core {
 /// Statements lock only what they touch: a submit locks the partitions its
 /// transaction overlaps (merging them under the ordered-acquisition scheme
 /// described in the [module docs](self)), reads and PEEK/POSSIBLE take a
-/// shared base read plus only the touched partitions, and `GROUND ALL` /
-/// `CHECKPOINT` use a brief stop-the-world writer phase. Metrics are
-/// atomics — observation never blocks statement execution.
+/// shared base read plus only the touched partitions, and `GROUND ALL`
+/// claims every partition behind one registered host slot, plans the
+/// collapse in parallel under a shared base read, and applies it under a
+/// brief exclusive acquisition (`CHECKPOINT` is a brief exclusive
+/// acquisition alone). Metrics are atomics — observation never blocks
+/// statement execution.
 ///
 /// ```
 /// use qdb_core::{QuantumDb, QuantumDbConfig, Response};
@@ -491,28 +523,42 @@ impl SharedQuantumDb {
     }
 
     /// Atomically claim every partition `txn` may depend on and register
-    /// the merged host (see module docs, "Reservations"). The host slot is
-    /// locked before the registry is released — at that point no other
-    /// thread holds (or can discover) a reference to it, so the lock
-    /// cannot block and the returned guard is exclusive from birth:
-    /// concurrent reservations that claim the host as *their* target wait
-    /// on this guard and observe whatever this submit installs.
+    /// the merged host (see module docs, "Reservations").
     fn reserve_locked<'a>(
         &self,
         host_slot: &'a Arc<Slot>,
         txn: &ResourceTransaction,
     ) -> Reserved<'a> {
+        let partitioning = self.core.config.partitioning;
+        self.claim_locked(host_slot, Footprint::of_txn(txn), |fp| {
+            !partitioning || fp.overlaps_txn(txn)
+        })
+    }
+
+    /// The one registry-claim protocol (submit reservations and the
+    /// `GROUND ALL` whole-registry claim): atomically remove every entry
+    /// whose footprint matches `select` and register `host_slot` under a
+    /// fresh pid whose footprint is `seed` plus the union of the claimed
+    /// footprints. The host slot is locked before the registry is
+    /// released — at that point no other thread holds (or can discover) a
+    /// reference to it, so the lock cannot block and the returned guard
+    /// is exclusive from birth: concurrent reservations that claim the
+    /// host as *their* target wait on this guard and observe whatever the
+    /// claimant installs.
+    fn claim_locked<'a>(
+        &self,
+        host_slot: &'a Arc<Slot>,
+        seed: Footprint,
+        select: impl Fn(&Footprint) -> bool,
+    ) -> Reserved<'a> {
         let mut reg = self.core.reg.lock();
-        let target_pids: Vec<u64> = if self.core.config.partitioning {
-            reg.slots
-                .iter()
-                .filter(|(_, e)| e.footprint.overlaps_txn(txn))
-                .map(|(&k, _)| k)
-                .collect()
-        } else {
-            reg.slots.keys().copied().collect()
-        };
-        let mut footprint = Footprint::of_txn(txn);
+        let target_pids: Vec<u64> = reg
+            .slots
+            .iter()
+            .filter(|(_, e)| select(&e.footprint))
+            .map(|(&k, _)| k)
+            .collect();
+        let mut footprint = seed;
         let mut targets = Vec::with_capacity(target_pids.len());
         for pid in &target_pids {
             let e = reg.slots.remove(pid).expect("scanned above");
@@ -710,12 +756,16 @@ impl SharedQuantumDb {
 
     /// Ground everything — collapse the quantum state entirely.
     ///
-    /// A brief stop-the-world writer phase: every partition is reserved
-    /// and drained, then the full collapse of each partition is *planned
-    /// in parallel* across [`std::thread::scope`] workers (§4 independence
-    /// means disjoint partitions solve against the base independently),
-    /// and the planned updates are applied serially under one base write
-    /// lock.
+    /// The whole registry is claimed like a submit reservation claims its
+    /// targets (see module docs): one fresh *host* entry, footprint the
+    /// union of every claimed partition, its slot locked before the
+    /// registry is released. Overlapping statements find the host and wait
+    /// on its slot until the collapse — or its error recovery — completes;
+    /// disjoint statements keep running (§4 independence: the collapse
+    /// cannot invalidate them). The full collapse of each partition is
+    /// then *planned in parallel* across [`std::thread::scope`] workers
+    /// under a shared base read, and the planned updates are applied
+    /// serially under one brief base write acquisition.
     pub fn ground_all(&self) -> Result<()> {
         self.ground_all_counted().map(|_| ())
     }
@@ -725,21 +775,28 @@ impl SharedQuantumDb {
     /// racy before/after pending read (`GROUND ALL` responses use this).
     pub(crate) fn ground_all_counted(&self) -> Result<usize> {
         let _c = self.coarse();
-        let taken: Vec<(u64, Arc<Slot>)> = {
-            let mut reg = self.core.reg.lock();
-            let slots = std::mem::take(&mut reg.slots);
-            slots.into_iter().map(|(pid, e)| (pid, e.slot)).collect()
-        };
+        // Claim every partition under one freshly registered host entry
+        // whose footprint is the union of the claimed footprints, and hold
+        // the host slot's lock for the whole collapse. Without the claim,
+        // a submit that reserves between the registry take and the base
+        // acquisition would see no overlapping partitions, admission-solve
+        // against the pre-collapse base, and commit a transaction the
+        // collapse's planned deletes can silently invalidate — breaking
+        // the never-rolled-back guarantee.
+        let host_slot = Arc::new(Slot::default());
+        let (mut host, host_pid, taken) =
+            self.claim_locked(&host_slot, Footprint::default(), |_| true);
         let mut parts: Vec<Partition> = taken
             .iter()
             .map(|(_, slot)| self.drain(slot))
             .filter(|p| !p.is_empty())
             .collect();
         if parts.is_empty() {
+            self.publish(host_pid, &mut host);
             return Ok(0);
         }
 
-        let base = self.core.base.write();
+        let base = self.core.base.read();
         let config = &self.core.config;
         // Intra-statement plan parallelism; forced serial under the
         // coarse-lock ablation so it faithfully reproduces the
@@ -752,8 +809,10 @@ impl SharedQuantumDb {
                 .unwrap_or(1)
                 .min(parts.len())
         };
-        // Plan phase (parallel, read-only against the base): one scratch
-        // clone per partition so a failed run leaves the originals intact.
+        // Plan phase (parallel, read-only, under the *shared* base read —
+        // statements disjoint from every claimed partition keep running):
+        // one scratch clone per partition so a failed run leaves the
+        // originals intact.
         type Planned = Result<(Vec<crate::ground::GroundedTxn>, SolverStats)>;
         let results: Vec<Planned> = {
             let db = &base.db;
@@ -801,16 +860,21 @@ impl SharedQuantumDb {
         }
         if let Some(e) = first_err {
             drop(base);
-            self.reinstall(parts);
+            self.reinstall(host_pid, &mut host, parts);
             return Err(e);
         }
+        drop(base);
 
-        // Apply phase (serial, under the one base write lock). Each
+        // Apply phase (serial, under one brief base write acquisition).
+        // Releasing the read first is sound: any base mutation that could
+        // invalidate the plans must lock an overlapping slot, and every
+        // claimed footprint now routes overlap scans to the held host slot
+        // (see module docs, "Why plan-then-apply is sound"). Each
         // transaction's metrics are recorded as soon as its frame is
         // durable, so an apply error part-way leaves the accounting exact
         // for everything that did land; untouched partitions go back into
         // the registry pending.
-        let mut base = base;
+        let mut base = self.core.base.write();
         let mut collapsed = 0usize;
         let mut apply_err: Option<EngineError> = None;
         let mut failed_at: usize = plans.len();
@@ -874,32 +938,35 @@ impl SharedQuantumDb {
                 self.absorb(&solver);
             }
             drop(base);
-            self.reinstall(rest);
+            self.reinstall(host_pid, &mut host, rest);
             return Err(e);
         }
         drop(base);
+        self.publish(host_pid, &mut host);
         Ok(collapsed)
     }
 
-    /// Put drained partitions back into the registry under fresh ids
-    /// (error recovery for `ground_all`).
-    fn reinstall(&self, parts: Vec<Partition>) {
+    /// Error recovery for `ground_all`: put the surviving partitions back
+    /// while the collapse's host slot guard is still held, so the claimed
+    /// pending state is never observable as absent. If the host entry is
+    /// still registered, the survivors go back as separate fresh entries —
+    /// they are mutually disjoint, and everything admitted while the
+    /// host's union footprint was registered is disjoint from all of them
+    /// — and the host is retired. If a concurrent reservation already
+    /// claimed the host, the survivors are instead merged into the host
+    /// slot for the claimant to drain: the claimant absorbed the union
+    /// footprint, so the registry's superset invariant keeps holding.
+    fn reinstall(&self, host_pid: u64, host: &mut SlotState, parts: Vec<Partition>) {
         let mut reg = self.core.reg.lock();
-        for part in parts {
-            if part.is_empty() {
-                continue;
+        if reg.slots.remove(&host_pid).is_some() {
+            host.dead = true;
+            for part in parts {
+                reg.install(part);
             }
-            let pid = reg.next_pid;
-            reg.next_pid += 1;
-            reg.slots.insert(
-                pid,
-                Entry {
-                    footprint: part.footprint(),
-                    slot: Arc::new(Slot {
-                        state: Mutex::new(SlotState { part, dead: false }),
-                    }),
-                },
-            );
+        } else {
+            for part in parts {
+                host.part.merge(part);
+            }
         }
     }
 
@@ -1100,9 +1167,11 @@ impl SharedQuantumDb {
                 .map(|(i, _)| i)
                 .collect();
 
-            let mut base = self.core.base.write();
-            let changed = base.db.apply(&op)?;
             if affected.is_empty() {
+                // No pending state to protect: apply under a brief
+                // exclusive base acquisition.
+                let mut base = self.core.base.write();
+                let changed = base.db.apply(&op)?;
                 if changed {
                     self.core.wal.lock().append(&LogRecord::Write(op))?;
                     self.core.metrics.begin().add(|c| &c.writes_applied, 1);
@@ -1110,33 +1179,67 @@ impl SharedQuantumDb {
                 return Ok(true);
             }
 
-            // Re-validate every affected partition against the new base.
+            // Re-validate every affected partition under a *shared* base
+            // read, with the op as a virtual overlay (solver `pre_ops`) —
+            // the potentially long verify/resolve search blocks neither
+            // readers nor other partitions' admissions. Sound because the
+            // held slots exclude every statement that could mutate this
+            // op's tuple (it overlaps the held footprints by construction)
+            // or the affected partitions, so the planned caches stay valid
+            // until the brief exclusive apply below (see module docs, "Why
+            // plan-then-apply is sound").
             let mut new_caches: Vec<(usize, Option<CachedSolution>)> = Vec::new();
-            let mut ok = true;
-            for &i in &affected {
-                let p = &guards[i].part;
-                let refs = p.txn_refs();
-                if p.cache.verify(solver, &base.db, &refs)? {
-                    new_caches.push((i, None)); // cache still good
-                    continue;
+            {
+                let base = self.core.base.read();
+                // A no-op against the current base (insert of a present
+                // row, delete of an absent one) changes nothing and cannot
+                // invalidate any pending state.
+                let present = base.db.contains(op.relation(), op.tuple());
+                let noop = match op {
+                    WriteOp::Insert { .. } => present,
+                    WriteOp::Delete { .. } => !present,
+                };
+                if noop {
+                    return Ok(true);
                 }
-                match CachedSolution::resolve(solver, &base.db, &refs)? {
-                    Some(cache) => new_caches.push((i, Some(cache))),
-                    None => {
-                        ok = false;
-                        break;
+                let _gauge = self.enter_solve();
+                let overlay = std::slice::from_ref(&op);
+                let mut ok = true;
+                for &i in &affected {
+                    let p = &guards[i].part;
+                    let specs: Vec<TxnSpec> = p
+                        .txns
+                        .iter()
+                        .map(|t| TxnSpec::required_only(&t.txn))
+                        .collect();
+                    if solver.verify(&base.db, overlay, &specs, &p.cache.valuations)? {
+                        new_caches.push((i, None)); // cache still good
+                        continue;
+                    }
+                    match solver.solve(&base.db, overlay, &specs)? {
+                        Some(sol) => new_caches.push((
+                            i,
+                            Some(CachedSolution {
+                                valuations: sol.valuations,
+                            }),
+                        )),
+                        None => {
+                            ok = false;
+                            break;
+                        }
                     }
                 }
-            }
-            if !ok {
-                // Undo and reject.
-                if changed {
-                    base.db.apply(&op.inverse())?;
+                if !ok {
+                    // Reject without ever having touched the base.
+                    self.core.metrics.begin().add(|c| &c.writes_rejected, 1);
+                    self.push_event(Event::WriteRejected);
+                    return Ok(false);
                 }
-                self.core.metrics.begin().add(|c| &c.writes_rejected, 1);
-                self.push_event(Event::WriteRejected);
-                return Ok(false);
             }
+
+            // Apply + log under a brief exclusive acquisition.
+            let mut base = self.core.base.write();
+            let changed = base.db.apply(&op)?;
             for (i, cache) in new_caches {
                 // The base changed under this partition: alternatives are
                 // no longer known-good.
@@ -1258,12 +1361,17 @@ impl SharedQuantumDb {
 
     /// Metrics snapshot plus the pending count, both read from one stable
     /// seqlock window: `committed − grounded_total == pending` holds for
-    /// every snapshot, even taken mid-`GROUND ALL` from another thread.
+    /// every snapshot, even taken mid-`GROUND ALL` from another thread,
+    /// and across [`SharedQuantumDb::reset_metrics`] calls made while
+    /// transactions are pending.
     pub fn metrics_with_pending(&self) -> (Metrics, u64) {
         self.core.metrics.snapshot_with_pending()
     }
 
-    /// Reset metrics (between experiment phases).
+    /// Reset metrics (between experiment phases). `committed` restarts at
+    /// the live pending count so the accounting identity of
+    /// [`SharedQuantumDb::metrics_with_pending`] survives a reset taken
+    /// while transactions are pending.
     pub fn reset_metrics(&self) {
         self.core.metrics.reset();
         *self.core.solver_stats.lock() = SolverStats::default();

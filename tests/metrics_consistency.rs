@@ -117,3 +117,59 @@ fn show_metrics_mid_ground_all_never_observes_torn_counters() {
     assert_eq!(m.grounded_total(), expected);
     assert_eq!(pending, 0);
 }
+
+/// `reset_metrics` taken while transactions are pending must not break
+/// the accounting identity: `committed` restarts at the pending count
+/// (the commits the new epoch inherits), so `committed − grounded_total
+/// == pending` keeps holding for every later snapshot — including ones
+/// taken after the inherited transactions ground.
+#[test]
+fn reset_mid_pending_keeps_the_accounting_identity() {
+    let session = build_session();
+    let book = session
+        .prepare(
+            "SELECT @s FROM Free(?, @s) CHOOSE 1 \
+             FOLLOWED BY (DELETE (?, @s) FROM Free; \
+                          INSERT (?, ?, @s) INTO Taken)",
+        )
+        .unwrap();
+    for lane in 0..LANES {
+        let who = format!("pre-reset-l{lane}");
+        let r = book
+            .bind(&[lane.into(), lane.into(), who.as_str().into(), lane.into()])
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(matches!(r, Response::Committed(_)));
+    }
+    let shared = session.shared();
+    assert_eq!(shared.pending_count() as i64, LANES);
+
+    shared.reset_metrics();
+    let (m, pending) = shared.metrics_with_pending();
+    assert_eq!(pending as i64, LANES, "pending is live state, not a stat");
+    assert_eq!(m.committed, pending, "reset inherits pending as committed");
+    assert_eq!(
+        m.max_pending, pending,
+        "inherited pending is the high-water"
+    );
+    assert_eq!(m.grounded_total(), 0);
+    assert_eq!(m.submitted, 0);
+
+    // Grounding the inherited transactions keeps the identity balanced…
+    shared.ground_all().unwrap();
+    let (m, pending) = shared.metrics_with_pending();
+    assert_eq!(pending, 0);
+    assert_eq!(m.committed - m.grounded_total(), pending);
+
+    // …and so does post-reset traffic.
+    let r = book
+        .bind(&[0i64.into(), 0i64.into(), "post-reset".into(), 0i64.into()])
+        .unwrap()
+        .run()
+        .unwrap();
+    assert!(matches!(r, Response::Committed(_)));
+    let (m, pending) = shared.metrics_with_pending();
+    assert_eq!(m.committed - m.grounded_total(), pending);
+    assert_eq!(pending, 1);
+}
