@@ -1,17 +1,20 @@
 //! Regenerate every table and figure of the paper's evaluation (§5).
 //!
 //! ```text
-//! reproduce [table1|fig5|fig6|fig7|table2|fig8|fig9|phase|partition_scaling|all]
+//! reproduce [table1|fig5|fig6|fig7|table2|fig8|fig9|phase|partition_scaling|
+//!            admission_depth|all]...
 //!           [--scale full|smoke] [--json]
 //! ```
 //!
+//! Several experiment names may be given; they run in the canonical order.
 //! `full` runs the paper's parameters (slow: Fig. 7 alone executes up to
 //! 15 000 transactions per k); `smoke` is a quick shape-check. Output is
 //! plain text: tables match the paper's tables, figures are printed as
 //! tab-separated series. With `--json`, the same measurements (plus
 //! derived throughput/latency) are additionally written to
-//! `BENCH_results.json`, so the performance trajectory of the repo can be
-//! tracked run over run.
+//! `BENCH_results.json` — stamped with the git commit and a UTC timestamp
+//! — so the performance trajectory of the repo can be tracked run over
+//! run.
 
 use qdb_bench::experiments::*;
 use qdb_bench::json::{num, str as jstr, Json};
@@ -35,7 +38,7 @@ impl Scale {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut which = "all".to_string();
+    let mut which: Vec<String> = Vec::new();
     let mut scale = Scale::Full;
     let mut json = false;
     let mut i = 0;
@@ -49,11 +52,14 @@ fn main() {
                 };
             }
             "--json" => json = true,
-            other => which = other.to_string(),
+            other => which.push(other.to_string()),
         }
         i += 1;
     }
-    const KNOWN: [&str; 10] = [
+    if which.is_empty() {
+        which.push("all".to_string());
+    }
+    const KNOWN: [&str; 11] = [
         "all",
         "table1",
         "fig5",
@@ -64,38 +70,46 @@ fn main() {
         "fig9",
         "phase",
         "partition_scaling",
+        "admission_depth",
     ];
-    if !KNOWN.contains(&which.as_str()) {
-        eprintln!(
-            "unknown experiment '{which}'; expected one of: {}",
-            KNOWN.join("|")
-        );
-        std::process::exit(2);
+    for w in &which {
+        if !KNOWN.contains(&w.as_str()) {
+            eprintln!(
+                "unknown experiment '{w}'; expected one or more of: {}",
+                KNOWN.join("|")
+            );
+            std::process::exit(2);
+        }
     }
     let seed = 0xC1DE;
-    let run_all = which == "all";
+    let wants = |name: &str| which.iter().any(|w| w == "all") || which.iter().any(|w| w == name);
     let mut records: Vec<Json> = Vec::new();
-    if run_all || which == "table1" {
+    if wants("table1") {
         records.push(table1(seed));
     }
-    if run_all || which == "fig5" || which == "fig6" {
+    if wants("fig5") || wants("fig6") {
         records.push(fig5_fig6(scale, seed));
     }
-    if run_all || which == "fig7" || which == "table2" {
+    if wants("fig7") || wants("table2") {
         records.push(fig7_table2(scale, seed));
     }
-    if run_all || which == "fig8" || which == "fig9" {
+    if wants("fig8") || wants("fig9") {
         records.push(fig8_fig9(scale, seed));
     }
-    if run_all || which == "phase" {
+    if wants("phase") {
         records.push(phase());
     }
-    if run_all || which == "partition_scaling" {
+    if wants("partition_scaling") {
         records.push(partition_scaling_report(scale, seed));
+    }
+    if wants("admission_depth") {
+        records.push(admission_depth_report(scale));
     }
     if json {
         let doc = Json::obj([
             ("suite", jstr("quantum-db reproduce")),
+            ("git_commit", jstr(qdb_bench::git_commit())),
+            ("generated_at", jstr(qdb_bench::iso8601_now())),
             ("scale", jstr(scale.label())),
             ("seed", num(seed as u32)),
             ("experiments", Json::Arr(records)),
@@ -109,6 +123,75 @@ fn main() {
             }
         }
     }
+}
+
+fn admission_depth_report(scale: Scale) -> Json {
+    let (depths, flights, seats): (Vec<usize>, usize, usize) = match scale {
+        Scale::Full => (vec![8, 32, 128], 8, 160),
+        Scale::Smoke => (vec![4, 8], 4, 16),
+    };
+    println!("== Admission depth: solver hot-path latency vs pending-queue depth ==");
+    println!(
+        "(one partition filled to depth D; cached-extend vs full-resolve ablation;\n\
+         {flights} flights x {seats} seats)\n"
+    );
+    let rows = admission_depth(&depths, flights, seats);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.mode.clone(),
+                r.depth.to_string(),
+                format!("{:.1}", r.tail_latency_us),
+                format!("{:.1}", r.mean_latency_us),
+                format!("{:.0}", r.nodes_per_sec),
+                r.candidates_streamed.to_string(),
+                format!("{}/{}", r.index_lookups, r.scan_lookups),
+                format!("{}/{}", r.cache_extensions, r.cache_full_resolves),
+                r.indexes_auto_created.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &[
+                "mode", "depth", "tail_us", "mean_us", "nodes/s", "streamed", "ix/scan",
+                "ext/full", "auto-ix"
+            ],
+            &table
+        )
+    );
+    for r in &rows {
+        assert_eq!(
+            r.candidate_vecs, 0,
+            "fast path must not materialize candidate vectors"
+        );
+    }
+    Json::obj([
+        ("experiment", jstr("admission_depth")),
+        (
+            "points",
+            Json::arr(rows.iter().map(|r| {
+                Json::obj([
+                    ("mode", jstr(r.mode.clone())),
+                    ("depth", num(r.depth as f64)),
+                    ("tail_latency_us", num(r.tail_latency_us)),
+                    ("mean_latency_us", num(r.mean_latency_us)),
+                    ("total_seconds", num(r.total_seconds)),
+                    ("solver_nodes", num(r.solver_nodes as f64)),
+                    ("nodes_per_sec", num(r.nodes_per_sec)),
+                    ("candidates_streamed", num(r.candidates_streamed as f64)),
+                    ("candidate_vecs", num(r.candidate_vecs as f64)),
+                    ("index_lookups", num(r.index_lookups as f64)),
+                    ("scan_lookups", num(r.scan_lookups as f64)),
+                    ("cache_extensions", num(r.cache_extensions as f64)),
+                    ("cache_full_resolves", num(r.cache_full_resolves as f64)),
+                    ("indexes_auto_created", num(r.indexes_auto_created as f64)),
+                ])
+            })),
+        ),
+    ])
 }
 
 fn partition_scaling_report(scale: Scale, seed: u64) -> Json {

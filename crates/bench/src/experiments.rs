@@ -266,6 +266,152 @@ pub fn partition_scaling(
     out
 }
 
+/// One point of the `admission_depth` experiment.
+#[derive(Debug, Clone)]
+pub struct AdmissionDepthRow {
+    /// Cache mode: `"cached-extend"` (solution cache on — every admission
+    /// extends the partition's cached solution) or `"full-resolve"`
+    /// (ablation: the whole pending sequence re-solves on every submit).
+    pub mode: String,
+    /// Pending-queue depth the partition is filled to.
+    pub depth: usize,
+    /// Mean admission latency over the **last quartile** of the fill — the
+    /// submits that executed at queue depth ≈ `depth` — in microseconds.
+    pub tail_latency_us: f64,
+    /// Mean admission latency over the whole fill, in microseconds.
+    pub mean_latency_us: f64,
+    /// Wall-clock seconds for the whole fill.
+    pub total_seconds: f64,
+    /// Solver search nodes expended.
+    pub solver_nodes: u64,
+    /// Solver nodes per second.
+    pub nodes_per_sec: f64,
+    /// Candidate rows pulled through streaming cursors.
+    pub candidates_streamed: u64,
+    /// Candidate vectors materialized (must stay 0: the fast path
+    /// streams).
+    pub candidate_vecs: u64,
+    /// Hot-path lookups answered by a secondary index.
+    pub index_lookups: u64,
+    /// Hot-path lookups that fell back to a scan.
+    pub scan_lookups: u64,
+    /// Admissions that extended the cached solution.
+    pub cache_extensions: u64,
+    /// Admissions that needed a full re-solve.
+    pub cache_full_resolves: u64,
+    /// Indexes the access-pattern tracker promoted during the fill.
+    pub indexes_auto_created: u64,
+}
+
+/// Admission latency vs pending-queue depth — the solver hot path the §5
+/// experiments pay on every statement, isolated from lock effects.
+///
+/// One flight's partition is filled to `depth` pending bookings (all
+/// bookings bind the flight column, so they share one §4 partition and the
+/// composed body grows with the queue); `flights × seats_per_flight` rows
+/// give the tracker a reason to promote the flight column. Swept for the
+/// cached-extend engine and the full-resolve ablation — the pair the §4
+/// "Solution Cache" discussion motivates.
+///
+/// `seats_per_flight` must be ≥ the largest depth (every booking must
+/// admit).
+pub fn admission_depth(
+    depths: &[usize],
+    flights: usize,
+    seats_per_flight: usize,
+) -> Vec<AdmissionDepthRow> {
+    use qdb_core::{QuantumDb, QuantumDbConfig};
+    use qdb_logic::parse_transaction;
+    use qdb_storage::{Schema, Tuple, Value, ValueType};
+    use std::time::Instant;
+
+    let mut out = Vec::new();
+    for &cached in &[true, false] {
+        for &depth in depths {
+            assert!(
+                depth <= seats_per_flight,
+                "depth {depth} exceeds flight capacity {seats_per_flight}"
+            );
+            let mut cfg = QuantumDbConfig::with_k(depth + 1);
+            cfg.use_solution_cache = cached;
+            let mut qdb = QuantumDb::new(cfg).expect("engine");
+            qdb.create_table(
+                Schema::new(
+                    "Available",
+                    vec![("flight", ValueType::Int), ("seat", ValueType::Str)],
+                )
+                .with_key(vec![0, 1])
+                .expect("key"),
+            )
+            .expect("schema");
+            qdb.create_table(Schema::new(
+                "Bookings",
+                vec![
+                    ("name", ValueType::Str),
+                    ("flight", ValueType::Int),
+                    ("seat", ValueType::Str),
+                ],
+            ))
+            .expect("schema");
+            for f in 1..=flights {
+                let rows: Vec<Tuple> = (0..seats_per_flight)
+                    .map(|s| {
+                        Tuple::from(vec![Value::from(f as i64), Value::from(format!("s{s:03}"))])
+                    })
+                    .collect();
+                qdb.bulk_insert("Available", rows).expect("populate");
+            }
+            // Parse outside the timed loop: this measures admission, not
+            // the parser (the workload runner prepares once too).
+            let txns: Vec<_> = (0..depth)
+                .map(|i| {
+                    parse_transaction(&format!(
+                        "-Available(1, s), +Bookings('u{i}', 1, s) :-1 Available(1, s)"
+                    ))
+                    .expect("well-formed")
+                })
+                .collect();
+            let mut latencies = Vec::with_capacity(depth);
+            let t0 = Instant::now();
+            for t in &txns {
+                let s = Instant::now();
+                assert!(
+                    qdb.submit(t).expect("engine healthy").is_committed(),
+                    "capacity sized so every booking admits"
+                );
+                latencies.push(s.elapsed().as_nanos() as u64);
+            }
+            let total = t0.elapsed();
+            let tail = &latencies[depth - (depth / 4).max(1)..];
+            let mean = |xs: &[u64]| xs.iter().sum::<u64>() as f64 / xs.len().max(1) as f64 / 1000.0;
+            let stats = *qdb.solver_stats();
+            let m = qdb.metrics();
+            out.push(AdmissionDepthRow {
+                mode: if cached {
+                    "cached-extend"
+                } else {
+                    "full-resolve"
+                }
+                .to_string(),
+                depth,
+                tail_latency_us: mean(tail),
+                mean_latency_us: mean(&latencies),
+                total_seconds: total.as_secs_f64(),
+                solver_nodes: stats.nodes,
+                nodes_per_sec: stats.nodes as f64 / total.as_secs_f64().max(f64::EPSILON),
+                candidates_streamed: stats.candidates_streamed,
+                candidate_vecs: stats.candidate_vecs,
+                index_lookups: stats.index_lookups,
+                scan_lookups: stats.scan_lookups,
+                cache_extensions: m.cache_extensions,
+                cache_full_resolves: m.cache_full_resolves,
+                indexes_auto_created: m.indexes_auto_created,
+            });
+        }
+    }
+    out
+}
+
 /// One point of the §6 phase-transition illustration.
 #[derive(Debug, Clone)]
 pub struct PhaseRow {
@@ -444,6 +590,39 @@ mod tests {
                 .iter()
                 .any(|r| r.workers == w && r.label == "coarse-lock"));
         }
+    }
+
+    #[test]
+    fn admission_depth_smoke_is_streaming_and_extend_only() {
+        let rows = admission_depth(&[2, 4], 2, 8);
+        assert_eq!(rows.len(), 4); // {2,4} depths × {cached, full-resolve}
+        for r in &rows {
+            // The hot path streams: no candidate vectors, ever.
+            assert_eq!(r.candidate_vecs, 0, "{} depth {}", r.mode, r.depth);
+            assert!(r.candidates_streamed > 0);
+            assert!(r.tail_latency_us > 0.0);
+            match r.mode.as_str() {
+                // Every admission under the solution cache must extend —
+                // zero full re-solves (the CI regression gate).
+                "cached-extend" => {
+                    assert_eq!(r.cache_full_resolves, 0);
+                    assert_eq!(r.cache_extensions, r.depth as u64);
+                }
+                "full-resolve" => {
+                    assert_eq!(r.cache_extensions, 0);
+                    assert_eq!(r.cache_full_resolves, r.depth as u64);
+                }
+                other => panic!("unexpected mode {other}"),
+            }
+        }
+        // The ablation pays more solver nodes at equal depth.
+        let ext = rows
+            .iter()
+            .find(|r| r.mode == "cached-extend" && r.depth == 4);
+        let full = rows
+            .iter()
+            .find(|r| r.mode == "full-resolve" && r.depth == 4);
+        assert!(full.unwrap().solver_nodes > ext.unwrap().solver_nodes);
     }
 
     #[test]

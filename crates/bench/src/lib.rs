@@ -8,9 +8,12 @@
 pub mod experiments;
 pub mod json;
 pub mod report;
+pub mod stamp;
 
 pub use experiments::{
-    fig5_fig6_order_of_arrival, fig7_table2_scalability, fig8_fig9_mixed, paper_orders,
-    phase_transition, table1_max_pending, Fig5Row, MixedRow, PhaseRow, ScalabilityRow,
+    admission_depth, fig5_fig6_order_of_arrival, fig7_table2_scalability, fig8_fig9_mixed,
+    paper_orders, phase_transition, table1_max_pending, AdmissionDepthRow, Fig5Row, MixedRow,
+    PhaseRow, ScalabilityRow,
 };
 pub use report::{downsample, format_series, format_table};
+pub use stamp::{git_commit, iso8601_now};

@@ -1,0 +1,72 @@
+//! Provenance stamping for `BENCH_results.json`: the git commit and an ISO
+//! 8601 UTC timestamp, so the performance trajectory across PRs can be
+//! reconstructed from the artifacts alone.
+
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// The current `git rev-parse HEAD`, or `"unknown"` outside a work tree
+/// (or when `git` is unavailable).
+pub fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Now, as `YYYY-MM-DDThh:mm:ssZ`.
+pub fn iso8601_now() -> String {
+    let secs = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    iso8601_from_unix(secs)
+}
+
+/// Format a non-negative unix timestamp as `YYYY-MM-DDThh:mm:ssZ`.
+/// Civil-date conversion after Howard Hinnant's `days_from_civil` inverse.
+pub fn iso8601_from_unix(secs: u64) -> String {
+    let days = (secs / 86_400) as i64;
+    let rem = secs % 86_400;
+    let (h, min, s) = (rem / 3600, rem % 3600 / 60, rem % 60);
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097); // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = doy - (153 * mp + 2) / 5 + 1; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 }; // [1, 12]
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}T{h:02}:{min:02}:{s:02}Z")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_timestamps_format_correctly() {
+        assert_eq!(iso8601_from_unix(0), "1970-01-01T00:00:00Z");
+        assert_eq!(iso8601_from_unix(86_399), "1970-01-01T23:59:59Z");
+        assert_eq!(iso8601_from_unix(86_400), "1970-01-02T00:00:00Z");
+        // 2000-02-29 (leap day) 12:34:56 UTC.
+        assert_eq!(iso8601_from_unix(951_827_696), "2000-02-29T12:34:56Z");
+        // 2026-01-01 00:00:00 UTC.
+        assert_eq!(iso8601_from_unix(1_767_225_600), "2026-01-01T00:00:00Z");
+    }
+
+    #[test]
+    fn now_is_plausible_and_commit_is_nonempty() {
+        let now = iso8601_now();
+        assert_eq!(now.len(), 20);
+        assert!(now.ends_with('Z'));
+        assert!(&now[..4] >= "2024");
+        assert!(!git_commit().is_empty());
+    }
+}

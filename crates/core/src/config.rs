@@ -78,6 +78,12 @@ pub struct QuantumDbConfig {
     pub solver_order: AtomOrder,
     /// Solver resource bounds.
     pub search_limits: SearchLimits,
+    /// Access-pattern-driven index promotion: when a table column with no
+    /// index accumulates this many bound-column scans (the storage layer's
+    /// per-table tracker), the engine creates a secondary index on it and
+    /// logs a `CreateIndex` WAL record so recovery rebuilds it. `0`
+    /// disables auto-indexing.
+    pub auto_index_threshold: u32,
     /// Record an event trace (commit/abort/ground events) for tests and
     /// diagnostics.
     pub record_events: bool,
@@ -100,6 +106,7 @@ impl Default for QuantumDbConfig {
             ground_on_partner_arrival: true,
             solver_order: AtomOrder::default(),
             search_limits: SearchLimits::default(),
+            auto_index_threshold: 64,
             record_events: false,
             coarse_lock: false,
         }

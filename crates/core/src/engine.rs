@@ -142,7 +142,41 @@ impl QuantumDb {
                 }
             }
         }
+        self.maybe_promote_indexes();
         Ok(applied)
+    }
+
+    /// Promote columns the access-pattern tracker flagged as hot into
+    /// secondary indexes, logging each promotion (recovery rebuilds them).
+    /// See [`crate::QuantumDbConfig::auto_index_threshold`].
+    ///
+    /// Best-effort by design: it runs *after* the enclosing operation has
+    /// committed and been logged, so a promotion failure (a WAL drain I/O
+    /// error) must not be reported as failure of that operation. Nothing
+    /// is *wrong* after swallowing it either — an index is a rebuildable
+    /// acceleration, so if the `CreateIndex` append fails (and per
+    /// [`Wal::append`]'s contract is rolled out of the log), the worst
+    /// case is a recovered engine that serves correct scans until the
+    /// tracker's votes re-accumulate and promote again.
+    pub(crate) fn maybe_promote_indexes(&mut self) {
+        let threshold = self.config.auto_index_threshold;
+        if threshold == 0 {
+            return;
+        }
+        for (relation, column) in collect_hot_columns(&self.db, threshold) {
+            let created = self
+                .db
+                .table_mut(&relation)
+                .and_then(|t| t.create_index(column));
+            if created.is_err() {
+                continue; // unreachable for tracker-produced columns
+            }
+            let _ = self.wal.append(&LogRecord::CreateIndex {
+                relation,
+                column: column as u32,
+            });
+            self.metrics.indexes_auto_created += 1;
+        }
     }
 
     // -- Resource transactions ---------------------------------------------
@@ -207,6 +241,7 @@ impl QuantumDb {
         // grounding and k-enforcement settle.
         let total_pending = self.pending_count() as u64;
         self.metrics.max_pending = self.metrics.max_pending.max(total_pending);
+        self.maybe_promote_indexes();
         Ok(SubmitOutcome::Committed { id })
     }
 
@@ -239,6 +274,15 @@ impl QuantumDb {
             self.partitions.keys().copied().collect()
         };
 
+        // The admission overlay is only reusable for a single unmerged
+        // target; taking it needs a mutable borrow, so do it first.
+        let cached_overlay = if targets.len() == 1 {
+            self.partitions
+                .get_mut(&targets[0])
+                .and_then(|p| p.overlay_cache.take())
+        } else {
+            None
+        };
         // Merged view in arrival order, without touching the partitions.
         let mut merged: Vec<(&PendingTxn, &Valuation)> = Vec::new();
         for t in &targets {
@@ -255,16 +299,27 @@ impl QuantumDb {
             &[]
         };
 
-        let Some(plan) = plan_admission(
+        let plan = match plan_admission(
             &mut self.solver,
             &self.db,
             &self.config,
             &merged,
             extras,
+            cached_overlay,
             &txn,
-        )?
-        else {
-            return Ok(None);
+        )? {
+            AdmitDecision::Admitted(plan) => plan,
+            AdmitDecision::Refused(overlay) => {
+                // Refusal leaves the partitions untouched (no merge in
+                // this engine): restore the still-valid memo to its
+                // single owner.
+                if targets.len() == 1 {
+                    if let Some(p) = self.partitions.get_mut(&targets[0]) {
+                        p.overlay_cache = overlay;
+                    }
+                }
+                return Ok(None);
+            }
         };
         match plan.path {
             AdmitPath::Extension => self.metrics.cache_extensions += 1,
@@ -299,6 +354,7 @@ impl QuantumDb {
             valuations: plan.valuations,
         };
         host.extras = plan.extras;
+        host.overlay_cache = plan.overlay;
         debug_assert_eq!(host.txns.len(), host.cache.len());
         let pid = self.next_partition_id;
         self.next_partition_id += 1;
@@ -462,6 +518,7 @@ impl QuantumDb {
                 self.wal.append(&LogRecord::Write(op))?;
                 self.metrics.writes_applied += 1;
             }
+            self.maybe_promote_indexes();
             return Ok(true);
         }
 
@@ -499,9 +556,9 @@ impl QuantumDb {
                 .partitions
                 .get_mut(&pid)
                 .expect("affected partition present");
-            // The base changed under this partition: alternatives are no
-            // longer known-good.
-            p.extras.clear();
+            // The base changed under this partition: alternatives and the
+            // admission overlay are no longer known-good.
+            p.invalidate_solution_caches();
             if let Some(c) = cache {
                 p.cache = c;
             }
@@ -510,6 +567,7 @@ impl QuantumDb {
             self.wal.append(&LogRecord::Write(op))?;
             self.metrics.writes_applied += 1;
         }
+        self.maybe_promote_indexes();
         Ok(true)
     }
 
@@ -559,6 +617,20 @@ impl QuantumDb {
     /// Engine metrics.
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    /// Engine metrics with the solver hot-path counters folded in (the
+    /// live [`SolverStats`] mirror into the `solver_*` fields; `SHOW
+    /// METRICS` reports this view).
+    pub fn metrics_snapshot(&self) -> Metrics {
+        let mut m = self.metrics.clone();
+        let s = self.solver.stats();
+        m.solver_nodes = s.nodes;
+        m.solver_candidates_streamed = s.candidates_streamed;
+        m.solver_index_lookups = s.index_lookups;
+        m.solver_scan_lookups = s.scan_lookups;
+        m.solver_candidate_vecs = s.candidate_vecs;
+        m
     }
 
     /// Reset metrics (between experiment phases). Still-pending
@@ -626,9 +698,11 @@ impl QuantumDb {
             .expect("in-memory sinks cannot fail; file sinks report I/O errors on read")
     }
 
-    /// Append a checkpoint marker to the WAL.
+    /// Append a checkpoint marker to the WAL and drain the group-commit
+    /// buffer to the sink.
     pub fn checkpoint(&mut self) -> Result<()> {
         self.wal.append(&LogRecord::Checkpoint)?;
+        self.wal.sync()?;
         Ok(())
     }
 
@@ -649,6 +723,19 @@ impl QuantumDb {
     fn validate_schema(&self, txn: &ResourceTransaction) -> Result<()> {
         crate::shard::validate_schema_on(&self.db, txn)
     }
+}
+
+/// Columns the access-pattern tracker flags for promotion, across all
+/// tables (shared by the single-threaded and the sharded engine).
+pub(crate) fn collect_hot_columns(db: &Database, threshold: u32) -> Vec<(String, usize)> {
+    db.tables()
+        .flat_map(|t| {
+            let relation = t.schema().relation().to_string();
+            t.hot_unindexed_columns(threshold)
+                .into_iter()
+                .map(move |c| (relation.clone(), c))
+        })
+        .collect()
 }
 
 /// Evaluate a conjunctive query (logic atoms) against a concrete database.
@@ -710,6 +797,50 @@ pub(crate) struct AdmitPlan {
     pub extras: Vec<CachedSolution>,
     /// Which admission path succeeded.
     pub path: AdmitPath,
+    /// The admission overlay for the host partition: the virtual state of
+    /// `valuations` with the newcomer's updates applied. `Some` only on
+    /// the extension fast path (other paths replace earlier valuations,
+    /// so the next admission rebuilds it).
+    pub overlay: Option<qdb_solver::Overlay>,
+}
+
+/// Outcome of [`plan_admission`].
+#[derive(Debug)]
+pub(crate) enum AdmitDecision {
+    /// The newcomer admits; install this plan.
+    Admitted(AdmitPlan),
+    /// The newcomer is refused. Carries the admission overlay when the
+    /// fast path built or reused one — the refused search rolled it back
+    /// to the cached solution's virtual state, and the partition's
+    /// valuations are unchanged, so the caller restores it as the memo
+    /// (a refusal must not reset the O(newcomer) fast path to an
+    /// O(pending) rebuild).
+    Refused(Option<qdb_solver::Overlay>),
+}
+
+/// Build the virtual state of the merged cached solution: every pending
+/// update grounded under its cached valuation, applied in arrival order.
+fn build_admission_overlay(
+    db: &Database,
+    merged: &[(&PendingTxn, &Valuation)],
+) -> Result<qdb_solver::Overlay> {
+    use qdb_logic::UpdateKind;
+    let mut overlay = qdb_solver::Overlay::new();
+    for (p, v) in merged {
+        for u in &p.txn.updates {
+            let rid = db
+                .resolve(&u.atom.relation)
+                .map_err(qdb_solver::SolverError::Storage)?;
+            let tuple = u.atom.ground(v).map_err(qdb_solver::SolverError::Logic)?;
+            // A cached solution's updates must apply cleanly; a conflict
+            // here means the cache is inconsistent, exactly as when the
+            // ops were threaded through `Solver::solve`'s `pre_ops`.
+            overlay
+                .apply_id(db, rid, u.kind == UpdateKind::Insert, &tuple)
+                .map_err(crate::EngineError::from)?;
+        }
+    }
+    Ok(overlay)
 }
 
 /// Plan admitting `txn` against the merged view of its target partitions:
@@ -718,20 +849,75 @@ pub(crate) struct AdmitPlan {
 /// cache state. `merged` must be sorted by transaction id (arrival order);
 /// `extras` are the alternative cached solutions of the *single* target
 /// partition (pass `&[]` for zero or several targets — alternatives are
-/// positional and do not survive merges).
+/// positional and do not survive merges), and `cached_overlay` is that
+/// partition's memoized admission overlay (pass `None` to rebuild).
 pub(crate) fn plan_admission(
     solver: &mut Solver,
     db: &Database,
     config: &QuantumDbConfig,
     merged: &[(&PendingTxn, &Valuation)],
     extras: &[CachedSolution],
+    cached_overlay: Option<qdb_solver::Overlay>,
     txn: &ResourceTransaction,
-) -> Result<Option<AdmitPlan>> {
+) -> Result<AdmitDecision> {
     let mut admitted: Option<Vec<Valuation>> = None;
     let mut admitted_pre_ops: Option<Vec<WriteOp>> = None;
+    let mut out_overlay: Option<qdb_solver::Overlay> = None;
+    let mut refused_overlay: Option<qdb_solver::Overlay> = None;
     let mut path = AdmitPath::FullResolve;
-    if config.use_solution_cache {
-        // Extend the (merged) cached solution with the newcomer only.
+    if config.use_solution_cache && config.cache_solutions <= 1 {
+        // Extend the (merged) cached solution with the newcomer only,
+        // against the memoized admission overlay — O(newcomer), not
+        // O(pending). A fresh overlay is built when the cache was
+        // invalidated (or the partitions just merged).
+        let mut overlay = match cached_overlay {
+            Some(overlay) => {
+                #[cfg(debug_assertions)]
+                debug_assert!(
+                    overlay.same_deltas(&build_admission_overlay(db, merged)?),
+                    "stale admission overlay: an invalidation site was missed"
+                );
+                overlay
+            }
+            None => build_admission_overlay(db, merged)?,
+        };
+        match solver.solve_in(db, &mut overlay, &[TxnSpec::required_only(txn)])? {
+            Some(sol) => {
+                let mut vals: Vec<Valuation> = merged.iter().map(|(_, v)| (*v).clone()).collect();
+                vals.extend(sol.valuations);
+                admitted = Some(vals);
+                // `solve_in` left the newcomer's updates applied: the
+                // overlay is already the post-admission virtual state.
+                out_overlay = Some(overlay);
+                path = AdmitPath::Extension;
+            }
+            None => {
+                // The unsat search rolled the overlay back to the cached
+                // solution's virtual state — keep it for the refusal path.
+                refused_overlay = Some(overlay);
+                // Before a full re-solve, try each alternative cached
+                // solution (none exist when `cache_solutions <= 1`, but
+                // stale shapes are skipped defensively).
+                for extra in extras {
+                    if extra.len() != merged.len() {
+                        continue; // stale shape
+                    }
+                    let Some(alt_ops) = alt_pre_ops(merged, extra) else {
+                        continue;
+                    };
+                    if let Some(sol) = solver.solve(db, &alt_ops, &[TxnSpec::required_only(txn)])? {
+                        let mut vals = extra.valuations.clone();
+                        vals.extend(sol.valuations);
+                        admitted = Some(vals);
+                        path = AdmitPath::ExtraHit;
+                        break;
+                    }
+                }
+            }
+        }
+    } else if config.use_solution_cache {
+        // Multi-solution configuration: the pre-op list is needed for
+        // stocking alternatives, so take the materializing path.
         let mut pre_ops = Vec::with_capacity(merged.len() * 2);
         for (p, v) in merged {
             pre_ops.extend(p.txn.write_ops(v)?);
@@ -748,20 +934,9 @@ pub(crate) fn plan_admission(
                 if extra.len() != merged.len() {
                     continue; // stale shape
                 }
-                let mut alt_ops = Vec::with_capacity(merged.len() * 2);
-                let mut ok = true;
-                for ((p, _), v) in merged.iter().zip(&extra.valuations) {
-                    match p.txn.write_ops(v) {
-                        Ok(ops) => alt_ops.extend(ops),
-                        Err(_) => {
-                            ok = false;
-                            break;
-                        }
-                    }
-                }
-                if !ok {
+                let Some(alt_ops) = alt_pre_ops(merged, extra) else {
                     continue;
-                }
+                };
                 if let Some(sol) = solver.solve(db, &alt_ops, &[TxnSpec::required_only(txn)])? {
                     let mut vals = extra.valuations.clone();
                     vals.extend(sol.valuations);
@@ -786,7 +961,7 @@ pub(crate) fn plan_admission(
         }
     }
     let Some(valuations) = admitted else {
-        return Ok(None);
+        return Ok(AdmitDecision::Refused(refused_overlay));
     };
     // Opportunistically stock alternative solutions: same prefix,
     // different groundings of the newcomer (cheap diversity where it
@@ -812,9 +987,88 @@ pub(crate) fn plan_admission(
             }
         }
     }
-    Ok(Some(AdmitPlan {
+    Ok(AdmitDecision::Admitted(AdmitPlan {
         valuations,
         extras: plan_extras,
         path,
+        overlay: out_overlay,
     }))
+}
+
+/// Ground the merged pending updates under an *alternative* cached
+/// solution; `None` when any update fails to ground (stale alternative).
+fn alt_pre_ops(
+    merged: &[(&PendingTxn, &Valuation)],
+    extra: &CachedSolution,
+) -> Option<Vec<WriteOp>> {
+    let mut alt_ops = Vec::with_capacity(merged.len() * 2);
+    for ((p, _), v) in merged.iter().zip(&extra.valuations) {
+        match p.txn.write_ops(v) {
+            Ok(ops) => alt_ops.extend(ops),
+            Err(_) => return None,
+        }
+    }
+    Some(alt_ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdb_logic::parse_transaction;
+    use qdb_storage::{tuple, ValueType};
+
+    fn seat_engine(seats: &[&str]) -> QuantumDb {
+        let mut qdb = QuantumDb::new(QuantumDbConfig::default()).unwrap();
+        qdb.create_table(Schema::new(
+            "Available",
+            vec![("flight", ValueType::Int), ("seat", ValueType::Str)],
+        ))
+        .unwrap();
+        qdb.create_table(Schema::new(
+            "Bookings",
+            vec![
+                ("name", ValueType::Str),
+                ("flight", ValueType::Int),
+                ("seat", ValueType::Str),
+            ],
+        ))
+        .unwrap();
+        for s in seats {
+            qdb.bulk_insert("Available", vec![tuple![1, *s]]).unwrap();
+        }
+        qdb
+    }
+
+    fn book(name: &str) -> ResourceTransaction {
+        parse_transaction(&format!(
+            "-Available(1, s), +Bookings('{name}', 1, s) :-1 Available(1, s)"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn refused_admission_keeps_the_partition_overlay_memo() {
+        let mut qdb = seat_engine(&["1A", "1B"]);
+        assert!(qdb.submit(&book("U1")).unwrap().is_committed());
+        assert!(qdb.submit(&book("U2")).unwrap().is_committed());
+        let memo_present =
+            |qdb: &QuantumDb| qdb.partitions.values().any(|p| p.overlay_cache.is_some());
+        assert!(memo_present(&qdb), "extension path installs the memo");
+        // Capacity exhausted: the third booking is refused — and must not
+        // cost the partition its memo (the next admission would otherwise
+        // rebuild at O(depth)).
+        assert!(!qdb.submit(&book("U3")).unwrap().is_committed());
+        assert!(
+            memo_present(&qdb),
+            "a refusal must restore the rolled-back admission overlay"
+        );
+        // The preserved memo is still correct: freeing a seat admits the
+        // next booking via extension (debug builds also assert the memo
+        // against a fresh rebuild inside plan_admission).
+        qdb.write(WriteOp::insert("Available", tuple![1, "1C"]))
+            .unwrap();
+        let ext_before = qdb.metrics().cache_extensions;
+        assert!(qdb.submit(&book("U4")).unwrap().is_committed());
+        assert_eq!(qdb.metrics().cache_extensions, ext_before + 1);
+    }
 }

@@ -231,7 +231,7 @@ impl QuantumDb {
                 self.checkpoint()?;
                 Ok(Response::Ack)
             }
-            Statement::ShowMetrics => Ok(Response::Metrics(Box::new(self.metrics().clone()))),
+            Statement::ShowMetrics => Ok(Response::Metrics(Box::new(self.metrics_snapshot()))),
             Statement::ShowPending => Ok(Response::Pending(self.pending_ids())),
         }
     }

@@ -431,7 +431,8 @@ pub(crate) fn apply_plan_to_partition(p: &mut crate::Partition, plan: &GroundPla
     p.cache = qdb_solver::CachedSolution {
         valuations: plan.rest_vals.clone(),
     };
-    p.extras.clear(); // positional alternatives are stale now
+    // Positional alternatives and the admission overlay are stale now.
+    p.invalidate_solution_caches();
     debug_assert_eq!(p.txns.len(), p.cache.len());
 }
 

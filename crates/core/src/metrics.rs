@@ -79,6 +79,21 @@ pub struct Metrics {
     pub optionals_satisfied: u64,
     /// Optional atoms present on grounded transactions, summed.
     pub optionals_total: u64,
+    /// Solver search nodes expanded (candidate tuples tried).
+    pub solver_nodes: u64,
+    /// Candidate rows pulled through the solver's streaming cursors.
+    pub solver_candidates_streamed: u64,
+    /// Solver hot-path lookups answered by a secondary index (or an index
+    /// bucket length).
+    pub solver_index_lookups: u64,
+    /// Solver hot-path lookups that fell back to a table scan.
+    pub solver_scan_lookups: u64,
+    /// Candidate vectors materialized by the solver (legacy/reference
+    /// path; the search fast path keeps this at zero).
+    pub solver_candidate_vecs: u64,
+    /// Secondary indexes created by the access-pattern tracker (see
+    /// [`crate::QuantumDbConfig::auto_index_threshold`]).
+    pub indexes_auto_created: u64,
     /// Event trace (empty unless `record_events`).
     pub events: Vec<Event>,
 }
@@ -212,6 +227,12 @@ mirrored_counters!(
     max_pending,
     optionals_satisfied,
     optionals_total,
+    solver_nodes,
+    solver_candidates_streamed,
+    solver_index_lookups,
+    solver_scan_lookups,
+    solver_candidate_vecs,
+    indexes_auto_created,
 );
 
 use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
@@ -245,6 +266,18 @@ impl AtomicMetrics {
     /// snapshots never tear).
     pub(crate) fn count_parse(&self) {
         self.begin().add(|c| &c.parses, 1);
+    }
+
+    /// Fold one operation's solver-stat deltas into the mirrored solver
+    /// counters (the sharded engine calls this when it absorbs a
+    /// per-operation solver).
+    pub(crate) fn absorb_solver(&self, s: &qdb_solver::SolverStats) {
+        let t = self.begin();
+        t.add(|c| &c.solver_nodes, s.nodes);
+        t.add(|c| &c.solver_candidates_streamed, s.candidates_streamed);
+        t.add(|c| &c.solver_index_lookups, s.index_lookups);
+        t.add(|c| &c.solver_scan_lookups, s.scan_lookups);
+        t.add(|c| &c.solver_candidate_vecs, s.candidate_vecs);
     }
 
     /// Append an event (when tracing is enabled).

@@ -52,6 +52,15 @@ pub struct Partition {
     /// [`crate::QuantumDbConfig::cache_solutions`]). Invalidated whenever
     /// the partition or the base database changes shape.
     pub extras: Vec<CachedSolution>,
+    /// The admission overlay: `cache`'s pending updates pre-applied as a
+    /// virtual state, so a cache-extension admission solves the newcomer
+    /// in O(1) instead of re-grounding all pending updates (O(n) per
+    /// submit). Strictly an acceleration of `cache` — it MUST be cleared
+    /// (via [`Partition::invalidate_solution_caches`]) whenever
+    /// `cache.valuations` changes in any way other than appending the
+    /// newcomer the overlay solve itself admitted; admission rebuilds it
+    /// lazily, and debug builds assert it matches a fresh rebuild.
+    pub(crate) overlay_cache: Option<qdb_solver::Overlay>,
 }
 
 impl Partition {
@@ -115,8 +124,18 @@ impl Partition {
         }
         self.txns = txns;
         self.cache = CachedSolution { valuations: cache };
-        // Alternative solutions are positional; a merge invalidates them.
+        // Alternative solutions are positional and the admission overlay
+        // mirrors the pre-merge valuation list; a merge invalidates both.
+        self.invalidate_solution_caches();
+    }
+
+    /// Drop everything derived from `cache.valuations`: the alternative
+    /// solutions and the admission overlay. Must be called whenever the
+    /// cached valuations are replaced (grounding, blind-write
+    /// revalidation, merges, re-solves).
+    pub(crate) fn invalidate_solution_caches(&mut self) {
         self.extras.clear();
+        self.overlay_cache = None;
     }
 
     /// Position of a transaction by id.

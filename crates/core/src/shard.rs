@@ -130,7 +130,7 @@ use qdb_solver::{CachedSolution, Solver, SolverStats, TxnSpec};
 use qdb_storage::{Database, LogRecord, Schema, Tuple, Wal, WriteOp};
 
 use crate::config::QuantumDbConfig;
-use crate::engine::{eval_on, plan_admission, AdmitPath, QuantumDb, SubmitOutcome};
+use crate::engine::{eval_on, plan_admission, AdmitDecision, AdmitPath, QuantumDb, SubmitOutcome};
 use crate::entangle::coordination_partners;
 use crate::error::EngineError;
 use crate::ground::{
@@ -210,6 +210,9 @@ struct Core {
     /// overlap (the coarse-lock ablation can never exceed 1).
     solves_in_flight: AtomicU64,
     solves_peak: AtomicU64,
+    /// Statement counter sampling the auto-index vote sweep (see
+    /// `promote_hot_indexes`).
+    promote_ticks: AtomicU64,
     /// Single-big-lock ablation (see [`QuantumDbConfig::coarse_lock`]):
     /// when enabled, every statement serializes through this mutex,
     /// reproducing the pre-sharding engine for A/B benchmarks.
@@ -315,6 +318,7 @@ impl SharedQuantumDb {
                 solver_stats: Mutex::new(*solver.stats()),
                 solves_in_flight: AtomicU64::new(0),
                 solves_peak: AtomicU64::new(0),
+                promote_ticks: AtomicU64::new(0),
                 coarse: Mutex::new(()),
                 config,
             }),
@@ -338,7 +342,15 @@ impl SharedQuantumDb {
     }
 
     fn absorb(&self, solver: &Solver) {
-        self.core.solver_stats.lock().absorb(solver.stats());
+        self.absorb_stats(solver.stats());
+    }
+
+    /// Fold one operation's solver-stat deltas into both the cumulative
+    /// [`SolverStats`] block and the mirrored `solver_*` metrics counters
+    /// (the seqlock block `SHOW METRICS` snapshots).
+    fn absorb_stats(&self, stats: &SolverStats) {
+        self.core.solver_stats.lock().absorb(stats);
+        self.core.metrics.absorb_solver(stats);
     }
 
     /// Mark a solver section as in flight for its guard's lifetime.
@@ -373,7 +385,72 @@ impl SharedQuantumDb {
     /// solves concurrently under the shared base read lock.
     pub fn submit(&self, txn: &ResourceTransaction) -> Result<SubmitOutcome> {
         let _c = self.coarse();
-        self.do_submit(txn)
+        let out = self.do_submit(txn)?;
+        self.promote_hot_indexes();
+        Ok(out)
+    }
+
+    /// Promote access-pattern-hot columns into secondary indexes under a
+    /// brief exclusive base acquisition, logging each promotion so
+    /// recovery rebuilds them. Sampled: the vote sweep (a base read +
+    /// per-column atomic loads) runs on every 32nd statement, so the hot
+    /// path the sharding PR de-contended does not pay an extra base-lock
+    /// acquisition per statement — a promotion lands at most 31
+    /// statements after the threshold, which is noise at threshold scale.
+    /// Acquired with no slots held, so the slots-before-base lock order
+    /// is respected.
+    ///
+    /// Best-effort: it runs after the enclosing operation committed, so a
+    /// promotion failure is never reported as that operation's failure
+    /// (see `QuantumDb::maybe_promote_indexes` for why swallowing is
+    /// safe).
+    fn promote_hot_indexes(&self) {
+        let threshold = self.core.config.auto_index_threshold;
+        if threshold == 0 {
+            return;
+        }
+        if !self
+            .core
+            .promote_ticks
+            .fetch_add(1, SeqCst)
+            .is_multiple_of(32)
+        {
+            return;
+        }
+        let hot = {
+            let base = self.core.base.read();
+            crate::engine::collect_hot_columns(&base.db, threshold)
+        };
+        if hot.is_empty() {
+            return;
+        }
+        let mut base = self.core.base.write();
+        let mut wal = self.core.wal.lock();
+        let mut created = 0u64;
+        for (relation, column) in hot {
+            let Ok(table) = base.db.table_mut(&relation) else {
+                continue;
+            };
+            if table.indexed_columns().contains(&column) {
+                continue; // another thread promoted it meanwhile
+            }
+            if table.create_index(column).is_err() {
+                continue; // unreachable for tracker-produced columns
+            }
+            let _ = wal.append(&LogRecord::CreateIndex {
+                relation,
+                column: column as u32,
+            });
+            created += 1;
+        }
+        drop(wal);
+        drop(base);
+        if created > 0 {
+            self.core
+                .metrics
+                .begin()
+                .add(|c| &c.indexes_auto_created, created);
+        }
     }
 
     fn do_submit(&self, txn: &ResourceTransaction) -> Result<SubmitOutcome> {
@@ -420,35 +497,55 @@ impl SharedQuantumDb {
             // Admission planning under a *shared* base read: this is the
             // expensive solver search, and disjoint partitions run it in
             // parallel.
+            let cached_overlay = if merged_from == 1 {
+                host.overlay_cache.take()
+            } else {
+                None // merge() already invalidated it
+            };
             let plan = {
                 let base = self.core.base.read();
                 let _gauge = self.enter_solve();
                 let merged: Vec<(&PendingTxn, &Valuation)> =
                     host.txns.iter().zip(host.cache.valuations.iter()).collect();
                 let extras: &[CachedSolution] = if merged_from == 1 { &host.extras } else { &[] };
-                plan_admission(solver, &base.db, &self.core.config, &merged, extras, txn)?
+                plan_admission(
+                    solver,
+                    &base.db,
+                    &self.core.config,
+                    &merged,
+                    extras,
+                    cached_overlay,
+                    txn,
+                )?
             };
-            let Some(plan) = plan else {
-                // Refused: the merged partition stays merged under its new
-                // id (conservative but safe — merging independent
-                // partitions never violates the invariant; the
-                // single-threaded engine merges only on success, but here
-                // the drain already happened, so count what occurred).
-                st.part = host;
-                self.publish(pid, &mut st);
-                {
-                    let t = self.core.metrics.begin();
-                    t.add(|c| &c.aborted, 1);
-                    if merged_from > 1 {
-                        t.add(|c| &c.partition_merges, 1);
+            let plan = match plan {
+                AdmitDecision::Admitted(plan) => plan,
+                AdmitDecision::Refused(overlay) => {
+                    // Refused: the merged partition stays merged under its
+                    // new id (conservative but safe — merging independent
+                    // partitions never violates the invariant; the
+                    // single-threaded engine merges only on success, but
+                    // here the drain already happened, so count what
+                    // occurred). The host's valuations are unchanged, so
+                    // the rolled-back admission overlay is still its valid
+                    // memo.
+                    host.overlay_cache = overlay;
+                    st.part = host;
+                    self.publish(pid, &mut st);
+                    {
+                        let t = self.core.metrics.begin();
+                        t.add(|c| &c.aborted, 1);
+                        if merged_from > 1 {
+                            t.add(|c| &c.partition_merges, 1);
+                        }
                     }
+                    self.push_event(Event::Aborted);
+                    if merged_from > 1 {
+                        let before = self.partition_count() + merged_from - 1;
+                        self.push_event(Event::PartitionsMerged { before });
+                    }
+                    return Ok(SubmitOutcome::Aborted);
                 }
-                self.push_event(Event::Aborted);
-                if merged_from > 1 {
-                    let before = self.partition_count() + merged_from - 1;
-                    self.push_event(Event::PartitionsMerged { before });
-                }
-                return Ok(SubmitOutcome::Aborted);
             };
 
             // Durability: log after the satisfiability check, before
@@ -468,6 +565,7 @@ impl SharedQuantumDb {
                 valuations: plan.valuations,
             };
             host.extras = plan.extras;
+            host.overlay_cache = plan.overlay;
             debug_assert_eq!(host.txns.len(), host.cache.len());
             st.part = host;
 
@@ -850,7 +948,7 @@ impl SharedQuantumDb {
         for r in results {
             match r {
                 Ok((grounded, stats)) => {
-                    self.core.solver_stats.lock().absorb(&stats);
+                    self.absorb_stats(&stats);
                     plans.push(grounded);
                 }
                 Err(e) => {
@@ -923,7 +1021,7 @@ impl SharedQuantumDb {
             let mut rest = parts.split_off(failed_at + 1);
             let mut failed = parts.pop().expect("failed partition present");
             failed.txns.retain(|t| !applied_in_failed.contains(&t.id));
-            failed.extras.clear();
+            failed.invalidate_solution_caches();
             if !failed.txns.is_empty() {
                 let mut solver = self.solver();
                 let refs = failed.txn_refs();
@@ -943,6 +1041,9 @@ impl SharedQuantumDb {
         }
         drop(base);
         self.publish(host_pid, &mut host);
+        // A full collapse is a natural group-commit boundary: drain the
+        // accumulated Ground frames in one buffered write + flush.
+        self.core.wal.lock().sync()?;
         Ok(collapsed)
     }
 
@@ -1121,7 +1222,9 @@ impl SharedQuantumDb {
         let mut solver = self.solver();
         let out = self.do_write(op, &mut solver);
         self.absorb(&solver);
-        out
+        let out = out?;
+        self.promote_hot_indexes();
+        Ok(out)
     }
 
     fn do_write(&self, op: WriteOp, solver: &mut Solver) -> Result<bool> {
@@ -1302,15 +1405,19 @@ impl SharedQuantumDb {
                 }
             }
         }
+        self.promote_hot_indexes();
         Ok(applied)
     }
 
-    /// Append a checkpoint marker to the WAL, serialized against in-flight
-    /// writers by a brief exclusive base acquisition.
+    /// Append a checkpoint marker to the WAL (and drain the group-commit
+    /// buffer to the sink), serialized against in-flight writers by a
+    /// brief exclusive base acquisition.
     pub fn checkpoint(&self) -> Result<()> {
         let _c = self.coarse();
         let _base = self.core.base.write();
-        self.core.wal.lock().append(&LogRecord::Checkpoint)?;
+        let mut wal = self.core.wal.lock();
+        wal.append(&LogRecord::Checkpoint)?;
+        wal.sync()?;
         Ok(())
     }
 
@@ -1395,10 +1502,10 @@ impl Drop for SolveGauge<'_> {
 }
 
 impl SlotState {
-    /// Clear stale alternative solutions and optionally install a re-solved
-    /// cache (blind-write revalidation).
+    /// Clear stale alternative solutions and the admission overlay, and
+    /// optionally install a re-solved cache (blind-write revalidation).
     fn extras_invalidate(&mut self, cache: Option<CachedSolution>) {
-        self.part.extras.clear();
+        self.part.invalidate_solution_caches();
         if let Some(c) = cache {
             self.part.cache = c;
         }

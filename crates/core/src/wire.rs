@@ -591,7 +591,7 @@ fn get_valuations(buf: &mut impl Buf) -> Result<Vec<Valuation>> {
 
 /// The metrics counters, in wire order. The event trace is deliberately
 /// not wired (it is unbounded and debug-only).
-fn metrics_fields(m: &Metrics) -> [u64; 18] {
+fn metrics_fields(m: &Metrics) -> [u64; 24] {
     [
         m.submitted,
         m.committed,
@@ -611,6 +611,12 @@ fn metrics_fields(m: &Metrics) -> [u64; 18] {
         m.max_pending,
         m.optionals_satisfied,
         m.optionals_total,
+        m.solver_nodes,
+        m.solver_candidates_streamed,
+        m.solver_index_lookups,
+        m.solver_scan_lookups,
+        m.solver_candidate_vecs,
+        m.indexes_auto_created,
     ]
 }
 
@@ -622,7 +628,7 @@ fn put_metrics(body: &mut BytesMut, m: &Metrics) {
 
 fn get_metrics(buf: &mut impl Buf) -> Result<Metrics> {
     let mut m = Metrics::default();
-    let fields: &mut [&mut u64; 18] = &mut [
+    let fields: &mut [&mut u64; 24] = &mut [
         &mut m.submitted,
         &mut m.committed,
         &mut m.aborted,
@@ -641,6 +647,12 @@ fn get_metrics(buf: &mut impl Buf) -> Result<Metrics> {
         &mut m.max_pending,
         &mut m.optionals_satisfied,
         &mut m.optionals_total,
+        &mut m.solver_nodes,
+        &mut m.solver_candidates_streamed,
+        &mut m.solver_index_lookups,
+        &mut m.solver_scan_lookups,
+        &mut m.solver_candidate_vecs,
+        &mut m.indexes_auto_created,
     ];
     for field in fields.iter_mut() {
         need(buf, 8, "metrics field")?;
@@ -834,6 +846,11 @@ mod tests {
             submitted: 12,
             parses: 4,
             max_pending: 6,
+            solver_nodes: 77,
+            solver_candidates_streamed: 91,
+            solver_index_lookups: 40,
+            solver_scan_lookups: 2,
+            indexes_auto_created: 1,
             ..Metrics::default()
         };
         roundtrip_reply(&Reply::Stats {

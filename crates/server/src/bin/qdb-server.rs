@@ -1,19 +1,25 @@
 //! The `qdb-server` binary: serve a quantum database over TCP.
 //!
 //! ```text
-//! qdb-server [--addr HOST:PORT] [--workers N] [--k N] [--no-partitioning]
+//! qdb-server [--addr HOST:PORT] [--workers N] [--k N]
+//!            [--prepared-cache N] [--no-partitioning]
 //! ```
 //!
-//! Defaults: `--addr 127.0.0.1:5433`, `--workers 4`, engine defaults
-//! (k = 61, partitioning and solution cache on). The process serves until
-//! killed; state is in-memory (a WAL-backed mode rides on the embedding
-//! API — see `Server::spawn_with_db`).
+//! Defaults: `--addr 127.0.0.1:5433`, `--workers 4`, `--prepared-cache
+//! 128` (per-connection prepared-statement LRU entries; `0` disables
+//! statement caching), engine defaults (k = 61, partitioning and solution
+//! cache on). The process serves until killed; state is in-memory (a
+//! WAL-backed mode rides on the embedding API — see
+//! `Server::spawn_with_db`).
 
 use qdb_core::QuantumDbConfig;
 use qdb_server::{Server, ServerConfig};
 
 fn usage() -> ! {
-    eprintln!("usage: qdb-server [--addr HOST:PORT] [--workers N] [--k N] [--no-partitioning]");
+    eprintln!(
+        "usage: qdb-server [--addr HOST:PORT] [--workers N] [--k N] \
+         [--prepared-cache N] [--no-partitioning]"
+    );
     std::process::exit(2);
 }
 
@@ -21,6 +27,7 @@ fn parse_args() -> ServerConfig {
     let mut cfg = ServerConfig {
         addr: "127.0.0.1:5433".to_string(),
         workers: 4,
+        prepared_cache: qdb_core::Session::DEFAULT_STMT_CACHE,
         engine: QuantumDbConfig::default(),
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -38,6 +45,10 @@ fn parse_args() -> ServerConfig {
             }
             "--k" => {
                 cfg.engine.k = value(i).parse().unwrap_or_else(|_| usage());
+                i += 1;
+            }
+            "--prepared-cache" => {
+                cfg.prepared_cache = value(i).parse().unwrap_or_else(|_| usage());
                 i += 1;
             }
             "--no-partitioning" => cfg.engine.partitioning = false,

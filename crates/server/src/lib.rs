@@ -71,6 +71,10 @@ pub struct ServerConfig {
     pub addr: String,
     /// Worker threads executing statements (≥ 1).
     pub workers: usize,
+    /// Per-connection prepared-statement (parsed-text LRU) cache capacity
+    /// (`qdb-server --prepared-cache`; `0` disables caching so every
+    /// EXECUTE parses).
+    pub prepared_cache: usize,
     /// Engine configuration for the owned database.
     pub engine: QuantumDbConfig,
 }
@@ -80,6 +84,7 @@ impl Default for ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 4,
+            prepared_cache: qdb_core::Session::DEFAULT_STMT_CACHE,
             engine: QuantumDbConfig::default(),
         }
     }
@@ -99,14 +104,25 @@ impl Server {
         let db = QuantumDb::new(cfg.engine.clone())
             .map_err(|e| io::Error::other(format!("engine construction: {e}")))?
             .into_shared();
-        Server::spawn_with_db(&cfg.addr, cfg.workers, db)
+        Server::spawn_inner(&cfg.addr, cfg.workers, cfg.prepared_cache, db)
     }
 
     /// Serve an existing shared engine (embedding: pre-install schemas and
-    /// data, keep a local handle next to the network endpoint).
+    /// data, keep a local handle next to the network endpoint). Uses the
+    /// default prepared-statement cache capacity; [`Server::spawn`] honors
+    /// [`ServerConfig::prepared_cache`].
     pub fn spawn_with_db(
         addr: &str,
         workers: usize,
+        db: SharedQuantumDb,
+    ) -> io::Result<ServerHandle> {
+        Server::spawn_inner(addr, workers, qdb_core::Session::DEFAULT_STMT_CACHE, db)
+    }
+
+    fn spawn_inner(
+        addr: &str,
+        workers: usize,
+        prepared_cache: usize,
         db: SharedQuantumDb,
     ) -> io::Result<ServerHandle> {
         let workers = workers.max(1);
@@ -144,9 +160,15 @@ impl Server {
                             break;
                         }
                         let Ok(stream) = stream else { continue };
-                        if let Ok(reader) =
-                            accept(stream, &db, &metrics, &conns, &job_tx, &shutdown)
-                        {
+                        if let Ok(reader) = accept(
+                            stream,
+                            &db,
+                            prepared_cache,
+                            &metrics,
+                            &conns,
+                            &job_tx,
+                            &shutdown,
+                        ) {
                             let mut list = lock(&readers);
                             // Reap readers whose connections already
                             // ended, so handles do not accumulate over a
@@ -175,9 +197,11 @@ impl Server {
 
 /// Set up one accepted connection: register it and start its reader
 /// thread. Returns the reader's join handle.
+#[allow(clippy::too_many_arguments)] // internal plumbing, one call site
 fn accept(
     stream: TcpStream,
     db: &SharedQuantumDb,
+    prepared_cache: usize,
     metrics: &Arc<ServerMetrics>,
     conns: &Arc<Mutex<Vec<Weak<Conn>>>>,
     job_tx: &Sender<Job>,
@@ -189,7 +213,7 @@ fn accept(
     let conn = Arc::new(Conn::new(
         stream.try_clone()?,
         write,
-        db.session(),
+        qdb_core::Session::with_stmt_cache(db.clone(), prepared_cache),
         Arc::clone(metrics),
     ));
     {

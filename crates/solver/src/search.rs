@@ -7,9 +7,15 @@
 //! operational reading of Definition 3.1, and (by Theorem 3.5) equivalent
 //! to satisfiability of the composed body formula — the equivalence is
 //! cross-checked by property tests against a brute-force formula oracle.
+//!
+//! The inner loop is allocation-lean and index-driven: relation names are
+//! resolved to interned [`RelationId`]s once per solve, candidates are
+//! pulled through the streaming [`crate::CandidateIter`] (no per-node
+//! `Vec`), and the dynamic atom ordering reads index bucket lengths where
+//! an index serves the bound column.
 
-use qdb_logic::{Atom, Term, Valuation, Var};
-use qdb_storage::{Database, Tuple, Value, WriteOp};
+use qdb_logic::{Atom, Term, UpdateKind, Valuation, Var};
+use qdb_storage::{Database, RelationId, Tuple, Value, WriteOp};
 
 use crate::error::SolverError;
 use crate::overlay::Overlay;
@@ -57,6 +63,37 @@ pub struct Solver {
     stats: SolverStats,
 }
 
+/// Per-spec relation ids, resolved once per solver entry point: one id per
+/// [`TxnSpec::atoms`] entry, one `(is_insert, id)` per update atom.
+struct ResolvedSpec {
+    atom_rids: Vec<RelationId>,
+    updates: Vec<(bool, RelationId)>,
+}
+
+fn resolve_specs(base: &Database, specs: &[TxnSpec<'_>]) -> Result<Vec<ResolvedSpec>> {
+    specs
+        .iter()
+        .map(|spec| {
+            let atom_rids = spec
+                .atoms()
+                .iter()
+                .map(|a| base.resolve(&a.relation).map_err(SolverError::Storage))
+                .collect::<Result<Vec<_>>>()?;
+            let updates = spec
+                .txn
+                .updates
+                .iter()
+                .map(|u| {
+                    base.resolve(&u.atom.relation)
+                        .map(|rid| (u.kind == UpdateKind::Insert, rid))
+                        .map_err(SolverError::Storage)
+                })
+                .collect::<Result<Vec<_>>>()?;
+            Ok(ResolvedSpec { atom_rids, updates })
+        })
+        .collect()
+}
+
 impl Solver {
     /// Solver with the given strategy and default limits.
     pub fn new(order: AtomOrder) -> Self {
@@ -90,23 +127,43 @@ impl Solver {
         for op in pre_ops {
             overlay.apply(base, op)?;
         }
+        self.solve_in(base, &mut overlay, specs)
+    }
+
+    /// [`Solver::solve`] against a caller-provided virtual state. On
+    /// success the overlay is left with the solution's updates **applied**
+    /// (the caller may keep it as the post-admission virtual state); on
+    /// an unsatisfiable search it is rolled back to its entry state; after
+    /// an error (e.g. the node limit) its contents are unspecified and
+    /// must be discarded.
+    pub fn solve_in(
+        &mut self,
+        base: &Database,
+        overlay: &mut Overlay,
+        specs: &[TxnSpec<'_>],
+    ) -> Result<Option<Solution>> {
+        let resolved = resolve_specs(base, specs)?;
         let mut ctx = Ctx {
             base,
             specs,
+            resolved: &resolved,
             order: self.order,
             max_nodes: self.limits.max_nodes,
             nodes: 0,
+            stats: &mut self.stats,
             collect_first: None,
         };
         let mut valuations = Vec::with_capacity(specs.len());
-        let found = ctx.solve_txn(0, &mut overlay, &mut valuations)?;
-        self.stats.nodes += ctx.nodes;
+        let found = ctx.solve_txn(0, overlay, &mut valuations);
+        let nodes = ctx.nodes;
+        self.stats.nodes += nodes;
         self.stats.solves += 1;
-        if found {
-            Ok(Some(Solution { valuations }))
-        } else {
-            self.stats.unsat += 1;
-            Ok(None)
+        match found? {
+            true => Ok(Some(Solution { valuations })),
+            false => {
+                self.stats.unsat += 1;
+                Ok(None)
+            }
         }
     }
 
@@ -129,8 +186,9 @@ impl Solver {
         for op in pre_ops {
             overlay.apply(base, op)?;
         }
-        for (spec, val) in specs.iter().zip(valuations) {
-            for atom in spec.atoms() {
+        let resolved = resolve_specs(base, specs)?;
+        for ((spec, val), rspec) in specs.iter().zip(valuations).zip(&resolved) {
+            for (atom, &rid) in spec.atoms().iter().zip(&rspec.atom_rids) {
                 let tuple = match atom.ground(val) {
                     Ok(t) => t,
                     Err(_) => {
@@ -138,13 +196,14 @@ impl Solver {
                         return Ok(false); // valuation doesn't even cover the atom
                     }
                 };
-                if !overlay.visible(base, &atom.relation, &tuple) {
+                if !overlay.visible_id(base, rid, &tuple) {
                     self.stats.verify_failures += 1;
                     return Ok(false);
                 }
             }
-            for op in spec.txn.write_ops(val)? {
-                if !overlay.try_apply(base, &op) {
+            for (u, &(insert, rid)) in spec.txn.updates.iter().zip(&rspec.updates) {
+                let tuple = u.atom.ground(val)?;
+                if !overlay.try_apply_id(base, rid, insert, &tuple) {
                     self.stats.verify_failures += 1;
                     return Ok(false);
                 }
@@ -167,20 +226,26 @@ impl Solver {
         for op in pre_ops {
             overlay.apply(base, op)?;
         }
+        let specs = std::slice::from_ref(spec);
+        let resolved = resolve_specs(base, specs)?;
         let mut collected = Vec::new();
         let mut ctx = Ctx {
             base,
-            specs: std::slice::from_ref(spec),
+            specs,
+            resolved: &resolved,
             order: self.order,
             max_nodes: self.limits.max_nodes,
             nodes: 0,
+            stats: &mut self.stats,
             collect_first: Some((max, &mut collected)),
         };
         let mut valuations = Vec::with_capacity(1);
         // In collect mode solve_txn never reports success; it fills the
         // collector until exhaustion or `max`.
-        let _ = ctx.solve_txn(0, &mut overlay, &mut valuations)?;
-        self.stats.nodes += ctx.nodes;
+        let res = ctx.solve_txn(0, &mut overlay, &mut valuations);
+        let nodes = ctx.nodes;
+        self.stats.nodes += nodes;
+        res?;
         self.stats.enumerated += collected.len() as u64;
         // Deduplicate while preserving discovery order.
         let mut seen = std::collections::BTreeSet::new();
@@ -192,9 +257,13 @@ impl Solver {
 struct Ctx<'a, 'c> {
     base: &'a Database,
     specs: &'a [TxnSpec<'a>],
+    resolved: &'a [ResolvedSpec],
     order: AtomOrder,
     max_nodes: u64,
+    /// Nodes expanded by *this* call (the limit is per-call; cumulative
+    /// stats absorb it afterwards).
     nodes: u64,
+    stats: &'c mut SolverStats,
     /// When set, collect up to N valuations of spec 0 instead of solving
     /// the whole sequence.
     collect_first: Option<(usize, &'c mut Vec<Valuation>)>,
@@ -229,13 +298,19 @@ impl<'a, 'c> Ctx<'a, 'c> {
         if used.iter().all(|&u| u) {
             return self.complete_txn(i, val, overlay, out);
         }
-        let idx = self.pick_atom(atoms, used, val, overlay)?;
+        let (idx, bound) = self.pick_atom(i, atoms, used, val, overlay)?;
         let atom = atoms[idx];
-        let bound = bound_columns(atom, val);
-        let candidates = overlay.candidates(self.base, &atom.relation, &bound)?;
+        let rid = self.resolved[i].atom_rids[idx];
+        let mut candidates = overlay.stream(self.base, rid, bound)?;
+        if candidates.is_index_backed() {
+            self.stats.index_lookups += 1;
+        } else {
+            self.stats.scan_lookups += 1;
+        }
         used[idx] = true;
-        for tuple in candidates {
+        while let Some(tuple) = candidates.next(overlay) {
             self.nodes += 1;
+            self.stats.candidates_streamed += 1;
             if self.nodes > self.max_nodes {
                 return Err(SolverError::LimitExceeded { nodes: self.nodes });
             }
@@ -255,6 +330,8 @@ impl<'a, 'c> Ctx<'a, 'c> {
     }
 
     /// All atoms of txn `i` are matched: apply its updates and move on.
+    /// Updates are grounded straight into id-based overlay ops — no
+    /// [`WriteOp`] (and no relation-string clone) is materialized.
     fn complete_txn(
         &mut self,
         i: usize,
@@ -263,9 +340,10 @@ impl<'a, 'c> Ctx<'a, 'c> {
         out: &mut Vec<Valuation>,
     ) -> Result<bool> {
         let mark = overlay.mark();
-        let ops = self.specs[i].txn.write_ops(val)?;
-        for op in &ops {
-            if !overlay.try_apply(self.base, op) {
+        let spec = &self.specs[i];
+        for (u, &(insert, rid)) in spec.txn.updates.iter().zip(&self.resolved[i].updates) {
+            let tuple = u.atom.ground(val)?;
+            if !overlay.try_apply_id(self.base, rid, insert, &tuple) {
                 overlay.rollback(mark);
                 return Ok(false); // set-semantics conflict: backtrack
             }
@@ -287,39 +365,53 @@ impl<'a, 'c> Ctx<'a, 'c> {
         Ok(false)
     }
 
+    /// Choose the next atom to branch on and return it with its bound
+    /// columns (computed once, reused by the candidate stream).
     fn pick_atom(
-        &self,
+        &mut self,
+        i: usize,
         atoms: &[&Atom],
         used: &[bool],
         val: &Valuation,
         overlay: &Overlay,
-    ) -> Result<usize> {
-        match self.order {
-            AtomOrder::Static => Ok(used
+    ) -> Result<(usize, Vec<Option<Value>>)> {
+        let remaining = used.iter().filter(|&&u| !u).count();
+        if remaining == 1 || self.order == AtomOrder::Static {
+            let idx = used
                 .iter()
                 .position(|&u| !u)
-                .expect("at least one unused atom")),
-            AtomOrder::MostConstrained => {
-                // Saturating count: beyond 32 candidates the relative
-                // order of atoms no longer changes the search usefully.
-                const ORDER_CAP: usize = 32;
-                let mut best: Option<(usize, usize)> = None;
-                for (idx, atom) in atoms.iter().enumerate() {
-                    if used[idx] {
-                        continue;
-                    }
-                    let bound = bound_columns(atom, val);
-                    let n = overlay.count_up_to(self.base, &atom.relation, &bound, ORDER_CAP)?;
-                    if best.is_none_or(|(_, bn)| n < bn) {
-                        best = Some((idx, n));
-                    }
-                    if n == 0 {
-                        break; // dead branch — pick it and fail fast
-                    }
+                .expect("at least one unused atom");
+            return Ok((idx, bound_columns(atoms[idx], val)));
+        }
+        // Saturating count: beyond 32 candidates the relative order of
+        // atoms no longer changes the search usefully.
+        const ORDER_CAP: usize = 32;
+        let mut best: Option<(usize, usize, Vec<Option<Value>>)> = None;
+        for (idx, atom) in atoms.iter().enumerate() {
+            if used[idx] {
+                continue;
+            }
+            let bound = bound_columns(atom, val);
+            let rid = self.resolved[i].atom_rids[idx];
+            let (n, index_backed) = overlay.count_up_to_id(self.base, rid, &bound, ORDER_CAP)?;
+            // Classify index vs scan only for bound-column lookups — a
+            // fully unbound count is an O(1) length read, neither.
+            if bound.iter().any(Option::is_some) {
+                if index_backed {
+                    self.stats.index_lookups += 1;
+                } else {
+                    self.stats.scan_lookups += 1;
                 }
-                Ok(best.expect("at least one unused atom").0)
+            }
+            if best.as_ref().is_none_or(|(_, bn, _)| n < *bn) {
+                best = Some((idx, n, bound));
+            }
+            if n == 0 {
+                break; // dead branch — pick it and fail fast
             }
         }
+        let (idx, _, bound) = best.expect("at least one unused atom");
+        Ok((idx, bound))
     }
 }
 
@@ -422,6 +514,9 @@ mod tests {
         assert_eq!(ops.len(), 2);
         assert_eq!(solver.stats().solves, 1);
         assert_eq!(solver.stats().unsat, 0);
+        // The fast path streams candidates; nothing was materialized.
+        assert!(solver.stats().candidates_streamed >= 1);
+        assert_eq!(solver.stats().candidate_vecs, 0);
     }
 
     #[test]
@@ -617,5 +712,35 @@ mod tests {
             dynamic.solve(&db, &[], &specs).unwrap().is_some(),
             fixed.solve(&db, &[], &specs).unwrap().is_some()
         );
+    }
+
+    #[test]
+    fn indexed_base_reports_index_backed_lookups() {
+        let mut db = travel_db();
+        db.table_mut("Available").unwrap().create_index(0).unwrap();
+        // Flight bound by a constant → the stream rides the index.
+        let t = parse_transaction("-Available(1, s), +Bookings('M', 1, s) :-1 Available(1, s)")
+            .unwrap();
+        let mut solver = Solver::default();
+        assert!(solver
+            .solve(&db, &[], &[TxnSpec::required_only(&t)])
+            .unwrap()
+            .is_some());
+        assert!(solver.stats().index_lookups > 0);
+        assert_eq!(solver.stats().candidate_vecs, 0);
+    }
+
+    #[test]
+    fn unknown_relation_is_a_storage_error() {
+        let db = travel_db();
+        let t = parse_transaction("+Ghost(x) :-1 Available(x, s)").unwrap();
+        let mut solver = Solver::default();
+        let err = solver
+            .solve(&db, &[], &[TxnSpec::required_only(&t)])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SolverError::Storage(qdb_storage::StorageError::NoSuchTable(_))
+        ));
     }
 }

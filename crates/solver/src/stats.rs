@@ -18,6 +18,17 @@ pub struct SolverStats {
     pub verify_failures: u64,
     /// Valuations produced by `enumerate` calls.
     pub enumerated: u64,
+    /// Candidate rows pulled through streaming cursors (the per-node
+    /// enumeration cost; replaces the old per-node `Vec` materialization).
+    pub candidates_streamed: u64,
+    /// Hot-path lookups (candidate streams and atom-ordering counts)
+    /// answered by a secondary index or an index bucket length.
+    pub index_lookups: u64,
+    /// Hot-path lookups that fell back to a table scan.
+    pub scan_lookups: u64,
+    /// Candidate vectors materialized (legacy/reference path — the search
+    /// fast path keeps this at zero).
+    pub candidate_vecs: u64,
 }
 
 impl SolverStats {
@@ -34,6 +45,10 @@ impl SolverStats {
         self.verifies += other.verifies;
         self.verify_failures += other.verify_failures;
         self.enumerated += other.enumerated;
+        self.candidates_streamed += other.candidates_streamed;
+        self.index_lookups += other.index_lookups;
+        self.scan_lookups += other.scan_lookups;
+        self.candidate_vecs += other.candidate_vecs;
     }
 }
 
@@ -41,13 +56,18 @@ impl std::fmt::Display for SolverStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "nodes={} solves={} unsat={} verifies={} verify_failures={} enumerated={}",
+            "nodes={} solves={} unsat={} verifies={} verify_failures={} enumerated={} \
+             candidates_streamed={} lookups(ix/scan)={}/{} candidate_vecs={}",
             self.nodes,
             self.solves,
             self.unsat,
             self.verifies,
             self.verify_failures,
-            self.enumerated
+            self.enumerated,
+            self.candidates_streamed,
+            self.index_lookups,
+            self.scan_lookups,
+            self.candidate_vecs,
         )
     }
 }
@@ -65,10 +85,18 @@ mod tests {
             verifies: 4,
             verify_failures: 5,
             enumerated: 6,
+            candidates_streamed: 7,
+            index_lookups: 8,
+            scan_lookups: 9,
+            candidate_vecs: 10,
         };
         a.absorb(&a.clone());
         assert_eq!(a.nodes, 2);
         assert_eq!(a.enumerated, 12);
+        assert_eq!(a.candidates_streamed, 14);
+        assert_eq!(a.index_lookups, 16);
+        assert_eq!(a.scan_lookups, 18);
+        assert_eq!(a.candidate_vecs, 20);
         a.reset();
         assert_eq!(a, SolverStats::default());
     }
@@ -77,6 +105,7 @@ mod tests {
     fn display_is_one_line() {
         let s = SolverStats::default().to_string();
         assert!(s.contains("nodes=0"));
+        assert!(s.contains("candidates_streamed=0"));
         assert!(!s.contains('\n'));
     }
 }

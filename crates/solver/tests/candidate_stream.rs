@@ -1,0 +1,199 @@
+//! Property test: the streaming candidate cursor is observationally
+//! identical to the materializing reference.
+//!
+//! For randomized databases (random schemas, rows, secondary indexes) and
+//! randomized overlays (random applied insert/delete histories, including
+//! cancellations), `Overlay::stream` must yield **exactly** the sequence
+//! `Overlay::candidates` materializes — same tuples, same order — for
+//! arbitrary bound patterns, and `count_up_to` must agree with the
+//! sequence length under every cap. The `proptest` crate is not vendored
+//! in this offline workspace, so the cases are driven by a seeded
+//! splitmix64 generator (failures print the case seed).
+
+use qdb_solver::{Overlay, SolverStats};
+use qdb_storage::{Database, Schema, Tuple, Value, ValueType, WriteOp};
+
+/// splitmix64 — tiny, seedable, good enough for case generation.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+
+    fn chance(&mut self, percent: u64) -> bool {
+        self.below(100) < percent
+    }
+}
+
+const DOMAIN: i64 = 4;
+
+fn random_tuple(rng: &mut Rng, arity: usize) -> Tuple {
+    Tuple::from(
+        (0..arity)
+            .map(|_| Value::from(rng.below(DOMAIN as u64) as i64))
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// A random database: 1–3 tables of arity 1–3 (full-row keys), random
+/// rows from a small integer domain, random secondary indexes.
+fn random_db(rng: &mut Rng) -> Database {
+    let mut db = Database::new();
+    let tables = 1 + rng.below(3) as usize;
+    for t in 0..tables {
+        let arity = 1 + rng.below(3) as usize;
+        let names: Vec<String> = (0..arity).map(|c| format!("c{c}")).collect();
+        let cols: Vec<(&str, ValueType)> =
+            names.iter().map(|n| (n.as_str(), ValueType::Int)).collect();
+        db.create_table(Schema::new(format!("R{t}"), cols)).unwrap();
+        let rows = rng.below(20) as usize;
+        for _ in 0..rows {
+            let _ = db.insert(&format!("R{t}"), random_tuple(rng, arity));
+        }
+        for c in 0..arity {
+            if rng.chance(40) {
+                db.table_mut(&format!("R{t}"))
+                    .unwrap()
+                    .create_index(c)
+                    .unwrap();
+            }
+        }
+    }
+    db
+}
+
+/// A random overlay history over `db`: applied inserts and deletes of
+/// random tuples (conflicting inserts skipped, exactly as the search
+/// does), with occasional rollbacks to exercise the journal.
+fn random_overlay(rng: &mut Rng, db: &Database) -> Overlay {
+    let mut ov = Overlay::new();
+    let relations: Vec<String> = db
+        .tables()
+        .map(|t| t.schema().relation().to_string())
+        .collect();
+    let mut marks = Vec::new();
+    for _ in 0..rng.below(30) {
+        let rel = &relations[rng.below(relations.len() as u64) as usize];
+        let arity = db.table(rel).unwrap().schema().arity();
+        let tuple = random_tuple(rng, arity);
+        let op = if rng.chance(50) {
+            WriteOp::insert(rel.as_str(), tuple)
+        } else {
+            WriteOp::delete(rel.as_str(), tuple)
+        };
+        let _ = ov.try_apply(db, &op);
+        if rng.chance(10) {
+            marks.push(ov.mark());
+        }
+        if rng.chance(5) {
+            if let Some(mark) = marks.pop() {
+                ov.rollback(mark);
+            }
+        }
+    }
+    ov
+}
+
+fn random_bound(rng: &mut Rng, arity: usize) -> Vec<Option<Value>> {
+    (0..arity)
+        .map(|_| {
+            if rng.chance(50) {
+                Some(Value::from(rng.below(DOMAIN as u64 + 1) as i64)) // may miss
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn stream_equals_materialized_candidates_for_random_cases() {
+    for case in 0..400u64 {
+        let mut rng = Rng(0xC1DE_0000 + case);
+        let db = random_db(&mut rng);
+        let ov = random_overlay(&mut rng, &db);
+        let mut stats = SolverStats::default();
+        for table in db.tables() {
+            let rel = table.schema().relation().to_string();
+            let rid = db.resolve(&rel).unwrap();
+            let arity = table.schema().arity();
+            for _ in 0..4 {
+                let bound = random_bound(&mut rng, arity);
+                let expect = ov.candidates(&db, &rel, &bound, &mut stats).unwrap();
+                let mut stream = ov.stream(&db, rid, bound.clone()).unwrap();
+                let mut got = Vec::new();
+                while let Some(t) = stream.next(&ov) {
+                    got.push(t);
+                }
+                assert_eq!(
+                    got, expect,
+                    "case {case}: stream diverged on {rel} bound {bound:?}"
+                );
+                // Counts agree with the sequence under every cap.
+                assert_eq!(
+                    ov.count(&db, &rel, &bound).unwrap(),
+                    expect.len(),
+                    "case {case}: count mismatch on {rel}"
+                );
+                for cap in [0usize, 1, 2, expect.len(), expect.len() + 3] {
+                    let (n, _) = ov.count_up_to_id(&db, rid, &bound, cap).unwrap();
+                    assert_eq!(
+                        n,
+                        expect.len().min(cap),
+                        "case {case}: count_up_to({cap}) mismatch on {rel}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn stream_is_stable_across_rolled_back_interleaved_mutation() {
+    // The search pulls, recurses (mutating the overlay), rolls back, and
+    // pulls again. The stream must still produce the reference sequence.
+    for case in 0..100u64 {
+        let mut rng = Rng(0xFEED_0000 + case);
+        let db = random_db(&mut rng);
+        let mut ov = random_overlay(&mut rng, &db);
+        let relations: Vec<String> = db
+            .tables()
+            .map(|t| t.schema().relation().to_string())
+            .collect();
+        let rel = relations[rng.below(relations.len() as u64) as usize].clone();
+        let rid = db.resolve(&rel).unwrap();
+        let arity = db.table(&rel).unwrap().schema().arity();
+        let bound = random_bound(&mut rng, arity);
+        let mut stats = SolverStats::default();
+        let expect = ov.candidates(&db, &rel, &bound, &mut stats).unwrap();
+        let mut stream = ov.stream(&db, rid, bound).unwrap();
+        let mut got = Vec::new();
+        while let Some(t) = stream.next(&ov) {
+            got.push(t);
+            // Speculative deeper-level work, rolled back before resuming.
+            let mark = ov.mark();
+            for _ in 0..rng.below(4) {
+                let r = &relations[rng.below(relations.len() as u64) as usize];
+                let a = db.table(r).unwrap().schema().arity();
+                let tuple = random_tuple(&mut rng, a);
+                let op = if rng.chance(50) {
+                    WriteOp::insert(r.as_str(), tuple)
+                } else {
+                    WriteOp::delete(r.as_str(), tuple)
+                };
+                let _ = ov.try_apply(&db, &op);
+            }
+            ov.rollback(mark);
+        }
+        assert_eq!(got, expect, "case {case}: interleaved stream diverged");
+    }
+}

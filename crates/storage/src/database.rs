@@ -88,14 +88,46 @@ impl std::fmt::Display for WriteOp {
     }
 }
 
+/// Dense handle for an interned relation name.
+///
+/// Ids are assigned by [`Database::create_table`] in creation order and are
+/// stable for the lifetime of the database (tables are never dropped).
+/// Resolving a name costs one ordered-map lookup; every id-based accessor
+/// afterwards is a plain vector index — the hot paths of the solver and the
+/// WAL resolve once at parse/prepare time and stay on ids from then on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RelationId(u32);
+
+impl RelationId {
+    /// The dense index backing this id.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Raw id value (wire/WAL encodings).
+    pub fn as_u32(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuild an id from a dense index previously obtained through
+    /// [`RelationId::index`] against the same database. The id space is
+    /// dense, so this is a plain cast; using an index from a *different*
+    /// database yields a handle for whatever relation occupies that slot.
+    pub fn from_index(index: usize) -> RelationId {
+        RelationId(index as u32)
+    }
+}
+
 /// An in-memory relational database: named tables with schemas.
 ///
 /// `Database` is `Clone`; a clone is a consistent snapshot (used by the
 /// possible-worlds enumerator and by write-admission checks that must try a
-/// write tentatively).
+/// write tentatively). Relation names are interned to dense [`RelationId`]s;
+/// the string-keyed API resolves and delegates to the id-keyed one.
 #[derive(Debug, Clone, Default)]
 pub struct Database {
-    tables: BTreeMap<String, Table>,
+    names: BTreeMap<String, RelationId>,
+    tables: Vec<Table>,
 }
 
 impl Database {
@@ -107,35 +139,82 @@ impl Database {
     /// Register a new table.
     pub fn create_table(&mut self, schema: Schema) -> Result<()> {
         let name = schema.relation().to_string();
-        if self.tables.contains_key(&name) {
+        if self.names.contains_key(&name) {
             return Err(StorageError::TableExists(name));
         }
-        self.tables.insert(name, Table::new(schema));
+        let id = RelationId(self.tables.len() as u32);
+        self.names.insert(name, id);
+        self.tables.push(Table::new(schema));
         Ok(())
+    }
+
+    /// Resolve a relation name to its interned id.
+    pub fn resolve(&self, relation: &str) -> Result<RelationId> {
+        self.try_resolve(relation)
+            .ok_or_else(|| StorageError::NoSuchTable(relation.to_string()))
+    }
+
+    /// Resolve a relation name, `None` when no such table exists.
+    pub fn try_resolve(&self, relation: &str) -> Option<RelationId> {
+        self.names.get(relation).copied()
+    }
+
+    /// Number of relations (ids are `0..relation_count()`).
+    pub fn relation_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// The name interned under `id`.
+    ///
+    /// # Panics
+    /// Panics when `id` was not produced by this database.
+    pub fn relation_name(&self, id: RelationId) -> &str {
+        self.tables[id.index()].schema().relation()
+    }
+
+    /// Table by interned id.
+    ///
+    /// # Panics
+    /// Panics when `id` was not produced by this database.
+    pub fn table_by_id(&self, id: RelationId) -> &Table {
+        &self.tables[id.index()]
+    }
+
+    /// Table by interned id, mutable.
+    ///
+    /// # Panics
+    /// Panics when `id` was not produced by this database.
+    pub fn table_by_id_mut(&mut self, id: RelationId) -> &mut Table {
+        &mut self.tables[id.index()]
     }
 
     /// Look up a table.
     pub fn table(&self, relation: &str) -> Result<&Table> {
-        self.tables
-            .get(relation)
-            .ok_or_else(|| StorageError::NoSuchTable(relation.to_string()))
+        Ok(self.table_by_id(self.resolve(relation)?))
     }
 
     /// Look up a table mutably.
     pub fn table_mut(&mut self, relation: &str) -> Result<&mut Table> {
-        self.tables
-            .get_mut(relation)
-            .ok_or_else(|| StorageError::NoSuchTable(relation.to_string()))
+        let id = self.resolve(relation)?;
+        Ok(self.table_by_id_mut(id))
     }
 
     /// Does a table with this name exist?
     pub fn has_table(&self, relation: &str) -> bool {
-        self.tables.contains_key(relation)
+        self.names.contains_key(relation)
     }
 
     /// Iterate over all tables in name order.
     pub fn tables(&self) -> impl Iterator<Item = &Table> + '_ {
-        self.tables.values()
+        self.names.values().map(|id| &self.tables[id.index()])
+    }
+
+    /// Iterate over `(id, table)` pairs in id (creation) order.
+    pub fn tables_by_id(&self) -> impl Iterator<Item = (RelationId, &Table)> + '_ {
+        self.tables
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (RelationId(i as u32), t))
     }
 
     /// Insert a row. Returns whether the row was newly inserted.
@@ -143,14 +222,30 @@ impl Database {
         self.table_mut(relation)?.insert(tuple)
     }
 
+    /// Insert a row by interned id.
+    pub fn insert_id(&mut self, id: RelationId, tuple: Tuple) -> Result<bool> {
+        self.tables[id.index()].insert(tuple)
+    }
+
     /// Delete a row. Returns whether a row was removed.
     pub fn delete(&mut self, relation: &str, tuple: &Tuple) -> Result<bool> {
         self.table_mut(relation)?.delete(tuple)
     }
 
+    /// Delete a row by interned id.
+    pub fn delete_id(&mut self, id: RelationId, tuple: &Tuple) -> Result<bool> {
+        self.tables[id.index()].delete(tuple)
+    }
+
     /// Is this exact row present?
     pub fn contains(&self, relation: &str, tuple: &Tuple) -> bool {
-        self.tables.get(relation).is_some_and(|t| t.contains(tuple))
+        self.try_resolve(relation)
+            .is_some_and(|id| self.tables[id.index()].contains(tuple))
+    }
+
+    /// Is this exact row present (by interned id)?
+    pub fn contains_id(&self, id: RelationId, tuple: &Tuple) -> bool {
+        self.tables[id.index()].contains(tuple)
     }
 
     /// Apply a write op. Inserts of already-present rows and deletes of
@@ -172,7 +267,7 @@ impl Database {
 
     /// Total row count across all tables.
     pub fn total_rows(&self) -> usize {
-        self.tables.values().map(Table::len).sum()
+        self.tables.iter().map(Table::len).sum()
     }
 }
 

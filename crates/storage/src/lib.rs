@@ -43,13 +43,13 @@ pub mod tuple;
 pub mod value;
 pub mod wal;
 
-pub use database::{Database, WriteOp};
+pub use database::{Database, RelationId, WriteOp};
 pub use error::StorageError;
 pub use index::SecondaryIndex;
 pub use pattern::{Binding, ConjunctiveQuery, PatTerm, Pattern, QueryOutput};
 pub use recovery::{recover, RecoveredState};
 pub use schema::{Schema, ValueType};
-pub use table::Table;
+pub use table::{Table, TableCursor};
 pub use tuple::Tuple;
 pub use value::Value;
 pub use wal::{LogRecord, LogSink, Wal};

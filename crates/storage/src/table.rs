@@ -1,6 +1,7 @@
 //! Keyed tables with set semantics.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU32, Ordering::Relaxed};
 
 use crate::error::StorageError;
 use crate::index::SecondaryIndex;
@@ -15,20 +16,44 @@ use crate::Result;
 /// Inserting a row whose key is already present with *different* non-key
 /// columns is a [`StorageError::KeyViolation`]; re-inserting an identical
 /// row is a no-op (`Ok(false)`), which is exactly set semantics.
-#[derive(Debug, Clone)]
+///
+/// The table also keeps a tiny **access-pattern tracker**: every lookup that
+/// binds a column no index can serve votes for that column (an atomic, so
+/// shared readers can vote). The engine promotes persistently-voted columns
+/// to secondary indexes and logs the promotion, so recovery rebuilds them.
+#[derive(Debug)]
 pub struct Table {
     schema: Schema,
     rows: BTreeMap<Tuple, Tuple>,
     indexes: Vec<SecondaryIndex>,
+    /// Per-column count of bound-column lookups that fell back to a scan.
+    scan_votes: Vec<AtomicU32>,
+}
+
+impl Clone for Table {
+    fn clone(&self) -> Self {
+        Table {
+            schema: self.schema.clone(),
+            rows: self.rows.clone(),
+            indexes: self.indexes.clone(),
+            scan_votes: self
+                .scan_votes
+                .iter()
+                .map(|v| AtomicU32::new(v.load(Relaxed)))
+                .collect(),
+        }
+    }
 }
 
 impl Table {
     /// Create an empty table for `schema`.
     pub fn new(schema: Schema) -> Self {
+        let arity = schema.arity();
         Table {
             schema,
             rows: BTreeMap::new(),
             indexes: Vec::new(),
+            scan_votes: (0..arity).map(|_| AtomicU32::new(0)).collect(),
         }
     }
 
@@ -63,7 +88,31 @@ impl Table {
             ix.insert(key, row);
         }
         self.indexes.push(ix);
+        self.scan_votes[column].store(0, Relaxed);
         Ok(())
+    }
+
+    /// Columns currently covered by a secondary index.
+    pub fn indexed_columns(&self) -> Vec<usize> {
+        self.indexes.iter().map(|ix| ix.column()).collect()
+    }
+
+    /// Columns whose scan-vote count reached `threshold` and which no index
+    /// serves yet — the promotion candidates of the access-pattern tracker.
+    pub fn hot_unindexed_columns(&self, threshold: u32) -> Vec<usize> {
+        self.scan_votes
+            .iter()
+            .enumerate()
+            .filter(|(i, v)| {
+                v.load(Relaxed) >= threshold && !self.indexes.iter().any(|ix| ix.column() == *i)
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Current scan-vote count for `column` (tests and diagnostics).
+    pub fn scan_votes(&self, column: usize) -> u32 {
+        self.scan_votes[column].load(Relaxed)
     }
 
     /// Insert a row. Returns `Ok(true)` if newly inserted, `Ok(false)` if an
@@ -121,14 +170,19 @@ impl Table {
         self.rows.values()
     }
 
-    /// Rows matching a partial binding: `bound[i] = Some(v)` constrains
-    /// column `i` to equal `v`. Uses the most selective available index.
-    pub fn select<'a>(
-        &'a self,
-        bound: &'a [Option<Value>],
-    ) -> Box<dyn Iterator<Item = &'a Tuple> + 'a> {
+    /// A raw row stream narrowed by the most selective index among the
+    /// bound columns — **not** yet filtered against `bound` (the caller
+    /// post-filters; [`Table::select`] does it for you). Both the indexed
+    /// and the scan branch yield rows in key order, so the sequence a
+    /// caller observes after filtering does not depend on which indexes
+    /// exist. The cursor borrows only the table, so it can be held across
+    /// caller-side mutations of unrelated state (the solver holds one open
+    /// across overlay mutations).
+    ///
+    /// Falling back to a scan with at least one bound column votes those
+    /// columns into the access-pattern tracker.
+    pub fn cursor<'a>(&'a self, bound: &[Option<Value>]) -> TableCursor<'a> {
         debug_assert_eq!(bound.len(), self.schema.arity());
-        // Pick the most selective index among bound columns.
         let best = self
             .indexes
             .iter()
@@ -139,22 +193,37 @@ impl Table {
                     .map(|v| (ix, v, ix.selectivity(v)))
             })
             .min_by_key(|&(_, _, sel)| sel);
-        match best {
-            Some((ix, v, _)) => {
-                let keys = ix.lookup(v);
-                let iter = keys
-                    .into_iter()
-                    .flat_map(|set| set.iter())
-                    .filter_map(move |k| self.rows.get(k))
-                    .filter(move |row| Self::matches(row, bound));
-                Box::new(iter)
+        let inner = match best {
+            Some((ix, v, _)) => match ix.lookup(v) {
+                Some(keys) => CursorInner::Index(keys.iter()),
+                None => CursorInner::Empty,
+            },
+            None => {
+                for (i, b) in bound.iter().enumerate() {
+                    if b.is_some() {
+                        self.scan_votes[i].fetch_add(1, Relaxed);
+                    }
+                }
+                CursorInner::Scan(self.rows.values())
             }
-            None => Box::new(
-                self.rows
-                    .values()
-                    .filter(move |row| Self::matches(row, bound)),
-            ),
+        };
+        TableCursor {
+            rows: &self.rows,
+            index_backed: !matches!(inner, CursorInner::Scan(_)),
+            inner,
         }
+    }
+
+    /// Rows matching a partial binding: `bound[i] = Some(v)` constrains
+    /// column `i` to equal `v`. Uses the most selective available index.
+    pub fn select<'a>(
+        &'a self,
+        bound: &'a [Option<Value>],
+    ) -> Box<dyn Iterator<Item = &'a Tuple> + 'a> {
+        Box::new(
+            self.cursor(bound)
+                .filter(move |row| Self::matches(row, bound)),
+        )
     }
 
     /// Count rows matching a partial binding.
@@ -162,11 +231,92 @@ impl Table {
         self.select(bound).count()
     }
 
-    fn matches(row: &Tuple, bound: &[Option<Value>]) -> bool {
+    /// Count rows matching `bound`, saturating at `cap`. Returns the count
+    /// and whether a **secondary index** answered it: a single bound
+    /// column served by an index reads the bucket length (no row
+    /// iteration), and multi-column patterns report whether the cursor was
+    /// index-narrowed. A fully unbound pattern reads the row count in O(1)
+    /// but involves no index, so it reports `false` — callers classifying
+    /// index vs scan lookups should not count unbound patterns at all.
+    pub fn count_up_to(&self, bound: &[Option<Value>], cap: usize) -> (usize, bool) {
+        debug_assert_eq!(bound.len(), self.schema.arity());
+        let mut bound_cols = bound
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| b.as_ref().map(|v| (i, v)));
+        match (bound_cols.next(), bound_cols.next()) {
+            (None, _) => (self.rows.len().min(cap), false),
+            (Some((col, v)), None) => {
+                if let Some(ix) = self.indexes.iter().find(|ix| ix.column() == col) {
+                    return (ix.selectivity(v).min(cap), true);
+                }
+                let n = self
+                    .cursor(bound)
+                    .filter(|row| Self::matches(row, bound))
+                    .take(cap)
+                    .count();
+                (n, false)
+            }
+            _ => {
+                let cur = self.cursor(bound);
+                let index_backed = cur.is_index_backed();
+                let n = cur
+                    .filter(|row| Self::matches(row, bound))
+                    .take(cap)
+                    .count();
+                (n, index_backed)
+            }
+        }
+    }
+
+    /// Does `row` satisfy the partial binding `bound`?
+    pub fn matches(row: &Tuple, bound: &[Option<Value>]) -> bool {
         bound
             .iter()
             .enumerate()
             .all(|(i, b)| b.as_ref().is_none_or(|v| &row[i] == v))
+    }
+}
+
+/// Concrete (unboxed) row stream over a table — see [`Table::cursor`].
+#[derive(Debug)]
+pub struct TableCursor<'a> {
+    rows: &'a BTreeMap<Tuple, Tuple>,
+    inner: CursorInner<'a>,
+    index_backed: bool,
+}
+
+#[derive(Debug)]
+enum CursorInner<'a> {
+    /// Full scan in key order.
+    Scan(std::collections::btree_map::Values<'a, Tuple, Tuple>),
+    /// Keys of one index bucket, in key order.
+    Index(std::collections::btree_set::Iter<'a, Tuple>),
+    /// Index consulted, bucket absent.
+    Empty,
+}
+
+impl<'a> TableCursor<'a> {
+    /// Was the stream narrowed by a secondary index?
+    pub fn is_index_backed(&self) -> bool {
+        self.index_backed
+    }
+}
+
+impl<'a> Iterator for TableCursor<'a> {
+    type Item = &'a Tuple;
+
+    fn next(&mut self) -> Option<&'a Tuple> {
+        match &mut self.inner {
+            CursorInner::Scan(it) => it.next(),
+            CursorInner::Index(keys) => loop {
+                let k = keys.next()?;
+                if let Some(row) = self.rows.get(k) {
+                    return Some(row);
+                }
+            },
+            CursorInner::Empty => None,
+        }
     }
 }
 
@@ -233,10 +383,11 @@ mod tests {
         // Unindexed scan.
         let bound = vec![Some(Value::from(2)), None];
         assert_eq!(t.select(&bound).count(), 3);
-        // Indexed scan returns the same rows.
+        // Indexed scan returns the same rows, in the same (key) order.
+        let via_scan: Vec<_> = t.select(&bound).cloned().collect();
         t.create_index(0).unwrap();
         let via_index: Vec<_> = t.select(&bound).cloned().collect();
-        assert_eq!(via_index.len(), 3);
+        assert_eq!(via_index, via_scan);
         assert!(via_index.iter().all(|r| r[0] == Value::from(2)));
         // Fully bound.
         let bound = vec![Some(Value::from(2)), Some(Value::from("1B"))];
@@ -264,6 +415,7 @@ mod tests {
         t.create_index(0).unwrap();
         t.create_index(0).unwrap();
         assert!(t.create_index(5).is_err());
+        assert_eq!(t.indexed_columns(), vec![0]);
     }
 
     #[test]
@@ -281,5 +433,55 @@ mod tests {
             Some(&tuple!["Mickey", "5A"])
         );
         assert_eq!(t.get_by_key(&tuple!["Goofy"]), None);
+    }
+
+    #[test]
+    fn count_up_to_uses_index_bucket_lengths() {
+        let mut t = available();
+        for f in 1..=4i64 {
+            for s in ["1A", "1B", "1C"] {
+                t.insert(tuple![f, s]).unwrap();
+            }
+        }
+        let bound = vec![Some(Value::from(2)), None];
+        // Scan path: correct count, not index-backed.
+        assert_eq!(t.count_up_to(&bound, 100), (3, false));
+        assert_eq!(t.count_up_to(&bound, 2), (2, false));
+        t.create_index(0).unwrap();
+        // Single-bound-column fast path: bucket length, no iteration.
+        assert_eq!(t.count_up_to(&bound, 100), (3, true));
+        assert_eq!(t.count_up_to(&bound, 2), (2, true));
+        assert_eq!(t.count_up_to(&[Some(Value::from(9)), None], 100), (0, true));
+        // Fully unbound: O(1) row count, but no index involved.
+        assert_eq!(t.count_up_to(&[None, None], 100), (12, false));
+        assert_eq!(t.count_up_to(&[None, None], 5), (5, false));
+        // Two bound columns still narrow through the index.
+        let both = vec![Some(Value::from(2)), Some(Value::from("1B"))];
+        assert_eq!(t.count_up_to(&both, 100), (1, true));
+    }
+
+    #[test]
+    fn scan_votes_track_unserved_bound_columns() {
+        let mut t = available();
+        t.insert(tuple![1, "1A"]).unwrap();
+        let bound = vec![Some(Value::from(1)), None];
+        for _ in 0..3 {
+            let _ = t.select(&bound).count();
+        }
+        assert_eq!(t.scan_votes(0), 3);
+        assert_eq!(t.scan_votes(1), 0);
+        assert_eq!(t.hot_unindexed_columns(3), vec![0]);
+        assert_eq!(t.hot_unindexed_columns(4), Vec::<usize>::new());
+        // Promotion resets the vote and stops the column being hot.
+        t.create_index(0).unwrap();
+        assert_eq!(t.scan_votes(0), 0);
+        assert!(t.hot_unindexed_columns(1).is_empty());
+        // Served lookups no longer vote.
+        let _ = t.select(&bound).count();
+        assert_eq!(t.scan_votes(0), 0);
+        // A clone carries the vote counts.
+        let _ = t.select(&[None, Some(Value::from("1A"))]).count();
+        let c = t.clone();
+        assert_eq!(c.scan_votes(1), 1);
     }
 }

@@ -218,6 +218,11 @@ pub trait LogSink: Send {
     /// Discard everything past `len` bytes (recovery drops torn tails
     /// before appending resumes).
     fn truncate_to(&mut self, len: u64) -> Result<()>;
+    /// Push buffered bytes towards durable media (no-op for sinks without
+    /// their own buffering).
+    fn sync(&mut self) -> Result<()> {
+        Ok(())
+    }
     /// True when no bytes have been written.
     fn is_empty(&self) -> bool {
         self.len() == 0
@@ -327,15 +332,46 @@ impl LogSink for FileSink {
         self.written = len;
         Ok(())
     }
+
+    fn sync(&mut self) -> Result<()> {
+        self.flush()
+    }
 }
 
-/// The write-ahead log: frames records into a [`LogSink`].
+/// The write-ahead log: frames records into a [`LogSink`], with **group
+/// commit**.
+///
+/// `append` encodes and frames the record into an in-memory tail buffer —
+/// no sink I/O. The buffered frames reach the sink in one write + one
+/// [`LogSink::sync`] per *drain*: when the buffer exceeds
+/// [`Wal::DEFAULT_GROUP_LIMIT`] bytes (tune with [`Wal::set_group_limit`];
+/// `0` drains every append, reproducing the pre-group-commit behavior), on
+/// an explicit [`Wal::sync`], or before any operation that reads or edits
+/// the sink directly. Buffer order is append order, so the log-order ==
+/// txn-id-order invariant of the engine (ids allocated under the WAL lock)
+/// is preserved across drains. [`Wal::replay`] decodes sink *plus* buffered
+/// bytes, so a record is observable from the moment `append` returns.
+///
+/// **Durability window**: a process crash loses whatever sits in the tail
+/// buffer (at most one group). This prototype has always had such a
+/// window — the file sink's `BufWriter` was never flushed per append and
+/// no sink fsyncs — the group buffer makes it explicit, bounded, and
+/// tunable: `set_group_limit(0)` restores drain-per-append for callers
+/// that want the smallest window the sink can provide.
 pub struct Wal {
     sink: Box<dyn LogSink>,
     records_written: u64,
+    /// Framed records not yet pushed to the sink.
+    pending: Vec<u8>,
+    pending_records: u64,
+    group_limit: usize,
+    drains: u64,
 }
 
 impl Wal {
+    /// Default tail-buffer size that triggers a drain.
+    pub const DEFAULT_GROUP_LIMIT: usize = 64 * 1024;
+
     /// A WAL over an in-memory sink.
     pub fn in_memory() -> Self {
         Wal::with_sink(Box::new(MemorySink::new()))
@@ -346,19 +382,77 @@ impl Wal {
         Wal {
             sink,
             records_written: 0,
+            pending: Vec::new(),
+            pending_records: 0,
+            group_limit: Wal::DEFAULT_GROUP_LIMIT,
+            drains: 0,
         }
     }
 
-    /// Append one record (framed + checksummed).
+    /// Set the drain threshold in bytes (`0` = drain on every append).
+    pub fn set_group_limit(&mut self, bytes: usize) {
+        self.group_limit = bytes;
+    }
+
+    /// Append one record (framed + checksummed) to the tail buffer,
+    /// draining to the sink when the buffer exceeds the group limit.
+    ///
+    /// Error contract: `Err` means the record is **not** in the log (it is
+    /// rolled back out of the tail buffer when the triggered drain cannot
+    /// hand the bytes to the sink), and `Ok` means it **is** — buffered or
+    /// already sunk. A sink *sync* failure after the sink accepted the
+    /// bytes does not fail the append (the record reached the log); flush
+    /// health is surfaced by explicit [`Wal::sync`] calls (checkpoints).
     pub fn append(&mut self, record: &LogRecord) -> Result<()> {
+        let start = self.pending.len();
         let payload = record.encode();
-        let mut frame = BytesMut::with_capacity(payload.len() + 8);
-        frame.put_u32_le(payload.len() as u32);
-        frame.put_u32_le(codec::crc32(&payload));
-        frame.put_slice(&payload);
-        self.sink.append(&frame)?;
+        self.pending.reserve(payload.len() + 8);
+        self.pending
+            .extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.pending
+            .extend_from_slice(&codec::crc32(&payload).to_le_bytes());
+        self.pending.extend_from_slice(&payload);
         self.records_written += 1;
+        self.pending_records += 1;
+        if self.pending.len() > self.group_limit {
+            if let Err(e) = self.drain() {
+                if !self.pending.is_empty() {
+                    // The sink rejected the batch: un-log this record so a
+                    // failure report never precedes a later durable copy
+                    // (the caller treats Err as "did not happen").
+                    self.pending.truncate(start);
+                    self.records_written -= 1;
+                    self.pending_records -= 1;
+                    return Err(e);
+                }
+                // Sink accepted the bytes, only the flush failed: the
+                // record is in the log — report success here and let the
+                // next explicit sync surface the sink's health.
+            }
+        }
         Ok(())
+    }
+
+    /// Push every buffered frame to the sink in one write, then sync the
+    /// sink. One drain = one buffered write + one flush, regardless of how
+    /// many records accumulated.
+    pub fn sync(&mut self) -> Result<()> {
+        self.drain()
+    }
+
+    fn drain(&mut self) -> Result<()> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        self.sink.append(&self.pending)?;
+        // The sink owns the bytes now: clear *before* syncing, so a flush
+        // failure can never cause the same frames to be appended twice on
+        // the next drain (duplicated records would replay as double
+        // writes).
+        self.pending.clear();
+        self.pending_records = 0;
+        self.drains += 1;
+        self.sink.sync()
     }
 
     /// Number of records appended through this handle.
@@ -366,29 +460,63 @@ impl Wal {
         self.records_written
     }
 
-    /// Log size in bytes.
-    pub fn size_bytes(&self) -> u64 {
-        self.sink.len()
+    /// Records currently buffered (not yet drained to the sink).
+    pub fn buffered_records(&self) -> u64 {
+        self.pending_records
     }
 
-    /// Read back all intact records. Stops quietly at a torn tail (a frame
-    /// whose length prefix or payload is incomplete, or whose CRC fails) —
-    /// that is the expected post-crash condition. The byte offset where
-    /// replay stopped is returned alongside.
+    /// Number of drains (group commits) so far. `records_written /
+    /// max(drains, 1)` approximates the achieved group size.
+    pub fn drains(&self) -> u64 {
+        self.drains
+    }
+
+    /// Log size in bytes (sink plus tail buffer).
+    pub fn size_bytes(&self) -> u64 {
+        self.sink.len() + self.pending.len() as u64
+    }
+
+    /// Read back all intact records — buffered frames included. Stops
+    /// quietly at a torn tail (a frame whose length prefix or payload is
+    /// incomplete, or whose CRC fails) — that is the expected post-crash
+    /// condition. The byte offset where replay stopped is returned
+    /// alongside.
     pub fn replay(&self) -> Result<(Vec<LogRecord>, u64)> {
-        let bytes = self.sink.read_all()?;
+        let mut bytes = self.sink.read_all()?;
+        bytes.extend_from_slice(&self.pending);
         replay_bytes(&bytes)
     }
 
-    /// Access the sink (tests use this to simulate crashes).
+    /// The full framed log image (drains the tail buffer first, so the
+    /// sink holds every appended record).
+    pub fn image(&mut self) -> Result<Vec<u8>> {
+        self.drain()?;
+        self.sink.read_all()
+    }
+
+    /// Access the sink (tests use this to simulate crashes). Drains the
+    /// tail buffer first so the sink reflects every appended record.
+    ///
+    /// # Panics
+    /// Panics when the drain fails (in-memory sinks cannot fail; file
+    /// sinks report I/O errors).
     pub fn sink_mut(&mut self) -> &mut dyn LogSink {
+        self.drain()
+            .expect("drain buffered WAL frames into the sink");
         self.sink.as_mut()
     }
 
     /// Drop a torn tail: discard all bytes past `len` so appends resume on
     /// a frame boundary.
     pub fn truncate_to(&mut self, len: u64) -> Result<()> {
+        self.drain()?;
         self.sink.truncate_to(len)
+    }
+}
+
+impl Drop for Wal {
+    fn drop(&mut self) {
+        let _ = self.drain();
     }
 }
 
@@ -545,5 +673,207 @@ mod tests {
         let (records, consumed) = wal.replay().unwrap();
         assert!(records.is_empty());
         assert_eq!(consumed, 0);
+    }
+
+    /// Sink that counts write and sync calls (group-commit observability).
+    #[derive(Default)]
+    struct CountingSink {
+        inner: MemorySink,
+        writes: std::sync::Arc<std::sync::atomic::AtomicU64>,
+        syncs: std::sync::Arc<std::sync::atomic::AtomicU64>,
+    }
+
+    impl LogSink for CountingSink {
+        fn append(&mut self, frame: &[u8]) -> Result<()> {
+            self.writes
+                .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            self.inner.append(frame)
+        }
+        fn read_all(&self) -> Result<Vec<u8>> {
+            self.inner.read_all()
+        }
+        fn len(&self) -> u64 {
+            LogSink::len(&self.inner)
+        }
+        fn truncate_to(&mut self, len: u64) -> Result<()> {
+            self.inner.truncate_to(len)
+        }
+        fn sync(&mut self) -> Result<()> {
+            self.syncs.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn group_commit_batches_appends_into_one_sink_write() {
+        use std::sync::atomic::Ordering::SeqCst;
+        let writes = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let syncs = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let sink = CountingSink {
+            inner: MemorySink::new(),
+            writes: writes.clone(),
+            syncs: syncs.clone(),
+        };
+        let mut wal = Wal::with_sink(Box::new(sink));
+        for r in sample_records() {
+            wal.append(&r).unwrap();
+        }
+        // Everything still buffered: zero sink traffic, yet fully
+        // observable through replay and size_bytes.
+        assert_eq!(writes.load(SeqCst), 0);
+        assert_eq!(wal.buffered_records(), sample_records().len() as u64);
+        let (records, consumed) = wal.replay().unwrap();
+        assert_eq!(records, sample_records());
+        assert_eq!(consumed, wal.size_bytes());
+        // One drain = one buffered write + one flush for the whole batch.
+        wal.sync().unwrap();
+        assert_eq!(writes.load(SeqCst), 1);
+        assert_eq!(syncs.load(SeqCst), 1);
+        assert_eq!(wal.drains(), 1);
+        assert_eq!(wal.buffered_records(), 0);
+        // Draining an empty buffer is free.
+        wal.sync().unwrap();
+        assert_eq!(writes.load(SeqCst), 1);
+        assert_eq!(wal.drains(), 1);
+    }
+
+    #[test]
+    fn group_limit_zero_drains_every_append() {
+        let writes = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let sink = CountingSink {
+            inner: MemorySink::new(),
+            writes: writes.clone(),
+            syncs: Default::default(),
+        };
+        let mut wal = Wal::with_sink(Box::new(sink));
+        wal.set_group_limit(0);
+        for r in sample_records() {
+            wal.append(&r).unwrap();
+        }
+        assert_eq!(
+            writes.load(std::sync::atomic::Ordering::SeqCst),
+            sample_records().len() as u64
+        );
+        assert_eq!(wal.drains(), sample_records().len() as u64);
+    }
+
+    /// Sink with injectable append/sync failures.
+    struct FlakySink {
+        inner: MemorySink,
+        fail_appends: std::sync::Arc<std::sync::atomic::AtomicBool>,
+        fail_syncs: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    }
+
+    impl LogSink for FlakySink {
+        fn append(&mut self, frame: &[u8]) -> Result<()> {
+            if self.fail_appends.load(std::sync::atomic::Ordering::SeqCst) {
+                return Err(StorageError::Io("injected append failure".into()));
+            }
+            self.inner.append(frame)
+        }
+        fn read_all(&self) -> Result<Vec<u8>> {
+            self.inner.read_all()
+        }
+        fn len(&self) -> u64 {
+            LogSink::len(&self.inner)
+        }
+        fn truncate_to(&mut self, len: u64) -> Result<()> {
+            self.inner.truncate_to(len)
+        }
+        fn sync(&mut self) -> Result<()> {
+            if self.fail_syncs.load(std::sync::atomic::Ordering::SeqCst) {
+                return Err(StorageError::Io("injected sync failure".into()));
+            }
+            Ok(())
+        }
+    }
+
+    fn flaky_wal() -> (
+        Wal,
+        std::sync::Arc<std::sync::atomic::AtomicBool>,
+        std::sync::Arc<std::sync::atomic::AtomicBool>,
+    ) {
+        let fail_appends = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let fail_syncs = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let wal = Wal::with_sink(Box::new(FlakySink {
+            inner: MemorySink::new(),
+            fail_appends: fail_appends.clone(),
+            fail_syncs: fail_syncs.clone(),
+        }));
+        (wal, fail_appends, fail_syncs)
+    }
+
+    #[test]
+    fn sync_failure_never_duplicates_a_drained_group() {
+        use std::sync::atomic::Ordering::SeqCst;
+        let (mut wal, _appends, syncs) = flaky_wal();
+        wal.set_group_limit(0); // drain per append
+        syncs.store(true, SeqCst);
+        // The sink accepted the bytes; only the flush failed — the record
+        // is in the log and the append reports success.
+        wal.append(&LogRecord::Checkpoint).unwrap();
+        wal.append(&LogRecord::PendingRemove { id: 7 }).unwrap();
+        syncs.store(false, SeqCst);
+        wal.append(&LogRecord::Checkpoint).unwrap();
+        let (records, _) = wal.replay().unwrap();
+        // Exactly three records — the failed syncs must not have left the
+        // group in the buffer to be appended to the sink a second time.
+        assert_eq!(
+            records,
+            vec![
+                LogRecord::Checkpoint,
+                LogRecord::PendingRemove { id: 7 },
+                LogRecord::Checkpoint,
+            ]
+        );
+    }
+
+    #[test]
+    fn failed_sink_append_rolls_the_record_out_of_the_log() {
+        use std::sync::atomic::Ordering::SeqCst;
+        let (mut wal, appends, _syncs) = flaky_wal();
+        wal.set_group_limit(0);
+        wal.append(&LogRecord::Checkpoint).unwrap();
+        appends.store(true, SeqCst);
+        // Err must mean "not in the log": no buffered copy may later
+        // become durable behind the caller's back.
+        assert!(wal
+            .append(&LogRecord::PendingAdd {
+                id: 9,
+                payload: vec![1]
+            })
+            .is_err());
+        assert_eq!(wal.buffered_records(), 0);
+        assert_eq!(wal.records_written(), 1);
+        appends.store(false, SeqCst);
+        wal.append(&LogRecord::PendingRemove { id: 3 }).unwrap();
+        let (records, _) = wal.replay().unwrap();
+        assert_eq!(
+            records,
+            vec![LogRecord::Checkpoint, LogRecord::PendingRemove { id: 3 }]
+        );
+    }
+
+    #[test]
+    fn buffer_overflow_triggers_drain_preserving_order() {
+        let mut wal = Wal::in_memory();
+        wal.set_group_limit(64); // tiny: force several drains
+        let mut expected = Vec::new();
+        for i in 0..50u64 {
+            let r = LogRecord::PendingAdd {
+                id: i,
+                payload: vec![i as u8; 16],
+            };
+            wal.append(&r).unwrap();
+            expected.push(r);
+        }
+        assert!(wal.drains() > 1);
+        let (records, _) = wal.replay().unwrap();
+        assert_eq!(records, expected);
+        // image() drains the tail and equals the replayed stream.
+        let image = wal.image().unwrap();
+        let (from_image, _) = replay_bytes(&image).unwrap();
+        assert_eq!(from_image, expected);
+        assert_eq!(wal.buffered_records(), 0);
     }
 }

@@ -139,6 +139,13 @@ fn all_five_statement_classes_round_trip() {
     assert_eq!(m.submitted, 2);
     assert_eq!(m.committed, 2);
     assert!(m.parses >= 10, "every execute() above parsed once");
+    // The solver hot-path counters surface through SHOW METRICS: the two
+    // admissions above searched (nodes), streamed their candidates, and
+    // never materialized a candidate vector.
+    assert!(m.solver_nodes > 0);
+    assert!(m.solver_candidates_streamed > 0);
+    assert!(m.solver_index_lookups + m.solver_scan_lookups > 0);
+    assert_eq!(m.solver_candidate_vecs, 0);
 }
 
 #[test]

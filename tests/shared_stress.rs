@@ -130,6 +130,12 @@ fn concurrent_sessions_never_deadlock_and_accounting_stays_consistent() {
     assert_eq!(shared.pending_count(), 0);
     let metrics = shared.metrics();
     assert_eq!(metrics.grounded_total(), expected, "a booking never landed");
+    // Solver hot-path counters flow into the sharded metrics block: the
+    // concurrent admissions searched and streamed, and the fast path
+    // never materialized a candidate vector.
+    assert!(metrics.solver_nodes > 0);
+    assert!(metrics.solver_candidates_streamed > 0);
+    assert_eq!(metrics.solver_candidate_vecs, 0);
 
     // Every slot ended up taken exactly once.
     let rows = session.execute("SELECT * FROM Taken(@w, @l, @s)").unwrap();
