@@ -59,7 +59,7 @@ fn main() {
     if which.is_empty() {
         which.push("all".to_string());
     }
-    const KNOWN: [&str; 11] = [
+    const KNOWN: [&str; 12] = [
         "all",
         "table1",
         "fig5",
@@ -71,6 +71,7 @@ fn main() {
         "phase",
         "partition_scaling",
         "admission_depth",
+        "read_path",
     ];
     for w in &which {
         if !KNOWN.contains(&w.as_str()) {
@@ -104,6 +105,9 @@ fn main() {
     }
     if wants("admission_depth") {
         records.push(admission_depth_report(scale));
+    }
+    if wants("read_path") {
+        records.push(read_path_report(scale));
     }
     if json {
         let doc = Json::obj([
@@ -188,6 +192,76 @@ fn admission_depth_report(scale: Scale) -> Json {
                     ("cache_extensions", num(r.cache_extensions as f64)),
                     ("cache_full_resolves", num(r.cache_full_resolves as f64)),
                     ("indexes_auto_created", num(r.indexes_auto_created as f64)),
+                ])
+            })),
+        ),
+    ])
+}
+
+fn read_path_report(scale: Scale) -> Json {
+    let (sizes, depths, reads): (Vec<usize>, Vec<usize>, usize) = match scale {
+        Scale::Full => (vec![1_000, 10_000], vec![0, 8, 32], 200),
+        Scale::Smoke => (vec![200, 1_000], vec![0, 4, 8], 40),
+    };
+    println!("== Read path: delta-view PEEK/POSSIBLE vs the clone-based reference ==");
+    println!(
+        "(base size x pending depth; per-read latency; db_clones is the engine's\n\
+         database clone counter during the view phase and must be 0)\n"
+    );
+    let rows = read_path(&sizes, &depths, reads);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.mode.clone(),
+                r.db_rows.to_string(),
+                r.depth.to_string(),
+                format!("{:.1}", r.view_latency_us),
+                format!("{:.1}", r.clone_latency_us),
+                format!("{:.1}x", r.speedup),
+                format!("{}/{}", r.worlds_enumerated, r.world_dedup_hits),
+                r.db_clones.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &[
+                "mode",
+                "db_rows",
+                "depth",
+                "view_us",
+                "clone_us",
+                "speedup",
+                "worlds/dedup",
+                "db_clones"
+            ],
+            &table
+        )
+    );
+    for r in &rows {
+        assert_eq!(
+            r.db_clones, 0,
+            "the view read path must not clone the database"
+        );
+    }
+    Json::obj([
+        ("experiment", jstr("read_path")),
+        (
+            "points",
+            Json::arr(rows.iter().map(|r| {
+                Json::obj([
+                    ("mode", jstr(r.mode.clone())),
+                    ("db_rows", num(r.db_rows as f64)),
+                    ("depth", num(r.depth as f64)),
+                    ("reads", num(r.reads as f64)),
+                    ("view_latency_us", num(r.view_latency_us)),
+                    ("clone_latency_us", num(r.clone_latency_us)),
+                    ("speedup", num(r.speedup)),
+                    ("worlds_enumerated", num(r.worlds_enumerated as f64)),
+                    ("world_dedup_hits", num(r.world_dedup_hits as f64)),
+                    ("db_clones", num(r.db_clones as f64)),
                 ])
             })),
         ),

@@ -184,6 +184,8 @@ pub fn fig8_fig9_mixed(
                 order: ArrivalOrder::Random { seed },
                 n_reads,
                 scan_percent: 0,
+                peek_percent: 0,
+                possible_percent: 0,
                 seed,
                 engine: qdb_core::QuantumDbConfig::with_k(k),
             };
@@ -412,6 +414,225 @@ pub fn admission_depth(
     out
 }
 
+/// One point of the `read_path` experiment.
+#[derive(Debug, Clone)]
+pub struct ReadPathRow {
+    /// Read mode: `"peek"` (§3.2.2 option 2) or `"possible"` (option 1).
+    pub mode: String,
+    /// Base database size (rows in `Available`).
+    pub db_rows: usize,
+    /// Pending-queue depth (one pending booking per flight — disjoint
+    /// partitions, so the possible-world fan-out is per-booking).
+    pub depth: usize,
+    /// Reads measured per point.
+    pub reads: usize,
+    /// Mean latency of the engine's delta-view read path, microseconds.
+    pub view_latency_us: f64,
+    /// Mean latency of the clone-based reference (database clone + op
+    /// application per world, the pre-view implementation), microseconds.
+    pub clone_latency_us: f64,
+    /// `clone_latency_us / view_latency_us`.
+    pub speedup: f64,
+    /// World forks created by the engine during the measured reads
+    /// (0 for peek).
+    pub worlds_enumerated: u64,
+    /// Forked worlds discarded as net-delta duplicates.
+    pub world_dedup_hits: u64,
+    /// Database clones observed on the engine's base during the view
+    /// phase — **must** be 0: the view path never materializes state.
+    pub db_clones: u64,
+}
+
+/// The clone-free read path (PEEK / POSSIBLE through delta views) against
+/// the clone-based reference, swept over base size × pending depth.
+///
+/// `Available` holds `db_rows` rows spread over flights of 4 seats;
+/// `depth` pending bookings land on distinct flights (their §4 partitions
+/// stay disjoint; each has 4 candidate seats, so POSSIBLE fans out 4× per
+/// pending booking until the world bound truncates). The measured query
+/// is a point read of one pending user's booking — through the view it
+/// touches O(pending) state; the reference pays O(db_rows) per read to
+/// clone the base the way the pre-view engine did. The engine's
+/// `db_clones` counter is captured *before* the reference runs, so the
+/// view phase must read 0.
+pub fn read_path(sizes: &[usize], depths: &[usize], reads: usize) -> Vec<ReadPathRow> {
+    use qdb_core::{enumerate_worlds, QuantumDb, QuantumDbConfig};
+    use qdb_logic::{parse_query, parse_transaction, ResourceTransaction, Valuation};
+    use qdb_storage::{ConjunctiveQuery, Database, Schema, Tuple, Value, ValueType};
+    use std::time::Instant;
+
+    const SEATS_PER_FLIGHT: usize = 4;
+    const WORLD_BOUND: usize = 64;
+
+    fn install_flights(create: &mut dyn FnMut(Schema), rows: usize) {
+        create(
+            Schema::new(
+                "Available",
+                vec![("flight", ValueType::Int), ("seat", ValueType::Str)],
+            )
+            .with_key(vec![0, 1])
+            .expect("key"),
+        );
+        create(Schema::new(
+            "Bookings",
+            vec![
+                ("name", ValueType::Str),
+                ("flight", ValueType::Int),
+                ("seat", ValueType::Str),
+            ],
+        ));
+        let _ = rows;
+    }
+
+    fn flight_rows(rows: usize) -> impl Iterator<Item = (i64, Tuple)> {
+        (0..rows).map(|i| {
+            let flight = (i / SEATS_PER_FLIGHT + 1) as i64;
+            let seat = format!("s{:03}", i % SEATS_PER_FLIGHT);
+            (
+                flight,
+                Tuple::from(vec![Value::from(flight), Value::from(seat)]),
+            )
+        })
+    }
+
+    fn booking(i: usize) -> ResourceTransaction {
+        let flight = i + 1;
+        parse_transaction(&format!(
+            "-Available({flight}, s), +Bookings('u{i}', {flight}, s) :-1 Available({flight}, s)"
+        ))
+        .expect("well-formed")
+    }
+
+    let mut out = Vec::new();
+    for &rows in sizes {
+        for &depth in depths {
+            assert!(
+                depth * SEATS_PER_FLIGHT <= rows,
+                "depth {depth} needs at least {} rows",
+                depth * SEATS_PER_FLIGHT
+            );
+            // Engine under measurement.
+            let mut qdb = QuantumDb::new(QuantumDbConfig::with_k(depth + 1)).expect("engine");
+            install_flights(&mut |s| qdb.create_table(s).expect("schema"), rows);
+            let tuples: Vec<Tuple> = flight_rows(rows).map(|(_, t)| t).collect();
+            qdb.bulk_insert("Available", tuples).expect("populate");
+            let txns: Vec<ResourceTransaction> = (0..depth).map(booking).collect();
+            for t in &txns {
+                assert!(
+                    qdb.submit(t).expect("engine healthy").is_committed(),
+                    "4 free seats per flight: every booking admits"
+                );
+            }
+            // The reference state: an *independent* database (its clones
+            // must not pollute the engine's counter) with the same rows.
+            let mut reference = Database::new();
+            install_flights(&mut |s| reference.create_table(s).expect("schema"), rows);
+            for (_, t) in flight_rows(rows) {
+                reference.insert("Available", t).expect("populate");
+            }
+            // Deterministic stand-ins for the engine's cached grounding:
+            // the reference pays the same op count, the exact seats are
+            // irrelevant to its cost.
+            let pending_ops: Vec<qdb_storage::WriteOp> = (0..depth)
+                .flat_map(|i| {
+                    let flight = (i + 1) as i64;
+                    [
+                        qdb_storage::WriteOp::delete(
+                            "Available",
+                            Tuple::from(vec![Value::from(flight), Value::from("s000")]),
+                        ),
+                        qdb_storage::WriteOp::insert(
+                            "Bookings",
+                            Tuple::from(vec![
+                                Value::from(format!("u{i}")),
+                                Value::from(flight),
+                                Value::from("s000"),
+                            ]),
+                        ),
+                    ]
+                })
+                .collect();
+
+            let query = parse_query("Bookings('u0', f, s)").expect("well-formed");
+            let patterns = query
+                .atoms
+                .iter()
+                .map(|a| a.to_pattern(&Valuation::new()))
+                .collect::<Vec<_>>();
+            let conj = ConjunctiveQuery::new(patterns);
+            let txn_refs: Vec<&ResourceTransaction> = txns.iter().collect();
+
+            for mode in ["peek", "possible"] {
+                // POSSIBLE enumerates up to the world bound per read (and
+                // the clone reference materializes every world): sample it
+                // with a tenth of the peek read count.
+                let reads = if mode == "peek" {
+                    reads
+                } else {
+                    reads.div_ceil(10).max(3)
+                };
+                let metrics_before = qdb.metrics_snapshot();
+                // View phase: the engine's clone-free read path.
+                let t0 = Instant::now();
+                for _ in 0..reads {
+                    match mode {
+                        "peek" => {
+                            let _ = qdb.read_peek(&query.atoms, None).expect("peek");
+                        }
+                        _ => {
+                            let _ = qdb
+                                .read_possible(&query.atoms, WORLD_BOUND)
+                                .expect("possible");
+                        }
+                    }
+                }
+                let view_latency_us = t0.elapsed().as_secs_f64() * 1e6 / reads as f64;
+                let m = qdb.metrics_snapshot();
+                let db_clones = m.db_clones; // captured before the clone phase
+                let worlds_enumerated = m.worlds_enumerated - metrics_before.worlds_enumerated;
+                let world_dedup_hits = m.world_dedup_hits - metrics_before.world_dedup_hits;
+
+                // Clone phase: the pre-view implementation's cost shape —
+                // clone the base per read (and per world for POSSIBLE),
+                // apply the pending ops, evaluate concretely.
+                let t0 = Instant::now();
+                for _ in 0..reads {
+                    match mode {
+                        "peek" => {
+                            let mut world = reference.clone();
+                            world.apply_all(&pending_ops).expect("ops apply");
+                            let _ = conj.eval(&world).expect("eval");
+                        }
+                        _ => {
+                            let worlds = enumerate_worlds(&reference, &txn_refs, WORLD_BOUND)
+                                .expect("enumerate");
+                            for w in &worlds.worlds {
+                                let materialized = w.materialize(&reference).expect("materialize");
+                                let _ = conj.eval(&materialized).expect("eval");
+                            }
+                        }
+                    }
+                }
+                let clone_latency_us = t0.elapsed().as_secs_f64() * 1e6 / reads as f64;
+
+                out.push(ReadPathRow {
+                    mode: mode.to_string(),
+                    db_rows: rows,
+                    depth,
+                    reads,
+                    view_latency_us,
+                    clone_latency_us,
+                    speedup: clone_latency_us / view_latency_us.max(f64::EPSILON),
+                    worlds_enumerated,
+                    world_dedup_hits,
+                    db_clones,
+                });
+            }
+        }
+    }
+    out
+}
+
 /// One point of the §6 phase-transition illustration.
 #[derive(Debug, Clone)]
 pub struct PhaseRow {
@@ -623,6 +844,35 @@ mod tests {
             .iter()
             .find(|r| r.mode == "full-resolve" && r.depth == 4);
         assert!(full.unwrap().solver_nodes > ext.unwrap().solver_nodes);
+    }
+
+    #[test]
+    fn read_path_smoke_is_clone_free_and_faster_than_the_reference() {
+        let rows = read_path(&[64, 256], &[0, 4], 10);
+        assert_eq!(rows.len(), 8); // {64,256} sizes × {0,4} depths × {peek,possible}
+        for r in &rows {
+            // The acceptance gate: the view phase never clones.
+            assert_eq!(r.db_clones, 0, "{} {}x{}", r.mode, r.db_rows, r.depth);
+            assert!(r.view_latency_us > 0.0);
+            assert!(r.clone_latency_us > 0.0);
+            if r.mode == "possible" && r.depth > 0 {
+                assert!(r.worlds_enumerated > 0, "possible must fork worlds");
+            }
+            if r.mode == "peek" {
+                assert_eq!(r.worlds_enumerated, 0, "peek never enumerates");
+            }
+        }
+        // At the larger size the clone reference pays O(db) per read and
+        // the view does not: the peek speedup must be decisive.
+        let big_peek = rows
+            .iter()
+            .find(|r| r.mode == "peek" && r.db_rows == 256 && r.depth == 4)
+            .unwrap();
+        assert!(
+            big_peek.speedup > 1.0,
+            "view peek slower than cloning: {:.2}x",
+            big_peek.speedup
+        );
     }
 
     #[test]

@@ -428,25 +428,31 @@ impl QuantumDb {
     /// Peek semantics (§3.2.2, option 2): answer the query against *one*
     /// possible world — the cached solution — without fixing anything.
     /// The returned values carry no stability guarantee.
+    ///
+    /// The world is never materialized: the cached pending updates are
+    /// composed over the base as a [`qdb_storage::DeltaView`] (O(pending),
+    /// zero database clones) and the query evaluates through the view.
     pub fn read_peek(&mut self, atoms: &[Atom], limit: Option<usize>) -> Result<Vec<Valuation>> {
-        let mut world = self.db.clone();
+        self.metrics.reads_peek += 1;
+        let mut view = qdb_storage::DeltaView::new(&self.db);
         for p in self.partitions.values() {
             let refs = p.txn_refs();
             for op in p.cache.pending_ops(&refs)? {
-                world.apply(&op)?;
+                view.apply(&op).map_err(crate::EngineError::Storage)?;
             }
         }
-        eval_on(&world, atoms, limit)
+        eval_on(&view, atoms, limit)
     }
 
     /// All-possible-values semantics (§3.2.2, option 1): enumerate possible
-    /// worlds (bounded) and return the distinct answer sets across them.
-    /// Exposes the uncertainty to the caller.
+    /// worlds (bounded, as deltas over the base) and return the distinct
+    /// answer sets across them. Exposes the uncertainty to the caller.
     pub fn read_possible(
         &mut self,
         atoms: &[Atom],
         world_bound: usize,
     ) -> Result<Vec<Vec<Valuation>>> {
+        self.metrics.reads_possible += 1;
         let mut pending: Vec<&PendingTxn> = self
             .partitions
             .values()
@@ -455,9 +461,11 @@ impl QuantumDb {
         pending.sort_by_key(|p| p.id);
         let txns: Vec<&ResourceTransaction> = pending.iter().map(|p| &p.txn).collect();
         let worlds = crate::worlds::enumerate_worlds(&self.db, &txns, world_bound)?;
+        self.metrics.worlds_enumerated += worlds.enumerated;
+        self.metrics.world_dedup_hits += worlds.dedup_hits;
         let mut distinct: BTreeSet<Vec<Valuation>> = BTreeSet::new();
         for w in &worlds.worlds {
-            distinct.insert(eval_on(w, atoms, None)?);
+            distinct.insert(eval_on(&w.view(&self.db)?, atoms, None)?);
         }
         Ok(distinct.into_iter().collect())
     }
@@ -621,7 +629,8 @@ impl QuantumDb {
 
     /// Engine metrics with the solver hot-path counters folded in (the
     /// live [`SolverStats`] mirror into the `solver_*` fields; `SHOW
-    /// METRICS` reports this view).
+    /// METRICS` reports this view), plus the live database clone count
+    /// (`db_clones` — the delta-view read paths keep it at zero).
     pub fn metrics_snapshot(&self) -> Metrics {
         let mut m = self.metrics.clone();
         let s = self.solver.stats();
@@ -630,6 +639,7 @@ impl QuantumDb {
         m.solver_index_lookups = s.index_lookups;
         m.solver_scan_lookups = s.scan_lookups;
         m.solver_candidate_vecs = s.candidate_vecs;
+        m.db_clones = self.db.clone_count();
         m
     }
 
@@ -738,9 +748,10 @@ pub(crate) fn collect_hot_columns(db: &Database, threshold: u32) -> Vec<(String,
         .collect()
 }
 
-/// Evaluate a conjunctive query (logic atoms) against a concrete database.
-pub(crate) fn eval_on(
-    db: &Database,
+/// Evaluate a conjunctive query (logic atoms) against a tuple view — the
+/// concrete database or a delta view of a possible world.
+pub(crate) fn eval_on<V: qdb_storage::TupleView + ?Sized>(
+    view: &V,
     atoms: &[Atom],
     limit: Option<usize>,
 ) -> Result<Vec<Valuation>> {
@@ -750,7 +761,7 @@ pub(crate) fn eval_on(
     if let Some(l) = limit {
         q = q.with_limit(l);
     }
-    let out = q.eval(db)?;
+    let out = q.eval(view)?;
     // Map numeric binding ids back to logic variables.
     let mut by_id: std::collections::BTreeMap<u32, Var> = std::collections::BTreeMap::new();
     for a in atoms {

@@ -46,8 +46,21 @@ pub struct Metrics {
     pub committed: u64,
     /// Resource transactions aborted at admission.
     pub aborted: u64,
-    /// Reads served.
+    /// Reads served with collapse semantics (§3.2.2 option 3).
     pub reads: u64,
+    /// Reads served with peek semantics (§3.2.2 option 2) — answered
+    /// against one possible world through a delta view, never grounding.
+    pub reads_peek: u64,
+    /// Reads served with all-possible-values semantics (§3.2.2 option 1).
+    pub reads_possible: u64,
+    /// World forks created by the possible-worlds enumerator.
+    pub worlds_enumerated: u64,
+    /// Forked worlds discarded as duplicates by delta fingerprinting.
+    pub world_dedup_hits: u64,
+    /// `Database` clones observed on the engine's database family
+    /// (sourced live from [`qdb_storage::Database::clone_count`] at
+    /// snapshot time; the delta-view read paths keep this at zero).
+    pub db_clones: u64,
     /// Blind writes applied.
     pub writes_applied: u64,
     /// Blind writes rejected.
@@ -127,17 +140,22 @@ impl std::fmt::Display for Metrics {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "submitted={} committed={} aborted={} reads={} grounded(read/k/partner/explicit)={}/{}/{}/{} cache(ext/full)={}/{} max_pending={} parses={}",
+            "submitted={} committed={} aborted={} reads(collapse/peek/possible)={}/{}/{} grounded(read/k/partner/explicit)={}/{}/{}/{} cache(ext/full)={}/{} worlds(enumerated/dedup)={}/{} db_clones={} max_pending={} parses={}",
             self.submitted,
             self.committed,
             self.aborted,
             self.reads,
+            self.reads_peek,
+            self.reads_possible,
             self.grounded_by_read,
             self.grounded_by_k,
             self.grounded_by_partner,
             self.grounded_explicit,
             self.cache_extensions,
             self.cache_full_resolves,
+            self.worlds_enumerated,
+            self.world_dedup_hits,
+            self.db_clones,
             self.max_pending,
             self.parses,
         )
@@ -213,6 +231,11 @@ mirrored_counters!(
     committed,
     aborted,
     reads,
+    reads_peek,
+    reads_possible,
+    worlds_enumerated,
+    world_dedup_hits,
+    db_clones,
     writes_applied,
     writes_rejected,
     grounded_by_read,
@@ -290,11 +313,6 @@ impl AtomicMetrics {
     /// it must be consistent with other counters).
     pub(crate) fn pending(&self) -> u64 {
         self.pending.load(SeqCst)
-    }
-
-    /// Consistent snapshot of all counters.
-    pub(crate) fn snapshot(&self) -> Metrics {
-        self.snapshot_with_pending().0
     }
 
     /// Consistent snapshot of all counters plus the pending count, taken

@@ -199,6 +199,10 @@ impl Registry {
 struct Core {
     config: QuantumDbConfig,
     base: RwLock<Base>,
+    /// Lock-free handle onto the base database's clone-family counter:
+    /// metrics snapshots read `db_clones` through it without acquiring
+    /// the base lock (observation must never block behind a writer).
+    db_clones: qdb_storage::CloneCounter,
     vargen: Mutex<VarGen>,
     wal: Mutex<Wal>,
     reg: Mutex<Registry>,
@@ -306,6 +310,7 @@ impl SharedQuantumDb {
         }
         SharedQuantumDb {
             core: Arc::new(Core {
+                db_clones: db.clone_counter(),
                 base: RwLock::new(Base { db }),
                 vargen: Mutex::new(vargen),
                 wal: Mutex::new(wal),
@@ -1146,36 +1151,55 @@ impl SharedQuantumDb {
     /// touches — without fixing anything. Partitions whose updates cannot
     /// unify with the query are provably irrelevant to the answer and are
     /// neither locked nor applied.
+    ///
+    /// The world is composed as a [`qdb_storage::DeltaView`] over the
+    /// base (O(pending), zero database clones), so the shared base read
+    /// lock is held only for building the delta and evaluating — never
+    /// for materializing state.
     pub fn read_peek(&self, atoms: &[Atom], limit: Option<usize>) -> Result<Vec<Valuation>> {
         let _c = self.coarse();
+        self.core.metrics.begin().add(|c| &c.reads_peek, 1);
         self.with_touched_partitions(atoms, |db, parts| {
-            let mut world = db.clone();
+            let mut view = qdb_storage::DeltaView::new(db);
             for p in &parts {
                 let refs = p.txn_refs();
                 for op in p.cache.pending_ops(&refs)? {
-                    world.apply(&op)?;
+                    view.apply(&op).map_err(EngineError::Storage)?;
                 }
             }
-            eval_on(&world, atoms, limit)
+            eval_on(&view, atoms, limit)
         })
     }
 
     /// All-possible-values semantics (§3.2.2, option 1): enumerate
-    /// possible worlds (bounded) over the touched partitions and return
-    /// the distinct answer sets across them.
+    /// possible worlds (bounded, as deltas over the base) over the
+    /// touched partitions and return the distinct answer sets across
+    /// them. Worlds are forked and evaluated as delta views — the base
+    /// read lock never covers a state materialization.
     pub fn read_possible(&self, atoms: &[Atom], world_bound: usize) -> Result<Vec<Vec<Valuation>>> {
         let _c = self.coarse();
-        self.with_touched_partitions(atoms, |db, parts| {
+        self.core.metrics.begin().add(|c| &c.reads_possible, 1);
+        let (out, enumerated, dedup_hits) = self.with_touched_partitions(atoms, |db, parts| {
             let mut pending: Vec<&PendingTxn> = parts.iter().flat_map(|p| p.txns.iter()).collect();
             pending.sort_by_key(|p| p.id);
             let txns: Vec<&ResourceTransaction> = pending.iter().map(|p| &p.txn).collect();
             let worlds = crate::worlds::enumerate_worlds(db, &txns, world_bound)?;
             let mut distinct: BTreeSet<Vec<Valuation>> = BTreeSet::new();
             for w in &worlds.worlds {
-                distinct.insert(eval_on(w, atoms, None)?);
+                distinct.insert(eval_on(&w.view(db)?, atoms, None)?);
             }
-            Ok(distinct.into_iter().collect())
-        })
+            Ok((
+                distinct.into_iter().collect(),
+                worlds.enumerated,
+                worlds.dedup_hits,
+            ))
+        })?;
+        {
+            let t = self.core.metrics.begin();
+            t.add(|c| &c.worlds_enumerated, enumerated);
+            t.add(|c| &c.world_dedup_hits, dedup_hits);
+        }
+        Ok(out)
     }
 
     /// Lock every partition whose pending updates could affect `atoms`
@@ -1463,16 +1487,21 @@ impl SharedQuantumDb {
 
     /// Metrics snapshot (consistent — see [`SharedQuantumDb::metrics_with_pending`]).
     pub fn metrics(&self) -> Metrics {
-        self.core.metrics.snapshot()
+        self.metrics_with_pending().0
     }
 
     /// Metrics snapshot plus the pending count, both read from one stable
     /// seqlock window: `committed − grounded_total == pending` holds for
     /// every snapshot, even taken mid-`GROUND ALL` from another thread,
     /// and across [`SharedQuantumDb::reset_metrics`] calls made while
-    /// transactions are pending.
+    /// transactions are pending. The `db_clones` field is sourced live
+    /// from the base database's clone-family counter through a detached
+    /// lock-free handle — observation never touches the base lock (the
+    /// delta-view read paths keep the counter at zero).
     pub fn metrics_with_pending(&self) -> (Metrics, u64) {
-        self.core.metrics.snapshot_with_pending()
+        let (mut m, pending) = self.core.metrics.snapshot_with_pending();
+        m.db_clones = self.core.db_clones.get();
+        (m, pending)
     }
 
     /// Reset metrics (between experiment phases). `committed` restarts at

@@ -591,12 +591,17 @@ fn get_valuations(buf: &mut impl Buf) -> Result<Vec<Valuation>> {
 
 /// The metrics counters, in wire order. The event trace is deliberately
 /// not wired (it is unbounded and debug-only).
-fn metrics_fields(m: &Metrics) -> [u64; 24] {
+fn metrics_fields(m: &Metrics) -> [u64; 29] {
     [
         m.submitted,
         m.committed,
         m.aborted,
         m.reads,
+        m.reads_peek,
+        m.reads_possible,
+        m.worlds_enumerated,
+        m.world_dedup_hits,
+        m.db_clones,
         m.writes_applied,
         m.writes_rejected,
         m.grounded_by_read,
@@ -628,11 +633,16 @@ fn put_metrics(body: &mut BytesMut, m: &Metrics) {
 
 fn get_metrics(buf: &mut impl Buf) -> Result<Metrics> {
     let mut m = Metrics::default();
-    let fields: &mut [&mut u64; 24] = &mut [
+    let fields: &mut [&mut u64; 29] = &mut [
         &mut m.submitted,
         &mut m.committed,
         &mut m.aborted,
         &mut m.reads,
+        &mut m.reads_peek,
+        &mut m.reads_possible,
+        &mut m.worlds_enumerated,
+        &mut m.world_dedup_hits,
+        &mut m.db_clones,
         &mut m.writes_applied,
         &mut m.writes_rejected,
         &mut m.grounded_by_read,
@@ -846,6 +856,11 @@ mod tests {
             submitted: 12,
             parses: 4,
             max_pending: 6,
+            reads_peek: 21,
+            reads_possible: 3,
+            worlds_enumerated: 44,
+            world_dedup_hits: 5,
+            db_clones: 1,
             solver_nodes: 77,
             solver_candidates_streamed: 91,
             solver_index_lookups: 40,

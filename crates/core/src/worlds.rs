@@ -1,30 +1,110 @@
 //! Explicit possible-worlds semantics (§3.1, Figure 2).
 //!
 //! The quantum database represents its possible worlds *intensionally*;
-//! this module materializes them *extensionally* by explicit forking —
-//! exactly the thought experiment of §3.1 ("suppose the system finds all
-//! possible values that could be assigned … and forks the database state
-//! into several possible worlds"). Exponential, therefore only for small
-//! instances: it powers [`crate::QuantumDb::read_possible`], the Figure 2
+//! this module enumerates them by explicit forking — exactly the thought
+//! experiment of §3.1 ("suppose the system finds all possible values that
+//! could be assigned … and forks the database state into several possible
+//! worlds"). A world is **never materialized**: each fork is a
+//! [`WorldDelta`] — a copy-on-write chain of write-op chunks over the
+//! shared base — and queries evaluate against `base + delta` through a
+//! [`DeltaView`]. Forking is O(pending ops), deduplication fingerprints
+//! net deltas instead of serializing whole databases, and the base is
+//! only ever *read*. Exponential in pending depth by nature, therefore
+//! bounded: it powers [`crate::QuantumDb::read_possible`], the Figure 2
 //! example, and the property tests that cross-validate the solver against
 //! the possible-worlds semantics (intensional SAT ⟺ non-empty world set).
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use qdb_logic::ResourceTransaction;
 use qdb_solver::{Solver, TxnSpec};
-use qdb_storage::Database;
+use qdb_storage::{Database, DeltaView, WriteOp};
 
 use crate::Result;
 
-/// A materialized set of possible worlds.
+/// One possible world, represented as a delta over a shared base: a
+/// copy-on-write chain of write-op chunks (each fork appends one chunk
+/// and shares its ancestors' chunks through `Arc`s).
+#[derive(Debug)]
+pub struct WorldDelta {
+    parent: Option<Arc<WorldDelta>>,
+    /// Ops appended at this fork, each of which changed the visible state
+    /// when applied (no-ops are dropped at fork time, so replaying the
+    /// flattened chain through any op-applier is conflict-free).
+    ops: Vec<WriteOp>,
+}
+
+impl WorldDelta {
+    /// The un-forked root world (view = base).
+    pub fn root() -> Arc<WorldDelta> {
+        Arc::new(WorldDelta {
+            parent: None,
+            ops: Vec::new(),
+        })
+    }
+
+    /// Fork a child world: apply `raw_ops` on `parent`'s view of `base`,
+    /// keeping only the ops that changed the state (mirroring
+    /// [`Database::apply`]'s set-semantic no-ops). Errors on key
+    /// violations, exactly as applying to a materialized clone would.
+    pub fn fork(
+        base: &Database,
+        parent: &Arc<WorldDelta>,
+        raw_ops: Vec<WriteOp>,
+    ) -> Result<Arc<WorldDelta>> {
+        let mut view = parent.view(base)?;
+        let mut ops = Vec::with_capacity(raw_ops.len());
+        for op in raw_ops {
+            if view.apply(&op)? {
+                ops.push(op);
+            }
+        }
+        Ok(Arc::new(WorldDelta {
+            parent: Some(Arc::clone(parent)),
+            ops,
+        }))
+    }
+
+    /// The full op sequence, root → leaf.
+    pub fn ops(&self) -> Vec<WriteOp> {
+        let mut chunks: Vec<&[WriteOp]> = Vec::new();
+        let mut cur = Some(self);
+        while let Some(w) = cur {
+            chunks.push(&w.ops);
+            cur = w.parent.as_deref();
+        }
+        chunks.reverse();
+        chunks.concat()
+    }
+
+    /// The world as a [`DeltaView`] over `base` — the O(pending) way to
+    /// query it.
+    pub fn view<'a>(&self, base: &'a Database) -> Result<DeltaView<'a>> {
+        let mut view = DeltaView::new(base);
+        view.apply_all(&self.ops())?;
+        Ok(view)
+    }
+
+    /// Materialize the world as a standalone database (clones the base —
+    /// counted by [`Database::clone_count`]; tests and diagnostics only).
+    pub fn materialize(&self, base: &Database) -> Result<Database> {
+        Ok(self.view(base)?.materialize()?)
+    }
+}
+
+/// An enumerated set of possible worlds (deltas over a shared base).
 #[derive(Debug)]
 pub struct WorldSet {
-    /// The distinct worlds (deduplicated by content).
-    pub worlds: Vec<Database>,
+    /// The distinct worlds (deduplicated by net-delta fingerprint).
+    pub worlds: Vec<Arc<WorldDelta>>,
     /// True when enumeration stopped at the bound — `worlds` is then a
     /// subset of the true world set.
     pub truncated: bool,
+    /// World forks created during enumeration (before deduplication).
+    pub enumerated: u64,
+    /// Forks discarded as duplicates of an already-seen net delta.
+    pub dedup_hits: u64,
 }
 
 impl WorldSet {
@@ -41,7 +121,8 @@ impl WorldSet {
 }
 
 /// A canonical content fingerprint of a database (tables in name order,
-/// rows in key order) — used to deduplicate and compare worlds.
+/// rows in key order) — used by recovery equivalence checks and the
+/// worlds property tests to compare materialized states.
 pub fn world_fingerprint(db: &Database) -> String {
     use std::fmt::Write;
     let mut out = String::new();
@@ -56,7 +137,7 @@ pub fn world_fingerprint(db: &Database) -> String {
 }
 
 /// Enumerate the possible worlds of `base` under the pending sequence
-/// `txns` (arrival order), by explicit forking. Stops (with
+/// `txns` (arrival order), by explicit **delta** forking. Stops (with
 /// `truncated = true`) once more than `bound` worlds are live.
 ///
 /// Only non-optional body atoms constrain the forking, matching the
@@ -68,22 +149,25 @@ pub fn enumerate_worlds(
     bound: usize,
 ) -> Result<WorldSet> {
     let mut solver = Solver::default();
-    let mut worlds: Vec<Database> = vec![base.clone()];
+    let mut worlds: Vec<Arc<WorldDelta>> = vec![WorldDelta::root()];
+    let mut enumerated = 0u64;
     for txn in txns {
-        let mut next: Vec<Database> = Vec::new();
+        let mut next: Vec<Arc<WorldDelta>> = Vec::new();
         for w in &worlds {
+            let pre_ops = w.ops();
             let groundings =
-                solver.enumerate_one(w, &[], &TxnSpec::required_only(txn), bound + 1)?;
+                solver.enumerate_one(base, &pre_ops, &TxnSpec::required_only(txn), bound + 1)?;
             for val in groundings {
-                let mut forked = w.clone();
-                for op in txn.write_ops(&val)? {
-                    forked.apply(&op)?;
-                }
+                let forked = WorldDelta::fork(base, w, txn.write_ops(&val)?)?;
+                enumerated += 1;
                 next.push(forked);
                 if next.len() > bound {
+                    let (worlds, dedup_hits) = dedup(base, next)?;
                     return Ok(WorldSet {
-                        worlds: dedup(next),
+                        worlds,
                         truncated: true,
+                        enumerated,
+                        dedup_hits,
                     });
                 }
             }
@@ -93,25 +177,37 @@ pub fn enumerate_worlds(
             break; // no world survives: the sequence is unsatisfiable
         }
     }
+    let (worlds, dedup_hits) = dedup(base, worlds)?;
     Ok(WorldSet {
-        worlds: dedup(worlds),
+        worlds,
         truncated: false,
+        enumerated,
+        dedup_hits,
     })
 }
 
-fn dedup(worlds: Vec<Database>) -> Vec<Database> {
+/// Deduplicate worlds by the fingerprint of their **net delta** over the
+/// shared base (O(pending) per world) — two forks that reached the same
+/// state through different op orders collapse into one.
+fn dedup(base: &Database, worlds: Vec<Arc<WorldDelta>>) -> Result<(Vec<Arc<WorldDelta>>, u64)> {
     let mut seen: BTreeSet<String> = BTreeSet::new();
-    worlds
-        .into_iter()
-        .filter(|w| seen.insert(world_fingerprint(w)))
-        .collect()
+    let mut out = Vec::with_capacity(worlds.len());
+    let mut hits = 0u64;
+    for w in worlds {
+        if seen.insert(w.view(base)?.fingerprint()) {
+            out.push(w);
+        } else {
+            hits += 1;
+        }
+    }
+    Ok((out, hits))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use qdb_logic::parse_transaction;
-    use qdb_storage::{tuple, Schema, ValueType};
+    use qdb_storage::{tuple, Schema, TupleView, ValueType};
 
     /// Figure 2's setup: one flight (123) with three seats 1A, 1B, 1C.
     fn figure2_db() -> Database {
@@ -181,9 +277,11 @@ mod tests {
         // and Minnie split the rest with Minnie adjacent to X.
         let w3 = enumerate_worlds(&db, &[&mickey, &donald, &minnie], 100).unwrap();
         assert!(!w3.is_empty());
-        // Check every surviving world seats Minnie adjacent to Mickey.
+        // Check every surviving world seats Minnie adjacent to Mickey —
+        // read through the delta views, no world is ever materialized.
         for w in &w3.worlds {
-            let bookings = w.table("Bookings").unwrap();
+            let view = w.view(&db).unwrap();
+            let bookings = view.matching_rows("Bookings", &[None, None, None]).unwrap();
             let seat_of = |n: &str| {
                 bookings
                     .iter()
@@ -193,12 +291,14 @@ mod tests {
             };
             let m = seat_of("Mickey");
             let mi = seat_of("Minnie");
-            assert!(w.contains("Adjacent", &tuple![mi.as_str(), m.as_str()]));
+            assert!(view.contains("Adjacent", &tuple![mi.as_str(), m.as_str()]));
         }
         // Mickey on 1A or 1C forces Minnie onto 1B; Mickey on 1B lets
         // Minnie take 1A or 1C: 4 worlds total.
         assert_eq!(w3.len(), 4);
         assert!(!w3.truncated);
+        // The whole evolution enumerated deltas only: zero base clones.
+        assert_eq!(db.clone_count(), 0);
     }
 
     #[test]
@@ -227,6 +327,26 @@ mod tests {
         assert_eq!(world_fingerprint(&db), world_fingerprint(&db2));
         db2.delete("Available", &tuple![123, "1A"]).unwrap();
         assert_ne!(world_fingerprint(&db), world_fingerprint(&db2));
+    }
+
+    #[test]
+    fn world_deltas_materialize_to_the_forked_state() {
+        let db = figure2_db();
+        let mickey = book("Mickey");
+        let ws = enumerate_worlds(&db, &[&mickey], 100).unwrap();
+        for w in &ws.worlds {
+            let materialized = w.materialize(&db).unwrap();
+            // One seat booked, two left, in every world.
+            assert_eq!(materialized.table("Available").unwrap().len(), 2);
+            assert_eq!(materialized.table("Bookings").unwrap().len(), 1);
+            // The view agrees with the materialized state row for row.
+            let view = w.view(&db).unwrap();
+            for table in materialized.tables() {
+                for row in table.iter() {
+                    assert!(view.contains(table.schema().relation(), row));
+                }
+            }
+        }
     }
 
     /// The key semantic cross-check: the solver's satisfiability answer

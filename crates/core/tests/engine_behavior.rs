@@ -331,6 +331,11 @@ fn read_peek_exposes_a_world_without_fixing() {
     // Nothing collapsed.
     assert_eq!(qdb.pending_count(), 1);
     assert_eq!(qdb.database().table("Bookings").unwrap().len(), 0);
+    // And nothing was materialized: the peek evaluated a delta view over
+    // the base, never a cloned database.
+    let m = qdb.metrics_snapshot();
+    assert_eq!(m.db_clones, 0, "peek must not clone the database");
+    assert_eq!(m.reads_peek, 1);
 }
 
 #[test]
@@ -343,6 +348,12 @@ fn read_possible_exposes_all_worlds() {
     assert_eq!(possible.len(), 3);
     assert!(possible.iter().all(|rows| rows.len() == 1));
     assert_eq!(qdb.pending_count(), 1, "option 1 never collapses");
+    // World enumeration forked deltas, not databases.
+    let m = qdb.metrics_snapshot();
+    assert_eq!(m.db_clones, 0, "possible must not clone the database");
+    assert_eq!(m.reads_possible, 1);
+    assert_eq!(m.worlds_enumerated, 3, "one fork per seat");
+    assert_eq!(m.world_dedup_hits, 0);
 }
 
 #[test]

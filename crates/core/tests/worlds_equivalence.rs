@@ -1,0 +1,198 @@
+//! Equivalence of the delta-forked possible-worlds enumerator against the
+//! old clone-based one.
+//!
+//! `enumerate_worlds` used to clone a full `Database` per world fork and
+//! deduplicate by whole-database fingerprints; it now forks copy-on-write
+//! op deltas and deduplicates by net-delta fingerprints. The clone-based
+//! implementation survives *only here*, as the materializing reference:
+//! on seeded pending sets — plain bookings, adjacency-constrained
+//! bookings, overbooked (unsatisfiable) sequences, truncating bounds —
+//! both enumerations must produce exactly the same set of world
+//! *contents* and the same truncation verdict.
+
+use qdb_core::{enumerate_worlds, world_fingerprint};
+use qdb_logic::{parse_transaction, ResourceTransaction};
+use qdb_solver::{Solver, TxnSpec};
+use qdb_storage::{tuple, Database, Schema, ValueType};
+
+/// The pre-delta implementation, verbatim in structure: fork by cloning,
+/// dedup by full-database fingerprint.
+fn enumerate_worlds_materialized(
+    base: &Database,
+    txns: &[&ResourceTransaction],
+    bound: usize,
+) -> (Vec<Database>, bool) {
+    fn dedup(worlds: Vec<Database>) -> Vec<Database> {
+        let mut seen = std::collections::BTreeSet::new();
+        worlds
+            .into_iter()
+            .filter(|w| seen.insert(world_fingerprint(w)))
+            .collect()
+    }
+    let mut solver = Solver::default();
+    let mut worlds: Vec<Database> = vec![base.clone()];
+    for txn in txns {
+        let mut next: Vec<Database> = Vec::new();
+        for w in &worlds {
+            let groundings = solver
+                .enumerate_one(w, &[], &TxnSpec::required_only(txn), bound + 1)
+                .expect("reference enumeration");
+            for val in groundings {
+                let mut forked = w.clone();
+                for op in txn.write_ops(&val).expect("grounded ops") {
+                    forked.apply(&op).expect("ops apply");
+                }
+                next.push(forked);
+                if next.len() > bound {
+                    return (dedup(next), true);
+                }
+            }
+        }
+        worlds = next;
+        if worlds.is_empty() {
+            break;
+        }
+    }
+    (dedup(worlds), false)
+}
+
+fn flights_db(flights: i64, seats: &[&str]) -> Database {
+    let mut db = Database::new();
+    db.create_table(Schema::new(
+        "Available",
+        vec![("flight", ValueType::Int), ("seat", ValueType::Str)],
+    ))
+    .unwrap();
+    db.create_table(Schema::new(
+        "Bookings",
+        vec![
+            ("name", ValueType::Str),
+            ("flight", ValueType::Int),
+            ("seat", ValueType::Str),
+        ],
+    ))
+    .unwrap();
+    db.create_table(Schema::new(
+        "Adjacent",
+        vec![("s1", ValueType::Str), ("s2", ValueType::Str)],
+    ))
+    .unwrap();
+    for f in 1..=flights {
+        for s in seats {
+            db.insert("Available", tuple![f, *s]).unwrap();
+        }
+    }
+    for w in seats.windows(2) {
+        db.insert("Adjacent", tuple![w[0], w[1]]).unwrap();
+        db.insert("Adjacent", tuple![w[1], w[0]]).unwrap();
+    }
+    db
+}
+
+fn book(name: &str, flight: i64) -> ResourceTransaction {
+    parse_transaction(&format!(
+        "-Available({flight}, s), +Bookings('{name}', {flight}, s) :-1 Available({flight}, s)"
+    ))
+    .unwrap()
+}
+
+fn book_next_to(name: &str, partner: &str, flight: i64) -> ResourceTransaction {
+    parse_transaction(&format!(
+        "-Available({flight}, s), +Bookings('{name}', {flight}, s) :-1 \
+         Available({flight}, s), Bookings('{partner}', {flight}, s2), Adjacent(s, s2)"
+    ))
+    .unwrap()
+}
+
+/// Sorted full-content fingerprints of a world list.
+fn sorted_fingerprints(worlds: impl IntoIterator<Item = Database>) -> Vec<String> {
+    let mut out: Vec<String> = worlds.into_iter().map(|w| world_fingerprint(&w)).collect();
+    out.sort();
+    out
+}
+
+fn assert_equivalent(base: &Database, txns: &[&ResourceTransaction], bound: usize, label: &str) {
+    let (ref_worlds, ref_truncated) = enumerate_worlds_materialized(base, txns, bound);
+    let delta = enumerate_worlds(base, txns, bound).expect("delta enumeration");
+    assert_eq!(delta.truncated, ref_truncated, "{label}: truncation");
+    assert_eq!(delta.len(), ref_worlds.len(), "{label}: world count");
+    let materialized = delta
+        .worlds
+        .iter()
+        .map(|w| w.materialize(base).expect("world materializes"));
+    assert_eq!(
+        sorted_fingerprints(materialized),
+        sorted_fingerprints(ref_worlds),
+        "{label}: world contents"
+    );
+}
+
+#[test]
+fn delta_forked_enumeration_matches_the_clone_based_reference() {
+    // Seeded pending sets over several shapes: unconstrained bookings,
+    // adjacency constraints (joins against the forked state), saturation
+    // (unsat), multi-flight independence, and truncating bounds.
+    let db = flights_db(1, &["1A", "1B", "1C"]);
+    let m = book("Mickey", 1);
+    let d = book("Donald", 1);
+    let n = book_next_to("Minnie", "Mickey", 1);
+    assert_equivalent(&db, &[], 100, "empty pending set");
+    assert_equivalent(&db, &[&m], 100, "one booking");
+    assert_equivalent(&db, &[&m, &d], 100, "two bookings");
+    assert_equivalent(&db, &[&m, &d, &n], 100, "adjacency-constrained");
+
+    // Saturation: every suffix length up to overbooking.
+    let us: Vec<ResourceTransaction> = (0..4).map(|i| book(&format!("U{i}"), 1)).collect();
+    for k in 1..=us.len() {
+        let refs: Vec<&ResourceTransaction> = us[..k].iter().collect();
+        assert_equivalent(&db, &refs, 1000, &format!("saturation k={k}"));
+    }
+
+    // Truncating bounds exercise the early-return path.
+    for bound in [1, 2, 4, 5] {
+        assert_equivalent(&db, &[&m, &d], bound, &format!("bound={bound}"));
+    }
+
+    // Independent flights: the cross product forks across partitions.
+    let multi = flights_db(2, &["1A", "1B"]);
+    let a = book("Ann", 1);
+    let b = book("Bob", 2);
+    let c = book_next_to("Cleo", "Ann", 1);
+    assert_equivalent(&multi, &[&a, &b], 100, "two flights");
+    assert_equivalent(&multi, &[&a, &b, &c], 100, "two flights + adjacency");
+}
+
+#[test]
+fn seeded_random_pending_sets_agree() {
+    // Deterministic pseudo-random mixes of plain and adjacent bookings
+    // over two flights — different seeds pick different shapes.
+    for seed in 0..12u64 {
+        let db = flights_db(2, &["1A", "1B", "1C"]);
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = || {
+            state = state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z ^ (z >> 31)
+        };
+        let mut txns: Vec<ResourceTransaction> = Vec::new();
+        let mut named: Vec<(String, i64)> = Vec::new();
+        for i in 0..(2 + (next() % 3) as usize) {
+            let flight = 1 + (next() % 2) as i64;
+            let name = format!("u{seed}_{i}");
+            let adjacent_partner = named
+                .iter()
+                .filter(|(_, f)| *f == flight)
+                .map(|(n, _)| n.clone())
+                .next_back();
+            match adjacent_partner {
+                Some(p) if next() % 2 == 0 => txns.push(book_next_to(&name, &p, flight)),
+                _ => txns.push(book(&name, flight)),
+            }
+            named.push((name, flight));
+        }
+        let refs: Vec<&ResourceTransaction> = txns.iter().collect();
+        let bound = [3, 10, 100][(next() % 3) as usize];
+        assert_equivalent(&db, &refs, bound, &format!("seed {seed}"));
+    }
+}

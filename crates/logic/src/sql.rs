@@ -322,7 +322,10 @@ impl SqlParser {
             Tok::Var(name) => Ok(Term::Var(self.var(name))),
             Tok::Param => Ok(Term::Var(self.param())),
             Tok::Int(i) => Ok(Term::val(i)),
-            Tok::Str(s) => Ok(Term::Const(Value::from(s))),
+            // Parsed string constants go through the interning pool: the
+            // same seat label / user name re-parsed across statements
+            // resolves to one shared `Arc`.
+            Tok::Str(s) => Ok(Term::Const(Value::interned(&s))),
             Tok::Kw("TRUE") => Ok(Term::Const(Value::Bool(true))),
             Tok::Kw("FALSE") => Ok(Term::Const(Value::Bool(false))),
             other => Err(self.error(format!("expected term, found {other:?}"))),
@@ -1023,6 +1026,31 @@ mod tests {
         assert_eq!(stmt("CHECKPOINT"), Statement::Checkpoint);
         assert_eq!(stmt("SHOW METRICS"), Statement::ShowMetrics);
         assert_eq!(stmt("SHOW PENDING;"), Statement::ShowPending);
+    }
+
+    #[test]
+    fn parsed_string_constants_are_interned() {
+        // Re-parsing the same statement text yields constants sharing one
+        // Arc — the parser goes through the storage interning pool.
+        let extract = |stmt: &Statement| -> Value {
+            let Statement::Insert { rows, .. } = stmt else {
+                panic!("insert expected");
+            };
+            let Term::Const(v) = &rows[0][0] else {
+                panic!("constant expected");
+            };
+            v.clone()
+        };
+        let sql = "INSERT INTO B VALUES ('sql-intern-test-9Z')";
+        let a = extract(&stmt(sql));
+        let b = extract(&stmt(sql));
+        let (Value::Str(a), Value::Str(b)) = (&a, &b) else {
+            panic!("string values expected");
+        };
+        assert!(
+            std::sync::Arc::ptr_eq(a, b),
+            "re-parsed string constants must share one Arc"
+        );
     }
 
     #[test]

@@ -108,7 +108,11 @@ pub fn get_value(buf: &mut impl Buf) -> Result<Value> {
             need(buf, 8, "int value")?;
             Ok(Value::Int(buf.get_i64_le()))
         }
-        TAG_STR => Ok(Value::from(get_string(buf)?)),
+        // Decoded through the interning pool: WAL replay and wire decode
+        // see the same few labels over and over — a recovered database
+        // shares one `Arc` per distinct short string with everything else
+        // decoded in this process.
+        TAG_STR => Ok(Value::interned(&get_string(buf)?)),
         TAG_BOOL => {
             need(buf, 1, "bool value")?;
             Ok(Value::Bool(buf.get_u8() != 0))
@@ -242,6 +246,26 @@ mod tests {
         put_tuple(&mut buf, &t);
         let mut slice = buf.freeze();
         assert_eq!(get_tuple(&mut slice).unwrap(), t);
+    }
+
+    #[test]
+    fn decoded_strings_are_interned() {
+        // Decoding the same record twice (a WAL replayed, the same label
+        // in many frames) must share one string allocation, not allocate
+        // a fresh `Arc` per decode.
+        let v = Value::from("codec-intern-test-7C");
+        let mut buf = BytesMut::new();
+        put_value(&mut buf, &v);
+        let frozen = buf.freeze();
+        let a = get_value(&mut frozen.clone()).unwrap();
+        let b = get_value(&mut frozen.clone()).unwrap();
+        let (Value::Str(a), Value::Str(b)) = (&a, &b) else {
+            panic!("string value expected");
+        };
+        assert!(
+            std::sync::Arc::ptr_eq(a, b),
+            "decoded equal strings must share one Arc"
+        );
     }
 
     #[test]

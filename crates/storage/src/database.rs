@@ -120,14 +120,33 @@ impl RelationId {
 
 /// An in-memory relational database: named tables with schemas.
 ///
-/// `Database` is `Clone`; a clone is a consistent snapshot (used by the
-/// possible-worlds enumerator and by write-admission checks that must try a
-/// write tentatively). Relation names are interned to dense [`RelationId`]s;
-/// the string-keyed API resolves and delegates to the id-keyed one.
-#[derive(Debug, Clone, Default)]
+/// `Database` is `Clone`; a clone is a consistent snapshot. Cloning is
+/// O(database) — the read paths avoid it entirely by evaluating through
+/// [`crate::DeltaView`]s instead — and every clone is counted into a
+/// counter shared by the whole clone family ([`Database::clone_count`]),
+/// so "this path performs zero database clones" is a checkable claim
+/// rather than a code-review one. Relation names are interned to dense
+/// [`RelationId`]s; the string-keyed API resolves and delegates to the
+/// id-keyed one.
+#[derive(Debug, Default)]
 pub struct Database {
     names: BTreeMap<String, RelationId>,
     tables: Vec<Table>,
+    /// Clones performed anywhere in this database's clone family; the
+    /// `Arc` is shared by every clone, so each copy reads the same total.
+    clones: std::sync::Arc<std::sync::atomic::AtomicU64>,
+}
+
+impl Clone for Database {
+    fn clone(&self) -> Self {
+        self.clones
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Database {
+            names: self.names.clone(),
+            tables: self.tables.clone(),
+            clones: std::sync::Arc::clone(&self.clones),
+        }
+    }
 }
 
 impl Database {
@@ -268,6 +287,35 @@ impl Database {
     /// Total row count across all tables.
     pub fn total_rows(&self) -> usize {
         self.tables.iter().map(Table::len).sum()
+    }
+
+    /// How many times a database of this clone family has been cloned —
+    /// ever, anywhere. The counter is shared between a database and all
+    /// its clones (and their clones), so an engine can assert that a
+    /// whole read path stayed clone-free by checking its own database's
+    /// count. Fresh databases ([`Database::new`], recovery) start at 0.
+    pub fn clone_count(&self) -> u64 {
+        self.clones.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// A detached handle onto this family's clone counter: reads the same
+    /// total as [`Database::clone_count`] without borrowing the database —
+    /// metrics snapshots use it so observation never has to acquire the
+    /// lock guarding the database itself.
+    pub fn clone_counter(&self) -> CloneCounter {
+        CloneCounter(std::sync::Arc::clone(&self.clones))
+    }
+}
+
+/// Shared, lock-free handle to a database clone-family counter (see
+/// [`Database::clone_counter`]).
+#[derive(Debug, Clone)]
+pub struct CloneCounter(std::sync::Arc<std::sync::atomic::AtomicU64>);
+
+impl CloneCounter {
+    /// Clones performed so far, family-wide.
+    pub fn get(&self) -> u64 {
+        self.0.load(std::sync::atomic::Ordering::Relaxed)
     }
 }
 

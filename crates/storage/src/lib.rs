@@ -41,9 +41,10 @@ pub mod schema;
 pub mod table;
 pub mod tuple;
 pub mod value;
+pub mod view;
 pub mod wal;
 
-pub use database::{Database, RelationId, WriteOp};
+pub use database::{CloneCounter, Database, RelationId, WriteOp};
 pub use error::StorageError;
 pub use index::SecondaryIndex;
 pub use pattern::{Binding, ConjunctiveQuery, PatTerm, Pattern, QueryOutput};
@@ -52,6 +53,7 @@ pub use schema::{Schema, ValueType};
 pub use table::{Table, TableCursor};
 pub use tuple::Tuple;
 pub use value::Value;
+pub use view::{DeltaView, TupleView};
 pub use wal::{LogRecord, LogSink, Wal};
 
 /// Convenience result alias used across the crate.

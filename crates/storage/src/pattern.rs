@@ -9,10 +9,10 @@
 
 use std::collections::BTreeMap;
 
-use crate::database::Database;
 use crate::error::StorageError;
 use crate::tuple::Tuple;
 use crate::value::Value;
+use crate::view::TupleView;
 use crate::Result;
 
 /// Query variable identifier. Variables are plain integers; the logic layer
@@ -160,15 +160,18 @@ impl ConjunctiveQuery {
         self
     }
 
-    /// Evaluate against `db`.
-    pub fn eval(&self, db: &Database) -> Result<QueryOutput> {
+    /// Evaluate against a tuple view — the concrete [`crate::Database`]
+    /// or a [`crate::DeltaView`] composing a base with pending updates
+    /// (the §3.2.2 read paths evaluate possible worlds this way, without
+    /// materializing them).
+    pub fn eval<V: TupleView + ?Sized>(&self, view: &V) -> Result<QueryOutput> {
         // Validate arities up front so evaluation can use debug asserts.
         for p in &self.patterns {
-            let t = db.table(&p.relation)?;
-            if t.schema().arity() != p.terms.len() {
+            let arity = view.arity_of(&p.relation)?;
+            if arity != p.terms.len() {
                 return Err(StorageError::ArityMismatch {
                     relation: p.relation.clone(),
-                    expected: t.schema().arity(),
+                    expected: arity,
                     got: p.terms.len(),
                 });
             }
@@ -176,22 +179,22 @@ impl ConjunctiveQuery {
         let mut out = QueryOutput::default();
         let mut binding = Binding::new();
         let mut used = vec![false; self.patterns.len()];
-        self.search(db, &mut binding, &mut used, &mut out)?;
+        self.search(view, &mut binding, &mut used, &mut out)?;
         Ok(out)
     }
 
     /// Evaluate and report only whether any result exists (`LIMIT 1`).
-    pub fn satisfiable(&self, db: &Database) -> Result<bool> {
+    pub fn satisfiable<V: TupleView + ?Sized>(&self, view: &V) -> Result<bool> {
         let q = ConjunctiveQuery {
             patterns: self.patterns.clone(),
             limit: Some(1),
         };
-        Ok(!q.eval(db)?.bindings.is_empty())
+        Ok(!q.eval(view)?.bindings.is_empty())
     }
 
-    fn search(
+    fn search<V: TupleView + ?Sized>(
         &self,
-        db: &Database,
+        view: &V,
         binding: &mut Binding,
         used: &mut [bool],
         out: &mut QueryOutput,
@@ -214,7 +217,7 @@ impl ConjunctiveQuery {
                 continue;
             }
             let bound = p.bound_columns(binding);
-            let n = db.table(&p.relation)?.count(&bound);
+            let n = view.count_rows(&p.relation, &bound)?;
             if best.is_none_or(|(_, bn)| n < bn) {
                 best = Some((i, n));
             }
@@ -226,12 +229,13 @@ impl ConjunctiveQuery {
         let p = &self.patterns[idx];
         used[idx] = true;
         let bound = p.bound_columns(binding);
-        // Materialize candidates: the recursive call needs `db` borrowed
-        // fresh, and candidate sets at a node are small by construction.
-        let candidates: Vec<Tuple> = db.table(&p.relation)?.select(&bound).cloned().collect();
+        // Materialize candidates: the recursive call needs the view
+        // borrowed fresh, and candidate sets at a node are small by
+        // construction.
+        let candidates: Vec<Tuple> = view.matching_rows(&p.relation, &bound)?;
         for row in candidates {
             if let Some(newly) = p.match_row(&row, binding) {
-                let stop = self.search(db, binding, used, out)?;
+                let stop = self.search(view, binding, used, out)?;
                 for v in newly {
                     binding.remove(&v);
                 }
@@ -249,6 +253,7 @@ impl ConjunctiveQuery {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::database::Database;
     use crate::schema::{Schema, ValueType};
     use crate::tuple;
 

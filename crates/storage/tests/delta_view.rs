@@ -1,0 +1,228 @@
+//! Randomized equivalence: evaluating through a [`DeltaView`] must be
+//! indistinguishable — result **order included** — from evaluating against
+//! a cloned database with the same ops applied.
+//!
+//! This is the contract the clone-free read path rests on: the engine
+//! answers PEEK/POSSIBLE through views now, and the materializing
+//! reference survives only here. Each case builds a random base (random
+//! schemas, partial keys, secondary indexes), applies a random op sequence
+//! to both a clone and a view, checks that every op reports the identical
+//! outcome (changed / no-op / error), and then compares evaluation of
+//! random conjunctive queries — joins, repeated variables, limits — plus
+//! raw `matching_rows`/`count_rows` answers.
+
+use qdb_storage::{
+    ConjunctiveQuery, Database, DeltaView, PatTerm, Pattern, Schema, Tuple, TupleView, Value,
+    ValueType, WriteOp,
+};
+
+/// Splitmix64 — the same deterministic generator idiom the workload crate
+/// uses; only self-consistency per seed matters here.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    fn chance(&mut self, percent: usize) -> bool {
+        self.below(100) < percent
+    }
+}
+
+/// Small value domains so inserts/deletes/joins actually collide.
+fn random_value(rng: &mut Rng, ty: ValueType) -> Value {
+    match ty {
+        ValueType::Int => Value::from(rng.below(4) as i64),
+        ValueType::Str => Value::from(["a", "b", "c", "d"][rng.below(4)]),
+        ValueType::Bool => Value::from(rng.chance(50)),
+    }
+}
+
+struct Rel {
+    name: &'static str,
+    types: Vec<ValueType>,
+}
+
+fn random_base(rng: &mut Rng) -> (Database, Vec<Rel>) {
+    let mut db = Database::new();
+    let names = ["R0", "R1", "R2"];
+    let n_rels = 1 + rng.below(3);
+    let mut rels = Vec::new();
+    for name in names.iter().take(n_rels) {
+        let arity = 1 + rng.below(3);
+        let types: Vec<ValueType> = (0..arity)
+            .map(|_| [ValueType::Int, ValueType::Str][rng.below(2)])
+            .collect();
+        let columns: Vec<(String, ValueType)> = types
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (format!("c{i}"), *t))
+            .collect();
+        let borrowed: Vec<(&str, ValueType)> =
+            columns.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+        let mut schema = Schema::new(*name, borrowed);
+        // Half the relations get a proper key prefix — key violations and
+        // key-based no-ops must behave identically through the view.
+        if arity > 1 && rng.chance(50) {
+            schema = schema.with_key(vec![0]).unwrap();
+        }
+        db.create_table(schema).unwrap();
+        rels.push(Rel { name, types });
+    }
+    // Random rows (violating inserts are simply skipped at build time).
+    for rel in &rels {
+        for _ in 0..rng.below(8) {
+            let row: Tuple = rel
+                .types
+                .iter()
+                .map(|t| random_value(rng, *t))
+                .collect::<Vec<_>>()
+                .into();
+            let _ = db.insert(rel.name, row);
+        }
+    }
+    // Random secondary indexes, created *before* the snapshot so clone
+    // and view share them (row order must not depend on them anyway).
+    for rel in &rels {
+        if rng.chance(40) {
+            let col = rng.below(rel.types.len());
+            db.table_mut(rel.name).unwrap().create_index(col).unwrap();
+        }
+    }
+    (db, rels)
+}
+
+fn random_op(rng: &mut Rng, rels: &[Rel]) -> WriteOp {
+    let rel = &rels[rng.below(rels.len())];
+    let row: Tuple = rel
+        .types
+        .iter()
+        .map(|t| random_value(rng, *t))
+        .collect::<Vec<_>>()
+        .into();
+    if rng.chance(60) {
+        WriteOp::insert(rel.name, row)
+    } else {
+        WriteOp::delete(rel.name, row)
+    }
+}
+
+fn random_query(rng: &mut Rng, rels: &[Rel]) -> ConjunctiveQuery {
+    let n_patterns = 1 + rng.below(3);
+    let patterns = (0..n_patterns)
+        .map(|_| {
+            let rel = &rels[rng.below(rels.len())];
+            let terms = rel
+                .types
+                .iter()
+                .map(|t| {
+                    if rng.chance(40) {
+                        PatTerm::Const(random_value(rng, *t))
+                    } else {
+                        // Few variable ids → repeated variables and joins.
+                        PatTerm::Var(rng.below(3) as u32)
+                    }
+                })
+                .collect();
+            Pattern::new(rel.name, terms)
+        })
+        .collect();
+    let q = ConjunctiveQuery::new(patterns);
+    if rng.chance(30) {
+        q.with_limit(1 + rng.below(3))
+    } else {
+        q
+    }
+}
+
+fn random_bound(rng: &mut Rng, rel: &Rel) -> Vec<Option<Value>> {
+    rel.types
+        .iter()
+        .map(|t| rng.chance(40).then(|| random_value(rng, *t)))
+        .collect()
+}
+
+#[test]
+fn delta_view_evaluation_matches_the_clone_based_reference() {
+    for case in 0..500u64 {
+        let mut rng = Rng(0xD17A_0000 ^ case.wrapping_mul(0x9E37));
+        let (base, rels) = random_base(&mut rng);
+        let mut reference = base.clone();
+        let mut view = DeltaView::new(&base);
+
+        // Identical op outcomes: changed / no-op / error.
+        for _ in 0..rng.below(20) {
+            let op = random_op(&mut rng, &rels);
+            let want = reference.apply(&op);
+            let got = view.apply(&op);
+            match (&want, &got) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b, "case {case}: outcome of {op} diverged"),
+                (Err(_), Err(_)) => {}
+                _ => panic!("case {case}: {op} → reference {want:?}, view {got:?}"),
+            }
+        }
+
+        // Raw row access: identical sequences (order included) and counts.
+        for rel in &rels {
+            let bound = random_bound(&mut rng, rel);
+            let want: Vec<Tuple> = reference
+                .table(rel.name)
+                .unwrap()
+                .select(&bound)
+                .cloned()
+                .collect();
+            let got = view.matching_rows(rel.name, &bound).unwrap();
+            assert_eq!(got, want, "case {case}: rows of {} at {bound:?}", rel.name);
+            assert_eq!(
+                view.count_rows(rel.name, &bound).unwrap(),
+                want.len(),
+                "case {case}: count of {} at {bound:?}",
+                rel.name
+            );
+        }
+
+        // Conjunctive query evaluation: identical bindings, in order.
+        for _ in 0..3 {
+            let q = random_query(&mut rng, &rels);
+            let want = q.eval(&reference).unwrap();
+            let got = q.eval(&view).unwrap();
+            assert_eq!(
+                got.bindings, want.bindings,
+                "case {case}: query {:?} diverged",
+                q.patterns
+            );
+        }
+
+        // The view also matches its own materialization.
+        let materialized = view.materialize().unwrap();
+        assert_eq!(
+            qdb_core_free_fingerprint(&materialized),
+            qdb_core_free_fingerprint(&reference),
+            "case {case}: materialized view != reference"
+        );
+    }
+}
+
+/// Content fingerprint (tables in name order, rows in key order) without
+/// depending on qdb-core.
+fn qdb_core_free_fingerprint(db: &Database) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    for table in db.tables() {
+        let _ = write!(out, "{}[", table.schema().relation());
+        for row in table.iter() {
+            let _ = write!(out, "{row}");
+        }
+        out.push(']');
+    }
+    out
+}

@@ -20,6 +20,18 @@ pub enum Op {
         /// The reading user (booked earlier in the stream).
         user: String,
     },
+    /// Peek at the named user's booking (§3.2.2 option 2): answered from
+    /// one possible world through a delta view, never grounding anything.
+    Peek {
+        /// The peeking user (booked earlier in the stream).
+        user: String,
+    },
+    /// All possible bookings of the named user (§3.2.2 option 1):
+    /// bounded possible-worlds enumeration, never grounding anything.
+    Possible {
+        /// The queried user (booked earlier in the stream).
+        user: String,
+    },
     /// Scan the whole `Bookings` table — a read whose key range overlaps
     /// *every* partition, collapsing all pending state (the general read
     /// §3.2.2 warns causes many groundings).
@@ -27,9 +39,45 @@ pub enum Op {
 }
 
 impl Op {
-    /// Is this a read (point or scan)?
+    /// Is this a read (point, peek, possible or scan)?
     pub fn is_read(&self) -> bool {
-        matches!(self, Op::Read { .. } | Op::Scan)
+        matches!(
+            self,
+            Op::Read { .. } | Op::Peek { .. } | Op::Possible { .. } | Op::Scan
+        )
+    }
+}
+
+/// Read-shape knobs of the mixed workload: what fraction of the reads are
+/// collapsing point reads vs scans vs non-collapsing PEEK/POSSIBLE.
+///
+/// Percentages partition the read stream: each read rolls once for its
+/// flavor — scan first (`scan_percent`), then the §3.2.2 mode
+/// (`possible_percent`, then `peek_percent`, remainder = collapsing point
+/// read). The default profile (all zeros) reproduces the classic
+/// all-collapsing workload bit-for-bit per seed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MixedProfile {
+    /// Percentage of reads that are whole-table scans (overlapping every
+    /// partition) instead of per-user point reads.
+    pub scan_percent: usize,
+    /// Percentage of non-scan reads served with PEEK semantics.
+    pub peek_percent: usize,
+    /// Percentage of non-scan reads served as `SELECT POSSIBLE`
+    /// (sampled sparsely in realistic profiles: world enumeration is the
+    /// expensive read).
+    pub possible_percent: usize,
+}
+
+impl MixedProfile {
+    /// A read-mostly profile: most reads peek (no grounding), a thin
+    /// slice samples the possible-worlds answer, a few still collapse.
+    pub fn read_heavy() -> Self {
+        MixedProfile {
+            scan_percent: 0,
+            peek_percent: 80,
+            possible_percent: 5,
+        }
     }
 }
 
@@ -57,6 +105,31 @@ pub fn build_mixed_workload_profiled(
     seed: u64,
     scan_percent: usize,
 ) -> Vec<Op> {
+    build_mixed_workload_with(
+        pairs,
+        n_reads,
+        seed,
+        MixedProfile {
+            scan_percent,
+            ..MixedProfile::default()
+        },
+    )
+}
+
+/// [`build_mixed_workload_profiled`] with the full read-shape profile:
+/// scans, collapsing point reads, and the non-collapsing PEEK/POSSIBLE
+/// modes of §3.2.2.
+pub fn build_mixed_workload_with(
+    pairs: &[Pair],
+    n_reads: usize,
+    seed: u64,
+    profile: MixedProfile,
+) -> Vec<Op> {
+    let MixedProfile {
+        scan_percent,
+        peek_percent,
+        possible_percent,
+    } = profile;
     let mut rng = StdRng::seed_from_u64(seed);
     let bookings = arrange(
         pairs,
@@ -83,18 +156,27 @@ pub fn build_mixed_workload_profiled(
             booked.push(r.user.as_str());
             ops.push(Op::Book(r.clone()));
         } else if scan_percent > 0 && rng.gen_range(0..100) < scan_percent {
-            // NOTE: the percent roll consumes an RNG draw, so profiled
-            // workloads with scan_percent > 0 select different read
-            // targets than the unprofiled stream. scan_percent == 0 skips
-            // the roll entirely — build_mixed_workload's seeded sequences
-            // are bit-identical to the pre-profile behavior.
+            // NOTE: each percent roll consumes an RNG draw, so profiled
+            // workloads with non-zero knobs select different read targets
+            // than the unprofiled stream. Zero knobs skip their rolls
+            // entirely — build_mixed_workload's seeded sequences are
+            // bit-identical to the pre-profile behavior.
             ops.push(Op::Scan);
         } else {
             // Safe: slot 0 is always a booking.
-            let user = booked[rng.gen_range(0..booked.len())];
-            ops.push(Op::Read {
-                user: user.to_string(),
-            });
+            let user = booked[rng.gen_range(0..booked.len())].to_string();
+            let flavor = if peek_percent + possible_percent > 0 {
+                rng.gen_range(0..100)
+            } else {
+                100 // zero knobs: no roll, always a collapsing read
+            };
+            if flavor < possible_percent {
+                ops.push(Op::Possible { user });
+            } else if flavor < possible_percent + peek_percent {
+                ops.push(Op::Peek { user });
+            } else {
+                ops.push(Op::Read { user });
+            }
         }
     }
     ops
@@ -133,7 +215,7 @@ mod tests {
                 Op::Book(r) => {
                     seen.insert(r.user.as_str());
                 }
-                Op::Read { user } => {
+                Op::Read { user } | Op::Peek { user } | Op::Possible { user } => {
                     assert!(seen.contains(user.as_str()), "read before booking");
                 }
                 Op::Scan => unreachable!("default profile has no scans"),
@@ -166,6 +248,47 @@ mod tests {
         assert_eq!(
             all_point.iter().filter(|o| o.is_read()).count(),
             all_scan.iter().filter(|o| o.is_read()).count(),
+        );
+    }
+
+    #[test]
+    fn read_heavy_profile_mixes_peek_and_possible() {
+        let profile = MixedProfile::read_heavy();
+        let ops = build_mixed_workload_with(&pairs(), 40, 11, profile);
+        let peeks = ops.iter().filter(|o| matches!(o, Op::Peek { .. })).count();
+        let possibles = ops
+            .iter()
+            .filter(|o| matches!(o, Op::Possible { .. }))
+            .count();
+        let collapsing = ops.iter().filter(|o| matches!(o, Op::Read { .. })).count();
+        assert_eq!(ops.iter().filter(|o| o.is_read()).count(), 40);
+        // 80% peek / 5% possible: peeks dominate, both flavors present.
+        assert!(
+            peeks > collapsing,
+            "peeks {peeks} vs collapsing {collapsing}"
+        );
+        assert!(peeks >= 20);
+        assert!(possibles >= 1);
+        // PEEK/POSSIBLE targets are still earlier bookers.
+        let mut seen: std::collections::HashSet<&str> = std::collections::HashSet::new();
+        for op in &ops {
+            match op {
+                Op::Book(r) => {
+                    seen.insert(r.user.as_str());
+                }
+                Op::Read { user } | Op::Peek { user } | Op::Possible { user } => {
+                    assert!(seen.contains(user.as_str()));
+                }
+                Op::Scan => unreachable!("read_heavy has no scans"),
+            }
+        }
+    }
+
+    #[test]
+    fn zero_profile_is_bit_identical_to_the_classic_stream() {
+        assert_eq!(
+            build_mixed_workload_with(&pairs(), 9, 4, MixedProfile::default()),
+            build_mixed_workload(&pairs(), 9, 4),
         );
     }
 

@@ -59,6 +59,13 @@ pub struct RemoteConfig {
     pub seed: u64,
     /// Request-to-connection assignment (disjoint vs overlapping ranges).
     pub contention: ContentionProfile,
+    /// Percentage chance, per booking, that the connection follows up
+    /// with a non-collapsing `SELECT PEEK` of the just-booked user —
+    /// read-mostly traffic against the server's delta-view read path.
+    pub peek_percent: usize,
+    /// Every Nth peek is issued as a `SELECT POSSIBLE` instead (bounded
+    /// possible-worlds sampling); `0` disables the sampling.
+    pub possible_every: usize,
     /// Engine configuration.
     pub engine: QuantumDbConfig,
 }
@@ -73,7 +80,25 @@ impl RemoteConfig {
             workers: 4,
             seed: 0xC1DE,
             contention: ContentionProfile::default(),
+            peek_percent: 0,
+            possible_every: 0,
             engine: QuantumDbConfig::default(),
+        }
+    }
+
+    /// The read-mostly profile: every booking is followed by PEEK reads
+    /// (~2 per booking on average), every 8th read sampled as `SELECT
+    /// POSSIBLE` — the realistic "users re-check their booking far more
+    /// often than they book" shape the server's read path is sized for.
+    pub fn read_mostly(
+        flights: FlightsConfig,
+        pairs_per_flight: usize,
+        connections: usize,
+    ) -> Self {
+        RemoteConfig {
+            peek_percent: 200,
+            possible_every: 8,
+            ..RemoteConfig::new(flights, pairs_per_flight, connections)
         }
     }
 }
@@ -123,6 +148,14 @@ pub struct RemoteRunResult {
     pub throughput: f64,
     /// Bookings refused admission.
     pub aborted: u64,
+    /// PEEK reads issued across all connections.
+    pub peeks: u64,
+    /// `SELECT POSSIBLE` reads issued across all connections.
+    pub possibles: u64,
+    /// Engine counter: database clones observed on the base's clone
+    /// family — the delta-view read path keeps this at zero no matter how
+    /// read-heavy the traffic is.
+    pub db_clones: u64,
     /// Coordination outcome after grounding.
     pub coord: CoordStats,
     /// Engine parse counter — stays at O(#connections), not O(#ops),
@@ -159,15 +192,25 @@ pub fn run_remote(cfg: &RemoteConfig) -> RemoteRunResult {
     let shards: Vec<Vec<Request>> = split_requests(&requests, connections, cfg.contention);
 
     let start = Instant::now();
-    let aborted: u64 = std::thread::scope(|scope| {
+    let (aborted, peeks, possibles) = std::thread::scope(|scope| {
         let handles: Vec<_> = shards
             .iter()
-            .map(|shard| scope.spawn(move || drive_connection(addr, shard)))
+            .enumerate()
+            .map(|(i, shard)| {
+                let read_cfg = ReadTraffic {
+                    peek_percent: cfg.peek_percent,
+                    possible_every: cfg.possible_every,
+                    seed: cfg.seed ^ (i as u64).wrapping_mul(0x9E37),
+                };
+                scope.spawn(move || drive_connection(addr, shard, read_cfg))
+            })
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("client thread healthy"))
-            .sum()
+            .fold((0u64, 0u64, 0u64), |(a, p, q), (da, dp, dq)| {
+                (a + da, p + dp, q + dq)
+            })
     });
     let total = start.elapsed();
 
@@ -188,6 +231,9 @@ pub fn run_remote(cfg: &RemoteConfig) -> RemoteRunResult {
         total,
         throughput: requests.len() as f64 / total.as_secs_f64().max(f64::EPSILON),
         aborted,
+        peeks,
+        possibles,
+        db_clones: engine_metrics.db_clones,
         coord,
         parses: engine_metrics.parses,
         solve_concurrency_peak,
@@ -195,12 +241,33 @@ pub fn run_remote(cfg: &RemoteConfig) -> RemoteRunResult {
     }
 }
 
-/// One client thread: connect, prepare the booking once, stream its shard
-/// as pipelined bind+run pairs. Returns how many bookings were refused.
-fn drive_connection(addr: std::net::SocketAddr, shard: &[Request]) -> u64 {
+/// Per-connection read-traffic knobs (see [`RemoteConfig`]).
+#[derive(Debug, Clone, Copy)]
+struct ReadTraffic {
+    peek_percent: usize,
+    possible_every: usize,
+    seed: u64,
+}
+
+/// One client thread: connect, prepare the hot statements once, stream
+/// its shard as pipelined bind+run pairs, interleaving the configured
+/// read-mostly traffic. Returns (aborted bookings, peeks, possibles).
+fn drive_connection(
+    addr: std::net::SocketAddr,
+    shard: &[Request],
+    reads: ReadTraffic,
+) -> (u64, u64, u64) {
+    use crate::rng::StdRng;
+    use crate::runner::{PEEK_SQL, POSSIBLE_SQL};
+
     let mut conn = Connection::connect(addr).expect("client connect");
     let book = conn.prepare(BOOKING_SQL).expect("booking SQL prepares");
-    let mut aborted = 0u64;
+    let read_heavy = reads.peek_percent > 0;
+    let peek = read_heavy.then(|| conn.prepare(PEEK_SQL).expect("peek SQL prepares"));
+    let possible = (read_heavy && reads.possible_every > 0)
+        .then(|| conn.prepare(POSSIBLE_SQL).expect("possible SQL prepares"));
+    let mut rng = StdRng::seed_from_u64(reads.seed);
+    let (mut aborted, mut peeks, mut possibles) = (0u64, 0u64, 0u64);
     for request in shard {
         let flight = Value::from(request.flight);
         let response = conn
@@ -221,8 +288,43 @@ fn drive_connection(addr: std::net::SocketAddr, shard: &[Request]) -> u64 {
             Response::Aborted => aborted += 1,
             other => panic!("booking answered {other:?}"),
         }
+        // Read-mostly follow-ups: the user re-checks their own booking.
+        // peek_percent is per-booking in percent, so 200 ≈ two reads per
+        // booking on average.
+        let mut budget = reads.peek_percent;
+        while budget > 0 {
+            let issue = budget >= 100 || rng.gen_range(0..100) < budget;
+            budget = budget.saturating_sub(100);
+            if !issue {
+                continue;
+            }
+            let user = Value::from(request.user.as_str());
+            let total_reads = peeks + possibles;
+            let sample_possible = possible.is_some()
+                && reads.possible_every > 0
+                && (total_reads + 1).is_multiple_of(reads.possible_every as u64);
+            if sample_possible {
+                let response = conn
+                    .bind_run(possible.as_ref().expect("prepared"), &[user])
+                    .expect("possible executes");
+                assert!(
+                    matches!(response, Response::Worlds(_)),
+                    "POSSIBLE answered {response:?}"
+                );
+                possibles += 1;
+            } else {
+                let response = conn
+                    .bind_run(peek.as_ref().expect("prepared"), &[user])
+                    .expect("peek executes");
+                assert!(
+                    matches!(response, Response::Rows(_)),
+                    "PEEK answered {response:?}"
+                );
+                peeks += 1;
+            }
+        }
     }
-    aborted
+    (aborted, peeks, possibles)
 }
 
 #[cfg(test)]
@@ -293,6 +395,34 @@ mod tests {
         // Partner pairs never split across connections here, so full
         // coordination is reachable and the engine must deliver it.
         assert_eq!(res.coord.coordinated_users, res.coord.max_possible);
+    }
+
+    #[test]
+    fn read_mostly_profile_drives_peeks_and_possibles_clone_free() {
+        let mut cfg = RemoteConfig::read_mostly(
+            FlightsConfig {
+                flights: 2,
+                rows_per_flight: 4,
+            },
+            3,
+            2,
+        );
+        cfg.contention = ContentionProfile::DisjointFlights;
+        let res = run_remote(&cfg);
+        assert_eq!(res.ops, 12);
+        assert_eq!(res.aborted, 0);
+        // ~2 reads per booking, every 8th a POSSIBLE: both flavors flow.
+        assert!(res.peeks >= 12, "peeks = {}", res.peeks);
+        assert!(res.possibles >= 1, "possibles = {}", res.possibles);
+        // The server's read path is delta-view only: a read-mostly run
+        // never clones the database.
+        assert_eq!(res.db_clones, 0, "read path must stay clone-free");
+        // Reads ride the prepared-statement path: one PREPARE per hot
+        // statement per connection, nothing per-read.
+        assert_eq!(res.parses, 2 * 3 + 2, "per-read parse detected");
+        // Booking-class and SELECT-class traffic both crossed the wire.
+        assert_eq!(res.server.class("SELECT … CHOOSE 1"), Some(12));
+        assert_eq!(res.server.class("SELECT"), Some(res.peeks + res.possibles));
     }
 
     #[test]
