@@ -59,7 +59,7 @@ fn main() {
     if which.is_empty() {
         which.push("all".to_string());
     }
-    const KNOWN: [&str; 12] = [
+    const KNOWN: [&str; 13] = [
         "all",
         "table1",
         "fig5",
@@ -72,6 +72,7 @@ fn main() {
         "partition_scaling",
         "admission_depth",
         "read_path",
+        "sim",
     ];
     for w in &which {
         if !KNOWN.contains(&w.as_str()) {
@@ -109,6 +110,12 @@ fn main() {
     if wants("read_path") {
         records.push(read_path_report(scale));
     }
+    let mut sim_failed = false;
+    if wants("sim") {
+        let (record, failed) = sim_report(scale);
+        records.push(record);
+        sim_failed = failed;
+    }
     if json {
         let doc = Json::obj([
             ("suite", jstr("quantum-db reproduce")),
@@ -127,6 +134,118 @@ fn main() {
             }
         }
     }
+    if sim_failed {
+        // A simulation violation is a correctness bug, not a perf
+        // regression — fail the reproduction run outright.
+        std::process::exit(1);
+    }
+}
+
+fn sim_report(scale: Scale) -> (Json, bool) {
+    use qdb_sim::{run_sweep, EngineKind, SimConfig};
+    use std::path::Path;
+    let engines = [EngineKind::Single, EngineKind::Sharded];
+    let (seeds, cfg) = match scale {
+        Scale::Full => {
+            let mut cfg = SimConfig::smoke(EngineKind::Single);
+            cfg.ops_per_client = 500;
+            (100u64, cfg)
+        }
+        Scale::Smoke => (50u64, SimConfig::smoke(EngineKind::Single)),
+    };
+    println!("== Simulation: deterministic full-system check (crash injection on) ==");
+    println!(
+        "({seeds} seeds x {} engines, {} clients x {} ops each; black-box\n\
+         serializability + PEEK/POSSIBLE explainability + accounting identity)\n",
+        engines.len(),
+        cfg.clients,
+        cfg.ops_per_client
+    );
+    let started = std::time::Instant::now();
+    let dir = Path::new("target/sim");
+    let outcome = run_sweep(&cfg, 1, seeds, &engines, Some(dir));
+    let elapsed = started.elapsed().as_secs_f64();
+    let ops_per_sec = if elapsed > 0.0 {
+        outcome.total_ops as f64 / elapsed
+    } else {
+        0.0
+    };
+    let table = vec![vec![
+        outcome.runs.to_string(),
+        outcome.total_ops.to_string(),
+        format!("{ops_per_sec:.0}"),
+        outcome.commits.to_string(),
+        outcome.crashes.to_string(),
+        outcome.stats.ser_checks.to_string(),
+        outcome.stats.explain_checked.to_string(),
+        outcome.violations().to_string(),
+    ]];
+    println!(
+        "{}",
+        format_table(
+            &[
+                "runs",
+                "ops",
+                "ops/s",
+                "commits",
+                "crashes",
+                "ser_checks",
+                "explained",
+                "violations"
+            ],
+            &table
+        )
+    );
+    for (seed, engine, v, path) in &outcome.failures {
+        println!(
+            "VIOLATION seed={seed} engine={engine} kind={} at op {}{}",
+            v.kind,
+            v.op_index,
+            match path {
+                Some(p) => format!(" -> {}", p.display()),
+                None => String::new(),
+            }
+        );
+    }
+    let failures: Vec<Json> = outcome
+        .failures
+        .iter()
+        .map(|(seed, engine, v, path)| {
+            Json::obj([
+                ("seed", num(*seed as f64)),
+                ("engine", jstr(*engine)),
+                ("kind", jstr(v.kind.clone())),
+                ("op_index", num(v.op_index as f64)),
+                (
+                    "artifact",
+                    match path {
+                        Some(p) => jstr(p.display().to_string()),
+                        None => Json::Null,
+                    },
+                ),
+            ])
+        })
+        .collect();
+    let failed = !outcome.failures.is_empty();
+    let record = Json::obj([
+        ("experiment", jstr("sim")),
+        ("seeds", num(seeds as f64)),
+        ("runs", num(outcome.runs as f64)),
+        ("total_ops", num(outcome.total_ops as f64)),
+        ("ops_per_sec", num(ops_per_sec)),
+        ("commits", num(outcome.commits as f64)),
+        ("aborts", num(outcome.aborts as f64)),
+        ("crashes", num(outcome.crashes as f64)),
+        ("ser_checks", num(outcome.stats.ser_checks as f64)),
+        ("explain_checked", num(outcome.stats.explain_checked as f64)),
+        (
+            "invariant_checks",
+            num(outcome.stats.invariant_checks as f64),
+        ),
+        ("violations", num(outcome.violations() as f64)),
+        ("failures", Json::Arr(failures)),
+    ]);
+    (record, failed)
 }
 
 fn admission_depth_report(scale: Scale) -> Json {

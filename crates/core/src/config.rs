@@ -92,6 +92,14 @@ pub struct QuantumDbConfig {
     /// an A/B ablation knob for the `partition_scaling` benchmark; leave
     /// off to get partition-parallel execution.
     pub coarse_lock: bool,
+    /// Engine determinism seed, threaded through every remaining choice
+    /// point the engine has beyond data order: solver atom-ordering
+    /// tie-breaks ([`qdb_solver::Solver::seed`]), possible-world
+    /// enumeration, and the [`GroundingPolicy::Random`] shuffle. `0` (the
+    /// default) reproduces the historical first-wins behavior bit for
+    /// bit; any fixed value makes two runs of the same workload identical
+    /// — the contract the deterministic simulator (`qdb-sim`) relies on.
+    pub seed: u64,
 }
 
 impl Default for QuantumDbConfig {
@@ -109,6 +117,7 @@ impl Default for QuantumDbConfig {
             auto_index_threshold: 64,
             record_events: false,
             coarse_lock: false,
+            seed: 0,
         }
     }
 }
@@ -137,6 +146,7 @@ mod tests {
         assert!(c.use_solution_cache);
         assert_eq!(c.cache_solutions, 1);
         assert!(c.ground_on_partner_arrival);
+        assert_eq!(c.seed, 0, "seed 0 = historical deterministic behavior");
     }
 
     #[test]

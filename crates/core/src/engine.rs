@@ -90,6 +90,7 @@ impl QuantumDb {
     pub fn with_wal(config: QuantumDbConfig, wal: Wal) -> Self {
         let mut solver = Solver::new(config.solver_order);
         solver.limits = config.search_limits;
+        solver.seed = config.seed;
         QuantumDb {
             db: Database::new(),
             partitions: std::collections::BTreeMap::new(),
@@ -460,7 +461,8 @@ impl QuantumDb {
             .collect();
         pending.sort_by_key(|p| p.id);
         let txns: Vec<&ResourceTransaction> = pending.iter().map(|p| &p.txn).collect();
-        let worlds = crate::worlds::enumerate_worlds(&self.db, &txns, world_bound)?;
+        let worlds =
+            crate::worlds::enumerate_worlds_seeded(&self.db, &txns, world_bound, self.config.seed)?;
         self.metrics.worlds_enumerated += worlds.enumerated;
         self.metrics.world_dedup_hits += worlds.dedup_hits;
         let mut distinct: BTreeSet<Vec<Valuation>> = BTreeSet::new();

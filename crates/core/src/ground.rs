@@ -376,7 +376,12 @@ fn plan_solve_group(
                 cands = scored.into_iter().map(|(_, c)| c).collect();
             }
             crate::GroundingPolicy::Random { seed, .. } => {
-                let mut rng = XorShift(seed ^ (group[0].id.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+                // The policy seed and the engine seed both participate, so
+                // a sim run can vary the whole engine with one knob while
+                // ablations can still pin the policy independently.
+                let mut rng = XorShift(
+                    seed ^ config.seed ^ (group[0].id.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                );
                 rng.shuffle(&mut cands);
             }
             crate::GroundingPolicy::FirstFit => unreachable!("sample > 1"),

@@ -73,7 +73,9 @@ pub use metrics::{Event, Metrics};
 pub use partition::{Footprint, Partition};
 pub use shard::SharedQuantumDb;
 pub use txn::{PendingTxn, TxnId};
-pub use worlds::{enumerate_worlds, world_fingerprint, WorldDelta, WorldSet};
+pub use worlds::{
+    enumerate_worlds, enumerate_worlds_seeded, world_fingerprint, WorldDelta, WorldSet,
+};
 
 /// Result alias for this crate.
 pub type Result<T> = std::result::Result<T, EngineError>;

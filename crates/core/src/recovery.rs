@@ -45,6 +45,14 @@ impl QuantumDb {
             }
             qdb.next_txn_id = qdb.next_txn_id.max(id + 1);
         }
+        // Recovery opens a fresh metrics epoch. The still-pending
+        // transactions are exactly the commits the new epoch inherits —
+        // the same rule as [`crate::metrics::Metrics`]'s reset — so the
+        // accounting identity `committed − grounded_total == pending`
+        // holds from the first post-recovery snapshot onwards.
+        let pending = qdb.pending_count() as u64;
+        qdb.metrics.committed = pending;
+        qdb.metrics.max_pending = pending;
         Ok(qdb)
     }
 }

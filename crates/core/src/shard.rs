@@ -343,6 +343,7 @@ impl SharedQuantumDb {
     fn solver(&self) -> Solver {
         let mut s = Solver::new(self.core.config.solver_order);
         s.limits = self.core.config.search_limits;
+        s.seed = self.core.config.seed;
         s
     }
 
@@ -926,6 +927,7 @@ impl SharedQuantumDb {
                     scope.spawn(|| {
                         let mut solver = Solver::new(config.solver_order);
                         solver.limits = config.search_limits;
+                        solver.seed = config.seed;
                         loop {
                             let i = next.fetch_add(1, SeqCst) as usize;
                             let Some(part) = parts.get(i) else { break };
@@ -1183,7 +1185,12 @@ impl SharedQuantumDb {
             let mut pending: Vec<&PendingTxn> = parts.iter().flat_map(|p| p.txns.iter()).collect();
             pending.sort_by_key(|p| p.id);
             let txns: Vec<&ResourceTransaction> = pending.iter().map(|p| &p.txn).collect();
-            let worlds = crate::worlds::enumerate_worlds(db, &txns, world_bound)?;
+            let worlds = crate::worlds::enumerate_worlds_seeded(
+                db,
+                &txns,
+                world_bound,
+                self.core.config.seed,
+            )?;
             let mut distinct: BTreeSet<Vec<Valuation>> = BTreeSet::new();
             for w in &worlds.worlds {
                 distinct.insert(eval_on(&w.view(db)?, atoms, None)?);
@@ -1453,6 +1460,22 @@ impl SharedQuantumDb {
         f(&base.db)
     }
 
+    /// Raw WAL image: drains the group-commit buffer and returns every
+    /// durable byte. Crash-injection harnesses snapshot this, truncate at
+    /// an arbitrary offset, and recover — the sharded-engine counterpart
+    /// of [`QuantumDb::wal_image`]. A brief exclusive base acquisition
+    /// fences in-flight writers so the image is a consistent point in the
+    /// log.
+    pub fn wal_image(&self) -> Vec<u8> {
+        let _base = self.core.base.write();
+        self.core
+            .wal
+            .lock()
+            .sink_mut()
+            .read_all()
+            .expect("in-memory sinks cannot fail; file sinks report I/O errors on read")
+    }
+
     /// Engine configuration.
     pub fn config(&self) -> &QuantumDbConfig {
         &self.core.config
@@ -1463,21 +1486,33 @@ impl SharedQuantumDb {
         self.core.metrics.pending() as usize
     }
 
-    /// Ids of pending transactions in arrival order (best-effort snapshot
-    /// under concurrency; exact when quiescent).
+    /// Ids of pending transactions, sorted ascending (commit order — txn
+    /// ids are allocated at commit), so `SHOW PENDING` output and sim
+    /// transcripts are stable across runs regardless of how the pending
+    /// state is sharded into partitions.
+    ///
+    /// The scan retries whenever it observes a `dead` slot: dead means the
+    /// slot's partition moved elsewhere mid-scan (a merge or a `GROUND
+    /// ALL` host claim), and a snapshot that simply skipped it could miss
+    /// transactions that are still pending. Drains complete, so the retry
+    /// loop terminates; the result is a consistent point-in-time snapshot,
+    /// exact when quiescent.
     pub fn pending_ids(&self) -> Vec<TxnId> {
-        let snapshot: Vec<Arc<Slot>> = {
-            let reg = self.core.reg.lock();
-            reg.slots.values().map(|e| Arc::clone(&e.slot)).collect()
-        };
-        let mut ids: BTreeSet<TxnId> = BTreeSet::new();
-        for slot in snapshot {
-            let st = slot.state.lock();
-            if !st.dead {
+        'retry: loop {
+            let snapshot: Vec<Arc<Slot>> = {
+                let reg = self.core.reg.lock();
+                reg.slots.values().map(|e| Arc::clone(&e.slot)).collect()
+            };
+            let mut ids: BTreeSet<TxnId> = BTreeSet::new();
+            for slot in snapshot {
+                let st = slot.state.lock();
+                if st.dead {
+                    continue 'retry;
+                }
                 ids.extend(st.part.txns.iter().map(|t| t.id));
             }
+            return ids.into_iter().collect();
         }
-        ids.into_iter().collect()
     }
 
     /// Number of independent partitions currently registered.

@@ -148,7 +148,24 @@ pub fn enumerate_worlds(
     txns: &[&ResourceTransaction],
     bound: usize,
 ) -> Result<WorldSet> {
+    enumerate_worlds_seeded(base, txns, bound, 0)
+}
+
+/// [`enumerate_worlds`] with an explicit solver seed
+/// ([`qdb_solver::Solver::seed`]): the seed selects the deterministic
+/// *discovery order* of groundings — and therefore which worlds survive a
+/// truncating `bound` — without changing the un-truncated world set. Seed
+/// `0` is the historical order; the engines thread
+/// `QuantumDbConfig::seed` through here so `SELECT POSSIBLE` answers are
+/// a pure function of the configured seed.
+pub fn enumerate_worlds_seeded(
+    base: &Database,
+    txns: &[&ResourceTransaction],
+    bound: usize,
+    seed: u64,
+) -> Result<WorldSet> {
     let mut solver = Solver::default();
+    solver.seed = seed;
     let mut worlds: Vec<Arc<WorldDelta>> = vec![WorldDelta::root()];
     let mut enumerated = 0u64;
     for txn in txns {

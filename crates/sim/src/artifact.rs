@@ -1,0 +1,152 @@
+//! Failure repro artifacts.
+//!
+//! When a checker violation fires, the sweep writes everything needed to
+//! reproduce it to `target/sim/failure-<seed>-<engine>.json`: the seed,
+//! the full [`SimConfig`] scalars, the violation, and the failing slice
+//! of the history. `sim replay` loads the artifact, rebuilds the config,
+//! and re-runs the seed — determinism guarantees the same violation at
+//! the same op index.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use qdb_workload::FlightsConfig;
+
+use crate::driver::{run_seed, EngineKind, Mutation, RunResult, SimConfig};
+use crate::json::{flat_bool, flat_str, flat_u64, Json};
+
+/// How many trailing history events an artifact embeds.
+pub const TAIL_EVENTS: usize = 40;
+
+/// Artifact schema tag (bump on incompatible layout changes).
+pub const SCHEMA: &str = "qdb-sim-failure-v1";
+
+/// Render a failure artifact document for a run that ended in a
+/// violation.
+pub fn render(result: &RunResult, cfg: &SimConfig) -> String {
+    let v = result
+        .violation
+        .as_ref()
+        .expect("artifacts are only rendered for failing runs");
+    let tail: Vec<Json> = result
+        .history
+        .tail_lines(TAIL_EVENTS)
+        .into_iter()
+        .map(Json::Str)
+        .collect();
+    Json::Obj(vec![
+        ("schema".into(), Json::str(SCHEMA)),
+        ("seed".into(), Json::U64(result.seed)),
+        ("engine".into(), Json::str(result.engine)),
+        ("clients".into(), Json::U64(cfg.clients as u64)),
+        (
+            "ops_per_client".into(),
+            Json::U64(cfg.ops_per_client as u64),
+        ),
+        ("flights".into(), Json::U64(cfg.flights.flights as u64)),
+        (
+            "rows_per_flight".into(),
+            Json::U64(cfg.flights.rows_per_flight as u64),
+        ),
+        ("k".into(), Json::U64(cfg.k as u64)),
+        ("crash".into(), Json::Bool(cfg.crash)),
+        ("crash_count".into(), Json::U64(cfg.crash_count as u64)),
+        ("world_bound".into(), Json::U64(cfg.world_bound as u64)),
+        ("explain_sample".into(), Json::U64(cfg.explain_sample)),
+        ("ser_interval".into(), Json::U64(cfg.ser_interval)),
+        ("dfs_budget".into(), Json::U64(cfg.dfs_budget as u64)),
+        (
+            "mutation".into(),
+            match cfg.mutation {
+                Some(m) => Json::str(m.name()),
+                None => Json::str("none"),
+            },
+        ),
+        ("violation_kind".into(), Json::str(v.kind.clone())),
+        ("violation_detail".into(), Json::str(v.detail.clone())),
+        ("violation_op_index".into(), Json::U64(v.op_index)),
+        ("ops_executed".into(), Json::U64(result.ops)),
+        ("crashes".into(), Json::U64(result.crashes)),
+        ("history_tail".into(), Json::Arr(tail)),
+    ])
+    .render()
+}
+
+/// Write the artifact for a failing run into `dir`, returning its path.
+pub fn write(dir: &Path, result: &RunResult, cfg: &SimConfig) -> std::io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("failure-{}-{}.json", result.seed, result.engine));
+    fs::write(&path, render(result, cfg))?;
+    Ok(path)
+}
+
+/// Load `(seed, config)` back from an artifact document.
+pub fn load(text: &str) -> Result<(u64, SimConfig), String> {
+    if flat_str(text, "schema").as_deref() != Some(SCHEMA) {
+        return Err(format!("not a {SCHEMA} artifact"));
+    }
+    let seed = flat_u64(text, "seed").ok_or("missing seed")?;
+    let engine = flat_str(text, "engine")
+        .and_then(|s| EngineKind::parse(&s))
+        .ok_or("missing or unknown engine")?;
+    let mutation = match flat_str(text, "mutation").as_deref() {
+        None | Some("none") => None,
+        Some(name) => {
+            Some(Mutation::parse(name).ok_or_else(|| format!("unknown mutation {name}"))?)
+        }
+    };
+    let need = |key: &str| flat_u64(text, key).ok_or_else(|| format!("missing {key}"));
+    let cfg = SimConfig {
+        engine,
+        clients: need("clients")? as usize,
+        ops_per_client: need("ops_per_client")? as usize,
+        flights: FlightsConfig {
+            flights: need("flights")? as usize,
+            rows_per_flight: need("rows_per_flight")? as usize,
+        },
+        k: need("k")? as usize,
+        crash: flat_bool(text, "crash").unwrap_or(true),
+        crash_count: need("crash_count")? as usize,
+        world_bound: need("world_bound")? as usize,
+        explain_sample: need("explain_sample")?,
+        ser_interval: need("ser_interval")?,
+        dfs_budget: need("dfs_budget")? as usize,
+        profile: Default::default(),
+        mutation,
+    };
+    Ok((seed, cfg))
+}
+
+/// Load an artifact file and deterministically re-run it.
+pub fn replay_file(path: &Path) -> Result<RunResult, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let (seed, cfg) = load(&text)?;
+    Ok(run_seed(seed, &cfg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failing_run_roundtrips_through_an_artifact() {
+        let cfg = SimConfig {
+            clients: 3,
+            ops_per_client: 60,
+            crash_count: 1,
+            ser_interval: 40,
+            mutation: Some(Mutation::OverstateCapacity),
+            ..SimConfig::smoke(EngineKind::Single)
+        };
+        let r = run_seed(21, &cfg);
+        let v = r.violation.clone().expect("mutation must fail the run");
+        let doc = render(&r, &cfg);
+        let (seed, cfg2) = load(&doc).expect("artifact parses back");
+        assert_eq!(seed, 21);
+        assert_eq!(cfg2.mutation, Some(Mutation::OverstateCapacity));
+        let replayed = run_seed(seed, &cfg2);
+        let v2 = replayed.violation.expect("replay reproduces the violation");
+        assert_eq!(v2.kind, v.kind);
+        assert_eq!(v2.op_index, v.op_index);
+    }
+}

@@ -1,0 +1,1236 @@
+//! The deterministic full-system driver.
+//!
+//! A run is a **pure function of its `u64` seed**: the seed fixes the
+//! per-client statement streams ([`qdb_workload::build_client_streams`]),
+//! the virtual scheduler's interleaving, the crash cut points, and —
+//! via [`qdb_core::QuantumDbConfig::seed`] — every nondeterministic
+//! choice point inside the engine itself (solver tie-breaks, world
+//! enumeration order). Two runs with the same seed and config produce
+//! bit-identical histories, final states and checker verdicts, which is
+//! what makes `sim replay --seed <s>` a faithful reproduction of any
+//! failure.
+//!
+//! The driver interleaves N logical clients over either engine build
+//! (`QuantumDb` single-threaded core or the sharded
+//! [`qdb_core::SharedQuantumDb`]), records every statement into a
+//! [`History`], and runs the black-box checks of [`crate::checker`]
+//! after every transition (invariants), at epoch boundaries
+//! (serializability + replay equivalence) and on sampled uncertain reads
+//! (explainability). Crash injection cuts the WAL image at an arbitrary
+//! byte offset, restarts the engine from the prefix via
+//! [`qdb_core::QuantumDb::recover`], and verifies the recovered state
+//! against an independently replayed model before resuming the workload.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use qdb_core::{
+    enumerate_worlds_seeded, world_fingerprint, QuantumDb, QuantumDbConfig, SharedQuantumDb,
+    SubmitOutcome, TxnId,
+};
+use qdb_logic::codec::decode_transaction;
+use qdb_logic::{parse_query, Atom, ResourceTransaction, Term, UpdateKind, Valuation};
+use qdb_storage::wal::{replay_bytes, MemorySink};
+use qdb_storage::{tuple, Database, DeltaView, LogRecord, Schema, ValueType, Wal, WriteOp};
+use qdb_workload::entangled::{entangled_booking, solo_booking};
+use qdb_workload::rng::StdRng;
+use qdb_workload::{build_client_streams, FlightsConfig, SimOp, StreamProfile};
+
+use crate::checker::{
+    canon_family, canon_set, check_serializable, eval_atoms, CanonSet, CheckStats, GroundedRec,
+    SerOutcome, Violation,
+};
+use crate::history::{Event, History, ReadKind, Site};
+
+/// Which engine build a run drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// The single-threaded [`QuantumDb`] core.
+    Single,
+    /// The partition-parallel [`SharedQuantumDb`].
+    Sharded,
+}
+
+impl EngineKind {
+    /// Stable label (used in reports and artifact file names).
+    pub fn label(&self) -> &'static str {
+        match self {
+            EngineKind::Single => "single",
+            EngineKind::Sharded => "sharded",
+        }
+    }
+
+    /// Parse a label back.
+    pub fn parse(s: &str) -> Option<EngineKind> {
+        match s {
+            "single" => Some(EngineKind::Single),
+            "sharded" => Some(EngineKind::Sharded),
+            _ => None,
+        }
+    }
+}
+
+/// Checker mutations for mutation-testing the harness itself: each one
+/// corrupts the *checker's model* (never the engine), so a healthy
+/// engine run must now produce a violation — proving the corresponding
+/// invariant is actually armed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// Overstate every flight's expected capacity by one seat, breaking
+    /// the conservation invariant `|Available(f)| + |Bookings(f)| =
+    /// capacity(f)`.
+    OverstateCapacity,
+}
+
+impl Mutation {
+    /// Stable name (artifact field).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Mutation::OverstateCapacity => "overstate_capacity",
+        }
+    }
+
+    /// Parse a stable name back.
+    pub fn parse(s: &str) -> Option<Mutation> {
+        match s {
+            "overstate_capacity" => Some(Mutation::OverstateCapacity),
+            _ => None,
+        }
+    }
+}
+
+/// Full simulation configuration. Together with the seed this determines
+/// a run completely.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Engine build under test.
+    pub engine: EngineKind,
+    /// Logical client sessions.
+    pub clients: usize,
+    /// Statements per client.
+    pub ops_per_client: usize,
+    /// Flight database shape.
+    pub flights: FlightsConfig,
+    /// Engine `k` bound (small values force frequent grounding).
+    pub k: usize,
+    /// Inject crash/restart cycles?
+    pub crash: bool,
+    /// How many crash points per run (when `crash` is on).
+    pub crash_count: usize,
+    /// World-enumeration bound for POSSIBLE reads and explainability.
+    pub world_bound: usize,
+    /// Check every n-th PEEK/POSSIBLE for explainability (`0` = never).
+    pub explain_sample: u64,
+    /// Serializability-check cadence in ops (`0` = only at crashes and
+    /// run end).
+    pub ser_interval: u64,
+    /// Node budget for the serializability DFS fallback.
+    pub dfs_budget: usize,
+    /// Statement mix.
+    pub profile: StreamProfile,
+    /// Optional checker mutation (see [`Mutation`]).
+    pub mutation: Option<Mutation>,
+}
+
+impl SimConfig {
+    /// The CI smoke scale: 4 clients × 250 ops over a 3-flight database
+    /// with a tight `k`, crash injection on.
+    pub fn smoke(engine: EngineKind) -> SimConfig {
+        SimConfig {
+            engine,
+            clients: 4,
+            ops_per_client: 250,
+            flights: FlightsConfig {
+                flights: 3,
+                rows_per_flight: 6,
+            },
+            k: 5,
+            crash: true,
+            crash_count: 2,
+            world_bound: 64,
+            explain_sample: 5,
+            ser_interval: 100,
+            dfs_budget: 30_000,
+            profile: StreamProfile::default(),
+            mutation: None,
+        }
+    }
+
+    /// Total statements a run executes.
+    pub fn total_ops(&self) -> usize {
+        self.clients * self.ops_per_client
+    }
+
+    /// The engine configuration a run uses (the run seed is threaded into
+    /// every engine choice point).
+    pub fn quantum_config(&self, seed: u64) -> QuantumDbConfig {
+        QuantumDbConfig {
+            k: self.k,
+            seed,
+            ..QuantumDbConfig::default()
+        }
+    }
+
+    fn flight_num(&self, idx: usize) -> i64 {
+        (idx % self.flights.flights.max(1)) as i64 + 1
+    }
+}
+
+/// Outcome of one seeded run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The seed.
+    pub seed: u64,
+    /// Engine label.
+    pub engine: &'static str,
+    /// Statements executed before the run ended (or failed).
+    pub ops: u64,
+    /// Committed CHOOSE submissions.
+    pub commits: u64,
+    /// Aborted CHOOSE submissions.
+    pub aborts: u64,
+    /// Injected crash/restart cycles survived.
+    pub crashes: u64,
+    /// Checker counters.
+    pub stats: CheckStats,
+    /// The first violation, if the checker found one.
+    pub violation: Option<Violation>,
+    /// Final extensional-state fingerprint.
+    pub fingerprint: String,
+    /// Stable digest of history + final state (determinism witness).
+    pub digest: u64,
+    /// The full recorded history.
+    pub history: History,
+}
+
+// ---------------------------------------------------------------------------
+// Engine abstraction
+// ---------------------------------------------------------------------------
+
+enum Engine {
+    Single(Box<QuantumDb>),
+    Sharded(SharedQuantumDb),
+}
+
+impl Engine {
+    fn build(
+        kind: EngineKind,
+        qcfg: QuantumDbConfig,
+        fl: &FlightsConfig,
+    ) -> qdb_core::Result<Engine> {
+        let mut qdb = QuantumDb::new(qcfg)?;
+        qdb_workload::flights::install(&mut qdb, fl)?;
+        qdb.create_table(audit_schema())?;
+        Ok(match kind {
+            EngineKind::Single => Engine::Single(Box::new(qdb)),
+            EngineKind::Sharded => Engine::Sharded(qdb.into_shared()),
+        })
+    }
+
+    fn recover(
+        kind: EngineKind,
+        image: Vec<u8>,
+        qcfg: QuantumDbConfig,
+    ) -> qdb_core::Result<Engine> {
+        let wal = Wal::with_sink(Box::new(MemorySink::from_bytes(image)));
+        let qdb = QuantumDb::recover(wal, qcfg)?;
+        Ok(match kind {
+            EngineKind::Single => Engine::Single(Box::new(qdb)),
+            EngineKind::Sharded => Engine::Sharded(qdb.into_shared()),
+        })
+    }
+
+    fn submit(&mut self, txn: &ResourceTransaction) -> qdb_core::Result<SubmitOutcome> {
+        match self {
+            Engine::Single(q) => q.submit(txn),
+            Engine::Sharded(s) => s.submit(txn),
+        }
+    }
+
+    fn read(&mut self, atoms: &[Atom]) -> qdb_core::Result<Vec<Valuation>> {
+        match self {
+            Engine::Single(q) => q.read(atoms, None),
+            Engine::Sharded(s) => s.read(atoms, None),
+        }
+    }
+
+    fn read_peek(&mut self, atoms: &[Atom]) -> qdb_core::Result<Vec<Valuation>> {
+        match self {
+            Engine::Single(q) => q.read_peek(atoms, None),
+            Engine::Sharded(s) => s.read_peek(atoms, None),
+        }
+    }
+
+    fn read_possible(
+        &mut self,
+        atoms: &[Atom],
+        bound: usize,
+    ) -> qdb_core::Result<Vec<Vec<Valuation>>> {
+        match self {
+            Engine::Single(q) => q.read_possible(atoms, bound),
+            Engine::Sharded(s) => s.read_possible(atoms, bound),
+        }
+    }
+
+    fn write(&mut self, op: WriteOp) -> qdb_core::Result<bool> {
+        match self {
+            Engine::Single(q) => q.write(op),
+            Engine::Sharded(s) => s.write(op),
+        }
+    }
+
+    fn ground(&mut self, id: TxnId) -> qdb_core::Result<bool> {
+        match self {
+            Engine::Single(q) => q.ground(id),
+            Engine::Sharded(s) => s.ground(id),
+        }
+    }
+
+    fn ground_all(&mut self) -> qdb_core::Result<()> {
+        match self {
+            Engine::Single(q) => q.ground_all(),
+            Engine::Sharded(s) => s.ground_all(),
+        }
+    }
+
+    fn checkpoint(&mut self) -> qdb_core::Result<()> {
+        match self {
+            Engine::Single(q) => q.checkpoint(),
+            Engine::Sharded(s) => s.checkpoint(),
+        }
+    }
+
+    fn pending_ids(&self) -> Vec<TxnId> {
+        match self {
+            Engine::Single(q) => q.pending_ids(),
+            Engine::Sharded(s) => s.pending_ids(),
+        }
+    }
+
+    fn wal_image(&mut self) -> Vec<u8> {
+        match self {
+            Engine::Single(q) => q.wal_image(),
+            Engine::Sharded(s) => s.wal_image(),
+        }
+    }
+
+    fn with_db<R>(&self, f: impl FnOnce(&Database) -> R) -> R {
+        match self {
+            Engine::Single(q) => f(q.database()),
+            Engine::Sharded(s) => s.with_database(f),
+        }
+    }
+
+    /// `(committed, grounded, pending)` — read together so the §2
+    /// accounting identity can be checked atomically.
+    fn accounting(&self) -> (u64, u64, u64) {
+        match self {
+            Engine::Single(q) => {
+                let m = q.metrics();
+                (m.committed, m.grounded_total(), q.pending_count() as u64)
+            }
+            Engine::Sharded(s) => {
+                let (m, pending) = s.metrics_with_pending();
+                (m.committed, m.grounded_total(), pending)
+            }
+        }
+    }
+}
+
+fn audit_schema() -> Schema {
+    Schema::new("Audit", vec![("tag", ValueType::Int)])
+}
+
+fn booking_atoms(user: &str) -> Vec<Atom> {
+    parse_query(&format!("Bookings('{user}', f, s)"))
+        .expect("generated booking query is well-formed")
+        .atoms
+}
+
+/// The `(user, flight)` a pending booking transaction would create, read
+/// off its `+Bookings(...)` update atom.
+fn booking_user_flight(txn: &ResourceTransaction) -> Option<(String, i64)> {
+    for u in &txn.updates {
+        if u.kind == UpdateKind::Insert && u.atom.relation.as_ref() == "Bookings" {
+            let user = match u.atom.terms.first()? {
+                Term::Const(v) => v.as_str()?.to_string(),
+                Term::Var(_) => return None,
+            };
+            let flight = match u.atom.terms.get(1)? {
+                Term::Const(v) => v.as_int()?,
+                Term::Var(_) => return None,
+            };
+            return Some((user, flight));
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+struct Driver {
+    cfg: SimConfig,
+    seed: u64,
+    qcfg: QuantumDbConfig,
+    engine: Engine,
+    hist: History,
+    rng: StdRng,
+    stats: CheckStats,
+    op_index: u64,
+    commits: u64,
+    aborts: u64,
+    crashes: u64,
+    uncertain_reads: u64,
+    // Checker model (rebuilt from the WAL prefix after every crash).
+    capacity: BTreeMap<i64, usize>,
+    audit_live: Vec<i64>,
+    txn_bodies: HashMap<TxnId, ResourceTransaction>,
+    booked: Vec<(String, i64)>,
+    user_sites: HashMap<String, Site>,
+    next_user: u64,
+    next_audit: i64,
+    next_seat: u64,
+    epoch_base: Database,
+    records_seen: usize,
+    /// WAL bytes covering schema install + initial bulk load; crash cuts
+    /// never land inside this prefix (setup is synced before traffic).
+    setup_bytes: usize,
+}
+
+impl Driver {
+    fn new(seed: u64, cfg: &SimConfig) -> Result<Driver, Violation> {
+        let qcfg = cfg.quantum_config(seed);
+        let engine =
+            Engine::build(cfg.engine, qcfg.clone(), &cfg.flights).map_err(|e| Violation {
+                kind: "setup".into(),
+                detail: e.to_string(),
+                op_index: 0,
+            })?;
+        let mut d = Driver {
+            cfg: cfg.clone(),
+            seed,
+            qcfg,
+            engine,
+            hist: History::new(cfg.clients),
+            rng: StdRng::seed_from_u64(seed ^ 0x5EED_5EED_5EED_5EED),
+            stats: CheckStats::default(),
+            op_index: 0,
+            commits: 0,
+            aborts: 0,
+            crashes: 0,
+            uncertain_reads: 0,
+            capacity: BTreeMap::new(),
+            audit_live: Vec::new(),
+            txn_bodies: HashMap::new(),
+            booked: Vec::new(),
+            user_sites: HashMap::new(),
+            next_user: 0,
+            next_audit: 0,
+            next_seat: 0,
+            epoch_base: Database::new(),
+            records_seen: 0,
+            setup_bytes: 0,
+        };
+        for f in cfg.flights.flight_numbers() {
+            d.capacity.insert(f, cfg.flights.seats_per_flight());
+        }
+        // Baseline the first epoch on the freshly installed state.
+        let image = d.engine.wal_image();
+        let (records, _) = replay_bytes(&image)
+            .map_err(|e| d.viol("setup", format!("initial WAL unreadable: {e}")))?;
+        d.records_seen = records.len();
+        d.setup_bytes = image.len();
+        d.epoch_base = d.engine.with_db(Database::clone);
+        Ok(d)
+    }
+
+    fn viol(&self, kind: &str, detail: String) -> Violation {
+        Violation {
+            kind: kind.to_string(),
+            detail,
+            op_index: self.op_index,
+        }
+    }
+
+    fn engine_err(&self, e: qdb_core::EngineError) -> Violation {
+        self.viol("engine_error", e.to_string())
+    }
+
+    fn drive(&mut self) -> Result<(), Violation> {
+        let streams = build_client_streams(
+            &self.cfg.flights,
+            self.cfg.clients,
+            self.cfg.ops_per_client,
+            self.seed,
+            &self.cfg.profile,
+        );
+        let total = self.cfg.total_ops() as u64;
+        let mut crash_at: BTreeSet<u64> = BTreeSet::new();
+        if self.cfg.crash && total > 1 {
+            let mut tries = 0;
+            while crash_at.len() < self.cfg.crash_count && tries < 64 {
+                crash_at.insert(self.rng.gen_range(1..total as usize) as u64);
+                tries += 1;
+            }
+        }
+        let mut cursors = vec![0usize; self.cfg.clients];
+        loop {
+            let live: Vec<usize> = (0..self.cfg.clients)
+                .filter(|&c| cursors[c] < self.cfg.ops_per_client)
+                .collect();
+            if live.is_empty() {
+                break;
+            }
+            let c = live[self.rng.gen_range(0..live.len())];
+            let op = streams[c][cursors[c]].clone();
+            cursors[c] += 1;
+            self.exec(c, &op)?;
+            self.check_invariants()?;
+            self.op_index += 1;
+            if crash_at.remove(&self.op_index) {
+                self.crash()?;
+            } else if self.cfg.ser_interval > 0
+                && self.op_index.is_multiple_of(self.cfg.ser_interval)
+            {
+                self.ser_check()?;
+            }
+        }
+        self.ser_check()
+    }
+
+    // -- statement execution ------------------------------------------------
+
+    fn exec(&mut self, c: usize, op: &SimOp) -> Result<(), Violation> {
+        match op {
+            SimOp::Book { flight } => self.book(c, *flight, None),
+            SimOp::BookEntangled { flight, partner } => self.book(c, *flight, Some(*partner)),
+            SimOp::Read { target } => self.read_collapse(c, *target),
+            SimOp::Peek { target } => self.read_uncertain(c, *target, ReadKind::Peek),
+            SimOp::Possible { target } => self.read_uncertain(c, *target, ReadKind::Possible),
+            SimOp::Ground { nth } => {
+                let ids = self.engine.pending_ids();
+                if ids.is_empty() {
+                    self.noop(c, "GROUND");
+                    return Ok(());
+                }
+                let id = ids[nth % ids.len()];
+                let collapsed = self.engine.ground(id).map_err(|e| self.engine_err(e))?;
+                self.hist.record(c, Event::Ground { id, collapsed });
+                Ok(())
+            }
+            SimOp::GroundAll => {
+                self.engine.ground_all().map_err(|e| self.engine_err(e))?;
+                self.hist.record(c, Event::GroundAll);
+                Ok(())
+            }
+            SimOp::Checkpoint => {
+                self.engine.checkpoint().map_err(|e| self.engine_err(e))?;
+                self.hist.record(c, Event::Checkpoint);
+                Ok(())
+            }
+            SimOp::AuditInsert => {
+                let tag = self.next_audit;
+                self.next_audit += 1;
+                let applied = self.blind_write(
+                    c,
+                    WriteOp::insert("Audit", tuple![tag]),
+                    format!("+Audit({tag})"),
+                )?;
+                if applied {
+                    self.audit_live.push(tag);
+                }
+                Ok(())
+            }
+            SimOp::AuditDelete { nth } => {
+                if self.audit_live.is_empty() {
+                    self.noop(c, "AUDIT-DELETE");
+                    return Ok(());
+                }
+                let tag = self.audit_live[nth % self.audit_live.len()];
+                let applied = self.blind_write(
+                    c,
+                    WriteOp::delete("Audit", tuple![tag]),
+                    format!("-Audit({tag})"),
+                )?;
+                if applied {
+                    self.audit_live.retain(|t| *t != tag);
+                }
+                Ok(())
+            }
+            SimOp::SeatAdd { flight } => {
+                let fnum = self.cfg.flight_num(*flight);
+                let seat = format!("Z{}", self.next_seat);
+                self.next_seat += 1;
+                let applied = self.blind_write(
+                    c,
+                    WriteOp::insert("Available", tuple![fnum, seat.as_str()]),
+                    format!("+Available({fnum},{seat})"),
+                )?;
+                if applied {
+                    *self.capacity.entry(fnum).or_insert(0) += 1;
+                }
+                Ok(())
+            }
+            SimOp::SeatRemove { flight, nth } => {
+                let fnum = self.cfg.flight_num(*flight);
+                let mut seats: Vec<String> = self.engine.with_db(|db| {
+                    db.table("Available")
+                        .map(|t| {
+                            t.iter()
+                                .filter(|r| r.get(0).and_then(|v| v.as_int()) == Some(fnum))
+                                .filter_map(|r| r.get(1).and_then(|v| v.as_str()).map(String::from))
+                                .collect()
+                        })
+                        .unwrap_or_default()
+                });
+                seats.sort();
+                if seats.is_empty() {
+                    self.noop(c, "SEAT-REMOVE");
+                    return Ok(());
+                }
+                let seat = seats[nth % seats.len()].clone();
+                let applied = self.blind_write(
+                    c,
+                    WriteOp::delete("Available", tuple![fnum, seat.as_str()]),
+                    format!("-Available({fnum},{seat})"),
+                )?;
+                if applied {
+                    let cap = self.capacity.entry(fnum).or_insert(0);
+                    *cap = cap.saturating_sub(1);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn noop(&mut self, c: usize, op: &str) {
+        self.hist.record(c, Event::Noop { op: op.to_string() });
+    }
+
+    fn blind_write(&mut self, c: usize, op: WriteOp, desc: String) -> Result<bool, Violation> {
+        let applied = self.engine.write(op).map_err(|e| self.engine_err(e))?;
+        self.hist.record(c, Event::Write { desc, applied });
+        Ok(applied)
+    }
+
+    fn book(&mut self, c: usize, flight: usize, partner: Option<usize>) -> Result<(), Violation> {
+        let fnum = self.cfg.flight_num(flight);
+        let user = format!("u{}", self.next_user);
+        self.next_user += 1;
+        let (txn, entangled) = {
+            let candidates: Vec<&str> = match partner {
+                Some(_) => self
+                    .booked
+                    .iter()
+                    .filter(|(_, f)| *f == fnum)
+                    .map(|(u, _)| u.as_str())
+                    .collect(),
+                None => Vec::new(),
+            };
+            match partner {
+                Some(p) if !candidates.is_empty() => (
+                    entangled_booking(&user, candidates[p % candidates.len()], fnum),
+                    true,
+                ),
+                _ => (solo_booking(&user, fnum), false),
+            }
+        };
+        let outcome = self.engine.submit(&txn).map_err(|e| self.engine_err(e))?;
+        match outcome {
+            SubmitOutcome::Committed { id } => {
+                self.commits += 1;
+                self.txn_bodies.insert(id, txn);
+                self.booked.push((user.clone(), fnum));
+                let site = self.hist.record(
+                    c,
+                    Event::Submit {
+                        user: user.clone(),
+                        flight: fnum,
+                        entangled,
+                        id: Some(id),
+                    },
+                );
+                self.user_sites.insert(user, site);
+            }
+            SubmitOutcome::Aborted => {
+                self.aborts += 1;
+                self.hist.record(
+                    c,
+                    Event::Submit {
+                        user,
+                        flight: fnum,
+                        entangled,
+                        id: None,
+                    },
+                );
+            }
+        }
+        Ok(())
+    }
+
+    fn pick_booked(&self, target: usize) -> Option<String> {
+        if self.booked.is_empty() {
+            None
+        } else {
+            Some(self.booked[target % self.booked.len()].0.clone())
+        }
+    }
+
+    /// Phantom check: non-empty answers require a known committed writer.
+    fn wr_site(&self, user: &str, observed_rows: bool) -> Result<Option<Site>, Violation> {
+        if !observed_rows {
+            return Ok(None);
+        }
+        match self.user_sites.get(user) {
+            Some(site) => Ok(Some(*site)),
+            None => Err(self.viol(
+                "phantom_read",
+                format!("rows observed for {user}, who has no committed submission"),
+            )),
+        }
+    }
+
+    fn read_collapse(&mut self, c: usize, target: usize) -> Result<(), Violation> {
+        let Some(user) = self.pick_booked(target) else {
+            self.noop(c, "READ");
+            return Ok(());
+        };
+        let atoms = booking_atoms(&user);
+        let rows = self.engine.read(&atoms).map_err(|e| self.engine_err(e))?;
+        // Collapse reads must fully hide uncertainty: the answer is the
+        // extensional answer at return time, verified by an independent
+        // evaluator.
+        let ext = self
+            .engine
+            .with_db(|db| eval_atoms(&DeltaView::new(db), &atoms))
+            .map_err(|e| self.viol("storage_error", e.to_string()))?;
+        if canon_set(&rows) != canon_set(&ext) {
+            return Err(self.viol(
+                "read_not_collapsed",
+                format!(
+                    "READ {user}: engine returned {} rows, extensional state holds {}",
+                    rows.len(),
+                    ext.len()
+                ),
+            ));
+        }
+        self.stats.reads_checked += 1;
+        let wr = self.wr_site(&user, !rows.is_empty())?;
+        self.hist.record(
+            c,
+            Event::Read {
+                kind: ReadKind::Collapse,
+                user,
+                answers: rows.len(),
+                wr,
+            },
+        );
+        Ok(())
+    }
+
+    fn read_uncertain(&mut self, c: usize, target: usize, kind: ReadKind) -> Result<(), Violation> {
+        let Some(user) = self.pick_booked(target) else {
+            self.noop(
+                c,
+                if kind == ReadKind::Peek {
+                    "PEEK"
+                } else {
+                    "POSSIBLE"
+                },
+            );
+            return Ok(());
+        };
+        let atoms = booking_atoms(&user);
+        self.uncertain_reads += 1;
+        let sampled = self.cfg.explain_sample > 0
+            && self.uncertain_reads.is_multiple_of(self.cfg.explain_sample);
+        let (answers, observed_rows) = match kind {
+            ReadKind::Peek => {
+                let rows = self
+                    .engine
+                    .read_peek(&atoms)
+                    .map_err(|e| self.engine_err(e))?;
+                if sampled {
+                    self.explain(&atoms, &[canon_set(&rows)], "peek")?;
+                }
+                (rows.len(), !rows.is_empty())
+            }
+            ReadKind::Possible => {
+                let families = self
+                    .engine
+                    .read_possible(&atoms, self.cfg.world_bound)
+                    .map_err(|e| self.engine_err(e))?;
+                if sampled {
+                    let sets: Vec<CanonSet> = canon_family(&families).into_iter().collect();
+                    self.explain(&atoms, &sets, "possible")?;
+                }
+                (families.len(), families.iter().any(|f| !f.is_empty()))
+            }
+            ReadKind::Collapse => unreachable!("collapse reads use read_collapse"),
+        };
+        let wr = self.wr_site(&user, observed_rows)?;
+        self.hist.record(
+            c,
+            Event::Read {
+                kind,
+                user,
+                answers,
+                wr,
+            },
+        );
+        Ok(())
+    }
+
+    /// Explainability: every answer (set) the engine returned must be the
+    /// evaluation of some possible world over the currently pending
+    /// transactions, independently enumerated from the extensional state.
+    fn explain(
+        &mut self,
+        atoms: &[Atom],
+        targets: &[CanonSet],
+        what: &str,
+    ) -> Result<(), Violation> {
+        let ids = self.engine.pending_ids();
+        let mut txns: Vec<&ResourceTransaction> = Vec::with_capacity(ids.len());
+        for id in &ids {
+            match self.txn_bodies.get(id) {
+                Some(t) => txns.push(t),
+                None => {
+                    return Err(self.viol(
+                        "model_desync",
+                        format!("pending T{id} unknown to the driver model"),
+                    ))
+                }
+            }
+        }
+        let bound = self.cfg.world_bound;
+        let seed = self.seed;
+        // Enumerate worlds and evaluate each with the checker's own
+        // evaluator; any enumeration/evaluation failure (e.g. solver
+        // budget) downgrades to a skip, never a violation.
+        let verdict: Result<(Vec<CanonSet>, bool), String> = self.engine.with_db(|db| {
+            let ws = enumerate_worlds_seeded(db, &txns, bound, seed).map_err(|e| e.to_string())?;
+            let mut sets = Vec::with_capacity(ws.worlds.len());
+            for w in &ws.worlds {
+                let view = w.view(db).map_err(|e| e.to_string())?;
+                let ans = eval_atoms(&view, atoms).map_err(|e| e.to_string())?;
+                sets.push(canon_set(&ans));
+            }
+            Ok((sets, ws.truncated))
+        });
+        let (world_sets, truncated) = match verdict {
+            Ok(v) => v,
+            Err(_) => {
+                self.stats.explain_skipped += 1;
+                return Ok(());
+            }
+        };
+        let all_found = targets.iter().all(|t| world_sets.contains(t));
+        if all_found {
+            self.stats.explain_checked += 1;
+            Ok(())
+        } else if truncated {
+            self.stats.explain_skipped += 1;
+            Ok(())
+        } else {
+            Err(self.viol(
+                &format!("{what}_unexplainable"),
+                format!(
+                    "{} pending txns yield {} possible worlds, none explains the returned answer",
+                    txns.len(),
+                    world_sets.len()
+                ),
+            ))
+        }
+    }
+
+    // -- invariants ---------------------------------------------------------
+
+    fn check_invariants(&mut self) -> Result<(), Violation> {
+        self.stats.invariant_checks += 1;
+        let (committed, grounded, pending) = self.engine.accounting();
+        if committed < grounded || committed - grounded != pending {
+            return Err(self.viol(
+                "accounting",
+                format!("committed − grounded ≠ pending: {committed} − {grounded} ≠ {pending}"),
+            ));
+        }
+        let offset = match self.cfg.mutation {
+            Some(Mutation::OverstateCapacity) => 1usize,
+            None => 0,
+        };
+        let capacity = self.capacity.clone();
+        let problem = self
+            .engine
+            .with_db(|db| domain_check(db, &capacity, offset));
+        if let Some(detail) = problem {
+            return Err(self.viol("conservation", detail));
+        }
+        Ok(())
+    }
+
+    // -- epoch serializability ----------------------------------------------
+
+    fn ser_check(&mut self) -> Result<(), Violation> {
+        let image = self.engine.wal_image();
+        let (records, _) =
+            replay_bytes(&image).map_err(|e| self.viol("wal_unreadable", e.to_string()))?;
+        let mut by_id: HashMap<TxnId, ResourceTransaction> = HashMap::new();
+        for r in &records {
+            if let LogRecord::PendingAdd { id, payload } = r {
+                let txn = decode_transaction(payload)
+                    .map_err(|e| self.viol("wal_undecodable", format!("T{id}: {e}")))?;
+                by_id.insert(*id, txn);
+            }
+        }
+        let mut recs: Vec<GroundedRec> = Vec::new();
+        for r in &records[self.records_seen..] {
+            match r {
+                LogRecord::Ground { id, ops } => {
+                    let txn = by_id.get(id).cloned();
+                    if txn.is_none() {
+                        return Err(self.viol(
+                            "ground_without_commit",
+                            format!("Ground record for T{id} with no PendingAdd in the log"),
+                        ));
+                    }
+                    recs.push(GroundedRec {
+                        id: Some(*id),
+                        txn,
+                        ops: ops.clone(),
+                    });
+                }
+                LogRecord::Write(op) => recs.push(GroundedRec {
+                    id: None,
+                    txn: None,
+                    ops: vec![op.clone()],
+                }),
+                _ => {}
+            }
+        }
+        // Replay equivalence: base ⊕ epoch ops (WAL order) must equal the
+        // engine's current extensional state.
+        let mut replayed = self.epoch_base.clone();
+        for rec in &recs {
+            for op in &rec.ops {
+                replayed
+                    .apply(op)
+                    .map_err(|e| self.viol("replay_error", e.to_string()))?;
+            }
+        }
+        let expect = world_fingerprint(&replayed);
+        let actual = self.engine.with_db(world_fingerprint);
+        self.stats.replay_checks += 1;
+        if expect != actual {
+            return Err(self.viol(
+                "replay_divergence",
+                format!(
+                    "epoch base + {} WAL records does not reproduce the engine state",
+                    recs.len()
+                ),
+            ));
+        }
+        self.stats.ser_checks += 1;
+        let (outcome, greedy) = check_serializable(&self.epoch_base, &recs, self.cfg.dfs_budget);
+        match outcome {
+            SerOutcome::Serializable { .. } => {
+                if greedy {
+                    self.stats.ser_greedy += 1;
+                } else {
+                    self.stats.ser_dfs += 1;
+                }
+            }
+            SerOutcome::Inconclusive { .. } => self.stats.ser_inconclusive += 1,
+            SerOutcome::Violation { detail } => {
+                return Err(self.viol("not_serializable", detail));
+            }
+        }
+        // Open the next epoch at the verified state.
+        self.epoch_base = replayed;
+        self.records_seen = records.len();
+        Ok(())
+    }
+
+    // -- crash injection ----------------------------------------------------
+
+    fn crash(&mut self) -> Result<(), Violation> {
+        // Close the epoch first so the cut never spans an unchecked epoch.
+        self.ser_check()?;
+        let image = self.engine.wal_image();
+        let cut = self.rng.gen_range(self.setup_bytes..image.len() + 1);
+        let prefix = image[..cut].to_vec();
+        let (records, _) =
+            replay_bytes(&prefix).map_err(|e| self.viol("wal_unreadable", e.to_string()))?;
+        // Independently rebuild the expected post-recovery state.
+        let mut mdb = Database::new();
+        let mut pending: BTreeMap<TxnId, ResourceTransaction> = BTreeMap::new();
+        for r in &records {
+            match r {
+                LogRecord::CreateTable(schema) => {
+                    mdb.create_table(schema.clone())
+                        .map_err(|e| self.viol("replay_error", e.to_string()))?;
+                }
+                LogRecord::CreateIndex { .. } | LogRecord::Checkpoint => {}
+                LogRecord::Write(op) => {
+                    mdb.apply(op)
+                        .map_err(|e| self.viol("replay_error", e.to_string()))?;
+                }
+                LogRecord::PendingAdd { id, payload } => {
+                    let txn = decode_transaction(payload)
+                        .map_err(|e| self.viol("wal_undecodable", format!("T{id}: {e}")))?;
+                    pending.insert(*id, txn);
+                }
+                LogRecord::PendingRemove { id } => {
+                    pending.remove(id);
+                }
+                LogRecord::Ground { id, ops } => {
+                    pending.remove(id);
+                    for op in ops {
+                        mdb.apply(op)
+                            .map_err(|e| self.viol("replay_error", e.to_string()))?;
+                    }
+                }
+            }
+        }
+        let survivors = pending.len();
+        let engine = Engine::recover(self.cfg.engine, prefix, self.qcfg.clone()).map_err(|e| {
+            self.viol(
+                "recovery_failed",
+                format!("cut at byte {cut} of {}: {e}", image.len()),
+            )
+        })?;
+        self.stats.recovery_checks += 1;
+        let got_ids = engine.pending_ids();
+        let want_ids: Vec<TxnId> = pending.keys().copied().collect();
+        if got_ids != want_ids {
+            return Err(self.viol(
+                "recovery_pending_mismatch",
+                format!("recovered pending {got_ids:?}, WAL prefix implies {want_ids:?}"),
+            ));
+        }
+        let got_fp = engine.with_db(world_fingerprint);
+        if got_fp != world_fingerprint(&mdb) {
+            return Err(self.viol(
+                "recovery_state_mismatch",
+                format!("recovered extensional state diverges from WAL prefix replay (cut {cut})"),
+            ));
+        }
+        // Adopt the recovered engine and rebaseline the checker model.
+        self.engine = engine;
+        self.crashes += 1;
+        self.capacity = self
+            .cfg
+            .flights
+            .flight_numbers()
+            .map(|f| (f, count_flight_rows(&mdb, f)))
+            .collect();
+        self.audit_live = mdb
+            .table("Audit")
+            .map(|t| {
+                let mut tags: Vec<i64> = t.iter().filter_map(|r| r.get(0)?.as_int()).collect();
+                tags.sort_unstable();
+                tags
+            })
+            .unwrap_or_default();
+        self.booked = {
+            let mut booked: Vec<(String, i64)> = mdb
+                .table("Bookings")
+                .map(|t| {
+                    t.iter()
+                        .filter_map(|r| {
+                            Some((r.get(0)?.as_str()?.to_string(), r.get(1)?.as_int()?))
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
+            for txn in pending.values() {
+                if let Some(uf) = booking_user_flight(txn) {
+                    booked.push(uf);
+                }
+            }
+            booked
+        };
+        self.txn_bodies = pending.into_iter().collect();
+        self.epoch_base = mdb;
+        self.records_seen = records.len();
+        self.hist.record(
+            self.cfg.clients,
+            Event::Crash {
+                cut,
+                wal_len: image.len(),
+                survivors,
+            },
+        );
+        Ok(())
+    }
+
+    fn finish(self, violation: Option<Violation>) -> RunResult {
+        let fingerprint = self.engine.with_db(world_fingerprint);
+        let mut digest = self.hist.digest();
+        for b in fingerprint.as_bytes() {
+            digest ^= u64::from(*b);
+            digest = digest.wrapping_mul(0x1000_0000_01b3);
+        }
+        RunResult {
+            seed: self.seed,
+            engine: self.cfg.engine.label(),
+            ops: self.op_index,
+            commits: self.commits,
+            aborts: self.aborts,
+            crashes: self.crashes,
+            stats: self.stats,
+            violation,
+            fingerprint,
+            digest,
+            history: self.hist,
+        }
+    }
+}
+
+/// Per-flight `Available` + `Bookings` row count (the conserved quantity).
+fn count_flight_rows(db: &Database, flight: i64) -> usize {
+    let count = |rel: &str, col: usize| {
+        db.table(rel)
+            .map(|t| {
+                t.iter()
+                    .filter(|r| r.get(col).and_then(|v| v.as_int()) == Some(flight))
+                    .count()
+            })
+            .unwrap_or(0)
+    };
+    count("Available", 0) + count("Bookings", 1)
+}
+
+/// Domain invariants over the extensional state: seat conservation per
+/// flight, no double-booked seat, no double-booked user, no seat both
+/// available and booked.
+fn domain_check(db: &Database, capacity: &BTreeMap<i64, usize>, offset: usize) -> Option<String> {
+    let mut seen_seats: BTreeSet<(i64, String)> = BTreeSet::new();
+    let mut seen_users: BTreeSet<String> = BTreeSet::new();
+    if let Ok(t) = db.table("Bookings") {
+        for row in t.iter() {
+            let user = row.get(0)?.as_str()?.to_string();
+            let flight = row.get(1)?.as_int()?;
+            let seat = row.get(2)?.as_str()?.to_string();
+            if !seen_seats.insert((flight, seat.clone())) {
+                return Some(format!("seat {seat} on flight {flight} double-booked"));
+            }
+            if !seen_users.insert(user.clone()) {
+                return Some(format!("user {user} holds more than one booking"));
+            }
+            if db.contains("Available", &tuple![flight, seat.as_str()]) {
+                return Some(format!(
+                    "seat {seat} on flight {flight} is both available and booked"
+                ));
+            }
+        }
+    }
+    for (flight, cap) in capacity {
+        let have = count_flight_rows(db, *flight);
+        if have != cap + offset {
+            return Some(format!(
+                "flight {flight}: |Available| + |Bookings| = {have}, expected {}",
+                cap + offset
+            ));
+        }
+    }
+    None
+}
+
+/// Execute one seeded run against the configured engine and return the
+/// full result (the run never panics on a violation — it stops and
+/// reports).
+pub fn run_seed(seed: u64, cfg: &SimConfig) -> RunResult {
+    match Driver::new(seed, cfg) {
+        Ok(mut d) => {
+            let violation = d.drive().err();
+            d.finish(violation)
+        }
+        Err(v) => RunResult {
+            seed,
+            engine: cfg.engine.label(),
+            ops: 0,
+            commits: 0,
+            aborts: 0,
+            crashes: 0,
+            stats: CheckStats::default(),
+            violation: Some(v),
+            fingerprint: String::new(),
+            digest: 0,
+            history: History::new(cfg.clients),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(engine: EngineKind) -> SimConfig {
+        SimConfig {
+            clients: 3,
+            ops_per_client: 60,
+            crash_count: 1,
+            ser_interval: 40,
+            ..SimConfig::smoke(engine)
+        }
+    }
+
+    #[test]
+    fn same_seed_same_run() {
+        for engine in [EngineKind::Single, EngineKind::Sharded] {
+            let cfg = tiny(engine);
+            let a = run_seed(11, &cfg);
+            let b = run_seed(11, &cfg);
+            assert!(
+                a.violation.is_none(),
+                "unexpected violation: {:?}",
+                a.violation
+            );
+            assert_eq!(a.digest, b.digest, "{engine:?} run is not deterministic");
+            assert_eq!(a.fingerprint, b.fingerprint);
+            assert_eq!(a.commits, b.commits);
+            assert_eq!(a.history.len(), b.history.len());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let cfg = tiny(EngineKind::Single);
+        let a = run_seed(1, &cfg);
+        let b = run_seed(2, &cfg);
+        assert_ne!(a.digest, b.digest);
+    }
+
+    #[test]
+    fn clean_runs_have_no_violations_and_exercise_the_checkers() {
+        for engine in [EngineKind::Single, EngineKind::Sharded] {
+            let cfg = tiny(engine);
+            for seed in [3, 4, 5] {
+                let r = run_seed(seed, &cfg);
+                assert!(
+                    r.violation.is_none(),
+                    "{engine:?} seed {seed}: {:?}\ntail:\n{}",
+                    r.violation,
+                    r.history.tail_lines(20).join("\n")
+                );
+                assert_eq!(r.ops, cfg.total_ops() as u64);
+                assert!(r.stats.ser_checks > 0);
+                assert!(r.stats.invariant_checks >= r.ops);
+                assert!(r.crashes >= 1, "{engine:?} seed {seed}: no crash injected");
+            }
+        }
+    }
+
+    #[test]
+    fn mutation_induces_a_violation() {
+        let cfg = SimConfig {
+            mutation: Some(Mutation::OverstateCapacity),
+            ..tiny(EngineKind::Single)
+        };
+        let r = run_seed(7, &cfg);
+        let v = r.violation.expect("overstated capacity must be caught");
+        assert_eq!(v.kind, "conservation");
+    }
+}

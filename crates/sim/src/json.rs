@@ -1,0 +1,152 @@
+//! Minimal JSON writing and flat-field reading for failure artifacts.
+//!
+//! The workspace is an offline build with no `serde`; artifacts are small
+//! flat documents we both produce and consume, so a hand-rolled writer
+//! plus a scanning reader for top-level scalar fields is all that is
+//! needed (the same idiom `qdb-bench` uses for its result files).
+
+/// A JSON value (writer side).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// An unsigned integer (artifacts never need signed or fractional).
+    U64(u64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience string constructor.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Render to a compact JSON document.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(n) => out.push_str(&n.to_string()),
+            Json::Str(s) => escape_into(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_into(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Scan a document for a top-level `"key": <unsigned integer>` field.
+pub fn flat_u64(text: &str, key: &str) -> Option<u64> {
+    let raw = flat_raw(text, key)?;
+    raw.trim().parse().ok()
+}
+
+/// Scan a document for a `"key": "string"` field (no escape handling
+/// beyond `\"` — artifact strings are machine-generated identifiers).
+pub fn flat_str(text: &str, key: &str) -> Option<String> {
+    let raw = flat_raw(text, key)?;
+    let raw = raw.trim();
+    let inner = raw.strip_prefix('"')?;
+    let end = inner.find('"')?;
+    Some(inner[..end].to_string())
+}
+
+/// Scan a document for a `"key": true|false` field.
+pub fn flat_bool(text: &str, key: &str) -> Option<bool> {
+    let raw = flat_raw(text, key)?;
+    match raw.trim() {
+        t if t.starts_with("true") => Some(true),
+        t if t.starts_with("false") => Some(false),
+        _ => None,
+    }
+}
+
+/// The raw text following `"key":`, up to the next delimiter.
+fn flat_raw<'a>(text: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)? + needle.len();
+    let rest = &text[at..];
+    // Cut at the first top-level delimiter; good enough for scalar fields.
+    let end = rest
+        .char_indices()
+        .scan(false, |in_str, (i, c)| {
+            if c == '"' && i > 0 {
+                *in_str = !*in_str;
+            } else if c == '"' && i == 0 {
+                *in_str = true;
+            }
+            Some((i, c, *in_str))
+        })
+        .find(|(_, c, in_str)| !in_str && (*c == ',' || *c == '}'))
+        .map(|(i, _, _)| i)
+        .unwrap_or(rest.len());
+    Some(&rest[..end])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        let doc = Json::Obj(vec![
+            ("seed".into(), Json::U64(42)),
+            ("engine".into(), Json::str("sharded")),
+            ("crash".into(), Json::Bool(true)),
+            ("tail".into(), Json::Arr(vec![Json::str("a\"b")])),
+        ])
+        .render();
+        assert_eq!(flat_u64(&doc, "seed"), Some(42));
+        assert_eq!(flat_str(&doc, "engine").as_deref(), Some("sharded"));
+        assert_eq!(flat_bool(&doc, "crash"), Some(true));
+        assert_eq!(flat_u64(&doc, "missing"), None);
+    }
+}

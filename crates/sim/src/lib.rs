@@ -1,0 +1,98 @@
+//! # qdb-sim
+//!
+//! Deterministic full-system simulation with black-box serializability
+//! checking for the quantum database engine.
+//!
+//! Three layers (see `docs/SIMULATION.md` for the full story):
+//!
+//! 1. **Driver** ([`driver`]) — a seeded virtual scheduler interleaves N
+//!    logical clients issuing the full statement surface (CHOOSE solo and
+//!    entangled, collapse/PEEK/POSSIBLE reads, GROUND / GROUND ALL,
+//!    CHECKPOINT, blind INSERT/DELETE) against either engine build, with
+//!    crash/restart injection at arbitrary WAL byte offsets. Every run is
+//!    a pure function of its `u64` seed.
+//! 2. **History recorder** ([`history`]) — every statement outcome lands
+//!    in a dbcop-shaped history `(T, so, wr)`: per-session event lists,
+//!    the scheduled interleaving, and writes-read edges for observed
+//!    rows.
+//! 3. **Checker** ([`checker`]) — black-box verification that grounded
+//!    outcomes are serializable (greedy WAL-order pass, then a memoized
+//!    schedule search), that every PEEK/POSSIBLE answer is explainable by
+//!    some possible world at read time, and that the accounting identity
+//!    `committed − grounded = pending` plus the domain invariants (seat
+//!    conservation, no double booking) hold after every transition.
+//!
+//! On a violation the sweep writes a repro artifact
+//! (`target/sim/failure-<seed>-<engine>.json`, [`artifact`]) that
+//! `sim replay` re-runs deterministically.
+
+pub mod artifact;
+pub mod checker;
+pub mod driver;
+pub mod history;
+pub mod json;
+
+use std::path::{Path, PathBuf};
+
+pub use checker::{CheckStats, SerOutcome, Violation};
+pub use driver::{run_seed, EngineKind, Mutation, RunResult, SimConfig};
+pub use history::{Event, History, ReadKind};
+
+/// Aggregated result of a multi-seed sweep.
+#[derive(Debug, Clone, Default)]
+pub struct SweepOutcome {
+    /// Runs executed (seeds × engines).
+    pub runs: u64,
+    /// Statements executed across all runs.
+    pub total_ops: u64,
+    /// Committed CHOOSE submissions.
+    pub commits: u64,
+    /// Aborted CHOOSE submissions.
+    pub aborts: u64,
+    /// Crash/restart cycles injected and survived.
+    pub crashes: u64,
+    /// Summed checker counters.
+    pub stats: CheckStats,
+    /// Failing runs: `(seed, engine, violation, artifact path if written)`.
+    pub failures: Vec<(u64, &'static str, Violation, Option<PathBuf>)>,
+}
+
+impl SweepOutcome {
+    /// Number of violating runs.
+    pub fn violations(&self) -> u64 {
+        self.failures.len() as u64
+    }
+}
+
+/// Run `seeds` consecutive seeds starting at `start_seed` against each
+/// engine in `engines`, writing a failure artifact into `artifact_dir`
+/// (when given) for every violating run.
+pub fn run_sweep(
+    base: &SimConfig,
+    start_seed: u64,
+    seeds: u64,
+    engines: &[EngineKind],
+    artifact_dir: Option<&Path>,
+) -> SweepOutcome {
+    let mut out = SweepOutcome::default();
+    for engine in engines {
+        let cfg = SimConfig {
+            engine: *engine,
+            ..base.clone()
+        };
+        for seed in start_seed..start_seed + seeds {
+            let r = run_seed(seed, &cfg);
+            out.runs += 1;
+            out.total_ops += r.ops;
+            out.commits += r.commits;
+            out.aborts += r.aborts;
+            out.crashes += r.crashes;
+            out.stats.add(&r.stats);
+            if let Some(v) = &r.violation {
+                let path = artifact_dir.and_then(|dir| artifact::write(dir, &r, &cfg).ok());
+                out.failures.push((seed, r.engine, v.clone(), path));
+            }
+        }
+    }
+    out
+}

@@ -60,7 +60,25 @@ pub struct Solver {
     pub order: AtomOrder,
     /// Resource bounds.
     pub limits: SearchLimits,
+    /// Tie-break seed for [`AtomOrder::MostConstrained`]: when two
+    /// unmatched atoms have the same candidate count, `0` (the default)
+    /// keeps the first in body order — bit-identical to the historical
+    /// behavior — while any other value breaks the tie by a seeded hash.
+    /// Every run is deterministic either way; the seed only *selects*
+    /// which deterministic exploration order a run gets, so simulation
+    /// sweeps can vary search-order decisions per seed and still replay
+    /// any run exactly.
+    pub seed: u64,
     stats: SolverStats,
+}
+
+/// One splitmix64 mixing round — the tie-break hash for seeded atom
+/// ordering (same finalizer the workload RNG uses).
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Per-spec relation ids, resolved once per solver entry point: one id per
@@ -148,6 +166,7 @@ impl Solver {
             specs,
             resolved: &resolved,
             order: self.order,
+            seed: self.seed,
             max_nodes: self.limits.max_nodes,
             nodes: 0,
             stats: &mut self.stats,
@@ -234,6 +253,7 @@ impl Solver {
             specs,
             resolved: &resolved,
             order: self.order,
+            seed: self.seed,
             max_nodes: self.limits.max_nodes,
             nodes: 0,
             stats: &mut self.stats,
@@ -259,6 +279,7 @@ struct Ctx<'a, 'c> {
     specs: &'a [TxnSpec<'a>],
     resolved: &'a [ResolvedSpec],
     order: AtomOrder,
+    seed: u64,
     max_nodes: u64,
     /// Nodes expanded by *this* call (the limit is per-call; cumulative
     /// stats absorb it afterwards).
@@ -403,7 +424,20 @@ impl<'a, 'c> Ctx<'a, 'c> {
                     self.stats.scan_lookups += 1;
                 }
             }
-            if best.as_ref().is_none_or(|(_, bn, _)| n < *bn) {
+            // Strictly fewer candidates always wins. On an exact tie the
+            // unseeded solver keeps the earlier atom (body order); a
+            // non-zero seed instead hashes (seed, atom index) so different
+            // seeds deterministically explore different orders.
+            let replace = match best.as_ref() {
+                None => true,
+                Some((bi, bn, _)) => {
+                    n < *bn
+                        || (n == *bn
+                            && self.seed != 0
+                            && mix64(self.seed ^ idx as u64) > mix64(self.seed ^ *bi as u64))
+                }
+            };
+            if replace {
                 best = Some((idx, n, bound));
             }
             if n == 0 {
@@ -728,6 +762,45 @@ mod tests {
             .is_some());
         assert!(solver.stats().index_lookups > 0);
         assert_eq!(solver.stats().candidate_vecs, 0);
+    }
+
+    #[test]
+    fn seeded_tie_breaks_are_deterministic_and_agree_on_satisfiability() {
+        // Two body atoms with equal candidate counts force the dynamic
+        // ordering onto its tie-break path on every node.
+        let mut db = Database::new();
+        db.create_table(Schema::new("A", vec![("x", ValueType::Int)]))
+            .unwrap();
+        db.create_table(Schema::new("B", vec![("y", ValueType::Int)]))
+            .unwrap();
+        db.create_table(Schema::new(
+            "Out",
+            vec![("x", ValueType::Int), ("y", ValueType::Int)],
+        ))
+        .unwrap();
+        for v in [1, 2, 3] {
+            db.insert("A", tuple![v]).unwrap();
+            db.insert("B", tuple![10 + v]).unwrap();
+        }
+        let t = parse_transaction("+Out(x, y) :-1 A(x), B(y)").unwrap();
+        let spec = TxnSpec::required_only(&t);
+        let enumerate = |seed: u64| {
+            let mut solver = Solver {
+                seed,
+                ..Default::default()
+            };
+            solver.enumerate_one(&db, &[], &spec, 100).unwrap()
+        };
+        // Any seed is self-consistent, seed 0 included; every seed agrees
+        // on the full solution *set* (order may differ).
+        for seed in [0, 1, 0xC1DE] {
+            assert_eq!(enumerate(seed), enumerate(seed), "seed {seed} replays");
+            let mut sorted = enumerate(seed);
+            sorted.sort();
+            let mut base = enumerate(0);
+            base.sort();
+            assert_eq!(sorted, base, "seed {seed} finds the same set");
+        }
     }
 
     #[test]

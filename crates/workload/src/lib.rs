@@ -29,6 +29,7 @@ pub mod orders;
 pub mod remote;
 pub mod rng;
 pub mod runner;
+pub mod stream;
 
 pub use entangled::{entangled_booking, make_pairs, Pair};
 pub use flights::FlightsConfig;
@@ -38,3 +39,4 @@ pub use mixed::{build_mixed_workload, build_mixed_workload_with, MixedProfile, O
 pub use orders::{arrange, ArrivalOrder, Request};
 pub use remote::{run_remote, RemoteConfig, RemoteRunResult};
 pub use runner::{run_is, run_quantum, RunConfig, RunResult};
+pub use stream::{build_client_streams, SimOp, StreamProfile};

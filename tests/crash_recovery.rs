@@ -99,6 +99,123 @@ fn a_torn_tail_loses_only_the_unacknowledged_record() {
 }
 
 #[test]
+fn truncation_inside_ground_all_leaves_each_txn_grounded_xor_pending() {
+    // A crash in the middle of GROUND ALL tears the run of Ground records.
+    // Every cut must recover to a state where each committed transaction
+    // is *either* fully grounded *or* still pending — never half-applied,
+    // never dropped (commits must not roll back, §2).
+    let (mut qdb, pre_ground_image) = engine_with_two_pending();
+    let pre_ground_len = pre_ground_image.len();
+    qdb.ground_all().unwrap();
+    assert_eq!(qdb.pending_count(), 0);
+    let image = qdb.wal_image();
+    assert!(image.len() > pre_ground_len, "GROUND ALL appended records");
+
+    let mut grounded_counts = std::collections::BTreeSet::new();
+    for cut in pre_ground_len..=image.len() {
+        let recovered = recover(image[..cut].to_vec());
+        let db = recovered.database();
+        let bookings = db.table("Bookings").unwrap().len();
+        let available = db.table("Available").unwrap().len();
+        let pending = recovered.pending_count();
+        // Both commits were acknowledged before the crash: each one is
+        // grounded XOR pending, so the two populations always sum to 2.
+        assert_eq!(
+            bookings + pending,
+            2,
+            "cut {cut}: grounded {bookings} + pending {pending}"
+        );
+        // Seat conservation holds in every recovered world: a grounded
+        // booking consumes exactly the Available row its Ground record
+        // deletes.
+        assert_eq!(available + bookings, 3, "cut {cut}: seats not conserved");
+        grounded_counts.insert(bookings);
+    }
+    // The sweep crosses every ground state: none, first only, both.
+    assert_eq!(
+        grounded_counts.into_iter().collect::<Vec<_>>(),
+        vec![0, 1, 2]
+    );
+}
+
+#[test]
+fn a_crash_tearing_a_group_commit_batch_recovers_the_record_prefix() {
+    // With a large group limit the entire history — schema, seats, three
+    // bookings, checkpoint — reaches the sink as ONE buffered write. A
+    // crash can therefore tear anywhere inside a multi-record batch;
+    // recovery must replay record-by-record, keeping exactly the records
+    // whose frames are wholly inside the surviving prefix and losing the
+    // (acknowledged but undurable) suffix — the documented group-commit
+    // durability window.
+    let mut wal = Wal::in_memory();
+    wal.set_group_limit(1 << 20);
+    let mut qdb = QuantumDb::with_wal(QuantumDbConfig::default(), wal);
+    qdb.create_table(Schema::new(
+        "Available",
+        vec![("flight", ValueType::Int), ("seat", ValueType::Str)],
+    ))
+    .unwrap();
+    qdb.create_table(Schema::new(
+        "Bookings",
+        vec![
+            ("name", ValueType::Str),
+            ("flight", ValueType::Int),
+            ("seat", ValueType::Str),
+        ],
+    ))
+    .unwrap();
+    qdb.bulk_insert(
+        "Available",
+        vec![
+            tuple![1, "1A"],
+            tuple![1, "1B"],
+            tuple![1, "1C"],
+            tuple![1, "1D"],
+        ],
+    )
+    .unwrap();
+    for user in ["Mickey", "Donald", "Daisy"] {
+        let t = parse_transaction(&format!(
+            "-Available(f, s), +Bookings('{user}', f, s) :-1 Available(f, s)"
+        ))
+        .unwrap();
+        assert!(qdb.submit(&t).unwrap().is_committed());
+    }
+    // One drain pushes the whole batch; the image below is that single
+    // sink write.
+    qdb.checkpoint().unwrap();
+    let image = qdb.wal_image();
+
+    for cut in 0..=image.len() {
+        let prefix = &image[..cut];
+        // Independent ground truth: the records whose frames fit in the
+        // prefix, per the storage layer's own tolerant replay.
+        let (records, consumed) =
+            quantum_db::storage::wal::replay_bytes(prefix).expect("torn prefix replays");
+        assert!(consumed <= cut as u64);
+        let expected_pending = records
+            .iter()
+            .filter(|r| matches!(r, quantum_db::storage::LogRecord::PendingAdd { .. }))
+            .count();
+        let recovered = recover(prefix.to_vec());
+        assert_eq!(
+            recovered.pending_count(),
+            expected_pending,
+            "cut {cut}: exactly the wholly-framed commits survive"
+        );
+    }
+
+    // The worst tear — one byte short of the full batch — still leaves a
+    // serving engine that can admit and ground new work.
+    let mut recovered = recover(image[..image.len() - 1].to_vec());
+    let t = parse_transaction("-Available(f, s), +Bookings('Goofy', f, s) :-1 Available(f, s)")
+        .unwrap();
+    assert!(recovered.submit(&t).unwrap().is_committed());
+    recovered.ground_all().unwrap();
+    assert_eq!(recovered.pending_count(), 0);
+}
+
+#[test]
 fn every_truncation_point_recovers_without_panicking() {
     let (_qdb, image) = engine_with_two_pending();
     let mut seen_pending = std::collections::BTreeSet::new();

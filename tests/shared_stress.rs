@@ -145,6 +145,110 @@ fn concurrent_sessions_never_deadlock_and_accounting_stays_consistent() {
 }
 
 #[test]
+fn pending_ids_snapshots_are_exact_sorted_and_dedup_free_under_churn() {
+    use quantum_db::logic::parse_transaction;
+    use quantum_db::storage::{tuple, Schema, ValueType};
+
+    let mut qdb = QuantumDb::new(QuantumDbConfig::default()).unwrap();
+    qdb.create_table(Schema::new(
+        "Available",
+        vec![("flight", ValueType::Int), ("seat", ValueType::Str)],
+    ))
+    .unwrap();
+    qdb.create_table(Schema::new(
+        "Bookings",
+        vec![
+            ("name", ValueType::Str),
+            ("flight", ValueType::Int),
+            ("seat", ValueType::Str),
+        ],
+    ))
+    .unwrap();
+    let lanes = 4i64;
+    let per_lane = 8i64;
+    let mut seats = Vec::new();
+    for lane in 0..lanes {
+        for s in 0..per_lane {
+            seats.push(tuple![lane, format!("s{s}")]);
+        }
+    }
+    qdb.bulk_insert("Available", seats).unwrap();
+    let shared = qdb.into_shared();
+
+    let book = |lane: i64, who: &str| {
+        parse_transaction(&format!(
+            "-Available({lane}, s), +Bookings('{who}', {lane}, s) :-1 Available({lane}, s)"
+        ))
+        .unwrap()
+    };
+
+    // Quiescent exactness: the snapshot is exactly the committed,
+    // not-yet-ground ids, in ascending order.
+    let mut ids = Vec::new();
+    for i in 0..lanes * 2 {
+        let out = shared.submit(&book(i % lanes, &format!("u{i}"))).unwrap();
+        ids.push(out.id().unwrap());
+    }
+    let mut expected = ids.clone();
+    expected.sort_unstable();
+    assert_eq!(shared.pending_ids(), expected);
+    // Ground every other id: the snapshot tracks removals exactly.
+    for id in ids.iter().step_by(2) {
+        assert!(shared.ground(*id).unwrap());
+    }
+    let expected: Vec<_> = ids.iter().copied().skip(1).step_by(2).collect();
+    assert_eq!(shared.pending_ids(), expected);
+
+    // Churn: writers submit into disjoint lanes (splitting and re-merging
+    // partitions) while a scanner asserts every snapshot is sorted and
+    // duplicate-free — the consistency the retry loop must provide even
+    // while slots die mid-scan.
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let writers: Vec<_> = (0..lanes)
+            .map(|lane| {
+                let shared = shared.clone();
+                let book = &book;
+                scope.spawn(move || {
+                    for i in 0..per_lane - 2 {
+                        let out = shared.submit(&book(lane, &format!("w{lane}-{i}"))).unwrap();
+                        let id = out.id().unwrap();
+                        if i % 2 == 0 {
+                            assert!(shared.ground(id).unwrap());
+                        }
+                    }
+                })
+            })
+            .collect();
+        let scanner = {
+            let shared = shared.clone();
+            let stop = &stop;
+            scope.spawn(move || {
+                let mut scans = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) || scans == 0 {
+                    let snap = shared.pending_ids();
+                    assert!(
+                        snap.windows(2).all(|w| w[0] < w[1]),
+                        "snapshot not strictly ascending: {snap:?}"
+                    );
+                    scans += 1;
+                }
+            })
+        };
+        for w in writers {
+            w.join().unwrap();
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        scanner.join().unwrap();
+    });
+
+    // Quiesced again: snapshot matches the accounting identity.
+    let (m, pending) = shared.metrics_with_pending();
+    assert_eq!(m.committed - m.grounded_total(), pending);
+    assert_eq!(shared.pending_ids().len() as u64, pending);
+}
+
+#[test]
 fn a_panicking_session_user_does_not_poison_the_engine() {
     let session = stressed_session();
     let clone = session.clone();
