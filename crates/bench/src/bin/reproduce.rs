@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! reproduce [table1|fig5|fig6|fig7|table2|fig8|fig9|phase|partition_scaling|
-//!            admission_depth|all]...
-//!           [--scale full|smoke] [--json]
+//!            admission_depth|read_path|profile|sim|all]...
+//!           [--scale full|smoke] [--json] [--trace-out PATH]
 //! ```
 //!
 //! Several experiment names may be given; they run in the canonical order.
@@ -14,7 +14,8 @@
 //! derived throughput/latency) are additionally written to
 //! `BENCH_results.json` — stamped with the git commit and a UTC timestamp
 //! — so the performance trajectory of the repo can be tracked run over
-//! run.
+//! run. `--trace-out PATH` makes the `profile` experiment export its
+//! sharded engine's span stream as JSONL (see `docs/OBSERVABILITY.md`).
 
 use qdb_bench::experiments::*;
 use qdb_bench::json::{num, str as jstr, Json};
@@ -41,6 +42,7 @@ fn main() {
     let mut which: Vec<String> = Vec::new();
     let mut scale = Scale::Full;
     let mut json = false;
+    let mut trace_out: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -52,6 +54,16 @@ fn main() {
                 };
             }
             "--json" => json = true,
+            "--trace-out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => trace_out = Some(path.clone()),
+                    None => {
+                        eprintln!("--trace-out needs a path");
+                        std::process::exit(2);
+                    }
+                }
+            }
             other => which.push(other.to_string()),
         }
         i += 1;
@@ -59,7 +71,7 @@ fn main() {
     if which.is_empty() {
         which.push("all".to_string());
     }
-    const KNOWN: [&str; 13] = [
+    const KNOWN: [&str; 14] = [
         "all",
         "table1",
         "fig5",
@@ -72,6 +84,7 @@ fn main() {
         "partition_scaling",
         "admission_depth",
         "read_path",
+        "profile",
         "sim",
     ];
     for w in &which {
@@ -110,6 +123,9 @@ fn main() {
     if wants("read_path") {
         records.push(read_path_report(scale));
     }
+    if wants("profile") {
+        records.push(profile_report(scale, trace_out.as_deref()));
+    }
     let mut sim_failed = false;
     if wants("sim") {
         let (record, failed) = sim_report(scale);
@@ -139,6 +155,203 @@ fn main() {
         // regression — fail the reproduction run outright.
         std::process::exit(1);
     }
+}
+
+/// The observability acceptance run: drive an identical mixed workload
+/// through both engines (`QuantumDb` single-threaded and the sharded
+/// `SharedQuantumDb`), then read back `SHOW PROFILE`'s payload and check
+/// that every statement class the driver issued has a histogram whose
+/// count equals the driver's own statement counter and whose percentiles
+/// are non-zero — the jq gates in CI key off this record. With
+/// `--trace-out`, the sharded engine's span stream is exported as JSONL.
+fn profile_report(scale: Scale, trace_out: Option<&str>) -> Json {
+    use qdb_core::{QuantumDb, QuantumDbConfig};
+    use std::collections::BTreeMap;
+
+    let (flights, pairs, reads) = match scale {
+        Scale::Full => (8usize, 6usize, 120usize),
+        Scale::Smoke => (2, 3, 12),
+    };
+    println!("== Profile: per-class / per-phase latency histograms ==");
+    println!(
+        "({flights} flights x {pairs} bookings each + {reads} PEEK/POSSIBLE reads,\n\
+         single and sharded engines; counts must match the driver's own)\n"
+    );
+
+    // The workload, as (class, SQL) pairs — the class strings are the
+    // engine's own `Statement::kind()` names, so the driver's counter and
+    // the histogram key line up exactly.
+    let mut stmts: Vec<(&'static str, String)> = vec![
+        (
+            "CREATE TABLE",
+            "CREATE TABLE Available (flight INT, seat TEXT)".into(),
+        ),
+        (
+            "CREATE TABLE",
+            "CREATE TABLE Bookings (name TEXT, flight INT, seat TEXT)".into(),
+        ),
+    ];
+    for f in 1..=flights {
+        for s in 0..pairs {
+            stmts.push((
+                "INSERT",
+                format!("INSERT INTO Available VALUES ({f}, 's{s:03}')"),
+            ));
+        }
+    }
+    for f in 1..=flights {
+        for i in 0..pairs {
+            stmts.push((
+                "SELECT … CHOOSE 1",
+                format!(
+                    "SELECT @s FROM Available({f}, @s) CHOOSE 1 FOLLOWED BY \
+                     (DELETE ({f}, @s) FROM Available; \
+                      INSERT ('u{f}_{i}', {f}, @s) INTO Bookings)"
+                ),
+            ));
+        }
+    }
+    for i in 0..reads {
+        // PEEK and POSSIBLE leave the pending set alone (no collapse), so
+        // the solve/world-enumeration phases keep firing all the way.
+        stmts.push((
+            "SELECT",
+            if i % 2 == 0 {
+                format!("SELECT PEEK * FROM Bookings('u1_{}', @f, @s)", i % pairs)
+            } else {
+                "SELECT POSSIBLE @s FROM Available(1, @s)".into()
+            },
+        ));
+    }
+    stmts.push(("SHOW PENDING", "SHOW PENDING".into()));
+    stmts.push(("GROUND ALL", "GROUND ALL".into()));
+    stmts.push(("SELECT", "SELECT * FROM Bookings(@n, @f, @s)".into()));
+    let mut expected: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for (class, _) in &stmts {
+        *expected.entry(class).or_insert(0) += 1;
+    }
+
+    let mut engines = Vec::new();
+    for engine in ["single", "sharded"] {
+        let mut qdb = QuantumDb::new(QuantumDbConfig::default()).expect("engine");
+        let profile = if engine == "single" {
+            for (_, sql) in &stmts {
+                qdb.execute(sql).expect("statement");
+            }
+            qdb.profile()
+        } else {
+            if let Some(path) = trace_out {
+                let file = std::fs::File::create(path).expect("trace sink");
+                qdb.obs()
+                    .set_trace(Some(Box::new(std::io::BufWriter::new(file))));
+            }
+            let shared = qdb.into_shared();
+            let session = shared.session();
+            for (_, sql) in &stmts {
+                session.execute(sql).expect("statement");
+            }
+            let profile = shared.profile();
+            // Drop the sink so the BufWriter flushes before we return.
+            shared.obs().set_trace(None);
+            profile
+        };
+
+        let by_class: BTreeMap<&str, qdb_core::HistSummary> = profile
+            .classes
+            .iter()
+            .map(|(name, s)| (name.as_str(), *s))
+            .collect();
+        for (class, want) in &expected {
+            let s = by_class
+                .get(*class)
+                .unwrap_or_else(|| panic!("{engine}: no histogram for class {class}"));
+            assert_eq!(
+                s.count, *want,
+                "{engine}: {class} histogram count vs driver counter"
+            );
+            assert!(s.p50_ns > 0, "{engine}: {class} p50 must be non-zero");
+            assert!(s.p99_ns >= s.p50_ns, "{engine}: {class} p99 < p50");
+        }
+        for need in ["parse", "solve", "apply"] {
+            let s = profile
+                .phases
+                .iter()
+                .find(|(name, _)| name == need)
+                .map(|(_, s)| *s)
+                .unwrap_or_else(|| panic!("{engine}: phase {need} never recorded"));
+            assert!(s.count > 0 && s.p50_ns > 0, "{engine}: phase {need} empty");
+        }
+
+        let us = |ns: u64| ns as f64 / 1000.0;
+        let table: Vec<Vec<String>> = profile
+            .classes
+            .iter()
+            .map(|(name, s)| {
+                vec![
+                    name.clone(),
+                    s.count.to_string(),
+                    format!("{:.1}", us(s.p50_ns)),
+                    format!("{:.1}", us(s.p99_ns)),
+                    format!("{:.1}", us(s.p999_ns)),
+                    format!("{:.1}", us(s.max_ns)),
+                ]
+            })
+            .collect();
+        println!("-- {engine} engine --");
+        println!(
+            "{}",
+            format_table(
+                &["class", "count", "p50_us", "p99_us", "p999_us", "max_us"],
+                &table
+            )
+        );
+
+        let summarize = |name: &str, s: &qdb_core::HistSummary, expected: Option<u64>| {
+            let mut fields = vec![
+                ("name".to_string(), jstr(name.to_string())),
+                ("count".to_string(), num(s.count as f64)),
+            ];
+            if let Some(e) = expected {
+                fields.push(("expected".to_string(), num(e as f64)));
+            }
+            fields.extend([
+                ("p50_us".to_string(), num(us(s.p50_ns))),
+                ("p90_us".to_string(), num(us(s.p90_ns))),
+                ("p99_us".to_string(), num(us(s.p99_ns))),
+                ("p999_us".to_string(), num(us(s.p999_ns))),
+                ("max_us".to_string(), num(us(s.max_ns))),
+            ]);
+            Json::obj(fields)
+        };
+        engines.push(Json::obj([
+            ("engine", jstr(engine)),
+            (
+                "classes",
+                Json::arr(
+                    profile
+                        .classes
+                        .iter()
+                        .map(|(name, s)| summarize(name, s, expected.get(name.as_str()).copied())),
+                ),
+            ),
+            (
+                "phases",
+                Json::arr(
+                    profile
+                        .phases
+                        .iter()
+                        .map(|(name, s)| summarize(name, s, None)),
+                ),
+            ),
+        ]));
+    }
+    Json::obj([
+        ("experiment", jstr("profile")),
+        ("flights", num(flights as f64)),
+        ("bookings", num((flights * pairs) as f64)),
+        ("reads", num(reads as f64)),
+        ("engines", Json::Arr(engines)),
+    ])
 }
 
 fn sim_report(scale: Scale) -> (Json, bool) {
@@ -265,7 +478,9 @@ fn admission_depth_report(scale: Scale) -> Json {
             vec![
                 r.mode.clone(),
                 r.depth.to_string(),
-                format!("{:.1}", r.tail_latency_us),
+                format!("{:.1}", r.p50_us),
+                format!("{:.1}", r.p99_us),
+                format!("{:.1}", r.p999_us),
                 format!("{:.1}", r.mean_latency_us),
                 format!("{:.0}", r.nodes_per_sec),
                 r.candidates_streamed.to_string(),
@@ -279,8 +494,8 @@ fn admission_depth_report(scale: Scale) -> Json {
         "{}",
         format_table(
             &[
-                "mode", "depth", "tail_us", "mean_us", "nodes/s", "streamed", "ix/scan",
-                "ext/full", "auto-ix"
+                "mode", "depth", "p50_us", "p99_us", "p999_us", "mean_us", "nodes/s", "streamed",
+                "ix/scan", "ext/full", "auto-ix"
             ],
             &table
         )
@@ -291,15 +506,36 @@ fn admission_depth_report(scale: Scale) -> Json {
             "fast path must not materialize candidate vectors"
         );
     }
+    // The recording-overhead A/B at the deepest point of the sweep — the
+    // observability layer's ≤5% acceptance gate.
+    let ab_depth = depths.iter().copied().max().unwrap_or(8);
+    let ab = obs_overhead(ab_depth, flights, seats);
+    println!(
+        "obs recording overhead at depth {}: enabled {:.1}us vs disabled {:.1}us \
+         ({:+.1}%)\n",
+        ab.depth, ab.enabled_mean_us, ab.disabled_mean_us, ab.overhead_percent
+    );
     Json::obj([
         ("experiment", jstr("admission_depth")),
+        (
+            "obs_overhead",
+            Json::obj([
+                ("depth", num(ab.depth as f64)),
+                ("enabled_mean_us", num(ab.enabled_mean_us)),
+                ("disabled_mean_us", num(ab.disabled_mean_us)),
+                ("overhead_percent", num(ab.overhead_percent)),
+            ]),
+        ),
         (
             "points",
             Json::arr(rows.iter().map(|r| {
                 Json::obj([
                     ("mode", jstr(r.mode.clone())),
                     ("depth", num(r.depth as f64)),
-                    ("tail_latency_us", num(r.tail_latency_us)),
+                    ("p50_us", num(r.p50_us)),
+                    ("p99_us", num(r.p99_us)),
+                    ("p999_us", num(r.p999_us)),
+                    ("max_us", num(r.max_us)),
                     ("mean_latency_us", num(r.mean_latency_us)),
                     ("total_seconds", num(r.total_seconds)),
                     ("solver_nodes", num(r.solver_nodes as f64)),
@@ -376,6 +612,9 @@ fn read_path_report(scale: Scale) -> Json {
                     ("depth", num(r.depth as f64)),
                     ("reads", num(r.reads as f64)),
                     ("view_latency_us", num(r.view_latency_us)),
+                    ("view_p50_us", num(r.view_p50_us)),
+                    ("view_p99_us", num(r.view_p99_us)),
+                    ("view_p999_us", num(r.view_p999_us)),
                     ("clone_latency_us", num(r.clone_latency_us)),
                     ("speedup", num(r.speedup)),
                     ("worlds_enumerated", num(r.worlds_enumerated as f64)),
@@ -456,6 +695,9 @@ fn partition_scaling_report(scale: Scale, seed: u64) -> Json {
                     ("seconds", num(r.seconds)),
                     ("throughput_tps", num(r.throughput)),
                     ("solver_concurrency_peak", num(r.solve_peak as f64)),
+                    ("booking_p50_us", num(r.booking_p50_us)),
+                    ("booking_p99_us", num(r.booking_p99_us)),
+                    ("booking_p999_us", num(r.booking_p999_us)),
                 ])
             })),
         ),

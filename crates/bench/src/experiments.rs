@@ -4,6 +4,11 @@
 use qdb_workload::remote::{run_remote, ContentionProfile, RemoteConfig};
 use qdb_workload::{run_is, run_quantum, ArrivalOrder, FlightsConfig, RunConfig, RunResult};
 
+/// Nanoseconds → microseconds, for `qdb_obs` histogram summaries.
+fn us(ns: u64) -> f64 {
+    ns as f64 / 1000.0
+}
+
 /// The four arrival orders of Table 1, with the paper's Random seed.
 pub fn paper_orders(seed: u64) -> Vec<ArrivalOrder> {
     vec![
@@ -220,6 +225,12 @@ pub struct PartitionScalingRow {
     /// 1 proves partition-parallel overlap; the coarse-lock ablation can
     /// never exceed 1.
     pub solve_peak: u64,
+    /// Client-observed booking round-trip latency: median, µs.
+    pub booking_p50_us: f64,
+    /// 99th percentile booking latency, µs.
+    pub booking_p99_us: f64,
+    /// 99.9th percentile booking latency, µs.
+    pub booking_p999_us: f64,
 }
 
 /// Throughput of the networked booking workload on a **disjoint-partition
@@ -262,6 +273,9 @@ pub fn partition_scaling(
                 seconds: res.total.as_secs_f64(),
                 throughput: res.throughput,
                 solve_peak: res.solve_concurrency_peak,
+                booking_p50_us: us(res.booking_latency.p50_ns),
+                booking_p99_us: us(res.booking_latency.p99_ns),
+                booking_p999_us: us(res.booking_latency.p999_ns),
             });
         }
     }
@@ -277,9 +291,16 @@ pub struct AdmissionDepthRow {
     pub mode: String,
     /// Pending-queue depth the partition is filled to.
     pub depth: usize,
-    /// Mean admission latency over the **last quartile** of the fill — the
-    /// submits that executed at queue depth ≈ `depth` — in microseconds.
-    pub tail_latency_us: f64,
+    /// Median admission latency across the fill, µs — from a log-bucketed
+    /// `qdb_obs` histogram, so quantized to a bucket upper bound.
+    pub p50_us: f64,
+    /// 99th-percentile admission latency, µs.
+    pub p99_us: f64,
+    /// 99.9th-percentile admission latency, µs — the submits that executed
+    /// at queue depth ≈ `depth` dominate this tail.
+    pub p999_us: f64,
+    /// Slowest single admission, µs.
+    pub max_us: f64,
     /// Mean admission latency over the whole fill, in microseconds.
     pub mean_latency_us: f64,
     /// Wall-clock seconds for the whole fill.
@@ -322,70 +343,11 @@ pub fn admission_depth(
     flights: usize,
     seats_per_flight: usize,
 ) -> Vec<AdmissionDepthRow> {
-    use qdb_core::{QuantumDb, QuantumDbConfig};
-    use qdb_logic::parse_transaction;
-    use qdb_storage::{Schema, Tuple, Value, ValueType};
-    use std::time::Instant;
-
     let mut out = Vec::new();
     for &cached in &[true, false] {
         for &depth in depths {
-            assert!(
-                depth <= seats_per_flight,
-                "depth {depth} exceeds flight capacity {seats_per_flight}"
-            );
-            let mut cfg = QuantumDbConfig::with_k(depth + 1);
-            cfg.use_solution_cache = cached;
-            let mut qdb = QuantumDb::new(cfg).expect("engine");
-            qdb.create_table(
-                Schema::new(
-                    "Available",
-                    vec![("flight", ValueType::Int), ("seat", ValueType::Str)],
-                )
-                .with_key(vec![0, 1])
-                .expect("key"),
-            )
-            .expect("schema");
-            qdb.create_table(Schema::new(
-                "Bookings",
-                vec![
-                    ("name", ValueType::Str),
-                    ("flight", ValueType::Int),
-                    ("seat", ValueType::Str),
-                ],
-            ))
-            .expect("schema");
-            for f in 1..=flights {
-                let rows: Vec<Tuple> = (0..seats_per_flight)
-                    .map(|s| {
-                        Tuple::from(vec![Value::from(f as i64), Value::from(format!("s{s:03}"))])
-                    })
-                    .collect();
-                qdb.bulk_insert("Available", rows).expect("populate");
-            }
-            // Parse outside the timed loop: this measures admission, not
-            // the parser (the workload runner prepares once too).
-            let txns: Vec<_> = (0..depth)
-                .map(|i| {
-                    parse_transaction(&format!(
-                        "-Available(1, s), +Bookings('u{i}', 1, s) :-1 Available(1, s)"
-                    ))
-                    .expect("well-formed")
-                })
-                .collect();
-            let mut latencies = Vec::with_capacity(depth);
-            let t0 = Instant::now();
-            for t in &txns {
-                let s = Instant::now();
-                assert!(
-                    qdb.submit(t).expect("engine healthy").is_committed(),
-                    "capacity sized so every booking admits"
-                );
-                latencies.push(s.elapsed().as_nanos() as u64);
-            }
-            let total = t0.elapsed();
-            let tail = &latencies[depth - (depth / 4).max(1)..];
-            let mean = |xs: &[u64]| xs.iter().sum::<u64>() as f64 / xs.len().max(1) as f64 / 1000.0;
+            let (qdb, hist, total) = admission_fill(depth, flights, seats_per_flight, cached, true);
+            let lat = hist.summary();
             let stats = *qdb.solver_stats();
             let m = qdb.metrics();
             out.push(AdmissionDepthRow {
@@ -396,8 +358,11 @@ pub fn admission_depth(
                 }
                 .to_string(),
                 depth,
-                tail_latency_us: mean(tail),
-                mean_latency_us: mean(&latencies),
+                p50_us: us(lat.p50_ns),
+                p99_us: us(lat.p99_ns),
+                p999_us: us(lat.p999_ns),
+                max_us: us(lat.max_ns),
+                mean_latency_us: total.as_secs_f64() * 1e6 / depth.max(1) as f64,
                 total_seconds: total.as_secs_f64(),
                 solver_nodes: stats.nodes,
                 nodes_per_sec: stats.nodes as f64 / total.as_secs_f64().max(f64::EPSILON),
@@ -414,6 +379,119 @@ pub fn admission_depth(
     out
 }
 
+/// Build a fresh engine, populate `flights × seats_per_flight` seats, and
+/// fill one flight's partition with `depth` pending bookings, recording
+/// each submit's latency in a `qdb_obs` histogram. `obs_enabled` toggles
+/// the engine's internal recording (the A/B knob for [`obs_overhead`]);
+/// the returned histogram is the bench's own, outside the toggle.
+fn admission_fill(
+    depth: usize,
+    flights: usize,
+    seats_per_flight: usize,
+    cached: bool,
+    obs_enabled: bool,
+) -> (
+    qdb_core::QuantumDb,
+    qdb_core::Histogram,
+    std::time::Duration,
+) {
+    use qdb_core::{Histogram, QuantumDb, QuantumDbConfig};
+    use qdb_logic::parse_transaction;
+    use qdb_storage::{Schema, Tuple, Value, ValueType};
+    use std::time::Instant;
+
+    assert!(
+        depth <= seats_per_flight,
+        "depth {depth} exceeds flight capacity {seats_per_flight}"
+    );
+    let mut cfg = QuantumDbConfig::with_k(depth + 1);
+    cfg.use_solution_cache = cached;
+    let mut qdb = QuantumDb::new(cfg).expect("engine");
+    qdb.obs().set_enabled(obs_enabled);
+    qdb.create_table(
+        Schema::new(
+            "Available",
+            vec![("flight", ValueType::Int), ("seat", ValueType::Str)],
+        )
+        .with_key(vec![0, 1])
+        .expect("key"),
+    )
+    .expect("schema");
+    qdb.create_table(Schema::new(
+        "Bookings",
+        vec![
+            ("name", ValueType::Str),
+            ("flight", ValueType::Int),
+            ("seat", ValueType::Str),
+        ],
+    ))
+    .expect("schema");
+    for f in 1..=flights {
+        let rows: Vec<Tuple> = (0..seats_per_flight)
+            .map(|s| Tuple::from(vec![Value::from(f as i64), Value::from(format!("s{s:03}"))]))
+            .collect();
+        qdb.bulk_insert("Available", rows).expect("populate");
+    }
+    // Parse outside the timed loop: this measures admission, not
+    // the parser (the workload runner prepares once too).
+    let txns: Vec<_> = (0..depth)
+        .map(|i| {
+            parse_transaction(&format!(
+                "-Available(1, s), +Bookings('u{i}', 1, s) :-1 Available(1, s)"
+            ))
+            .expect("well-formed")
+        })
+        .collect();
+    let hist = Histogram::new();
+    let t0 = Instant::now();
+    for t in &txns {
+        let s = Instant::now();
+        assert!(
+            qdb.submit(t).expect("engine healthy").is_committed(),
+            "capacity sized so every booking admits"
+        );
+        hist.record_duration(s.elapsed());
+    }
+    let total = t0.elapsed();
+    (qdb, hist, total)
+}
+
+/// The recording-overhead A/B for the observability layer.
+#[derive(Debug, Clone)]
+pub struct ObsOverheadRow {
+    /// Pending-queue depth of the fill (the acceptance gate runs 128).
+    pub depth: usize,
+    /// Mean admission latency with recording on (the default), µs.
+    pub enabled_mean_us: f64,
+    /// Mean admission latency with `Obs::set_enabled(false)`, µs.
+    pub disabled_mean_us: f64,
+    /// `(enabled − disabled) / disabled × 100`. Best-of-3 on each side
+    /// tames scheduler noise, but small negatives still happen on a busy
+    /// host — the acceptance bound is one-sided (≤ 5%).
+    pub overhead_percent: f64,
+}
+
+/// A/B the cost of the always-on observability layer on the admission hot
+/// path: the same cached-extend fill as [`admission_depth`], once with the
+/// engine's recording enabled and once with [`qdb_core::Obs`] disabled.
+/// Each side takes the best of 3 runs (the first also serves as warm-up).
+pub fn obs_overhead(depth: usize, flights: usize, seats_per_flight: usize) -> ObsOverheadRow {
+    let best = |enabled: bool| {
+        (0..3)
+            .map(|_| admission_fill(depth, flights, seats_per_flight, true, enabled).2)
+            .min()
+            .expect("three runs")
+    };
+    let disabled = best(false).as_secs_f64() * 1e6 / depth.max(1) as f64;
+    let enabled = best(true).as_secs_f64() * 1e6 / depth.max(1) as f64;
+    ObsOverheadRow {
+        depth,
+        enabled_mean_us: enabled,
+        disabled_mean_us: disabled,
+        overhead_percent: (enabled - disabled) / disabled.max(f64::EPSILON) * 100.0,
+    }
+}
+
 /// One point of the `read_path` experiment.
 #[derive(Debug, Clone)]
 pub struct ReadPathRow {
@@ -428,6 +506,12 @@ pub struct ReadPathRow {
     pub reads: usize,
     /// Mean latency of the engine's delta-view read path, microseconds.
     pub view_latency_us: f64,
+    /// Median view-path read latency, µs (per-read `qdb_obs` histogram).
+    pub view_p50_us: f64,
+    /// 99th-percentile view-path read latency, µs.
+    pub view_p99_us: f64,
+    /// 99.9th-percentile view-path read latency, µs.
+    pub view_p999_us: f64,
     /// Mean latency of the clone-based reference (database clone + op
     /// application per world, the pre-view implementation), microseconds.
     pub clone_latency_us: f64,
@@ -573,8 +657,10 @@ pub fn read_path(sizes: &[usize], depths: &[usize], reads: usize) -> Vec<ReadPat
                 };
                 let metrics_before = qdb.metrics_snapshot();
                 // View phase: the engine's clone-free read path.
+                let view_hist = qdb_core::Histogram::new();
                 let t0 = Instant::now();
                 for _ in 0..reads {
+                    let s = Instant::now();
                     match mode {
                         "peek" => {
                             let _ = qdb.read_peek(&query.atoms, None).expect("peek");
@@ -585,8 +671,10 @@ pub fn read_path(sizes: &[usize], depths: &[usize], reads: usize) -> Vec<ReadPat
                                 .expect("possible");
                         }
                     }
+                    view_hist.record_duration(s.elapsed());
                 }
                 let view_latency_us = t0.elapsed().as_secs_f64() * 1e6 / reads as f64;
+                let view_lat = view_hist.summary();
                 let m = qdb.metrics_snapshot();
                 let db_clones = m.db_clones; // captured before the clone phase
                 let worlds_enumerated = m.worlds_enumerated - metrics_before.worlds_enumerated;
@@ -621,6 +709,9 @@ pub fn read_path(sizes: &[usize], depths: &[usize], reads: usize) -> Vec<ReadPat
                     depth,
                     reads,
                     view_latency_us,
+                    view_p50_us: us(view_lat.p50_ns),
+                    view_p99_us: us(view_lat.p99_ns),
+                    view_p999_us: us(view_lat.p999_ns),
                     clone_latency_us,
                     speedup: clone_latency_us / view_latency_us.max(f64::EPSILON),
                     worlds_enumerated,
@@ -797,6 +888,8 @@ mod tests {
         for r in &rows {
             assert_eq!(r.ops, 2 * 3 * 2, "fixed workload across sweep");
             assert!(r.throughput > 0.0, "{}@{}w", r.label, r.workers);
+            assert!(r.booking_p50_us > 0.0, "{}@{}w", r.label, r.workers);
+            assert!(r.booking_p999_us >= r.booking_p50_us);
             if r.label == "coarse-lock" {
                 assert!(
                     r.solve_peak <= 1,
@@ -821,7 +914,10 @@ mod tests {
             // The hot path streams: no candidate vectors, ever.
             assert_eq!(r.candidate_vecs, 0, "{} depth {}", r.mode, r.depth);
             assert!(r.candidates_streamed > 0);
-            assert!(r.tail_latency_us > 0.0);
+            assert!(r.p50_us > 0.0);
+            assert!(r.p99_us >= r.p50_us);
+            assert!(r.p999_us >= r.p99_us);
+            assert!(r.max_us > 0.0);
             match r.mode.as_str() {
                 // Every admission under the solution cache must extend —
                 // zero full re-solves (the CI regression gate).
@@ -847,6 +943,18 @@ mod tests {
     }
 
     #[test]
+    fn obs_overhead_ab_produces_comparable_means() {
+        let row = obs_overhead(8, 1, 8);
+        assert_eq!(row.depth, 8);
+        assert!(row.enabled_mean_us > 0.0);
+        assert!(row.disabled_mean_us > 0.0);
+        // No bound on the percentage here — a loaded test host makes it
+        // noisy; the reproduce run at depth 128 is where the ≤5% gate
+        // applies.
+        assert!(row.overhead_percent.is_finite());
+    }
+
+    #[test]
     fn read_path_smoke_is_clone_free_and_faster_than_the_reference() {
         let rows = read_path(&[64, 256], &[0, 4], 10);
         assert_eq!(rows.len(), 8); // {64,256} sizes × {0,4} depths × {peek,possible}
@@ -854,6 +962,8 @@ mod tests {
             // The acceptance gate: the view phase never clones.
             assert_eq!(r.db_clones, 0, "{} {}x{}", r.mode, r.db_rows, r.depth);
             assert!(r.view_latency_us > 0.0);
+            assert!(r.view_p50_us > 0.0);
+            assert!(r.view_p999_us >= r.view_p50_us);
             assert!(r.clone_latency_us > 0.0);
             if r.mode == "possible" && r.depth > 0 {
                 assert!(r.worlds_enumerated > 0, "possible must fork worlds");

@@ -104,6 +104,7 @@ pub struct Connection {
     next_request: u32,
     next_id: u32,
     last_server_stats: Option<ServerStats>,
+    last_profile: Option<Box<qdb_core::ProfileReport>>,
     /// Cleared on any transport/protocol failure: the stream may hold
     /// stale replies, so the connection must not be reused (a [`Pool`]
     /// discards unhealthy connections instead of parking them).
@@ -121,6 +122,7 @@ impl Connection {
             next_request: 0,
             next_id: 0,
             last_server_stats: None,
+            last_profile: None,
             healthy: true,
         })
     }
@@ -164,12 +166,20 @@ impl Connection {
     }
 
     /// Fold a reply into the `execute`-shaped result, stashing server
-    /// stats attached to `SHOW METRICS` responses.
+    /// stats (and the latency profile, when attached) from `SHOW METRICS`
+    /// responses.
     fn settle(&mut self, reply: Reply) -> Result<Response> {
         match reply {
             Reply::Engine(r) => Ok(r),
-            Reply::Stats { engine, server } => {
+            Reply::Stats {
+                engine,
+                server,
+                profile,
+            } => {
                 self.last_server_stats = Some(server);
+                if profile.is_some() {
+                    self.last_profile = profile;
+                }
                 Ok(Response::Metrics(engine))
             }
             Reply::Error { code, message } => Err(ClientError::Server { code, message }),
@@ -306,6 +316,12 @@ impl Connection {
     /// seen on this connection, if any.
     pub fn last_server_stats(&self) -> Option<&ServerStats> {
         self.last_server_stats.as_ref()
+    }
+
+    /// Latency histogram summaries attached to the most recent
+    /// `SHOW METRICS` response, if the server sent them.
+    pub fn last_profile(&self) -> Option<&qdb_core::ProfileReport> {
+        self.last_profile.as_deref()
     }
 }
 
@@ -506,6 +522,39 @@ mod tests {
         assert!(matches!(results[4], Ok(Response::Metrics(_))));
         let stats = conn.last_server_stats().expect("stats attached");
         assert!(stats.frames_decoded >= 5);
+        server.shutdown();
+    }
+
+    #[test]
+    fn profile_and_events_travel_the_wire() {
+        let server = spawn();
+        let mut conn = Connection::connect(server.addr()).unwrap();
+        conn.execute("CREATE TABLE W (v INT)").unwrap();
+        conn.execute("INSERT INTO W VALUES (1)").unwrap();
+        conn.execute("SELECT * FROM W(@v)").unwrap();
+        let resp = conn.execute("SHOW PROFILE").unwrap();
+        let profile = resp.profile().expect("SHOW PROFILE answers a profile");
+        assert!(
+            profile
+                .classes
+                .iter()
+                .any(|(c, s)| c == "INSERT" && s.count == 1 && s.p50_ns > 0),
+            "{profile:?}"
+        );
+        assert!(
+            profile
+                .phases
+                .iter()
+                .any(|(p, s)| p == "parse" && s.count > 0),
+            "{profile:?}"
+        );
+        let resp = conn.execute("SHOW EVENTS LIMIT 50").unwrap();
+        let events = resp.events().expect("SHOW EVENTS answers events");
+        assert!(!events.is_empty());
+        // SHOW METRICS carries the same summaries alongside server stats.
+        conn.execute("SHOW METRICS").unwrap();
+        let profile = conn.last_profile().expect("metrics reply carries profile");
+        assert!(profile.classes.iter().any(|(c, _)| c == "SELECT"));
         server.shutdown();
     }
 

@@ -66,6 +66,7 @@ pub struct QuantumDb {
     pub(crate) wal: Wal,
     pub(crate) config: QuantumDbConfig,
     pub(crate) metrics: Metrics,
+    pub(crate) obs: std::sync::Arc<qdb_obs::Obs>,
 }
 
 impl std::fmt::Debug for QuantumDb {
@@ -87,10 +88,14 @@ impl QuantumDb {
     }
 
     /// New engine over a caller-provided WAL (e.g. file-backed).
-    pub fn with_wal(config: QuantumDbConfig, wal: Wal) -> Self {
+    pub fn with_wal(config: QuantumDbConfig, mut wal: Wal) -> Self {
+        let obs = std::sync::Arc::new(qdb_obs::Obs::new());
+        obs.set_slow_threshold_us(config.slow_op_threshold_us);
+        wal.set_obs(Some(obs.clone()));
         let mut solver = Solver::new(config.solver_order);
         solver.limits = config.search_limits;
         solver.seed = config.seed;
+        solver.set_obs(Some(obs.clone()));
         QuantumDb {
             db: Database::new(),
             partitions: std::collections::BTreeMap::new(),
@@ -101,6 +106,7 @@ impl QuantumDb {
             wal,
             config,
             metrics: Metrics::default(),
+            obs,
         }
     }
 
@@ -300,7 +306,8 @@ impl QuantumDb {
             &[]
         };
 
-        let plan = match plan_admission(
+        let t_plan = std::time::Instant::now();
+        let decision = plan_admission(
             &mut self.solver,
             &self.db,
             &self.config,
@@ -308,7 +315,9 @@ impl QuantumDb {
             extras,
             cached_overlay,
             &txn,
-        )? {
+        )?;
+        self.obs.phase(qdb_obs::Phase::Plan, t_plan.elapsed());
+        let plan = match decision {
             AdmitDecision::Admitted(plan) => plan,
             AdmitDecision::Refused(overlay) => {
                 // Refusal leaves the partitions untouched (no merge in
@@ -329,6 +338,7 @@ impl QuantumDb {
         }
 
         // Install: destructively merge target partitions, append newcomer.
+        let t_apply = std::time::Instant::now();
         if targets.len() > 1 {
             self.metrics.partition_merges += 1;
             if self.config.record_events {
@@ -360,6 +370,7 @@ impl QuantumDb {
         let pid = self.next_partition_id;
         self.next_partition_id += 1;
         self.partitions.insert(pid, host);
+        self.obs.phase(qdb_obs::Phase::Apply, t_apply.elapsed());
         Ok(Some(pid))
     }
 
@@ -461,8 +472,10 @@ impl QuantumDb {
             .collect();
         pending.sort_by_key(|p| p.id);
         let txns: Vec<&ResourceTransaction> = pending.iter().map(|p| &p.txn).collect();
+        let t_enum = std::time::Instant::now();
         let worlds =
             crate::worlds::enumerate_worlds_seeded(&self.db, &txns, world_bound, self.config.seed)?;
+        self.obs.phase(qdb_obs::Phase::WorldEnum, t_enum.elapsed());
         self.metrics.worlds_enumerated += worlds.enumerated;
         self.metrics.world_dedup_hits += worlds.dedup_hits;
         let mut distinct: BTreeSet<Vec<Valuation>> = BTreeSet::new();
@@ -629,6 +642,19 @@ impl QuantumDb {
         &self.metrics
     }
 
+    /// Observability handle: latency histograms, the flight recorder and
+    /// the slow-op log. The WAL and the solver share this handle, so every
+    /// layer records into the same sinks.
+    pub fn obs(&self) -> &std::sync::Arc<qdb_obs::Obs> {
+        &self.obs
+    }
+
+    /// Latency profile snapshot — per statement class and per engine phase
+    /// (the `SHOW PROFILE` payload).
+    pub fn profile(&self) -> qdb_obs::ProfileReport {
+        self.obs.profile()
+    }
+
     /// Engine metrics with the solver hot-path counters folded in (the
     /// live [`SolverStats`] mirror into the `solver_*` fields; `SHOW
     /// METRICS` reports this view), plus the live database clone count
@@ -659,6 +685,9 @@ impl QuantumDb {
         self.metrics.committed = self.pending_count() as u64;
         self.metrics.max_pending = self.metrics.committed;
         self.solver.reset_stats();
+        // Histograms open the same fresh epoch as the counters, keeping
+        // "per-class histogram count == statement counter" true per epoch.
+        self.obs.reset();
     }
 
     /// Solver statistics.

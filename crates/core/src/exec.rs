@@ -71,9 +71,18 @@ pub enum Response {
     Metrics(Box<Metrics>),
     /// Ids of pending transactions (`SHOW PENDING`).
     Pending(Vec<TxnId>),
+    /// Latency histograms per statement class and engine phase
+    /// (`SHOW PROFILE`).
+    Profile(Box<qdb_obs::ProfileReport>),
+    /// Recent flight-recorder span events, oldest first (`SHOW EVENTS`).
+    Events(Vec<qdb_obs::SpanEvent>),
     /// Statement acknowledged with nothing to report (DDL, `CHECKPOINT`).
     Ack,
 }
+
+/// How many flight-recorder events `SHOW EVENTS` returns when the
+/// statement carries no `LIMIT`.
+pub const DEFAULT_EVENT_LIMIT: usize = 100;
 
 impl Response {
     /// Rows, when this is a [`Response::Rows`].
@@ -123,6 +132,22 @@ impl Response {
             _ => None,
         }
     }
+
+    /// Latency profile, when this is a [`Response::Profile`].
+    pub fn profile(&self) -> Option<&qdb_obs::ProfileReport> {
+        match self {
+            Response::Profile(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Flight-recorder events, when this is a [`Response::Events`].
+    pub fn events(&self) -> Option<&[qdb_obs::SpanEvent]> {
+        match self {
+            Response::Events(e) => Some(e),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for Response {
@@ -137,6 +162,8 @@ impl std::fmt::Display for Response {
             Response::Grounded(n) => write!(f, "grounded {n} transaction(s)"),
             Response::Metrics(m) => write!(f, "{m}"),
             Response::Pending(ids) => write!(f, "{} pending transaction(s)", ids.len()),
+            Response::Profile(p) => write!(f, "{p}"),
+            Response::Events(events) => write!(f, "{} event(s)", events.len()),
             Response::Ack => write!(f, "ok"),
         }
     }
@@ -154,6 +181,17 @@ fn project(rows: Vec<Valuation>, projection: &Option<Vec<Var>>) -> Vec<Valuation
                     .collect()
             })
             .collect(),
+    }
+}
+
+/// Map a statement's result onto a flight-recorder outcome and the txn id
+/// to tag the op's span events with (admissions only).
+fn op_outcome(result: &Result<Response>) -> (qdb_obs::Outcome, Option<u64>) {
+    match result {
+        Ok(Response::Committed(id)) => (qdb_obs::Outcome::Ok, Some(*id)),
+        Ok(Response::Aborted) | Ok(Response::Written(false)) => (qdb_obs::Outcome::Aborted, None),
+        Ok(_) => (qdb_obs::Outcome::Ok, None),
+        Err(_) => (qdb_obs::Outcome::Error, None),
     }
 }
 
@@ -178,7 +216,10 @@ impl QuantumDb {
     /// engine itself takes; prepared statements go through it exactly once.
     pub fn prepare_statement(&mut self, sql: &str) -> Result<ParsedStatement> {
         self.metrics.parses += 1;
-        Ok(qdb_logic::parse_statement(sql)?)
+        let t0 = std::time::Instant::now();
+        let parsed = qdb_logic::parse_statement(sql);
+        self.obs.phase(qdb_obs::Phase::Parse, t0.elapsed());
+        Ok(parsed?)
     }
 
     /// Parse and execute one statement. Statements with `?` placeholders
@@ -190,7 +231,21 @@ impl QuantumDb {
     }
 
     /// Execute an already-parsed statement (no parser involvement).
+    ///
+    /// Every statement is bracketed as one observability *op*: its latency
+    /// lands in the per-class histogram, its root (plus any phase spans it
+    /// produced) in the flight recorder, and — over the configured
+    /// [`crate::QuantumDbConfig::slow_op_threshold_us`] — its span tree in
+    /// the slow-op log.
     pub fn execute_stmt(&mut self, stmt: Statement) -> Result<Response> {
+        let token = self.obs.begin_op(stmt.kind());
+        let result = self.execute_stmt_inner(stmt);
+        let (outcome, txn) = op_outcome(&result);
+        self.obs.finish_op(token, outcome, txn);
+        result
+    }
+
+    fn execute_stmt_inner(&mut self, stmt: Statement) -> Result<Response> {
         match stmt {
             Statement::CreateTable(schema) => {
                 self.create_table(schema)?;
@@ -233,6 +288,10 @@ impl QuantumDb {
             }
             Statement::ShowMetrics => Ok(Response::Metrics(Box::new(self.metrics_snapshot()))),
             Statement::ShowPending => Ok(Response::Pending(self.pending_ids())),
+            Statement::ShowProfile => Ok(Response::Profile(Box::new(self.profile()))),
+            Statement::ShowEvents { limit } => Ok(Response::Events(
+                self.obs().events(limit.unwrap_or(DEFAULT_EVENT_LIMIT)),
+            )),
         }
     }
 
@@ -307,7 +366,10 @@ impl SharedQuantumDb {
     /// [`Metrics::parses`]. Prepared statements go through it exactly once.
     pub fn prepare_statement(&self, sql: &str) -> Result<qdb_logic::ParsedStatement> {
         self.count_parse();
-        Ok(qdb_logic::parse_statement(sql)?)
+        let t0 = std::time::Instant::now();
+        let parsed = qdb_logic::parse_statement(sql);
+        self.obs().phase(qdb_obs::Phase::Parse, t0.elapsed());
+        Ok(parsed?)
     }
 
     /// Parse and execute one statement. Statements with `?` placeholders
@@ -321,7 +383,20 @@ impl SharedQuantumDb {
     /// Execute an already-parsed statement. Each statement class locks
     /// only the state it touches (see [`SharedQuantumDb`]); statements on
     /// disjoint partitions execute concurrently.
+    ///
+    /// Every statement is bracketed as one observability *op*, exactly as
+    /// in [`QuantumDb::execute_stmt`] — both engines record through the
+    /// same [`qdb_obs::Obs`] handle and report the same `SHOW PROFILE`
+    /// shape.
     pub fn execute_stmt(&self, stmt: Statement) -> Result<Response> {
+        let token = self.obs().begin_op(stmt.kind());
+        let result = self.execute_stmt_inner(stmt);
+        let (outcome, txn) = op_outcome(&result);
+        self.obs().finish_op(token, outcome, txn);
+        result
+    }
+
+    fn execute_stmt_inner(&self, stmt: Statement) -> Result<Response> {
         match stmt {
             Statement::CreateTable(schema) => {
                 self.create_table(schema)?;
@@ -383,6 +458,10 @@ impl SharedQuantumDb {
             }
             Statement::ShowMetrics => Ok(Response::Metrics(Box::new(self.metrics()))),
             Statement::ShowPending => Ok(Response::Pending(self.pending_ids())),
+            Statement::ShowProfile => Ok(Response::Profile(Box::new(self.profile()))),
+            Statement::ShowEvents { limit } => Ok(Response::Events(
+                self.obs().events(limit.unwrap_or(DEFAULT_EVENT_LIMIT)),
+            )),
         }
     }
 
@@ -634,6 +713,31 @@ mod tests {
 
     fn parses(s: &Session) -> u64 {
         s.shared().metrics().parses
+    }
+
+    #[test]
+    fn slow_op_threshold_promotes_statements_with_their_span_tree() {
+        let cfg = QuantumDbConfig {
+            slow_op_threshold_us: 500,
+            ..Default::default()
+        };
+        let mut qdb = QuantumDb::new(cfg).unwrap();
+        qdb.execute("CREATE TABLE R (a INT)").unwrap();
+        let shared = qdb.into_shared();
+        assert!(shared.obs().slow_ops().is_empty(), "nothing slow yet");
+        // The test hook stretches the next ops over the 500 µs threshold.
+        shared.obs().set_test_delay_us(1_000);
+        shared
+            .session()
+            .execute("INSERT INTO R VALUES (7)")
+            .unwrap();
+        shared.obs().set_test_delay_us(0);
+        let slow = shared.obs().slow_ops();
+        assert!(!slow.is_empty(), "delayed statement promoted");
+        let op = slow.last().unwrap();
+        assert_eq!(op.class, "INSERT");
+        assert!(op.total_ns >= 1_000_000);
+        assert!(!op.spans.is_empty(), "span tree travels with the slow op");
     }
 
     #[test]

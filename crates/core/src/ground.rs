@@ -567,6 +567,7 @@ impl QuantumDb {
         plan: &GroundPlan,
         reason: GroundReason,
     ) -> Result<()> {
+        let t_apply = std::time::Instant::now();
         for g in &plan.grounded {
             for op in &g.ops {
                 self.db.apply(op)?;
@@ -597,6 +598,7 @@ impl QuantumDb {
         if p.is_empty() {
             self.partitions.remove(&pid);
         }
+        self.obs.phase(qdb_obs::Phase::Apply, t_apply.elapsed());
         Ok(())
     }
 }

@@ -71,6 +71,10 @@ pub use exec::{Bound, Prepared, Response, Session};
 pub use ground::GroundReason;
 pub use metrics::{Event, Metrics};
 pub use partition::{Footprint, Partition};
+pub use qdb_obs::{
+    HistSnapshot, HistSummary, Histogram, Obs, Outcome, Phase, ProfileReport, SlowOp, SpanEvent,
+    SpanNode,
+};
 pub use shard::SharedQuantumDb;
 pub use txn::{PendingTxn, TxnId};
 pub use worlds::{

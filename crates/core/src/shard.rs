@@ -221,6 +221,10 @@ struct Core {
     /// when enabled, every statement serializes through this mutex,
     /// reproducing the pre-sharding engine for A/B benchmarks.
     coarse: Mutex<()>,
+    /// Observability: latency histograms, the flight recorder and the
+    /// slow-op log. Shared with the WAL and every per-operation solver;
+    /// recording is lock-free, so it rides the hot path.
+    obs: Arc<qdb_obs::Obs>,
 }
 
 /// A cloneable, thread-safe, **partition-sharded** handle to a quantum
@@ -294,6 +298,7 @@ impl SharedQuantumDb {
             wal,
             config,
             metrics,
+            obs,
         } = engine;
         let pending: u64 = partitions.values().map(|p| p.len() as u64).sum();
         let mut slots = BTreeMap::new();
@@ -325,6 +330,7 @@ impl SharedQuantumDb {
                 solves_peak: AtomicU64::new(0),
                 promote_ticks: AtomicU64::new(0),
                 coarse: Mutex::new(()),
+                obs,
                 config,
             }),
         }
@@ -344,7 +350,41 @@ impl SharedQuantumDb {
         let mut s = Solver::new(self.core.config.solver_order);
         s.limits = self.core.config.search_limits;
         s.seed = self.core.config.seed;
+        s.set_obs(Some(Arc::clone(&self.core.obs)));
         s
+    }
+
+    /// Take the base read lock, recording the wait as
+    /// [`qdb_obs::Phase::BaseLockWait`].
+    fn base_read(&self) -> std::sync::RwLockReadGuard<'_, Base> {
+        let t0 = std::time::Instant::now();
+        let g = self.core.base.read();
+        self.core
+            .obs
+            .phase(qdb_obs::Phase::BaseLockWait, t0.elapsed());
+        g
+    }
+
+    /// Take the base write lock, recording the wait as
+    /// [`qdb_obs::Phase::BaseLockWait`].
+    fn base_write(&self) -> std::sync::RwLockWriteGuard<'_, Base> {
+        let t0 = std::time::Instant::now();
+        let g = self.core.base.write();
+        self.core
+            .obs
+            .phase(qdb_obs::Phase::BaseLockWait, t0.elapsed());
+        g
+    }
+
+    /// Lock a partition slot, recording the wait as
+    /// [`qdb_obs::Phase::PartitionLockWait`].
+    fn lock_slot<'a>(&self, slot: &'a Slot) -> std::sync::MutexGuard<'a, SlotState> {
+        let t0 = std::time::Instant::now();
+        let g = slot.state.lock();
+        self.core
+            .obs
+            .phase(qdb_obs::Phase::PartitionLockWait, t0.elapsed());
+        g
     }
 
     fn absorb(&self, solver: &Solver) {
@@ -424,13 +464,13 @@ impl SharedQuantumDb {
             return;
         }
         let hot = {
-            let base = self.core.base.read();
+            let base = self.base_read();
             crate::engine::collect_hot_columns(&base.db, threshold)
         };
         if hot.is_empty() {
             return;
         }
-        let mut base = self.core.base.write();
+        let mut base = self.base_write();
         let mut wal = self.core.wal.lock();
         let mut created = 0u64;
         for (relation, column) in hot {
@@ -463,7 +503,7 @@ impl SharedQuantumDb {
         self.core.metrics.begin().add(|c| &c.submitted, 1);
         txn.validate()?;
         {
-            let base = self.core.base.read();
+            let base = self.base_read();
             validate_schema_on(&base.db, txn)?;
         }
         let freshened = {
@@ -509,12 +549,13 @@ impl SharedQuantumDb {
                 None // merge() already invalidated it
             };
             let plan = {
-                let base = self.core.base.read();
+                let base = self.base_read();
                 let _gauge = self.enter_solve();
                 let merged: Vec<(&PendingTxn, &Valuation)> =
                     host.txns.iter().zip(host.cache.valuations.iter()).collect();
                 let extras: &[CachedSolution] = if merged_from == 1 { &host.extras } else { &[] };
-                plan_admission(
+                let t_plan = std::time::Instant::now();
+                let decision = plan_admission(
                     solver,
                     &base.db,
                     &self.core.config,
@@ -522,7 +563,9 @@ impl SharedQuantumDb {
                     extras,
                     cached_overlay,
                     txn,
-                )?
+                )?;
+                self.core.obs.phase(qdb_obs::Phase::Plan, t_plan.elapsed());
+                decision
             };
             let plan = match plan {
                 AdmitDecision::Admitted(plan) => plan,
@@ -684,7 +727,7 @@ impl SharedQuantumDb {
     /// Take a reserved slot's contents (waits for any in-flight operation
     /// on it to finish) and mark it dead for stale-`Arc` holders.
     fn drain(&self, slot: &Arc<Slot>) -> Partition {
-        let mut st = slot.state.lock();
+        let mut st = self.lock_slot(slot);
         st.dead = true;
         std::mem::take(&mut st.part)
     }
@@ -755,7 +798,7 @@ impl SharedQuantumDb {
         solver: &mut Solver,
     ) -> Result<bool> {
         let plan = {
-            let base = self.core.base.read();
+            let base = self.base_read();
             let _gauge = self.enter_solve();
             plan_group_front(solver, &base.db, &[], &self.core.config, &st.part, ids)?
         };
@@ -776,8 +819,9 @@ impl SharedQuantumDb {
         reason: GroundReason,
     ) -> Result<()> {
         {
-            let mut base = self.core.base.write();
+            let mut base = self.base_write();
             let mut wal = self.core.wal.lock();
+            let t_apply = std::time::Instant::now();
             for g in &plan.grounded {
                 for op in &g.ops {
                     base.db.apply(op)?;
@@ -789,6 +833,9 @@ impl SharedQuantumDb {
                     ops: g.ops.clone(),
                 })?;
             }
+            self.core
+                .obs
+                .phase(qdb_obs::Phase::Apply, t_apply.elapsed());
         }
         {
             let t = self.core.metrics.begin();
@@ -840,7 +887,7 @@ impl SharedQuantumDb {
                     .collect()
             };
             for (pid, slot) in snapshot {
-                let mut st = slot.state.lock();
+                let mut st = self.lock_slot(&slot);
                 if st.dead {
                     // Contents moved — possibly into a slot we already
                     // passed over. Start the scan again.
@@ -900,7 +947,7 @@ impl SharedQuantumDb {
             return Ok(0);
         }
 
-        let base = self.core.base.read();
+        let base = self.base_read();
         let config = &self.core.config;
         // Intra-statement plan parallelism; forced serial under the
         // coarse-lock ablation so it faithfully reproduces the
@@ -928,6 +975,7 @@ impl SharedQuantumDb {
                         let mut solver = Solver::new(config.solver_order);
                         solver.limits = config.search_limits;
                         solver.seed = config.seed;
+                        solver.set_obs(Some(Arc::clone(&self.core.obs)));
                         loop {
                             let i = next.fetch_add(1, SeqCst) as usize;
                             let Some(part) = parts.get(i) else { break };
@@ -970,6 +1018,7 @@ impl SharedQuantumDb {
         }
         drop(base);
 
+        let t_apply = std::time::Instant::now();
         // Apply phase (serial, under one brief base write acquisition).
         // Releasing the read first is sound: any base mutation that could
         // invalidate the plans must lock an overlapping slot, and every
@@ -979,7 +1028,7 @@ impl SharedQuantumDb {
         // durable, so an apply error part-way leaves the accounting exact
         // for everything that did land; untouched partitions go back into
         // the registry pending.
-        let mut base = self.core.base.write();
+        let mut base = self.base_write();
         let mut collapsed = 0usize;
         let mut apply_err: Option<EngineError> = None;
         let mut failed_at: usize = plans.len();
@@ -1047,6 +1096,9 @@ impl SharedQuantumDb {
             return Err(e);
         }
         drop(base);
+        self.core
+            .obs
+            .phase(qdb_obs::Phase::Apply, t_apply.elapsed());
         self.publish(host_pid, &mut host);
         // A full collapse is a natural group-commit boundary: drain the
         // accumulated Ground frames in one buffered write + flush.
@@ -1114,7 +1166,7 @@ impl SharedQuantumDb {
                     .map(|(&pid, e)| (pid, Arc::clone(&e.slot)))
             };
             let Some((pid, slot)) = cand else { break };
-            let mut st = slot.state.lock();
+            let mut st = self.lock_slot(&slot);
             if st.dead {
                 continue;
             }
@@ -1144,7 +1196,7 @@ impl SharedQuantumDb {
             self.ground_in_slot(&mut st, &ids, GroundReason::Read, solver)?;
             self.publish(pid, &mut st);
         }
-        let base = self.core.base.read();
+        let base = self.base_read();
         eval_on(&base.db, atoms, limit)
     }
 
@@ -1185,12 +1237,16 @@ impl SharedQuantumDb {
             let mut pending: Vec<&PendingTxn> = parts.iter().flat_map(|p| p.txns.iter()).collect();
             pending.sort_by_key(|p| p.id);
             let txns: Vec<&ResourceTransaction> = pending.iter().map(|p| &p.txn).collect();
+            let t_enum = std::time::Instant::now();
             let worlds = crate::worlds::enumerate_worlds_seeded(
                 db,
                 &txns,
                 world_bound,
                 self.core.config.seed,
             )?;
+            self.core
+                .obs
+                .phase(qdb_obs::Phase::WorldEnum, t_enum.elapsed());
             let mut distinct: BTreeSet<Vec<Valuation>> = BTreeSet::new();
             for w in &worlds.worlds {
                 distinct.insert(eval_on(&w.view(db)?, atoms, None)?);
@@ -1228,14 +1284,14 @@ impl SharedQuantumDb {
             };
             let mut guards = Vec::with_capacity(cands.len());
             for (_, slot) in &cands {
-                let st = slot.state.lock();
+                let st = self.lock_slot(slot);
                 if st.dead {
                     continue 'retry; // drained mid-scan; rescan
                 }
                 guards.push(st);
             }
             let parts: Vec<Partition> = guards.iter().map(|g| g.part.clone()).collect();
-            let base = self.core.base.read();
+            let base = self.base_read();
             drop(guards);
             return f(&base.db, parts);
         }
@@ -1277,7 +1333,7 @@ impl SharedQuantumDb {
             };
             let mut guards = Vec::with_capacity(cands.len());
             for (_, slot) in &cands {
-                let st = slot.state.lock();
+                let st = self.lock_slot(slot);
                 if st.dead {
                     continue 'retry;
                 }
@@ -1304,7 +1360,7 @@ impl SharedQuantumDb {
             if affected.is_empty() {
                 // No pending state to protect: apply under a brief
                 // exclusive base acquisition.
-                let mut base = self.core.base.write();
+                let mut base = self.base_write();
                 let changed = base.db.apply(&op)?;
                 if changed {
                     self.core.wal.lock().append(&LogRecord::Write(op))?;
@@ -1324,7 +1380,7 @@ impl SharedQuantumDb {
             // plan-then-apply is sound").
             let mut new_caches: Vec<(usize, Option<CachedSolution>)> = Vec::new();
             {
-                let base = self.core.base.read();
+                let base = self.base_read();
                 // A no-op against the current base (insert of a present
                 // row, delete of an absent one) changes nothing and cannot
                 // invalidate any pending state.
@@ -1372,7 +1428,7 @@ impl SharedQuantumDb {
             }
 
             // Apply + log under a brief exclusive acquisition.
-            let mut base = self.core.base.write();
+            let mut base = self.base_write();
             let changed = base.db.apply(&op)?;
             for (i, cache) in new_caches {
                 // The base changed under this partition: alternatives are
@@ -1392,7 +1448,7 @@ impl SharedQuantumDb {
     /// Create a table (logged).
     pub fn create_table(&self, schema: Schema) -> Result<()> {
         let _c = self.coarse();
-        let mut base = self.core.base.write();
+        let mut base = self.base_write();
         base.db.create_table(schema.clone())?;
         self.core
             .wal
@@ -1404,7 +1460,7 @@ impl SharedQuantumDb {
     /// Create a secondary index (logged).
     pub fn create_index(&self, relation: &str, column: usize) -> Result<()> {
         let _c = self.coarse();
-        let mut base = self.core.base.write();
+        let mut base = self.base_write();
         base.db.table_mut(relation)?.create_index(column)?;
         self.core.wal.lock().append(&LogRecord::CreateIndex {
             relation: relation.to_string(),
@@ -1421,7 +1477,7 @@ impl SharedQuantumDb {
         let mut applied = 0;
         if self.core.metrics.pending() == 0 {
             let _c = self.coarse();
-            let mut base = self.core.base.write();
+            let mut base = self.base_write();
             let mut wal = self.core.wal.lock();
             for t in tuples {
                 if base.db.insert(relation, t.clone())? {
@@ -1445,7 +1501,7 @@ impl SharedQuantumDb {
     /// brief exclusive base acquisition.
     pub fn checkpoint(&self) -> Result<()> {
         let _c = self.coarse();
-        let _base = self.core.base.write();
+        let _base = self.base_write();
         let mut wal = self.core.wal.lock();
         wal.append(&LogRecord::Checkpoint)?;
         wal.sync()?;
@@ -1456,7 +1512,7 @@ impl SharedQuantumDb {
 
     /// Run `f` against the extensional database under a shared read lock.
     pub fn with_database<R>(&self, f: impl FnOnce(&Database) -> R) -> R {
-        let base = self.core.base.read();
+        let base = self.base_read();
         f(&base.db)
     }
 
@@ -1467,7 +1523,7 @@ impl SharedQuantumDb {
     /// fences in-flight writers so the image is a consistent point in the
     /// log.
     pub fn wal_image(&self) -> Vec<u8> {
-        let _base = self.core.base.write();
+        let _base = self.base_write();
         self.core
             .wal
             .lock()
@@ -1505,7 +1561,7 @@ impl SharedQuantumDb {
             };
             let mut ids: BTreeSet<TxnId> = BTreeSet::new();
             for slot in snapshot {
-                let st = slot.state.lock();
+                let st = self.lock_slot(&slot);
                 if st.dead {
                     continue 'retry;
                 }
@@ -1546,6 +1602,23 @@ impl SharedQuantumDb {
     pub fn reset_metrics(&self) {
         self.core.metrics.reset();
         *self.core.solver_stats.lock() = SolverStats::default();
+        // Histograms open the same fresh epoch as the counters, keeping
+        // "per-class histogram count == statement counter" true per epoch.
+        self.core.obs.reset();
+    }
+
+    /// Observability handle: latency histograms, the flight recorder and
+    /// the slow-op log. The WAL and every per-operation solver share this
+    /// handle, so all layers record into the same sinks.
+    pub fn obs(&self) -> &Arc<qdb_obs::Obs> {
+        &self.core.obs
+    }
+
+    /// Latency profile snapshot — per statement class and per engine phase
+    /// (the `SHOW PROFILE` payload). Lock-free: safe to call from an
+    /// observer thread while statements execute.
+    pub fn profile(&self) -> qdb_obs::ProfileReport {
+        self.core.obs.profile()
     }
 
     /// Cumulative solver statistics across all operations.

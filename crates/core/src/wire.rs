@@ -94,6 +94,10 @@ pub mod resp {
     pub const PENDING: u8 = 0x17;
     /// `Response::Ack`.
     pub const ACK: u8 = 0x18;
+    /// `Response::Profile` (`SHOW PROFILE`).
+    pub const PROFILE: u8 = 0x19;
+    /// `Response::Events` (`SHOW EVENTS`).
+    pub const EVENTS: u8 = 0x1A;
     /// Acknowledges a PREPARE.
     pub const PREPARED: u8 = 0x20;
     /// Acknowledges a BIND.
@@ -345,6 +349,11 @@ pub enum Reply {
         engine: Box<Metrics>,
         /// Server-side counters.
         server: ServerStats,
+        /// Latency histogram summaries, when the server attaches them.
+        /// Encoded *after* the server stats, so old decoders that stop at
+        /// the stats and new decoders reading an old frame (nothing left
+        /// in the buffer → `None`) both keep working.
+        profile: Option<Box<qdb_obs::ProfileReport>>,
     },
     /// PREPARE succeeded.
     Prepared {
@@ -380,9 +389,16 @@ pub fn encode_reply(request_id: u32, reply: &Reply) -> Vec<u8> {
             resp::METRICS
         }
         Reply::Engine(r) => put_response(&mut body, r),
-        Reply::Stats { engine, server } => {
+        Reply::Stats {
+            engine,
+            server,
+            profile,
+        } => {
             put_metrics(&mut body, engine);
             put_server_stats(&mut body, server);
+            if let Some(p) = profile {
+                put_profile(&mut body, p);
+            }
             resp::METRICS
         }
         Reply::Prepared { stmt, params } => {
@@ -437,6 +453,14 @@ fn put_response(body: &mut BytesMut, r: &Response) -> u8 {
             resp::PENDING
         }
         Response::Ack => resp::ACK,
+        Response::Profile(report) => {
+            put_profile(body, report);
+            resp::PROFILE
+        }
+        Response::Events(events) => {
+            put_events(body, events);
+            resp::EVENTS
+        }
         Response::Metrics(_) => unreachable!("handled by encode_reply"),
     }
 }
@@ -486,6 +510,7 @@ fn reply_exceeds_counts(reply: &Reply) -> Option<&'static str> {
             Some("world count")
         }
         Reply::Engine(Response::Pending(ids)) if ids.len() > MAX_COUNT => Some("pending count"),
+        Reply::Engine(Response::Events(events)) if events.len() > MAX_COUNT => Some("event count"),
         _ => None,
     }
 }
@@ -519,7 +544,18 @@ pub fn decode_reply(frame: &Frame) -> Result<Reply> {
         resp::METRICS => {
             let engine = Box::new(get_metrics(buf)?);
             let server = get_server_stats(buf)?;
-            Reply::Stats { engine, server }
+            // The profile section is optional: a frame from a server that
+            // does not attach one simply ends here.
+            let profile = if buf.remaining() > 0 {
+                Some(Box::new(get_profile(buf)?))
+            } else {
+                None
+            };
+            Reply::Stats {
+                engine,
+                server,
+                profile,
+            }
         }
         resp::PENDING => {
             let n = get_count(buf, "pending count")?;
@@ -531,6 +567,8 @@ pub fn decode_reply(frame: &Frame) -> Result<Reply> {
             Reply::Engine(Response::Pending(ids))
         }
         resp::ACK => Reply::Engine(Response::Ack),
+        resp::PROFILE => Reply::Engine(Response::Profile(Box::new(get_profile(buf)?))),
+        resp::EVENTS => Reply::Engine(Response::Events(get_events(buf)?)),
         resp::PREPARED => {
             need(buf, 8, "prepared ids")?;
             Reply::Prepared {
@@ -669,6 +707,88 @@ fn get_metrics(buf: &mut impl Buf) -> Result<Metrics> {
         **field = buf.get_u64_le();
     }
     Ok(m)
+}
+
+// -- Profiles and events -----------------------------------------------------
+
+fn put_summary(body: &mut BytesMut, s: &qdb_obs::HistSummary) {
+    body.put_u64_le(s.count);
+    body.put_u64_le(s.p50_ns);
+    body.put_u64_le(s.p90_ns);
+    body.put_u64_le(s.p99_ns);
+    body.put_u64_le(s.p999_ns);
+    body.put_u64_le(s.max_ns);
+}
+
+fn get_summary(buf: &mut impl Buf) -> Result<qdb_obs::HistSummary> {
+    need(buf, 48, "histogram summary")?;
+    Ok(qdb_obs::HistSummary {
+        count: buf.get_u64_le(),
+        p50_ns: buf.get_u64_le(),
+        p90_ns: buf.get_u64_le(),
+        p99_ns: buf.get_u64_le(),
+        p999_ns: buf.get_u64_le(),
+        max_ns: buf.get_u64_le(),
+    })
+}
+
+fn put_summaries(body: &mut BytesMut, entries: &[(String, qdb_obs::HistSummary)]) {
+    body.put_u32_le(entries.len() as u32);
+    for (name, summary) in entries {
+        scodec::put_string(body, name);
+        put_summary(body, summary);
+    }
+}
+
+fn get_summaries(buf: &mut impl Buf, what: &str) -> Result<Vec<(String, qdb_obs::HistSummary)>> {
+    let n = get_count(buf, what)?;
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = scodec::get_string(buf)?;
+        entries.push((name, get_summary(buf)?));
+    }
+    Ok(entries)
+}
+
+fn put_profile(body: &mut BytesMut, report: &qdb_obs::ProfileReport) {
+    put_summaries(body, &report.classes);
+    put_summaries(body, &report.phases);
+}
+
+fn get_profile(buf: &mut impl Buf) -> Result<qdb_obs::ProfileReport> {
+    Ok(qdb_obs::ProfileReport {
+        classes: get_summaries(buf, "profile class count")?,
+        phases: get_summaries(buf, "profile phase count")?,
+    })
+}
+
+fn put_events(body: &mut BytesMut, events: &[qdb_obs::SpanEvent]) {
+    body.put_u32_le(events.len() as u32);
+    for e in events {
+        body.put_u64_le(e.ts_ns);
+        body.put_u64_le(e.txn_id);
+        body.put_u64_le(e.partition_id);
+        body.put_u8(e.kind);
+        body.put_u8(e.outcome as u8);
+        body.put_u64_le(e.dur_ns);
+    }
+}
+
+fn get_events(buf: &mut impl Buf) -> Result<Vec<qdb_obs::SpanEvent>> {
+    let n = get_count(buf, "event count")?;
+    let mut events = Vec::with_capacity(n);
+    for _ in 0..n {
+        need(buf, 34, "span event")?;
+        events.push(qdb_obs::SpanEvent {
+            ts_ns: buf.get_u64_le(),
+            txn_id: buf.get_u64_le(),
+            partition_id: buf.get_u64_le(),
+            kind: buf.get_u8(),
+            outcome: qdb_obs::Outcome::from_u8(buf.get_u8()),
+            dur_ns: buf.get_u64_le(),
+        });
+    }
+    Ok(events)
 }
 
 fn put_server_stats(body: &mut BytesMut, s: &ServerStats) {
@@ -818,6 +938,45 @@ mod tests {
         v
     }
 
+    fn sample_profile() -> qdb_obs::ProfileReport {
+        let summary = |count: u64| qdb_obs::HistSummary {
+            count,
+            p50_ns: 1_000,
+            p90_ns: 8_000,
+            p99_ns: 64_000,
+            p999_ns: 512_000,
+            max_ns: 700_001,
+        };
+        qdb_obs::ProfileReport {
+            classes: vec![
+                ("INSERT".into(), summary(40)),
+                ("SELECT".into(), summary(7)),
+            ],
+            phases: vec![("plan".into(), summary(40)), ("solve".into(), summary(39))],
+        }
+    }
+
+    fn sample_events() -> Vec<qdb_obs::SpanEvent> {
+        vec![
+            qdb_obs::SpanEvent {
+                ts_ns: 123,
+                txn_id: 9,
+                partition_id: 2,
+                kind: qdb_obs::Phase::Solve as u8,
+                outcome: qdb_obs::Outcome::Ok,
+                dur_ns: 4_500,
+            },
+            qdb_obs::SpanEvent {
+                ts_ns: 456,
+                txn_id: qdb_obs::SpanEvent::NONE,
+                partition_id: qdb_obs::SpanEvent::NONE,
+                kind: qdb_obs::stmt_code("SELECT"),
+                outcome: qdb_obs::Outcome::Error,
+                dur_ns: 77,
+            },
+        ]
+    }
+
     #[test]
     fn requests_roundtrip() {
         roundtrip_request(&Request::Execute {
@@ -852,6 +1011,12 @@ mod tests {
         roundtrip_reply(&Reply::Engine(Response::Grounded(17)));
         roundtrip_reply(&Reply::Engine(Response::Pending(vec![1, 2, 30])));
         roundtrip_reply(&Reply::Engine(Response::Ack));
+        roundtrip_reply(&Reply::Engine(Response::Profile(
+            Box::new(sample_profile()),
+        )));
+        roundtrip_reply(&Reply::Engine(Response::Profile(Box::default())));
+        roundtrip_reply(&Reply::Engine(Response::Events(sample_events())));
+        roundtrip_reply(&Reply::Engine(Response::Events(vec![])));
         let engine = Metrics {
             submitted: 12,
             parses: 4,
@@ -868,15 +1033,22 @@ mod tests {
             indexes_auto_created: 1,
             ..Metrics::default()
         };
+        let server = ServerStats {
+            connections: 3,
+            frames_decoded: 120,
+            bytes_in: 4096,
+            bytes_out: 8192,
+            statement_classes: vec![("INSERT".into(), 10), ("SELECT".into(), 7)],
+        };
+        roundtrip_reply(&Reply::Stats {
+            engine: Box::new(engine.clone()),
+            server: server.clone(),
+            profile: None,
+        });
         roundtrip_reply(&Reply::Stats {
             engine: Box::new(engine),
-            server: ServerStats {
-                connections: 3,
-                frames_decoded: 120,
-                bytes_in: 4096,
-                bytes_out: 8192,
-                statement_classes: vec![("INSERT".into(), 10), ("SELECT".into(), 7)],
-            },
+            server,
+            profile: Some(Box::new(sample_profile())),
         });
         roundtrip_reply(&Reply::Prepared { stmt: 2, params: 6 });
         roundtrip_reply(&Reply::Bound { bound: 4 });
@@ -931,16 +1103,76 @@ mod tests {
 
     #[test]
     fn truncation_yields_errors_not_panics() {
-        let bytes = encode_reply(1, &Reply::Engine(Response::Rows(vec![sample_valuation()])));
-        // Cut the *body* at every length while keeping the header sane.
-        let frame = parse_frame(&bytes).unwrap();
-        for cut in 0..frame.body.len() {
+        let replies = [
+            Reply::Engine(Response::Rows(vec![sample_valuation()])),
+            Reply::Engine(Response::Profile(Box::new(sample_profile()))),
+            Reply::Engine(Response::Events(sample_events())),
+        ];
+        for reply in &replies {
+            let bytes = encode_reply(1, reply);
+            // Cut the *body* at every length while keeping the header sane.
+            let frame = parse_frame(&bytes).unwrap();
+            for cut in 0..frame.body.len() {
+                let hurt = Frame {
+                    body: frame.body[..cut].to_vec(),
+                    ..frame.clone()
+                };
+                assert!(decode_reply(&hurt).is_err(), "cut at {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn stats_profile_section_is_optional_on_the_wire() {
+        // A frame that ends right after the server stats (what an older
+        // server emits) decodes with `profile: None` — and a new frame's
+        // profile section must not be mistaken for trailing garbage.
+        let with = Reply::Stats {
+            engine: Box::default(),
+            server: ServerStats::default(),
+            profile: Some(Box::new(sample_profile())),
+        };
+        let without = Reply::Stats {
+            engine: Box::default(),
+            server: ServerStats::default(),
+            profile: None,
+        };
+        let long = encode_reply(9, &with);
+        let short = encode_reply(9, &without);
+        assert!(long.len() > short.len());
+        let Reply::Stats { profile, .. } = decode_reply(&parse_frame(&short).unwrap()).unwrap()
+        else {
+            panic!("stats frame must decode as Stats");
+        };
+        assert_eq!(profile, None);
+        let Reply::Stats { profile, .. } = decode_reply(&parse_frame(&long).unwrap()).unwrap()
+        else {
+            panic!("stats frame must decode as Stats");
+        };
+        assert_eq!(profile, Some(Box::new(sample_profile())));
+        // A *truncated* profile section still errors rather than decoding.
+        let frame = parse_frame(&long).unwrap();
+        for cut in (short.len() - 9 + 1)..frame.body.len() {
             let hurt = Frame {
                 body: frame.body[..cut].to_vec(),
                 ..frame.clone()
             };
             assert!(decode_reply(&hurt).is_err(), "cut at {cut}");
         }
+    }
+
+    #[test]
+    fn oversized_event_reply_degrades_into_a_typed_error() {
+        let e = sample_events().remove(0);
+        let huge = Reply::Engine(Response::Events(vec![e; MAX_COUNT + 1]));
+        let frame = parse_frame(&encode_reply_bounded(6, &huge)).unwrap();
+        assert!(matches!(
+            decode_reply(&frame).unwrap(),
+            Reply::Error {
+                code: code::PROTOCOL,
+                ..
+            }
+        ));
     }
 
     #[test]

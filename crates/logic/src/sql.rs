@@ -37,15 +37,16 @@
 //! * `INSERT INTO R VALUES (…)` / `DELETE FROM R VALUES (…)` are blind
 //!   non-resource writes; `CREATE TABLE` / `CREATE INDEX` are DDL;
 //!   `GROUND <id>` / `GROUND ALL` / `CHECKPOINT` / `SHOW METRICS` /
-//!   `SHOW PENDING` are control statements.
+//!   `SHOW PENDING` / `SHOW PROFILE` / `SHOW EVENTS [LIMIT n]` are
+//!   control statements.
 //! * `?` is a positional parameter placeholder (prepared statements).
 //!
 //! Keywords are case-insensitive; variables are `@name`; literals are
 //! integers, `'strings'` and `true`/`false`. `CREATE`, `TABLE`, `INDEX`,
 //! `ON`, `VALUES` and `LIMIT` are reserved and cannot name relations or
 //! columns; `GROUND`, `SHOW`, `CHECKPOINT`, `PEEK`, `POSSIBLE`, `ALL`,
-//! `METRICS` and `PENDING` are contextual (only special where the grammar
-//! expects them).
+//! `METRICS`, `PENDING`, `PROFILE` and `EVENTS` are contextual (only
+//! special where the grammar expects them).
 
 use std::collections::{BTreeSet, HashMap};
 
@@ -798,9 +799,28 @@ impl SqlParser {
         } else if self.at_ident("PENDING") {
             self.bump();
             Ok(Statement::ShowPending)
+        } else if self.at_ident("PROFILE") {
+            self.bump();
+            Ok(Statement::ShowProfile)
+        } else if self.at_ident("EVENTS") {
+            self.bump();
+            let limit = if *self.peek() == Tok::Kw("LIMIT") {
+                self.bump();
+                match self.bump() {
+                    Tok::Int(n) if n >= 0 => Some(n as usize),
+                    other => {
+                        return Err(self.error(format!(
+                            "LIMIT takes a non-negative integer, found {other:?}"
+                        )))
+                    }
+                }
+            } else {
+                None
+            };
+            Ok(Statement::ShowEvents { limit })
         } else {
             Err(self.error(format!(
-                "SHOW supports METRICS and PENDING, found {:?}",
+                "SHOW supports METRICS, PENDING, PROFILE and EVENTS, found {:?}",
                 self.peek()
             )))
         }
@@ -1026,6 +1046,14 @@ mod tests {
         assert_eq!(stmt("CHECKPOINT"), Statement::Checkpoint);
         assert_eq!(stmt("SHOW METRICS"), Statement::ShowMetrics);
         assert_eq!(stmt("SHOW PENDING;"), Statement::ShowPending);
+        assert_eq!(stmt("SHOW PROFILE"), Statement::ShowProfile);
+        assert_eq!(stmt("show events"), Statement::ShowEvents { limit: None });
+        assert_eq!(
+            stmt("SHOW EVENTS LIMIT 25;"),
+            Statement::ShowEvents { limit: Some(25) }
+        );
+        assert!(parse_statement("SHOW EVENTS LIMIT -1").is_err());
+        assert!(parse_statement("SHOW TABLES").is_err());
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! | Blind write| `INSERT INTO R VALUES (…), (…)`, `DELETE FROM R VALUES (…)`   |
 //! | Read       | `SELECT [PEEK \| POSSIBLE] @v, … \| * FROM R(…), … [WHERE …] [LIMIT n]` |
 //! | Resource   | `SELECT … FROM … [WHERE …] CHOOSE 1 FOLLOWED BY ( … )`        |
-//! | Control    | `GROUND <id>`, `GROUND ALL`, `CHECKPOINT`, `SHOW METRICS`, `SHOW PENDING` |
+//! | Control    | `GROUND <id>`, `GROUND ALL`, `CHECKPOINT`, `SHOW METRICS`, `SHOW PENDING`, `SHOW PROFILE`, `SHOW EVENTS [LIMIT n]` |
 //!
 //! Placeholders (`?`) may appear anywhere a constant may: in `VALUES`
 //! rows, in atom argument positions, on one side of a `WHERE` equality
@@ -145,6 +145,14 @@ pub enum Statement {
     ShowMetrics,
     /// `SHOW PENDING` — ids of pending transactions.
     ShowPending,
+    /// `SHOW PROFILE` — per-class and per-phase latency histograms.
+    ShowProfile,
+    /// `SHOW EVENTS [LIMIT n]` — recent flight-recorder span events.
+    ShowEvents {
+        /// `LIMIT n`: how many recent events to return (engine default
+        /// when absent).
+        limit: Option<usize>,
+    },
 }
 
 impl Statement {
@@ -162,6 +170,8 @@ impl Statement {
             Statement::Checkpoint => "CHECKPOINT",
             Statement::ShowMetrics => "SHOW METRICS",
             Statement::ShowPending => "SHOW PENDING",
+            Statement::ShowProfile => "SHOW PROFILE",
+            Statement::ShowEvents { .. } => "SHOW EVENTS",
         }
     }
 }

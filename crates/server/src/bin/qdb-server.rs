@@ -3,14 +3,17 @@
 //! ```text
 //! qdb-server [--addr HOST:PORT] [--workers N] [--k N]
 //!            [--prepared-cache N] [--no-partitioning]
+//!            [--slow-log MICROS] [--trace-out PATH]
 //! ```
 //!
 //! Defaults: `--addr 127.0.0.1:5433`, `--workers 4`, `--prepared-cache
 //! 128` (per-connection prepared-statement LRU entries; `0` disables
 //! statement caching), engine defaults (k = 61, partitioning and solution
-//! cache on). The process serves until killed; state is in-memory (a
-//! WAL-backed mode rides on the embedding API — see
-//! `Server::spawn_with_db`).
+//! cache on). `--slow-log N` promotes any operation over N microseconds
+//! into the engine's slow-op log; `--trace-out PATH` appends every
+//! finished operation to PATH as JSONL (see `docs/OBSERVABILITY.md`). The
+//! process serves until killed; state is in-memory (a WAL-backed mode
+//! rides on the embedding API — see `Server::spawn_with_db`).
 
 use qdb_core::QuantumDbConfig;
 use qdb_server::{Server, ServerConfig};
@@ -18,7 +21,8 @@ use qdb_server::{Server, ServerConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: qdb-server [--addr HOST:PORT] [--workers N] [--k N] \
-         [--prepared-cache N] [--no-partitioning]"
+         [--prepared-cache N] [--no-partitioning] [--slow-log MICROS] \
+         [--trace-out PATH]"
     );
     std::process::exit(2);
 }
@@ -29,6 +33,7 @@ fn parse_args() -> ServerConfig {
         workers: 4,
         prepared_cache: qdb_core::Session::DEFAULT_STMT_CACHE,
         engine: QuantumDbConfig::default(),
+        trace_out: None,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -52,6 +57,14 @@ fn parse_args() -> ServerConfig {
                 i += 1;
             }
             "--no-partitioning" => cfg.engine.partitioning = false,
+            "--slow-log" => {
+                cfg.engine.slow_op_threshold_us = value(i).parse().unwrap_or_else(|_| usage());
+                i += 1;
+            }
+            "--trace-out" => {
+                cfg.trace_out = Some(value(i));
+                i += 1;
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }

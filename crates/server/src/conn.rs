@@ -154,7 +154,7 @@ impl Conn {
                     };
                 }
                 self.metrics.statement(prepared.kind());
-                self.respond(prepared.run())
+                self.respond(&stmts, prepared.run())
             }
             Request::Prepare { stmt, sql } => match stmts.session.prepare(&sql) {
                 Ok(p) => {
@@ -187,18 +187,20 @@ impl Conn {
                     return unknown_id("bound statement", bound);
                 };
                 self.metrics.statement(b.statement().kind());
-                self.respond(b.run())
+                self.respond(&stmts, b.run())
             }
         }
     }
 
-    /// Map an execution outcome onto the wire, attaching server stats to
-    /// `SHOW METRICS` responses.
-    fn respond(&self, result: qdb_core::Result<Response>) -> Reply {
+    /// Map an execution outcome onto the wire, attaching server stats and
+    /// the engine's latency histogram summaries to `SHOW METRICS`
+    /// responses.
+    fn respond(&self, stmts: &StmtState, result: qdb_core::Result<Response>) -> Reply {
         match result {
             Ok(Response::Metrics(engine)) => Reply::Stats {
                 engine,
                 server: self.metrics.snapshot(),
+                profile: Some(Box::new(stmts.session.shared().profile())),
             },
             Ok(r) => Reply::Engine(r),
             Err(e) => engine_error(e),

@@ -77,6 +77,10 @@ pub struct ServerConfig {
     pub prepared_cache: usize,
     /// Engine configuration for the owned database.
     pub engine: QuantumDbConfig,
+    /// JSONL trace sink path (`qdb-server --trace-out`): every finished
+    /// operation is appended as one JSON line (see
+    /// `docs/OBSERVABILITY.md`). `None` disables the trace.
+    pub trace_out: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -86,6 +90,7 @@ impl Default for ServerConfig {
             workers: 4,
             prepared_cache: qdb_core::Session::DEFAULT_STMT_CACHE,
             engine: QuantumDbConfig::default(),
+            trace_out: None,
         }
     }
 }
@@ -104,6 +109,12 @@ impl Server {
         let db = QuantumDb::new(cfg.engine.clone())
             .map_err(|e| io::Error::other(format!("engine construction: {e}")))?
             .into_shared();
+        if let Some(path) = &cfg.trace_out {
+            let file = std::fs::File::create(path)
+                .map_err(|e| io::Error::other(format!("trace sink {path}: {e}")))?;
+            db.obs()
+                .set_trace(Some(Box::new(std::io::BufWriter::new(file))));
+        }
         Server::spawn_inner(&cfg.addr, cfg.workers, cfg.prepared_cache, db)
     }
 

@@ -2,10 +2,12 @@
 //!
 //! When a checker violation fires, the sweep writes everything needed to
 //! reproduce it to `target/sim/failure-<seed>-<engine>.json`: the seed,
-//! the full [`SimConfig`] scalars, the violation, and the failing slice
-//! of the history. `sim replay` loads the artifact, rebuilds the config,
-//! and re-runs the seed — determinism guarantees the same violation at
-//! the same op index.
+//! the full [`SimConfig`] scalars, the violation, the failing slice of
+//! the history, and the engine's last flight-recorder events (span
+//! timings around the failure — diagnostic context only). `sim replay`
+//! loads the artifact, rebuilds the config, and re-runs the seed —
+//! determinism guarantees the same violation at the same op index; the
+//! loader ignores the event timings (wall-clock, not reproducible).
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -15,11 +17,13 @@ use qdb_workload::FlightsConfig;
 use crate::driver::{run_seed, EngineKind, Mutation, RunResult, SimConfig};
 use crate::json::{flat_bool, flat_str, flat_u64, Json};
 
-/// How many trailing history events an artifact embeds.
+/// How many trailing history events an artifact embeds (also the number
+/// of flight-recorder span events drained from the engine).
 pub const TAIL_EVENTS: usize = 40;
 
 /// Artifact schema tag (bump on incompatible layout changes).
-pub const SCHEMA: &str = "qdb-sim-failure-v1";
+/// v2 added `obs_events` (flight-recorder tail).
+pub const SCHEMA: &str = "qdb-sim-failure-v2";
 
 /// Render a failure artifact document for a run that ended in a
 /// violation.
@@ -33,6 +37,27 @@ pub fn render(result: &RunResult, cfg: &SimConfig) -> String {
         .tail_lines(TAIL_EVENTS)
         .into_iter()
         .map(Json::Str)
+        .collect();
+    let obs: Vec<Json> = result
+        .obs_events
+        .iter()
+        .map(|e| {
+            Json::Obj(vec![
+                ("ts_ns".into(), Json::U64(e.ts_ns)),
+                ("txn".into(), Json::U64(e.txn_id)),
+                ("partition".into(), Json::U64(e.partition_id)),
+                ("kind".into(), Json::str(e.kind_name())),
+                (
+                    "outcome".into(),
+                    Json::str(match e.outcome {
+                        qdb_core::Outcome::Ok => "ok",
+                        qdb_core::Outcome::Aborted => "aborted",
+                        qdb_core::Outcome::Error => "error",
+                    }),
+                ),
+                ("dur_ns".into(), Json::U64(e.dur_ns)),
+            ])
+        })
         .collect();
     Json::Obj(vec![
         ("schema".into(), Json::str(SCHEMA)),
@@ -68,6 +93,7 @@ pub fn render(result: &RunResult, cfg: &SimConfig) -> String {
         ("ops_executed".into(), Json::U64(result.ops)),
         ("crashes".into(), Json::U64(result.crashes)),
         ("history_tail".into(), Json::Arr(tail)),
+        ("obs_events".into(), Json::Arr(obs)),
     ])
     .render()
 }
@@ -141,6 +167,10 @@ mod tests {
         let r = run_seed(21, &cfg);
         let v = r.violation.clone().expect("mutation must fail the run");
         let doc = render(&r, &cfg);
+        // The flight-recorder tail travels with the artifact (diagnostic
+        // only — the loader below never reads it, so replay stays exact).
+        assert!(doc.contains("\"obs_events\""));
+        assert!(!r.obs_events.is_empty(), "a failing run has span events");
         let (seed, cfg2) = load(&doc).expect("artifact parses back");
         assert_eq!(seed, 21);
         assert_eq!(cfg2.mutation, Some(Mutation::OverstateCapacity));

@@ -200,6 +200,10 @@ pub struct RunResult {
     pub digest: u64,
     /// The full recorded history.
     pub history: History,
+    /// The engine's most recent flight-recorder events at run end (the
+    /// failure artifact embeds them as diagnostic context; they never
+    /// feed the determinism digest — span timings are wall-clock).
+    pub obs_events: Vec<qdb_core::SpanEvent>,
 }
 
 // ---------------------------------------------------------------------------
@@ -239,25 +243,66 @@ impl Engine {
         })
     }
 
+    /// Run one driver-level operation inside a flight-recorder span. The
+    /// sim drives the engine API directly (no statement layer), so
+    /// without this the event ring would stay empty; the class names
+    /// match `Statement::kind()` so artifact events read like
+    /// statements. Timings are wall-clock and never feed the
+    /// determinism digest.
+    fn record<R>(
+        &mut self,
+        class: &'static str,
+        run: impl FnOnce(&mut Self) -> qdb_core::Result<R>,
+        outcome: impl FnOnce(&R) -> qdb_core::Outcome,
+    ) -> qdb_core::Result<R> {
+        let obs = self.obs().clone();
+        let token = obs.begin_op(class);
+        let r = run(self);
+        let o = match &r {
+            Ok(v) => outcome(v),
+            Err(_) => qdb_core::Outcome::Error,
+        };
+        obs.finish_op(token, o, None);
+        r
+    }
+
     fn submit(&mut self, txn: &ResourceTransaction) -> qdb_core::Result<SubmitOutcome> {
-        match self {
-            Engine::Single(q) => q.submit(txn),
-            Engine::Sharded(s) => s.submit(txn),
-        }
+        self.record(
+            "SELECT … CHOOSE 1",
+            |e| match e {
+                Engine::Single(q) => q.submit(txn),
+                Engine::Sharded(s) => s.submit(txn),
+            },
+            |o| {
+                if o.is_committed() {
+                    qdb_core::Outcome::Ok
+                } else {
+                    qdb_core::Outcome::Aborted
+                }
+            },
+        )
     }
 
     fn read(&mut self, atoms: &[Atom]) -> qdb_core::Result<Vec<Valuation>> {
-        match self {
-            Engine::Single(q) => q.read(atoms, None),
-            Engine::Sharded(s) => s.read(atoms, None),
-        }
+        self.record(
+            "SELECT",
+            |e| match e {
+                Engine::Single(q) => q.read(atoms, None),
+                Engine::Sharded(s) => s.read(atoms, None),
+            },
+            |_| qdb_core::Outcome::Ok,
+        )
     }
 
     fn read_peek(&mut self, atoms: &[Atom]) -> qdb_core::Result<Vec<Valuation>> {
-        match self {
-            Engine::Single(q) => q.read_peek(atoms, None),
-            Engine::Sharded(s) => s.read_peek(atoms, None),
-        }
+        self.record(
+            "SELECT",
+            |e| match e {
+                Engine::Single(q) => q.read_peek(atoms, None),
+                Engine::Sharded(s) => s.read_peek(atoms, None),
+            },
+            |_| qdb_core::Outcome::Ok,
+        )
     }
 
     fn read_possible(
@@ -265,10 +310,14 @@ impl Engine {
         atoms: &[Atom],
         bound: usize,
     ) -> qdb_core::Result<Vec<Vec<Valuation>>> {
-        match self {
-            Engine::Single(q) => q.read_possible(atoms, bound),
-            Engine::Sharded(s) => s.read_possible(atoms, bound),
-        }
+        self.record(
+            "SELECT",
+            |e| match e {
+                Engine::Single(q) => q.read_possible(atoms, bound),
+                Engine::Sharded(s) => s.read_possible(atoms, bound),
+            },
+            |_| qdb_core::Outcome::Ok,
+        )
     }
 
     fn write(&mut self, op: WriteOp) -> qdb_core::Result<bool> {
@@ -318,6 +367,19 @@ impl Engine {
             Engine::Single(q) => f(q.database()),
             Engine::Sharded(s) => s.with_database(f),
         }
+    }
+
+    /// The engine's observability handle.
+    fn obs(&self) -> &std::sync::Arc<qdb_core::Obs> {
+        match self {
+            Engine::Single(q) => q.obs(),
+            Engine::Sharded(s) => s.obs(),
+        }
+    }
+
+    /// The most recent `limit` flight-recorder events, oldest first.
+    fn events(&self, limit: usize) -> Vec<qdb_core::SpanEvent> {
+        self.obs().events(limit)
     }
 
     /// `(committed, grounded, pending)` — read together so the §2
@@ -1072,6 +1134,7 @@ impl Driver {
             digest ^= u64::from(*b);
             digest = digest.wrapping_mul(0x1000_0000_01b3);
         }
+        let obs_events = self.engine.events(crate::artifact::TAIL_EVENTS);
         RunResult {
             seed: self.seed,
             engine: self.cfg.engine.label(),
@@ -1084,6 +1147,7 @@ impl Driver {
             fingerprint,
             digest,
             history: self.hist,
+            obs_events,
         }
     }
 }
@@ -1159,6 +1223,7 @@ pub fn run_seed(seed: u64, cfg: &SimConfig) -> RunResult {
             fingerprint: String::new(),
             digest: 0,
             history: History::new(cfg.clients),
+            obs_events: Vec::new(),
         },
     }
 }

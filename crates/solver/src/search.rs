@@ -70,6 +70,10 @@ pub struct Solver {
     /// any run exactly.
     pub seed: u64,
     stats: SolverStats,
+    /// Observability handle: when set, `solve_in`, `verify` and
+    /// `enumerate_one` record their wall time as
+    /// [`qdb_obs::Phase::Solve`].
+    obs: Option<std::sync::Arc<qdb_obs::Obs>>,
 }
 
 /// One splitmix64 mixing round — the tie-break hash for seeded atom
@@ -131,6 +135,21 @@ impl Solver {
         self.stats.reset();
     }
 
+    /// Install the observability handle search timings feed into.
+    pub fn set_obs(&mut self, obs: Option<std::sync::Arc<qdb_obs::Obs>>) {
+        self.obs = obs;
+    }
+
+    /// Run `f` and record its wall time as [`qdb_obs::Phase::Solve`].
+    fn timed<R>(&mut self, f: impl FnOnce(&mut Self) -> R) -> R {
+        let t0 = self.obs.is_some().then(std::time::Instant::now);
+        let r = f(self);
+        if let (Some(obs), Some(t0)) = (self.obs.as_ref(), t0) {
+            obs.phase(qdb_obs::Phase::Solve, t0.elapsed());
+        }
+        r
+    }
+
     /// Find a consistent grounding for `specs` executed in order on
     /// `base + pre_ops`. `pre_ops` (the already-fixed updates of a cached
     /// solution) must apply cleanly — a conflict there is an internal
@@ -155,6 +174,15 @@ impl Solver {
     /// an error (e.g. the node limit) its contents are unspecified and
     /// must be discarded.
     pub fn solve_in(
+        &mut self,
+        base: &Database,
+        overlay: &mut Overlay,
+        specs: &[TxnSpec<'_>],
+    ) -> Result<Option<Solution>> {
+        self.timed(|s| s.solve_in_inner(base, overlay, specs))
+    }
+
+    fn solve_in_inner(
         &mut self,
         base: &Database,
         overlay: &mut Overlay,
@@ -190,6 +218,16 @@ impl Solver {
     /// `specs` on `base + pre_ops`. Much cheaper than solving; used to
     /// revalidate cached solutions after reads, writes and reorderings.
     pub fn verify(
+        &mut self,
+        base: &Database,
+        pre_ops: &[WriteOp],
+        specs: &[TxnSpec<'_>],
+        valuations: &[Valuation],
+    ) -> Result<bool> {
+        self.timed(|s| s.verify_inner(base, pre_ops, specs, valuations))
+    }
+
+    fn verify_inner(
         &mut self,
         base: &Database,
         pre_ops: &[WriteOp],
@@ -235,6 +273,16 @@ impl Solver {
     /// `base + pre_ops` (each one's updates must apply cleanly). Used by
     /// grounding heuristics that score alternatives before fixing one.
     pub fn enumerate_one(
+        &mut self,
+        base: &Database,
+        pre_ops: &[WriteOp],
+        spec: &TxnSpec<'_>,
+        max: usize,
+    ) -> Result<Vec<Valuation>> {
+        self.timed(|s| s.enumerate_one_inner(base, pre_ops, spec, max))
+    }
+
+    fn enumerate_one_inner(
         &mut self,
         base: &Database,
         pre_ops: &[WriteOp],

@@ -366,6 +366,10 @@ pub struct Wal {
     pending_records: u64,
     group_limit: usize,
     drains: u64,
+    /// Observability handle: `append` records [`qdb_obs::Phase::WalAppend`]
+    /// and each drain records [`qdb_obs::Phase::WalFlush`]. `None` (the
+    /// default for standalone WALs) costs nothing.
+    obs: Option<std::sync::Arc<qdb_obs::Obs>>,
 }
 
 impl Wal {
@@ -386,12 +390,18 @@ impl Wal {
             pending_records: 0,
             group_limit: Wal::DEFAULT_GROUP_LIMIT,
             drains: 0,
+            obs: None,
         }
     }
 
     /// Set the drain threshold in bytes (`0` = drain on every append).
     pub fn set_group_limit(&mut self, bytes: usize) {
         self.group_limit = bytes;
+    }
+
+    /// Install the observability handle append/flush timings feed into.
+    pub fn set_obs(&mut self, obs: Option<std::sync::Arc<qdb_obs::Obs>>) {
+        self.obs = obs;
     }
 
     /// Append one record (framed + checksummed) to the tail buffer,
@@ -404,6 +414,15 @@ impl Wal {
     /// bytes does not fail the append (the record reached the log); flush
     /// health is surfaced by explicit [`Wal::sync`] calls (checkpoints).
     pub fn append(&mut self, record: &LogRecord) -> Result<()> {
+        let t0 = self.obs.is_some().then(std::time::Instant::now);
+        let result = self.append_inner(record);
+        if let (Some(obs), Some(t0)) = (self.obs.as_ref(), t0) {
+            obs.phase(qdb_obs::Phase::WalAppend, t0.elapsed());
+        }
+        result
+    }
+
+    fn append_inner(&mut self, record: &LogRecord) -> Result<()> {
         let start = self.pending.len();
         let payload = record.encode();
         self.pending.reserve(payload.len() + 8);
@@ -444,6 +463,15 @@ impl Wal {
         if self.pending.is_empty() {
             return Ok(());
         }
+        let t0 = self.obs.is_some().then(std::time::Instant::now);
+        let result = self.drain_inner();
+        if let (Some(obs), Some(t0)) = (self.obs.as_ref(), t0) {
+            obs.phase(qdb_obs::Phase::WalFlush, t0.elapsed());
+        }
+        result
+    }
+
+    fn drain_inner(&mut self) -> Result<()> {
         self.sink.append(&self.pending)?;
         // The sink owns the bytes now: clear *before* syncing, so a flush
         // failure can never cause the same frames to be appended twice on

@@ -12,7 +12,7 @@ use std::time::{Duration, Instant};
 
 use qdb_client::Connection;
 use qdb_core::wire::ServerStats;
-use qdb_core::{QuantumDb, QuantumDbConfig, Response};
+use qdb_core::{Histogram, QuantumDb, QuantumDbConfig, Response};
 use qdb_server::Server;
 use qdb_storage::Value;
 
@@ -166,6 +166,12 @@ pub struct RemoteRunResult {
     pub solve_concurrency_peak: u64,
     /// Server traffic counters.
     pub server: ServerStats,
+    /// Client-observed per-booking round-trip latency distribution
+    /// (p50/p90/p99/p999/max, nanoseconds) across all connections.
+    pub booking_latency: qdb_core::HistSummary,
+    /// Client-observed per-read (PEEK/POSSIBLE) round-trip latency
+    /// distribution across all connections.
+    pub read_latency: qdb_core::HistSummary,
 }
 
 impl RemoteRunResult {
@@ -191,6 +197,10 @@ pub fn run_remote(cfg: &RemoteConfig) -> RemoteRunResult {
     let connections = cfg.connections.max(1);
     let shards: Vec<Vec<Request>> = split_requests(&requests, connections, cfg.contention);
 
+    // Client-observed round-trip latencies; the histograms are atomic, so
+    // every connection thread records into the same pair directly.
+    let book_hist = Histogram::new();
+    let read_hist = Histogram::new();
     let start = Instant::now();
     let (aborted, peeks, possibles) = std::thread::scope(|scope| {
         let handles: Vec<_> = shards
@@ -202,7 +212,8 @@ pub fn run_remote(cfg: &RemoteConfig) -> RemoteRunResult {
                     possible_every: cfg.possible_every,
                     seed: cfg.seed ^ (i as u64).wrapping_mul(0x9E37),
                 };
-                scope.spawn(move || drive_connection(addr, shard, read_cfg))
+                let (book_hist, read_hist) = (&book_hist, &read_hist);
+                scope.spawn(move || drive_connection(addr, shard, read_cfg, book_hist, read_hist))
             })
             .collect();
         handles
@@ -238,6 +249,8 @@ pub fn run_remote(cfg: &RemoteConfig) -> RemoteRunResult {
         parses: engine_metrics.parses,
         solve_concurrency_peak,
         server: server_stats,
+        booking_latency: book_hist.summary(),
+        read_latency: read_hist.summary(),
     }
 }
 
@@ -256,6 +269,8 @@ fn drive_connection(
     addr: std::net::SocketAddr,
     shard: &[Request],
     reads: ReadTraffic,
+    book_hist: &Histogram,
+    read_hist: &Histogram,
 ) -> (u64, u64, u64) {
     use crate::rng::StdRng;
     use crate::runner::{PEEK_SQL, POSSIBLE_SQL};
@@ -270,6 +285,7 @@ fn drive_connection(
     let (mut aborted, mut peeks, mut possibles) = (0u64, 0u64, 0u64);
     for request in shard {
         let flight = Value::from(request.flight);
+        let t0 = Instant::now();
         let response = conn
             .bind_run(
                 &book,
@@ -283,6 +299,7 @@ fn drive_connection(
                 ],
             )
             .expect("booking executes");
+        book_hist.record_duration(t0.elapsed());
         match response {
             Response::Committed(_) => {}
             Response::Aborted => aborted += 1,
@@ -303,6 +320,7 @@ fn drive_connection(
             let sample_possible = possible.is_some()
                 && reads.possible_every > 0
                 && (total_reads + 1).is_multiple_of(reads.possible_every as u64);
+            let t0 = Instant::now();
             if sample_possible {
                 let response = conn
                     .bind_run(possible.as_ref().expect("prepared"), &[user])
@@ -322,6 +340,7 @@ fn drive_connection(
                 );
                 peeks += 1;
             }
+            read_hist.record_duration(t0.elapsed());
         }
     }
     (aborted, peeks, possibles)
@@ -423,6 +442,11 @@ mod tests {
         // Booking-class and SELECT-class traffic both crossed the wire.
         assert_eq!(res.server.class("SELECT … CHOOSE 1"), Some(12));
         assert_eq!(res.server.class("SELECT"), Some(res.peeks + res.possibles));
+        // Client-observed latency distributions cover every operation.
+        assert_eq!(res.booking_latency.count, 12);
+        assert_eq!(res.read_latency.count, res.peeks + res.possibles);
+        assert!(res.booking_latency.p50_ns > 0);
+        assert!(res.read_latency.p999_ns >= res.read_latency.p50_ns);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 
 use std::time::{Duration, Instant};
 
-use qdb_core::{QuantumDb, QuantumDbConfig, Session};
+use qdb_core::{Histogram, QuantumDb, QuantumDbConfig, Session};
 use qdb_storage::Value;
 
 use crate::entangled::{make_pairs, Pair};
@@ -127,6 +127,12 @@ pub struct RunResult {
     /// SQL parser entries over the whole run (prepared statements keep
     /// this at 2 — one per hot statement — regardless of workload size).
     pub parses: u64,
+    /// Per-operation latency distribution of read operations
+    /// (p50/p90/p99/p999/max, nanoseconds).
+    pub read_latency: qdb_core::HistSummary,
+    /// Per-operation latency distribution of updates (bookings plus the
+    /// final ground-all).
+    pub update_latency: qdb_core::HistSummary,
 }
 
 impl RunResult {
@@ -167,6 +173,8 @@ pub fn run_quantum(cfg: &RunConfig) -> RunResult {
     let mut cumulative = Vec::with_capacity(ops.len());
     let mut read_time = Duration::ZERO;
     let mut update_time = Duration::ZERO;
+    let read_hist = Histogram::new();
+    let update_hist = Histogram::new();
     let start = Instant::now();
     for op in &ops {
         let t0 = Instant::now();
@@ -185,7 +193,9 @@ pub fn run_quantum(cfg: &RunConfig) -> RunResult {
                     .expect("booking params bind")
                     .run()
                     .expect("engine healthy");
-                update_time += t0.elapsed();
+                let dt = t0.elapsed();
+                update_hist.record_duration(dt);
+                update_time += dt;
             }
             Op::Read { user } => {
                 let _ = read
@@ -193,7 +203,9 @@ pub fn run_quantum(cfg: &RunConfig) -> RunResult {
                     .expect("read param binds")
                     .run()
                     .expect("engine healthy");
-                read_time += t0.elapsed();
+                let dt = t0.elapsed();
+                read_hist.record_duration(dt);
+                read_time += dt;
             }
             Op::Peek { user } => {
                 let _ = peek
@@ -203,7 +215,9 @@ pub fn run_quantum(cfg: &RunConfig) -> RunResult {
                     .expect("peek param binds")
                     .run()
                     .expect("engine healthy");
-                read_time += t0.elapsed();
+                let dt = t0.elapsed();
+                read_hist.record_duration(dt);
+                read_time += dt;
             }
             Op::Possible { user } => {
                 let _ = possible
@@ -213,7 +227,9 @@ pub fn run_quantum(cfg: &RunConfig) -> RunResult {
                     .expect("possible param binds")
                     .run()
                     .expect("engine healthy");
-                read_time += t0.elapsed();
+                let dt = t0.elapsed();
+                read_hist.record_duration(dt);
+                read_time += dt;
             }
             Op::Scan => {
                 let _ = scan
@@ -221,7 +237,9 @@ pub fn run_quantum(cfg: &RunConfig) -> RunResult {
                     .expect("scan prepared when workload has scans")
                     .run()
                     .expect("engine healthy");
-                read_time += t0.elapsed();
+                let dt = t0.elapsed();
+                read_hist.record_duration(dt);
+                read_time += dt;
             }
         }
         cumulative.push(start.elapsed().as_micros() as u64);
@@ -231,7 +249,9 @@ pub fn run_quantum(cfg: &RunConfig) -> RunResult {
     // this is where coordination happens).
     let t0 = Instant::now();
     shared.ground_all().expect("invariant");
-    update_time += t0.elapsed();
+    let dt = t0.elapsed();
+    update_hist.record_duration(dt);
+    update_time += dt;
     let total = start.elapsed();
 
     let metrics = shared.metrics();
@@ -247,6 +267,8 @@ pub fn run_quantum(cfg: &RunConfig) -> RunResult {
         max_pending: metrics.max_pending,
         aborted: metrics.aborted,
         parses: metrics.parses,
+        read_latency: read_hist.summary(),
+        update_latency: update_hist.summary(),
     }
 }
 
@@ -259,6 +281,8 @@ pub fn run_is(cfg: &RunConfig) -> RunResult {
     let mut cumulative = Vec::with_capacity(ops.len());
     let mut read_time = Duration::ZERO;
     let mut update_time = Duration::ZERO;
+    let read_hist = Histogram::new();
+    let update_hist = Histogram::new();
     let mut failures = 0u64;
     let start = Instant::now();
     for op in &ops {
@@ -269,16 +293,22 @@ pub fn run_is(cfg: &RunConfig) -> RunResult {
                 if out.seat.is_none() {
                     failures += 1;
                 }
-                update_time += t0.elapsed();
+                let dt = t0.elapsed();
+                update_hist.record_duration(dt);
+                update_time += dt;
             }
             Op::Read { user } | Op::Peek { user } | Op::Possible { user } => {
                 // IS assigns eagerly: every read flavor is a plain lookup.
                 let _ = client.read_booking(user);
-                read_time += t0.elapsed();
+                let dt = t0.elapsed();
+                read_hist.record_duration(dt);
+                read_time += dt;
             }
             Op::Scan => {
                 let _ = client.scan_bookings();
-                read_time += t0.elapsed();
+                let dt = t0.elapsed();
+                read_hist.record_duration(dt);
+                read_time += dt;
             }
         }
         cumulative.push(start.elapsed().as_micros() as u64);
@@ -295,6 +325,8 @@ pub fn run_is(cfg: &RunConfig) -> RunResult {
         max_pending: 0, // IS never defers
         aborted: failures,
         parses: 0, // IS bypasses the SQL front end entirely
+        read_latency: read_hist.summary(),
+        update_latency: update_hist.summary(),
     }
 }
 
@@ -439,6 +471,20 @@ mod tests {
         collapsing.possible_percent = 0;
         let c = run_quantum(&collapsing);
         assert!(res.coordination_percent() >= c.coordination_percent());
+    }
+
+    #[test]
+    fn per_op_latency_distributions_are_retained() {
+        let mut cfg = small(ArrivalOrder::Random { seed: 5 }, 61);
+        cfg.n_reads = 10;
+        let q = run_quantum(&cfg);
+        assert_eq!(q.update_latency.count, 13, "12 bookings + final ground");
+        assert_eq!(q.read_latency.count, 10);
+        assert!(q.read_latency.p50_ns > 0);
+        assert!(q.read_latency.p999_ns >= q.read_latency.p50_ns);
+        let is = run_is(&cfg);
+        assert_eq!(is.update_latency.count, 12);
+        assert_eq!(is.read_latency.count, 10);
     }
 
     #[test]

@@ -9,6 +9,13 @@
 //! `SeqCst` epoch read, the cell reads, and an epoch re-check. This test
 //! pins the guarantee by hammering snapshots from observer threads while a
 //! writer thread alternates bursts of submits with `GROUND ALL`.
+//!
+//! The observers also pull `SHOW PROFILE` and `SHOW EVENTS` on every
+//! lap: the observability layer records histograms and ring events on
+//! the same statements the writer is executing, and neither that
+//! recording nor the lock-free profile snapshot may disturb the seqlock
+//! identity — or return an incoherent histogram (percentiles out of
+//! order) mid-write.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -103,6 +110,19 @@ fn show_metrics_mid_ground_all_never_observes_torn_counters() {
                         wm.grounded_total(),
                         wm.committed
                     );
+                    // Histograms are recorded lock-free by the writer's
+                    // statements while we read them; a snapshot must still
+                    // be internally ordered.
+                    let profile = obs.execute("SHOW PROFILE").unwrap();
+                    let p = profile.profile().expect("typed profile");
+                    for (name, s) in p.classes.iter().chain(p.phases.iter()) {
+                        assert!(s.count > 0, "{name}: empty summary reported");
+                        assert!(s.p99_ns >= s.p50_ns, "{name}: p99 < p50");
+                        assert!(s.p999_ns >= s.p99_ns, "{name}: p999 < p99");
+                        assert!(s.max_ns >= s.p999_ns, "{name}: max < p999");
+                    }
+                    let events = obs.execute("SHOW EVENTS LIMIT 16").unwrap();
+                    assert!(events.events().expect("typed events").len() <= 16);
                     samples += 1;
                 }
                 assert!(samples > 0, "observer never sampled");
