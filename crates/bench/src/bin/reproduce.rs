@@ -355,28 +355,59 @@ fn profile_report(scale: Scale, trace_out: Option<&str>) -> Json {
 }
 
 fn sim_report(scale: Scale) -> (Json, bool) {
-    use qdb_sim::{run_sweep, EngineKind, SimConfig};
+    use qdb_sim::{run_seed, run_sweep, EngineKind, Mutation, SimConfig};
     use std::path::Path;
-    let engines = [EngineKind::Single, EngineKind::Sharded];
-    let (seeds, cfg) = match scale {
+    // The wire engine pays a loopback-TCP round trip per statement, so
+    // the PR-path smoke runs it at a reduced seed count; the nightly
+    // full scale runs all three engines over the whole seed range.
+    let (seeds, wire_seeds, cfg) = match scale {
         Scale::Full => {
             let mut cfg = SimConfig::smoke(EngineKind::Single);
             cfg.ops_per_client = 500;
-            (100u64, cfg)
+            (1000u64, 1000u64, cfg)
         }
-        Scale::Smoke => (50u64, SimConfig::smoke(EngineKind::Single)),
+        Scale::Smoke => (50u64, 12u64, SimConfig::smoke(EngineKind::Single)),
     };
     println!("== Simulation: deterministic full-system check (crash injection on) ==");
     println!(
-        "({seeds} seeds x {} engines, {} clients x {} ops each; black-box\n\
-         serializability + PEEK/POSSIBLE explainability + accounting identity)\n",
-        engines.len(),
-        cfg.clients,
-        cfg.ops_per_client
+        "({seeds} seeds x single+sharded, {wire_seeds} seeds x wire, {} clients x {} ops each;\n\
+         black-box serializability + PEEK/POSSIBLE explainability + accounting identity;\n\
+         failing traces delta-debugged before artifacts are written)\n",
+        cfg.clients, cfg.ops_per_client
     );
     let started = std::time::Instant::now();
     let dir = Path::new("target/sim");
-    let outcome = run_sweep(&cfg, 1, seeds, &engines, Some(dir));
+    let mut outcome = run_sweep(
+        &cfg,
+        1,
+        seeds,
+        &[EngineKind::Single, EngineKind::Sharded],
+        Some(dir),
+        true,
+    );
+    let wire = run_sweep(&cfg, 1, wire_seeds, &[EngineKind::Wire], Some(dir), true);
+    outcome.runs += wire.runs;
+    outcome.total_ops += wire.total_ops;
+    outcome.commits += wire.commits;
+    outcome.aborts += wire.aborts;
+    outcome.crashes += wire.crashes;
+    outcome.stats.add(&wire.stats);
+    outcome.failures.extend(wire.failures);
+    // Meta-check: every registered fault-injection mutation must still
+    // make the checker fire — a silently-dead mutation is a coverage
+    // regression even when all clean sweeps pass.
+    let mut dead_mutations: Vec<&str> = Vec::new();
+    for m in Mutation::all() {
+        let mcfg = SimConfig {
+            mutation: Some(m),
+            ..cfg.clone()
+        };
+        let fired = (1..=20u64).any(|seed| run_seed(seed, &mcfg).violation.is_some());
+        if !fired {
+            println!("DEAD MUTATION: {} never fired in 20 seeds", m.name());
+            dead_mutations.push(m.name());
+        }
+    }
     let elapsed = started.elapsed().as_secs_f64();
     let ops_per_sec = if elapsed > 0.0 {
         outcome.total_ops as f64 / elapsed
@@ -439,10 +470,17 @@ fn sim_report(scale: Scale) -> (Json, bool) {
             ])
         })
         .collect();
-    let failed = !outcome.failures.is_empty();
+    let failed = !outcome.failures.is_empty() || !dead_mutations.is_empty();
     let record = Json::obj([
         ("experiment", jstr("sim")),
         ("seeds", num(seeds as f64)),
+        ("wire_seeds", num(wire_seeds as f64)),
+        ("shrink", Json::Bool(true)),
+        ("mutations_armed", Json::Bool(dead_mutations.is_empty())),
+        (
+            "dead_mutations",
+            Json::arr(dead_mutations.iter().map(|n| jstr(*n))),
+        ),
         ("runs", num(outcome.runs as f64)),
         ("total_ops", num(outcome.total_ops as f64)),
         ("ops_per_sec", num(ops_per_sec)),

@@ -530,6 +530,7 @@ mod tests {
     fn slow_ops_promote_their_span_tree() {
         let obs = Obs::new();
         obs.set_slow_threshold_us(1); // 1 µs — everything is slow
+        obs.set_test_delay_us(5); // a hot op can finish in <1 µs of wall clock
         let token = obs.begin_op("SELECT … CHOOSE 1");
         obs.set_txn(42);
         obs.phase(Phase::Solve, Duration::from_micros(10));

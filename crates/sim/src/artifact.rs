@@ -2,32 +2,37 @@
 //!
 //! When a checker violation fires, the sweep writes everything needed to
 //! reproduce it to `target/sim/failure-<seed>-<engine>.json`: the seed,
-//! the full [`SimConfig`] scalars, the violation, the failing slice of
-//! the history, and the engine's last flight-recorder events (span
-//! timings around the failure — diagnostic context only). `sim replay`
-//! loads the artifact, rebuilds the config, and re-runs the seed —
-//! determinism guarantees the same violation at the same op index; the
-//! loader ignores the event timings (wall-clock, not reproducible).
+//! the full [`SimConfig`] scalars, the violation, the executed op trace
+//! (shrunk to a locally-minimal repro when the sweep ran with
+//! `--shrink`), the failing slice of the history, and the engine's last
+//! flight-recorder events (span timings around the failure — diagnostic
+//! context only). `sim replay` loads the artifact, rebuilds the config,
+//! and re-executes the embedded trace under the recorded seed —
+//! determinism guarantees the same violation; the loader ignores the
+//! event timings (wall-clock, not reproducible).
 
 use std::fs;
 use std::path::{Path, PathBuf};
 
 use qdb_workload::FlightsConfig;
 
-use crate::driver::{run_seed, EngineKind, Mutation, RunResult, SimConfig};
-use crate::json::{flat_bool, flat_str, flat_u64, Json};
+use crate::driver::{run_seed, run_trace, EngineKind, Mutation, RunResult, SimConfig, TraceEntry};
+use crate::json::{flat_bool, flat_str, flat_str_arr, flat_u64, Json};
 
 /// How many trailing history events an artifact embeds (also the number
 /// of flight-recorder span events drained from the engine).
 pub const TAIL_EVENTS: usize = 40;
 
 /// Artifact schema tag (bump on incompatible layout changes).
-/// v2 added `obs_events` (flight-recorder tail).
-pub const SCHEMA: &str = "qdb-sim-failure-v2";
+/// v2 added `obs_events` (flight-recorder tail); v3 added the inline op
+/// trace (`trace`, `trace_len`, `original_trace_len`, `shrunk`) that
+/// replay executes directly.
+pub const SCHEMA: &str = "qdb-sim-failure-v3";
 
 /// Render a failure artifact document for a run that ended in a
-/// violation.
-pub fn render(result: &RunResult, cfg: &SimConfig) -> String {
+/// violation. `shrunk_from` is the raw trace length when `result` is the
+/// re-execution of a shrunk trace.
+pub fn render(result: &RunResult, cfg: &SimConfig, shrunk_from: Option<usize>) -> String {
     let v = result
         .violation
         .as_ref()
@@ -92,6 +97,16 @@ pub fn render(result: &RunResult, cfg: &SimConfig) -> String {
         ("violation_op_index".into(), Json::U64(v.op_index)),
         ("ops_executed".into(), Json::U64(result.ops)),
         ("crashes".into(), Json::U64(result.crashes)),
+        ("trace_len".into(), Json::U64(result.trace.len() as u64)),
+        (
+            "original_trace_len".into(),
+            Json::U64(shrunk_from.unwrap_or(result.trace.len()) as u64),
+        ),
+        ("shrunk".into(), Json::Bool(shrunk_from.is_some())),
+        (
+            "trace".into(),
+            Json::Arr(result.trace.iter().map(|e| Json::Str(e.render())).collect()),
+        ),
         ("history_tail".into(), Json::Arr(tail)),
         ("obs_events".into(), Json::Arr(obs)),
     ])
@@ -99,15 +114,20 @@ pub fn render(result: &RunResult, cfg: &SimConfig) -> String {
 }
 
 /// Write the artifact for a failing run into `dir`, returning its path.
-pub fn write(dir: &Path, result: &RunResult, cfg: &SimConfig) -> std::io::Result<PathBuf> {
+pub fn write(
+    dir: &Path,
+    result: &RunResult,
+    cfg: &SimConfig,
+    shrunk_from: Option<usize>,
+) -> std::io::Result<PathBuf> {
     fs::create_dir_all(dir)?;
     let path = dir.join(format!("failure-{}-{}.json", result.seed, result.engine));
-    fs::write(&path, render(result, cfg))?;
+    fs::write(&path, render(result, cfg, shrunk_from))?;
     Ok(path)
 }
 
-/// Load `(seed, config)` back from an artifact document.
-pub fn load(text: &str) -> Result<(u64, SimConfig), String> {
+/// Load `(seed, config, trace)` back from an artifact document.
+pub fn load(text: &str) -> Result<(u64, SimConfig, Vec<TraceEntry>), String> {
     if flat_str(text, "schema").as_deref() != Some(SCHEMA) {
         return Err(format!("not a {SCHEMA} artifact"));
     }
@@ -140,14 +160,27 @@ pub fn load(text: &str) -> Result<(u64, SimConfig), String> {
         profile: Default::default(),
         mutation,
     };
-    Ok((seed, cfg))
+    let trace = flat_str_arr(text, "trace")
+        .unwrap_or_default()
+        .iter()
+        .map(|line| {
+            TraceEntry::parse(line).ok_or_else(|| format!("unparseable trace line {line:?}"))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok((seed, cfg, trace))
 }
 
-/// Load an artifact file and deterministically re-run it.
+/// Load an artifact file and deterministically re-run it: the embedded
+/// trace is re-executed when present (exact even for shrunk artifacts),
+/// falling back to a fresh seeded run for traceless documents.
 pub fn replay_file(path: &Path) -> Result<RunResult, String> {
     let text = fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
-    let (seed, cfg) = load(&text)?;
-    Ok(run_seed(seed, &cfg))
+    let (seed, cfg, trace) = load(&text)?;
+    if trace.is_empty() {
+        Ok(run_seed(seed, &cfg))
+    } else {
+        Ok(run_trace(seed, &cfg, &trace))
+    }
 }
 
 #[cfg(test)]
@@ -166,17 +199,50 @@ mod tests {
         };
         let r = run_seed(21, &cfg);
         let v = r.violation.clone().expect("mutation must fail the run");
-        let doc = render(&r, &cfg);
+        let doc = render(&r, &cfg, None);
         // The flight-recorder tail travels with the artifact (diagnostic
         // only — the loader below never reads it, so replay stays exact).
         assert!(doc.contains("\"obs_events\""));
         assert!(!r.obs_events.is_empty(), "a failing run has span events");
-        let (seed, cfg2) = load(&doc).expect("artifact parses back");
+        let (seed, cfg2, trace) = load(&doc).expect("artifact parses back");
         assert_eq!(seed, 21);
         assert_eq!(cfg2.mutation, Some(Mutation::OverstateCapacity));
-        let replayed = run_seed(seed, &cfg2);
+        assert_eq!(trace.len(), r.trace.len(), "full trace travels inline");
+        let replayed = crate::driver::run_trace(seed, &cfg2, &trace);
         let v2 = replayed.violation.expect("replay reproduces the violation");
         assert_eq!(v2.kind, v.kind);
         assert_eq!(v2.op_index, v.op_index);
+    }
+
+    #[test]
+    fn shrunk_artifact_replays_the_minimal_trace() {
+        let cfg = SimConfig {
+            clients: 3,
+            ops_per_client: 60,
+            crash_count: 1,
+            ser_interval: 40,
+            mutation: Some(Mutation::CorruptWalByte),
+            ..SimConfig::smoke(EngineKind::Single)
+        };
+        let (seed, r) = (1..=20)
+            .map(|seed| (seed, run_seed(seed, &cfg)))
+            .find(|(_, r)| r.violation.is_some())
+            .expect("corrupt_wal_byte must fire within 20 seeds");
+        let kind = r.violation.as_ref().unwrap().kind.clone();
+        let s = crate::shrink::shrink(seed, &cfg, &r.trace, &kind, 400);
+        assert!(s.reproduced());
+        let minimal = crate::driver::run_trace(seed, &cfg, &s.trace);
+        let doc = render(&minimal, &cfg, Some(s.original_len));
+        assert!(doc.contains("\"shrunk\":true"));
+        let (seed2, cfg2, trace) = load(&doc).expect("artifact parses back");
+        assert_eq!(seed2, seed);
+        // The re-execution re-records the trace as run (crash cuts are
+        // clamped to the shorter log), so the artifact trace is the
+        // executed fixpoint of the shrunk trace — same length, and
+        // replaying it reproduces the violation exactly.
+        assert_eq!(trace, minimal.trace);
+        assert_eq!(trace.len(), s.trace.len());
+        let replayed = crate::driver::run_trace(seed2, &cfg2, &trace);
+        assert_eq!(replayed.violation.expect("still violates").kind, kind);
     }
 }

@@ -2,16 +2,18 @@
 //!
 //! ```text
 //! sim run [--seeds N] [--seed-start S] [--clients N] [--ops N]
-//!         [--engine single|sharded|both] [--crash on|off]
-//!         [--mutate overstate_capacity] [--artifact-dir DIR] [--json]
+//!         [--engine single|sharded|wire|both|all] [--crash on|off]
+//!         [--mutate NAME] [--shrink] [--artifact-dir DIR] [--json]
 //! sim replay --seed S [--artifact-dir DIR]
 //! sim replay <path/to/failure-artifact.json>
 //! ```
 //!
 //! `run` sweeps seeds with the smoke-scale config (overridable per flag)
 //! and exits non-zero when any run violates; failure artifacts land in
-//! `target/sim/`. `replay` loads an artifact and re-runs its seed —
-//! determinism reproduces the original violation exactly.
+//! `target/sim/` (with `--shrink`, carrying a delta-debugged minimal
+//! trace). `replay` loads an artifact and re-executes its embedded trace
+//! under the recorded seed — determinism reproduces the original
+//! violation exactly.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -52,10 +54,11 @@ fn cmd_run(args: &[String]) -> ExitCode {
         .unwrap_or(1);
     let engines: Vec<EngineKind> = match flag(args, "--engine").as_deref() {
         None | Some("both") => vec![EngineKind::Single, EngineKind::Sharded],
+        Some("all") => vec![EngineKind::Single, EngineKind::Sharded, EngineKind::Wire],
         Some(s) => match EngineKind::parse(s) {
             Some(k) => vec![k],
             None => {
-                eprintln!("unknown engine {s:?} (single|sharded|both)");
+                eprintln!("unknown engine {s:?} (single|sharded|wire|both|all)");
                 return ExitCode::from(2);
             }
         },
@@ -79,16 +82,18 @@ fn cmd_run(args: &[String]) -> ExitCode {
         match Mutation::parse(&name) {
             Some(m) => cfg.mutation = Some(m),
             None => {
-                eprintln!("unknown mutation {name:?}");
+                let known: Vec<&str> = Mutation::all().iter().map(|m| m.name()).collect();
+                eprintln!("unknown mutation {name:?} ({})", known.join("|"));
                 return ExitCode::from(2);
             }
         }
     }
+    let shrink = has(args, "--shrink");
     let dir = flag(args, "--artifact-dir").unwrap_or_else(|| "target/sim".into());
     let dir = PathBuf::from(dir);
 
     let started = Instant::now();
-    let outcome = run_sweep(&cfg, start, seeds, &engines, Some(&dir));
+    let outcome = run_sweep(&cfg, start, seeds, &engines, Some(&dir), shrink);
     let elapsed = started.elapsed().as_secs_f64();
     let ops_per_sec = if elapsed > 0.0 {
         outcome.total_ops as f64 / elapsed

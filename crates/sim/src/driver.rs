@@ -10,27 +10,37 @@
 //! what makes `sim replay --seed <s>` a faithful reproduction of any
 //! failure.
 //!
-//! The driver interleaves N logical clients over either engine build
-//! (`QuantumDb` single-threaded core or the sharded
-//! [`qdb_core::SharedQuantumDb`]), records every statement into a
-//! [`History`], and runs the black-box checks of [`crate::checker`]
-//! after every transition (invariants), at epoch boundaries
-//! (serializability + replay equivalence) and on sampled uncertain reads
-//! (explainability). Crash injection cuts the WAL image at an arbitrary
-//! byte offset, restarts the engine from the prefix via
+//! The driver interleaves N logical clients over one of three engine
+//! builds (`QuantumDb` single-threaded core, the sharded
+//! [`qdb_core::SharedQuantumDb`], or a full `qdb-server` behind loopback
+//! TCP with one [`qdb_client::Connection`] per client), records every
+//! statement into a [`History`], and runs the black-box checks of
+//! [`crate::checker`] after every transition (invariants), at epoch
+//! boundaries (serializability + replay equivalence) and on sampled
+//! uncertain reads (explainability). Crash injection cuts the WAL image
+//! at an arbitrary byte offset (optionally corrupting it through a
+//! [`qdb_storage::FaultSink`]), restarts the engine from the prefix via
 //! [`qdb_core::QuantumDb::recover`], and verifies the recovered state
 //! against an independently replayed model before resuming the workload.
+//!
+//! Every executed step is also recorded as a [`TraceEntry`], so a run
+//! can be replayed op-for-op via [`run_trace`] — the substrate the
+//! schedule shrinker ([`crate::shrink`]) delta-debugs over.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
+use qdb_client::{Connection, RemotePrepared};
 use qdb_core::{
-    enumerate_worlds_seeded, world_fingerprint, QuantumDb, QuantumDbConfig, SharedQuantumDb,
-    SubmitOutcome, TxnId,
+    enumerate_worlds_seeded, world_fingerprint, QuantumDb, QuantumDbConfig, Response,
+    SharedQuantumDb, SubmitOutcome, TxnId,
 };
 use qdb_logic::codec::decode_transaction;
 use qdb_logic::{parse_query, Atom, ResourceTransaction, Term, UpdateKind, Valuation};
-use qdb_storage::wal::{replay_bytes, MemorySink};
-use qdb_storage::{tuple, Database, DeltaView, LogRecord, Schema, ValueType, Wal, WriteOp};
+use qdb_server::{Server, ServerHandle};
+use qdb_storage::wal::{apply_faults, frame_spans, replay_bytes, FaultSink, MemorySink, SinkFault};
+use qdb_storage::{
+    tuple, Database, DeltaView, LogRecord, LogSink, Schema, Value, ValueType, Wal, WriteOp,
+};
 use qdb_workload::entangled::{entangled_booking, solo_booking};
 use qdb_workload::rng::StdRng;
 use qdb_workload::{build_client_streams, FlightsConfig, SimOp, StreamProfile};
@@ -48,6 +58,13 @@ pub enum EngineKind {
     Single,
     /// The partition-parallel [`SharedQuantumDb`].
     Sharded,
+    /// A full `qdb-server` process behind loopback TCP: every client is a
+    /// [`qdb_client::Connection`] issuing SQL, so the run black-box-checks
+    /// server dispatch, per-session prepared/bound state, frame
+    /// round-tripping and pipelined response ordering too. Determinism is
+    /// preserved because the virtual scheduler keeps at most one statement
+    /// in flight.
+    Wire,
 }
 
 impl EngineKind {
@@ -56,6 +73,7 @@ impl EngineKind {
         match self {
             EngineKind::Single => "single",
             EngineKind::Sharded => "sharded",
+            EngineKind::Wire => "wire",
         }
     }
 
@@ -64,37 +82,157 @@ impl EngineKind {
         match s {
             "single" => Some(EngineKind::Single),
             "sharded" => Some(EngineKind::Sharded),
+            "wire" => Some(EngineKind::Wire),
             _ => None,
         }
     }
 }
 
-/// Checker mutations for mutation-testing the harness itself: each one
-/// corrupts the *checker's model* (never the engine), so a healthy
-/// engine run must now produce a violation — proving the corresponding
-/// invariant is actually armed.
+/// Mutations for mutation-testing the harness itself: each one makes a
+/// healthy engine run produce a violation — proving the corresponding
+/// invariant is actually armed. [`Mutation::OverstateCapacity`] corrupts
+/// the *checker's model*; the WAL mutations corrupt the byte stream a
+/// crashed engine recovers from (through a [`qdb_storage::FaultSink`])
+/// while the checker keeps replaying the pristine prefix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Mutation {
     /// Overstate every flight's expected capacity by one seat, breaking
     /// the conservation invariant `|Available(f)| + |Bookings(f)| =
     /// capacity(f)`.
     OverstateCapacity,
+    /// Flip a seeded byte *mid-log* (never inside the setup prefix) before
+    /// crash recovery. Replay must stop at that frame boundary, so the
+    /// recovered engine diverges from the pristine-prefix model.
+    CorruptWalByte,
+    /// Drop a seeded run of whole frames mid-log before crash recovery —
+    /// a buffered group flush that never reached the media while later
+    /// writes did.
+    DropGroupFlush,
 }
 
 impl Mutation {
+    /// Every registered mutation. The meta-test iterates this, so a
+    /// mutation that silently never fires the checker fails CI, and
+    /// `--mutate` help text is generated from it.
+    pub fn all() -> [Mutation; 3] {
+        [
+            Mutation::OverstateCapacity,
+            Mutation::CorruptWalByte,
+            Mutation::DropGroupFlush,
+        ]
+    }
+
     /// Stable name (artifact field).
     pub fn name(&self) -> &'static str {
         match self {
             Mutation::OverstateCapacity => "overstate_capacity",
+            Mutation::CorruptWalByte => "corrupt_wal_byte",
+            Mutation::DropGroupFlush => "drop_group_flush",
         }
     }
 
     /// Parse a stable name back.
     pub fn parse(s: &str) -> Option<Mutation> {
-        match s {
-            "overstate_capacity" => Some(Mutation::OverstateCapacity),
-            _ => None,
+        Mutation::all().into_iter().find(|m| m.name() == s)
+    }
+}
+
+/// One replayable step of a run: either a client statement or a crash
+/// with its exact cut point and (optional) injected WAL fault. A run's
+/// recorded trace replayed through [`run_trace`] reproduces the run
+/// without consulting the scheduler RNG — which is what lets the
+/// shrinker drop entries while keeping every surviving step identical.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEntry {
+    /// Client `client` executed `op`.
+    Op {
+        /// Logical client index.
+        client: usize,
+        /// The statement.
+        op: SimOp,
+    },
+    /// Crash/recovery at WAL byte offset `cut`, with an optional injected
+    /// fault (offsets are absolute into the pre-crash image).
+    Crash {
+        /// Byte offset the WAL image was cut at.
+        cut: u64,
+        /// Injected WAL-level fault, if a WAL mutation was active.
+        fault: Option<SinkFault>,
+    },
+}
+
+impl TraceEntry {
+    /// Compact single-line encoding (artifact `trace` array element).
+    pub fn render(&self) -> String {
+        match self {
+            TraceEntry::Op { client, op } => {
+                let body = match op {
+                    SimOp::Book { flight } => format!("book {flight}"),
+                    SimOp::BookEntangled { flight, partner } => format!("book2 {flight} {partner}"),
+                    SimOp::Read { target } => format!("read {target}"),
+                    SimOp::Peek { target } => format!("peek {target}"),
+                    SimOp::Possible { target } => format!("possible {target}"),
+                    SimOp::Ground { nth } => format!("ground {nth}"),
+                    SimOp::GroundAll => "groundall".to_string(),
+                    SimOp::Checkpoint => "checkpoint".to_string(),
+                    SimOp::AuditInsert => "audit_ins".to_string(),
+                    SimOp::AuditDelete { nth } => format!("audit_del {nth}"),
+                    SimOp::SeatAdd { flight } => format!("seat_add {flight}"),
+                    SimOp::SeatRemove { flight, nth } => format!("seat_rm {flight} {nth}"),
+                };
+                format!("{client} {body}")
+            }
+            TraceEntry::Crash { cut, fault } => match fault {
+                None => format!("crash {cut}"),
+                Some(SinkFault::FlipByte { offset }) => format!("crash {cut} flip {offset}"),
+                Some(SinkFault::DropRange { offset, len }) => {
+                    format!("crash {cut} drop {offset} {len}")
+                }
+            },
         }
+    }
+
+    /// Parse the [`TraceEntry::render`] encoding back.
+    pub fn parse(s: &str) -> Option<TraceEntry> {
+        let parts: Vec<&str> = s.split_whitespace().collect();
+        let num = |i: usize| parts.get(i)?.parse::<u64>().ok();
+        if parts.first() == Some(&"crash") {
+            let cut = num(1)?;
+            let fault = match parts.get(2).copied() {
+                None => None,
+                Some("flip") => Some(SinkFault::FlipByte { offset: num(3)? }),
+                Some("drop") => Some(SinkFault::DropRange {
+                    offset: num(3)?,
+                    len: num(4)?,
+                }),
+                Some(_) => return None,
+            };
+            return Some(TraceEntry::Crash { cut, fault });
+        }
+        let client = parts.first()?.parse::<usize>().ok()?;
+        let arg = |i: usize| parts.get(i)?.parse::<usize>().ok();
+        let op = match *parts.get(1)? {
+            "book" => SimOp::Book { flight: arg(2)? },
+            "book2" => SimOp::BookEntangled {
+                flight: arg(2)?,
+                partner: arg(3)?,
+            },
+            "read" => SimOp::Read { target: arg(2)? },
+            "peek" => SimOp::Peek { target: arg(2)? },
+            "possible" => SimOp::Possible { target: arg(2)? },
+            "ground" => SimOp::Ground { nth: arg(2)? },
+            "groundall" => SimOp::GroundAll,
+            "checkpoint" => SimOp::Checkpoint,
+            "audit_ins" => SimOp::AuditInsert,
+            "audit_del" => SimOp::AuditDelete { nth: arg(2)? },
+            "seat_add" => SimOp::SeatAdd { flight: arg(2)? },
+            "seat_rm" => SimOp::SeatRemove {
+                flight: arg(2)?,
+                nth: arg(3)?,
+            },
+            _ => return None,
+        };
+        Some(TraceEntry::Op { client, op })
     }
 }
 
@@ -204,57 +342,197 @@ pub struct RunResult {
     /// failure artifact embeds them as diagnostic context; they never
     /// feed the determinism digest — span timings are wall-clock).
     pub obs_events: Vec<qdb_core::SpanEvent>,
+    /// Every executed step, replayable via [`run_trace`] (the shrinker's
+    /// input; embedded in `qdb-sim-failure-v3` artifacts).
+    pub trace: Vec<TraceEntry>,
 }
 
 // ---------------------------------------------------------------------------
 // Engine abstraction
 // ---------------------------------------------------------------------------
 
-enum Engine {
-    Single(Box<QuantumDb>),
-    Sharded(SharedQuantumDb),
+/// The wire harness: an in-process `qdb-server` over loopback TCP, one
+/// [`Connection`] per logical client, plus a retained [`SharedQuantumDb`]
+/// handle the *checker* probes directly (WAL image, pending ids,
+/// metrics) — probes are not client traffic, so they stay off the wire.
+struct WireEngine {
+    server: ServerHandle,
+    shared: SharedQuantumDb,
+    conns: Vec<Connection>,
+    reads: Vec<WireReads>,
 }
 
-impl Engine {
-    fn build(
-        kind: EngineKind,
-        qcfg: QuantumDbConfig,
-        fl: &FlightsConfig,
-    ) -> qdb_core::Result<Engine> {
-        let mut qdb = QuantumDb::new(qcfg)?;
-        qdb_workload::flights::install(&mut qdb, fl)?;
-        qdb.create_table(audit_schema())?;
-        Ok(match kind {
-            EngineKind::Single => Engine::Single(Box::new(qdb)),
-            EngineKind::Sharded => Engine::Sharded(qdb.into_shared()),
+/// Per-connection prepared read statements, exercising the server's
+/// per-session prepared/bound maps on every read.
+struct WireReads {
+    collapse: RemotePrepared,
+    peek: RemotePrepared,
+    possible: RemotePrepared,
+}
+
+/// Worker threads for the in-process server. More than one is safe: the
+/// virtual scheduler keeps at most one statement in flight, so workers
+/// never race on statement order.
+const WIRE_WORKERS: usize = 2;
+
+impl WireEngine {
+    fn start(shared: SharedQuantumDb, clients: usize, world_bound: usize) -> Result<Self, String> {
+        let server = Server::spawn_with_db("127.0.0.1:0", WIRE_WORKERS, shared.clone())
+            .map_err(|e| format!("spawn sim server: {e}"))?;
+        let mut conns = Vec::with_capacity(clients);
+        let mut reads = Vec::with_capacity(clients);
+        for c in 0..clients {
+            let mut conn = Connection::connect(server.addr())
+                .map_err(|e| format!("client {c} connect: {e}"))?;
+            let prep = |conn: &mut Connection, sql: &str| {
+                conn.prepare(sql)
+                    .map_err(|e| format!("client {c} prepare {sql:?}: {e}"))
+            };
+            let collapse = prep(&mut conn, "SELECT * FROM Bookings(?, @f, @s)")?;
+            let peek = prep(&mut conn, "SELECT PEEK * FROM Bookings(?, @f, @s)")?;
+            let possible = prep(
+                &mut conn,
+                &format!("SELECT POSSIBLE * FROM Bookings(?, @f, @s) LIMIT {world_bound}"),
+            )?;
+            conns.push(conn);
+            reads.push(WireReads {
+                collapse,
+                peek,
+                possible,
+            });
+        }
+        Ok(WireEngine {
+            server,
+            shared,
+            conns,
+            reads,
         })
     }
 
+    fn execute(&mut self, c: usize, sql: &str) -> Result<Response, String> {
+        self.conns[c]
+            .execute(sql)
+            .map_err(|e| format!("wire {sql:?}: {e}"))
+    }
+
+    /// `BIND` + `RUN` pipelined in one round trip against the prepared
+    /// statement for `kind`, with the target user as the sole parameter.
+    fn read(&mut self, c: usize, kind: ReadKind, user: &str) -> Result<Response, String> {
+        let prepared = match kind {
+            ReadKind::Collapse => &self.reads[c].collapse,
+            ReadKind::Peek => &self.reads[c].peek,
+            ReadKind::Possible => &self.reads[c].possible,
+        };
+        self.conns[c]
+            .bind_run(prepared, &[Value::from(user)])
+            .map_err(|e| format!("wire {kind} {user}: {e}"))
+    }
+}
+
+impl std::fmt::Debug for WireEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WireEngine")
+            .field("addr", &self.server.addr())
+            .field("clients", &self.conns.len())
+            .finish()
+    }
+}
+
+enum Engine {
+    Single(Box<QuantumDb>),
+    Sharded(SharedQuantumDb),
+    Wire(Box<WireEngine>),
+}
+
+/// Render a blind write as the SQL the wire engine sends.
+fn write_sql(op: &WriteOp) -> String {
+    let (verb, relation, tuple) = match op {
+        WriteOp::Insert { relation, tuple } => ("INSERT INTO", relation, tuple),
+        WriteOp::Delete { relation, tuple } => ("DELETE FROM", relation, tuple),
+    };
+    let vals: Vec<String> = tuple
+        .iter()
+        .map(|v| match v.as_int() {
+            Some(i) => i.to_string(),
+            None => format!("'{}'", v.as_str().unwrap_or_default()),
+        })
+        .collect();
+    format!("{verb} {relation} VALUES ({})", vals.join(", "))
+}
+
+/// The booking statement in the SQL dialect — shaped so that parsing it
+/// yields a [`ResourceTransaction`] *identical* (variable ids included)
+/// to [`solo_booking`]/[`entangled_booking`]: same update order, same
+/// body-atom order, same first-appearance order of `s` and `s2`. A
+/// pinned test asserts the equality, which is what makes wire runs
+/// digest-equal to embedded runs.
+fn booking_sql(user: &str, partner: Option<&str>, flight: i64) -> String {
+    let tail = format!(
+        "CHOOSE 1 FOLLOWED BY (DELETE ({flight}, @s) FROM Available; \
+         INSERT ('{user}', {flight}, @s) INTO Bookings)"
+    );
+    match partner {
+        None => format!("SELECT @s FROM Available({flight}, @s) {tail}"),
+        Some(p) => format!(
+            "SELECT @s FROM Available({flight}, @s), \
+             OPTIONAL Bookings('{p}', {flight}, @s2), OPTIONAL Adjacent(@s, @s2) {tail}"
+        ),
+    }
+}
+
+impl Engine {
+    fn build(cfg: &SimConfig, qcfg: QuantumDbConfig) -> Result<Engine, String> {
+        let mut qdb = QuantumDb::new(qcfg).map_err(|e| e.to_string())?;
+        qdb_workload::flights::install(&mut qdb, &cfg.flights).map_err(|e| e.to_string())?;
+        qdb.create_table(audit_schema())
+            .map_err(|e| e.to_string())?;
+        Engine::wrap(cfg, qdb)
+    }
+
     fn recover(
-        kind: EngineKind,
+        cfg: &SimConfig,
         image: Vec<u8>,
         qcfg: QuantumDbConfig,
-    ) -> qdb_core::Result<Engine> {
-        let wal = Wal::with_sink(Box::new(MemorySink::from_bytes(image)));
-        let qdb = QuantumDb::recover(wal, qcfg)?;
-        Ok(match kind {
+        faults: &[SinkFault],
+    ) -> Result<Engine, String> {
+        let inner: Box<dyn LogSink> = Box::new(MemorySink::from_bytes(image));
+        let sink: Box<dyn LogSink> = if faults.is_empty() {
+            inner
+        } else {
+            Box::new(FaultSink::new(inner, faults.to_vec()))
+        };
+        let qdb = QuantumDb::recover(Wal::with_sink(sink), qcfg).map_err(|e| e.to_string())?;
+        Engine::wrap(cfg, qdb)
+    }
+
+    fn wrap(cfg: &SimConfig, qdb: QuantumDb) -> Result<Engine, String> {
+        Ok(match cfg.engine {
             EngineKind::Single => Engine::Single(Box::new(qdb)),
             EngineKind::Sharded => Engine::Sharded(qdb.into_shared()),
+            EngineKind::Wire => Engine::Wire(Box::new(WireEngine::start(
+                qdb.into_shared(),
+                cfg.clients,
+                cfg.world_bound,
+            )?)),
         })
     }
 
     /// Run one driver-level operation inside a flight-recorder span. The
-    /// sim drives the engine API directly (no statement layer), so
-    /// without this the event ring would stay empty; the class names
-    /// match `Statement::kind()` so artifact events read like
-    /// statements. Timings are wall-clock and never feed the
-    /// determinism digest.
+    /// embedded builds drive the engine API directly (no statement
+    /// layer), so without this the event ring would stay empty; the
+    /// class names match `Statement::kind()` so artifact events read
+    /// like statements. The wire build skips this — the server brackets
+    /// every statement itself. Timings are wall-clock and never feed
+    /// the determinism digest.
     fn record<R>(
         &mut self,
         class: &'static str,
-        run: impl FnOnce(&mut Self) -> qdb_core::Result<R>,
+        run: impl FnOnce(&mut Self) -> Result<R, String>,
         outcome: impl FnOnce(&R) -> qdb_core::Outcome,
-    ) -> qdb_core::Result<R> {
+    ) -> Result<R, String> {
+        if matches!(self, Engine::Wire(_)) {
+            return run(self);
+        }
         let obs = self.obs().clone();
         let token = obs.begin_op(class);
         let r = run(self);
@@ -266,12 +544,22 @@ impl Engine {
         r
     }
 
-    fn submit(&mut self, txn: &ResourceTransaction) -> qdb_core::Result<SubmitOutcome> {
+    fn submit(
+        &mut self,
+        c: usize,
+        txn: &ResourceTransaction,
+        sql: &str,
+    ) -> Result<SubmitOutcome, String> {
         self.record(
             "SELECT … CHOOSE 1",
             |e| match e {
-                Engine::Single(q) => q.submit(txn),
-                Engine::Sharded(s) => s.submit(txn),
+                Engine::Single(q) => q.submit(txn).map_err(|e| e.to_string()),
+                Engine::Sharded(s) => s.submit(txn).map_err(|e| e.to_string()),
+                Engine::Wire(w) => match w.execute(c, sql)? {
+                    Response::Committed(id) => Ok(SubmitOutcome::Committed { id }),
+                    Response::Aborted => Ok(SubmitOutcome::Aborted),
+                    other => Err(format!("CHOOSE over wire returned {other:?}")),
+                },
             },
             |o| {
                 if o.is_committed() {
@@ -283,23 +571,36 @@ impl Engine {
         )
     }
 
-    fn read(&mut self, atoms: &[Atom]) -> qdb_core::Result<Vec<Valuation>> {
+    fn read(&mut self, c: usize, user: &str, atoms: &[Atom]) -> Result<Vec<Valuation>, String> {
         self.record(
             "SELECT",
             |e| match e {
-                Engine::Single(q) => q.read(atoms, None),
-                Engine::Sharded(s) => s.read(atoms, None),
+                Engine::Single(q) => q.read(atoms, None).map_err(|e| e.to_string()),
+                Engine::Sharded(s) => s.read(atoms, None).map_err(|e| e.to_string()),
+                Engine::Wire(w) => match w.read(c, ReadKind::Collapse, user)? {
+                    Response::Rows(rows) => Ok(rows),
+                    other => Err(format!("SELECT over wire returned {other:?}")),
+                },
             },
             |_| qdb_core::Outcome::Ok,
         )
     }
 
-    fn read_peek(&mut self, atoms: &[Atom]) -> qdb_core::Result<Vec<Valuation>> {
+    fn read_peek(
+        &mut self,
+        c: usize,
+        user: &str,
+        atoms: &[Atom],
+    ) -> Result<Vec<Valuation>, String> {
         self.record(
             "SELECT",
             |e| match e {
-                Engine::Single(q) => q.read_peek(atoms, None),
-                Engine::Sharded(s) => s.read_peek(atoms, None),
+                Engine::Single(q) => q.read_peek(atoms, None).map_err(|e| e.to_string()),
+                Engine::Sharded(s) => s.read_peek(atoms, None).map_err(|e| e.to_string()),
+                Engine::Wire(w) => match w.read(c, ReadKind::Peek, user)? {
+                    Response::Rows(rows) => Ok(rows),
+                    other => Err(format!("SELECT PEEK over wire returned {other:?}")),
+                },
             },
             |_| qdb_core::Outcome::Ok,
         )
@@ -307,44 +608,66 @@ impl Engine {
 
     fn read_possible(
         &mut self,
+        c: usize,
+        user: &str,
         atoms: &[Atom],
         bound: usize,
-    ) -> qdb_core::Result<Vec<Vec<Valuation>>> {
+    ) -> Result<Vec<Vec<Valuation>>, String> {
         self.record(
             "SELECT",
             |e| match e {
-                Engine::Single(q) => q.read_possible(atoms, bound),
-                Engine::Sharded(s) => s.read_possible(atoms, bound),
+                Engine::Single(q) => q.read_possible(atoms, bound).map_err(|e| e.to_string()),
+                Engine::Sharded(s) => s.read_possible(atoms, bound).map_err(|e| e.to_string()),
+                Engine::Wire(w) => match w.read(c, ReadKind::Possible, user)? {
+                    Response::Worlds(worlds) => Ok(worlds),
+                    other => Err(format!("SELECT POSSIBLE over wire returned {other:?}")),
+                },
             },
             |_| qdb_core::Outcome::Ok,
         )
     }
 
-    fn write(&mut self, op: WriteOp) -> qdb_core::Result<bool> {
+    fn write(&mut self, c: usize, op: WriteOp) -> Result<bool, String> {
         match self {
-            Engine::Single(q) => q.write(op),
-            Engine::Sharded(s) => s.write(op),
+            Engine::Single(q) => q.write(op).map_err(|e| e.to_string()),
+            Engine::Sharded(s) => s.write(op).map_err(|e| e.to_string()),
+            Engine::Wire(w) => match w.execute(c, &write_sql(&op))? {
+                Response::Written(applied) => Ok(applied),
+                other => Err(format!("blind write over wire returned {other:?}")),
+            },
         }
     }
 
-    fn ground(&mut self, id: TxnId) -> qdb_core::Result<bool> {
+    fn ground(&mut self, c: usize, id: TxnId) -> Result<bool, String> {
         match self {
-            Engine::Single(q) => q.ground(id),
-            Engine::Sharded(s) => s.ground(id),
+            Engine::Single(q) => q.ground(id).map_err(|e| e.to_string()),
+            Engine::Sharded(s) => s.ground(id).map_err(|e| e.to_string()),
+            Engine::Wire(w) => match w.execute(c, &format!("GROUND {id}"))? {
+                Response::Grounded(n) => Ok(n > 0),
+                other => Err(format!("GROUND over wire returned {other:?}")),
+            },
         }
     }
 
-    fn ground_all(&mut self) -> qdb_core::Result<()> {
+    fn ground_all(&mut self, c: usize) -> Result<(), String> {
         match self {
-            Engine::Single(q) => q.ground_all(),
-            Engine::Sharded(s) => s.ground_all(),
+            Engine::Single(q) => q.ground_all().map_err(|e| e.to_string()),
+            Engine::Sharded(s) => s.ground_all().map_err(|e| e.to_string()),
+            Engine::Wire(w) => match w.execute(c, "GROUND ALL")? {
+                Response::Grounded(_) => Ok(()),
+                other => Err(format!("GROUND ALL over wire returned {other:?}")),
+            },
         }
     }
 
-    fn checkpoint(&mut self) -> qdb_core::Result<()> {
+    fn checkpoint(&mut self, c: usize) -> Result<(), String> {
         match self {
-            Engine::Single(q) => q.checkpoint(),
-            Engine::Sharded(s) => s.checkpoint(),
+            Engine::Single(q) => q.checkpoint().map_err(|e| e.to_string()),
+            Engine::Sharded(s) => s.checkpoint().map_err(|e| e.to_string()),
+            Engine::Wire(w) => match w.execute(c, "CHECKPOINT")? {
+                Response::Ack => Ok(()),
+                other => Err(format!("CHECKPOINT over wire returned {other:?}")),
+            },
         }
     }
 
@@ -352,6 +675,7 @@ impl Engine {
         match self {
             Engine::Single(q) => q.pending_ids(),
             Engine::Sharded(s) => s.pending_ids(),
+            Engine::Wire(w) => w.shared.pending_ids(),
         }
     }
 
@@ -359,6 +683,7 @@ impl Engine {
         match self {
             Engine::Single(q) => q.wal_image(),
             Engine::Sharded(s) => s.wal_image(),
+            Engine::Wire(w) => w.shared.wal_image(),
         }
     }
 
@@ -366,6 +691,7 @@ impl Engine {
         match self {
             Engine::Single(q) => f(q.database()),
             Engine::Sharded(s) => s.with_database(f),
+            Engine::Wire(w) => w.shared.with_database(f),
         }
     }
 
@@ -374,6 +700,7 @@ impl Engine {
         match self {
             Engine::Single(q) => q.obs(),
             Engine::Sharded(s) => s.obs(),
+            Engine::Wire(w) => w.shared.obs(),
         }
     }
 
@@ -392,6 +719,10 @@ impl Engine {
             }
             Engine::Sharded(s) => {
                 let (m, pending) = s.metrics_with_pending();
+                (m.committed, m.grounded_total(), pending)
+            }
+            Engine::Wire(w) => {
+                let (m, pending) = w.shared.metrics_with_pending();
                 (m.committed, m.grounded_total(), pending)
             }
         }
@@ -458,17 +789,18 @@ struct Driver {
     /// WAL bytes covering schema install + initial bulk load; crash cuts
     /// never land inside this prefix (setup is synced before traffic).
     setup_bytes: usize,
+    /// Every executed step, in order (see [`TraceEntry`]).
+    trace: Vec<TraceEntry>,
 }
 
 impl Driver {
     fn new(seed: u64, cfg: &SimConfig) -> Result<Driver, Violation> {
         let qcfg = cfg.quantum_config(seed);
-        let engine =
-            Engine::build(cfg.engine, qcfg.clone(), &cfg.flights).map_err(|e| Violation {
-                kind: "setup".into(),
-                detail: e.to_string(),
-                op_index: 0,
-            })?;
+        let engine = Engine::build(cfg, qcfg.clone()).map_err(|e| Violation {
+            kind: "setup".into(),
+            detail: e,
+            op_index: 0,
+        })?;
         let mut d = Driver {
             cfg: cfg.clone(),
             seed,
@@ -493,6 +825,7 @@ impl Driver {
             epoch_base: Database::new(),
             records_seen: 0,
             setup_bytes: 0,
+            trace: Vec::new(),
         };
         for f in cfg.flights.flight_numbers() {
             d.capacity.insert(f, cfg.flights.seats_per_flight());
@@ -515,8 +848,8 @@ impl Driver {
         }
     }
 
-    fn engine_err(&self, e: qdb_core::EngineError) -> Violation {
-        self.viol("engine_error", e.to_string())
+    fn engine_err(&self, e: String) -> Violation {
+        self.viol("engine_error", e)
     }
 
     fn drive(&mut self) -> Result<(), Violation> {
@@ -547,15 +880,54 @@ impl Driver {
             let c = live[self.rng.gen_range(0..live.len())];
             let op = streams[c][cursors[c]].clone();
             cursors[c] += 1;
+            self.trace.push(TraceEntry::Op {
+                client: c,
+                op: op.clone(),
+            });
             self.exec(c, &op)?;
             self.check_invariants()?;
             self.op_index += 1;
             if crash_at.remove(&self.op_index) {
-                self.crash()?;
+                self.crash(None)?;
             } else if self.cfg.ser_interval > 0
                 && self.op_index.is_multiple_of(self.cfg.ser_interval)
             {
                 self.ser_check()?;
+            }
+        }
+        self.ser_check()
+    }
+
+    /// Replay a recorded (possibly shrunk) trace: execute exactly the
+    /// listed steps, skipping the scheduler and crash-sampling RNG. The
+    /// per-op invariant checks and the epoch cadence are preserved, so a
+    /// violation reproduces with the same kind through the same checker.
+    fn drive_trace(&mut self, trace: &[TraceEntry]) -> Result<(), Violation> {
+        for (i, entry) in trace.iter().enumerate() {
+            match entry {
+                TraceEntry::Op { client, op } => {
+                    let c = *client;
+                    if c >= self.cfg.clients {
+                        continue; // shrunk trace from a wider config
+                    }
+                    self.trace.push(TraceEntry::Op {
+                        client: c,
+                        op: op.clone(),
+                    });
+                    self.exec(c, op)?;
+                    self.check_invariants()?;
+                    self.op_index += 1;
+                    // Match drive(): an op followed by a crash closes its
+                    // epoch inside the crash, not via the cadence check.
+                    let next_is_crash = matches!(trace.get(i + 1), Some(TraceEntry::Crash { .. }));
+                    if !next_is_crash
+                        && self.cfg.ser_interval > 0
+                        && self.op_index.is_multiple_of(self.cfg.ser_interval)
+                    {
+                        self.ser_check()?;
+                    }
+                }
+                TraceEntry::Crash { cut, fault } => self.crash(Some((*cut, *fault)))?,
             }
         }
         self.ser_check()
@@ -577,17 +949,17 @@ impl Driver {
                     return Ok(());
                 }
                 let id = ids[nth % ids.len()];
-                let collapsed = self.engine.ground(id).map_err(|e| self.engine_err(e))?;
+                let collapsed = self.engine.ground(c, id).map_err(|e| self.engine_err(e))?;
                 self.hist.record(c, Event::Ground { id, collapsed });
                 Ok(())
             }
             SimOp::GroundAll => {
-                self.engine.ground_all().map_err(|e| self.engine_err(e))?;
+                self.engine.ground_all(c).map_err(|e| self.engine_err(e))?;
                 self.hist.record(c, Event::GroundAll);
                 Ok(())
             }
             SimOp::Checkpoint => {
-                self.engine.checkpoint().map_err(|e| self.engine_err(e))?;
+                self.engine.checkpoint(c).map_err(|e| self.engine_err(e))?;
                 self.hist.record(c, Event::Checkpoint);
                 Ok(())
             }
@@ -671,7 +1043,7 @@ impl Driver {
     }
 
     fn blind_write(&mut self, c: usize, op: WriteOp, desc: String) -> Result<bool, Violation> {
-        let applied = self.engine.write(op).map_err(|e| self.engine_err(e))?;
+        let applied = self.engine.write(c, op).map_err(|e| self.engine_err(e))?;
         self.hist.record(c, Event::Write { desc, applied });
         Ok(applied)
     }
@@ -680,7 +1052,7 @@ impl Driver {
         let fnum = self.cfg.flight_num(flight);
         let user = format!("u{}", self.next_user);
         self.next_user += 1;
-        let (txn, entangled) = {
+        let (txn, sql, entangled) = {
             let candidates: Vec<&str> = match partner {
                 Some(_) => self
                     .booked
@@ -691,14 +1063,25 @@ impl Driver {
                 None => Vec::new(),
             };
             match partner {
-                Some(p) if !candidates.is_empty() => (
-                    entangled_booking(&user, candidates[p % candidates.len()], fnum),
-                    true,
+                Some(p) if !candidates.is_empty() => {
+                    let mate = candidates[p % candidates.len()];
+                    (
+                        entangled_booking(&user, mate, fnum),
+                        booking_sql(&user, Some(mate), fnum),
+                        true,
+                    )
+                }
+                _ => (
+                    solo_booking(&user, fnum),
+                    booking_sql(&user, None, fnum),
+                    false,
                 ),
-                _ => (solo_booking(&user, fnum), false),
             }
         };
-        let outcome = self.engine.submit(&txn).map_err(|e| self.engine_err(e))?;
+        let outcome = self
+            .engine
+            .submit(c, &txn, &sql)
+            .map_err(|e| self.engine_err(e))?;
         match outcome {
             SubmitOutcome::Committed { id } => {
                 self.commits += 1;
@@ -759,7 +1142,10 @@ impl Driver {
             return Ok(());
         };
         let atoms = booking_atoms(&user);
-        let rows = self.engine.read(&atoms).map_err(|e| self.engine_err(e))?;
+        let rows = self
+            .engine
+            .read(c, &user, &atoms)
+            .map_err(|e| self.engine_err(e))?;
         // Collapse reads must fully hide uncertainty: the answer is the
         // extensional answer at return time, verified by an independent
         // evaluator.
@@ -811,7 +1197,7 @@ impl Driver {
             ReadKind::Peek => {
                 let rows = self
                     .engine
-                    .read_peek(&atoms)
+                    .read_peek(c, &user, &atoms)
                     .map_err(|e| self.engine_err(e))?;
                 if sampled {
                     self.explain(&atoms, &[canon_set(&rows)], "peek")?;
@@ -821,7 +1207,7 @@ impl Driver {
             ReadKind::Possible => {
                 let families = self
                     .engine
-                    .read_possible(&atoms, self.cfg.world_bound)
+                    .read_possible(c, &user, &atoms, self.cfg.world_bound)
                     .map_err(|e| self.engine_err(e))?;
                 if sampled {
                     let sets: Vec<CanonSet> = canon_family(&families).into_iter().collect();
@@ -920,7 +1306,8 @@ impl Driver {
         }
         let offset = match self.cfg.mutation {
             Some(Mutation::OverstateCapacity) => 1usize,
-            None => 0,
+            // WAL faults corrupt the log image, not the checker model.
+            Some(Mutation::CorruptWalByte) | Some(Mutation::DropGroupFlush) | None => 0,
         };
         let capacity = self.capacity.clone();
         let problem = self
@@ -1016,18 +1403,44 @@ impl Driver {
 
     // -- crash injection ----------------------------------------------------
 
-    fn crash(&mut self) -> Result<(), Violation> {
-        // Close the epoch first so the cut never spans an unchecked epoch.
-        self.ser_check()?;
-        let image = self.engine.wal_image();
-        let cut = self.rng.gen_range(self.setup_bytes..image.len() + 1);
-        let prefix = image[..cut].to_vec();
-        let (records, _) =
-            replay_bytes(&prefix).map_err(|e| self.viol("wal_unreadable", e.to_string()))?;
-        // Independently rebuild the expected post-recovery state.
+    /// Sample a WAL fault for the active mutation against the cut prefix.
+    /// Faults never touch the setup prefix (a real deployment syncs the
+    /// schema install before serving traffic).
+    fn plan_fault(&mut self, prefix: &[u8]) -> Option<SinkFault> {
+        match self.cfg.mutation {
+            Some(Mutation::CorruptWalByte) if prefix.len() > self.setup_bytes => {
+                Some(SinkFault::FlipByte {
+                    offset: self.rng.gen_range(self.setup_bytes..prefix.len()) as u64,
+                })
+            }
+            Some(Mutation::DropGroupFlush) => {
+                let spans: Vec<(u64, u64)> = frame_spans(prefix)
+                    .into_iter()
+                    .filter(|(start, _)| *start >= self.setup_bytes as u64)
+                    .collect();
+                if spans.is_empty() {
+                    return None;
+                }
+                let i = self.rng.gen_range(0..spans.len());
+                let max_run = (spans.len() - i).min(4);
+                let run = 1 + self.rng.gen_range(0..max_run);
+                Some(SinkFault::DropRange {
+                    offset: spans[i].0,
+                    len: spans[i + run - 1].1 - spans[i].0,
+                })
+            }
+            _ => None,
+        }
+    }
+
+    /// Independently rebuild the post-recovery state a log image implies.
+    fn replay_model(
+        &self,
+        records: &[LogRecord],
+    ) -> Result<(Database, BTreeMap<TxnId, ResourceTransaction>), Violation> {
         let mut mdb = Database::new();
         let mut pending: BTreeMap<TxnId, ResourceTransaction> = BTreeMap::new();
-        for r in &records {
+        for r in records {
             match r {
                 LogRecord::CreateTable(schema) => {
                     mdb.create_table(schema.clone())
@@ -1055,14 +1468,65 @@ impl Driver {
                 }
             }
         }
+        Ok((mdb, pending))
+    }
+
+    /// Crash, optionally corrupt the surviving log, recover, verify.
+    ///
+    /// `plan` replays a recorded crash (trace mode); `None` samples the
+    /// cut — and, under a WAL mutation, a fault — from the run RNG. Two
+    /// models are rebuilt independently: the **faulted** model (replay of
+    /// the bytes the engine actually recovers from) and the **pristine**
+    /// model (replay of the uncorrupted prefix). The engine must match
+    /// the faulted model exactly — recovery lands on the longest
+    /// checksum-valid prefix of what the media holds, no garbage applied
+    /// (`recovery_pending_mismatch` / `recovery_state_mismatch`
+    /// otherwise) — and any client-visible divergence from the pristine
+    /// model is reported as `recovery_divergence`, which is precisely
+    /// what the WAL mutations must trigger.
+    fn crash(&mut self, plan: Option<(u64, Option<SinkFault>)>) -> Result<(), Violation> {
+        // Close the epoch first so the cut never spans an unchecked epoch.
+        self.ser_check()?;
+        let image = self.engine.wal_image();
+        let (cut, fault) = match plan {
+            Some((cut, fault)) => ((cut as usize).min(image.len()), fault),
+            None => {
+                let cut = self.rng.gen_range(self.setup_bytes..image.len() + 1);
+                (cut, self.plan_fault(&image[..cut]))
+            }
+        };
+        self.trace.push(TraceEntry::Crash {
+            cut: cut as u64,
+            fault,
+        });
+        let prefix = image[..cut].to_vec();
+        let faults: Vec<SinkFault> = fault.into_iter().collect();
+        let faulted = apply_faults(&prefix, &faults);
+        let (precords, _) =
+            replay_bytes(&prefix).map_err(|e| self.viol("wal_unreadable", e.to_string()))?;
+        let (pdb, ppending) = self.replay_model(&precords)?;
+        let pristine_ids: Vec<TxnId> = ppending.keys().copied().collect();
+        let pristine_fp = world_fingerprint(&pdb);
+        let (records, pending, mdb);
+        if faults.is_empty() {
+            (records, mdb, pending) = (precords, pdb, ppending);
+        } else {
+            let (frecords, _) =
+                replay_bytes(&faulted).map_err(|e| self.viol("wal_unreadable", e.to_string()))?;
+            let (fdb, fpending) = self.replay_model(&frecords)?;
+            (records, mdb, pending) = (frecords, fdb, fpending);
+        }
         let survivors = pending.len();
-        let engine = Engine::recover(self.cfg.engine, prefix, self.qcfg.clone()).map_err(|e| {
-            self.viol(
-                "recovery_failed",
-                format!("cut at byte {cut} of {}: {e}", image.len()),
-            )
-        })?;
+        let engine =
+            Engine::recover(&self.cfg, prefix, self.qcfg.clone(), &faults).map_err(|e| {
+                self.viol(
+                    "recovery_failed",
+                    format!("cut at byte {cut} of {}: {e}", image.len()),
+                )
+            })?;
         self.stats.recovery_checks += 1;
+        // The engine must land exactly on the longest checksum-valid
+        // prefix of the (possibly faulted) media bytes.
         let got_ids = engine.pending_ids();
         let want_ids: Vec<TxnId> = pending.keys().copied().collect();
         if got_ids != want_ids {
@@ -1076,6 +1540,19 @@ impl Driver {
             return Err(self.viol(
                 "recovery_state_mismatch",
                 format!("recovered extensional state diverges from WAL prefix replay (cut {cut})"),
+            ));
+        }
+        // Durability: the recovered state must also match what the
+        // *pristine* prefix implies — an injected fault that changed
+        // anything client-visible is a detected loss of acknowledged
+        // history. This is the check the WAL mutations arm.
+        if !faults.is_empty() && (got_ids != pristine_ids || got_fp != pristine_fp) {
+            return Err(self.viol(
+                "recovery_divergence",
+                format!(
+                    "recovered state diverges from the pristine WAL prefix \
+                     (cut {cut}, fault {fault:?})"
+                ),
             ));
         }
         // Adopt the recovered engine and rebaseline the checker model.
@@ -1148,6 +1625,7 @@ impl Driver {
             digest,
             history: self.hist,
             obs_events,
+            trace: self.trace,
         }
     }
 }
@@ -1211,20 +1689,41 @@ pub fn run_seed(seed: u64, cfg: &SimConfig) -> RunResult {
             let violation = d.drive().err();
             d.finish(violation)
         }
-        Err(v) => RunResult {
-            seed,
-            engine: cfg.engine.label(),
-            ops: 0,
-            commits: 0,
-            aborts: 0,
-            crashes: 0,
-            stats: CheckStats::default(),
-            violation: Some(v),
-            fingerprint: String::new(),
-            digest: 0,
-            history: History::new(cfg.clients),
-            obs_events: Vec::new(),
-        },
+        Err(v) => failed_setup(seed, cfg, v),
+    }
+}
+
+/// Re-execute a recorded (possibly shrunk) op trace instead of drawing
+/// ops from the seeded streams. The seed still controls engine
+/// tie-breaking and world enumeration, so a trace replayed under its
+/// original seed reproduces the original run exactly; crash entries
+/// carry their cut and fault inline, so replay is independent of how
+/// many RNG draws the original schedule consumed.
+pub fn run_trace(seed: u64, cfg: &SimConfig, trace: &[TraceEntry]) -> RunResult {
+    match Driver::new(seed, cfg) {
+        Ok(mut d) => {
+            let violation = d.drive_trace(trace).err();
+            d.finish(violation)
+        }
+        Err(v) => failed_setup(seed, cfg, v),
+    }
+}
+
+fn failed_setup(seed: u64, cfg: &SimConfig, v: Violation) -> RunResult {
+    RunResult {
+        seed,
+        engine: cfg.engine.label(),
+        ops: 0,
+        commits: 0,
+        aborts: 0,
+        crashes: 0,
+        stats: CheckStats::default(),
+        violation: Some(v),
+        fingerprint: String::new(),
+        digest: 0,
+        history: History::new(cfg.clients),
+        obs_events: Vec::new(),
+        trace: Vec::new(),
     }
 }
 
@@ -1297,5 +1796,169 @@ mod tests {
         let r = run_seed(7, &cfg);
         let v = r.violation.expect("overstated capacity must be caught");
         assert_eq!(v.kind, "conservation");
+    }
+
+    /// The SQL the wire engine sends must parse to the *identical*
+    /// `ResourceTransaction` the in-process engines submit — var ids
+    /// are assigned in first-appearance order by both parsers, and the
+    /// solver hashes (seed, atom index), so textual equivalence here is
+    /// what makes cross-engine digests comparable at all.
+    #[test]
+    fn booking_sql_parses_to_the_datalog_transaction() {
+        use qdb_logic::parse_sql_transaction;
+        let solo = parse_sql_transaction(&booking_sql("u1", None, 7)).unwrap();
+        assert_eq!(solo, solo_booking("u1", 7));
+        let ent = parse_sql_transaction(&booking_sql("u1", Some("u2"), 7)).unwrap();
+        assert_eq!(ent, entangled_booking("u1", "u2", 7));
+    }
+
+    #[test]
+    fn wire_engine_runs_clean() {
+        let cfg = tiny(EngineKind::Wire);
+        for seed in [3, 5] {
+            let r = run_seed(seed, &cfg);
+            assert!(
+                r.violation.is_none(),
+                "wire seed {seed}: {:?}\ntail:\n{}",
+                r.violation,
+                r.history.tail_lines(20).join("\n")
+            );
+            assert_eq!(r.ops, cfg.total_ops() as u64);
+            assert!(r.crashes >= 1, "wire seed {seed}: no crash injected");
+        }
+    }
+
+    /// Same seed through every engine gives the same client-visible
+    /// history: the wire path may not change what any client observes,
+    /// only how statements travel. POSSIBLE answer sets are the one
+    /// documented exclusion (see [`History::parity_digest`]).
+    #[test]
+    fn engines_agree_on_the_client_visible_history() {
+        let runs: Vec<RunResult> = [EngineKind::Single, EngineKind::Sharded, EngineKind::Wire]
+            .into_iter()
+            .map(|engine| run_seed(11, &tiny(engine)))
+            .collect();
+        for r in &runs {
+            assert!(r.violation.is_none(), "{}: {:?}", r.engine, r.violation);
+        }
+        for r in &runs[1..] {
+            assert_eq!(
+                (
+                    r.history.parity_digest(),
+                    r.fingerprint.as_str(),
+                    r.commits,
+                    r.aborts,
+                    r.crashes
+                ),
+                (
+                    runs[0].history.parity_digest(),
+                    runs[0].fingerprint.as_str(),
+                    runs[0].commits,
+                    runs[0].aborts,
+                    runs[0].crashes
+                ),
+                "engine {} diverges from {}",
+                r.engine,
+                runs[0].engine
+            );
+        }
+    }
+
+    /// Every registered mutation must make the checker fire within a
+    /// bounded seed budget — a mutation that never triggers is dead
+    /// weight that would rot silently.
+    #[test]
+    fn every_mutation_fires_within_budget() {
+        for m in Mutation::all() {
+            let allowed: &[&str] = match m {
+                Mutation::OverstateCapacity => &["conservation"],
+                Mutation::CorruptWalByte | Mutation::DropGroupFlush => {
+                    &["recovery_divergence", "recovery_failed"]
+                }
+            };
+            let fired = (1..=10).find_map(|seed| {
+                let cfg = SimConfig {
+                    mutation: Some(m),
+                    ..tiny(EngineKind::Single)
+                };
+                run_seed(seed, &cfg).violation.map(|v| (seed, v))
+            });
+            let (seed, v) =
+                fired.unwrap_or_else(|| panic!("mutation {} never fired in 10 seeds", m.name()));
+            assert!(
+                allowed.contains(&v.kind.as_str()),
+                "mutation {} fired as unexpected kind {:?} (seed {seed}): {}",
+                m.name(),
+                v.kind,
+                v.detail
+            );
+        }
+    }
+
+    #[test]
+    fn trace_entries_roundtrip_through_render_and_parse() {
+        let entries = vec![
+            TraceEntry::Op {
+                client: 2,
+                op: SimOp::Book { flight: 3 },
+            },
+            TraceEntry::Op {
+                client: 0,
+                op: SimOp::BookEntangled {
+                    flight: 1,
+                    partner: 4,
+                },
+            },
+            TraceEntry::Op {
+                client: 1,
+                op: SimOp::Possible { target: 9 },
+            },
+            TraceEntry::Op {
+                client: 1,
+                op: SimOp::SeatRemove { flight: 2, nth: 17 },
+            },
+            TraceEntry::Crash {
+                cut: 1234,
+                fault: None,
+            },
+            TraceEntry::Crash {
+                cut: 99,
+                fault: Some(SinkFault::FlipByte { offset: 55 }),
+            },
+            TraceEntry::Crash {
+                cut: 4096,
+                fault: Some(SinkFault::DropRange {
+                    offset: 100,
+                    len: 42,
+                }),
+            },
+        ];
+        for e in &entries {
+            let rendered = e.render();
+            let back = TraceEntry::parse(&rendered)
+                .unwrap_or_else(|| panic!("unparseable trace line {rendered:?}"));
+            assert_eq!(&back, e, "roundtrip of {rendered:?}");
+        }
+    }
+
+    /// Replaying the recorded trace of a violating run under the same
+    /// seed reproduces the violation exactly — this is the contract the
+    /// shrinker's re-execution oracle depends on.
+    #[test]
+    fn recorded_trace_replays_to_the_same_violation() {
+        let cfg = SimConfig {
+            mutation: Some(Mutation::CorruptWalByte),
+            ..tiny(EngineKind::Single)
+        };
+        let (seed, original) = (1..=10)
+            .map(|seed| (seed, run_seed(seed, &cfg)))
+            .find(|(_, r)| r.violation.is_some())
+            .expect("corrupt_wal_byte must fire within 10 seeds");
+        let v = original.violation.as_ref().unwrap();
+        let replay = run_trace(seed, &cfg, &original.trace);
+        let rv = replay.violation.expect("trace replay must re-violate");
+        assert_eq!(rv.kind, v.kind);
+        assert_eq!(rv.op_index, v.op_index);
+        assert_eq!(replay.digest, original.digest);
     }
 }

@@ -216,9 +216,32 @@ impl History {
     /// A stable 64-bit digest of the whole history (splitmix-style fold
     /// over the rendered events) — what the determinism tests compare.
     pub fn digest(&self) -> u64 {
+        self.fold(|e| format!("{e}"))
+    }
+
+    /// [`History::digest`] restricted to the engine-independent
+    /// projection of each event: a POSSIBLE read is reduced to its
+    /// target, because the set of distinct answer sets (and with it the
+    /// writes-read edge) legitimately depends on the engine's
+    /// world-enumeration strategy once the world bound truncates. Every
+    /// other event — submits, grounds, collapse/peek reads, writes,
+    /// crashes — must be bit-identical across `single`, `sharded` and
+    /// `wire`; the cross-engine parity test compares this digest.
+    pub fn parity_digest(&self) -> u64 {
+        self.fold(|e| match e {
+            Event::Read {
+                kind: ReadKind::Possible,
+                user,
+                ..
+            } => format!("POSSIBLE {user}"),
+            other => format!("{other}"),
+        })
+    }
+
+    fn fold(&self, render: impl Fn(&Event) -> String) -> u64 {
         let mut h = 0xcbf2_9ce4_8422_2325u64;
         for &(s, i) in &self.order {
-            let line = format!("{s}:{i}:{}", self.sessions[s][i]);
+            let line = format!("{s}:{i}:{}", render(&self.sessions[s][i]));
             for b in line.as_bytes() {
                 h ^= u64::from(*b);
                 h = h.wrapping_mul(0x1000_0000_01b3);

@@ -99,6 +99,23 @@ pub fn flat_str(text: &str, key: &str) -> Option<String> {
     Some(inner[..end].to_string())
 }
 
+/// Scan a document for a `"key": ["s1", "s2", ...]` field of plain
+/// strings. No escape handling and no nested arrays — trace lines are
+/// machine-generated tokens that contain neither `"` nor `]`.
+pub fn flat_str_arr(text: &str, key: &str) -> Option<Vec<String>> {
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start().strip_prefix('[')?;
+    let body = &rest[..rest.find(']')?];
+    Some(
+        body.split('"')
+            .enumerate()
+            .filter(|(i, _)| i % 2 == 1)
+            .map(|(_, s)| s.to_string())
+            .collect(),
+    )
+}
+
 /// Scan a document for a `"key": true|false` field.
 pub fn flat_bool(text: &str, key: &str) -> Option<bool> {
     let raw = flat_raw(text, key)?;
@@ -148,5 +165,24 @@ mod tests {
         assert_eq!(flat_str(&doc, "engine").as_deref(), Some("sharded"));
         assert_eq!(flat_bool(&doc, "crash"), Some(true));
         assert_eq!(flat_u64(&doc, "missing"), None);
+    }
+
+    #[test]
+    fn string_arrays_roundtrip() {
+        let doc = Json::Obj(vec![
+            (
+                "trace".into(),
+                Json::Arr(vec![Json::str("0 book 3"), Json::str("crash 99 flip 5")]),
+            ),
+            ("after".into(), Json::U64(1)),
+        ])
+        .render();
+        assert_eq!(
+            flat_str_arr(&doc, "trace").as_deref(),
+            Some(&["0 book 3".to_string(), "crash 99 flip 5".to_string()][..])
+        );
+        assert_eq!(flat_str_arr(&doc, "missing"), None);
+        let empty = Json::Obj(vec![("trace".into(), Json::Arr(vec![]))]).render();
+        assert_eq!(flat_str_arr(&empty, "trace").as_deref(), Some(&[][..]));
     }
 }

@@ -31,12 +31,17 @@ pub mod checker;
 pub mod driver;
 pub mod history;
 pub mod json;
+pub mod shrink;
 
 use std::path::{Path, PathBuf};
 
 pub use checker::{CheckStats, SerOutcome, Violation};
-pub use driver::{run_seed, EngineKind, Mutation, RunResult, SimConfig};
+pub use driver::{run_seed, run_trace, EngineKind, Mutation, RunResult, SimConfig, TraceEntry};
 pub use history::{Event, History, ReadKind};
+pub use shrink::ShrinkOutcome;
+
+/// Oracle re-executions a sweep grants the shrinker per failure.
+pub const SHRINK_BUDGET: usize = 400;
 
 /// Aggregated result of a multi-seed sweep.
 #[derive(Debug, Clone, Default)]
@@ -66,13 +71,16 @@ impl SweepOutcome {
 
 /// Run `seeds` consecutive seeds starting at `start_seed` against each
 /// engine in `engines`, writing a failure artifact into `artifact_dir`
-/// (when given) for every violating run.
+/// (when given) for every violating run. With `shrink`, each failing
+/// trace is delta-debugged first ([`SHRINK_BUDGET`] re-executions) and
+/// the artifact carries the minimal trace instead of the raw one.
 pub fn run_sweep(
     base: &SimConfig,
     start_seed: u64,
     seeds: u64,
     engines: &[EngineKind],
     artifact_dir: Option<&Path>,
+    shrink: bool,
 ) -> SweepOutcome {
     let mut out = SweepOutcome::default();
     for engine in engines {
@@ -88,9 +96,20 @@ pub fn run_sweep(
             out.aborts += r.aborts;
             out.crashes += r.crashes;
             out.stats.add(&r.stats);
-            if let Some(v) = &r.violation {
-                let path = artifact_dir.and_then(|dir| artifact::write(dir, &r, &cfg).ok());
-                out.failures.push((seed, r.engine, v.clone(), path));
+            if let Some(v) = r.violation.clone() {
+                let path = artifact_dir.and_then(|dir| {
+                    let shrunk = shrink
+                        .then(|| shrink::shrink(seed, &cfg, &r.trace, &v.kind, SHRINK_BUDGET))
+                        .filter(ShrinkOutcome::reproduced);
+                    match shrunk {
+                        Some(s) => {
+                            let repro = run_trace(seed, &cfg, &s.trace);
+                            artifact::write(dir, &repro, &cfg, Some(s.original_len)).ok()
+                        }
+                        None => artifact::write(dir, &r, &cfg, None).ok(),
+                    }
+                });
+                out.failures.push((seed, r.engine, v, path));
             }
         }
     }

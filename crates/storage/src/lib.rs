@@ -54,7 +54,7 @@ pub use table::{Table, TableCursor};
 pub use tuple::Tuple;
 pub use value::Value;
 pub use view::{DeltaView, TupleView};
-pub use wal::{LogRecord, LogSink, Wal};
+pub use wal::{FaultSink, LogRecord, LogSink, SinkFault, Wal};
 
 /// Convenience result alias used across the crate.
 pub type Result<T> = std::result::Result<T, StorageError>;

@@ -548,6 +548,132 @@ impl Drop for Wal {
     }
 }
 
+/// A byte-level fault applied to a log image — the physical failure modes a
+/// checksummed log is supposed to contain: silent bit rot and a buffered
+/// group commit that never reached the media.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SinkFault {
+    /// XOR the byte at `offset` with `0xFF` (bit rot / misdirected write).
+    FlipByte {
+        /// Absolute byte offset into the log image.
+        offset: u64,
+    },
+    /// Remove `len` bytes starting at `offset` (a lost group flush: later
+    /// writes landed, the buffered batch did not).
+    DropRange {
+        /// Absolute byte offset into the log image.
+        offset: u64,
+        /// Number of bytes lost.
+        len: u64,
+    },
+}
+
+/// Apply `faults` in order to a copy of `bytes`. Offsets past the end of
+/// the (evolving) image are clamped — a fault can never grow the log.
+pub fn apply_faults(bytes: &[u8], faults: &[SinkFault]) -> Vec<u8> {
+    let mut out = bytes.to_vec();
+    for fault in faults {
+        match *fault {
+            SinkFault::FlipByte { offset } => {
+                if let Some(b) = out.get_mut(offset as usize) {
+                    *b ^= 0xFF;
+                }
+            }
+            SinkFault::DropRange { offset, len } => {
+                let start = (offset as usize).min(out.len());
+                let end = (offset as usize)
+                    .saturating_add(len as usize)
+                    .min(out.len());
+                out.drain(start..end);
+            }
+        }
+    }
+    out
+}
+
+/// A [`LogSink`] wrapper that presents a faulted view of its inner sink.
+///
+/// Reads see the inner bytes with every registered [`SinkFault`] applied.
+/// The first write-path call (`append` / `truncate_to`) *materializes* the
+/// faulted view into a fresh [`MemorySink`] and clears the fault list, so
+/// offsets observed by recovery (e.g. `consumed_bytes` truncation) stay
+/// consistent with the bytes later appends land on — exactly as if the
+/// corruption had happened on media before the process restarted.
+pub struct FaultSink {
+    inner: Box<dyn LogSink>,
+    faults: Vec<SinkFault>,
+}
+
+impl FaultSink {
+    /// Wrap `inner`, presenting it with `faults` applied.
+    pub fn new(inner: Box<dyn LogSink>, faults: Vec<SinkFault>) -> Self {
+        FaultSink { inner, faults }
+    }
+
+    fn materialize(&mut self) -> Result<()> {
+        if self.faults.is_empty() {
+            return Ok(());
+        }
+        let view = apply_faults(&self.inner.read_all()?, &self.faults);
+        self.inner = Box::new(MemorySink::from_bytes(view));
+        self.faults.clear();
+        Ok(())
+    }
+}
+
+impl LogSink for FaultSink {
+    fn append(&mut self, frame: &[u8]) -> Result<()> {
+        self.materialize()?;
+        self.inner.append(frame)
+    }
+
+    fn read_all(&self) -> Result<Vec<u8>> {
+        Ok(apply_faults(&self.inner.read_all()?, &self.faults))
+    }
+
+    fn len(&self) -> u64 {
+        let mut len = self.inner.len();
+        for fault in &self.faults {
+            if let SinkFault::DropRange { offset, len: cut } = *fault {
+                len -= cut.min(len.saturating_sub(offset));
+            }
+        }
+        len
+    }
+
+    fn truncate_to(&mut self, len: u64) -> Result<()> {
+        self.materialize()?;
+        self.inner.truncate_to(len)
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        self.inner.sync()
+    }
+}
+
+/// Byte spans `[start, end)` of each intact frame in a raw log image,
+/// stopping at the first torn or corrupt frame — the same prefix rule as
+/// [`replay_bytes`]. Fault planners use this to target whole frames.
+pub fn frame_spans(bytes: &[u8]) -> Vec<(u64, u64)> {
+    let mut spans = Vec::new();
+    let mut offset = 0usize;
+    while bytes.len() - offset >= 8 {
+        let len = u32::from_le_bytes(bytes[offset..offset + 4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(bytes[offset + 4..offset + 8].try_into().unwrap());
+        let start = offset + 8;
+        if bytes.len() < start + len {
+            break;
+        }
+        let payload = &bytes[start..start + len];
+        if codec::crc32(payload) != crc || LogRecord::decode(payload).is_err() {
+            break;
+        }
+        spans.push((offset as u64, (start + len) as u64));
+        offset = start + len;
+    }
+    spans
+}
+
 /// Decode framed records from a raw log image. Returns the records and the
 /// offset of the first byte **not** consumed (torn tails stop the replay).
 pub fn replay_bytes(bytes: &[u8]) -> Result<(Vec<LogRecord>, u64)> {
@@ -880,6 +1006,102 @@ mod tests {
             records,
             vec![LogRecord::Checkpoint, LogRecord::PendingRemove { id: 3 }]
         );
+    }
+
+    #[test]
+    fn frame_spans_tile_the_image_and_stop_at_corruption() {
+        let mut wal = Wal::in_memory();
+        for r in sample_records() {
+            wal.append(&r).unwrap();
+        }
+        let bytes = wal.image().unwrap();
+        let spans = frame_spans(&bytes);
+        assert_eq!(spans.len(), sample_records().len());
+        assert_eq!(spans[0].0, 0);
+        for w in spans.windows(2) {
+            assert_eq!(w[0].1, w[1].0); // frames tile with no gaps
+        }
+        assert_eq!(spans.last().unwrap().1, bytes.len() as u64);
+        // Corrupting frame 3's payload stops the span walk there.
+        let mut bad = bytes.clone();
+        bad[spans[2].0 as usize + 8] ^= 0xFF;
+        assert_eq!(frame_spans(&bad).len(), 2);
+    }
+
+    #[test]
+    fn fault_sink_flip_byte_cuts_recovery_at_the_frame_boundary() {
+        let mut wal = Wal::in_memory();
+        for r in sample_records() {
+            wal.append(&r).unwrap();
+        }
+        let bytes = wal.image().unwrap();
+        let spans = frame_spans(&bytes);
+        // Flip a byte inside the 4th frame's payload.
+        let fault = SinkFault::FlipByte {
+            offset: spans[3].0 + 8,
+        };
+        let faulted = Wal::with_sink(Box::new(FaultSink::new(
+            Box::new(MemorySink::from_bytes(bytes.clone())),
+            vec![fault],
+        )));
+        let (records, consumed) = faulted.replay().unwrap();
+        assert_eq!(records, sample_records()[..3].to_vec());
+        assert_eq!(consumed, spans[2].1);
+        // The direct byte view agrees with the sink view.
+        let (direct, _) = replay_bytes(&apply_faults(&bytes, &[fault])).unwrap();
+        assert_eq!(direct, records);
+    }
+
+    #[test]
+    fn fault_sink_drop_range_loses_whole_frames_but_keeps_the_rest_valid() {
+        let mut wal = Wal::in_memory();
+        for r in sample_records() {
+            wal.append(&r).unwrap();
+        }
+        let bytes = wal.image().unwrap();
+        let spans = frame_spans(&bytes);
+        // Drop frames 2..4 (a lost group flush mid-log).
+        let fault = SinkFault::DropRange {
+            offset: spans[2].0,
+            len: spans[3].1 - spans[2].0,
+        };
+        let sink = FaultSink::new(Box::new(MemorySink::from_bytes(bytes.clone())), vec![fault]);
+        assert_eq!(
+            LogSink::len(&sink),
+            bytes.len() as u64 - (spans[3].1 - spans[2].0)
+        );
+        let faulted = Wal::with_sink(Box::new(sink));
+        let (records, consumed) = faulted.replay().unwrap();
+        let mut expected = sample_records();
+        expected.drain(2..4);
+        assert_eq!(records, expected);
+        assert_eq!(consumed, faulted.size_bytes());
+    }
+
+    #[test]
+    fn fault_sink_materializes_before_writes() {
+        let mut wal = Wal::in_memory();
+        for r in sample_records() {
+            wal.append(&r).unwrap();
+        }
+        let bytes = wal.image().unwrap();
+        let spans = frame_spans(&bytes);
+        let fault = SinkFault::FlipByte {
+            offset: spans[3].0 + 8,
+        };
+        let mut faulted = Wal::with_sink(Box::new(FaultSink::new(
+            Box::new(MemorySink::from_bytes(bytes)),
+            vec![fault],
+        )));
+        // Recovery-style sequence: truncate to the valid prefix, then keep
+        // appending. The faulted suffix must be gone for good.
+        let (prefix, consumed) = faulted.replay().unwrap();
+        faulted.truncate_to(consumed).unwrap();
+        faulted.append(&LogRecord::Checkpoint).unwrap();
+        let (records, _) = faulted.replay().unwrap();
+        let mut expected = prefix;
+        expected.push(LogRecord::Checkpoint);
+        assert_eq!(records, expected);
     }
 
     #[test]

@@ -216,6 +216,69 @@ fn a_crash_tearing_a_group_commit_batch_recovers_the_record_prefix() {
 }
 
 #[test]
+fn flipping_any_mid_log_byte_cuts_recovery_at_that_frame_boundary() {
+    // Promotes the storage-layer `corrupt_byte_stops_replay_at_frame_
+    // boundary` unit test to a full-system check: for EVERY byte
+    // position of EVERY frame, a single bit-complemented byte (injected
+    // through the same `FaultSink` the simulator's WAL mutations use)
+    // must make engine recovery land exactly where truncating the log at
+    // that frame's start would — the longest checksum-valid prefix, no
+    // garbage applied, no later frame resurrected.
+    use quantum_db::core::world_fingerprint;
+    use quantum_db::storage::wal::{frame_spans, replay_bytes, FaultSink, SinkFault};
+
+    let (_qdb, image) = engine_with_two_pending();
+    let spans = frame_spans(&image);
+    assert!(spans.len() >= 4, "schema + seats + two commits");
+    assert_eq!(
+        spans.last().unwrap().1,
+        image.len() as u64,
+        "frames tile the image"
+    );
+    for &(start, end) in &spans {
+        // Ground truth for every flip inside this frame: recovery from
+        // the log truncated at the frame boundary.
+        let truncated = recover(image[..start as usize].to_vec());
+        let truncated_fp = world_fingerprint(truncated.database());
+        let (records, consumed) = replay_bytes(&image[..start as usize]).unwrap();
+        assert_eq!(consumed, start, "whole frames replay exactly");
+        for offset in start..end {
+            let wal = Wal::with_sink(Box::new(FaultSink::new(
+                Box::new(MemorySink::from_bytes(image.clone())),
+                vec![SinkFault::FlipByte { offset }],
+            )));
+            let recovered = QuantumDb::recover(wal, QuantumDbConfig::default())
+                .expect("a corrupt log recovers to its valid prefix");
+            assert_eq!(
+                recovered.pending_count(),
+                truncated.pending_count(),
+                "flip at byte {offset}: pending set differs from prefix truncation"
+            );
+            assert_eq!(
+                world_fingerprint(recovered.database()),
+                truncated_fp,
+                "flip at byte {offset}: extensional state differs from prefix truncation"
+            );
+            // Metrics identity: the tolerant replay of the faulted bytes
+            // consumes exactly the bytes before the corrupt frame and
+            // yields exactly the prefix records.
+            let faulted: Vec<u8> = image
+                .iter()
+                .enumerate()
+                .map(|(i, b)| if i as u64 == offset { !b } else { *b })
+                .collect();
+            let (frecords, fconsumed) = replay_bytes(&faulted).unwrap();
+            assert_eq!(fconsumed, start, "flip at byte {offset}: wrong stop offset");
+            assert_eq!(
+                frecords.len(),
+                records.len(),
+                "flip at byte {offset}: record count differs"
+            );
+        }
+    }
+}
+
+#[test]
 fn every_truncation_point_recovers_without_panicking() {
     let (_qdb, image) = engine_with_two_pending();
     let mut seen_pending = std::collections::BTreeSet::new();
