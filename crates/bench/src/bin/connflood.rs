@@ -1,0 +1,31 @@
+//! Helper for the `connection_scale` experiment: hold `COUNT` idle TCP
+//! connections to `ADDR` from a separate process.
+//!
+//! A 10k-connection flood costs two file descriptors per connection when
+//! client and server share a process — past `RLIMIT_NOFILE` in locked-down
+//! environments that refuse to raise the hard limit. Splitting the client
+//! ends across a few of these helpers leaves the server process paying one
+//! fd per connection, which is the bill an actual server would pay.
+//!
+//! Protocol: connect everything, print `ready`, then hold the sockets
+//! until the parent closes our stdin (or exits, which closes it too).
+
+use std::io::{BufRead, Write};
+use std::net::TcpStream;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let usage = "usage: connflood ADDR COUNT";
+    let addr = args.next().expect(usage);
+    let count: usize = args.next().and_then(|c| c.parse().ok()).expect(usage);
+    qdb_server::raise_nofile_limit(count as u64 + 64).expect("raise RLIMIT_NOFILE");
+    let mut held = Vec::with_capacity(count);
+    for _ in 0..count {
+        held.push(TcpStream::connect(addr.as_str()).expect("flood connect"));
+    }
+    println!("ready");
+    std::io::stdout().flush().expect("signal readiness");
+    let mut line = String::new();
+    let _ = std::io::stdin().lock().read_line(&mut line);
+    drop(held);
+}

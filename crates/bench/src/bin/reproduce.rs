@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! reproduce [table1|fig5|fig6|fig7|table2|fig8|fig9|phase|partition_scaling|
-//!            admission_depth|read_path|profile|sim|all]...
+//!            admission_depth|read_path|profile|sim|connection_scale|all]...
 //!           [--scale full|smoke] [--json] [--trace-out PATH]
 //! ```
 //!
@@ -71,7 +71,7 @@ fn main() {
     if which.is_empty() {
         which.push("all".to_string());
     }
-    const KNOWN: [&str; 14] = [
+    const KNOWN: [&str; 15] = [
         "all",
         "table1",
         "fig5",
@@ -86,6 +86,7 @@ fn main() {
         "read_path",
         "profile",
         "sim",
+        "connection_scale",
     ];
     for w in &which {
         if !KNOWN.contains(&w.as_str()) {
@@ -125,6 +126,9 @@ fn main() {
     }
     if wants("profile") {
         records.push(profile_report(scale, trace_out.as_deref()));
+    }
+    if wants("connection_scale") {
+        records.push(connection_scale_report(scale));
     }
     let mut sim_failed = false;
     if wants("sim") {
@@ -351,6 +355,91 @@ fn profile_report(scale: Scale, trace_out: Option<&str>) -> Json {
         ("bookings", num((flights * pairs) as f64)),
         ("reads", num(reads as f64)),
         ("engines", Json::Arr(engines)),
+    ])
+}
+
+/// The serving-layer acceptance run (see `qdb_bench::connscale`): park a
+/// flood of idle connections on the epoll reactor, rerun the hot workload,
+/// and report the latency penalty plus the per-idle-connection memory
+/// bill. CI jq-gates `conns_refused == 0` and a non-degenerate `p999_us`
+/// off this record.
+fn connection_scale_report(scale: Scale) -> Json {
+    use qdb_bench::{connection_scale, ConnScaleConfig};
+
+    let cfg = match scale {
+        Scale::Full => ConnScaleConfig::full(),
+        Scale::Smoke => ConnScaleConfig::smoke(),
+    };
+    println!("== Connection scale: hot-path latency under an idle-connection flood ==");
+    println!(
+        "({} idle connections parked, {} hot threads x {} round trips,\n\
+         baseline vs flooded; epoll reactor, {} executor workers)\n",
+        cfg.idle_conns, cfg.hot_conns, cfg.requests_per_conn, cfg.workers
+    );
+    let outcome = connection_scale(&cfg);
+    let us = |ns: u64| ns as f64 / 1000.0;
+    let table: Vec<Vec<String>> = outcome
+        .phases
+        .iter()
+        .map(|p| {
+            vec![
+                p.label.to_string(),
+                p.idle_conns.to_string(),
+                p.requests.to_string(),
+                format!("{:.0}", p.throughput_rps),
+                format!("{:.1}", us(p.latency.p50_ns)),
+                format!("{:.1}", us(p.latency.p99_ns)),
+                format!("{:.1}", us(p.latency.p999_ns)),
+                format!("{:.1}", us(p.latency.max_ns)),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &["phase", "idle", "requests", "req/s", "p50_us", "p99_us", "p999_us", "max_us"],
+            &table
+        )
+    );
+    println!(
+        "held {} idle conns (peak {}, refused {}, reaped {}); \
+         {:.0} bytes/idle conn; p99 scaled/baseline = {:.2}x\n",
+        outcome.idle_held,
+        outcome.conns_peak,
+        outcome.conns_refused,
+        outcome.conns_idle_closed,
+        outcome.bytes_per_idle_conn,
+        outcome.p99_ratio
+    );
+    Json::obj([
+        ("experiment", jstr("connection_scale")),
+        ("idle_conns", num(cfg.idle_conns as f64)),
+        ("hot_conns", num(cfg.hot_conns as f64)),
+        ("requests_per_conn", num(cfg.requests_per_conn as f64)),
+        ("workers", num(cfg.workers as f64)),
+        ("nofile_limit", num(outcome.nofile_limit as f64)),
+        ("idle_held", num(outcome.idle_held as f64)),
+        ("conns_peak", num(outcome.conns_peak as f64)),
+        ("conns_refused", num(outcome.conns_refused as f64)),
+        ("conns_idle_closed", num(outcome.conns_idle_closed as f64)),
+        ("bytes_per_idle_conn", num(outcome.bytes_per_idle_conn)),
+        ("p99_ratio", num(outcome.p99_ratio)),
+        (
+            "phases",
+            Json::arr(outcome.phases.iter().map(|p| {
+                Json::obj([
+                    ("phase", jstr(p.label)),
+                    ("idle_conns", num(p.idle_conns as f64)),
+                    ("requests", num(p.requests as f64)),
+                    ("throughput_rps", num(p.throughput_rps)),
+                    ("p50_us", num(us(p.latency.p50_ns))),
+                    ("p90_us", num(us(p.latency.p90_ns))),
+                    ("p99_us", num(us(p.latency.p99_ns))),
+                    ("p999_us", num(us(p.latency.p999_ns))),
+                    ("max_us", num(us(p.latency.max_ns))),
+                ])
+            })),
+        ),
     ])
 }
 

@@ -1,0 +1,361 @@
+//! The `connection_scale` experiment: can the serving layer hold 10k+
+//! mostly-idle connections while a hot subset keeps its latency?
+//!
+//! This is the acceptance run for the epoll reactor (the C10K shape): a
+//! thread-per-connection server pays a stack per socket and falls over
+//! three orders of magnitude earlier; a readiness loop pays a few hundred
+//! bytes of user-space state per idle socket and nothing per epoll tick.
+//! The experiment measures exactly that claim:
+//!
+//! 1. **baseline** — `hot_conns` pipelined client threads round-trip
+//!    against an otherwise-empty server; per-request latency recorded.
+//! 2. **flood** — `idle_conns` raw TCP connections are opened and held,
+//!    sending nothing. Per-idle-connection user-space bytes are read off
+//!    the server's own accounting ([`qdb_server::ServerHandle::conn_memory`]).
+//! 3. **scaled** — the same hot workload reruns with the flood still
+//!    parked. The p99 ratio scaled/baseline is the headline number: the
+//!    acceptance gate is ≤ 2×.
+
+use std::io::BufRead;
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use qdb_client::Connection;
+use qdb_core::{HistSummary, Histogram};
+use qdb_server::{raise_nofile_limit, Server, ServerConfig, ServerHandle};
+
+/// Knobs for one [`connection_scale`] run.
+#[derive(Debug, Clone)]
+pub struct ConnScaleConfig {
+    /// Idle connections to park (the flood).
+    pub idle_conns: usize,
+    /// Concurrent hot client threads.
+    pub hot_conns: usize,
+    /// Round trips per hot thread per measured phase.
+    pub requests_per_conn: usize,
+    /// Unrecorded round trips per hot thread before each measured phase
+    /// (connection setup, allocator and branch-predictor warmup would
+    /// otherwise land in the baseline's tail and distort the ratio).
+    pub warmup_per_conn: usize,
+    /// Executor threads for the server under test.
+    pub workers: usize,
+}
+
+impl ConnScaleConfig {
+    /// The paper-scale run: 10k idle connections under an 8-thread hot set.
+    pub fn full() -> Self {
+        ConnScaleConfig {
+            idle_conns: 10_000,
+            hot_conns: 8,
+            requests_per_conn: 1000,
+            warmup_per_conn: 100,
+            workers: 4,
+        }
+    }
+
+    /// A quick shape-check (CI smoke): several hundred idle connections.
+    pub fn smoke() -> Self {
+        ConnScaleConfig {
+            idle_conns: 500,
+            hot_conns: 4,
+            requests_per_conn: 200,
+            warmup_per_conn: 25,
+            workers: 2,
+        }
+    }
+}
+
+/// One measured phase (baseline or scaled) of the hot workload.
+#[derive(Debug, Clone)]
+pub struct HotPhase {
+    /// `"baseline"` (empty server) or `"scaled"` (flood parked).
+    pub label: &'static str,
+    /// Idle connections parked during the phase.
+    pub idle_conns: usize,
+    /// Total round trips completed.
+    pub requests: u64,
+    /// Round trips per second across all hot threads.
+    pub throughput_rps: f64,
+    /// Per-request latency percentiles.
+    pub latency: HistSummary,
+}
+
+/// The full experiment outcome.
+#[derive(Debug, Clone)]
+pub struct ConnScaleOutcome {
+    /// Soft `RLIMIT_NOFILE` after raising it for the flood.
+    pub nofile_limit: u64,
+    /// Connections the flood actually parked (== config unless the fd
+    /// budget or backlog refused some — see `refused`).
+    pub idle_held: usize,
+    /// Peak concurrently-open connections the server observed.
+    pub conns_peak: u64,
+    /// Connections refused at the admission limit (must be 0: the limit
+    /// is provisioned above the flood).
+    pub conns_refused: u64,
+    /// Connections reaped by the idle timer during the run (must be 0:
+    /// the timeout is provisioned well past the run length).
+    pub conns_idle_closed: u64,
+    /// User-space bytes of per-connection state per parked idle
+    /// connection, measured as the delta across the flood divided by its
+    /// size.
+    pub bytes_per_idle_conn: f64,
+    /// p99 ratio scaled/baseline — the headline of the experiment.
+    pub p99_ratio: f64,
+    /// The two measured phases, baseline first.
+    pub phases: Vec<HotPhase>,
+}
+
+/// Drive one hot phase: `hot` threads x `requests` SHOW PENDING round
+/// trips, each latency recorded in a shared lock-free histogram.
+fn hot_phase(
+    label: &'static str,
+    server: &ServerHandle,
+    idle_conns: usize,
+    hot: usize,
+    requests: usize,
+    warmup: usize,
+) -> HotPhase {
+    let hist = Arc::new(Histogram::new());
+    let barrier = Arc::new(std::sync::Barrier::new(hot + 1));
+    let threads: Vec<_> = (0..hot)
+        .map(|_| {
+            let addr = server.addr();
+            let hist = Arc::clone(&hist);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut conn = Connection::connect(addr).expect("hot connection");
+                for _ in 0..warmup {
+                    conn.execute("SHOW PENDING").expect("warmup round trip");
+                }
+                barrier.wait(); // measured window starts with all threads warm
+                for _ in 0..requests {
+                    let t = Instant::now();
+                    conn.execute("SHOW PENDING").expect("hot round trip");
+                    hist.record_duration(t.elapsed());
+                }
+            })
+        })
+        .collect();
+    barrier.wait();
+    let started = Instant::now();
+    for t in threads {
+        t.join().expect("hot thread");
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let total = (hot * requests) as u64;
+    HotPhase {
+        label,
+        idle_conns,
+        requests: total,
+        throughput_rps: if elapsed > 0.0 {
+            total as f64 / elapsed
+        } else {
+            0.0
+        },
+        latency: hist.summary(),
+    }
+}
+
+/// The parked flood: client socket ends held in-process when the fd
+/// budget allows, otherwise split across `connflood` helper processes so
+/// the server process pays one fd per connection (its real bill) instead
+/// of two.
+enum Flood {
+    InProcess(Vec<TcpStream>),
+    Children(Vec<Child>),
+}
+
+impl Flood {
+    fn held(&self) -> usize {
+        match self {
+            Flood::InProcess(streams) => streams.len(),
+            Flood::Children(children) => children.len() * FLOOD_PER_CHILD,
+        }
+    }
+
+    /// Release every parked connection (children exit when their stdin
+    /// closes) and reap the helpers.
+    fn release(self) {
+        match self {
+            Flood::InProcess(streams) => drop(streams),
+            Flood::Children(mut children) => {
+                for child in &mut children {
+                    drop(child.stdin.take());
+                }
+                for mut child in children {
+                    let _ = child.wait();
+                }
+            }
+        }
+    }
+}
+
+/// Connections per `connflood` helper — small enough that a helper fits
+/// a conservative fd budget, large enough that 10k idle needs only 5.
+const FLOOD_PER_CHILD: usize = 2000;
+
+fn spawn_flood(addr: std::net::SocketAddr, idle_conns: usize, fd_budget: u64) -> Flood {
+    if 2 * (idle_conns as u64) + 512 <= fd_budget || idle_conns < 2 * FLOOD_PER_CHILD {
+        let mut streams = Vec::with_capacity(idle_conns);
+        for _ in 0..idle_conns {
+            streams.push(TcpStream::connect(addr).expect("flood connect"));
+        }
+        return Flood::InProcess(streams);
+    }
+    assert!(
+        idle_conns.is_multiple_of(FLOOD_PER_CHILD),
+        "idle_conns {idle_conns} must be a multiple of {FLOOD_PER_CHILD} \
+         when the flood is split across helper processes"
+    );
+    let helper = std::env::current_exe()
+        .expect("current exe")
+        .with_file_name("connflood");
+    assert!(
+        helper.exists(),
+        "flood helper {} not built; run `cargo build --release -p qdb-bench` first",
+        helper.display()
+    );
+    let mut children = Vec::new();
+    for _ in 0..idle_conns / FLOOD_PER_CHILD {
+        let mut child = Command::new(&helper)
+            .arg(addr.to_string())
+            .arg(FLOOD_PER_CHILD.to_string())
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("spawn connflood helper");
+        let mut ready = String::new();
+        std::io::BufReader::new(child.stdout.take().expect("helper stdout"))
+            .read_line(&mut ready)
+            .expect("helper readiness");
+        assert_eq!(ready.trim(), "ready", "helper failed to park its flood");
+        children.push(child);
+    }
+    Flood::Children(children)
+}
+
+/// Run the experiment. Panics on setup failures (bind, fd limit too low
+/// to even try); measurement-level expectations (refusals, reaping) are
+/// reported in the outcome for the caller to gate on.
+pub fn connection_scale(cfg: &ConnScaleConfig) -> ConnScaleOutcome {
+    // The server process pays one fd per parked connection plus both ends
+    // of the hot set and slack for listener, epoll, waker pair and the
+    // binary's own files. (The flood's client ends move to helper
+    // processes when two-per-connection would not fit — see [`Flood`].)
+    let want_fds = (cfg.idle_conns + 2 * cfg.hot_conns) as u64 + 512;
+    let nofile_limit = raise_nofile_limit(2 * (cfg.idle_conns + cfg.hot_conns) as u64 + 512)
+        .expect("raise RLIMIT_NOFILE");
+    assert!(
+        nofile_limit >= want_fds,
+        "fd budget too small for {} idle connections: soft limit {} < {}",
+        cfg.idle_conns,
+        nofile_limit,
+        want_fds
+    );
+
+    let server = Server::spawn(&ServerConfig {
+        workers: cfg.workers,
+        // Provisioned above the flood so zero refusals is a pass/fail
+        // signal, not a tautology.
+        max_connections: cfg.idle_conns + cfg.hot_conns + 64,
+        // Long enough that nothing is reaped mid-run, present so the
+        // timer wheel's bookkeeping cost is included in what we measure.
+        idle_timeout: Some(Duration::from_secs(600)),
+        ..ServerConfig::default()
+    })
+    .expect("connection_scale server");
+
+    let baseline = hot_phase(
+        "baseline",
+        &server,
+        0,
+        cfg.hot_conns,
+        cfg.requests_per_conn,
+        cfg.warmup_per_conn,
+    );
+
+    // Park the flood. Memory is sampled around it so the per-connection
+    // figure is a delta, not polluted by the baseline's session state.
+    let mem_before = server.conn_memory();
+    let flood = spawn_flood(server.addr(), cfg.idle_conns, nofile_limit);
+    // The reactor accepts asynchronously; wait for the whole flood to be
+    // registered before sampling state or starting the measured phase.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let stats = server.stats();
+        if stats.conns_open >= cfg.idle_conns as u64 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "flood not fully accepted: {stats}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let mem_after = server.conn_memory();
+    let bytes_per_idle_conn = if cfg.idle_conns > 0 {
+        mem_after.bytes.saturating_sub(mem_before.bytes) as f64 / cfg.idle_conns as f64
+    } else {
+        0.0
+    };
+
+    let scaled = hot_phase(
+        "scaled",
+        &server,
+        cfg.idle_conns,
+        cfg.hot_conns,
+        cfg.requests_per_conn,
+        cfg.warmup_per_conn,
+    );
+
+    let stats = server.stats();
+    let p99_ratio = if baseline.latency.p99_ns > 0 {
+        scaled.latency.p99_ns as f64 / baseline.latency.p99_ns as f64
+    } else {
+        0.0
+    };
+    let outcome = ConnScaleOutcome {
+        nofile_limit,
+        idle_held: flood.held(),
+        conns_peak: stats.conns_peak,
+        conns_refused: stats.conns_refused,
+        conns_idle_closed: stats.conns_idle_closed,
+        bytes_per_idle_conn,
+        p99_ratio,
+        phases: vec![baseline, scaled],
+    };
+    flood.release();
+    server.shutdown();
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_run_reports_sane_shape() {
+        let outcome = connection_scale(&ConnScaleConfig {
+            idle_conns: 32,
+            hot_conns: 2,
+            requests_per_conn: 10,
+            warmup_per_conn: 2,
+            workers: 2,
+        });
+        assert_eq!(outcome.idle_held, 32);
+        assert_eq!(outcome.conns_refused, 0);
+        assert_eq!(outcome.conns_idle_closed, 0);
+        assert!(outcome.conns_peak >= 32 + 2);
+        assert!(outcome.bytes_per_idle_conn > 0.0);
+        assert_eq!(outcome.phases.len(), 2);
+        for phase in &outcome.phases {
+            assert_eq!(phase.requests, 20);
+            assert!(phase.latency.p50_ns > 0);
+            assert!(phase.latency.p999_ns >= phase.latency.p99_ns);
+            assert!(phase.throughput_rps > 0.0);
+        }
+    }
+}

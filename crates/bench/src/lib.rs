@@ -5,11 +5,13 @@
 //! the command-line entry point and `benches/` for the Criterion
 //! microbenchmarks.
 
+pub mod connscale;
 pub mod experiments;
 pub mod json;
 pub mod report;
 pub mod stamp;
 
+pub use connscale::{connection_scale, ConnScaleConfig, ConnScaleOutcome, HotPhase};
 pub use experiments::{
     admission_depth, fig5_fig6_order_of_arrival, fig7_table2_scalability, fig8_fig9_mixed,
     paper_orders, phase_transition, table1_max_pending, AdmissionDepthRow, Fig5Row, MixedRow,

@@ -34,8 +34,16 @@ use qdb_storage::Value;
 /// Client-side failures.
 #[derive(Debug)]
 pub enum ClientError {
-    /// Transport failure (connect, read, write).
+    /// Transport failure (connect, read, write) other than the peer
+    /// being gone — those are [`ClientError::Unavailable`].
     Io(std::io::Error),
+    /// The server (or its host) actively refused the connection, reset
+    /// it, or closed it on us: `ECONNREFUSED` at connect, a reset or
+    /// EOF mid-conversation — including a server at its admission limit,
+    /// which accepts and immediately closes. Distinct from
+    /// [`ClientError::Io`] so callers (and [`Pool`]) can retry or fail
+    /// over deliberately instead of pattern-matching `io::Error` kinds.
+    Unavailable(std::io::Error),
     /// The peer sent bytes that do not decode as a valid reply, or a
     /// reply that does not match the request stream.
     Protocol(String),
@@ -52,6 +60,7 @@ impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Unavailable(e) => write!(f, "server unavailable: {e}"),
             ClientError::Protocol(msg) => write!(f, "protocol: {msg}"),
             ClientError::Server { code, message } => {
                 write!(f, "server error (code {code}): {message}")
@@ -62,9 +71,24 @@ impl std::fmt::Display for ClientError {
 
 impl std::error::Error for ClientError {}
 
+impl ClientError {
+    /// `true` for [`ClientError::Unavailable`] — the class of failure a
+    /// retry against the same (or another) server address may fix.
+    pub fn is_unavailable(&self) -> bool {
+        matches!(self, ClientError::Unavailable(_))
+    }
+}
+
 impl From<std::io::Error> for ClientError {
     fn from(e: std::io::Error) -> Self {
-        ClientError::Io(e)
+        use std::io::ErrorKind::*;
+        match e.kind() {
+            // The peer is gone or never there; everything else (timeouts,
+            // permission, interrupted DNS, ...) stays a generic I/O error.
+            ConnectionRefused | ConnectionReset | ConnectionAborted | BrokenPipe | NotConnected
+            | UnexpectedEof => ClientError::Unavailable(e),
+            _ => ClientError::Io(e),
+        }
     }
 }
 
@@ -148,7 +172,13 @@ impl Connection {
 
     fn recv_inner(&mut self, expect: u32) -> Result<Reply> {
         let frame = wire::read_frame(&mut self.reader)?.ok_or_else(|| {
-            ClientError::Protocol("server closed the connection mid-conversation".into())
+            // A clean EOF between frames is still the server going away
+            // mid-conversation — the typed unavailability, not a decode
+            // bug (an admission-limited server closes exactly like this).
+            ClientError::Unavailable(std::io::Error::new(
+                std::io::ErrorKind::ConnectionAborted,
+                "server closed the connection mid-conversation",
+            ))
         })?;
         if frame.request_id != expect {
             return Err(ClientError::Protocol(format!(
@@ -343,20 +373,57 @@ pub struct RemoteBound {
 /// A small blocking connection pool: threads check connections out and
 /// drop the guard to return them. Connections are created lazily up to no
 /// particular limit; at most `max_idle` are retained.
+///
+/// Unavailability handling is deterministic: a fresh connect that fails
+/// [`ClientError::Unavailable`] is retried immediately (no sleeps, no
+/// jitter) up to the configured retry budget — exactly `retries + 1`
+/// attempts, observable via [`Pool::connect_attempts`] — after which the
+/// typed error is reported to the caller. Any other failure reports
+/// immediately.
 pub struct Pool {
     addr: String,
     max_idle: usize,
+    connect_retries: u32,
+    connect_attempts: std::sync::atomic::AtomicU64,
     idle: Mutex<Vec<Connection>>,
+    #[cfg(test)]
+    connector: Option<Connector>,
 }
+
+/// Test-only connect hook so retry behavior is provable without racing
+/// real listeners.
+#[cfg(test)]
+type Connector = Box<dyn Fn(&str) -> Result<Connection> + Send + Sync>;
 
 impl Pool {
     /// Pool over `addr`, retaining up to `max_idle` parked connections.
+    /// No connect retries; see [`Pool::with_connect_retries`].
     pub fn new(addr: impl Into<String>, max_idle: usize) -> Pool {
+        Pool::with_connect_retries(addr, max_idle, 0)
+    }
+
+    /// Pool that retries an [`ClientError::Unavailable`] fresh connect up
+    /// to `retries` extra times before reporting it.
+    pub fn with_connect_retries(addr: impl Into<String>, max_idle: usize, retries: u32) -> Pool {
         Pool {
             addr: addr.into(),
             max_idle,
+            connect_retries: retries,
+            connect_attempts: std::sync::atomic::AtomicU64::new(0),
             idle: Mutex::new(Vec::new()),
+            #[cfg(test)]
+            connector: None,
         }
+    }
+
+    fn connect_once(&self) -> Result<Connection> {
+        self.connect_attempts
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        #[cfg(test)]
+        if let Some(connector) = &self.connector {
+            return connector(&self.addr);
+        }
+        Connection::connect(self.addr.as_str())
     }
 
     /// Check a connection out (reusing a parked one when available).
@@ -367,12 +434,31 @@ impl Pool {
         };
         let conn = match parked {
             Some(c) => c,
-            None => Connection::connect(self.addr.as_str())?,
+            None => {
+                let mut attempt = 0;
+                loop {
+                    match self.connect_once() {
+                        Ok(c) => break c,
+                        Err(e) if e.is_unavailable() && attempt < self.connect_retries => {
+                            attempt += 1;
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
         };
         Ok(PooledConnection {
             pool: self,
             conn: Some(conn),
         })
+    }
+
+    /// Fresh connects attempted over this pool's lifetime (reuses of
+    /// parked connections do not count) — what makes the retry budget
+    /// verifiable.
+    pub fn connect_attempts(&self) -> u64 {
+        self.connect_attempts
+            .load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Parked connections right now.
@@ -570,10 +656,83 @@ mod tests {
             // next call fails at the transport and taints it.
             server.shutdown();
             let err = c.execute("SHOW PENDING").unwrap_err();
-            assert!(matches!(err, ClientError::Io(_) | ClientError::Protocol(_)));
+            assert!(matches!(
+                err,
+                ClientError::Unavailable(_) | ClientError::Io(_) | ClientError::Protocol(_)
+            ));
             assert!(!c.is_healthy());
         }
         assert_eq!(pool.idle_count(), 0, "a desynced stream must not be parked");
+    }
+
+    #[test]
+    fn refused_connect_is_typed_not_generic_io() {
+        // Bind-then-drop yields a port with nothing listening.
+        let dead = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let err = Connection::connect(dead).unwrap_err();
+        assert!(err.is_unavailable(), "{err}");
+        assert!(matches!(err, ClientError::Unavailable(_)));
+    }
+
+    #[test]
+    fn pool_reports_unavailability_after_a_deterministic_attempt_count() {
+        let dead = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let pool = Pool::with_connect_retries(dead.to_string(), 2, 3);
+        let err = pool.get().map(|_| ()).unwrap_err();
+        assert!(err.is_unavailable(), "{err}");
+        assert_eq!(pool.connect_attempts(), 4, "retries + 1, no more, no less");
+        // Failing again costs exactly another budget, not a growing one.
+        let err = pool.get().map(|_| ()).unwrap_err();
+        assert!(err.is_unavailable());
+        assert_eq!(pool.connect_attempts(), 8);
+    }
+
+    #[test]
+    fn pool_retries_transient_refusal_then_succeeds() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let server = spawn();
+        let addr = server.addr().to_string();
+        let mut pool = Pool::with_connect_retries(addr, 2, 2);
+        // Deterministic flaky connector: refuse twice, then connect for
+        // real. (Injection is test-only; production always dials.)
+        let failures = std::sync::Arc::new(AtomicU32::new(0));
+        let flaky = std::sync::Arc::clone(&failures);
+        pool.connector = Some(Box::new(move |addr: &str| {
+            if flaky.fetch_add(1, Ordering::SeqCst) < 2 {
+                Err(ClientError::Unavailable(std::io::Error::new(
+                    std::io::ErrorKind::ConnectionRefused,
+                    "synthetic refusal",
+                )))
+            } else {
+                Connection::connect(addr)
+            }
+        }));
+        {
+            let mut c = pool.get().expect("third attempt connects");
+            assert!(matches!(
+                c.execute("SHOW PENDING").unwrap(),
+                Response::Pending(_)
+            ));
+        }
+        assert_eq!(pool.connect_attempts(), 3);
+        // A budget smaller than the failure streak reports instead.
+        let mut pool = Pool::with_connect_retries(server.addr().to_string(), 2, 1);
+        pool.connector = Some(Box::new(move |_addr: &str| {
+            Err(ClientError::Unavailable(std::io::Error::new(
+                std::io::ErrorKind::ConnectionRefused,
+                "synthetic refusal",
+            )))
+        }));
+        let err = pool.get().map(|_| ()).unwrap_err();
+        assert!(err.is_unavailable());
+        assert_eq!(pool.connect_attempts(), 2);
+        server.shutdown();
     }
 
     #[test]

@@ -304,6 +304,18 @@ pub struct ServerStats {
     pub bytes_in: u64,
     /// Payload bytes written to the network.
     pub bytes_out: u64,
+    /// Connections currently open (gauge).
+    pub conns_open: u64,
+    /// Highest number of simultaneously open connections observed.
+    pub conns_peak: u64,
+    /// Connections accepted then immediately closed because the server
+    /// was at its `max_connections` admission limit.
+    pub conns_refused: u64,
+    /// Connections reaped by the idle-timeout wheel.
+    pub conns_idle_closed: u64,
+    /// Times an executor stopped draining a connection because its
+    /// outbox hit the backpressure limit.
+    pub outbox_full_stalls: u64,
     /// Statements executed, counted per statement class
     /// ([`qdb_logic::Statement::kind`]), sorted by class name.
     pub statement_classes: Vec<(String, u64)>,
@@ -328,11 +340,17 @@ impl std::fmt::Display for ServerStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "connections={} frames={} bytes(in/out)={}/{} statements={}",
+            "connections={} (open={} peak={} refused={} idle_closed={}) \
+             frames={} bytes(in/out)={}/{} stalls={} statements={}",
             self.connections,
+            self.conns_open,
+            self.conns_peak,
+            self.conns_refused,
+            self.conns_idle_closed,
             self.frames_decoded,
             self.bytes_in,
             self.bytes_out,
+            self.outbox_full_stalls,
             self.statements_total(),
         )
     }
@@ -796,6 +814,11 @@ fn put_server_stats(body: &mut BytesMut, s: &ServerStats) {
     body.put_u64_le(s.frames_decoded);
     body.put_u64_le(s.bytes_in);
     body.put_u64_le(s.bytes_out);
+    body.put_u64_le(s.conns_open);
+    body.put_u64_le(s.conns_peak);
+    body.put_u64_le(s.conns_refused);
+    body.put_u64_le(s.conns_idle_closed);
+    body.put_u64_le(s.outbox_full_stalls);
     body.put_u32_le(s.statement_classes.len() as u32);
     for (class, count) in &s.statement_classes {
         scodec::put_string(body, class);
@@ -804,12 +827,17 @@ fn put_server_stats(body: &mut BytesMut, s: &ServerStats) {
 }
 
 fn get_server_stats(buf: &mut impl Buf) -> Result<ServerStats> {
-    need(buf, 32, "server stats")?;
+    need(buf, 72, "server stats")?;
     let mut s = ServerStats {
         connections: buf.get_u64_le(),
         frames_decoded: buf.get_u64_le(),
         bytes_in: buf.get_u64_le(),
         bytes_out: buf.get_u64_le(),
+        conns_open: buf.get_u64_le(),
+        conns_peak: buf.get_u64_le(),
+        conns_refused: buf.get_u64_le(),
+        conns_idle_closed: buf.get_u64_le(),
+        outbox_full_stalls: buf.get_u64_le(),
         statement_classes: Vec::new(),
     };
     let n = get_count(buf, "class count")?;
@@ -897,6 +925,38 @@ pub fn read_frame(r: &mut impl std::io::Read) -> std::io::Result<Option<Frame>> 
         request_id,
         body: payload,
     }))
+}
+
+/// Try to split one frame off the front of a read buffer.
+///
+/// The incremental sibling of [`read_frame`] for non-blocking readers that
+/// accumulate bytes as the socket delivers them: returns `Ok(None)` while
+/// the buffer holds only a partial frame, `Ok(Some((frame, consumed)))`
+/// once a complete frame is available (`consumed` bytes should then be
+/// drained from the front), and an error on an invalid length prefix —
+/// the same bound [`read_frame`] enforces, since a reader cannot resync
+/// after a corrupt length.
+pub fn try_frame(buf: &[u8]) -> Result<Option<(Frame, usize)>> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if !(5..=MAX_FRAME).contains(&len) {
+        return Err(WireError(format!("invalid frame length {len}")));
+    }
+    if buf.len() < 4 + len {
+        return Ok(None);
+    }
+    let kind = buf[4];
+    let request_id = u32::from_le_bytes([buf[5], buf[6], buf[7], buf[8]]);
+    Ok(Some((
+        Frame {
+            kind,
+            request_id,
+            body: buf[9..4 + len].to_vec(),
+        },
+        4 + len,
+    )))
 }
 
 /// Parse an encoded frame back out of a byte buffer (test and loopback
@@ -1038,6 +1098,11 @@ mod tests {
             frames_decoded: 120,
             bytes_in: 4096,
             bytes_out: 8192,
+            conns_open: 2,
+            conns_peak: 3,
+            conns_refused: 1,
+            conns_idle_closed: 4,
+            outbox_full_stalls: 5,
             statement_classes: vec![("INSERT".into(), 10), ("SELECT".into(), 7)],
         };
         roundtrip_reply(&Reply::Stats {
@@ -1210,6 +1275,44 @@ mod tests {
         assert!(read_frame(&mut cursor).is_err());
         let mut empty: &[u8] = &[];
         assert!(matches!(read_frame(&mut empty), Ok(None)));
+    }
+
+    #[test]
+    fn try_frame_decodes_incrementally_byte_by_byte() {
+        // Feed a concatenation of two frames one byte at a time: try_frame
+        // must stay `None` until each frame completes, then agree exactly
+        // with the blocking reader.
+        let a = encode_request(
+            7,
+            &Request::Execute {
+                sql: "SHOW X".into(),
+            },
+        );
+        let b = encode_request(8, &Request::Run { bound: 3 });
+        let stream: Vec<u8> = a.iter().chain(b.iter()).copied().collect();
+        let mut buf = Vec::new();
+        let mut decoded = Vec::new();
+        for &byte in &stream {
+            buf.push(byte);
+            while let Some((frame, used)) = try_frame(&buf).unwrap() {
+                buf.drain(..used);
+                decoded.push(frame);
+            }
+        }
+        assert!(buf.is_empty());
+        assert_eq!(decoded.len(), 2);
+        assert_eq!(decoded[0], parse_frame(&a).unwrap());
+        assert_eq!(decoded[1], parse_frame(&b).unwrap());
+    }
+
+    #[test]
+    fn try_frame_rejects_invalid_lengths_like_read_frame() {
+        let mut bytes = ((MAX_FRAME + 1) as u32).to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[0; 16]);
+        assert!(try_frame(&bytes).is_err());
+        assert!(try_frame(&[0, 0, 0, 0]).is_err());
+        // A partial length prefix is just "not yet".
+        assert!(matches!(try_frame(&[9, 0]), Ok(None)));
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! qdb-server [--addr HOST:PORT] [--workers N] [--k N]
 //!            [--prepared-cache N] [--no-partitioning]
 //!            [--slow-log MICROS] [--trace-out PATH]
+//!            [--max-conns N] [--idle-timeout-ms MS] [--outbox-limit BYTES]
 //! ```
 //!
 //! Defaults: `--addr 127.0.0.1:5433`, `--workers 4`, `--prepared-cache
@@ -11,7 +12,12 @@
 //! statement caching), engine defaults (k = 61, partitioning and solution
 //! cache on). `--slow-log N` promotes any operation over N microseconds
 //! into the engine's slow-op log; `--trace-out PATH` appends every
-//! finished operation to PATH as JSONL (see `docs/OBSERVABILITY.md`). The
+//! finished operation to PATH as JSONL (see `docs/OBSERVABILITY.md`).
+//! Serving knobs: `--max-conns` is the admission limit (default 16384;
+//! further connections are refused and counted), `--idle-timeout-ms`
+//! reaps connections with no inbound traffic for that long (default
+//! 30000; `0` disables), `--outbox-limit` bounds the per-connection
+//! reply buffer in bytes (default 262144). The
 //! process serves until killed; state is in-memory (a WAL-backed mode
 //! rides on the embedding API — see `Server::spawn_with_db`).
 
@@ -22,7 +28,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: qdb-server [--addr HOST:PORT] [--workers N] [--k N] \
          [--prepared-cache N] [--no-partitioning] [--slow-log MICROS] \
-         [--trace-out PATH]"
+         [--trace-out PATH] [--max-conns N] [--idle-timeout-ms MS] \
+         [--outbox-limit BYTES]"
     );
     std::process::exit(2);
 }
@@ -30,10 +37,11 @@ fn usage() -> ! {
 fn parse_args() -> ServerConfig {
     let mut cfg = ServerConfig {
         addr: "127.0.0.1:5433".to_string(),
-        workers: 4,
-        prepared_cache: qdb_core::Session::DEFAULT_STMT_CACHE,
         engine: QuantumDbConfig::default(),
-        trace_out: None,
+        // A standing network service defends itself against slowloris
+        // clients by default; embedders opt in via ServerConfig.
+        idle_timeout: Some(std::time::Duration::from_millis(30_000)),
+        ..ServerConfig::default()
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -65,6 +73,19 @@ fn parse_args() -> ServerConfig {
                 cfg.trace_out = Some(value(i));
                 i += 1;
             }
+            "--max-conns" => {
+                cfg.max_connections = value(i).parse().unwrap_or_else(|_| usage());
+                i += 1;
+            }
+            "--idle-timeout-ms" => {
+                let ms: u64 = value(i).parse().unwrap_or_else(|_| usage());
+                cfg.idle_timeout = (ms > 0).then(|| std::time::Duration::from_millis(ms));
+                i += 1;
+            }
+            "--outbox-limit" => {
+                cfg.outbox_limit = value(i).parse().unwrap_or_else(|_| usage());
+                i += 1;
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -84,10 +105,11 @@ fn main() {
         }
     };
     println!(
-        "qdb-server listening on {} ({} workers, k={})",
+        "qdb-server listening on {} ({} workers, k={}, max {} conns)",
         handle.addr(),
         workers,
-        cfg.engine.k
+        cfg.engine.k,
+        cfg.max_connections
     );
     handle.wait();
 }

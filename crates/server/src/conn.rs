@@ -2,21 +2,37 @@
 //!
 //! Each accepted socket gets one [`Conn`]: a server-side
 //! [`Session`] (with its prepared-statement LRU), the connection's
-//! prepared/bound id maps, a frame queue, and a write half. A dedicated
-//! reader thread decodes frames into the queue; execution happens on the
-//! shared worker pool. Per-connection ordering is preserved by the
-//! `scheduled` flag: a connection is enqueued on the pool at most once at
-//! a time, and the worker that picks it up drains its queue sequentially.
+//! prepared/bound id maps, a queue of decoded frames, and a bounded
+//! outbox of encoded reply bytes. The reactor thread owns the socket's
+//! readiness and its read buffer; executors drain the frame queue.
+//!
+//! Two disciplines keep the PR 2 contracts intact under the event loop:
+//!
+//! * **Ordering** — the `scheduled` flag enqueues a connection on the
+//!   executor pool at most once at a time, and the worker that picks it
+//!   up drains its frames sequentially, appending each reply to the
+//!   outbox in completion order. The outbox is flushed front-first, so
+//!   responses leave in request order per connection.
+//! * **Backpressure** — before popping the next frame, the drainer
+//!   checks the outbox; at or above [`Conn::outbox_limit`] it sets
+//!   `stalled` and returns *without* clearing `scheduled`. Ownership of
+//!   rescheduling passes to the reactor, which re-enqueues the
+//!   connection once a flush brings the outbox under the low watermark.
+//!   Both transitions happen under the outbox mutex, so a wakeup can
+//!   never be missed.
 
 use std::collections::{BTreeMap, VecDeque};
 use std::io::Write;
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use qdb_core::wire::{self, Frame, Reply, Request};
 use qdb_core::{Bound, Response, Session};
 
 use crate::metrics::ServerMetrics;
+use crate::reactor::Notifier;
+use crate::MAX_QUEUED_FRAMES;
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
@@ -30,6 +46,36 @@ struct FrameQueue {
     scheduled: bool,
 }
 
+/// Encoded reply bytes not yet accepted by the socket. `head` is the
+/// flush cursor into `buf`; compaction happens when the cursor clears
+/// the buffer or grows large.
+#[derive(Default)]
+struct Outbox {
+    buf: Vec<u8>,
+    head: usize,
+    /// A drainer stopped because the outbox hit the limit; the reactor
+    /// owns rescheduling (set/cleared only under this mutex).
+    stalled: bool,
+    /// The transport is gone: discard writes instead of buffering them.
+    closed: bool,
+}
+
+impl Outbox {
+    fn len(&self) -> usize {
+        self.buf.len() - self.head
+    }
+
+    fn compact(&mut self) {
+        if self.head == self.buf.len() {
+            self.buf.clear();
+            self.head = 0;
+        } else if self.head > 64 * 1024 {
+            self.buf.drain(..self.head);
+            self.head = 0;
+        }
+    }
+}
+
 /// Statement state of one connection: the session plus the client-id maps.
 struct StmtState {
     session: Session,
@@ -40,41 +86,145 @@ struct StmtState {
 /// One client connection.
 pub(crate) struct Conn {
     stream: TcpStream,
-    write: Mutex<TcpStream>,
+    token: u64,
     queue: Mutex<FrameQueue>,
+    outbox: Mutex<Outbox>,
     stmts: Mutex<StmtState>,
     metrics: Arc<ServerMetrics>,
+    notifier: Arc<Notifier>,
+    outbox_limit: usize,
+    /// Reactor deregistered `EPOLLIN` (queue or outbox saturated);
+    /// drainers kick once pressure drops so reading resumes.
+    read_paused: AtomicBool,
+    /// Transport failed (read/write error or protocol-level corruption);
+    /// the reactor closes the connection at the next opportunity.
+    dead: AtomicBool,
+    /// Peer half-closed its write side; finish in-flight work, flush,
+    /// then close.
+    peer_eof: AtomicBool,
+    /// Reactor-side dedup so a burst of kicks queues one entry.
+    kicked: AtomicBool,
+    /// Idle clock: reactor tick of the last inbound read.
+    last_active_tick: AtomicU64,
+    /// Capacity of the reactor-owned read buffer (memory accounting).
+    rbuf_bytes: AtomicUsize,
+    /// Capacity of the outbox buffer (memory accounting).
+    outbox_bytes: AtomicUsize,
 }
 
 impl Conn {
-    /// Wrap an accepted stream. `write` is a `try_clone` of the socket so
-    /// the reader thread keeps the original for its blocking reads.
     pub(crate) fn new(
         stream: TcpStream,
-        write: TcpStream,
+        token: u64,
         session: Session,
         metrics: Arc<ServerMetrics>,
+        notifier: Arc<Notifier>,
+        outbox_limit: usize,
     ) -> Self {
         Conn {
             stream,
-            write: Mutex::new(write),
+            token,
             queue: Mutex::new(FrameQueue::default()),
+            outbox: Mutex::new(Outbox::default()),
             stmts: Mutex::new(StmtState {
                 session,
                 prepared: BTreeMap::new(),
                 bound: BTreeMap::new(),
             }),
             metrics,
+            notifier,
+            outbox_limit,
+            read_paused: AtomicBool::new(false),
+            dead: AtomicBool::new(false),
+            peer_eof: AtomicBool::new(false),
+            kicked: AtomicBool::new(false),
+            last_active_tick: AtomicU64::new(0),
+            rbuf_bytes: AtomicUsize::new(0),
+            outbox_bytes: AtomicUsize::new(0),
         }
     }
 
-    /// Tear the socket down (unblocks the reader thread's pending read).
+    pub(crate) fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+
+    pub(crate) fn token(&self) -> u64 {
+        self.token
+    }
+
+    /// Ask the reactor to look at this connection (flush, interest
+    /// update, close check). Deduplicated until the reactor services it.
+    pub(crate) fn kick(&self) {
+        if !self.kicked.swap(true, Ordering::AcqRel) {
+            self.notifier.kick(self.token);
+        }
+    }
+
+    /// Reactor: about to service a kick — accept new ones from here on.
+    pub(crate) fn begin_kick(&self) {
+        self.kicked.store(false, Ordering::Release);
+    }
+
+    pub(crate) fn mark_dead(&self) {
+        self.dead.store(true, Ordering::Release);
+    }
+
+    pub(crate) fn dead(&self) -> bool {
+        self.dead.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn set_peer_eof(&self) {
+        self.peer_eof.store(true, Ordering::Release);
+    }
+
+    pub(crate) fn peer_eof(&self) -> bool {
+        self.peer_eof.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn set_read_paused(&self, paused: bool) {
+        self.read_paused.store(paused, Ordering::Release);
+    }
+
+    pub(crate) fn touch(&self, tick: u64) {
+        self.last_active_tick.store(tick, Ordering::Relaxed);
+    }
+
+    pub(crate) fn last_active(&self) -> u64 {
+        self.last_active_tick.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn set_rbuf_bytes(&self, n: usize) {
+        self.rbuf_bytes.store(n, Ordering::Relaxed);
+    }
+
+    /// Estimated user-space bytes of state held for this connection:
+    /// struct (queue/outbox/session headers inline) plus the two live
+    /// buffers. Excludes kernel socket buffers and session-cache heap.
+    pub(crate) fn mem_bytes(&self) -> u64 {
+        (std::mem::size_of::<Conn>()
+            + self.rbuf_bytes.load(Ordering::Relaxed)
+            + self.outbox_bytes.load(Ordering::Relaxed)) as u64
+    }
+
+    /// Tear the connection down: wake the peer's blocked I/O, discard
+    /// queued work, and release buffered memory. Safe against a worker
+    /// mid-drain — the `closed` flag makes its writes no-ops and its
+    /// next pop observes the emptied queue.
     pub(crate) fn close(&self) {
         let _ = self.stream.shutdown(std::net::Shutdown::Both);
+        {
+            let mut ob = lock(&self.outbox);
+            ob.closed = true;
+            ob.stalled = false;
+            ob.buf = Vec::new();
+            ob.head = 0;
+        }
+        self.outbox_bytes.store(0, Ordering::Relaxed);
+        lock(&self.queue).frames.clear();
     }
 
     /// Enqueue a decoded frame; returns `true` when the connection was
-    /// idle and must now be handed to the worker pool.
+    /// idle and must now be handed to the executor pool.
     pub(crate) fn enqueue(&self, frame: Frame) -> bool {
         let mut q = lock(&self.queue);
         q.frames.push_back(frame);
@@ -86,23 +236,132 @@ impl Conn {
         }
     }
 
-    /// Frames waiting to execute (the reader throttles on this so a fast
-    /// pipelining client cannot grow server memory without bound).
+    /// Frames waiting to execute (the reactor pauses reads on this so a
+    /// fast pipelining client cannot grow server memory without bound).
     pub(crate) fn queued(&self) -> usize {
         lock(&self.queue).frames.len()
     }
 
+    /// (queued frames, outbox bytes) — the reactor's saturation inputs.
+    pub(crate) fn pressure(&self) -> (usize, usize) {
+        (self.queued(), lock(&self.outbox).len())
+    }
+
+    /// All work done and flushed: safe to close after peer EOF.
+    pub(crate) fn finished(&self) -> bool {
+        {
+            let q = lock(&self.queue);
+            if !q.frames.is_empty() || q.scheduled {
+                return false;
+            }
+        }
+        lock(&self.outbox).len() == 0
+    }
+
+    /// Reactor: write as much of the outbox as the socket accepts.
+    /// Returns `true` when a stalled drainer crossed back under the low
+    /// watermark and must be re-enqueued on the executor pool.
+    pub(crate) fn flush(&self) -> bool {
+        let mut ob = lock(&self.outbox);
+        self.flush_locked(&mut ob);
+        // Low watermark at half the limit: resuming the drainer only
+        // after real room opens up avoids a stall/unstall flutter at the
+        // boundary.
+        let resched = ob.stalled && ob.len() < (self.outbox_limit / 2).max(1);
+        if resched {
+            ob.stalled = false;
+        }
+        resched
+    }
+
+    /// Write `buf[head..]` until done or `WouldBlock`. Any other error
+    /// marks the connection dead and empties the outbox. Called with the
+    /// outbox mutex held — every socket write goes through here, which
+    /// is what keeps reactor and executor writes from interleaving.
+    fn flush_locked(&self, ob: &mut Outbox) {
+        if ob.closed {
+            return;
+        }
+        let mut stream = &self.stream;
+        while ob.head < ob.buf.len() {
+            match stream.write(&ob.buf[ob.head..]) {
+                Ok(0) => {
+                    self.mark_dead();
+                    break;
+                }
+                Ok(n) => {
+                    ob.head += n;
+                    self.metrics.bytes_out(n as u64);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.mark_dead();
+                    break;
+                }
+            }
+        }
+        if self.dead() {
+            ob.closed = true;
+            ob.buf = Vec::new();
+            ob.head = 0;
+        } else {
+            ob.compact();
+        }
+        self.outbox_bytes
+            .store(ob.buf.capacity(), Ordering::Relaxed);
+    }
+
+    /// Append one encoded reply and opportunistically flush from the
+    /// executor, so an unsaturated connection never waits for the
+    /// reactor to write. Kicks the reactor when bytes are left over (it
+    /// must arm `EPOLLOUT`).
+    fn send_reply(&self, bytes: &[u8]) {
+        let remaining = {
+            let mut ob = lock(&self.outbox);
+            if ob.closed {
+                return;
+            }
+            ob.buf.extend_from_slice(bytes);
+            self.flush_locked(&mut ob);
+            ob.len()
+        };
+        if remaining > 0 || self.dead() {
+            self.kick();
+        }
+    }
+
     /// Drain the frame queue, executing each request in arrival order.
-    /// Runs on a worker thread; returns when the queue is empty (the
-    /// reader will reschedule on the next frame).
+    /// Runs on an executor thread; returns when the queue is empty (the
+    /// reactor reschedules on the next frame) or when the outbox is full
+    /// (the reactor reschedules after draining it — see the module doc).
     pub(crate) fn drain(self: &Arc<Self>) {
         loop {
+            {
+                let mut ob = lock(&self.outbox);
+                if !ob.closed && ob.len() >= self.outbox_limit {
+                    ob.stalled = true;
+                    drop(ob);
+                    self.metrics.outbox_full_stall();
+                    self.kick();
+                    return; // still `scheduled`; reactor re-enqueues
+                }
+            }
             let frame = {
                 let mut q = lock(&self.queue);
                 match q.frames.pop_front() {
                     Some(f) => f,
                     None => {
                         q.scheduled = false;
+                        drop(q);
+                        // The reactor may now need to unpause reads or
+                        // close out a half-closed connection.
+                        if self.read_paused.load(Ordering::Acquire)
+                            || self.peer_eof()
+                            || self.dead()
+                        {
+                            self.kick();
+                        }
                         return;
                     }
                 }
@@ -111,15 +370,11 @@ impl Conn {
             // Bounded: an oversized result degrades into a typed error
             // frame instead of a transport failure at the client.
             let bytes = wire::encode_reply_bounded(frame.request_id, &reply);
-            let ok = {
-                let mut w = lock(&self.write);
-                w.write_all(&bytes).and_then(|_| w.flush()).is_ok()
-            };
-            if ok {
-                self.metrics.bytes_out(bytes.len() as u64);
+            self.send_reply(&bytes);
+            // Unpause reads early once the queue has real room again.
+            if self.read_paused.load(Ordering::Acquire) && self.queued() < MAX_QUEUED_FRAMES / 2 {
+                self.kick();
             }
-            // A failed write means the client is gone; keep draining so
-            // the queue empties and the connection can be collected.
         }
     }
 

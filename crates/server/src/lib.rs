@@ -8,32 +8,39 @@
 //! ## Architecture
 //!
 //! ```text
-//!            ┌───────────────┐   accept    ┌─ reader thread (1/conn) ─┐
-//! clients ──▶│ listener thrd │────────────▶│ read_frame → conn queue  │
-//!            └───────────────┘             └─────────────┬────────────┘
-//!                                                        │ schedule
-//!                                          ┌─────────────▼────────────┐
-//!                                          │  fixed worker pool (N)   │
-//!                                          │  drain queue in order,   │
-//!                                          │  execute via Session,    │
-//!                                          │  write replies           │
-//!                                          └─────────────┬────────────┘
-//!                                                        ▼
-//!                                               SharedQuantumDb
+//!            ┌──────────── reactor thread (epoll) ────────────┐
+//! clients ──▶│ non-blocking accept · read → try_frame → queue │
+//!            │ flush outboxes · idle timer wheel · admission  │
+//!            └───────┬────────────────────────────▲───────────┘
+//!                    │ schedule (frame queue)     │ kick (full outbox,
+//!                    ▼                            │  resume reads, …)
+//!            ┌────────────────────────────────────┴───────────┐
+//!            │ executor pool (N threads): drain one           │
+//!            │ connection's frames in order, execute via      │
+//!            │ Session, append replies to its bounded outbox  │
+//!            └───────────────────────┬────────────────────────┘
+//!                                    ▼
+//!                            SharedQuantumDb
 //! ```
+//!
+//! A single reactor thread owns every socket's readiness through a
+//! vendored epoll shim (`sys`): it accepts (with an admission limit),
+//! reads and frames bytes, hands decoded frames to the executor pool,
+//! flushes reply bytes the executors could not write inline, and reaps
+//! idle connections off a timer wheel. Executors never block on I/O and
+//! the reactor never executes a statement, so one slow client — or ten
+//! thousand idle ones — cannot stall the rest.
 //!
 //! Each connection owns a server-side [`qdb_core::Session`] (prepared
 //! statements, LRU statement cache) and may pipeline many frames; the
 //! scheduling discipline guarantees responses come back in request order
 //! per connection while different connections execute on different
-//! workers. Since the engine went partition-sharded
-//! ([`qdb_core::shard`]), workers are *genuinely* parallel: statements
-//! touching disjoint §4 partitions run their solver searches
-//! concurrently under a shared base read lock instead of serializing on
-//! one engine mutex, so server throughput on disjoint workloads scales
-//! with the worker count (see the `partition_scaling` experiment in
-//! `qdb-bench`). Every engine error is encoded as an `ERROR` frame — a
-//! bad statement can never take the server down.
+//! workers. Backpressure is explicit at both ends of a connection: reads
+//! pause while its decoded-frame queue or outbox is saturated, and a
+//! drainer stalls (counted in `outbox_full_stalls`) rather than buffer
+//! more than [`ServerConfig::outbox_limit`] bytes toward a client that
+//! has stopped reading. Every engine error is encoded as an `ERROR`
+//! frame — a bad statement can never take the server down.
 //!
 //! ```no_run
 //! use qdb_core::{QuantumDb, QuantumDbConfig};
@@ -46,30 +53,40 @@
 
 mod conn;
 pub mod metrics;
+mod reactor;
+pub mod sys;
 
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{mpsc, Arc, Mutex, PoisonError, Weak};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use qdb_core::wire::ServerStats;
 use qdb_core::{QuantumDb, QuantumDbConfig, SharedQuantumDb};
 
 use conn::Conn;
 pub use metrics::ServerMetrics;
+use reactor::{new_reactor, Notifier, ReactorConfig};
+pub use sys::raise_nofile_limit;
 
-fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+pub(crate) fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
+
+/// The reactor stops decoding frames for a connection while this many
+/// are already queued for execution — backpressure propagates to the
+/// client through the TCP window instead of growing server memory.
+pub(crate) const MAX_QUEUED_FRAMES: usize = 256;
 
 /// Server configuration.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Bind address; port `0` picks a free port (loopback tests).
     pub addr: String,
-    /// Worker threads executing statements (≥ 1).
+    /// Executor threads running statements (≥ 1).
     pub workers: usize,
     /// Per-connection prepared-statement (parsed-text LRU) cache capacity
     /// (`qdb-server --prepared-cache`; `0` disables caching so every
@@ -81,6 +98,16 @@ pub struct ServerConfig {
     /// operation is appended as one JSON line (see
     /// `docs/OBSERVABILITY.md`). `None` disables the trace.
     pub trace_out: Option<String>,
+    /// Admission limit: connections accepted past this are immediately
+    /// closed and counted in `conns_refused`.
+    pub max_connections: usize,
+    /// Reap connections with no inbound traffic for this long (timer
+    /// wheel, ~1/8-timeout granularity). `None` disables reaping.
+    pub idle_timeout: Option<Duration>,
+    /// Per-connection outbox bound in bytes: a drainer stalls instead of
+    /// buffering more than this toward a client that stopped reading
+    /// (one in-flight reply may transiently exceed it).
+    pub outbox_limit: usize,
 }
 
 impl Default for ServerConfig {
@@ -91,11 +118,14 @@ impl Default for ServerConfig {
             prepared_cache: qdb_core::Session::DEFAULT_STMT_CACHE,
             engine: QuantumDbConfig::default(),
             trace_out: None,
+            max_connections: 16_384,
+            idle_timeout: None,
+            outbox_limit: 256 * 1024,
         }
     }
 }
 
-enum Job {
+pub(crate) enum Job {
     Conn(Arc<Conn>),
     Shutdown,
 }
@@ -115,34 +145,37 @@ impl Server {
             db.obs()
                 .set_trace(Some(Box::new(std::io::BufWriter::new(file))));
         }
-        Server::spawn_inner(&cfg.addr, cfg.workers, cfg.prepared_cache, db)
+        Server::spawn_inner(cfg, db)
     }
 
     /// Serve an existing shared engine (embedding: pre-install schemas and
-    /// data, keep a local handle next to the network endpoint). Uses the
-    /// default prepared-statement cache capacity; [`Server::spawn`] honors
-    /// [`ServerConfig::prepared_cache`].
+    /// data, keep a local handle next to the network endpoint). Uses
+    /// default serving knobs except `addr` and `workers`;
+    /// [`Server::spawn`] honors the full [`ServerConfig`].
     pub fn spawn_with_db(
         addr: &str,
         workers: usize,
         db: SharedQuantumDb,
     ) -> io::Result<ServerHandle> {
-        Server::spawn_inner(addr, workers, qdb_core::Session::DEFAULT_STMT_CACHE, db)
+        let cfg = ServerConfig {
+            addr: addr.to_string(),
+            workers,
+            ..ServerConfig::default()
+        };
+        Server::spawn_inner(&cfg, db)
     }
 
-    fn spawn_inner(
-        addr: &str,
-        workers: usize,
-        prepared_cache: usize,
-        db: SharedQuantumDb,
-    ) -> io::Result<ServerHandle> {
-        let workers = workers.max(1);
-        let listener = TcpListener::bind(addr)?;
+    fn spawn_inner(cfg: &ServerConfig, db: SharedQuantumDb) -> io::Result<ServerHandle> {
+        let workers = cfg.workers.max(1);
+        let listener = TcpListener::bind(&cfg.addr)?;
         let local_addr = listener.local_addr()?;
         let metrics = Arc::new(ServerMetrics::default());
         let shutdown = Arc::new(AtomicBool::new(false));
         let (job_tx, job_rx) = mpsc::channel::<Job>();
         let job_rx = Arc::new(Mutex::new(job_rx));
+        let (notifier, wake_rx) = Notifier::new()?;
+        let notifier = Arc::new(notifier);
+        let registry: Arc<Mutex<Vec<Weak<Conn>>>> = Arc::new(Mutex::new(Vec::new()));
 
         let worker_handles: Vec<JoinHandle<()>> = (0..workers)
             .map(|i| {
@@ -154,43 +187,26 @@ impl Server {
             })
             .collect();
 
-        let conns: Arc<Mutex<Vec<Weak<Conn>>>> = Arc::new(Mutex::new(Vec::new()));
-        let readers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
-        let listener_handle = {
-            let db = db.clone();
-            let metrics = Arc::clone(&metrics);
-            let shutdown = Arc::clone(&shutdown);
-            let conns = Arc::clone(&conns);
-            let readers = Arc::clone(&readers);
-            let job_tx = job_tx.clone();
-            std::thread::Builder::new()
-                .name("qdb-listener".to_string())
-                .spawn(move || {
-                    for stream in listener.incoming() {
-                        if shutdown.load(Ordering::SeqCst) {
-                            break;
-                        }
-                        let Ok(stream) = stream else { continue };
-                        if let Ok(reader) = accept(
-                            stream,
-                            &db,
-                            prepared_cache,
-                            &metrics,
-                            &conns,
-                            &job_tx,
-                            &shutdown,
-                        ) {
-                            let mut list = lock(&readers);
-                            // Reap readers whose connections already
-                            // ended, so handles do not accumulate over a
-                            // long-lived server's lifetime.
-                            list.retain(|h: &JoinHandle<()>| !h.is_finished());
-                            list.push(reader);
-                        }
-                    }
-                })
-                .expect("spawn listener thread")
-        };
+        let reactor = new_reactor(
+            listener,
+            db.clone(),
+            ReactorConfig {
+                prepared_cache: cfg.prepared_cache,
+                max_connections: cfg.max_connections,
+                outbox_limit: cfg.outbox_limit.max(1),
+                idle_timeout: cfg.idle_timeout,
+            },
+            Arc::clone(&metrics),
+            Arc::clone(&notifier),
+            wake_rx,
+            Arc::clone(&shutdown),
+            job_tx.clone(),
+            Arc::clone(&registry),
+        )?;
+        let reactor_handle = std::thread::Builder::new()
+            .name("qdb-reactor".to_string())
+            .spawn(move || reactor.run())
+            .expect("spawn reactor thread");
 
         Ok(ServerHandle {
             addr: local_addr,
@@ -198,76 +214,11 @@ impl Server {
             metrics,
             shutdown,
             job_tx,
-            listener: Some(listener_handle),
+            notifier,
+            reactor: Some(reactor_handle),
             workers: worker_handles,
-            conns,
-            readers,
+            registry,
         })
-    }
-}
-
-/// Set up one accepted connection: register it and start its reader
-/// thread. Returns the reader's join handle.
-#[allow(clippy::too_many_arguments)] // internal plumbing, one call site
-fn accept(
-    stream: TcpStream,
-    db: &SharedQuantumDb,
-    prepared_cache: usize,
-    metrics: &Arc<ServerMetrics>,
-    conns: &Arc<Mutex<Vec<Weak<Conn>>>>,
-    job_tx: &Sender<Job>,
-    shutdown: &Arc<AtomicBool>,
-) -> io::Result<JoinHandle<()>> {
-    let _ = stream.set_nodelay(true);
-    let write = stream.try_clone()?;
-    metrics.connection();
-    let conn = Arc::new(Conn::new(
-        stream.try_clone()?,
-        write,
-        qdb_core::Session::with_stmt_cache(db.clone(), prepared_cache),
-        Arc::clone(metrics),
-    ));
-    {
-        let mut list = lock(conns);
-        list.retain(|w| w.strong_count() > 0); // collect dead entries
-        list.push(Arc::downgrade(&conn));
-    }
-    let metrics = Arc::clone(metrics);
-    let job_tx = job_tx.clone();
-    let shutdown = Arc::clone(shutdown);
-    std::thread::Builder::new()
-        .name("qdb-reader".to_string())
-        .spawn(move || reader_loop(stream, conn, &metrics, &job_tx, &shutdown))
-}
-
-/// A reader stops pulling frames off its socket while this many are
-/// already queued for execution — backpressure propagates to the client
-/// through the TCP window instead of growing server memory.
-const MAX_QUEUED_FRAMES: usize = 256;
-
-/// Decode frames off one socket until EOF/error, handing them to the pool.
-fn reader_loop(
-    mut stream: TcpStream,
-    conn: Arc<Conn>,
-    metrics: &ServerMetrics,
-    job_tx: &Sender<Job>,
-    shutdown: &AtomicBool,
-) {
-    // A clean EOF or any transport error ends the connection.
-    while let Ok(Some(frame)) = qdb_core::wire::read_frame(&mut stream) {
-        metrics.frame_in(frame.wire_len());
-        if conn.enqueue(frame) {
-            // The connection was idle: schedule it. A send error means
-            // the pool is gone (shutdown) — stop reading.
-            if job_tx.send(Job::Conn(Arc::clone(&conn))).is_err() {
-                break;
-            }
-        }
-        // Backpressure: a pipelining client that outruns the workers is
-        // left sitting in its socket buffer until the queue drains.
-        while conn.queued() >= MAX_QUEUED_FRAMES && !shutdown.load(Ordering::SeqCst) {
-            std::thread::sleep(std::time::Duration::from_millis(1));
-        }
     }
 }
 
@@ -286,6 +237,18 @@ fn worker_loop(rx: &Arc<Mutex<Receiver<Job>>>) {
     }
 }
 
+/// Live-connection memory accounting (see [`ServerHandle::conn_memory`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConnMemory {
+    /// Connections currently tracked.
+    pub conns: usize,
+    /// Estimated user-space bytes of per-connection state across all of
+    /// them: connection struct (session + id maps headers included) plus
+    /// live read-buffer and outbox capacities. Kernel socket buffers and
+    /// session-cache heap allocations are not counted.
+    pub bytes: u64,
+}
+
 /// A running server. Dropping the handle shuts the server down.
 pub struct ServerHandle {
     addr: SocketAddr,
@@ -293,10 +256,10 @@ pub struct ServerHandle {
     metrics: Arc<ServerMetrics>,
     shutdown: Arc<AtomicBool>,
     job_tx: Sender<Job>,
-    listener: Option<JoinHandle<()>>,
+    notifier: Arc<Notifier>,
+    reactor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
-    conns: Arc<Mutex<Vec<Weak<Conn>>>>,
-    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    registry: Arc<Mutex<Vec<Weak<Conn>>>>,
 }
 
 impl ServerHandle {
@@ -316,15 +279,27 @@ impl ServerHandle {
         self.metrics.snapshot()
     }
 
-    /// Block until the listener thread exits (i.e. serve forever; used by
+    /// Sum the per-connection state estimate over live connections — the
+    /// "bytes per idle connection" number the `connection_scale` bench
+    /// reports.
+    pub fn conn_memory(&self) -> ConnMemory {
+        let mut out = ConnMemory { conns: 0, bytes: 0 };
+        for conn in lock(&self.registry).iter().filter_map(Weak::upgrade) {
+            out.conns += 1;
+            out.bytes += conn.mem_bytes();
+        }
+        out
+    }
+
+    /// Block until the reactor thread exits (i.e. serve forever; used by
     /// the `qdb-server` binary).
     pub fn wait(mut self) {
-        if let Some(h) = self.listener.take() {
+        if let Some(h) = self.reactor.take() {
             let _ = h.join();
         }
     }
 
-    /// Stop accepting, close live connections, drain queued work, and
+    /// Stop accepting, close live connections, discard queued work, and
     /// join every thread.
     pub fn shutdown(mut self) {
         self.shutdown_inner();
@@ -334,20 +309,14 @@ impl ServerHandle {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
-        // Unblock `accept` so the listener observes the flag.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(h) = self.listener.take() {
+        // Wake the reactor so it observes the flag; it closes the
+        // listener and every connection on its way out.
+        self.notifier.wake();
+        if let Some(h) = self.reactor.take() {
             let _ = h.join();
         }
-        // Close sockets → readers unblock and exit.
-        for conn in lock(&self.conns).iter().filter_map(Weak::upgrade) {
-            conn.close();
-        }
-        for reader in lock(&self.readers).drain(..) {
-            let _ = reader.join();
-        }
         // Sentinels queue *behind* any remaining work, so workers finish
-        // in-flight statements before exiting.
+        // whatever the reactor had scheduled before exiting.
         for _ in 0..self.workers.len() {
             let _ = self.job_tx.send(Job::Shutdown);
         }
@@ -378,6 +347,7 @@ mod tests {
     use qdb_core::wire::{self, Reply, Request};
     use qdb_core::Response;
     use std::io::Write;
+    use std::net::TcpStream;
 
     fn roundtrip(stream: &mut TcpStream, req: &Request) -> Reply {
         stream.write_all(&wire::encode_request(1, req)).unwrap();
@@ -437,6 +407,67 @@ mod tests {
         // The connection survives for well-formed follow-ups.
         let reply = roundtrip(
             &mut stream,
+            &Request::Execute {
+                sql: "SHOW PENDING".into(),
+            },
+        );
+        assert_eq!(reply, Reply::Engine(Response::Pending(vec![])));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn admission_limit_refuses_then_recovers() {
+        let handle = Server::spawn(&ServerConfig {
+            max_connections: 2,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        // Round-trip on both admitted connections so the server has
+        // definitely registered them (connect() alone only proves the
+        // kernel's SYN queue accepted us).
+        let mut a = TcpStream::connect(handle.addr()).unwrap();
+        let mut b = TcpStream::connect(handle.addr()).unwrap();
+        for s in [&mut a, &mut b] {
+            let reply = roundtrip(
+                s,
+                &Request::Execute {
+                    sql: "SHOW PENDING".into(),
+                },
+            );
+            assert_eq!(reply, Reply::Engine(Response::Pending(vec![])));
+        }
+        // The third connection is accepted then immediately closed.
+        let mut refused = TcpStream::connect(handle.addr()).unwrap();
+        // The write itself may already fail if the reset beat us to it.
+        let _ = refused.write_all(&wire::encode_request(
+            1,
+            &Request::Execute {
+                sql: "SHOW PENDING".into(),
+            },
+        ));
+        match wire::read_frame(&mut refused) {
+            Ok(None) | Err(_) => {} // EOF or reset: refused
+            Ok(Some(f)) => panic!("refused connection got a reply: {f:?}"),
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while handle.stats().conns_refused == 0 {
+            assert!(std::time::Instant::now() < deadline, "refusal not counted");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let stats = handle.stats();
+        assert_eq!(stats.conns_refused, 1);
+        assert_eq!(stats.conns_open, 2);
+        assert_eq!(stats.conns_peak, 2);
+        // Room frees up when an admitted connection leaves.
+        drop(a);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while handle.stats().conns_open > 1 {
+            assert!(std::time::Instant::now() < deadline, "close not observed");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let mut c = TcpStream::connect(handle.addr()).unwrap();
+        let reply = roundtrip(
+            &mut c,
             &Request::Execute {
                 sql: "SHOW PENDING".into(),
             },

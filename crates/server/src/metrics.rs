@@ -2,7 +2,8 @@
 //!
 //! These complement the engine's own [`qdb_core::Metrics`]: the engine
 //! counts semantic events (commits, groundings, parses), the server counts
-//! wire traffic (connections, frames, bytes) and statements per class.
+//! wire traffic (connections, frames, bytes), connection lifecycle events
+//! (refusals, idle reaps, backpressure stalls) and statements per class.
 //! A snapshot of both travels back on every `SHOW METRICS` response, so a
 //! remote client observes the full picture without a side channel.
 
@@ -21,13 +22,40 @@ pub struct ServerMetrics {
     frames_decoded: AtomicU64,
     bytes_in: AtomicU64,
     bytes_out: AtomicU64,
+    conns_open: AtomicU64,
+    conns_peak: AtomicU64,
+    conns_refused: AtomicU64,
+    conns_idle_closed: AtomicU64,
+    outbox_full_stalls: AtomicU64,
     classes: Mutex<BTreeMap<&'static str, u64>>,
 }
 
 impl ServerMetrics {
-    /// Record an accepted connection.
+    /// Record an accepted connection (bumps the open gauge and its peak).
     pub fn connection(&self) {
         self.connections.fetch_add(1, Ordering::Relaxed);
+        let open = self.conns_open.fetch_add(1, Ordering::Relaxed) + 1;
+        self.conns_peak.fetch_max(open, Ordering::Relaxed);
+    }
+
+    /// Record a connection leaving (any reason: EOF, error, reaped).
+    pub fn connection_closed(&self) {
+        self.conns_open.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Record a connection refused at the admission limit.
+    pub fn connection_refused(&self) {
+        self.conns_refused.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a connection reaped by the idle-timeout wheel.
+    pub fn connection_idle_closed(&self) {
+        self.conns_idle_closed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record an executor stalling on a full per-connection outbox.
+    pub fn outbox_full_stall(&self) {
+        self.outbox_full_stalls.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record a request frame of `wire_len` total bytes read and decoded.
@@ -59,6 +87,11 @@ impl ServerMetrics {
             frames_decoded: self.frames_decoded.load(Ordering::Relaxed),
             bytes_in: self.bytes_in.load(Ordering::Relaxed),
             bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            conns_open: self.conns_open.load(Ordering::Relaxed),
+            conns_peak: self.conns_peak.load(Ordering::Relaxed),
+            conns_refused: self.conns_refused.load(Ordering::Relaxed),
+            conns_idle_closed: self.conns_idle_closed.load(Ordering::Relaxed),
+            outbox_full_stalls: self.outbox_full_stalls.load(Ordering::Relaxed),
             statement_classes: self
                 .classes
                 .lock()
@@ -93,5 +126,27 @@ mod tests {
         assert_eq!(s.class("INSERT"), Some(1));
         assert_eq!(s.class("GROUND"), None);
         assert_eq!(s.statements_total(), 3);
+    }
+
+    #[test]
+    fn lifecycle_gauges_track_open_peak_refused_reaped_stalled() {
+        let m = ServerMetrics::default();
+        m.connection();
+        m.connection();
+        m.connection();
+        m.connection_closed();
+        m.connection();
+        m.connection_closed();
+        m.connection_refused();
+        m.connection_idle_closed();
+        m.outbox_full_stall();
+        m.outbox_full_stall();
+        let s = m.snapshot();
+        assert_eq!(s.connections, 4);
+        assert_eq!(s.conns_open, 2);
+        assert_eq!(s.conns_peak, 3);
+        assert_eq!(s.conns_refused, 1);
+        assert_eq!(s.conns_idle_closed, 1);
+        assert_eq!(s.outbox_full_stalls, 2);
     }
 }
