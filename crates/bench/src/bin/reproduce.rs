@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! reproduce [table1|fig5|fig6|fig7|table2|fig8|fig9|phase|partition_scaling|
-//!            admission_depth|read_path|profile|sim|connection_scale|all]...
+//!            admission_depth|read_path|profile|sim|connection_scale|
+//!            replication|all]...
 //!           [--scale full|smoke] [--json] [--trace-out PATH]
 //! ```
 //!
@@ -71,7 +72,7 @@ fn main() {
     if which.is_empty() {
         which.push("all".to_string());
     }
-    const KNOWN: [&str; 15] = [
+    const KNOWN: [&str; 16] = [
         "all",
         "table1",
         "fig5",
@@ -87,6 +88,7 @@ fn main() {
         "profile",
         "sim",
         "connection_scale",
+        "replication",
     ];
     for w in &which {
         if !KNOWN.contains(&w.as_str()) {
@@ -131,10 +133,15 @@ fn main() {
         records.push(connection_scale_report(scale));
     }
     let mut sim_failed = false;
+    if wants("replication") {
+        let (record, failed) = replication_report(scale);
+        records.push(record);
+        sim_failed |= failed;
+    }
     if wants("sim") {
         let (record, failed) = sim_report(scale);
         records.push(record);
-        sim_failed = failed;
+        sim_failed |= failed;
     }
     if json {
         let doc = Json::obj([
@@ -441,6 +448,133 @@ fn connection_scale_report(scale: Scale) -> Json {
             })),
         ),
     ])
+}
+
+/// The replication acceptance run. Two halves, one record:
+///
+/// - **performance** ([`qdb_bench::replication_scale`]): read throughput
+///   vs replica count plus replication lag under the read-mostly shape,
+///   against real primary/replica `qdb-server` processes over loopback;
+/// - **correctness** ([`qdb_sim::run_replica_sweep`]): the replicated
+///   sim topology — seeded workload, WAL shipping with arbitrary byte
+///   cuts, primary kill, promotion — whose checker proves zero
+///   acknowledged-durable-write loss and horizon-explainable replica
+///   reads. CI jq-gates `failover.violations == 0`, non-zero
+///   `replica_reads`, and `settled_lag_bytes == 0` off this record.
+fn replication_report(scale: Scale) -> (Json, bool) {
+    use qdb_bench::{replication_scale, ReplScaleConfig};
+    use qdb_sim::{run_replica_sweep, ReplicaSimConfig};
+
+    let (cfg, seeds) = match scale {
+        Scale::Full => (ReplScaleConfig::full(), 50u64),
+        Scale::Smoke => (ReplScaleConfig::smoke(), 5u64),
+    };
+    println!("== Replication: read scale-out, lag, and checked failover ==");
+    println!(
+        "(replica sweep {:?}, {} bookings + {} reads/reader per point, read-mostly mix;\n\
+         plus {seeds} sim seeds of kill-at-arbitrary-WAL-cut + promotion)\n",
+        cfg.replica_counts, cfg.bookings, cfg.reads_per_reader
+    );
+    let outcome = replication_scale(&cfg);
+    let us = |ns: u64| ns as f64 / 1000.0;
+    let table: Vec<Vec<String>> = outcome
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                p.replicas.to_string(),
+                p.readers.to_string(),
+                p.reads.to_string(),
+                format!("{:.0}", p.read_throughput_rps),
+                format!("{:.1}", us(p.read_latency.p50_ns)),
+                format!("{:.1}", us(p.read_latency.p99_ns)),
+                p.bookings_committed.to_string(),
+                p.max_lag_bytes.to_string(),
+                p.settled_lag_bytes.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &[
+                "replicas",
+                "readers",
+                "reads",
+                "reads/s",
+                "p50_us",
+                "p99_us",
+                "bookings",
+                "max_lag_B",
+                "settled_B"
+            ],
+            &table
+        )
+    );
+
+    let sweep = run_replica_sweep(&ReplicaSimConfig::smoke(), 1, seeds);
+    println!(
+        "failover sweep: {} runs, acked={} surviving={} async_window={} checked_reads={} \
+         violations={}",
+        sweep.runs,
+        sweep.acked_writes,
+        sweep.surviving_acked,
+        sweep.lost_to_window,
+        sweep.checked_reads,
+        sweep.failures.len()
+    );
+    for (seed, v) in &sweep.failures {
+        println!("VIOLATION seed={seed}: {v}");
+    }
+    println!();
+
+    let failed = !sweep.failures.is_empty();
+    let record = Json::obj([
+        ("experiment", jstr("replication")),
+        ("profile", jstr("read_mostly")),
+        (
+            "points",
+            Json::arr(outcome.points.iter().map(|p| {
+                Json::obj([
+                    ("replicas", num(p.replicas as f64)),
+                    ("readers", num(p.readers as f64)),
+                    ("reads", num(p.reads as f64)),
+                    ("replica_reads", num(p.replica_reads as f64)),
+                    ("read_throughput_rps", num(p.read_throughput_rps)),
+                    ("read_p50_us", num(us(p.read_latency.p50_ns))),
+                    ("read_p90_us", num(us(p.read_latency.p90_ns))),
+                    ("read_p99_us", num(us(p.read_latency.p99_ns))),
+                    ("read_p999_us", num(us(p.read_latency.p999_ns))),
+                    ("bookings_committed", num(p.bookings_committed as f64)),
+                    ("max_lag_bytes", num(p.max_lag_bytes as f64)),
+                    ("settled_lag_bytes", num(p.settled_lag_bytes as f64)),
+                    ("catch_up_ms", num(p.catch_up_ms as f64)),
+                ])
+            })),
+        ),
+        (
+            "failover",
+            Json::obj([
+                ("seeds", num(seeds as f64)),
+                ("runs", num(sweep.runs as f64)),
+                ("total_ops", num(sweep.total_ops as f64)),
+                ("acked_writes", num(sweep.acked_writes as f64)),
+                ("surviving_acked", num(sweep.surviving_acked as f64)),
+                ("lost_to_window", num(sweep.lost_to_window as f64)),
+                ("replica_reads", num(sweep.replica_reads as f64)),
+                ("checked_reads", num(sweep.checked_reads as f64)),
+                ("max_lag_bytes", num(sweep.max_lag_bytes as f64)),
+                ("violations", num(sweep.failures.len() as f64)),
+                (
+                    "failures",
+                    Json::arr(sweep.failures.iter().map(|(seed, v)| {
+                        Json::obj([("seed", num(*seed as f64)), ("violation", jstr(v.clone()))])
+                    })),
+                ),
+            ]),
+        ),
+    ]);
+    (record, failed)
 }
 
 fn sim_report(scale: Scale) -> (Json, bool) {

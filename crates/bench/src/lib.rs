@@ -8,6 +8,7 @@
 pub mod connscale;
 pub mod experiments;
 pub mod json;
+pub mod replbench;
 pub mod report;
 pub mod stamp;
 
@@ -17,5 +18,6 @@ pub use experiments::{
     paper_orders, phase_transition, table1_max_pending, AdmissionDepthRow, Fig5Row, MixedRow,
     PhaseRow, ScalabilityRow,
 };
+pub use replbench::{replication_scale, ReplPoint, ReplScaleConfig, ReplScaleOutcome};
 pub use report::{downsample, format_series, format_table};
 pub use stamp::{git_commit, iso8601_now};

@@ -25,6 +25,7 @@
 use std::io::{BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::{Mutex, PoisonError};
+use std::time::Duration;
 
 use qdb_core::wire::{self, Reply, Request, ServerStats};
 use qdb_core::Metrics;
@@ -76,6 +77,19 @@ impl ClientError {
     /// retry against the same (or another) server address may fix.
     pub fn is_unavailable(&self) -> bool {
         matches!(self, ClientError::Unavailable(_))
+    }
+
+    /// `true` when the server refused the statement because it is a
+    /// read-only replica (`wire::code::READ_ONLY`) — the signal to fail
+    /// over to the primary (see [`FailoverClient`]).
+    pub fn is_read_only(&self) -> bool {
+        matches!(
+            self,
+            ClientError::Server {
+                code: wire::code::READ_ONLY,
+                ..
+            }
+        )
     }
 }
 
@@ -370,20 +384,86 @@ pub struct RemoteBound {
     id: u32,
 }
 
+/// Bounded exponential backoff with deterministic, seeded jitter.
+///
+/// Attempt `n` (0-based) waits `min(cap, base · 2ⁿ)` halved, plus a
+/// jitter drawn from the other half by a [splitmix64] counter seeded at
+/// construction — "equal jitter". The same seed always yields the same
+/// delay sequence, so retry timing is reproducible in tests and in the
+/// deterministic simulator, while distinct seeds decorrelate a thundering
+/// herd of reconnecting clients.
+///
+/// [splitmix64]: https://prng.di.unimi.it/splitmix64.c
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackoffPolicy {
+    /// First delay before jitter (attempt 0 waits between `base/2` and
+    /// `base`).
+    pub base: Duration,
+    /// Upper bound on any single delay.
+    pub cap: Duration,
+    /// Jitter seed; fixed seed ⇒ fixed delay sequence.
+    pub seed: u64,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        BackoffPolicy {
+            base: Duration::from_millis(10),
+            cap: Duration::from_secs(1),
+            seed: 0x51db_5eed,
+        }
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl BackoffPolicy {
+    /// The delay before retry number `attempt` (0-based). Pure: the same
+    /// `(policy, attempt)` always yields the same duration.
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let exp = self
+            .base
+            .checked_mul(1u32.checked_shl(attempt.min(20)).unwrap_or(u32::MAX))
+            .unwrap_or(self.cap)
+            .min(self.cap);
+        let half = exp / 2;
+        let half_nanos = half.as_nanos() as u64;
+        if half_nanos == 0 {
+            return exp;
+        }
+        let jitter = splitmix64(self.seed.wrapping_add(u64::from(attempt))) % (half_nanos + 1);
+        half + Duration::from_nanos(jitter)
+    }
+}
+
+/// Injectable sleep hook so backoff timing is testable (and mockable
+/// under a simulated clock) without real waiting.
+type Sleeper = Box<dyn Fn(Duration) + Send + Sync>;
+
 /// A small blocking connection pool: threads check connections out and
 /// drop the guard to return them. Connections are created lazily up to no
 /// particular limit; at most `max_idle` are retained.
 ///
 /// Unavailability handling is deterministic: a fresh connect that fails
-/// [`ClientError::Unavailable`] is retried immediately (no sleeps, no
-/// jitter) up to the configured retry budget — exactly `retries + 1`
-/// attempts, observable via [`Pool::connect_attempts`] — after which the
-/// typed error is reported to the caller. Any other failure reports
+/// [`ClientError::Unavailable`] is retried up to the configured retry
+/// budget — exactly `retries + 1` attempts, observable via
+/// [`Pool::connect_attempts`] — after which the typed error is reported
+/// to the caller. Between attempts the pool sleeps per its
+/// [`BackoffPolicy`]: bounded exponential delays with seeded jitter, so
+/// the schedule is reproducible run to run. Any other failure reports
 /// immediately.
 pub struct Pool {
     addr: String,
     max_idle: usize,
     connect_retries: u32,
+    backoff: BackoffPolicy,
+    sleeper: Sleeper,
     connect_attempts: std::sync::atomic::AtomicU64,
     idle: Mutex<Vec<Connection>>,
     #[cfg(test)]
@@ -403,17 +483,34 @@ impl Pool {
     }
 
     /// Pool that retries an [`ClientError::Unavailable`] fresh connect up
-    /// to `retries` extra times before reporting it.
+    /// to `retries` extra times before reporting it, sleeping between
+    /// attempts per the default [`BackoffPolicy`].
     pub fn with_connect_retries(addr: impl Into<String>, max_idle: usize, retries: u32) -> Pool {
         Pool {
             addr: addr.into(),
             max_idle,
             connect_retries: retries,
+            backoff: BackoffPolicy::default(),
+            sleeper: Box::new(std::thread::sleep),
             connect_attempts: std::sync::atomic::AtomicU64::new(0),
             idle: Mutex::new(Vec::new()),
             #[cfg(test)]
             connector: None,
         }
+    }
+
+    /// Replace the retry backoff policy (seed, base, cap).
+    pub fn with_backoff(mut self, policy: BackoffPolicy) -> Pool {
+        self.backoff = policy;
+        self
+    }
+
+    /// Replace the sleep used between connect retries — tests and
+    /// simulated-clock embedders observe or virtualize the waits instead
+    /// of actually sleeping.
+    pub fn with_sleeper(mut self, sleep: impl Fn(Duration) + Send + Sync + 'static) -> Pool {
+        self.sleeper = Box::new(sleep);
+        self
     }
 
     fn connect_once(&self) -> Result<Connection> {
@@ -440,6 +537,7 @@ impl Pool {
                     match self.connect_once() {
                         Ok(c) => break c,
                         Err(e) if e.is_unavailable() && attempt < self.connect_retries => {
+                            (self.sleeper)(self.backoff.delay(attempt));
                             attempt += 1;
                         }
                         Err(e) => return Err(e),
@@ -516,6 +614,130 @@ impl Drop for PooledConnection<'_> {
         if let Some(conn) = self.conn.take() {
             self.pool.put_back(conn);
         }
+    }
+}
+
+/// A client for a replicated deployment: statements are routed to the
+/// replica first (cheap, horizon-stale reads — see `docs/REPLICATION.md`),
+/// and anything the replica refuses with the typed `READ_ONLY` code is
+/// transparently re-executed on the primary. A replica that has become
+/// unreachable (crashed, promoted elsewhere) also fails the statement
+/// over to the primary instead of surfacing the transport error.
+///
+/// Connections are established lazily and re-established with the same
+/// bounded, seeded backoff as [`Pool`] retries; a connection broken
+/// mid-conversation is dropped and redialed once before the failure is
+/// reported.
+pub struct FailoverClient {
+    primary_addr: String,
+    replica_addr: Option<String>,
+    primary: Option<Connection>,
+    replica: Option<Connection>,
+    connect_retries: u32,
+    backoff: BackoffPolicy,
+    sleeper: Sleeper,
+}
+
+impl FailoverClient {
+    /// Client over `primary` with an optional read-preferred `replica`.
+    pub fn new(primary: impl Into<String>, replica: Option<String>) -> FailoverClient {
+        FailoverClient {
+            primary_addr: primary.into(),
+            replica_addr: replica,
+            primary: None,
+            replica: None,
+            connect_retries: 3,
+            backoff: BackoffPolicy::default(),
+            sleeper: Box::new(std::thread::sleep),
+        }
+    }
+
+    /// Replace the reconnect backoff policy.
+    pub fn with_backoff(mut self, policy: BackoffPolicy) -> FailoverClient {
+        self.backoff = policy;
+        self
+    }
+
+    /// Extra connect attempts per dial (same meaning as
+    /// [`Pool::with_connect_retries`]).
+    pub fn with_connect_retries(mut self, retries: u32) -> FailoverClient {
+        self.connect_retries = retries;
+        self
+    }
+
+    fn dial(
+        addr: &str,
+        retries: u32,
+        backoff: &BackoffPolicy,
+        sleeper: &Sleeper,
+    ) -> Result<Connection> {
+        let mut attempt = 0;
+        loop {
+            match Connection::connect(addr) {
+                Ok(c) => return Ok(c),
+                Err(e) if e.is_unavailable() && attempt < retries => {
+                    sleeper(backoff.delay(attempt));
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn execute_on(&mut self, on_primary: bool, sql: &str) -> Result<Response> {
+        let (slot, addr) = if on_primary {
+            (&mut self.primary, self.primary_addr.as_str())
+        } else {
+            (
+                &mut self.replica,
+                self.replica_addr.as_deref().expect("replica configured"),
+            )
+        };
+        if slot.is_none() {
+            *slot = Some(Self::dial(
+                addr,
+                self.connect_retries,
+                &self.backoff,
+                &self.sleeper,
+            )?);
+        }
+        let conn = slot.as_mut().expect("dialed above");
+        let result = conn.execute(sql);
+        if matches!(&result, Err(e) if e.is_unavailable()) {
+            // One transparent redial: the old stream is desynced.
+            *slot = None;
+            let mut fresh = Self::dial(addr, self.connect_retries, &self.backoff, &self.sleeper)?;
+            let retried = fresh.execute(sql);
+            *slot = Some(fresh);
+            return retried;
+        }
+        result
+    }
+
+    /// Execute one statement: replica first when one is configured, with
+    /// typed read-only refusals and replica unavailability failing over
+    /// to the primary.
+    pub fn execute(&mut self, sql: &str) -> Result<Response> {
+        if self.replica_addr.is_some() {
+            match self.execute_on(false, sql) {
+                Err(e) if e.is_read_only() || e.is_unavailable() => {
+                    if e.is_unavailable() {
+                        self.replica = None;
+                    }
+                }
+                other => return other,
+            }
+        }
+        self.execute_on(true, sql)
+    }
+}
+
+impl std::fmt::Debug for FailoverClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FailoverClient")
+            .field("primary", &self.primary_addr)
+            .field("replica", &self.replica_addr)
+            .finish_non_exhaustive()
     }
 }
 
@@ -733,6 +955,165 @@ mod tests {
         assert!(err.is_unavailable());
         assert_eq!(pool.connect_attempts(), 2);
         server.shutdown();
+    }
+
+    #[test]
+    fn unavailable_covers_the_disconnect_error_kind_matrix() {
+        use std::io::ErrorKind::*;
+        // Every way a peer can be gone maps to the typed retryable error…
+        for kind in [
+            ConnectionRefused,
+            ConnectionReset,
+            ConnectionAborted,
+            BrokenPipe,
+            NotConnected,
+            UnexpectedEof,
+        ] {
+            let e = ClientError::from(std::io::Error::new(kind, "gone"));
+            assert!(e.is_unavailable(), "{kind:?} must map to Unavailable");
+        }
+        // …while local/transient conditions stay generic I/O errors that
+        // a blind retry would not fix.
+        for kind in [
+            TimedOut,
+            PermissionDenied,
+            WouldBlock,
+            Interrupted,
+            OutOfMemory,
+        ] {
+            let e = ClientError::from(std::io::Error::new(kind, "local"));
+            assert!(
+                matches!(e, ClientError::Io(_)),
+                "{kind:?} must stay ClientError::Io"
+            );
+        }
+    }
+
+    #[test]
+    fn eof_mid_frame_is_unavailable_and_taints_the_connection() {
+        use std::io::Read;
+        // A hand-rolled peer that answers with half a frame then hangs up
+        // — the worst-case crash point for a streaming server.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let peer = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let mut sink = [0u8; 256];
+            let _ = s.read(&mut sink);
+            // Length prefix claims 100 body bytes; send only 3.
+            s.write_all(&[100, 0, 0, 0, 0x18, 1, 0]).unwrap();
+        });
+        let mut conn = Connection::connect(addr).unwrap();
+        let err = conn.execute("SHOW PENDING").unwrap_err();
+        assert!(err.is_unavailable(), "mid-frame EOF must be typed: {err}");
+        assert!(
+            !conn.is_healthy(),
+            "a desynced stream must not look reusable"
+        );
+        peer.join().unwrap();
+    }
+
+    #[test]
+    fn connect_backoff_is_bounded_deterministic_and_injectable() {
+        use std::sync::{Arc, Mutex};
+        let dead = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let policy = BackoffPolicy {
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(60),
+            seed: 42,
+        };
+        let record = |sleeps: &Arc<Mutex<Vec<Duration>>>| {
+            let sink = Arc::clone(sleeps);
+            move |d: Duration| sink.lock().unwrap().push(d)
+        };
+        let sleeps = Arc::new(Mutex::new(Vec::new()));
+        let pool = Pool::with_connect_retries(dead.to_string(), 2, 5)
+            .with_backoff(policy.clone())
+            .with_sleeper(record(&sleeps));
+        assert!(pool.get().map(|_| ()).unwrap_err().is_unavailable());
+        let observed = sleeps.lock().unwrap().clone();
+        assert_eq!(observed.len(), 5, "one sleep between each pair of attempts");
+        for (i, d) in observed.iter().enumerate() {
+            let exp = policy.base * 2u32.pow(i as u32);
+            assert!(*d <= policy.cap, "attempt {i} slept {d:?} over the cap");
+            assert!(
+                *d >= exp.min(policy.cap) / 2,
+                "attempt {i} slept {d:?}, under half the exponential floor"
+            );
+            assert_eq!(*d, policy.delay(i as u32), "schedule must be pure");
+        }
+        // Same seed ⇒ identical schedule; different seed ⇒ different
+        // jitter (decorrelated clients).
+        let sleeps2 = Arc::new(Mutex::new(Vec::new()));
+        let pool2 = Pool::with_connect_retries(dead.to_string(), 2, 5)
+            .with_backoff(policy.clone())
+            .with_sleeper(record(&sleeps2));
+        assert!(pool2.get().is_err());
+        assert_eq!(observed, *sleeps2.lock().unwrap());
+        let reseeded = BackoffPolicy { seed: 43, ..policy };
+        assert_ne!(
+            (0..5).map(|i| reseeded.delay(i)).collect::<Vec<_>>(),
+            observed
+        );
+    }
+
+    #[test]
+    fn failover_client_reads_from_replica_and_writes_through_primary() {
+        let primary = spawn();
+        let mut seed = Connection::connect(primary.addr()).unwrap();
+        seed.execute("CREATE TABLE Available (flight INT, seat TEXT)")
+            .unwrap();
+        seed.execute("INSERT INTO Available VALUES (1, '1A')")
+            .unwrap();
+        let replica = Server::spawn(&ServerConfig {
+            replicate_from: Some(primary.addr().to_string()),
+            repl_poll_interval: std::time::Duration::from_millis(2),
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        // Wait for the replica to catch up before reading through it.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        let mut probe = Connection::connect(replica.addr()).unwrap();
+        loop {
+            match probe.execute("SELECT * FROM Available(@f, @s)") {
+                Ok(Response::Rows(rows)) if rows.len() == 1 => break,
+                _ => {
+                    assert!(
+                        std::time::Instant::now() < deadline,
+                        "replica never caught up"
+                    );
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                }
+            }
+        }
+        let mut client =
+            FailoverClient::new(primary.addr().to_string(), Some(replica.addr().to_string()));
+        // A read is answered by the replica.
+        let rows = client.execute("SELECT * FROM Available(@f, @s)").unwrap();
+        assert_eq!(rows.rows().unwrap().len(), 1);
+        // A write bounces off the replica with READ_ONLY and lands on the
+        // primary without the caller seeing the refusal.
+        let written = client
+            .execute("INSERT INTO Available VALUES (1, '1B')")
+            .unwrap();
+        assert_eq!(written, Response::Written(true));
+        let (_, pstats) = {
+            let mut c = Connection::connect(primary.addr()).unwrap();
+            c.server_stats().unwrap()
+        };
+        assert_eq!(
+            pstats.class("INSERT"),
+            Some(2),
+            "seed + failed-over write ran on the primary"
+        );
+        // Replica death degrades reads to the primary instead of erroring.
+        replica.shutdown();
+        let rows = client.execute("SELECT * FROM Available(@f, @s)").unwrap();
+        assert!(!rows.rows().unwrap().is_empty());
+        primary.shutdown();
     }
 
     #[test]

@@ -730,6 +730,11 @@ impl QuantumDb {
         self.wal.size_bytes()
     }
 
+    /// Highest transaction id assigned so far (0 when none yet).
+    pub fn last_txn_id(&self) -> TxnId {
+        self.next_txn_id.saturating_sub(1)
+    }
+
     /// Raw WAL image (crash-recovery tests snapshot this to simulate a
     /// machine failure at an arbitrary point).
     pub fn wal_image(&mut self) -> Vec<u8> {

@@ -76,7 +76,12 @@ pub enum Response {
     Profile(Box<qdb_obs::ProfileReport>),
     /// Recent flight-recorder span events, oldest first (`SHOW EVENTS`).
     Events(Vec<qdb_obs::SpanEvent>),
-    /// Statement acknowledged with nothing to report (DDL, `CHECKPOINT`).
+    /// Replication role, WAL position and per-replica lag
+    /// (`SHOW REPLICATION`). The bare engine answers as an unreplicated
+    /// primary; `qdb-server` substitutes its live stream state.
+    Replication(Box<crate::repl::ReplicationReport>),
+    /// Statement acknowledged with nothing to report (DDL, `CHECKPOINT`,
+    /// `PROMOTE`).
     Ack,
 }
 
@@ -148,6 +153,14 @@ impl Response {
             _ => None,
         }
     }
+
+    /// Replication report, when this is a [`Response::Replication`].
+    pub fn replication(&self) -> Option<&crate::repl::ReplicationReport> {
+        match self {
+            Response::Replication(r) => Some(r),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for Response {
@@ -164,6 +177,7 @@ impl std::fmt::Display for Response {
             Response::Pending(ids) => write!(f, "{} pending transaction(s)", ids.len()),
             Response::Profile(p) => write!(f, "{p}"),
             Response::Events(events) => write!(f, "{} event(s)", events.len()),
+            Response::Replication(r) => write!(f, "{r}"),
             Response::Ack => write!(f, "ok"),
         }
     }
@@ -291,6 +305,18 @@ impl QuantumDb {
             Statement::ShowProfile => Ok(Response::Profile(Box::new(self.profile()))),
             Statement::ShowEvents { limit } => Ok(Response::Events(
                 self.obs().events(limit.unwrap_or(DEFAULT_EVENT_LIMIT)),
+            )),
+            Statement::ShowReplication => {
+                // The bare engine is an unreplicated primary; `qdb-server`
+                // intercepts this statement when a stream is attached.
+                let wal_len = self.wal_size();
+                let last = self.last_txn_id();
+                Ok(Response::Replication(Box::new(
+                    crate::repl::ReplicaTracker::new().report(wal_len, last),
+                )))
+            }
+            Statement::Promote => Err(EngineError::Invariant(
+                "PROMOTE requires a replica server (this node is already a primary)".into(),
             )),
         }
     }
@@ -461,6 +487,12 @@ impl SharedQuantumDb {
             Statement::ShowProfile => Ok(Response::Profile(Box::new(self.profile()))),
             Statement::ShowEvents { limit } => Ok(Response::Events(
                 self.obs().events(limit.unwrap_or(DEFAULT_EVENT_LIMIT)),
+            )),
+            Statement::ShowReplication => Ok(Response::Replication(Box::new(
+                crate::repl::ReplicaTracker::new().report(self.wal_size(), self.last_txn_id()),
+            ))),
+            Statement::Promote => Err(EngineError::Invariant(
+                "PROMOTE requires a replica server (this node is already a primary)".into(),
             )),
         }
     }

@@ -58,6 +58,7 @@ pub mod metrics;
 pub mod partition;
 pub mod read;
 pub mod recovery;
+pub mod repl;
 pub mod shard;
 pub mod sync;
 pub mod txn;
@@ -75,6 +76,7 @@ pub use qdb_obs::{
     HistSnapshot, HistSummary, Histogram, Obs, Outcome, Phase, ProfileReport, SlowOp, SpanEvent,
     SpanNode,
 };
+pub use repl::{ReplicaApplier, ReplicaStatus, ReplicaTracker, ReplicationReport, ReplicationRole};
 pub use shard::SharedQuantumDb;
 pub use txn::{PendingTxn, TxnId};
 pub use worlds::{

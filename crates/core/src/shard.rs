@@ -1532,6 +1532,32 @@ impl SharedQuantumDb {
             .expect("in-memory sinks cannot fail; file sinks report I/O errors on read")
     }
 
+    /// Primary-side replication stream read: up to `max` WAL bytes
+    /// starting at `offset`, plus the current WAL length and the last
+    /// assigned transaction id — the sharded counterpart of
+    /// [`QuantumDb::wal_stream_from`]. The image is fenced exactly like
+    /// [`SharedQuantumDb::wal_image`], so a segment never ends inside a
+    /// partially-drained group. Offsets past the end are clamped.
+    pub fn wal_stream_from(&self, offset: u64, max: usize) -> (u64, TxnId, Vec<u8>) {
+        let image = self.wal_image();
+        let len = image.len() as u64;
+        let last_txn = self.last_txn_id();
+        let start = offset.min(len) as usize;
+        let end = (start + max).min(image.len());
+        (len, last_txn, image[start..end].to_vec())
+    }
+
+    /// Highest transaction id assigned so far (0 when none yet).
+    pub fn last_txn_id(&self) -> TxnId {
+        self.core.next_txn_id.load(SeqCst).saturating_sub(1)
+    }
+
+    /// Size of the WAL in bytes (durable sink plus the group-commit
+    /// buffer).
+    pub fn wal_size(&self) -> u64 {
+        self.core.wal.lock().size_bytes()
+    }
+
     /// Engine configuration.
     pub fn config(&self) -> &QuantumDbConfig {
         &self.core.config

@@ -31,6 +31,8 @@
 //! | 0x02 | PREPARE | client-chosen stmt id (u32), sql string           |
 //! | 0x03 | BIND    | stmt id (u32), client-chosen bound id (u32), u32 param count, values |
 //! | 0x04 | RUN     | bound id (u32)                                    |
+//! | 0x05 | REPLICATE | replica id (string), from offset (u64)          |
+//! | 0x06 | REPL_ACK  | replica id (string), applied offset (u64), horizon (u64) |
 //!
 //! Statement and bound ids are **client-assigned** so that
 //! `PREPARE`/`BIND`/`RUN` can be pipelined in a single flush without
@@ -72,6 +74,10 @@ pub mod req {
     pub const BIND: u8 = 0x03;
     /// Run (and consume) a bound statement.
     pub const RUN: u8 = 0x04;
+    /// Replica → primary: poll for WAL bytes past an offset.
+    pub const REPLICATE: u8 = 0x05;
+    /// Replica → primary: report the applied offset + replication horizon.
+    pub const REPL_ACK: u8 = 0x06;
 }
 
 /// Response frame kinds.
@@ -98,6 +104,10 @@ pub mod resp {
     pub const PROFILE: u8 = 0x19;
     /// `Response::Events` (`SHOW EVENTS`).
     pub const EVENTS: u8 = 0x1A;
+    /// A chunk of primary WAL bytes (answers a `REPLICATE` poll).
+    pub const WAL_SEGMENT: u8 = 0x1B;
+    /// `Response::Replication` (`SHOW REPLICATION`).
+    pub const REPLICATION: u8 = 0x1C;
     /// Acknowledges a PREPARE.
     pub const PREPARED: u8 = 0x20;
     /// Acknowledges a BIND.
@@ -126,6 +136,9 @@ pub mod code {
     pub const UNKNOWN_ID: u8 = 7;
     /// `EXECUTE` of a statement that still has `?` placeholders.
     pub const PARAMS: u8 = 8;
+    /// A write-class statement reached a read-only replica. Clients treat
+    /// this as "wrong node" and fail over to the primary.
+    pub const READ_ONLY: u8 = 9;
 }
 
 /// The error code an [`EngineError`] maps to on the wire.
@@ -212,6 +225,26 @@ pub enum Request {
         /// Bound id from a previous `Bind`.
         bound: u32,
     },
+    /// Replica → primary: poll for WAL bytes past `from_offset`. Answered
+    /// with one [`Reply::WalSegment`] (empty when caught up) — pull-based,
+    /// so replication rides the ordinary request/response machinery.
+    Replicate {
+        /// Replica-chosen identifier, stable across reconnects (keys the
+        /// primary's `SHOW REPLICATION` ledger).
+        replica_id: String,
+        /// Primary WAL byte offset the replica wants bytes from (its
+        /// applied offset plus any buffered partial frame).
+        from_offset: u64,
+    },
+    /// Replica → primary: progress report. Answered with an `ACK`.
+    ReplAck {
+        /// Replica-chosen identifier.
+        replica_id: String,
+        /// Primary WAL bytes the replica has fully applied.
+        applied_offset: u64,
+        /// Highest transaction id the replica has applied.
+        horizon: u64,
+    },
 }
 
 /// Encode a complete request frame (including the length prefix).
@@ -243,6 +276,24 @@ pub fn encode_request(request_id: u32, request: &Request) -> Vec<u8> {
         Request::Run { bound } => {
             body.put_u32_le(*bound);
             req::RUN
+        }
+        Request::Replicate {
+            replica_id,
+            from_offset,
+        } => {
+            scodec::put_string(&mut body, replica_id);
+            body.put_u64_le(*from_offset);
+            req::REPLICATE
+        }
+        Request::ReplAck {
+            replica_id,
+            applied_offset,
+            horizon,
+        } => {
+            scodec::put_string(&mut body, replica_id);
+            body.put_u64_le(*applied_offset);
+            body.put_u64_le(*horizon);
+            req::REPL_ACK
         }
     };
     finish_frame(kind, request_id, &body)
@@ -281,6 +332,23 @@ pub fn decode_request(frame: &Frame) -> Result<Request> {
             need(buf, 4, "bound id")?;
             Request::Run {
                 bound: buf.get_u32_le(),
+            }
+        }
+        req::REPLICATE => {
+            let replica_id = scodec::get_string(buf)?;
+            need(buf, 8, "replication offset")?;
+            Request::Replicate {
+                replica_id,
+                from_offset: buf.get_u64_le(),
+            }
+        }
+        req::REPL_ACK => {
+            let replica_id = scodec::get_string(buf)?;
+            need(buf, 16, "replication ack")?;
+            Request::ReplAck {
+                replica_id,
+                applied_offset: buf.get_u64_le(),
+                horizon: buf.get_u64_le(),
             }
         }
         k => return Err(WireError(format!("unknown request kind 0x{k:02x}"))),
@@ -385,6 +453,21 @@ pub enum Reply {
         /// Echo of the client-chosen bound id.
         bound: u32,
     },
+    /// One chunk of primary WAL bytes (answers a [`Request::Replicate`]).
+    /// Empty `bytes` means the replica is caught up at `primary_wal_len`.
+    WalSegment {
+        /// Byte offset these bytes start at (echo of the poll's
+        /// `from_offset`, clamped to the WAL length).
+        start_offset: u64,
+        /// Total primary WAL length — `primary_wal_len − applied bytes`
+        /// is the replica's lag.
+        primary_wal_len: u64,
+        /// Highest transaction id the primary has assigned.
+        last_txn_id: u64,
+        /// Raw WAL bytes. May start or end mid-frame: the replica buffers
+        /// partial frames and advances by what fully replays.
+        bytes: Vec<u8>,
+    },
     /// The request failed.
     Error {
         /// Stable [error code](code).
@@ -427,6 +510,19 @@ pub fn encode_reply(request_id: u32, reply: &Reply) -> Vec<u8> {
         Reply::Bound { bound } => {
             body.put_u32_le(*bound);
             resp::BOUND
+        }
+        Reply::WalSegment {
+            start_offset,
+            primary_wal_len,
+            last_txn_id,
+            bytes,
+        } => {
+            body.put_u64_le(*start_offset);
+            body.put_u64_le(*primary_wal_len);
+            body.put_u64_le(*last_txn_id);
+            body.put_u32_le(bytes.len() as u32);
+            body.put_slice(bytes);
+            resp::WAL_SEGMENT
         }
         Reply::Error { code, message } => {
             body.put_u8(*code);
@@ -479,8 +575,59 @@ fn put_response(body: &mut BytesMut, r: &Response) -> u8 {
             put_events(body, events);
             resp::EVENTS
         }
+        Response::Replication(report) => {
+            put_replication(body, report);
+            resp::REPLICATION
+        }
         Response::Metrics(_) => unreachable!("handled by encode_reply"),
     }
+}
+
+fn put_replication(body: &mut BytesMut, r: &crate::repl::ReplicationReport) {
+    body.put_u8(match r.role {
+        crate::repl::ReplicationRole::Primary => 0,
+        crate::repl::ReplicationRole::Replica => 1,
+    });
+    body.put_u64_le(r.wal_len);
+    body.put_u64_le(r.last_txn_id);
+    body.put_u32_le(r.replicas.len() as u32);
+    for replica in &r.replicas {
+        scodec::put_string(body, &replica.id);
+        body.put_u64_le(replica.acked_offset);
+        body.put_u64_le(replica.horizon);
+        body.put_u64_le(replica.lag_bytes);
+        body.put_u64_le(replica.segments);
+    }
+}
+
+fn get_replication(buf: &mut impl Buf) -> Result<crate::repl::ReplicationReport> {
+    need(buf, 17, "replication header")?;
+    let role = match buf.get_u8() {
+        0 => crate::repl::ReplicationRole::Primary,
+        1 => crate::repl::ReplicationRole::Replica,
+        r => return Err(WireError(format!("unknown replication role {r}"))),
+    };
+    let wal_len = buf.get_u64_le();
+    let last_txn_id = buf.get_u64_le();
+    let n = get_count(buf, "replica count")?;
+    let mut replicas = Vec::with_capacity(n);
+    for _ in 0..n {
+        let id = scodec::get_string(buf)?;
+        need(buf, 32, "replica status")?;
+        replicas.push(crate::repl::ReplicaStatus {
+            id,
+            acked_offset: buf.get_u64_le(),
+            horizon: buf.get_u64_le(),
+            lag_bytes: buf.get_u64_le(),
+            segments: buf.get_u64_le(),
+        });
+    }
+    Ok(crate::repl::ReplicationReport {
+        role,
+        wal_len,
+        last_txn_id,
+        replicas,
+    })
 }
 
 /// Encode a response frame, enforcing the limits the decoder will apply:
@@ -587,6 +734,27 @@ pub fn decode_reply(frame: &Frame) -> Result<Reply> {
         resp::ACK => Reply::Engine(Response::Ack),
         resp::PROFILE => Reply::Engine(Response::Profile(Box::new(get_profile(buf)?))),
         resp::EVENTS => Reply::Engine(Response::Events(get_events(buf)?)),
+        resp::REPLICATION => Reply::Engine(Response::Replication(Box::new(get_replication(buf)?))),
+        resp::WAL_SEGMENT => {
+            need(buf, 24, "segment header")?;
+            let start_offset = buf.get_u64_le();
+            let primary_wal_len = buf.get_u64_le();
+            let last_txn_id = buf.get_u64_le();
+            need(buf, 4, "segment length")?;
+            let len = buf.get_u32_le() as usize;
+            if len > MAX_FRAME {
+                return Err(WireError(format!("implausible segment length {len}")));
+            }
+            need(buf, len, "segment bytes")?;
+            let mut bytes = vec![0u8; len];
+            buf.copy_to_slice(&mut bytes);
+            Reply::WalSegment {
+                start_offset,
+                primary_wal_len,
+                last_txn_id,
+                bytes,
+            }
+        }
         resp::PREPARED => {
             need(buf, 8, "prepared ids")?;
             Reply::Prepared {
@@ -1016,6 +1184,30 @@ mod tests {
         }
     }
 
+    fn sample_replication() -> crate::repl::ReplicationReport {
+        crate::repl::ReplicationReport {
+            role: crate::repl::ReplicationRole::Primary,
+            wal_len: 9000,
+            last_txn_id: 17,
+            replicas: vec![
+                crate::repl::ReplicaStatus {
+                    id: "replica-1".into(),
+                    acked_offset: 8192,
+                    horizon: 15,
+                    lag_bytes: 808,
+                    segments: 4,
+                },
+                crate::repl::ReplicaStatus {
+                    id: "replica-2".into(),
+                    acked_offset: 9000,
+                    horizon: 17,
+                    lag_bytes: 0,
+                    segments: 6,
+                },
+            ],
+        }
+    }
+
     fn sample_events() -> Vec<qdb_obs::SpanEvent> {
         vec![
             qdb_obs::SpanEvent {
@@ -1052,6 +1244,15 @@ mod tests {
             params: vec![Value::from(1), Value::from("a"), Value::from(false)],
         });
         roundtrip_request(&Request::Run { bound: 8 });
+        roundtrip_request(&Request::Replicate {
+            replica_id: "replica-1".into(),
+            from_offset: 8192,
+        });
+        roundtrip_request(&Request::ReplAck {
+            replica_id: "replica-1".into(),
+            applied_offset: 8192,
+            horizon: 41,
+        });
     }
 
     #[test]
@@ -1117,6 +1318,29 @@ mod tests {
         });
         roundtrip_reply(&Reply::Prepared { stmt: 2, params: 6 });
         roundtrip_reply(&Reply::Bound { bound: 4 });
+        roundtrip_reply(&Reply::WalSegment {
+            start_offset: 4096,
+            primary_wal_len: 9000,
+            last_txn_id: 17,
+            bytes: vec![1, 2, 3, 4, 5],
+        });
+        roundtrip_reply(&Reply::WalSegment {
+            start_offset: 9000,
+            primary_wal_len: 9000,
+            last_txn_id: 17,
+            bytes: vec![],
+        });
+        roundtrip_reply(&Reply::Engine(Response::Replication(Box::new(
+            sample_replication(),
+        ))));
+        roundtrip_reply(&Reply::Engine(Response::Replication(Box::new(
+            crate::repl::ReplicationReport {
+                role: crate::repl::ReplicationRole::Replica,
+                wal_len: 12,
+                last_txn_id: 0,
+                replicas: vec![],
+            },
+        ))));
         roundtrip_reply(&Reply::Error {
             code: code::LOGIC,
             message: "parse error at byte 0: nope".into(),
@@ -1172,6 +1396,13 @@ mod tests {
             Reply::Engine(Response::Rows(vec![sample_valuation()])),
             Reply::Engine(Response::Profile(Box::new(sample_profile()))),
             Reply::Engine(Response::Events(sample_events())),
+            Reply::Engine(Response::Replication(Box::new(sample_replication()))),
+            Reply::WalSegment {
+                start_offset: 1,
+                primary_wal_len: 2,
+                last_txn_id: 3,
+                bytes: vec![7, 8, 9],
+            },
         ];
         for reply in &replies {
             let bytes = encode_reply(1, reply);

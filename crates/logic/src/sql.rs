@@ -380,10 +380,14 @@ impl SqlParser {
                 self.bump();
                 Statement::Checkpoint
             }
+            Tok::Ident(_) if self.at_ident("PROMOTE") => {
+                self.bump();
+                Statement::Promote
+            }
             other => {
                 return Err(self.error(format!(
-                    "expected a statement (SELECT, INSERT, DELETE, CREATE, GROUND, SHOW or \
-                     CHECKPOINT), found {other:?}"
+                    "expected a statement (SELECT, INSERT, DELETE, CREATE, GROUND, SHOW, \
+                     CHECKPOINT or PROMOTE), found {other:?}"
                 )))
             }
         };
@@ -818,9 +822,12 @@ impl SqlParser {
                 None
             };
             Ok(Statement::ShowEvents { limit })
+        } else if self.at_ident("REPLICATION") {
+            self.bump();
+            Ok(Statement::ShowReplication)
         } else {
             Err(self.error(format!(
-                "SHOW supports METRICS, PENDING, PROFILE and EVENTS, found {:?}",
+                "SHOW supports METRICS, PENDING, PROFILE, EVENTS and REPLICATION, found {:?}",
                 self.peek()
             )))
         }
@@ -1054,6 +1061,11 @@ mod tests {
         );
         assert!(parse_statement("SHOW EVENTS LIMIT -1").is_err());
         assert!(parse_statement("SHOW TABLES").is_err());
+        assert_eq!(stmt("SHOW REPLICATION"), Statement::ShowReplication);
+        assert_eq!(stmt("show replication;"), Statement::ShowReplication);
+        assert_eq!(stmt("PROMOTE"), Statement::Promote);
+        assert_eq!(stmt("promote;"), Statement::Promote);
+        assert!(parse_statement("PROMOTE 3").is_err());
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! | Blind write| `INSERT INTO R VALUES (…), (…)`, `DELETE FROM R VALUES (…)`   |
 //! | Read       | `SELECT [PEEK \| POSSIBLE] @v, … \| * FROM R(…), … [WHERE …] [LIMIT n]` |
 //! | Resource   | `SELECT … FROM … [WHERE …] CHOOSE 1 FOLLOWED BY ( … )`        |
-//! | Control    | `GROUND <id>`, `GROUND ALL`, `CHECKPOINT`, `SHOW METRICS`, `SHOW PENDING`, `SHOW PROFILE`, `SHOW EVENTS [LIMIT n]` |
+//! | Control    | `GROUND <id>`, `GROUND ALL`, `CHECKPOINT`, `SHOW METRICS`, `SHOW PENDING`, `SHOW PROFILE`, `SHOW EVENTS [LIMIT n]`, `SHOW REPLICATION`, `PROMOTE` |
 //!
 //! Placeholders (`?`) may appear anywhere a constant may: in `VALUES`
 //! rows, in atom argument positions, on one side of a `WHERE` equality
@@ -153,6 +153,14 @@ pub enum Statement {
         /// when absent).
         limit: Option<usize>,
     },
+    /// `SHOW REPLICATION` — replication role, WAL position and per-replica
+    /// lag (meaningful on servers; the bare engine reports itself as an
+    /// unreplicated primary).
+    ShowReplication,
+    /// `PROMOTE` — promote a replica server to primary (stops applying the
+    /// replication stream, recovers from the local WAL, starts accepting
+    /// writes). Only replica servers accept it.
+    Promote,
 }
 
 impl Statement {
@@ -172,6 +180,8 @@ impl Statement {
             Statement::ShowPending => "SHOW PENDING",
             Statement::ShowProfile => "SHOW PROFILE",
             Statement::ShowEvents { .. } => "SHOW EVENTS",
+            Statement::ShowReplication => "SHOW REPLICATION",
+            Statement::Promote => "PROMOTE",
         }
     }
 }

@@ -29,7 +29,8 @@ fn usage() -> ! {
         "usage: qdb-server [--addr HOST:PORT] [--workers N] [--k N] \
          [--prepared-cache N] [--no-partitioning] [--slow-log MICROS] \
          [--trace-out PATH] [--max-conns N] [--idle-timeout-ms MS] \
-         [--outbox-limit BYTES]"
+         [--outbox-limit BYTES] [--replicate-from HOST:PORT] \
+         [--replica-id NAME] [--repl-poll-ms MS] [--promote-after-ms MS]"
     );
     std::process::exit(2);
 }
@@ -86,6 +87,24 @@ fn parse_args() -> ServerConfig {
                 cfg.outbox_limit = value(i).parse().unwrap_or_else(|_| usage());
                 i += 1;
             }
+            "--replicate-from" => {
+                cfg.replicate_from = Some(value(i));
+                i += 1;
+            }
+            "--replica-id" => {
+                cfg.replica_id = value(i);
+                i += 1;
+            }
+            "--repl-poll-ms" => {
+                let ms: u64 = value(i).parse().unwrap_or_else(|_| usage());
+                cfg.repl_poll_interval = std::time::Duration::from_millis(ms.max(1));
+                i += 1;
+            }
+            "--promote-after-ms" => {
+                let ms: u64 = value(i).parse().unwrap_or_else(|_| usage());
+                cfg.auto_promote_after = (ms > 0).then(|| std::time::Duration::from_millis(ms));
+                i += 1;
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -104,12 +123,21 @@ fn main() {
             std::process::exit(1);
         }
     };
-    println!(
-        "qdb-server listening on {} ({} workers, k={}, max {} conns)",
-        handle.addr(),
-        workers,
-        cfg.engine.k,
-        cfg.max_connections
-    );
+    match &cfg.replicate_from {
+        Some(source) => println!(
+            "qdb-server replica '{}' of {} listening on {} ({} workers, read-only until promoted)",
+            cfg.replica_id,
+            source,
+            handle.addr(),
+            workers
+        ),
+        None => println!(
+            "qdb-server listening on {} ({} workers, k={}, max {} conns)",
+            handle.addr(),
+            workers,
+            cfg.engine.k,
+            cfg.max_connections
+        ),
+    }
     handle.wait();
 }

@@ -32,6 +32,7 @@ use qdb_core::{Bound, Response, Session};
 
 use crate::metrics::ServerMetrics;
 use crate::reactor::Notifier;
+use crate::repl::{ConnRole, REPL_SEGMENT_MAX};
 use crate::MAX_QUEUED_FRAMES;
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -90,6 +91,7 @@ pub(crate) struct Conn {
     queue: Mutex<FrameQueue>,
     outbox: Mutex<Outbox>,
     stmts: Mutex<StmtState>,
+    role: ConnRole,
     metrics: Arc<ServerMetrics>,
     notifier: Arc<Notifier>,
     outbox_limit: usize,
@@ -117,6 +119,7 @@ impl Conn {
         stream: TcpStream,
         token: u64,
         session: Session,
+        role: ConnRole,
         metrics: Arc<ServerMetrics>,
         notifier: Arc<Notifier>,
         outbox_limit: usize,
@@ -131,6 +134,7 @@ impl Conn {
                 prepared: BTreeMap::new(),
                 bound: BTreeMap::new(),
             }),
+            role,
             metrics,
             notifier,
             outbox_limit,
@@ -389,8 +393,74 @@ impl Conn {
     }
 
     fn handle_request(&self, request: Request) -> Reply {
+        // Replication frames and replica serving bypass the session: a
+        // replica's engine lives behind its `ReplicaState`, and the
+        // primary answers stream polls straight from the WAL.
+        match &self.role {
+            ConnRole::Replica { state } => match request {
+                Request::Execute { sql } => state.execute(&sql, &self.metrics),
+                Request::Prepare { .. } | Request::Bind { .. } | Request::Run { .. } => {
+                    Reply::Error {
+                        code: wire::code::READ_ONLY,
+                        message: format!(
+                            "prepared statements are not available on a replica; connect to the primary at {}",
+                            state.source()
+                        ),
+                    }
+                }
+                Request::Replicate { .. } | Request::ReplAck { .. } => Reply::Error {
+                    code: wire::code::READ_ONLY,
+                    message: "this node is itself a replica; replicate from the primary".into(),
+                },
+            },
+            ConnRole::Primary { tracker } => match request {
+                Request::Replicate {
+                    replica_id,
+                    from_offset,
+                } => {
+                    let db = lock(&self.stmts).session.shared().clone();
+                    let (primary_wal_len, last_txn_id, bytes) =
+                        db.wal_stream_from(from_offset, REPL_SEGMENT_MAX);
+                    lock(tracker).observe_poll(&replica_id, from_offset, primary_wal_len);
+                    Reply::WalSegment {
+                        start_offset: from_offset.min(primary_wal_len),
+                        primary_wal_len,
+                        last_txn_id,
+                        bytes,
+                    }
+                }
+                Request::ReplAck {
+                    replica_id,
+                    applied_offset,
+                    horizon,
+                } => {
+                    let wal_len = lock(&self.stmts).session.shared().wal_size();
+                    lock(tracker).observe_ack(&replica_id, applied_offset, horizon, wal_len);
+                    Reply::Engine(Response::Ack)
+                }
+                other => self.handle_session_request(other),
+            },
+        }
+    }
+
+    /// Live replication status for `SHOW REPLICATION` on a primary: the
+    /// engine alone would answer with an empty tracker, so the server
+    /// substitutes the per-replica state it actually observes.
+    fn replication_report(&self, stmts: &StmtState) -> Reply {
+        let ConnRole::Primary { tracker } = &self.role else {
+            unreachable!("replica requests never reach the session path");
+        };
+        let db = stmts.session.shared();
+        let report = lock(tracker).report(db.wal_size(), db.last_txn_id());
+        Reply::Engine(Response::Replication(Box::new(report)))
+    }
+
+    fn handle_session_request(&self, request: Request) -> Reply {
         let mut stmts = lock(&self.stmts);
         match request {
+            Request::Replicate { .. } | Request::ReplAck { .. } => {
+                unreachable!("replication frames handled before the session path")
+            }
             Request::Execute { sql } => {
                 // The session's statement cache makes repeated EXECUTE of
                 // identical text parse once, and hands us the statement
@@ -409,6 +479,9 @@ impl Conn {
                     };
                 }
                 self.metrics.statement(prepared.kind());
+                if prepared.kind() == "SHOW REPLICATION" {
+                    return self.replication_report(&stmts);
+                }
                 self.respond(&stmts, prepared.run())
             }
             Request::Prepare { stmt, sql } => match stmts.session.prepare(&sql) {
@@ -442,6 +515,9 @@ impl Conn {
                     return unknown_id("bound statement", bound);
                 };
                 self.metrics.statement(b.statement().kind());
+                if b.statement().kind() == "SHOW REPLICATION" {
+                    return self.replication_report(&stmts);
+                }
                 self.respond(&stmts, b.run())
             }
         }

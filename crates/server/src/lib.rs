@@ -54,6 +54,7 @@
 mod conn;
 pub mod metrics;
 mod reactor;
+pub mod repl;
 pub mod sys;
 
 use std::io;
@@ -69,7 +70,10 @@ use qdb_core::{QuantumDb, QuantumDbConfig, SharedQuantumDb};
 
 use conn::Conn;
 pub use metrics::ServerMetrics;
+use qdb_core::{ReplicaApplier, ReplicaTracker};
 use reactor::{new_reactor, Notifier, ReactorConfig};
+pub use repl::ReplicaState;
+use repl::{run_puller, ConnRole, PullerConfig};
 pub use sys::raise_nofile_limit;
 
 pub(crate) fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
@@ -108,6 +112,18 @@ pub struct ServerConfig {
     /// buffering more than this toward a client that stopped reading
     /// (one in-flight reply may transiently exceed it).
     pub outbox_limit: usize,
+    /// Serve as a replica of the primary at this address
+    /// (`qdb-server --replicate-from`): pull its WAL, serve reads at the
+    /// replication horizon, refuse writes with the `READ_ONLY` code.
+    pub replicate_from: Option<String>,
+    /// Name this replica reports to the primary (`SHOW REPLICATION`
+    /// there lists per-replica lag under it).
+    pub replica_id: String,
+    /// How long a caught-up replica sleeps between WAL polls.
+    pub repl_poll_interval: Duration,
+    /// Auto-promote to primary after this long without a successful
+    /// exchange with the upstream. `None` leaves promotion manual.
+    pub auto_promote_after: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -121,7 +137,42 @@ impl Default for ServerConfig {
             max_connections: 16_384,
             idle_timeout: None,
             outbox_limit: 256 * 1024,
+            replicate_from: None,
+            replica_id: "replica-1".to_string(),
+            repl_poll_interval: Duration::from_millis(20),
+            auto_promote_after: None,
         }
+    }
+}
+
+/// Graceful-shutdown signal shared with the reactor: once active, the
+/// listener is dropped and the loop runs until every connection has
+/// executed its queued frames and flushed its outbox (or the deadline
+/// passes).
+pub(crate) struct DrainSignal {
+    active: AtomicBool,
+    deadline: Mutex<Option<std::time::Instant>>,
+}
+
+impl DrainSignal {
+    fn new() -> Self {
+        DrainSignal {
+            active: AtomicBool::new(false),
+            deadline: Mutex::new(None),
+        }
+    }
+
+    fn arm(&self, timeout: Duration) {
+        *lock(&self.deadline) = Some(std::time::Instant::now() + timeout);
+        self.active.store(true, Ordering::SeqCst);
+    }
+
+    pub(crate) fn active(&self) -> bool {
+        self.active.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn expired(&self) -> bool {
+        matches!(*lock(&self.deadline), Some(d) if std::time::Instant::now() >= d)
     }
 }
 
@@ -134,7 +185,10 @@ pub(crate) enum Job {
 pub struct Server;
 
 impl Server {
-    /// Build a fresh engine from `cfg.engine` and serve it.
+    /// Build a fresh engine from `cfg.engine` and serve it. With
+    /// `cfg.replicate_from` set, the node comes up as a replica instead:
+    /// its engine is fed from the primary's WAL stream and the session
+    /// stack is bypassed (see [`repl::ReplicaState`]).
     pub fn spawn(cfg: &ServerConfig) -> io::Result<ServerHandle> {
         let db = QuantumDb::new(cfg.engine.clone())
             .map_err(|e| io::Error::other(format!("engine construction: {e}")))?
@@ -171,11 +225,53 @@ impl Server {
         let local_addr = listener.local_addr()?;
         let metrics = Arc::new(ServerMetrics::default());
         let shutdown = Arc::new(AtomicBool::new(false));
+        let drain = Arc::new(DrainSignal::new());
         let (job_tx, job_rx) = mpsc::channel::<Job>();
         let job_rx = Arc::new(Mutex::new(job_rx));
         let (notifier, wake_rx) = Notifier::new()?;
         let notifier = Arc::new(notifier);
         let registry: Arc<Mutex<Vec<Weak<Conn>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        // Replica mode: a dedicated engine behind the replica state (the
+        // sessions' shared engine goes unused — connections route around
+        // it) plus the puller thread feeding it from the primary.
+        let (role, replica, puller) = match &cfg.replicate_from {
+            Some(source) => {
+                let engine = QuantumDb::new(cfg.engine.clone())
+                    .map_err(|e| io::Error::other(format!("replica engine: {e}")))?;
+                let state = Arc::new(ReplicaState::new(
+                    ReplicaApplier::new(engine),
+                    source.clone(),
+                    cfg.replica_id.clone(),
+                ));
+                let puller_cfg = PullerConfig {
+                    source: source.clone(),
+                    replica_id: cfg.replica_id.clone(),
+                    poll_interval: cfg.repl_poll_interval,
+                    auto_promote_after: cfg.auto_promote_after,
+                };
+                let puller_state = Arc::clone(&state);
+                let puller_shutdown = Arc::clone(&shutdown);
+                let handle = std::thread::Builder::new()
+                    .name("qdb-repl-puller".to_string())
+                    .spawn(move || run_puller(puller_state, puller_cfg, puller_shutdown))
+                    .expect("spawn puller thread");
+                (
+                    ConnRole::Replica {
+                        state: Arc::clone(&state),
+                    },
+                    Some(state),
+                    Some(handle),
+                )
+            }
+            None => (
+                ConnRole::Primary {
+                    tracker: Arc::new(Mutex::new(ReplicaTracker::new())),
+                },
+                None,
+                None,
+            ),
+        };
 
         let worker_handles: Vec<JoinHandle<()>> = (0..workers)
             .map(|i| {
@@ -200,8 +296,10 @@ impl Server {
             Arc::clone(&notifier),
             wake_rx,
             Arc::clone(&shutdown),
+            Arc::clone(&drain),
             job_tx.clone(),
             Arc::clone(&registry),
+            role,
         )?;
         let reactor_handle = std::thread::Builder::new()
             .name("qdb-reactor".to_string())
@@ -213,11 +311,14 @@ impl Server {
             db,
             metrics,
             shutdown,
+            drain,
             job_tx,
             notifier,
             reactor: Some(reactor_handle),
             workers: worker_handles,
             registry,
+            replica,
+            puller,
         })
     }
 }
@@ -255,11 +356,14 @@ pub struct ServerHandle {
     db: SharedQuantumDb,
     metrics: Arc<ServerMetrics>,
     shutdown: Arc<AtomicBool>,
+    drain: Arc<DrainSignal>,
     job_tx: Sender<Job>,
     notifier: Arc<Notifier>,
     reactor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     registry: Arc<Mutex<Vec<Weak<Conn>>>>,
+    replica: Option<Arc<ReplicaState>>,
+    puller: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -299,9 +403,31 @@ impl ServerHandle {
         }
     }
 
+    /// The replica state when this server was spawned with
+    /// `replicate_from` — promotion status and manual [`ReplicaState::promote`].
+    pub fn replica(&self) -> Option<&Arc<ReplicaState>> {
+        self.replica.as_ref()
+    }
+
     /// Stop accepting, close live connections, discard queued work, and
     /// join every thread.
     pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    /// Graceful shutdown: stop accepting, keep the reactor and executors
+    /// running until every live connection has executed its queued
+    /// frames and flushed its outbox (bounded by `timeout`), then join
+    /// every thread. In-flight pipelines get their replies; idle
+    /// connections are closed without them losing anything.
+    pub fn shutdown_graceful(mut self, timeout: Duration) {
+        if !self.shutdown.load(Ordering::SeqCst) {
+            self.drain.arm(timeout);
+            self.notifier.wake();
+            if let Some(h) = self.reactor.take() {
+                let _ = h.join();
+            }
+        }
         self.shutdown_inner();
     }
 
@@ -322,6 +448,9 @@ impl ServerHandle {
         }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
+        }
+        if let Some(h) = self.puller.take() {
+            let _ = h.join();
         }
     }
 }
@@ -413,6 +542,250 @@ mod tests {
         );
         assert_eq!(reply, Reply::Engine(Response::Pending(vec![])));
         handle.shutdown();
+    }
+
+    fn exec(stream: &mut TcpStream, sql: &str) -> Reply {
+        roundtrip(
+            stream,
+            &Request::Execute {
+                sql: sql.to_string(),
+            },
+        )
+    }
+
+    fn booking_sql(user: &str, flight: i64) -> String {
+        format!(
+            "SELECT @s FROM Available({flight}, @s) CHOOSE 1 FOLLOWED BY \
+             (DELETE ({flight}, @s) FROM Available; \
+              INSERT ('{user}', {flight}, @s) INTO Bookings)"
+        )
+    }
+
+    fn seed_primary(stream: &mut TcpStream) {
+        assert_eq!(
+            exec(stream, "CREATE TABLE Available (flight INT, seat TEXT)"),
+            Reply::Engine(Response::Ack)
+        );
+        assert_eq!(
+            exec(
+                stream,
+                "CREATE TABLE Bookings (name TEXT, flight INT, seat TEXT)"
+            ),
+            Reply::Engine(Response::Ack)
+        );
+        for seat in ["1A", "1B", "1C"] {
+            assert_eq!(
+                exec(
+                    stream,
+                    &format!("INSERT INTO Available VALUES (1, '{seat}')")
+                ),
+                Reply::Engine(Response::Written(true))
+            );
+        }
+    }
+
+    fn replica_of(primary: &ServerHandle) -> ServerHandle {
+        Server::spawn(&ServerConfig {
+            replicate_from: Some(primary.addr().to_string()),
+            repl_poll_interval: Duration::from_millis(2),
+            ..ServerConfig::default()
+        })
+        .expect("replica server")
+    }
+
+    /// Poll the primary's tracker until the named replica has acked the
+    /// full WAL.
+    fn await_caught_up(primary_conn: &mut TcpStream) {
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            if let Reply::Engine(Response::Replication(report)) =
+                exec(primary_conn, "SHOW REPLICATION")
+            {
+                if report
+                    .replicas
+                    .iter()
+                    .any(|r| r.acked_offset == report.wal_len && report.wal_len > 0)
+                {
+                    return;
+                }
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "replica never caught up"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn replica_follows_primary_serves_reads_and_refuses_writes() {
+        let primary = Server::spawn(&ServerConfig::default()).unwrap();
+        let mut p = TcpStream::connect(primary.addr()).unwrap();
+        seed_primary(&mut p);
+        assert!(matches!(
+            exec(&mut p, &booking_sql("Mickey", 1)),
+            Reply::Engine(Response::Committed(0))
+        ));
+        let replica = replica_of(&primary);
+        await_caught_up(&mut p);
+
+        let mut r = TcpStream::connect(replica.addr()).unwrap();
+        // Reads serve at the horizon; the collapsing SELECT degrades to
+        // its peek form (§3.2.2 option 2): answered against one possible
+        // world without grounding anything, so Mickey's pending booking
+        // consumes a seat in the answer but fixes nothing.
+        let rows = exec(&mut r, "SELECT * FROM Available(@f, @s)");
+        let Reply::Engine(Response::Rows(rows)) = rows else {
+            panic!("replica SELECT answered {rows:?}");
+        };
+        assert_eq!(rows.len(), 2, "3 seats minus the pending booking's pick");
+        // The pending transaction stays pending: no replica-side ground.
+        assert_eq!(
+            exec(&mut r, "SHOW PENDING"),
+            Reply::Engine(Response::Pending(vec![0]))
+        );
+        // The replica reports its own role and upstream cursor.
+        let rep = exec(&mut r, "SHOW REPLICATION");
+        let Reply::Engine(Response::Replication(report)) = rep else {
+            panic!("SHOW REPLICATION answered {rep:?}");
+        };
+        assert_eq!(report.role.to_string(), "replica");
+        // Writes and prepared statements are refused with the typed
+        // read-only code clients fail over on.
+        for sql in [
+            "INSERT INTO Available VALUES (9, '9Z')",
+            "GROUND 0",
+            "CHECKPOINT",
+            &booking_sql("Donald", 1),
+        ] {
+            assert!(
+                matches!(
+                    exec(&mut r, sql),
+                    Reply::Error {
+                        code: wire::code::READ_ONLY,
+                        ..
+                    }
+                ),
+                "{sql} must be refused read-only"
+            );
+        }
+        assert!(matches!(
+            roundtrip(
+                &mut r,
+                &Request::Prepare {
+                    stmt: 1,
+                    sql: "SHOW PENDING".into()
+                }
+            ),
+            Reply::Error {
+                code: wire::code::READ_ONLY,
+                ..
+            }
+        ));
+        // The primary's tracker shows the replica at zero lag.
+        let rep = exec(&mut p, "SHOW REPLICATION");
+        let Reply::Engine(Response::Replication(report)) = rep else {
+            panic!("SHOW REPLICATION answered {rep:?}");
+        };
+        assert_eq!(report.role.to_string(), "primary");
+        let status = report.replicas.first().expect("one replica tracked");
+        assert_eq!(status.lag_bytes, 0);
+        assert_eq!(status.horizon, 0, "one pending txn, id 0");
+
+        // Kill the primary and promote: the replica recovers a writable
+        // engine from its locally re-logged WAL, pending state intact.
+        primary.shutdown();
+        assert_eq!(exec(&mut r, "PROMOTE"), Reply::Engine(Response::Ack));
+        assert_eq!(
+            exec(&mut r, "SHOW PENDING"),
+            Reply::Engine(Response::Pending(vec![0])),
+            "the acknowledged booking survives promotion"
+        );
+        assert_eq!(
+            exec(&mut r, "INSERT INTO Available VALUES (9, '9Z')"),
+            Reply::Engine(Response::Written(true))
+        );
+        assert!(replica.replica().unwrap().is_promoted());
+        replica.shutdown();
+    }
+
+    #[test]
+    fn replica_auto_promotes_when_the_stream_dies() {
+        let primary = Server::spawn(&ServerConfig::default()).unwrap();
+        let mut p = TcpStream::connect(primary.addr()).unwrap();
+        seed_primary(&mut p);
+        let replica = Server::spawn(&ServerConfig {
+            replicate_from: Some(primary.addr().to_string()),
+            repl_poll_interval: Duration::from_millis(2),
+            auto_promote_after: Some(Duration::from_millis(250)),
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        await_caught_up(&mut p);
+        drop(p);
+        primary.shutdown();
+        // The puller's contact deadline fires and the node promotes by
+        // itself; a write eventually succeeds on the same listener.
+        let mut r = TcpStream::connect(replica.addr()).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            match exec(&mut r, "INSERT INTO Available VALUES (2, '2A')") {
+                Reply::Engine(Response::Written(true)) => break,
+                Reply::Error {
+                    code: wire::code::READ_ONLY,
+                    ..
+                } => {
+                    assert!(
+                        std::time::Instant::now() < deadline,
+                        "auto-promotion never happened"
+                    );
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                other => panic!("unexpected reply while waiting for promotion: {other:?}"),
+            }
+        }
+        assert!(replica.replica().unwrap().is_promoted());
+        replica.shutdown();
+    }
+
+    #[test]
+    fn graceful_shutdown_answers_pipelined_work_first() {
+        let handle = Server::spawn(&ServerConfig::default()).unwrap();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        // Warm-up roundtrip: the server has definitely installed us.
+        assert_eq!(
+            exec(&mut stream, "SHOW PENDING"),
+            Reply::Engine(Response::Pending(vec![]))
+        );
+        let mut batch = Vec::new();
+        for i in 0..50u32 {
+            batch.extend_from_slice(&wire::encode_request(
+                100 + i,
+                &Request::Execute {
+                    sql: "SHOW PENDING".into(),
+                },
+            ));
+        }
+        stream.write_all(&batch).unwrap();
+        let drainer = std::thread::spawn(move || handle.shutdown_graceful(Duration::from_secs(10)));
+        // Every pipelined request gets its reply before the server goes
+        // away, in order.
+        for i in 0..50u32 {
+            let frame = wire::read_frame(&mut stream)
+                .unwrap()
+                .unwrap_or_else(|| panic!("connection closed before reply {i}"));
+            assert_eq!(frame.request_id, 100 + i);
+            assert_eq!(
+                wire::decode_reply(&frame).unwrap(),
+                Reply::Engine(Response::Pending(vec![]))
+            );
+        }
+        drainer.join().unwrap();
+        // After the drain the connection is actually closed.
+        match wire::read_frame(&mut stream) {
+            Ok(None) | Err(_) => {}
+            Ok(Some(f)) => panic!("unexpected frame after graceful shutdown: {f:?}"),
+        }
     }
 
     #[test]

@@ -32,8 +32,9 @@ use qdb_core::SharedQuantumDb;
 
 use crate::conn::Conn;
 use crate::metrics::ServerMetrics;
+use crate::repl::ConnRole;
 use crate::sys::{Event, Poller};
-use crate::{Job, MAX_QUEUED_FRAMES};
+use crate::{DrainSignal, Job, MAX_QUEUED_FRAMES};
 
 /// Epoll token of the accept socket.
 const TOKEN_LISTENER: u64 = 0;
@@ -152,8 +153,10 @@ pub(crate) struct Reactor {
     metrics: Arc<ServerMetrics>,
     notifier: Arc<Notifier>,
     shutdown: Arc<AtomicBool>,
+    drain: Arc<DrainSignal>,
     job_tx: Sender<Job>,
     registry: Arc<Mutex<Vec<Weak<Conn>>>>,
+    role: ConnRole,
     slots: Vec<Option<Slot>>,
     free: Vec<usize>,
     open: usize,
@@ -171,8 +174,10 @@ pub(crate) fn new_reactor(
     notifier: Arc<Notifier>,
     wake_rx: UnixStream,
     shutdown: Arc<AtomicBool>,
+    drain: Arc<DrainSignal>,
     job_tx: Sender<Job>,
     registry: Arc<Mutex<Vec<Weak<Conn>>>>,
+    role: ConnRole,
 ) -> io::Result<Reactor> {
     listener.set_nonblocking(true)?;
     let poller = Poller::new()?;
@@ -188,8 +193,10 @@ pub(crate) fn new_reactor(
         metrics,
         notifier,
         shutdown,
+        drain,
         job_tx,
         registry,
+        role,
         slots: Vec::new(),
         free: Vec::new(),
         open: 0,
@@ -210,13 +217,29 @@ impl Reactor {
 
     pub(crate) fn run(mut self) {
         let mut events: Vec<Event> = Vec::new();
+        // Graceful drain: after the signal, the listener is withdrawn
+        // and the loop keeps serving until two consecutive passes see no
+        // connection activity with every connection finished (queued
+        // frames executed, outboxes flushed). Epoll is level-triggered,
+        // so bytes already in a socket buffer surface as an event in the
+        // intervening wait — quiescence cannot be declared over them.
+        let mut draining = false;
+        let mut quiescent = 0u32;
         loop {
             if self.shutdown.load(Ordering::SeqCst) {
                 break;
             }
-            let timeout_ms = match &self.wheel {
-                Some(w) => w.granularity_ms.min(500) as i32,
-                None => 500,
+            if !draining && self.drain.active() {
+                draining = true;
+                let _ = self.poller.delete(self.listener.as_raw_fd());
+            }
+            let timeout_ms = if draining {
+                10
+            } else {
+                match &self.wheel {
+                    Some(w) => w.granularity_ms.min(500) as i32,
+                    None => 500,
+                }
             };
             events.clear();
             if self.poller.wait(&mut events, timeout_ms).is_err() {
@@ -225,19 +248,42 @@ impl Reactor {
             if self.shutdown.load(Ordering::SeqCst) {
                 break;
             }
+            let mut conn_activity = false;
             for ev in &events {
                 match ev.token {
                     TOKEN_LISTENER => self.accept_ready(),
                     TOKEN_WAKER => self.drain_waker(),
-                    token => self.conn_event(token, ev.readable, ev.writable, ev.hangup),
+                    token => {
+                        conn_activity = true;
+                        self.conn_event(token, ev.readable, ev.writable, ev.hangup);
+                    }
                 }
             }
             // Kicks are drained every pass, not only on waker events:
             // an executor may have kicked while we were already awake.
-            self.process_kicks();
+            conn_activity |= self.process_kicks();
             self.advance_wheel();
+            if draining {
+                if self.drain.expired() {
+                    break;
+                }
+                if !conn_activity && self.all_finished() {
+                    quiescent += 1;
+                    if quiescent >= 2 {
+                        break;
+                    }
+                } else {
+                    quiescent = 0;
+                }
+            }
         }
         self.teardown();
+    }
+
+    /// Every live connection has executed its queued frames and flushed
+    /// its outbox (idle clients count as finished).
+    fn all_finished(&self) -> bool {
+        self.slots.iter().flatten().all(|slot| slot.conn.finished())
     }
 
     // -- accept --------------------------------------------------------
@@ -285,6 +331,7 @@ impl Reactor {
             stream,
             token,
             qdb_core::Session::with_stmt_cache(self.db.clone(), self.cfg.prepared_cache),
+            self.role.clone(),
             Arc::clone(&self.metrics),
             Arc::clone(&self.notifier),
             self.cfg.outbox_limit,
@@ -323,7 +370,8 @@ impl Reactor {
         while matches!(rx.read(&mut sink), Ok(n) if n > 0) {}
     }
 
-    fn process_kicks(&mut self) {
+    fn process_kicks(&mut self) -> bool {
+        let mut any = false;
         for token in self.notifier.drain() {
             let (idx, gen) = token_parts(token);
             let Some(Some(slot)) = self.slots.get(idx) else {
@@ -332,12 +380,14 @@ impl Reactor {
             if slot.gen != gen {
                 continue;
             }
+            any = true;
             slot.conn.begin_kick();
             self.flush_conn(idx);
             // A resumed read may have buffered frames waiting to decode.
             self.read_conn(idx);
             self.finish_conn_pass(idx);
         }
+        any
     }
 
     // -- per-connection events -----------------------------------------

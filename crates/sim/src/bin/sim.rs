@@ -4,6 +4,7 @@
 //! sim run [--seeds N] [--seed-start S] [--clients N] [--ops N]
 //!         [--engine single|sharded|wire|both|all] [--crash on|off]
 //!         [--mutate NAME] [--shrink] [--artifact-dir DIR] [--json]
+//! sim repl [--seeds N] [--seed-start S] [--replicas N] [--ops N] [--json]
 //! sim replay --seed S [--artifact-dir DIR]
 //! sim replay <path/to/failure-artifact.json>
 //! ```
@@ -13,22 +14,31 @@
 //! `target/sim/` (with `--shrink`, carrying a delta-debugged minimal
 //! trace). `replay` loads an artifact and re-executes its embedded trace
 //! under the recorded seed — determinism reproduces the original
-//! violation exactly.
+//! violation exactly. `repl` sweeps replicated-topology seeds: primary +
+//! N WAL-shipping replicas, seeded kill at an arbitrary WAL byte cut,
+//! promotion, zero-acked-loss + horizon-explainable-read checking.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Instant;
 
 use qdb_sim::json::Json;
-use qdb_sim::{artifact, run_sweep, EngineKind, Mutation, RunResult, SimConfig};
+use qdb_sim::{
+    artifact, run_replica_sweep, run_sweep, EngineKind, Mutation, ReplicaSimConfig, RunResult,
+    SimConfig,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
+        Some("repl") => cmd_repl(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
         _ => {
-            eprintln!("usage: sim run [flags] | sim replay --seed S | sim replay <artifact>");
+            eprintln!(
+                "usage: sim run [flags] | sim repl [flags] | sim replay --seed S | \
+                 sim replay <artifact>"
+            );
             ExitCode::from(2)
         }
     }
@@ -178,6 +188,81 @@ fn cmd_run(args: &[String]) -> ExitCode {
         }
     }
     if outcome.failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_repl(args: &[String]) -> ExitCode {
+    let seeds: u64 = flag(args, "--seeds")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
+    let start: u64 = flag(args, "--seed-start")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let mut cfg = ReplicaSimConfig::smoke();
+    if let Some(n) = flag(args, "--replicas").and_then(|s| s.parse().ok()) {
+        cfg.replicas = n;
+    }
+    if let Some(n) = flag(args, "--ops").and_then(|s| s.parse().ok()) {
+        cfg.ops = n;
+    }
+
+    let started = Instant::now();
+    let out = run_replica_sweep(&cfg, start, seeds);
+    let elapsed = started.elapsed().as_secs_f64();
+
+    if has(args, "--json") {
+        let failures: Vec<Json> = out
+            .failures
+            .iter()
+            .map(|(seed, v)| {
+                Json::Obj(vec![
+                    ("seed".into(), Json::U64(*seed)),
+                    ("violation".into(), Json::str(v.clone())),
+                ])
+            })
+            .collect();
+        let doc = Json::Obj(vec![
+            ("experiment".into(), Json::str("sim-repl")),
+            ("seeds".into(), Json::U64(seeds)),
+            ("replicas".into(), Json::U64(cfg.replicas as u64)),
+            ("runs".into(), Json::U64(out.runs)),
+            ("total_ops".into(), Json::U64(out.total_ops)),
+            ("acked_writes".into(), Json::U64(out.acked_writes)),
+            ("surviving_acked".into(), Json::U64(out.surviving_acked)),
+            ("lost_to_window".into(), Json::U64(out.lost_to_window)),
+            ("replica_reads".into(), Json::U64(out.replica_reads)),
+            ("checked_reads".into(), Json::U64(out.checked_reads)),
+            ("max_lag_bytes".into(), Json::U64(out.max_lag_bytes)),
+            ("violations".into(), Json::U64(out.failures.len() as u64)),
+            ("failures".into(), Json::Arr(failures)),
+        ]);
+        println!("{}", doc.render());
+    } else {
+        println!(
+            "sim repl: {} runs × {} replicas, {} ops in {elapsed:.1}s",
+            out.runs, cfg.replicas, out.total_ops
+        );
+        println!(
+            "     acked={} surviving={} async_window={} replica_reads={} checked_reads={} \
+             max_lag_bytes={}",
+            out.acked_writes,
+            out.surviving_acked,
+            out.lost_to_window,
+            out.replica_reads,
+            out.checked_reads,
+            out.max_lag_bytes
+        );
+        for (seed, v) in &out.failures {
+            println!("     FAILURE seed={seed}: {v}");
+        }
+        if out.failures.is_empty() {
+            println!("     zero violations");
+        }
+    }
+    if out.failures.is_empty() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

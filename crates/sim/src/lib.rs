@@ -31,6 +31,7 @@ pub mod checker;
 pub mod driver;
 pub mod history;
 pub mod json;
+pub mod replica;
 pub mod shrink;
 
 use std::path::{Path, PathBuf};
@@ -38,6 +39,9 @@ use std::path::{Path, PathBuf};
 pub use checker::{CheckStats, SerOutcome, Violation};
 pub use driver::{run_seed, run_trace, EngineKind, Mutation, RunResult, SimConfig, TraceEntry};
 pub use history::{Event, History, ReadKind};
+pub use replica::{
+    run_replica_seed, run_replica_sweep, ReplicaRunResult, ReplicaSimConfig, ReplicaSweepOutcome,
+};
 pub use shrink::ShrinkOutcome;
 
 /// Oracle re-executions a sweep grants the shrinker per failure.

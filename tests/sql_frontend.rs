@@ -220,8 +220,11 @@ fn control_error_paths() {
     assert_positioned_parse_error("GROUND", "transaction id or ALL");
     assert_positioned_parse_error("GROUND -3", "transaction id or ALL");
     assert_positioned_parse_error("GROUND x", "transaction id or ALL");
-    assert_positioned_parse_error("SHOW", "METRICS, PENDING, PROFILE and EVENTS");
-    assert_positioned_parse_error("SHOW TABLES", "METRICS, PENDING, PROFILE and EVENTS");
+    assert_positioned_parse_error("SHOW", "METRICS, PENDING, PROFILE, EVENTS and REPLICATION");
+    assert_positioned_parse_error(
+        "SHOW TABLES",
+        "METRICS, PENDING, PROFILE, EVENTS and REPLICATION",
+    );
     assert_positioned_parse_error("CHECKPOINT now", "trailing");
     assert_positioned_parse_error("EXPLAIN SELECT", "expected a statement");
 }
